@@ -1,0 +1,40 @@
+#ifndef DSSDDI_BENCH_BENCH_COMMON_H_
+#define DSSDDI_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/mimic_like.h"
+
+namespace dssddi::bench {
+
+/// Canonical chronic dataset used by every table/figure harness. One
+/// deterministic build per process.
+inline const data::SuggestionDataset& ChronicDataset() {
+  static const data::SuggestionDataset* const kDataset = [] {
+    auto* dataset = new data::SuggestionDataset(data::BuildChronicDataset());
+    return dataset;
+  }();
+  return *kDataset;
+}
+
+/// Canonical MIMIC-like dataset (Table IV).
+inline const data::SuggestionDataset& MimicDataset() {
+  static const data::SuggestionDataset* const kDataset = [] {
+    auto* dataset = new data::SuggestionDataset(data::BuildMimicLikeDataset());
+    return dataset;
+  }();
+  return *kDataset;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==========================================================\n\n");
+}
+
+}  // namespace dssddi::bench
+
+#endif  // DSSDDI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 2 (proportion of patients with various diseases)
+// and Fig. 3 (distribution of the 86 medications over diseases) from the
+// synthesized chronic cohort.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/catalog.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dssddi;
+  bench::PrintHeader("Chronic cohort statistics",
+                     "Fig. 2 (disease proportions) + Fig. 3 (medications per disease)");
+
+  const auto& dataset = bench::ChronicDataset();
+  const auto& catalog = data::Catalog::Instance();
+  const int n = dataset.num_patients();
+  std::printf("Cohort: %d interview records (paper: 2254 male + 1903 female = 4157)\n\n",
+              n);
+
+  // Fig. 2: share of *disease instances* per disease (the paper's pie
+  // chart normalizes over diagnoses, so the shares sum to 100%).
+  std::vector<int> disease_counts(catalog.num_diseases(), 0);
+  long long total_diagnoses = 0;
+  for (const auto& diseases : dataset.patient_diseases) {
+    for (int d : diseases) {
+      ++disease_counts[d];
+      ++total_diagnoses;
+    }
+  }
+  util::TextTable fig2({"Disease", "Patients", "Share of diagnoses", "Paper share"});
+  const std::vector<std::string> paper_shares = {
+      "49%", "22%", "3%", "-", "11%", "2%", "-", "6%",
+      "-",   "-",   "-",  "2%", "1%", "-",  "3%"};
+  for (int d = 0; d < catalog.num_diseases(); ++d) {
+    fig2.AddRow({catalog.disease(d).name, std::to_string(disease_counts[d]),
+                 util::FormatDouble(100.0 * disease_counts[d] / total_diagnoses, 1) + "%",
+                 paper_shares[d]});
+  }
+  std::printf("--- Fig. 2: disease distribution ---\n%s\n", fig2.Render().c_str());
+
+  // Fig. 3: number of catalog medications whose primary indication is
+  // each disease (the paper's bar chart), plus observed usage.
+  std::vector<long long> usage(catalog.num_diseases(), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int v = 0; v < dataset.num_drugs(); ++v) {
+      if (dataset.medication.At(i, v) > 0.5f) {
+        usage[catalog.drug(v).treats.front()] += 1;
+      }
+    }
+  }
+  util::TextTable fig3({"Disease", "#Medications (bar height)", "Prescriptions observed"});
+  int total_drugs = 0;
+  for (int d = 0; d < catalog.num_diseases(); ++d) {
+    const int count = catalog.PrimaryDrugCount(d);
+    total_drugs += count;
+    fig3.AddRow({catalog.disease(d).name, std::to_string(count),
+                 std::to_string(usage[d])});
+  }
+  std::printf("--- Fig. 3: medications per disease (total %d drugs) ---\n%s\n",
+              total_drugs, fig3.Render().c_str());
+
+  std::printf("DDI database: %d synergistic + %d antagonistic pairs "
+              "(paper: 97 + 243 from DrugCombDB)\n",
+              dataset.ddi.CountEdges(graph::EdgeSign::kSynergistic),
+              dataset.ddi.CountEdges(graph::EdgeSign::kAntagonistic));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 8: explanation subgraphs (Medical Support module)
+// for a cardiovascular patient's top-3 suggestions under DSSDDI,
+// LightGCN, GCMC, SVM and ECC. The paper renders graph drawings; we print
+// each method's suggested drugs, the closest-truss subgraph and the
+// synergistic/antagonistic edges it exposes.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "core/ms_module.h"
+#include "data/catalog.h"
+#include "eval/experiment.h"
+#include "models/model_zoo.h"
+
+int main(int argc, char** argv) {
+  using namespace dssddi;
+  bench::PrintHeader("Explanation subgraphs for a cardiovascular patient",
+                     "Fig. 8 (MS-module output for 5 methods)");
+
+  models::ZooConfig zoo;
+  if (argc > 1) zoo.epoch_scale = static_cast<float>(std::atof(argv[1]));
+
+  const auto& dataset = bench::ChronicDataset();
+  const auto& catalog = data::Catalog::Instance();
+  core::MsModule ms(dataset.ddi, 0.5);
+
+  // Find a test patient whose condition list is exactly {cardiovascular
+  // events} plus hypertension at most — the paper's case is a
+  // cardiovascular patient suggested statins + isosorbide.
+  int patient = dataset.split.test.front();
+  for (int candidate : dataset.split.test) {
+    const auto& diseases = dataset.patient_diseases[candidate];
+    const bool has_cvd = std::find(diseases.begin(), diseases.end(),
+                                   data::kCardiovascularEvents) != diseases.end();
+    if (has_cvd && diseases.size() <= 2) {
+      patient = candidate;
+      break;
+    }
+  }
+  std::printf("case patient %d, diseases:", patient);
+  for (int d : dataset.patient_diseases[patient]) {
+    std::printf(" %s;", catalog.disease(d).name.c_str());
+  }
+  std::printf("\nground-truth medications:");
+  for (int v = 0; v < dataset.num_drugs(); ++v) {
+    if (dataset.medication.At(patient, v) > 0.5f) {
+      std::printf(" %s (DID %d);", catalog.drug(v).name.c_str(), v);
+    }
+  }
+  std::printf("\n\n");
+
+  constexpr int kTopK = 3;
+  auto explain = [&](core::SuggestionModel& model) {
+    model.Fit(dataset);
+    const auto scores = model.PredictScores(dataset, {patient});
+    const auto top = core::TopKDrugs(scores, 0, kTopK);
+    const auto explanation = ms.Explain(top);
+    std::printf("--- %s ---\n%s\n", model.name().c_str(),
+                ms.Render(explanation, dataset.drug_names).c_str());
+  };
+
+  {
+    auto dssddi_model = models::MakeDssddi(core::BackboneKind::kSgcn, zoo);
+    explain(*dssddi_model);
+  }
+  auto baselines = models::MakeBaselines(zoo);
+  for (auto& model : baselines) {
+    const std::string name = model->name();
+    if (name == "LightGCN" || name == "GCMC" || name == "SVM" || name == "ECC") {
+      explain(*model);
+    }
+  }
+
+  std::printf(
+      "Expected shape (paper Fig. 8): DSSDDI's suggestion contains a\n"
+      "synergistic pair (e.g. Simvastatin + Atorvastatin) and avoids\n"
+      "antagonistic partners; the baselines' suggested triples carry no\n"
+      "interactions (or even antagonistic ones for ECC).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation of the Medical Support subgraph backend: the paper's closest
+// truss community vs. an anchored densest-subgraph explainer, on the
+// same trained system and the same suggestions. Reported per k:
+// Suggestion Satisfaction, subgraph size, diameter, and query latency.
+//
+//   ./bench/bench_ms_explainers [epoch_scale]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/ms_module.h"
+#include "core/suggestion_model.h"
+#include "models/model_zoo.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dssddi;
+  bench::PrintHeader("Medical Support explainer ablation",
+                     "extends paper Section IV-C (CTC vs densest subgraph)");
+
+  models::ZooConfig zoo;
+  if (argc > 1) zoo.epoch_scale = static_cast<float>(std::atof(argv[1]));
+
+  const auto& dataset = bench::ChronicDataset();
+  auto system = models::MakeDssddi(core::BackboneKind::kSgcn, zoo);
+  std::printf("fitting %s ...\n\n", system->name().c_str());
+  std::fflush(stdout);
+  system->Fit(dataset);
+
+  const auto& test = dataset.split.test;
+  const tensor::Matrix scores = system->PredictScores(dataset, test);
+
+  // Sample a fixed patient subset so both backends see identical queries.
+  util::Rng rng(41);
+  std::vector<int> sample;
+  for (size_t r = 0; r < test.size(); ++r) {
+    if (rng.Bernoulli(0.3)) sample.push_back(static_cast<int>(r));
+  }
+  std::printf("explaining suggestions for %zu test patients\n\n", sample.size());
+
+  const core::ExplainerKind kinds[] = {core::ExplainerKind::kClosestTrussCommunity,
+                                       core::ExplainerKind::kDensestSubgraph};
+  util::TextTable table(
+      {"explainer", "k", "SS", "subgraph drugs", "diameter", "ms/query"});
+  for (auto kind : kinds) {
+    const core::MsModule ms(dataset.ddi, 0.5, kind);
+    for (int k : {2, 4, 6}) {
+      double ss_total = 0.0;
+      double size_total = 0.0;
+      double diameter_total = 0.0;
+      util::Stopwatch watch;
+      for (int r : sample) {
+        const auto exp = ms.Explain(core::TopKDrugs(scores, r, k));
+        ss_total += exp.suggestion_satisfaction;
+        size_total += static_cast<double>(exp.subgraph_drugs.size());
+        diameter_total += exp.diameter;
+      }
+      const double per_query_ms = watch.ElapsedSeconds() * 1000.0 /
+                                  static_cast<double>(sample.size());
+      const double n = static_cast<double>(sample.size());
+      table.AddRow({core::ExplainerKindName(kind), std::to_string(k),
+                    util::FormatDouble(ss_total / n, 4),
+                    util::FormatDouble(size_total / n, 1),
+                    util::FormatDouble(diameter_total / n, 2),
+                    util::FormatDouble(per_query_ms, 3)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape: both backends produce comparable SS (the measure is\n"
+      "dominated by within-suggestion interactions); CTC yields tighter\n"
+      "subgraphs (smaller diameter), densest yields higher edge density at\n"
+      "larger size. The paper's choice (CTC) optimizes locality, which\n"
+      "keeps the displayed explanation small.\n");
+  return 0;
+}

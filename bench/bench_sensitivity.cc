@@ -1,0 +1,182 @@
+// Sensitivity / extra-ablation harness for the design choices DESIGN.md
+// calls out beyond the paper's Table II:
+//   A. Treatment construction — full causal treatment vs. step 3 (DDI
+//      expansion) off vs. treatment feature hidden from the decoder.
+//   B. No-interaction (0) edge sampling ratio in the DDI graph.
+//   C. Counterfactual distance caps gamma_p (patient quantile sweep),
+//      reporting both quality and how many counterfactual pairs matched.
+//   D. Counterfactual loss weight delta.
+//   E. Suggestion Satisfaction alpha sweep (pure post-hoc measurement —
+//      no refit; shows how the synergy/antagonism balance moves SS@k).
+//
+//   ./bench/bench_sensitivity [epoch_scale]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/suggestion_model.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "models/model_zoo.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dssddi;
+
+core::DssddiConfig BaseConfig(const models::ZooConfig& zoo) {
+  core::DssddiConfig config;
+  config.ddi.backbone = core::BackboneKind::kSgcn;
+  config.ddi.epochs = static_cast<int>(zoo.ddi_epochs * zoo.epoch_scale);
+  config.md.epochs = static_cast<int>(zoo.md_epochs * zoo.epoch_scale);
+  return config;
+}
+
+/// Fits one configured system, prints progress, and returns P/R/N@6 plus
+/// the number of matched counterfactual pairs.
+struct VariantResult {
+  eval::ModelEvaluation evaluation;
+  int matched_pairs = 0;
+};
+
+VariantResult RunVariant(core::DssddiConfig config, const std::string& name,
+                         const data::SuggestionDataset& dataset,
+                         const eval::EvaluateOptions& options) {
+  config.display_name = name;
+  core::DssddiSystem system(config);
+  std::printf("fitting %-34s ...\n", name.c_str());
+  std::fflush(stdout);
+  VariantResult result;
+  result.evaluation = eval::EvaluateModel(system, dataset, options);
+  result.matched_pairs =
+      system.md_module() != nullptr ? system.md_module()->links().num_matched_pairs : 0;
+  std::printf("  done in %.1fs\n", result.evaluation.fit_seconds);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintHeader("Design-choice sensitivity sweeps",
+                     "DESIGN.md ablation axes (extends paper Table II)");
+
+  models::ZooConfig zoo;
+  if (argc > 1) zoo.epoch_scale = static_cast<float>(std::atof(argv[1]));
+
+  const auto& dataset = bench::ChronicDataset();
+  eval::EvaluateOptions options;
+  options.ks = {6, 3, 1};
+
+  // ---- A. Treatment construction. ----
+  std::printf("--- A. causal treatment construction ---\n");
+  std::vector<eval::ModelEvaluation> treatment_rows;
+  {
+    treatment_rows.push_back(
+        RunVariant(BaseConfig(zoo), "full treatment", dataset, options).evaluation);
+
+    auto no_expand = BaseConfig(zoo);
+    no_expand.md.counterfactual.expand_treatment_via_ddi = false;
+    treatment_rows.push_back(
+        RunVariant(no_expand, "no DDI expansion (step 3 off)", dataset, options)
+            .evaluation);
+
+    auto no_feature = BaseConfig(zoo);
+    no_feature.md.use_treatment_feature = false;
+    treatment_rows.push_back(
+        RunVariant(no_feature, "treatment feature hidden", dataset, options)
+            .evaluation);
+  }
+  std::printf("\n%s\n", eval::RenderRankingTable(treatment_rows).c_str());
+
+  // ---- B. 0-edge sampling ratio. ----
+  std::printf("--- B. no-interaction edge sampling ratio ---\n");
+  const int interaction_edges = dataset.ddi.CountEdges(graph::EdgeSign::kSynergistic) +
+                                dataset.ddi.CountEdges(graph::EdgeSign::kAntagonistic);
+  std::vector<eval::ModelEvaluation> zero_rows;
+  for (double ratio : {0.0, 0.5, 1.0, 2.0}) {
+    auto config = BaseConfig(zoo);
+    // zero_edge_count == -1 means 1x; make every ratio explicit here.
+    config.ddi.zero_edge_count = static_cast<int>(ratio * interaction_edges);
+    char name[64];
+    std::snprintf(name, sizeof(name), "0-edges = %.1fx interactions", ratio);
+    zero_rows.push_back(RunVariant(config, name, dataset, options).evaluation);
+  }
+  std::printf("\n%s\n", eval::RenderRankingTable(zero_rows).c_str());
+
+  // ---- C. gamma_p quantile sweep. ----
+  std::printf("--- C. counterfactual patient distance cap gamma_p ---\n");
+  std::vector<eval::ModelEvaluation> gamma_rows;
+  std::vector<int> gamma_matched;
+  for (double quantile : {0.05, 0.15, 0.40}) {
+    auto config = BaseConfig(zoo);
+    config.md.counterfactual.patient_distance_quantile = quantile;
+    char name[64];
+    std::snprintf(name, sizeof(name), "gamma_p quantile %.2f", quantile);
+    auto result = RunVariant(config, name, dataset, options);
+    gamma_rows.push_back(result.evaluation);
+    gamma_matched.push_back(result.matched_pairs);
+  }
+  std::printf("\n%s\n", eval::RenderRankingTable(gamma_rows).c_str());
+  for (size_t i = 0; i < gamma_rows.size(); ++i) {
+    std::printf("  %-24s matched counterfactual pairs: %d\n",
+                gamma_rows[i].model_name.c_str(), gamma_matched[i]);
+  }
+  std::printf("\n");
+
+  // ---- D. delta sweep. ----
+  std::printf("--- D. counterfactual loss weight delta ---\n");
+  std::vector<eval::ModelEvaluation> delta_rows;
+  for (float delta : {0.0f, 0.5f, 1.0f, 2.0f}) {
+    auto config = BaseConfig(zoo);
+    config.md.delta = delta;
+    config.md.use_counterfactual = delta > 0.0f;
+    char name[32];
+    std::snprintf(name, sizeof(name), "delta = %.1f", delta);
+    delta_rows.push_back(RunVariant(config, name, dataset, options).evaluation);
+  }
+  std::printf("\n%s\n", eval::RenderRankingTable(delta_rows).c_str());
+
+  // ---- E. SS alpha sweep (post-hoc; one fit). ----
+  std::printf("--- E. Suggestion Satisfaction alpha sweep ---\n");
+  {
+    core::DssddiSystem system(BaseConfig(zoo));
+    std::printf("fitting reference system ...\n");
+    std::fflush(stdout);
+    system.Fit(dataset);
+    const auto& test = dataset.split.test;
+    const tensor::Matrix scores = system.PredictScores(dataset, test);
+
+    // Sample patients once so the alpha rows are comparable.
+    util::Rng rng(17);
+    std::vector<int> sample;
+    for (size_t r = 0; r < test.size(); ++r) {
+      if (rng.Bernoulli(0.25)) sample.push_back(static_cast<int>(r));
+    }
+
+    util::TextTable table({"alpha", "SS@2", "SS@4", "SS@6"});
+    for (double alpha : {0.25, 0.5, 0.75}) {
+      const core::MsModule ms(dataset.ddi, alpha);
+      std::vector<double> row;
+      for (int k : {2, 4, 6}) {
+        double total = 0.0;
+        for (int r : sample) {
+          total += ms.SuggestionSatisfaction(core::TopKDrugs(scores, r, k));
+        }
+        row.push_back(total / static_cast<double>(sample.size()));
+      }
+      table.AddNumericRow(util::FormatDouble(alpha, 2), row);
+    }
+    std::printf("\n%s\n", table.Render().c_str());
+  }
+
+  std::printf(
+      "Expected shapes: full treatment >= step-3-off and >= hidden-feature;\n"
+      "moderate 0-edge ratios (0.5x-1x) beat none/too many; mid gamma_p\n"
+      "matches more counterfactual pairs than a tight cap without the noise\n"
+      "of a loose one; delta ~ 1 beats 0; SS rises with alpha (the synergy\n"
+      "term dominates for small suggestion sets).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Statistical robustness harness (extends the paper's Table I point
+// estimates):
+//   1. Bootstrap 95% confidence intervals for DSSDDI(SGCN) and LightGCN
+//      on the chronic test split.
+//   2. Paired bootstrap win rate of DSSDDI over LightGCN (recall@k).
+//   3. Probability calibration (Brier / ECE / reliability table) of the
+//      two models' suggestion scores.
+//   4. Held-out DDI sign prediction by DDIGCN (the DDI module evaluated
+//      as an interaction predictor).
+//
+//   ./bench/bench_significance [epoch_scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "eval/calibration.h"
+#include "eval/ddi_eval.h"
+#include "eval/significance.h"
+#include "models/lightgcn.h"
+#include "models/model_zoo.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dssddi;
+  bench::PrintHeader("Bootstrap CIs, calibration, and DDI sign prediction",
+                     "robustness analysis extending Tables I-II");
+
+  models::ZooConfig zoo;
+  if (argc > 1) zoo.epoch_scale = static_cast<float>(std::atof(argv[1]));
+
+  const auto& dataset = bench::ChronicDataset();
+  const auto& test = dataset.split.test;
+  const tensor::Matrix truth = dataset.medication.GatherRows(test);
+
+  auto dssddi = models::MakeDssddi(core::BackboneKind::kSgcn, zoo);
+  std::printf("fitting %s ...\n", dssddi->name().c_str());
+  std::fflush(stdout);
+  dssddi->Fit(dataset);
+  const tensor::Matrix dssddi_scores = dssddi->PredictScores(dataset, test);
+
+  models::LightGcnConfig lightgcn_config;
+  lightgcn_config.epochs = static_cast<int>(zoo.gnn_epochs * zoo.epoch_scale);
+  models::LightGcnModel lightgcn(lightgcn_config);
+  std::printf("fitting %s ...\n\n", lightgcn.name().c_str());
+  std::fflush(stdout);
+  lightgcn.Fit(dataset);
+  const tensor::Matrix lightgcn_scores = lightgcn.PredictScores(dataset, test);
+
+  // ---- 1. Bootstrap CIs. ----
+  eval::BootstrapOptions options;
+  options.num_resamples = 1000;
+  util::TextTable table({"model", "k", "recall mean", "95% CI", "NDCG mean"});
+  struct Entry {
+    const char* name;
+    const tensor::Matrix* scores;
+  };
+  const Entry entries[] = {{"DSSDDI(SGCN)", &dssddi_scores},
+                           {"LightGCN", &lightgcn_scores}};
+  for (const auto& entry : entries) {
+    for (int k : {6, 3, 1}) {
+      const auto ci = eval::BootstrapRankingMetrics(*entry.scores, truth, k, options);
+      table.AddRow({entry.name, std::to_string(k),
+                    util::FormatDouble(ci.recall.mean, 4),
+                    "[" + util::FormatDouble(ci.recall.lower, 4) + ", " +
+                        util::FormatDouble(ci.recall.upper, 4) + "]",
+                    util::FormatDouble(ci.ndcg.mean, 4)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // ---- 2. Paired win rate. ----
+  for (int k : {6, 3}) {
+    const double win_rate = eval::PairedBootstrapWinRate(
+        dssddi_scores, lightgcn_scores, truth, k, options);
+    std::printf("paired bootstrap P(DSSDDI > LightGCN) on recall@%d: %.3f\n", k,
+                win_rate);
+  }
+
+  // ---- 3. Calibration. ----
+  // DSSDDI already emits sigmoid probabilities; LightGCN emits raw inner
+  // products trained under BCE, so its probability estimate is the
+  // sigmoid of the raw score.
+  std::printf("\nCalibration of suggestion scores (all test patient x drug cells):\n");
+  tensor::Matrix lightgcn_probs = lightgcn_scores;
+  for (float& v : lightgcn_probs.data()) v = 1.0f / (1.0f + std::exp(-v));
+  const Entry calibration_entries[] = {{"DSSDDI(SGCN)", &dssddi_scores},
+                                       {"LightGCN (sigmoid)", &lightgcn_probs}};
+  for (const auto& entry : calibration_entries) {
+    const auto report = eval::ComputeCalibration(*entry.scores, truth, 10);
+    std::printf("\n%s:\n%s", entry.name,
+                eval::RenderCalibration(report).c_str());
+  }
+
+  // ---- 4. DDI sign prediction. ----
+  std::printf("\nHeld-out DDI sign prediction (DDIGCN on 80/20 edge split):\n");
+  core::DdiModuleConfig ddi_config;
+  ddi_config.epochs = static_cast<int>(zoo.ddi_epochs * zoo.epoch_scale);
+  const auto sign_eval = eval::EvaluateDdiSignPrediction(dataset.ddi, ddi_config);
+  std::printf(
+      "  train edges %d, test edges %d\n"
+      "  held-out MSE %.4f, sign accuracy %.4f, synergy-vs-antagonism AUC %.4f\n",
+      sign_eval.num_train_edges, sign_eval.num_test_edges, sign_eval.mse,
+      sign_eval.sign_accuracy, sign_eval.auc);
+  std::printf(
+      "\nExpected shapes: non-overlapping recall CIs in DSSDDI's favour at\n"
+      "k=6; paired win rate near 1; DSSDDI no worse calibrated than\n"
+      "LightGCN; sign AUC well above 0.5.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces paper Table III: Suggestion Satisfaction (SS @ k = 2..6)
+// for every method; SS measures synergy within and antagonism around the
+// suggested drug sets using the Medical Support module's closest-truss
+// subgraph (Eq. 19, alpha = 0.5).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "core/ms_module.h"
+#include "eval/experiment.h"
+#include "models/model_zoo.h"
+
+int main(int argc, char** argv) {
+  using namespace dssddi;
+  bench::PrintHeader("Suggestion Satisfaction on the chronic data set",
+                     "Table III (SS@2..6, 12 methods)");
+
+  models::ZooConfig zoo;
+  if (argc > 1) zoo.epoch_scale = static_cast<float>(std::atof(argv[1]));
+
+  const auto& dataset = bench::ChronicDataset();
+  core::MsModule ms(dataset.ddi, /*alpha=*/0.5);
+  eval::EvaluateOptions options;
+  options.ks = {2, 3, 4, 5, 6};
+  options.ss_sample = 200;  // subgraph queries are per patient
+
+  std::vector<eval::ModelEvaluation> evaluations;
+  for (auto& model : models::MakeBaselines(zoo)) {
+    std::printf("fitting %-12s ...\n", model->name().c_str());
+    std::fflush(stdout);
+    evaluations.push_back(eval::EvaluateModel(*model, dataset, options, &ms));
+  }
+  for (auto& model : models::MakeDssddiVariants(zoo)) {
+    std::printf("fitting %-14s ...\n", model->name().c_str());
+    std::fflush(stdout);
+    evaluations.push_back(eval::EvaluateModel(*model, dataset, options, &ms));
+  }
+
+  std::printf("\n%s\n", eval::RenderSsTable(evaluations).c_str());
+  std::printf(
+      "Expected shape (paper): DSSDDI variants dominate every k; the\n"
+      "paper reports ~24-25%% relative improvement at k = 4..6 over the\n"
+      "best baseline (Bipar-GCN).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "algo/bfs.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace dssddi::algo {
+
+namespace {
+bool IsAlive(const std::vector<char>& alive, int v) {
+  return alive.empty() || alive[v] != 0;
+}
+}  // namespace
+
+std::vector<int> BfsDistances(const graph::Graph& g, int source,
+                              const std::vector<char>& alive) {
+  std::vector<int> dist(g.num_vertices(), kUnreachable);
+  if (!IsAlive(alive, source)) return dist;
+  std::queue<int> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (int u : g.Neighbors(v)) {
+      if (dist[u] == kUnreachable && IsAlive(alive, u)) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> ConnectedComponents(const graph::Graph& g,
+                                     const std::vector<char>& alive) {
+  std::vector<int> component(g.num_vertices(), -1);
+  int next_id = 0;
+  for (int s = 0; s < g.num_vertices(); ++s) {
+    if (component[s] >= 0 || !IsAlive(alive, s)) continue;
+    std::queue<int> frontier;
+    component[s] = next_id;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      for (int u : g.Neighbors(v)) {
+        if (component[u] < 0 && IsAlive(alive, u)) {
+          component[u] = next_id;
+          frontier.push(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+bool AllConnected(const graph::Graph& g, const std::vector<int>& vertices,
+                  const std::vector<char>& alive) {
+  if (vertices.empty()) return true;
+  for (int v : vertices) {
+    if (!IsAlive(alive, v)) return false;
+  }
+  const std::vector<int> dist = BfsDistances(g, vertices.front(), alive);
+  for (int v : vertices) {
+    if (dist[v] == kUnreachable) return false;
+  }
+  return true;
+}
+
+int Diameter(const graph::Graph& g, const std::vector<char>& alive) {
+  int diameter = 0;
+  for (int s = 0; s < g.num_vertices(); ++s) {
+    if (!IsAlive(alive, s)) continue;
+    const std::vector<int> dist = BfsDistances(g, s, alive);
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (dist[v] != kUnreachable) diameter = std::max(diameter, dist[v]);
+    }
+  }
+  return diameter;
+}
+
+std::vector<double> DijkstraDistances(const graph::Graph& g, int source,
+                                      const std::vector<double>& edge_weights) {
+  DSSDDI_CHECK(static_cast<int>(edge_weights.size()) == g.num_edges())
+      << "edge weight vector size mismatch";
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_vertices(), kInf);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    const auto nbrs = g.Neighbors(v);
+    const auto eids = g.IncidentEdges(v);
+    for (int i = 0; i < nbrs.size(); ++i) {
+      const int u = nbrs.begin()[i];
+      const double w = edge_weights[eids.begin()[i]];
+      DSSDDI_CHECK(w >= 0.0) << "negative edge weight";
+      if (dist[v] + w < dist[u]) {
+        dist[u] = dist[v] + w;
+        heap.emplace(dist[u], u);
+      }
+    }
+  }
+  std::vector<double> out(g.num_vertices(), kUnreachableWeight);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] != kInf) out[v] = dist[v];
+  }
+  return out;
+}
+
+}  // namespace dssddi::algo

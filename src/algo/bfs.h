@@ -1,0 +1,38 @@
+#ifndef DSSDDI_ALGO_BFS_H_
+#define DSSDDI_ALGO_BFS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dssddi::algo {
+
+inline constexpr int kUnreachable = -1;
+
+/// Unweighted single-source shortest-path distances; kUnreachable where no
+/// path exists. `alive`, if non-empty, restricts traversal to vertices with
+/// alive[v] == true (used while shrinking CTC candidates).
+std::vector<int> BfsDistances(const graph::Graph& g, int source,
+                              const std::vector<char>& alive = {});
+
+/// Connected component id per vertex (-1 for non-alive vertices).
+std::vector<int> ConnectedComponents(const graph::Graph& g,
+                                     const std::vector<char>& alive = {});
+
+/// True iff all `vertices` are alive and in one connected component.
+bool AllConnected(const graph::Graph& g, const std::vector<int>& vertices,
+                  const std::vector<char>& alive = {});
+
+/// Exact diameter of the alive induced subgraph (max eccentricity over
+/// reachable pairs). Returns 0 for <=1 alive vertex. O(V * E).
+int Diameter(const graph::Graph& g, const std::vector<char>& alive = {});
+
+/// Dijkstra with per-edge weights (indexed by edge id). Weights must be
+/// non-negative. Returns distances (infinity -> kUnreachableWeight).
+inline constexpr double kUnreachableWeight = -1.0;
+std::vector<double> DijkstraDistances(const graph::Graph& g, int source,
+                                      const std::vector<double>& edge_weights);
+
+}  // namespace dssddi::algo
+
+#endif  // DSSDDI_ALGO_BFS_H_

@@ -1,0 +1,46 @@
+#ifndef DSSDDI_ALGO_CTC_H_
+#define DSSDDI_ALGO_CTC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dssddi::algo {
+
+/// Result of a closest-truss-community query (paper Definition 6 /
+/// Algorithm 1): the vertices/edges of the returned subgraph, its
+/// trussness p, diameter, and query distance.
+struct ClosestTrussCommunity {
+  std::vector<int> vertices;
+  std::vector<int> edge_ids;  // into the *input* graph's edge list
+  int trussness = 0;
+  int diameter = 0;
+  /// max over community vertices of max BFS distance to a query vertex.
+  int query_distance = 0;
+  /// False when the query vertices are not connected in g.
+  bool found = false;
+};
+
+struct CtcOptions {
+  /// Expansion budget for growing the Steiner tree into a dense candidate
+  /// (Algorithm 1's n0). <= 0 means 4 * |Q| + 16.
+  int expansion_limit = 0;
+  /// Cap on shrink iterations (safety valve; the loop is finite anyway).
+  int max_shrink_iterations = 1 << 20;
+};
+
+/// Closest Truss Community search (Huang et al., VLDBJ'15), the subgraph
+/// querying algorithm of the Medical Support module. Steps: (1) truss
+/// decomposition of g; (2) Steiner tree over the query with truss distance
+/// (edges of high trussness are cheap); (3) greedy expansion by incident
+/// edges of truss >= p'; (4) local truss decomposition and maximal
+/// connected p-truss extraction; (5) iterative deletion of the vertices
+/// furthest from the query while maintaining the p-truss property; returns
+/// the iterate with the smallest query distance.
+ClosestTrussCommunity FindClosestTrussCommunity(const graph::Graph& g,
+                                                const std::vector<int>& query,
+                                                const CtcOptions& options = {});
+
+}  // namespace dssddi::algo
+
+#endif  // DSSDDI_ALGO_CTC_H_

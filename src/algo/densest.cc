@@ -1,0 +1,116 @@
+#include "algo/densest.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "algo/bfs.h"
+#include "util/logging.h"
+
+namespace dssddi::algo {
+namespace {
+
+// Shared peeling core. `peelable[v]` marks vertices that may be removed;
+// `active[v]` marks the starting vertex set. Returns the densest iterate.
+DenseSubgraph Peel(const graph::Graph& g, std::vector<char> active,
+                   const std::vector<char>& peelable) {
+  const int n = g.num_vertices();
+  std::vector<int> degree(n, 0);
+  long long alive_edges = 0;
+  int alive_vertices = 0;
+  for (int v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    ++alive_vertices;
+    for (int u : g.Neighbors(v)) {
+      if (active[u]) ++degree[v];
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (active[v]) alive_edges += degree[v];
+  }
+  alive_edges /= 2;
+
+  // Min-degree heap with lazy deletion.
+  using Entry = std::pair<int, int>;  // (degree, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int v = 0; v < n; ++v) {
+    if (active[v] && peelable[v]) heap.emplace(degree[v], v);
+  }
+
+  double best_density =
+      alive_vertices > 0 ? static_cast<double>(alive_edges) / alive_vertices : 0.0;
+  std::vector<char> best = active;
+
+  std::vector<char> removed(n, 0);
+  while (!heap.empty()) {
+    const auto [entry_degree, v] = heap.top();
+    heap.pop();
+    if (removed[v] || !active[v] || entry_degree != degree[v]) continue;  // stale
+
+    removed[v] = 1;
+    active[v] = 0;
+    --alive_vertices;
+    alive_edges -= degree[v];
+    for (int u : g.Neighbors(v)) {
+      if (!active[u]) continue;
+      --degree[u];
+      if (peelable[u]) heap.emplace(degree[u], u);
+    }
+    if (alive_vertices == 0) break;
+    const double density = static_cast<double>(alive_edges) / alive_vertices;
+    if (density > best_density) {
+      best_density = density;
+      best = active;
+    }
+  }
+
+  DenseSubgraph result;
+  result.density = best_density;
+  for (int v = 0; v < n; ++v) {
+    if (best[v]) result.vertices.push_back(v);
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.Edge(e);
+    if (best[u] && best[v]) result.edge_ids.push_back(e);
+  }
+  return result;
+}
+
+}  // namespace
+
+DenseSubgraph GreedyDensestSubgraph(const graph::Graph& g) {
+  std::vector<char> active(g.num_vertices(), 1);
+  std::vector<char> peelable(g.num_vertices(), 1);
+  if (g.num_vertices() == 0) return {};
+  return Peel(g, std::move(active), peelable);
+}
+
+DenseSubgraph AnchoredDensestSubgraph(const graph::Graph& g,
+                                      const std::vector<int>& anchors) {
+  const int n = g.num_vertices();
+  DSSDDI_CHECK(!anchors.empty()) << "anchored search needs at least one anchor";
+  for (int a : anchors) {
+    DSSDDI_CHECK(a >= 0 && a < n) << "anchor out of range";
+  }
+
+  // Restrict to the components containing anchors.
+  const std::vector<int> component = ConnectedComponents(g);
+  std::vector<char> anchor_component(n, 0);
+  std::vector<char> is_anchor(n, 0);
+  for (int a : anchors) {
+    is_anchor[a] = 1;
+    anchor_component[a] = 1;
+  }
+  for (int v = 0; v < n; ++v) {
+    for (int a : anchors) {
+      if (component[v] == component[a]) {
+        anchor_component[v] = 1;
+        break;
+      }
+    }
+  }
+  std::vector<char> peelable(n, 0);
+  for (int v = 0; v < n; ++v) peelable[v] = anchor_component[v] && !is_anchor[v];
+  return Peel(g, std::move(anchor_component), peelable);
+}
+
+}  // namespace dssddi::algo

@@ -1,0 +1,32 @@
+#ifndef DSSDDI_ALGO_DENSEST_H_
+#define DSSDDI_ALGO_DENSEST_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dssddi::algo {
+
+/// A subgraph with its average-degree density |E| / |V|.
+struct DenseSubgraph {
+  std::vector<int> vertices;
+  std::vector<int> edge_ids;  // into the input graph's edge list
+  double density = 0.0;
+};
+
+/// Charikar's greedy peeling: repeatedly remove a minimum-degree vertex
+/// and return the intermediate subgraph with the highest |E| / |V|. A
+/// 2-approximation of the densest subgraph. O((V + E) log V).
+DenseSubgraph GreedyDensestSubgraph(const graph::Graph& g);
+
+/// Anchored variant used by the Medical Support module as an alternative
+/// to the closest-truss-community explainer: anchors are never peeled, and
+/// peeling is restricted to the connected components containing them, so
+/// the result is a dense subgraph around the suggested drugs. Anchors
+/// isolated in g are returned as-is (density counts them as vertices).
+DenseSubgraph AnchoredDensestSubgraph(const graph::Graph& g,
+                                      const std::vector<int>& anchors);
+
+}  // namespace dssddi::algo
+
+#endif  // DSSDDI_ALGO_DENSEST_H_

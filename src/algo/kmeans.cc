@@ -1,0 +1,99 @@
+#include "algo/kmeans.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace dssddi::algo {
+
+KMeansResult KMeans(const tensor::Matrix& points, int k, util::Rng& rng,
+                    const KMeansOptions& options) {
+  const int n = points.rows();
+  const int d = points.cols();
+  DSSDDI_CHECK(k > 0 && k <= n) << "k-means requires 0 < k <= n (k=" << k
+                                << ", n=" << n << ")";
+  KMeansResult result;
+  result.centroids = tensor::Matrix(k, d);
+
+  // k-means++ seeding.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  int first = static_cast<int>(rng.NextBelow(n));
+  std::copy(points.RowPtr(first), points.RowPtr(first) + d, result.centroids.RowPtr(0));
+  for (int c = 1; c < k; ++c) {
+    for (int i = 0; i < n; ++i) {
+      const double dist = points.RowSquaredDistance(i, result.centroids, c - 1);
+      if (dist < min_dist[i]) min_dist[i] = dist;
+    }
+    double total = 0.0;
+    for (double v : min_dist) total += v;
+    int chosen;
+    if (total <= 1e-20) {
+      chosen = static_cast<int>(rng.NextBelow(n));  // all points coincide
+    } else {
+      double target = rng.NextDouble() * total;
+      double acc = 0.0;
+      chosen = n - 1;
+      for (int i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (target < acc) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    std::copy(points.RowPtr(chosen), points.RowPtr(chosen) + d,
+              result.centroids.RowPtr(c));
+  }
+
+  result.assignments.assign(n, 0);
+  std::vector<int> counts(k, 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double dist = points.RowSquaredDistance(i, result.centroids, c);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      result.inertia += best;
+    }
+    // Update step.
+    tensor::Matrix new_centroids(k, d, 0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignments[i];
+      ++counts[c];
+      float* dst = new_centroids.RowPtr(c);
+      const float* src = points.RowPtr(i);
+      for (int j = 0; j < d; ++j) dst[j] += src[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        const int i = static_cast<int>(rng.NextBelow(n));
+        std::copy(points.RowPtr(i), points.RowPtr(i) + d, new_centroids.RowPtr(c));
+        counts[c] = 1;
+        continue;
+      }
+      float* row = new_centroids.RowPtr(c);
+      for (int j = 0; j < d; ++j) row[j] /= static_cast<float>(counts[c]);
+    }
+    // Convergence check.
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      movement += new_centroids.RowSquaredDistance(c, result.centroids, c);
+    }
+    result.centroids = new_centroids;
+    if (movement < options.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace dssddi::algo

@@ -1,0 +1,35 @@
+#ifndef DSSDDI_ALGO_KMEANS_H_
+#define DSSDDI_ALGO_KMEANS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi::algo {
+
+struct KMeansResult {
+  /// Cluster index per input row.
+  std::vector<int> assignments;
+  /// k x d centroid matrix.
+  tensor::Matrix centroids;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  /// Convergence threshold on centroid movement (squared L2).
+  double tolerance = 1e-6;
+};
+
+/// Lloyd's K-means with k-means++ seeding. Used by the MD module to
+/// cluster patients when constructing the treatment matrix (paper Section
+/// IV-B1, step 2; k = number of chronic diseases in the observed data).
+KMeansResult KMeans(const tensor::Matrix& points, int k, util::Rng& rng,
+                    const KMeansOptions& options = {});
+
+}  // namespace dssddi::algo
+
+#endif  // DSSDDI_ALGO_KMEANS_H_

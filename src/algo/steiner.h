@@ -1,0 +1,35 @@
+#ifndef DSSDDI_ALGO_STEINER_H_
+#define DSSDDI_ALGO_STEINER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dssddi::algo {
+
+/// Result of an approximate Steiner tree computation: edge ids of the tree
+/// and the vertices it spans (terminals included).
+struct SteinerTree {
+  std::vector<int> edge_ids;
+  std::vector<int> vertices;
+  double total_weight = 0.0;
+  /// False when the terminals are not all in one connected component.
+  bool connected = false;
+};
+
+/// Mehlhorn's 2-approximation for the Steiner tree problem (Information
+/// Processing Letters 1988), as used by the CTC search (paper Section
+/// IV-C2a): multi-source shortest paths from the terminals induce a Voronoi
+/// partition; an MST over the induced terminal distance graph expands into
+/// graph paths; a final MST + leaf pruning yields the tree.
+SteinerTree MehlhornSteinerTree(const graph::Graph& g,
+                                const std::vector<int>& terminals,
+                                const std::vector<double>& edge_weights);
+
+/// Convenience overload with unit edge weights.
+SteinerTree MehlhornSteinerTree(const graph::Graph& g,
+                                const std::vector<int>& terminals);
+
+}  // namespace dssddi::algo
+
+#endif  // DSSDDI_ALGO_STEINER_H_

@@ -1,0 +1,213 @@
+#include "app/case_study.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dssddi::app {
+namespace {
+
+bool Taken(const CaseStudyInput& input, int patient, int drug) {
+  return input.dataset->medication.At(patient, drug) > 0.5f;
+}
+
+std::string DrugLabel(int drug, const std::vector<std::string>& drug_names) {
+  if (drug >= 0 && drug < static_cast<int>(drug_names.size())) {
+    return drug_names[drug] + " (DID " + std::to_string(drug) + ")";
+  }
+  return "DID " + std::to_string(drug);
+}
+
+void CheckInput(const CaseStudyInput& input) {
+  DSSDDI_CHECK(input.dataset != nullptr && input.test_patients != nullptr &&
+               input.scores_with_ddi != nullptr && input.scores_without_ddi != nullptr)
+      << "CaseStudyInput is incomplete";
+  DSSDDI_CHECK(input.scores_with_ddi->rows() ==
+               static_cast<int>(input.test_patients->size()))
+      << "score rows must align with test_patients";
+  DSSDDI_CHECK(input.scores_with_ddi->SameShape(*input.scores_without_ddi))
+      << "the two score matrices must have identical shape";
+}
+
+}  // namespace
+
+std::string CaseKindName(CaseKind kind) {
+  switch (kind) {
+    case CaseKind::kSynergisticLift: return "synergistic lift";
+    case CaseKind::kAntagonisticDrop: return "antagonistic drop";
+    case CaseKind::kIndirectSimilarity: return "indirect DDI similarity";
+    case CaseKind::kGroundTruthDeviation: return "deviation from ground truth";
+  }
+  return "unknown";
+}
+
+int RankOf(const tensor::Matrix& scores, int row, int drug) {
+  int rank = 1;
+  for (int v = 0; v < scores.cols(); ++v) {
+    if (v != drug && scores.At(row, v) > scores.At(row, drug)) ++rank;
+  }
+  return rank;
+}
+
+std::optional<RankMovement> FindSynergisticLift(const CaseStudyInput& input) {
+  CheckInput(input);
+  const auto& test = *input.test_patients;
+  std::optional<RankMovement> best;
+  for (size_t r = 0; r < test.size(); ++r) {
+    const int patient = test[r];
+    for (const auto& edge : input.dataset->ddi.edges()) {
+      if (edge.sign != graph::EdgeSign::kSynergistic) continue;
+      for (auto [drug, partner] :
+           {std::pair{edge.u, edge.v}, std::pair{edge.v, edge.u}}) {
+        if (!Taken(input, patient, drug) || !Taken(input, patient, partner)) continue;
+        RankMovement movement;
+        movement.kind = CaseKind::kSynergisticLift;
+        movement.patient = patient;
+        movement.test_row = static_cast<int>(r);
+        movement.drug = drug;
+        movement.partner = partner;
+        movement.rank_without = RankOf(*input.scores_without_ddi, movement.test_row, drug);
+        movement.rank_with = RankOf(*input.scores_with_ddi, movement.test_row, drug);
+        if (movement.Lift() > 0 && (!best || movement.Lift() > best->Lift())) {
+          best = movement;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<RankMovement> FindAntagonisticDrop(const CaseStudyInput& input) {
+  CheckInput(input);
+  const auto& test = *input.test_patients;
+  std::optional<RankMovement> best;
+  for (size_t r = 0; r < test.size(); ++r) {
+    const int patient = test[r];
+    for (const auto& edge : input.dataset->ddi.edges()) {
+      if (edge.sign != graph::EdgeSign::kAntagonistic) continue;
+      for (auto [drug, partner] :
+           {std::pair{edge.u, edge.v}, std::pair{edge.v, edge.u}}) {
+        if (Taken(input, patient, drug) || !Taken(input, patient, partner)) continue;
+        RankMovement movement;
+        movement.kind = CaseKind::kAntagonisticDrop;
+        movement.patient = patient;
+        movement.test_row = static_cast<int>(r);
+        movement.drug = drug;
+        movement.partner = partner;
+        movement.rank_without = RankOf(*input.scores_without_ddi, movement.test_row, drug);
+        movement.rank_with = RankOf(*input.scores_with_ddi, movement.test_row, drug);
+        // A drop means Lift() is negative; pick the most negative.
+        if (movement.Lift() < 0 && (!best || movement.Lift() < best->Lift())) {
+          best = movement;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<RankMovement> FindGroundTruthDeviation(const CaseStudyInput& input) {
+  CheckInput(input);
+  const auto& test = *input.test_patients;
+  std::optional<RankMovement> best;
+  for (size_t r = 0; r < test.size(); ++r) {
+    const int patient = test[r];
+    for (const auto& edge : input.dataset->ddi.edges()) {
+      if (edge.sign != graph::EdgeSign::kAntagonistic) continue;
+      if (!Taken(input, patient, edge.u) || !Taken(input, patient, edge.v)) continue;
+      for (auto [kept, downgraded] :
+           {std::pair{edge.u, edge.v}, std::pair{edge.v, edge.u}}) {
+        RankMovement movement;
+        movement.kind = CaseKind::kGroundTruthDeviation;
+        movement.patient = patient;
+        movement.test_row = static_cast<int>(r);
+        movement.drug = downgraded;
+        movement.partner = kept;
+        movement.rank_without =
+            RankOf(*input.scores_without_ddi, movement.test_row, downgraded);
+        movement.rank_with = RankOf(*input.scores_with_ddi, movement.test_row, downgraded);
+        if (movement.Lift() < 0 && (!best || movement.Lift() < best->Lift())) {
+          best = movement;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+IndirectSimilarity MeasureIndirectSimilarity(const tensor::Matrix& embeddings,
+                                             const graph::SignedGraph& ddi,
+                                             int drug_a, int drug_b) {
+  DSSDDI_CHECK(drug_a >= 0 && drug_a < embeddings.rows() && drug_b >= 0 &&
+               drug_b < embeddings.rows())
+      << "drug id out of range";
+  IndirectSimilarity result;
+  result.drug_a = drug_a;
+  result.drug_b = drug_b;
+
+  const tensor::Matrix row = embeddings.GatherRows({drug_a});
+  const tensor::Matrix sim = tensor::Matrix::CosineSimilarity(row, embeddings);
+  result.pair_cosine = sim.At(0, drug_b);
+  double mean = 0.0;
+  for (int v = 0; v < sim.cols(); ++v) {
+    if (v != drug_a) mean += sim.At(0, v);
+  }
+  result.mean_cosine = static_cast<float>(mean / std::max(1, sim.cols() - 1));
+
+  for (int partner : ddi.NegativeNeighbors(drug_a)) {
+    const auto& b_partners = ddi.NegativeNeighbors(drug_b);
+    if (std::find(b_partners.begin(), b_partners.end(), partner) != b_partners.end()) {
+      result.shared_antagonists.push_back(partner);
+    }
+  }
+  return result;
+}
+
+std::vector<IndirectSimilarity> TopIndirectPairs(const tensor::Matrix& embeddings,
+                                                 const graph::SignedGraph& ddi,
+                                                 int limit) {
+  std::vector<IndirectSimilarity> pairs;
+  const int n = ddi.num_vertices();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (ddi.HasInteraction(a, b)) continue;
+      auto measured = MeasureIndirectSimilarity(embeddings, ddi, a, b);
+      if (!measured.shared_antagonists.empty()) pairs.push_back(std::move(measured));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const IndirectSimilarity& x, const IndirectSimilarity& y) {
+              if (x.shared_antagonists.size() != y.shared_antagonists.size()) {
+                return x.shared_antagonists.size() > y.shared_antagonists.size();
+              }
+              return x.pair_cosine > y.pair_cosine;
+            });
+  if (static_cast<int>(pairs.size()) > limit) pairs.resize(limit);
+  return pairs;
+}
+
+std::string RenderMovement(const RankMovement& movement,
+                           const std::vector<std::string>& drug_names) {
+  std::ostringstream out;
+  out << "[" << CaseKindName(movement.kind) << "] patient " << movement.patient
+      << ": " << DrugLabel(movement.drug, drug_names) << " rank "
+      << movement.rank_without << " -> " << movement.rank_with;
+  switch (movement.kind) {
+    case CaseKind::kSynergisticLift:
+      out << " (synergy with " << DrugLabel(movement.partner, drug_names) << ")";
+      break;
+    case CaseKind::kAntagonisticDrop:
+      out << " (antagonistic to taken " << DrugLabel(movement.partner, drug_names) << ")";
+      break;
+    case CaseKind::kGroundTruthDeviation:
+      out << " (taken together with antagonist "
+          << DrugLabel(movement.partner, drug_names) << "; safer but off-label)";
+      break;
+    case CaseKind::kIndirectSimilarity:
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace dssddi::app

@@ -1,0 +1,96 @@
+#ifndef DSSDDI_APP_CASE_STUDY_H_
+#define DSSDDI_APP_CASE_STUDY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace dssddi::app {
+
+/// The four DDI-effect archetypes of paper Fig. 9 / Section VI.
+enum class CaseKind {
+  kSynergisticLift,      // Case 1: a taken drug rises beside its synergist
+  kAntagonisticDrop,     // Case 2: an untaken antagonist of a taken drug falls
+  kIndirectSimilarity,   // Case 3: shared antagonists -> similar embeddings
+  kGroundTruthDeviation, // Case 4: safer ranking that contradicts the label
+};
+
+std::string CaseKindName(CaseKind kind);
+
+/// A rank movement of one drug for one patient between the DDI-free and
+/// DDI-aware score matrices.
+struct RankMovement {
+  CaseKind kind = CaseKind::kSynergisticLift;
+  int patient = -1;       // dataset patient id
+  int test_row = -1;      // row in the score matrices
+  int drug = -1;          // the drug that moved
+  int partner = -1;       // the interacting drug that caused the movement
+  int rank_without = 0;   // 1-based rank under the w/o-DDI scores
+  int rank_with = 0;      // 1-based rank under the w/-DDI scores
+
+  /// Positive when the drug moved toward the top of the list.
+  int Lift() const { return rank_without - rank_with; }
+};
+
+/// 1-based rank of `drug` in patient row `row` of `scores` (rank 1 is the
+/// highest-scored drug; ties resolve in favour of `drug`).
+int RankOf(const tensor::Matrix& scores, int row, int drug);
+
+/// Inputs shared by the case finders: per-test-row scores produced by the
+/// same system with and without the DDI module, over `test_patients`.
+struct CaseStudyInput {
+  const data::SuggestionDataset* dataset = nullptr;
+  const std::vector<int>* test_patients = nullptr;
+  const tensor::Matrix* scores_with_ddi = nullptr;
+  const tensor::Matrix* scores_without_ddi = nullptr;
+};
+
+/// Case 1: the taken drug with the largest rank lift whose synergistic
+/// partner is also taken. Empty when no such movement exists.
+std::optional<RankMovement> FindSynergisticLift(const CaseStudyInput& input);
+
+/// Case 2: the *untaken* drug with the largest rank drop that is
+/// antagonistic to a taken drug.
+std::optional<RankMovement> FindAntagonisticDrop(const CaseStudyInput& input);
+
+/// Case 4: a patient taking both ends of an antagonistic pair where the
+/// DDI-aware system downgrades one end (deviating from the label).
+std::optional<RankMovement> FindGroundTruthDeviation(const CaseStudyInput& input);
+
+/// Case 3 evidence: embedding similarity of a drug pair vs. the mean
+/// similarity of the first drug to all others.
+struct IndirectSimilarity {
+  int drug_a = -1;
+  int drug_b = -1;
+  float pair_cosine = 0.0f;
+  float mean_cosine = 0.0f;
+  /// Antagonistic partners the pair has in common (the indirect channel).
+  std::vector<int> shared_antagonists;
+};
+
+/// Measures how similar DDIGCN's embeddings make `drug_a` and `drug_b`
+/// (paper's Amlodipine/Felodipine pair) relative to the background, and
+/// lists the shared antagonistic partners that connect them indirectly.
+IndirectSimilarity MeasureIndirectSimilarity(const tensor::Matrix& embeddings,
+                                             const graph::SignedGraph& ddi,
+                                             int drug_a, int drug_b);
+
+/// Ranks drug pairs without a direct interaction by how many antagonistic
+/// partners they share (candidates for Case 3). Returns up to `limit`
+/// pairs, most-shared first.
+std::vector<IndirectSimilarity> TopIndirectPairs(const tensor::Matrix& embeddings,
+                                                 const graph::SignedGraph& ddi,
+                                                 int limit);
+
+/// Renders one movement as the paper's case-study line, e.g.
+/// "patient 2417: Perindopril (DID 5) rank 5 -> 4 (synergy with
+/// Indapamide (DID 10))".
+std::string RenderMovement(const RankMovement& movement,
+                           const std::vector<std::string>& drug_names);
+
+}  // namespace dssddi::app
+
+#endif  // DSSDDI_APP_CASE_STUDY_H_

@@ -1,0 +1,65 @@
+#include "app/importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dssddi::app {
+
+std::vector<FeatureAttribution> OcclusionImportance(
+    const ScoreFn& score, const tensor::Matrix& x_row, int drug,
+    const std::vector<float>& baseline) {
+  DSSDDI_CHECK(x_row.rows() >= 1) << "need one patient row";
+  DSSDDI_CHECK(baseline.empty() ||
+               static_cast<int>(baseline.size()) == x_row.cols())
+      << "baseline width mismatch";
+  const int d = x_row.cols();
+
+  // Row 0: the unmodified patient; row j+1: feature j occluded.
+  tensor::Matrix batch(d + 1, d);
+  for (int r = 0; r < d + 1; ++r) {
+    std::copy(x_row.RowPtr(0), x_row.RowPtr(0) + d, batch.RowPtr(r));
+  }
+  for (int j = 0; j < d; ++j) {
+    batch.At(j + 1, j) = baseline.empty() ? 0.0f : baseline[j];
+  }
+
+  const tensor::Matrix scores = score(batch);
+  DSSDDI_CHECK(scores.rows() == d + 1) << "scorer changed the batch size";
+  DSSDDI_CHECK(drug >= 0 && drug < scores.cols()) << "drug id out of range";
+
+  const float reference = scores.At(0, drug);
+  std::vector<FeatureAttribution> attributions(d);
+  for (int j = 0; j < d; ++j) {
+    attributions[j].feature = j;
+    attributions[j].delta = reference - scores.At(j + 1, drug);
+  }
+  std::sort(attributions.begin(), attributions.end(),
+            [](const FeatureAttribution& a, const FeatureAttribution& b) {
+              return std::fabs(a.delta) > std::fabs(b.delta);
+            });
+  return attributions;
+}
+
+std::string RenderImportance(const std::vector<FeatureAttribution>& attributions,
+                             const std::vector<std::string>& feature_names,
+                             int top) {
+  std::ostringstream out;
+  const int shown = std::min<int>(top, static_cast<int>(attributions.size()));
+  for (int i = 0; i < shown; ++i) {
+    const auto& attribution = attributions[i];
+    const std::string name =
+        attribution.feature < static_cast<int>(feature_names.size())
+            ? feature_names[attribution.feature]
+            : "f" + std::to_string(attribution.feature);
+    out << (attribution.delta >= 0 ? "  +" : "  -") << std::fixed
+        << std::setprecision(4) << std::fabs(attribution.delta) << "  " << name
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dssddi::app

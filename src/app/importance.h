@@ -1,0 +1,44 @@
+#ifndef DSSDDI_APP_IMPORTANCE_H_
+#define DSSDDI_APP_IMPORTANCE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dssddi::app {
+
+/// Contribution of one patient feature to a drug's suggestion score.
+struct FeatureAttribution {
+  int feature = -1;
+  /// score(x) - score(x with the feature occluded): positive means the
+  /// feature pushed the drug up the list.
+  float delta = 0.0f;
+};
+
+/// Model scorer: raw patient features (n x d1) -> suggestion scores
+/// (n x |V|). Both core::DssddiSystem (via MdModule::PredictScores) and
+/// io::InferenceBundle satisfy this shape.
+using ScoreFn = std::function<tensor::Matrix(const tensor::Matrix&)>;
+
+/// Occlusion-based feature attribution for one patient and one drug:
+/// each feature is replaced by its baseline value (0, or `baseline[j]`
+/// when provided — typically the cohort mean) and the drop in the drug's
+/// score is recorded. Results are sorted by |delta|, largest first.
+///
+/// All d1+1 model evaluations are batched into a single score call, so
+/// the cost is one forward pass over d1+1 rows.
+std::vector<FeatureAttribution> OcclusionImportance(
+    const ScoreFn& score, const tensor::Matrix& x_row, int drug,
+    const std::vector<float>& baseline = {});
+
+/// Renders the top-`top` attributions as signed lines
+/// ("+0.12  history_Hypertension").
+std::string RenderImportance(const std::vector<FeatureAttribution>& attributions,
+                             const std::vector<std::string>& feature_names,
+                             int top = 8);
+
+}  // namespace dssddi::app
+
+#endif  // DSSDDI_APP_IMPORTANCE_H_

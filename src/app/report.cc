@@ -1,0 +1,145 @@
+#include "app/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace dssddi::app {
+namespace {
+
+std::string DrugLabel(int drug, const std::vector<std::string>& drug_names) {
+  if (drug >= 0 && drug < static_cast<int>(drug_names.size())) {
+    return drug_names[drug] + " (DID " + std::to_string(drug) + ")";
+  }
+  return "DID " + std::to_string(drug);
+}
+
+std::string Rule(char fill, int width) { return std::string(width, fill); }
+
+}  // namespace
+
+std::string RenderClinicReport(const core::Suggestion& suggestion,
+                               const std::vector<std::string>& drug_names,
+                               const std::vector<std::string>& feature_names,
+                               const std::vector<float>& features,
+                               const ReportOptions& options) {
+  const auto& exp = suggestion.explanation;
+  std::ostringstream out;
+  out << Rule('=', options.rule_width) << "\n";
+  out << "DSSDDI medication suggestion";
+  if (!options.patient_label.empty()) out << " — patient " << options.patient_label;
+  out << "\n" << Rule('=', options.rule_width) << "\n";
+
+  // Patient snapshot: the most salient features by absolute value.
+  if (options.max_patient_features > 0 && !feature_names.empty() &&
+      feature_names.size() == features.size()) {
+    std::vector<int> order(features.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return std::fabs(features[a]) > std::fabs(features[b]);
+    });
+    out << "Patient snapshot:\n";
+    const int shown = std::min<int>(options.max_patient_features,
+                                    static_cast<int>(order.size()));
+    for (int i = 0; i < shown; ++i) {
+      const int j = order[i];
+      out << "  " << feature_names[j] << ": " << std::fixed << std::setprecision(2)
+          << features[j] << "\n";
+    }
+    out << Rule('-', options.rule_width) << "\n";
+  }
+
+  out << "Suggested drugs (" << suggestion.drugs.size() << "):\n";
+  for (size_t i = 0; i < suggestion.drugs.size(); ++i) {
+    out << "  " << (i + 1) << ". " << DrugLabel(suggestion.drugs[i], drug_names);
+    if (options.show_scores && i < suggestion.scores.size()) {
+      out << "  [score " << std::fixed << std::setprecision(3)
+          << suggestion.scores[i] << "]";
+    }
+    out << "\n";
+  }
+
+  out << Rule('-', options.rule_width) << "\n";
+  out << "Why these drugs (Medical Support):\n";
+  if (exp.synergies_within.empty()) {
+    out << "  Synergism: none among the suggested drugs.\n";
+  } else {
+    out << "  Synergism:\n";
+    for (const auto& e : exp.synergies_within) {
+      out << "    + " << DrugLabel(e.drug_u, drug_names) << " with "
+          << DrugLabel(e.drug_v, drug_names) << "\n";
+    }
+  }
+  if (!exp.antagonisms_within.empty()) {
+    out << "  WARNING — antagonism inside the suggestion:\n";
+    for (const auto& e : exp.antagonisms_within) {
+      out << "    x " << DrugLabel(e.drug_u, drug_names) << " against "
+          << DrugLabel(e.drug_v, drug_names) << "\n";
+    }
+  }
+  if (!exp.antagonisms_outward.empty()) {
+    out << "  Avoided antagonistic partners (not suggested):\n";
+    for (const auto& e : exp.antagonisms_outward) {
+      out << "    - " << DrugLabel(e.drug_v, drug_names) << " (antagonizes "
+          << DrugLabel(e.drug_u, drug_names) << ")\n";
+    }
+  }
+
+  if (options.show_subgraph_stats) {
+    out << Rule('-', options.rule_width) << "\n";
+    out << "Explanation subgraph: " << exp.subgraph_drugs.size()
+        << " drugs, trussness " << exp.trussness << ", diameter " << exp.diameter
+        << "\n";
+  }
+  out << "Suggestion Satisfaction: " << std::fixed << std::setprecision(4)
+      << exp.suggestion_satisfaction << "\n";
+  out << Rule('=', options.rule_width) << "\n";
+  return out.str();
+}
+
+std::vector<SafetyFlag> AuditSuggestion(const std::vector<int>& suggested_drugs,
+                                        const std::vector<int>& current_drugs,
+                                        const graph::SignedGraph& ddi) {
+  std::vector<SafetyFlag> flags;
+  // Antagonisms within the suggestion.
+  for (size_t i = 0; i < suggested_drugs.size(); ++i) {
+    for (size_t j = i + 1; j < suggested_drugs.size(); ++j) {
+      if (ddi.SignOf(suggested_drugs[i], suggested_drugs[j]) ==
+          graph::EdgeSign::kAntagonistic) {
+        flags.push_back({suggested_drugs[i], suggested_drugs[j], true});
+      }
+    }
+  }
+  // Antagonisms between the suggestion and the current regimen (skip
+  // drugs already counted as within-suggestion).
+  for (int suggested : suggested_drugs) {
+    for (int current : current_drugs) {
+      if (current == suggested) continue;
+      if (std::find(suggested_drugs.begin(), suggested_drugs.end(), current) !=
+          suggested_drugs.end()) {
+        continue;
+      }
+      if (ddi.SignOf(suggested, current) == graph::EdgeSign::kAntagonistic) {
+        flags.push_back({suggested, current, false});
+      }
+    }
+  }
+  return flags;
+}
+
+std::string RenderSafetyFlags(const std::vector<SafetyFlag>& flags,
+                              const std::vector<std::string>& drug_names) {
+  if (flags.empty()) return "No antagonistic interactions detected.\n";
+  std::ostringstream out;
+  for (const auto& flag : flags) {
+    out << "WARNING: " << DrugLabel(flag.drug_u, drug_names) << " antagonizes "
+        << DrugLabel(flag.drug_v, drug_names)
+        << (flag.within_suggestion ? " (both suggested)"
+                                   : " (currently taken)")
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dssddi::app

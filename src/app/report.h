@@ -1,0 +1,65 @@
+#ifndef DSSDDI_APP_REPORT_H_
+#define DSSDDI_APP_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dssddi_system.h"
+#include "data/dataset.h"
+
+namespace dssddi::app {
+
+/// Rendering options for the doctor-facing suggestion report.
+struct ReportOptions {
+  /// Patient identifier printed in the header (free-form; clinics use
+  /// their own record numbers).
+  std::string patient_label;
+  /// Show the raw model score next to each suggested drug.
+  bool show_scores = true;
+  /// Show the Medical Support subgraph statistics (size / trussness /
+  /// diameter) under the interaction lists.
+  bool show_subgraph_stats = true;
+  /// Show up to this many notable patient features (by absolute value)
+  /// when feature names are supplied; 0 hides the section.
+  int max_patient_features = 6;
+  /// Width of the separator rules.
+  int rule_width = 62;
+};
+
+/// One safety flag raised by AuditSuggestion: an antagonistic interaction
+/// inside a drug set a patient is (or would be) taking.
+struct SafetyFlag {
+  int drug_u = -1;
+  int drug_v = -1;
+  /// True when both drugs are in the suggested set; false when one side
+  /// comes from the patient's current medication.
+  bool within_suggestion = true;
+};
+
+/// Renders the system output panel of paper Fig. 1 / Fig. 4(c): the
+/// suggested drugs, the synergism/antagonism explanation extracted by the
+/// Medical Support module, and the Suggestion Satisfaction score.
+/// `drug_names` indexes drug ids; `feature_names`/`features` are optional
+/// (pass empty to omit the patient snapshot).
+std::string RenderClinicReport(const core::Suggestion& suggestion,
+                               const std::vector<std::string>& drug_names,
+                               const std::vector<std::string>& feature_names,
+                               const std::vector<float>& features,
+                               const ReportOptions& options = {});
+
+/// Cross-checks a suggested drug set against the DDI graph and a
+/// patient's current medication row (may be empty): every antagonistic
+/// pair inside the union is flagged. The decision support system should
+/// produce far fewer flags than naive popularity ranking — this is the
+/// programmatic form of the paper's safety claim.
+std::vector<SafetyFlag> AuditSuggestion(const std::vector<int>& suggested_drugs,
+                                        const std::vector<int>& current_drugs,
+                                        const graph::SignedGraph& ddi);
+
+/// Renders audit flags as warning lines ("WARNING: X antagonizes Y").
+std::string RenderSafetyFlags(const std::vector<SafetyFlag>& flags,
+                              const std::vector<std::string>& drug_names);
+
+}  // namespace dssddi::app
+
+#endif  // DSSDDI_APP_REPORT_H_

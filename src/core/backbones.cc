@@ -1,0 +1,349 @@
+#include "core/backbones.h"
+
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace dssddi::core {
+
+namespace {
+
+using tensor::Matrix;
+using tensor::Tensor;
+
+/// One-hot drug-ID input features (identity matrix), shared by all
+/// backbones per the paper's DDI-module design.
+Tensor OneHotInput(int num_drugs) {
+  return Tensor::Constant(Matrix::Identity(num_drugs));
+}
+
+
+/// Differentiable transpose (autograd node); used by the attention
+/// backbones for q q^T and rank-1 logit construction.
+Tensor TransposeTensor(const Tensor& t) {
+  auto nt = t.node();
+  auto node = std::make_shared<tensor::TensorNode>();
+  node->value = nt->value.Transpose();
+  node->parents = {nt};
+  node->requires_grad = nt->requires_grad;
+  node->backward_fn = [nt](tensor::TensorNode& self) {
+    if (!(nt->requires_grad)) return;
+    nt->EnsureGrad();
+    nt->grad.AddInPlace(self.grad.Transpose());
+  };
+  return Tensor::FromNode(std::move(node));
+}
+
+/// GIN backbone (Eq. 1): z <- MLP((1 + eps) z + mean_{u in N(v)} z_u),
+/// batch norm + ReLU after each layer (paper Section V-A3).
+class GinBackbone : public DdiBackbone {
+ public:
+  GinBackbone(const graph::SignedGraph& ddi, const BackboneConfig& config,
+              util::Rng& rng)
+      : mean_adj_(ddi.MeanAdjacency()),
+        input_(OneHotInput(ddi.num_vertices())),
+        hidden_dim_(config.hidden_dim) {
+    int in_dim = ddi.num_vertices();
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      mlps_.emplace_back(std::vector<int>{in_dim, config.hidden_dim, config.hidden_dim},
+                         rng, tensor::Activation::kRelu);
+      norms_.emplace_back(config.hidden_dim);
+      eps_.push_back(Tensor::Parameter(Matrix::Scalar(0.0f)));
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  Tensor Forward() override {
+    Tensor z = input_;
+    for (size_t layer = 0; layer < mlps_.size(); ++layer) {
+      const Tensor one_plus_eps = tensor::AddScalar(eps_[layer], 1.0f);
+      Tensor pre = tensor::Add(tensor::ScalarMul(z, one_plus_eps),
+                               tensor::SpMM(mean_adj_, z));
+      z = tensor::Relu(norms_[layer].Forward(mlps_[layer].Forward(pre)));
+    }
+    return z;
+  }
+
+  std::vector<Tensor> Parameters() const override {
+    std::vector<Tensor> params;
+    for (size_t i = 0; i < mlps_.size(); ++i) {
+      auto p = mlps_[i].Parameters();
+      params.insert(params.end(), p.begin(), p.end());
+      auto n = norms_[i].Parameters();
+      params.insert(params.end(), n.begin(), n.end());
+      params.push_back(eps_[i]);
+    }
+    return params;
+  }
+
+  int output_dim() const override { return hidden_dim_; }
+
+ private:
+  tensor::CsrMatrix mean_adj_;
+  Tensor input_;
+  int hidden_dim_;
+  std::vector<tensor::Mlp> mlps_;
+  std::vector<tensor::BatchNormLayer> norms_;
+  std::vector<Tensor> eps_;
+};
+
+/// SGCN backbone (Eq. 2-4): separate "balanced" (synergistic-path) and
+/// "unbalanced" (antagonistic-path) hidden states whose aggregations swap
+/// across negative edges; the final embedding concatenates both halves.
+class SgcnBackbone : public DdiBackbone {
+ public:
+  SgcnBackbone(const graph::SignedGraph& ddi, const BackboneConfig& config,
+               util::Rng& rng)
+      : pos_adj_(ddi.MeanAdjacency(graph::EdgeSign::kSynergistic)),
+        neg_adj_(ddi.MeanAdjacency(graph::EdgeSign::kAntagonistic)),
+        input_(OneHotInput(ddi.num_vertices())),
+        half_dim_(config.hidden_dim / 2) {
+    DSSDDI_CHECK(config.hidden_dim % 2 == 0) << "SGCN needs an even hidden dim";
+    int in_dim = ddi.num_vertices();
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      // Each tower consumes [agg_same, agg_cross, self] = 3 * in_dim for
+      // the first layer and 3 * half_dim afterwards.
+      const int concat_dim = 3 * in_dim;
+      balanced_.emplace_back(concat_dim, half_dim_, rng, tensor::Activation::kTanh);
+      unbalanced_.emplace_back(concat_dim, half_dim_, rng, tensor::Activation::kTanh);
+      in_dim = half_dim_;
+    }
+  }
+
+  Tensor Forward() override {
+    Tensor hb = input_;
+    Tensor hu = input_;
+    for (size_t layer = 0; layer < balanced_.size(); ++layer) {
+      Tensor hb_in = tensor::ConcatCols(
+          tensor::ConcatCols(tensor::SpMM(pos_adj_, hb), tensor::SpMM(neg_adj_, hu)), hb);
+      Tensor hu_in = tensor::ConcatCols(
+          tensor::ConcatCols(tensor::SpMM(pos_adj_, hu), tensor::SpMM(neg_adj_, hb)), hu);
+      hb = balanced_[layer].Forward(hb_in);
+      hu = unbalanced_[layer].Forward(hu_in);
+    }
+    return tensor::ConcatCols(hb, hu);
+  }
+
+  std::vector<Tensor> Parameters() const override {
+    std::vector<Tensor> params;
+    for (size_t i = 0; i < balanced_.size(); ++i) {
+      for (const auto& layer : {&balanced_[i], &unbalanced_[i]}) {
+        auto p = layer->Parameters();
+        params.insert(params.end(), p.begin(), p.end());
+      }
+    }
+    return params;
+  }
+
+  int output_dim() const override { return 2 * half_dim_; }
+
+ private:
+  tensor::CsrMatrix pos_adj_;
+  tensor::CsrMatrix neg_adj_;
+  Tensor input_;
+  int half_dim_;
+  std::vector<tensor::Linear> balanced_;
+  std::vector<tensor::Linear> unbalanced_;
+};
+
+/// Dense -inf mask with zeros on the given sign's edges and the diagonal
+/// (self-attention keeps rows without same-sign neighbors well-defined).
+Matrix AttentionMask(const graph::SignedGraph& ddi, graph::EdgeSign sign) {
+  const int n = ddi.num_vertices();
+  Matrix mask(n, n, -1e9f);
+  for (int v = 0; v < n; ++v) mask.At(v, v) = 0.0f;
+  const auto neighbors = [&](int v) -> const std::vector<int>& {
+    return sign == graph::EdgeSign::kSynergistic ? ddi.PositiveNeighbors(v)
+                                                 : ddi.NegativeNeighbors(v);
+  };
+  for (int v = 0; v < n; ++v) {
+    for (int u : neighbors(v)) mask.At(v, u) = 0.0f;
+  }
+  return mask;
+}
+
+/// SiGAT-style backbone: per-sign scaled dot-product attention over the
+/// signed neighborhoods, combined through a linear layer.
+class SigatBackbone : public DdiBackbone {
+ public:
+  SigatBackbone(const graph::SignedGraph& ddi, const BackboneConfig& config,
+                util::Rng& rng)
+      : input_(OneHotInput(ddi.num_vertices())),
+        pos_mask_(Tensor::Constant(AttentionMask(ddi, graph::EdgeSign::kSynergistic))),
+        neg_mask_(Tensor::Constant(AttentionMask(ddi, graph::EdgeSign::kAntagonistic))),
+        hidden_dim_(config.hidden_dim) {
+    int in_dim = ddi.num_vertices();
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      pos_proj_.emplace_back(in_dim, config.hidden_dim, rng);
+      neg_proj_.emplace_back(in_dim, config.hidden_dim, rng);
+      combine_.emplace_back(in_dim + 2 * config.hidden_dim, config.hidden_dim, rng,
+                            tensor::Activation::kTanh);
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  Tensor Forward() override {
+    Tensor h = input_;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_dim_));
+    for (size_t layer = 0; layer < combine_.size(); ++layer) {
+      auto attend = [&](const tensor::Linear& proj, const Tensor& mask) {
+        Tensor q = proj.Forward(h);
+        Tensor logits = tensor::Scale(tensor::MatMul(q, TransposeTensor(q)), scale);
+        Tensor att = tensor::RowSoftmax(tensor::Add(logits, mask));
+        return tensor::MatMul(att, q);
+      };
+      Tensor agg_pos = attend(pos_proj_[layer], pos_mask_);
+      Tensor agg_neg = attend(neg_proj_[layer], neg_mask_);
+      h = combine_[layer].Forward(
+          tensor::ConcatCols(tensor::ConcatCols(h, agg_pos), agg_neg));
+    }
+    return h;
+  }
+
+  std::vector<Tensor> Parameters() const override {
+    std::vector<Tensor> params;
+    for (size_t i = 0; i < combine_.size(); ++i) {
+      for (const auto* layer : {&pos_proj_[i], &neg_proj_[i], &combine_[i]}) {
+        auto p = layer->Parameters();
+        params.insert(params.end(), p.begin(), p.end());
+      }
+    }
+    return params;
+  }
+
+  int output_dim() const override { return hidden_dim_; }
+
+ private:
+  Tensor input_;
+  Tensor pos_mask_;
+  Tensor neg_mask_;
+  int hidden_dim_;
+  std::vector<tensor::Linear> pos_proj_;
+  std::vector<tensor::Linear> neg_proj_;
+  std::vector<tensor::Linear> combine_;
+};
+
+/// SNEA-style backbone: additive (GAT-like) attention with separate
+/// source/target attention vectors per sign, LeakyReLU on the logits.
+class SneaBackbone : public DdiBackbone {
+ public:
+  SneaBackbone(const graph::SignedGraph& ddi, const BackboneConfig& config,
+               util::Rng& rng)
+      : input_(OneHotInput(ddi.num_vertices())),
+        pos_mask_(Tensor::Constant(AttentionMask(ddi, graph::EdgeSign::kSynergistic))),
+        neg_mask_(Tensor::Constant(AttentionMask(ddi, graph::EdgeSign::kAntagonistic))),
+        ones_row_(Tensor::Constant(Matrix::Ones(ddi.num_vertices(), 1))),
+        hidden_dim_(config.hidden_dim) {
+    int in_dim = ddi.num_vertices();
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      pos_proj_.emplace_back(in_dim, config.hidden_dim, rng);
+      neg_proj_.emplace_back(in_dim, config.hidden_dim, rng);
+      pos_att_src_.push_back(Tensor::Parameter(
+          tensor::XavierUniform(config.hidden_dim, 1, rng)));
+      pos_att_dst_.push_back(Tensor::Parameter(
+          tensor::XavierUniform(config.hidden_dim, 1, rng)));
+      neg_att_src_.push_back(Tensor::Parameter(
+          tensor::XavierUniform(config.hidden_dim, 1, rng)));
+      neg_att_dst_.push_back(Tensor::Parameter(
+          tensor::XavierUniform(config.hidden_dim, 1, rng)));
+      combine_.emplace_back(2 * config.hidden_dim, config.hidden_dim, rng,
+                            tensor::Activation::kTanh);
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  Tensor Forward() override {
+    Tensor h = input_;
+    for (size_t layer = 0; layer < combine_.size(); ++layer) {
+      auto attend = [&](const tensor::Linear& proj, const Tensor& att_src,
+                        const Tensor& att_dst, const Tensor& mask) {
+        Tensor q = proj.Forward(h);  // n x d
+        // logits_{uv} = leakyrelu(a_src^T q_u + a_dst^T q_v):
+        // (q a_src) 1^T + 1 (q a_dst)^T via two rank-1 matmuls.
+        Tensor src_scores = tensor::MatMul(q, att_src);   // n x 1
+        Tensor dst_scores = tensor::MatMul(q, att_dst);   // n x 1
+        Tensor logits = tensor::Add(
+            tensor::MatMul(src_scores, OnesRowTransposed()),
+            tensor::MatMul(ones_row_, TransposeTensor(dst_scores)));
+        logits = tensor::LeakyRelu(logits, 0.2f);
+        Tensor att = tensor::RowSoftmax(tensor::Add(logits, mask));
+        return tensor::MatMul(att, q);
+      };
+      Tensor agg_pos = attend(pos_proj_[layer], pos_att_src_[layer],
+                              pos_att_dst_[layer], pos_mask_);
+      Tensor agg_neg = attend(neg_proj_[layer], neg_att_src_[layer],
+                              neg_att_dst_[layer], neg_mask_);
+      h = combine_[layer].Forward(tensor::ConcatCols(agg_pos, agg_neg));
+    }
+    return h;
+  }
+
+  std::vector<Tensor> Parameters() const override {
+    std::vector<Tensor> params;
+    for (size_t i = 0; i < combine_.size(); ++i) {
+      for (const auto* layer : {&pos_proj_[i], &neg_proj_[i], &combine_[i]}) {
+        auto p = layer->Parameters();
+        params.insert(params.end(), p.begin(), p.end());
+      }
+      params.push_back(pos_att_src_[i]);
+      params.push_back(pos_att_dst_[i]);
+      params.push_back(neg_att_src_[i]);
+      params.push_back(neg_att_dst_[i]);
+    }
+    return params;
+  }
+
+  int output_dim() const override { return hidden_dim_; }
+
+ private:
+  Tensor OnesRowTransposed() const {
+    return Tensor::Constant(Matrix::Ones(1, ones_row_.rows()));
+  }
+
+  Tensor input_;
+  Tensor pos_mask_;
+  Tensor neg_mask_;
+  Tensor ones_row_;
+  int hidden_dim_;
+  std::vector<tensor::Linear> pos_proj_;
+  std::vector<tensor::Linear> neg_proj_;
+  std::vector<Tensor> pos_att_src_;
+  std::vector<Tensor> pos_att_dst_;
+  std::vector<Tensor> neg_att_src_;
+  std::vector<Tensor> neg_att_dst_;
+  std::vector<tensor::Linear> combine_;
+};
+
+}  // namespace
+
+std::string BackboneName(BackboneKind kind) {
+  switch (kind) {
+    case BackboneKind::kGin: return "GIN";
+    case BackboneKind::kSgcn: return "SGCN";
+    case BackboneKind::kSigat: return "SiGAT";
+    case BackboneKind::kSnea: return "SNEA";
+  }
+  return "?";
+}
+
+std::unique_ptr<DdiBackbone> MakeBackbone(BackboneKind kind,
+                                          const graph::SignedGraph& ddi,
+                                          const BackboneConfig& config,
+                                          util::Rng& rng) {
+  switch (kind) {
+    case BackboneKind::kGin:
+      return std::make_unique<GinBackbone>(ddi, config, rng);
+    case BackboneKind::kSgcn:
+      return std::make_unique<SgcnBackbone>(ddi, config, rng);
+    case BackboneKind::kSigat:
+      return std::make_unique<SigatBackbone>(ddi, config, rng);
+    case BackboneKind::kSnea:
+      return std::make_unique<SneaBackbone>(ddi, config, rng);
+  }
+  DSSDDI_CHECK(false) << "unknown backbone";
+  return nullptr;
+}
+
+}  // namespace dssddi::core

@@ -1,0 +1,47 @@
+#ifndef DSSDDI_CORE_BACKBONES_H_
+#define DSSDDI_CORE_BACKBONES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/signed_graph.h"
+#include "tensor/nn.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dssddi::core {
+
+/// GNN backbone selector for DDIGCN (paper Section IV-A2 lists GIN plus
+/// the signed-graph alternatives SGCN, SiGAT and SNEA).
+enum class BackboneKind { kGin, kSgcn, kSigat, kSnea };
+
+std::string BackboneName(BackboneKind kind);
+
+/// A DDI-graph encoder: produces one embedding row per drug. Input
+/// features are one-hot drug IDs (paper Section IV-A1), so backbones take
+/// no forward argument — the graph and features are fixed at construction.
+class DdiBackbone {
+ public:
+  virtual ~DdiBackbone() = default;
+
+  /// Builds the forward graph and returns |V| x output_dim embeddings.
+  virtual tensor::Tensor Forward() = 0;
+  virtual std::vector<tensor::Tensor> Parameters() const = 0;
+  virtual int output_dim() const = 0;
+};
+
+struct BackboneConfig {
+  int hidden_dim = 64;
+  int num_layers = 3;  // paper: DDIGCN uses 3 graph convolution layers
+};
+
+/// Factory; `rng` seeds the parameter initialization.
+std::unique_ptr<DdiBackbone> MakeBackbone(BackboneKind kind,
+                                          const graph::SignedGraph& ddi,
+                                          const BackboneConfig& config,
+                                          util::Rng& rng);
+
+}  // namespace dssddi::core
+
+#endif  // DSSDDI_CORE_BACKBONES_H_

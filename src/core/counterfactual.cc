@@ -1,0 +1,165 @@
+#include "core/counterfactual.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "algo/kmeans.h"
+#include "util/logging.h"
+
+namespace dssddi::core {
+
+namespace {
+
+/// Distance quantile from a sample of pairs (exact for small n).
+double DistanceQuantile(const tensor::Matrix& points, double quantile,
+                        util::Rng& rng, int max_samples = 20000) {
+  const int n = points.rows();
+  DSSDDI_CHECK(n >= 2) << "need at least two points";
+  std::vector<double> distances;
+  const long long total_pairs = static_cast<long long>(n) * (n - 1) / 2;
+  if (total_pairs <= max_samples) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        distances.push_back(std::sqrt(points.RowSquaredDistance(i, points, j)));
+      }
+    }
+  } else {
+    distances.reserve(max_samples);
+    for (int s = 0; s < max_samples; ++s) {
+      const int i = static_cast<int>(rng.NextBelow(n));
+      int j = static_cast<int>(rng.NextBelow(n));
+      if (i == j) j = (j + 1) % n;
+      distances.push_back(std::sqrt(points.RowSquaredDistance(i, points, j)));
+    }
+  }
+  std::sort(distances.begin(), distances.end());
+  const size_t idx = static_cast<size_t>(quantile * (distances.size() - 1));
+  return distances[idx];
+}
+
+struct Neighbor {
+  float distance;
+  int index;
+  bool operator<(const Neighbor& other) const { return distance < other.distance; }
+};
+
+}  // namespace
+
+CounterfactualLinks BuildCounterfactualLinks(const tensor::Matrix& x,
+                                             const tensor::Matrix& z,
+                                             const tensor::Matrix& y,
+                                             const graph::SignedGraph& ddi,
+                                             const CounterfactualConfig& config) {
+  const int m = x.rows();
+  const int num_drugs = z.rows();
+  DSSDDI_CHECK(y.rows() == m && y.cols() == num_drugs) << "Y shape mismatch";
+  DSSDDI_CHECK(ddi.num_vertices() == num_drugs) << "DDI graph size mismatch";
+  util::Rng rng(config.seed);
+
+  CounterfactualLinks links;
+
+  // --- Step 1+2+3: treatment construction. ---
+  const int k = std::min(config.num_clusters, m);
+  algo::KMeansResult clusters = algo::KMeans(x, k, rng);
+  links.cluster_of = clusters.assignments;
+
+  links.treatment = y;  // step 1: observed links
+  // Step 2: cluster expansion — any drug observed within a cluster is a
+  // treatment for the whole cluster.
+  std::vector<std::vector<char>> cluster_drug(k, std::vector<char>(num_drugs, 0));
+  for (int i = 0; i < m; ++i) {
+    for (int v = 0; v < num_drugs; ++v) {
+      if (y.At(i, v) > 0.5f) cluster_drug[links.cluster_of[i]][v] = 1;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const auto& drugs = cluster_drug[links.cluster_of[i]];
+    for (int v = 0; v < num_drugs; ++v) {
+      if (drugs[v]) links.treatment.At(i, v) = 1.0f;
+    }
+  }
+  // Step 3: DDI expansion along synergistic edges. The paper states the
+  // constraint T_iu = 1 if e_vu = 1 and T_iv = 1, whose deterministic
+  // (order-independent) solution is the closure along synergistic edges —
+  // a BFS from each treated drug.
+  if (config.expand_treatment_via_ddi) {
+    std::vector<int> frontier;
+    for (int i = 0; i < m; ++i) {
+      frontier.clear();
+      for (int v = 0; v < num_drugs; ++v) {
+        if (links.treatment.At(i, v) >= 0.5f) frontier.push_back(v);
+      }
+      while (!frontier.empty()) {
+        const int v = frontier.back();
+        frontier.pop_back();
+        for (int u : ddi.PositiveNeighbors(v)) {
+          if (links.treatment.At(i, u) < 0.5f) {
+            links.treatment.At(i, u) = 1.0f;
+            frontier.push_back(u);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Distance caps (Eq. 7's gamma_p, gamma_d as quantiles). ---
+  const double gamma_p = DistanceQuantile(x, config.patient_distance_quantile, rng);
+  const double gamma_d = DistanceQuantile(z, config.drug_distance_quantile, rng);
+
+  // --- Neighbor lists under the caps (self included at distance 0). ---
+  std::vector<std::vector<Neighbor>> patient_neighbors(m);
+  for (int i = 0; i < m; ++i) {
+    patient_neighbors[i].push_back({0.0f, i});
+    for (int j = 0; j < m; ++j) {
+      if (j == i) continue;
+      const float d = std::sqrt(x.RowSquaredDistance(i, x, j));
+      if (d < gamma_p) patient_neighbors[i].push_back({d, j});
+    }
+    std::sort(patient_neighbors[i].begin(), patient_neighbors[i].end());
+  }
+  std::vector<std::vector<Neighbor>> drug_neighbors(num_drugs);
+  for (int v = 0; v < num_drugs; ++v) {
+    drug_neighbors[v].push_back({0.0f, v});
+    for (int u = 0; u < num_drugs; ++u) {
+      if (u == v) continue;
+      const float d = std::sqrt(z.RowSquaredDistance(v, z, u));
+      if (d < gamma_d) drug_neighbors[v].push_back({d, u});
+    }
+    std::sort(drug_neighbors[v].begin(), drug_neighbors[v].end());
+  }
+
+  // --- Nearest opposite-treatment pair per (patient, drug) (Eq. 7-8). ---
+  links.cf_treatment = links.treatment;
+  links.cf_outcome = y;
+  links.num_matched_pairs = 0;
+  for (int i = 0; i < m; ++i) {
+    for (int v = 0; v < num_drugs; ++v) {
+      const float target = 1.0f - links.treatment.At(i, v);
+      float best = std::numeric_limits<float>::infinity();
+      int best_j = -1;
+      int best_u = -1;
+      for (const auto& pn : patient_neighbors[i]) {
+        if (pn.distance >= best) break;  // lists are sorted ascending
+        for (const auto& dn : drug_neighbors[v]) {
+          const float total = pn.distance + dn.distance;
+          if (total >= best) break;
+          if (links.treatment.At(pn.index, dn.index) == target) {
+            best = total;
+            best_j = pn.index;
+            best_u = dn.index;
+            break;  // later drug neighbors are further away
+          }
+        }
+      }
+      if (best_j >= 0) {
+        links.cf_treatment.At(i, v) = target;
+        links.cf_outcome.At(i, v) = y.At(best_j, best_u);
+        ++links.num_matched_pairs;
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace dssddi::core

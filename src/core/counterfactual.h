@@ -1,0 +1,57 @@
+#ifndef DSSDDI_CORE_COUNTERFACTUAL_H_
+#define DSSDDI_CORE_COUNTERFACTUAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/signed_graph.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi::core {
+
+struct CounterfactualConfig {
+  /// Number of patient clusters (paper: the number of chronic diseases in
+  /// the observed data).
+  int num_clusters = 15;
+  /// Distance caps gamma_p / gamma_d expressed as quantiles of the
+  /// pairwise patient / drug distance distributions (Eq. 7's
+  /// hyperparameters, made scale-free).
+  double patient_distance_quantile = 0.15;
+  double drug_distance_quantile = 0.30;
+  /// Step 3 of the treatment construction (one-hop expansion along
+  /// synergistic DDI edges). Disable for the ablation bench.
+  bool expand_treatment_via_ddi = true;
+  uint64_t seed = 7;
+};
+
+/// Output of the causal treatment/counterfactual construction of paper
+/// Section IV-B1, restricted to the observed (training) patients.
+struct CounterfactualLinks {
+  /// Treatment matrix T (m x |V|): 1 after the three construction steps
+  /// (observed link, cluster expansion, DDI expansion).
+  tensor::Matrix treatment;
+  /// Counterfactual treatment T^CF and outcome Y^CF (Eq. 8).
+  tensor::Matrix cf_treatment;
+  tensor::Matrix cf_outcome;
+  /// Cluster id per observed patient.
+  std::vector<int> cluster_of;
+  /// How many pairs found a genuine opposite-treatment nearest neighbour
+  /// (the rest default to the factual values).
+  int num_matched_pairs = 0;
+};
+
+/// Builds treatment and counterfactual matrices.
+///   x: m x d1 observed patient features;
+///   z: |V| x d2 drug features (original, e.g. pretrained KG);
+///   y: m x |V| observed medication use;
+///   ddi: interaction graph (synergistic edges drive step 3).
+CounterfactualLinks BuildCounterfactualLinks(const tensor::Matrix& x,
+                                             const tensor::Matrix& z,
+                                             const tensor::Matrix& y,
+                                             const graph::SignedGraph& ddi,
+                                             const CounterfactualConfig& config);
+
+}  // namespace dssddi::core
+
+#endif  // DSSDDI_CORE_COUNTERFACTUAL_H_

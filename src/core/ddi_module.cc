@@ -1,0 +1,65 @@
+#include "core/ddi_module.h"
+
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace dssddi::core {
+
+DdiModule::DdiModule(const graph::SignedGraph& ddi, const DdiModuleConfig& config)
+    : config_(config), graph_(ddi), rng_(config.seed) {
+  int zero_edges = config.zero_edge_count;
+  if (zero_edges < 0) {
+    zero_edges = graph_.CountEdges(graph::EdgeSign::kSynergistic) +
+                 graph_.CountEdges(graph::EdgeSign::kAntagonistic);
+  }
+  if (zero_edges > 0) graph_.SampleNoInteractionEdges(zero_edges, rng_);
+
+  BackboneConfig backbone_config;
+  backbone_config.hidden_dim = config.hidden_dim;
+  backbone_config.num_layers = config.num_layers;
+  backbone_ = MakeBackbone(config.backbone, graph_, backbone_config, rng_);
+  embeddings_ = tensor::Matrix::Zeros(graph_.num_vertices(), backbone_->output_dim());
+}
+
+float DdiModule::Train() {
+  // Edge endpoints and sign targets are fixed across epochs.
+  std::vector<int> heads;
+  std::vector<int> tails;
+  tensor::Matrix targets(graph_.num_edges(), 1);
+  for (int e = 0; e < graph_.num_edges(); ++e) {
+    const auto& edge = graph_.edges()[e];
+    heads.push_back(edge.u);
+    tails.push_back(edge.v);
+    targets.At(e, 0) = static_cast<float>(static_cast<int>(edge.sign));
+  }
+  const tensor::Tensor target_tensor = tensor::Tensor::Constant(targets);
+
+  tensor::AdamOptimizer optimizer(backbone_->Parameters(), config_.learning_rate);
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    tensor::Tensor z = backbone_->Forward();
+    tensor::Tensor scores = tensor::RowDot(tensor::GatherRows(z, heads),
+                                           tensor::GatherRows(z, tails));
+    tensor::Tensor loss = tensor::MseLoss(scores, target_tensor);
+    loss.Backward();
+    optimizer.Step();
+    last_loss = loss.value().At(0, 0);
+  }
+  embeddings_ = backbone_->Forward().value();
+  return last_loss;
+}
+
+float DdiModule::PredictInteraction(int drug_u, int drug_v) const {
+  DSSDDI_CHECK(drug_u >= 0 && drug_u < embeddings_.rows()) << "drug id out of range";
+  DSSDDI_CHECK(drug_v >= 0 && drug_v < embeddings_.rows()) << "drug id out of range";
+  const float* a = embeddings_.RowPtr(drug_u);
+  const float* b = embeddings_.RowPtr(drug_v);
+  double acc = 0.0;
+  for (int j = 0; j < embeddings_.cols(); ++j) acc += static_cast<double>(a[j]) * b[j];
+  return static_cast<float>(acc);
+}
+
+}  // namespace dssddi::core

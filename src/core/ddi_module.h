@@ -1,0 +1,57 @@
+#ifndef DSSDDI_CORE_DDI_MODULE_H_
+#define DSSDDI_CORE_DDI_MODULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/backbones.h"
+#include "graph/signed_graph.h"
+#include "tensor/matrix.h"
+
+namespace dssddi::core {
+
+struct DdiModuleConfig {
+  BackboneKind backbone = BackboneKind::kSgcn;
+  int hidden_dim = 64;       // paper: hidden representation size 64
+  int num_layers = 3;        // paper: 3 graph convolution layers
+  int epochs = 400;          // paper: 400 training epochs for DDIGCN
+  float learning_rate = 1e-3f;  // paper: 0.001 for DDIGCN
+  /// Explicit no-interaction edges sampled into the DDI graph (Section
+  /// IV-A1); <= 0 means "as many as the interaction edges".
+  int zero_edge_count = -1;
+  uint64_t seed = 42;
+};
+
+/// The Drug-Drug Interaction module: augments the DDI graph with sampled
+/// 0-edges, trains DDIGCN (any backbone) as an edge regressor with MSE on
+/// edge signs (Eq. 5-6), and exposes the learned drug relation embeddings
+/// that the MD module shares (h'_v += z_v).
+class DdiModule {
+ public:
+  DdiModule(const graph::SignedGraph& ddi, const DdiModuleConfig& config);
+
+  /// Trains for config.epochs; returns the final epoch's MSE.
+  float Train();
+
+  /// |V| x hidden drug relation embeddings (after training).
+  const tensor::Matrix& embeddings() const { return embeddings_; }
+
+  /// Predicted interaction score for a drug pair (inner product of the
+  /// learned embeddings; ~+1 synergy, ~-1 antagonism, ~0 none).
+  float PredictInteraction(int drug_u, int drug_v) const;
+
+  /// The augmented training graph (interactions + sampled 0-edges).
+  const graph::SignedGraph& training_graph() const { return graph_; }
+
+ private:
+  DdiModuleConfig config_;
+  graph::SignedGraph graph_;
+  std::unique_ptr<DdiBackbone> backbone_;
+  util::Rng rng_;
+  tensor::Matrix embeddings_;
+};
+
+}  // namespace dssddi::core
+
+#endif  // DSSDDI_CORE_DDI_MODULE_H_

@@ -1,0 +1,102 @@
+#include "core/dssddi_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/init.h"
+#include "util/logging.h"
+
+namespace dssddi::core {
+
+std::string DrugEmbeddingSourceName(DrugEmbeddingSource source) {
+  switch (source) {
+    case DrugEmbeddingSource::kDdigcn: return "DDIGCN";
+    case DrugEmbeddingSource::kWithoutDdi: return "w/o DDI";
+    case DrugEmbeddingSource::kOneHot: return "One-hot";
+    case DrugEmbeddingSource::kKg: return "KG";
+  }
+  return "?";
+}
+
+tensor::Matrix ProjectToDim(const tensor::Matrix& features, int dim, uint64_t seed) {
+  if (features.cols() == dim) return features;
+  util::Rng rng(seed);
+  const tensor::Matrix projection = tensor::GaussianInit(
+      features.cols(), dim, 1.0f / std::sqrt(static_cast<float>(features.cols())), rng);
+  return features.MatMul(projection);
+}
+
+DssddiSystem::DssddiSystem(const DssddiConfig& config) : config_(config) {}
+
+std::string DssddiSystem::name() const {
+  if (!config_.display_name.empty()) return config_.display_name;
+  return "DSSDDI(" + BackboneName(config_.ddi.backbone) + ")";
+}
+
+void DssddiSystem::Fit(const data::SuggestionDataset& dataset) {
+  // --- DDI module: learn drug relation embeddings. ---
+  tensor::Matrix shared_embeddings;  // empty -> MD module skips sharing
+  switch (config_.embedding_source) {
+    case DrugEmbeddingSource::kDdigcn: {
+      ddi_module_ = std::make_unique<DdiModule>(dataset.ddi, config_.ddi);
+      ddi_module_->Train();
+      shared_embeddings =
+          ProjectToDim(ddi_module_->embeddings(), config_.md.hidden_dim, 101);
+      break;
+    }
+    case DrugEmbeddingSource::kWithoutDdi:
+      break;
+    case DrugEmbeddingSource::kOneHot:
+      shared_embeddings = ProjectToDim(
+          tensor::Matrix::Identity(dataset.num_drugs()), config_.md.hidden_dim, 102);
+      break;
+    case DrugEmbeddingSource::kKg:
+      shared_embeddings =
+          ProjectToDim(dataset.drug_features, config_.md.hidden_dim, 103);
+      break;
+  }
+
+  // --- MD module on the observed (training) patients. ---
+  const tensor::Matrix x_train = dataset.patient_features.GatherRows(dataset.split.train);
+  const tensor::Matrix y_train = dataset.medication.GatherRows(dataset.split.train);
+  MdModuleConfig md_config = config_.md;
+  md_config.use_ddi_embeddings = !shared_embeddings.empty();
+  md_config.counterfactual.num_clusters = dataset.num_diseases;
+  // Drug input features: pretrained KG embeddings augmented with one-hot
+  // drug IDs, so the drug tower keeps free per-drug capacity even when
+  // the KG features are low-rank (see DESIGN.md).
+  tensor::Matrix drug_input(dataset.num_drugs(),
+                            dataset.drug_features.cols() + dataset.num_drugs(), 0.0f);
+  for (int v = 0; v < dataset.num_drugs(); ++v) {
+    const float* src = dataset.drug_features.RowPtr(v);
+    float* dst = drug_input.RowPtr(v);
+    std::copy(src, src + dataset.drug_features.cols(), dst);
+    dst[dataset.drug_features.cols() + v] = 1.0f;
+  }
+  md_module_ = std::make_unique<MdModule>(x_train, y_train, drug_input,
+                                          dataset.ddi, shared_embeddings, md_config);
+  md_module_->Train();
+
+  // --- MS module over the interaction graph. ---
+  ms_module_ = std::make_unique<MsModule>(dataset.ddi, config_.ms_alpha,
+                                          config_.ms_explainer);
+}
+
+tensor::Matrix DssddiSystem::PredictScores(const data::SuggestionDataset& dataset,
+                                           const std::vector<int>& patient_indices) {
+  DSSDDI_CHECK(md_module_ != nullptr) << "PredictScores before Fit";
+  return md_module_->PredictScores(dataset.patient_features.GatherRows(patient_indices));
+}
+
+Suggestion DssddiSystem::Suggest(const data::SuggestionDataset& dataset,
+                                 int patient_index, int k) {
+  const tensor::Matrix scores = PredictScores(dataset, {patient_index});
+  Suggestion suggestion;
+  suggestion.drugs = TopKDrugs(scores, 0, k);
+  suggestion.scores.reserve(suggestion.drugs.size());
+  for (int d : suggestion.drugs) suggestion.scores.push_back(scores.At(0, d));
+  suggestion.explanation = ms_module_->Explain(suggestion.drugs);
+  return suggestion;
+}
+
+}  // namespace dssddi::core

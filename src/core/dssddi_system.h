@@ -1,0 +1,80 @@
+#ifndef DSSDDI_CORE_DSSDDI_SYSTEM_H_
+#define DSSDDI_CORE_DSSDDI_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ddi_module.h"
+#include "core/md_module.h"
+#include "core/ms_module.h"
+#include "core/suggestion_model.h"
+
+namespace dssddi::core {
+
+/// Source of the drug relation embeddings added to the final drug
+/// representations — the Table II ablation axis.
+enum class DrugEmbeddingSource {
+  kDdigcn,   // learned by the DDI module (the full system)
+  kWithoutDdi,  // nothing added ("w/o DDI")
+  kOneHot,   // one-hot IDs (random-projected to hidden_dim if needed)
+  kKg,       // pretrained DRKG-like features (random-projected if needed)
+};
+
+std::string DrugEmbeddingSourceName(DrugEmbeddingSource source);
+
+struct DssddiConfig {
+  DdiModuleConfig ddi;
+  MdModuleConfig md;
+  DrugEmbeddingSource embedding_source = DrugEmbeddingSource::kDdigcn;
+  double ms_alpha = 0.5;
+  /// Subgraph backend for Medical Support explanations.
+  ExplainerKind ms_explainer = ExplainerKind::kClosestTrussCommunity;
+  /// Display-name suffix, e.g. "DSSDDI(SGCN)".
+  std::string display_name;
+};
+
+/// One end-to-end suggestion with its Medical Support explanation.
+struct Suggestion {
+  std::vector<int> drugs;
+  std::vector<float> scores;  // aligned with `drugs`
+  Explanation explanation;
+};
+
+/// The full decision support system (paper Fig. 4): DDI module -> MD
+/// module -> MS module, behind the shared SuggestionModel interface.
+class DssddiSystem : public SuggestionModel {
+ public:
+  explicit DssddiSystem(const DssddiConfig& config = {});
+
+  std::string name() const override;
+  void Fit(const data::SuggestionDataset& dataset) override;
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+  /// Suggests k drugs for one dataset patient, with explanation.
+  Suggestion Suggest(const data::SuggestionDataset& dataset, int patient_index,
+                     int k);
+
+  const DssddiConfig& config() const { return config_; }
+
+  /// Module access for analysis benches.
+  const DdiModule* ddi_module() const { return ddi_module_.get(); }
+  const MdModule* md_module() const { return md_module_.get(); }
+  const MsModule* ms_module() const { return ms_module_.get(); }
+
+ private:
+  DssddiConfig config_;
+  std::unique_ptr<DdiModule> ddi_module_;
+  std::unique_ptr<MdModule> md_module_;
+  std::unique_ptr<MsModule> ms_module_;
+};
+
+/// Projects `features` to `dim` columns with a fixed random Gaussian map
+/// (identity when dimensions already agree). Used to feed one-hot / KG
+/// drug features of mismatched width into the shared-embedding slot.
+tensor::Matrix ProjectToDim(const tensor::Matrix& features, int dim, uint64_t seed);
+
+}  // namespace dssddi::core
+
+#endif  // DSSDDI_CORE_DSSDDI_SYSTEM_H_

@@ -1,0 +1,265 @@
+#include "core/md_module.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace dssddi::core {
+
+namespace {
+
+using tensor::Matrix;
+using tensor::Tensor;
+
+std::vector<float> DefaultBeta(int num_layers) {
+  // Paper Section V-A3: beta_t = 1 / (t + 2), t = 0..T'.
+  std::vector<float> beta;
+  for (int t = 0; t <= num_layers; ++t) beta.push_back(1.0f / static_cast<float>(t + 2));
+  return beta;
+}
+
+}  // namespace
+
+MdModule::MdModule(Matrix x_observed, Matrix y_observed, Matrix drug_features,
+                   const graph::SignedGraph& ddi, Matrix ddi_embeddings,
+                   const MdModuleConfig& config)
+    : config_(config),
+      x_observed_(std::move(x_observed)),
+      y_observed_(std::move(y_observed)),
+      drug_features_(std::move(drug_features)),
+      ddi_embeddings_(std::move(ddi_embeddings)),
+      rng_(config.seed) {
+  DSSDDI_CHECK(x_observed_.rows() == y_observed_.rows())
+      << "feature/label row mismatch";
+  DSSDDI_CHECK(y_observed_.cols() == drug_features_.rows())
+      << "drug count mismatch";
+  if (config_.use_ddi_embeddings && !ddi_embeddings_.empty()) {
+    DSSDDI_CHECK(ddi_embeddings_.cols() == config_.hidden_dim)
+        << "DDI relation embeddings must match hidden_dim to be shared";
+    DSSDDI_CHECK(ddi_embeddings_.rows() == y_observed_.cols())
+        << "DDI relation embeddings must cover all drugs";
+    ddi_embeddings_ =
+        ddi_embeddings_.RowL2Normalized().Scale(config_.ddi_embedding_scale);
+  } else {
+    config_.use_ddi_embeddings = false;
+  }
+
+  bipartite_ = graph::BipartiteGraph::FromAdjacencyMatrix(y_observed_);
+  patient_to_drug_ = bipartite_.NormalizedPatientToDrug();
+  drug_to_patient_ = bipartite_.NormalizedDrugToPatient();
+  beta_ = config_.beta.empty() ? DefaultBeta(config_.num_gcn_layers) : config_.beta;
+  DSSDDI_CHECK(static_cast<int>(beta_.size()) == config_.num_gcn_layers + 1)
+      << "beta must have num_gcn_layers + 1 entries";
+
+  // Eq. 9-10: fully connected encoders mapping patients and drugs to the
+  // shared hidden dimension; two layers with LeakyReLU (Section V-A3).
+  patient_fc_ = tensor::Mlp({x_observed_.cols(), config_.hidden_dim, config_.hidden_dim},
+                            rng_, tensor::Activation::kLeakyRelu,
+                            tensor::Activation::kLeakyRelu);
+  drug_fc_ = tensor::Mlp({drug_features_.cols(), config_.hidden_dim, config_.hidden_dim},
+                         rng_, tensor::Activation::kLeakyRelu,
+                         tensor::Activation::kLeakyRelu);
+  if (config_.decoder == MdDecoder::kMlp) {
+    decoder_ = tensor::Mlp({config_.hidden_dim + 1, config_.hidden_dim, 1}, rng_,
+                           tensor::Activation::kRelu);
+  } else {
+    decoder_ = tensor::Mlp({2, 1}, rng_);
+    // Start near the identity on the inner-product coordinate so the
+    // linear head behaves like a calibrated dot-product decoder.
+    decoder_.Parameters()[0].mutable_value().At(0, 0) = 1.0f;
+  }
+
+  // Causal treatment + counterfactual construction over observed data.
+  links_ = BuildCounterfactualLinks(x_observed_, drug_features_, y_observed_, ddi,
+                                    config_.counterfactual);
+
+  // Cluster centroids + per-cluster treatment rows for unseen patients.
+  const int k = 1 + *std::max_element(links_.cluster_of.begin(), links_.cluster_of.end());
+  cluster_centroids_ = Matrix(k, x_observed_.cols(), 0.0f);
+  cluster_treatment_ = Matrix(k, y_observed_.cols(), 0.0f);
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < x_observed_.rows(); ++i) {
+    const int c = links_.cluster_of[i];
+    ++counts[c];
+    for (int j = 0; j < x_observed_.cols(); ++j) {
+      cluster_centroids_.At(c, j) += x_observed_.At(i, j);
+    }
+    for (int v = 0; v < y_observed_.cols(); ++v) {
+      if (links_.treatment.At(i, v) > 0.5f) cluster_treatment_.At(c, v) = 1.0f;
+    }
+  }
+  for (int c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (int j = 0; j < x_observed_.cols(); ++j) {
+      cluster_centroids_.At(c, j) /= static_cast<float>(counts[c]);
+    }
+  }
+}
+
+Tensor MdModule::EncodeDrugsForTraining() const {
+  Tensor h_patients = patient_fc_.Forward(Tensor::Constant(x_observed_));
+  Tensor h_drugs = drug_fc_.Forward(Tensor::Constant(drug_features_));
+  Tensor current_p = h_patients;
+  Tensor current_d = h_drugs;
+  Tensor combined = tensor::Scale(h_drugs, beta_[0]);
+  for (int t = 1; t <= config_.num_gcn_layers; ++t) {
+    Tensor next_d = tensor::SpMM(drug_to_patient_, current_p);
+    Tensor next_p = tensor::SpMM(patient_to_drug_, current_d);
+    current_d = next_d;
+    current_p = next_p;
+    combined = tensor::Add(combined, tensor::Scale(current_d, beta_[t]));
+  }
+  if (config_.use_ddi_embeddings) {
+    combined = tensor::Add(combined, Tensor::Constant(ddi_embeddings_));
+  }
+  return combined;
+}
+
+float MdModule::Train() {
+  const int m = x_observed_.rows();
+  const int num_drugs = y_observed_.cols();
+
+  // Fixed positive edges.
+  std::vector<int> pos_patients;
+  std::vector<int> pos_drugs;
+  for (int i = 0; i < m; ++i) {
+    for (int v : bipartite_.DrugsOf(i)) {
+      pos_patients.push_back(i);
+      pos_drugs.push_back(v);
+    }
+  }
+  const int num_pos = static_cast<int>(pos_patients.size());
+  DSSDDI_CHECK(num_pos > 0) << "no observed medication links";
+
+  std::vector<Tensor> params = tensor::ConcatParams(
+      {patient_fc_.Parameters(), drug_fc_.Parameters(), decoder_.Parameters()});
+  tensor::AdamOptimizer optimizer(std::move(params), config_.learning_rate);
+
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // 1:1 negative sampling, resampled each epoch.
+    std::vector<int> edge_patients = pos_patients;
+    std::vector<int> edge_drugs = pos_drugs;
+    for (int s = 0; s < num_pos; ++s) {
+      const int i = pos_patients[s];
+      int v = static_cast<int>(rng_.NextBelow(num_drugs));
+      for (int attempt = 0; attempt < 16 && bipartite_.HasEdge(i, v); ++attempt) {
+        v = static_cast<int>(rng_.NextBelow(num_drugs));
+      }
+      edge_patients.push_back(i);
+      edge_drugs.push_back(v);
+    }
+    const int num_edges = static_cast<int>(edge_patients.size());
+
+    Matrix factual_targets(num_edges, 1);
+    Matrix factual_treatment(num_edges, 1);
+    Matrix cf_targets(num_edges, 1);
+    Matrix cf_treatment(num_edges, 1);
+    for (int e = 0; e < num_edges; ++e) {
+      const int i = edge_patients[e];
+      const int v = edge_drugs[e];
+      factual_targets.At(e, 0) = y_observed_.At(i, v);
+      factual_treatment.At(e, 0) =
+          config_.use_treatment_feature ? links_.treatment.At(i, v) : 0.0f;
+      cf_targets.At(e, 0) = links_.cf_outcome.At(i, v);
+      cf_treatment.At(e, 0) =
+          config_.use_treatment_feature ? links_.cf_treatment.At(i, v) : 0.0f;
+    }
+
+    optimizer.ZeroGrad();
+    Tensor h_patients = patient_fc_.Forward(Tensor::Constant(x_observed_));
+    Tensor h_drugs_final = EncodeDrugsForTraining();
+    Tensor edge_p = tensor::GatherRows(h_patients, edge_patients);
+    Tensor edge_d = tensor::GatherRows(h_drugs_final, edge_drugs);
+    Tensor interaction = config_.decoder == MdDecoder::kMlp
+        ? tensor::Mul(edge_p, edge_d)
+        : tensor::RowDot(edge_p, edge_d);
+
+    Tensor factual_logits = decoder_.Forward(
+        tensor::ConcatCols(interaction, Tensor::Constant(factual_treatment)));
+    Tensor loss = tensor::BceWithLogitsLoss(factual_logits,
+                                            Tensor::Constant(factual_targets));
+    if (config_.use_counterfactual) {
+      Tensor cf_logits = decoder_.Forward(
+          tensor::ConcatCols(interaction, Tensor::Constant(cf_treatment)));
+      Tensor cf_loss =
+          tensor::BceWithLogitsLoss(cf_logits, Tensor::Constant(cf_targets));
+      loss = tensor::Add(loss, tensor::Scale(cf_loss, config_.delta));
+    }
+    loss.Backward();
+    optimizer.Step();
+    last_loss = loss.value().At(0, 0);
+  }
+
+  final_drug_reps_ = EncodeDrugsForTraining().value();
+  return last_loss;
+}
+
+std::vector<float> MdModule::TreatmentRow(const float* features) const {
+  // Nearest cluster centroid by Euclidean distance.
+  int best_cluster = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < cluster_centroids_.rows(); ++c) {
+    double dist = 0.0;
+    const float* centroid = cluster_centroids_.RowPtr(c);
+    for (int j = 0; j < cluster_centroids_.cols(); ++j) {
+      const double d = static_cast<double>(features[j]) - centroid[j];
+      dist += d * d;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_cluster = c;
+    }
+  }
+  std::vector<float> row(cluster_treatment_.cols());
+  const float* src = cluster_treatment_.RowPtr(best_cluster);
+  std::copy(src, src + cluster_treatment_.cols(), row.begin());
+  return row;
+}
+
+tensor::Matrix MdModule::PredictScores(const Matrix& x) const {
+  DSSDDI_CHECK(!final_drug_reps_.empty()) << "PredictScores before Train";
+  const int num_patients = x.rows();
+  const int num_drugs = final_drug_reps_.rows();
+  const Matrix h_patients = patient_fc_.Forward(Tensor::Constant(x)).value();
+
+  // Build the full patient x drug interaction block.
+  const bool mlp = config_.decoder == MdDecoder::kMlp;
+  const int interaction_dim = mlp ? config_.hidden_dim : 1;
+  Matrix decoder_input(num_patients * num_drugs, interaction_dim + 1);
+  for (int i = 0; i < num_patients; ++i) {
+    const std::vector<float> treatment = TreatmentRow(x.RowPtr(i));
+    const float* hp = h_patients.RowPtr(i);
+    for (int v = 0; v < num_drugs; ++v) {
+      float* row = decoder_input.RowPtr(i * num_drugs + v);
+      const float* hd = final_drug_reps_.RowPtr(v);
+      if (mlp) {
+        for (int j = 0; j < config_.hidden_dim; ++j) row[j] = hp[j] * hd[j];
+      } else {
+        double acc = 0.0;
+        for (int j = 0; j < config_.hidden_dim; ++j) acc += static_cast<double>(hp[j]) * hd[j];
+        row[0] = static_cast<float>(acc);
+      }
+      row[interaction_dim] = config_.use_treatment_feature ? treatment[v] : 0.0f;
+    }
+  }
+  const Matrix logits = decoder_.Forward(Tensor::Constant(decoder_input)).value();
+  Matrix scores(num_patients, num_drugs);
+  for (int i = 0; i < num_patients; ++i) {
+    for (int v = 0; v < num_drugs; ++v) {
+      scores.At(i, v) = 1.0f / (1.0f + std::exp(-logits.At(i * num_drugs + v, 0)));
+    }
+  }
+  return scores;
+}
+
+tensor::Matrix MdModule::PatientRepresentations(const Matrix& x) const {
+  return patient_fc_.Forward(Tensor::Constant(x)).value();
+}
+
+}  // namespace dssddi::core

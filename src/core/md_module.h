@@ -1,0 +1,119 @@
+#ifndef DSSDDI_CORE_MD_MODULE_H_
+#define DSSDDI_CORE_MD_MODULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counterfactual.h"
+#include "graph/bipartite_graph.h"
+#include "graph/signed_graph.h"
+#include "tensor/matrix.h"
+#include "tensor/nn.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dssddi::core {
+
+/// Decoder family for Eq. 14: the paper's MLP over [h_i ⊙ h'_v, T_iv],
+/// or a lightweight linear head over [<h_i, h'_v>, T_iv].
+enum class MdDecoder { kMlp, kDotLinear };
+
+struct MdModuleConfig {
+  int hidden_dim = 64;        // paper: hidden representation size 64
+  int num_gcn_layers = 2;     // paper: 2 graph convolution layers for MDGCN
+  int epochs = 300;           // paper trains 1000; 300 reaches the same shape
+  float learning_rate = 0.01f;  // paper: 0.01 for MDGCN
+  float delta = 1.0f;         // counterfactual loss weight (Eq. 18)
+  bool use_counterfactual = true;
+  /// When false, drops the shared DDI relation embeddings (the "w/o DDI"
+  /// ablation of Table II).
+  bool use_ddi_embeddings = true;
+  /// When false, the decoder sees a zero treatment column (ablation of the
+  /// causal treatment feature).
+  bool use_treatment_feature = true;
+  MdDecoder decoder = MdDecoder::kMlp;
+  /// The shared DDI relation embeddings are row-L2-normalized and scaled
+  /// by this factor before being added to the final drug representations
+  /// (h'_v += scale * z_v / |z_v|). Keeps the external knowledge from
+  /// drowning the collaborative structure.
+  float ddi_embedding_scale = 0.6f;
+  /// Layer-combination weights beta_t; empty selects the paper's
+  /// beta_t = 1 / (t + 2).
+  std::vector<float> beta;
+  CounterfactualConfig counterfactual;
+  uint64_t seed = 13;
+};
+
+/// The Medical Decision module: MDGCN with counterfactual-link
+/// augmentation (paper Section IV-B). The encoder maps patients and drugs
+/// into a shared space, propagates drug representations over the observed
+/// bipartite graph LightGCN-style, combines layers with beta_t, adds the
+/// DDI relation embeddings, and decodes scores with an MLP over
+/// [h_i ⊙ h'_v, T_iv]. Patient representations are taken *before*
+/// propagation, which is what keeps them differentiated (Fig. 7).
+class MdModule {
+ public:
+  /// `x_observed`: m x d1 features of observed (training) patients.
+  /// `y_observed`: m x |V| medication use of observed patients.
+  /// `drug_features`: |V| x d2 original drug features (pretrained KG).
+  /// `ddi_embeddings`: |V| x hidden relation embeddings from the DDI
+  ///     module; pass an empty matrix to disable sharing.
+  MdModule(tensor::Matrix x_observed, tensor::Matrix y_observed,
+           tensor::Matrix drug_features, const graph::SignedGraph& ddi,
+           tensor::Matrix ddi_embeddings, const MdModuleConfig& config);
+
+  /// Runs the training loop (Eq. 16-18); returns the final total loss.
+  float Train();
+
+  /// Suggestion scores for arbitrary patients given their raw features
+  /// (rows of `x`): returns |x| x |V| sigmoid scores.
+  tensor::Matrix PredictScores(const tensor::Matrix& x) const;
+
+  /// Encoder outputs for analysis (Fig. 7): pre-propagation patient
+  /// representations for raw features, and the final drug representations.
+  tensor::Matrix PatientRepresentations(const tensor::Matrix& x) const;
+  const tensor::Matrix& DrugRepresentations() const { return final_drug_reps_; }
+
+  /// Treatment assignment used at inference for new patients (nearest
+  /// training cluster, then the cluster's expanded drug set).
+  std::vector<float> TreatmentRow(const float* features) const;
+
+  const CounterfactualLinks& links() const { return links_; }
+
+  /// Trained-state accessors for inference export (io::InferenceBundle).
+  const MdModuleConfig& config() const { return config_; }
+  const tensor::Mlp& patient_fc() const { return patient_fc_; }
+  const tensor::Mlp& decoder() const { return decoder_; }
+  const tensor::Matrix& cluster_centroids() const { return cluster_centroids_; }
+  const tensor::Matrix& cluster_treatment() const { return cluster_treatment_; }
+
+ private:
+  tensor::Tensor EncodeDrugsForTraining() const;
+
+  MdModuleConfig config_;
+  tensor::Matrix x_observed_;
+  tensor::Matrix y_observed_;
+  tensor::Matrix drug_features_;
+  tensor::Matrix ddi_embeddings_;
+  graph::BipartiteGraph bipartite_;
+  tensor::CsrMatrix patient_to_drug_;
+  tensor::CsrMatrix drug_to_patient_;
+  std::vector<float> beta_;
+
+  tensor::Mlp patient_fc_;
+  tensor::Mlp drug_fc_;
+  tensor::Mlp decoder_;
+
+  CounterfactualLinks links_;
+  /// Cluster centroids and per-cluster expanded treatment rows, for
+  /// assigning treatments to unseen patients.
+  tensor::Matrix cluster_centroids_;
+  tensor::Matrix cluster_treatment_;  // k x |V|
+
+  tensor::Matrix final_drug_reps_;
+  mutable util::Rng rng_;
+};
+
+}  // namespace dssddi::core
+
+#endif  // DSSDDI_CORE_MD_MODULE_H_

@@ -1,0 +1,23 @@
+#include "core/suggestion_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dssddi::core {
+
+std::vector<int> TopKDrugs(const tensor::Matrix& scores, int row, int k) {
+  DSSDDI_CHECK(row >= 0 && row < scores.rows()) << "row out of range";
+  const int num_drugs = scores.cols();
+  std::vector<int> order(num_drugs);
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, num_drugs);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores.At(row, a) > scores.At(row, b);
+  });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace dssddi::core

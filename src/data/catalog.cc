@@ -1,0 +1,180 @@
+#include "data/catalog.h"
+
+#include "util/logging.h"
+
+namespace dssddi::data {
+
+namespace {
+
+struct DrugSpec {
+  const char* name;
+  std::vector<int> treats;
+};
+
+}  // namespace
+
+const Catalog& Catalog::Instance() {
+  static const Catalog* const kCatalog = new Catalog();
+  return *kCatalog;
+}
+
+Catalog::Catalog() {
+  // Fig. 2 prevalences; the diseases present only in Fig. 3 get small
+  // marginals. These are marginal probabilities of independent-ish chronic
+  // conditions, so they need not sum to one.
+  diseases_ = {
+      {kHypertension, "Hypertension", 0.49},
+      {kCardiovascularEvents, "Cardiovascular Events", 0.22},
+      {kArthritis, "Arthritis", 0.03},
+      {kErosiveEsophagitis, "Erosive Esophagitis", 0.04},
+      {kType2Diabetes, "Type 2 Diabetes Mellitus", 0.11},
+      {kDiabeticNephropathy, "Diabetic Nephropathy", 0.02},
+      {kSeizures, "Seizures", 0.015},
+      {kGastricUlcer, "Gastric or Duodenal Ulcer", 0.06},
+      {kEyeDiseases, "Eye Diseases", 0.05},
+      {kAnxietyDisorder, "Anxiety Disorder", 0.04},
+      {kEdema, "Edema", 0.03},
+      {kProstaticHyperplasia, "Prostatic Hyperplasia", 0.02},
+      {kAsthma, "Asthma", 0.01},
+      {kThromboembolism, "Thromboembolism", 0.01},
+      {kOtherDiseases, "Other Diseases", 0.03},
+  };
+
+  // 86 drugs. Indices named in the paper's case studies are pinned:
+  // 1 Doxazosin, 3 Enalapril, 5 Perindopril, 8 Amlodipine, 10 Indapamide,
+  // 32 Felodipine, 46 Simvastatin, 47 Atorvastatin, 48 Metformin,
+  // 58/59 Isosorbide Dinitrate/Mononitrate, 61 Gabapentin, 83 Theophylline.
+  const std::vector<DrugSpec> specs = {
+      /* 0*/ {"Hydrochlorothiazide", {kHypertension, kEdema}},
+      /* 1*/ {"Doxazosin", {kHypertension, kProstaticHyperplasia}},
+      /* 2*/ {"Terazosin", {kHypertension, kProstaticHyperplasia}},
+      /* 3*/ {"Enalapril", {kHypertension}},
+      /* 4*/ {"Lisinopril", {kHypertension}},
+      /* 5*/ {"Perindopril", {kHypertension, kCardiovascularEvents}},
+      /* 6*/ {"Losartan", {kHypertension}},
+      /* 7*/ {"Valsartan", {kHypertension}},
+      /* 8*/ {"Amlodipine", {kHypertension}},
+      /* 9*/ {"Prazosin", {kHypertension, kProstaticHyperplasia}},
+      /*10*/ {"Indapamide", {kHypertension, kEdema}},
+      /*11*/ {"Atenolol", {kHypertension}},
+      /*12*/ {"Metoprolol", {kHypertension, kCardiovascularEvents}},
+      /*13*/ {"Nifedipine", {kHypertension}},
+      /*14*/ {"Bisoprolol", {kHypertension, kCardiovascularEvents}},
+      /*15*/ {"Aspirin", {kCardiovascularEvents, kThromboembolism}},
+      /*16*/ {"Clopidogrel", {kCardiovascularEvents, kThromboembolism}},
+      /*17*/ {"Ticlopidine", {kCardiovascularEvents}},
+      /*18*/ {"Digoxin", {kCardiovascularEvents}},
+      /*19*/ {"Amiodarone", {kCardiovascularEvents}},
+      /*20*/ {"Diltiazem", {kCardiovascularEvents, kHypertension}},
+      /*21*/ {"Verapamil", {kCardiovascularEvents, kHypertension}},
+      /*22*/ {"Nitroglycerin", {kCardiovascularEvents}},
+      /*23*/ {"Carvedilol", {kCardiovascularEvents, kHypertension}},
+      /*24*/ {"Propranolol", {kCardiovascularEvents, kHypertension}},
+      /*25*/ {"Warfarin", {kCardiovascularEvents, kThromboembolism}},
+      /*26*/ {"Ibuprofen", {kArthritis}},
+      /*27*/ {"Naproxen", {kArthritis}},
+      /*28*/ {"Diclofenac", {kArthritis}},
+      /*29*/ {"Celecoxib", {kArthritis}},
+      /*30*/ {"Meloxicam", {kArthritis}},
+      /*31*/ {"Indomethacin", {kArthritis}},
+      /*32*/ {"Felodipine", {kHypertension}},
+      /*33*/ {"Allopurinol", {kArthritis}},
+      /*34*/ {"Methotrexate", {kArthritis}},
+      /*35*/ {"Sulfasalazine", {kArthritis}},
+      /*36*/ {"Omeprazole", {kErosiveEsophagitis, kGastricUlcer}},
+      /*37*/ {"Lansoprazole", {kErosiveEsophagitis, kGastricUlcer}},
+      /*38*/ {"Pantoprazole", {kErosiveEsophagitis}},
+      /*39*/ {"Esomeprazole", {kErosiveEsophagitis}},
+      /*40*/ {"Rabeprazole", {kErosiveEsophagitis}},
+      /*41*/ {"Ranitidine", {kGastricUlcer, kErosiveEsophagitis}},
+      /*42*/ {"Famotidine", {kGastricUlcer}},
+      /*43*/ {"Sucralfate", {kGastricUlcer}},
+      /*44*/ {"Misoprostol", {kGastricUlcer}},
+      /*45*/ {"Domperidone", {kErosiveEsophagitis}},
+      /*46*/ {"Simvastatin", {kCardiovascularEvents}},
+      /*47*/ {"Atorvastatin", {kCardiovascularEvents}},
+      /*48*/ {"Metformin", {kType2Diabetes}},
+      /*49*/ {"Gliclazide", {kType2Diabetes}},
+      /*50*/ {"Glibenclamide", {kType2Diabetes}},
+      /*51*/ {"Glipizide", {kType2Diabetes}},
+      /*52*/ {"Sitagliptin", {kType2Diabetes}},
+      /*53*/ {"Acarbose", {kType2Diabetes}},
+      /*54*/ {"Pioglitazone", {kType2Diabetes}},
+      /*55*/ {"Insulin Glargine", {kType2Diabetes, kDiabeticNephropathy}},
+      /*56*/ {"Ramipril", {kDiabeticNephropathy, kHypertension}},
+      /*57*/ {"Irbesartan", {kDiabeticNephropathy, kHypertension}},
+      /*58*/ {"Isosorbide Dinitrate", {kCardiovascularEvents}},
+      /*59*/ {"Isosorbide Mononitrate", {kCardiovascularEvents}},
+      /*60*/ {"Candesartan", {kDiabeticNephropathy, kHypertension}},
+      /*61*/ {"Gabapentin", {kSeizures}},
+      /*62*/ {"Carbamazepine", {kSeizures}},
+      /*63*/ {"Phenytoin", {kSeizures}},
+      /*64*/ {"Sodium Valproate", {kSeizures}},
+      /*65*/ {"Lamotrigine", {kSeizures}},
+      /*66*/ {"Timolol", {kEyeDiseases}},
+      /*67*/ {"Latanoprost", {kEyeDiseases}},
+      /*68*/ {"Brimonidine", {kEyeDiseases}},
+      /*69*/ {"Dorzolamide", {kEyeDiseases}},
+      /*70*/ {"Diazepam", {kAnxietyDisorder}},
+      /*71*/ {"Lorazepam", {kAnxietyDisorder}},
+      /*72*/ {"Sertraline", {kAnxietyDisorder}},
+      /*73*/ {"Furosemide", {kEdema, kCardiovascularEvents}},
+      /*74*/ {"Spironolactone", {kEdema, kCardiovascularEvents}},
+      /*75*/ {"Bumetanide", {kEdema}},
+      /*76*/ {"Finasteride", {kProstaticHyperplasia}},
+      /*77*/ {"Tamsulosin", {kProstaticHyperplasia}},
+      /*78*/ {"Alfuzosin", {kProstaticHyperplasia}},
+      /*79*/ {"Salbutamol", {kAsthma}},
+      /*80*/ {"Budesonide", {kAsthma}},
+      /*81*/ {"Montelukast", {kAsthma}},
+      /*82*/ {"Ipratropium", {kAsthma}},
+      /*83*/ {"Theophylline", {kAsthma}},
+      /*84*/ {"Dabigatran", {kThromboembolism}},
+      /*85*/ {"Calcium Carbonate", {kOtherDiseases}},
+  };
+  DSSDDI_CHECK(specs.size() == 86) << "catalog must contain exactly 86 drugs";
+
+  drugs_.reserve(specs.size());
+  drugs_by_disease_.assign(diseases_.size(), {});
+  for (int i = 0; i < static_cast<int>(specs.size()); ++i) {
+    DrugInfo info;
+    info.id = i;
+    info.name = specs[i].name;
+    info.treats = specs[i].treats;
+    for (int disease : info.treats) drugs_by_disease_[disease].push_back(i);
+    drugs_.push_back(std::move(info));
+  }
+}
+
+bool Catalog::ShareIndication(int drug_a, int drug_b) const {
+  for (int da : drugs_[drug_a].treats) {
+    for (int db : drugs_[drug_b].treats) {
+      if (da == db) return true;
+    }
+  }
+  return false;
+}
+
+int Catalog::FindDisease(const std::string& name) const {
+  for (const auto& d : diseases_) {
+    if (d.name == name) return d.id;
+  }
+  return -1;
+}
+
+int Catalog::FindDrug(const std::string& name) const {
+  for (const auto& d : drugs_) {
+    if (d.name == name) return d.id;
+  }
+  return -1;
+}
+
+int Catalog::PrimaryDrugCount(int disease) const {
+  int count = 0;
+  for (const auto& d : drugs_) {
+    if (!d.treats.empty() && d.treats.front() == disease) ++count;
+  }
+  return count;
+}
+
+}  // namespace dssddi::data

@@ -1,0 +1,91 @@
+#ifndef DSSDDI_DATA_CATALOG_H_
+#define DSSDDI_DATA_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+namespace dssddi::data {
+
+/// Chronic diseases tracked by the Hong Kong Chronic Disease Study-like
+/// cohort. Order and prevalence follow the paper's Fig. 2 (with the
+/// additional Fig. 3 diseases given small prevalences).
+struct DiseaseInfo {
+  int id = 0;
+  std::string name;
+  /// Marginal probability that a cohort member has the disease.
+  double prevalence = 0.0;
+};
+
+/// One of the 86 chronic-condition medications (paper Section II-B). The
+/// drug ids of every drug the paper names in its case studies (Doxazosin
+/// DID 1, Perindopril DID 5, Amlodipine DID 8, Indapamide DID 10,
+/// Felodipine DID 32, Simvastatin DID 46, Atorvastatin DID 47, Metformin
+/// DID 48, Isosorbide DID 58/59, Gabapentin DID 61, Theophylline DID 83)
+/// are preserved so the Fig. 8 / Fig. 9 reproductions read like the paper.
+struct DrugInfo {
+  int id = 0;
+  std::string name;
+  /// Diseases this drug treats (first entry is the primary indication).
+  std::vector<int> treats;
+};
+
+/// Immutable catalog of the 14 diseases + "Other" and the 86 drugs.
+class Catalog {
+ public:
+  /// Builds the canonical catalog (deterministic, no RNG).
+  static const Catalog& Instance();
+
+  int num_diseases() const { return static_cast<int>(diseases_.size()); }
+  int num_drugs() const { return static_cast<int>(drugs_.size()); }
+  const DiseaseInfo& disease(int id) const { return diseases_[id]; }
+  const DrugInfo& drug(int id) const { return drugs_[id]; }
+  const std::vector<DiseaseInfo>& diseases() const { return diseases_; }
+  const std::vector<DrugInfo>& drugs() const { return drugs_; }
+
+  /// Drugs whose indication list contains `disease`.
+  const std::vector<int>& DrugsForDisease(int disease) const {
+    return drugs_by_disease_[disease];
+  }
+
+  /// True iff the two drugs share at least one indication.
+  bool ShareIndication(int drug_a, int drug_b) const;
+
+  /// Disease id by name, or -1.
+  int FindDisease(const std::string& name) const;
+  /// Drug id by name, or -1.
+  int FindDrug(const std::string& name) const;
+
+  /// Number of drugs whose *primary* indication is `disease` (the series
+  /// plotted in the paper's Fig. 3).
+  int PrimaryDrugCount(int disease) const;
+
+ private:
+  Catalog();
+
+  std::vector<DiseaseInfo> diseases_;
+  std::vector<DrugInfo> drugs_;
+  std::vector<std::vector<int>> drugs_by_disease_;
+};
+
+/// Canonical disease ids (indices into Catalog::diseases()).
+enum DiseaseId : int {
+  kHypertension = 0,
+  kCardiovascularEvents = 1,
+  kArthritis = 2,
+  kErosiveEsophagitis = 3,
+  kType2Diabetes = 4,
+  kDiabeticNephropathy = 5,
+  kSeizures = 6,
+  kGastricUlcer = 7,
+  kEyeDiseases = 8,
+  kAnxietyDisorder = 9,
+  kEdema = 10,
+  kProstaticHyperplasia = 11,
+  kAsthma = 12,
+  kThromboembolism = 13,
+  kOtherDiseases = 14,
+};
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_CATALOG_H_

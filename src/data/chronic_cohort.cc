@@ -1,0 +1,329 @@
+#include "data/chronic_cohort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dssddi::data {
+
+namespace {
+
+// Feature layout (index -> meaning). Kept in one place so FeatureNames()
+// and the generator cannot drift apart.
+enum FeatureIndex : int {
+  kFGender = 0,
+  kFAge = 1,
+  kFBmi = 2,
+  kFSystolicBp = 3,
+  kFDiastolicBp = 4,
+  kFHeartRate = 5,
+  kFFastingGlucose = 6,
+  kFHba1c = 7,
+  kFTotalCholesterol = 8,
+  kFLdl = 9,
+  kFHdl = 10,
+  kFTriglycerides = 11,
+  kFCreatinine = 12,
+  kFEgfr = 13,
+  kFUrineAlbumin = 14,
+  kFGdsScore = 15,
+  kFPsychFirst = 16,      // 16..25: ten emotional-state questions
+  kFHistoryFirst = 26,    // 26..40: clinical history per disease (15)
+  kFAlphaBlockerHistory = 41,
+  kFNsaidHistory = 42,
+  kFFamilyFirst = 43,     // 43..56: family history per disease (14)
+  kFGripStrength = 57,
+  kFWalkingSpeed = 58,
+  kFSmoking = 59,
+  kFDrinking = 60,
+  kFExercise = 61,
+  kFEducationYears = 62,
+  kFLivingAlone = 63,
+  kFFallsLastYear = 64,
+  kFHospitalAdmissions = 65,
+  kFVisionScore = 66,
+  kFHearingScore = 67,
+  kFMmseScore = 68,
+  kFSleepQuality = 69,
+  kFPainScore = 70,
+};
+
+bool Has(const std::vector<int>& diseases, int id) {
+  return std::find(diseases.begin(), diseases.end(), id) != diseases.end();
+}
+
+}  // namespace
+
+ChronicCohortGenerator::ChronicCohortGenerator(const Catalog& catalog,
+                                               const graph::SignedGraph& ddi,
+                                               const ChronicCohortOptions& options)
+    : catalog_(catalog), ddi_(ddi), options_(options) {
+  DSSDDI_CHECK(ddi.num_vertices() == catalog.num_drugs())
+      << "DDI graph must cover the drug catalog";
+}
+
+const std::vector<std::string>& ChronicCohortGenerator::FeatureNames() {
+  static const std::vector<std::string>* const kNames = [] {
+    auto* names = new std::vector<std::string>{
+        "gender_male",       "age_norm",         "bmi_norm",
+        "systolic_bp",       "diastolic_bp",     "heart_rate",
+        "fasting_glucose",   "hba1c",            "total_cholesterol",
+        "ldl",               "hdl",              "triglycerides",
+        "creatinine",        "egfr",             "urine_albumin",
+        "gds_score",
+    };
+    for (int i = 1; i <= 10; ++i) names->push_back("psych_q" + std::to_string(i));
+    const auto& catalog = Catalog::Instance();
+    for (int d = 0; d < catalog.num_diseases(); ++d) {
+      names->push_back("history_" + catalog.disease(d).name);
+    }
+    names->push_back("ever_taken_alpha_blocker");
+    names->push_back("ever_taken_nsaid");
+    for (int d = 0; d + 1 < catalog.num_diseases(); ++d) {  // 14 family entries
+      names->push_back("family_" + catalog.disease(d).name);
+    }
+    names->insert(names->end(),
+                  {"grip_strength", "walking_speed", "smoking", "drinking",
+                   "exercise", "education_years", "living_alone",
+                   "falls_last_year", "hospital_admissions", "vision_score",
+                   "hearing_score", "mmse_score", "sleep_quality", "pain_score"});
+    DSSDDI_CHECK(static_cast<int>(names->size()) == kNumPatientFeatures)
+        << "feature-name table out of sync: " << names->size();
+    return names;
+  }();
+  return *kNames;
+}
+
+std::vector<PatientRecord> ChronicCohortGenerator::Generate() const {
+  util::Rng rng(options_.seed);
+  const int total = options_.num_males + options_.num_females;
+  std::vector<PatientRecord> patients;
+  patients.reserve(total);
+
+  // Prescriber archetypes: the latent patient profile u selects (by
+  // nearest centroid — a piecewise, nonlinear partition) one of a small
+  // number of archetypes, and each archetype carries its own per-drug
+  // preference weights. The latent profile leaks *linearly* into the
+  // questionnaire features below, so decoding which drug a patient gets
+  // requires capturing the nonlinear archetype structure and drug
+  // co-occurrence — which is exactly what collaborative graph models do
+  // well and per-drug linear classifiers do not (paper Table I).
+  const int latent_dim = options_.latent_dim;
+  constexpr int kNumArchetypes = 12;
+  util::Rng weight_rng(options_.seed ^ 0xABCDEF);
+  std::vector<std::vector<double>> archetype_centroid(kNumArchetypes,
+                                                      std::vector<double>(latent_dim));
+  for (auto& centroid : archetype_centroid) {
+    for (double& c : centroid) c = weight_rng.Normal();
+  }
+  std::vector<std::vector<double>> archetype_drug_pref(
+      kNumArchetypes, std::vector<double>(catalog_.num_drugs()));
+  for (auto& row : archetype_drug_pref) {
+    for (double& w : row) w = weight_rng.Normal();
+  }
+
+  for (int i = 0; i < total; ++i) {
+    PatientRecord p;
+    p.gender = i < options_.num_males ? 1 : 0;
+    p.age = static_cast<float>(std::clamp(65.0 + std::fabs(rng.Normal(0.0, 8.0)), 65.0, 100.0));
+
+    // --- Disease status: marginal prevalence plus comorbidity boosts. ---
+    for (const auto& disease : catalog_.diseases()) {
+      double prob = disease.prevalence;
+      if (disease.id == kProstaticHyperplasia && p.gender == 0) prob = 0.0;
+      if (rng.Bernoulli(prob)) p.diseases.push_back(disease.id);
+    }
+    auto boost = [&](int if_has, int then_add, double prob) {
+      if (Has(p.diseases, if_has) && !Has(p.diseases, then_add) && rng.Bernoulli(prob)) {
+        p.diseases.push_back(then_add);
+      }
+    };
+    boost(kType2Diabetes, kDiabeticNephropathy, 0.15);
+    boost(kType2Diabetes, kHypertension, 0.30);
+    boost(kHypertension, kCardiovascularEvents, 0.12);
+    boost(kCardiovascularEvents, kEdema, 0.10);
+    boost(kErosiveEsophagitis, kGastricUlcer, 0.20);
+    if (p.diseases.empty()) {
+      // Everyone in the chronic study has at least one condition; draw one
+      // proportionally to prevalence.
+      std::vector<double> weights;
+      for (const auto& disease : catalog_.diseases()) {
+        const bool male_only = disease.id == kProstaticHyperplasia;
+        weights.push_back(male_only && p.gender == 0 ? 0.0 : disease.prevalence);
+      }
+      p.diseases.push_back(rng.SampleWeighted(weights));
+    }
+    std::sort(p.diseases.begin(), p.diseases.end());
+
+    // --- Latent prescribing profile (leaks into the features below). ---
+    std::vector<double> latent(latent_dim);
+    for (double& u : latent) u = rng.Normal();
+    int archetype = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < kNumArchetypes; ++k) {
+      double dist = 0.0;
+      for (int j = 0; j < latent_dim; ++j) {
+        const double d = latent[j] - archetype_centroid[k][j];
+        dist += d * d;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        archetype = k;
+      }
+    }
+    auto preference_of = [&](int drug) { return archetype_drug_pref[archetype][drug]; };
+
+    // --- Medications: per disease, 1-3 drugs chosen by the latent
+    // preference with DDI-aware adjustment (synergy sought, antagonism
+    // avoided). ---
+    const bool ignores_ddi = rng.Bernoulli(options_.ddi_ignored_probability);
+    for (int disease : p.diseases) {
+      const auto& candidates = catalog_.DrugsForDisease(disease);
+      if (candidates.empty()) continue;
+      int want = 1 + rng.Poisson(0.45);
+      want = std::min<int>(want, static_cast<int>(candidates.size()));
+      for (int pick = 0; pick < want; ++pick) {
+        std::vector<double> weights;
+        weights.reserve(candidates.size());
+        for (int drug : candidates) {
+          if (Has(p.medications, drug)) {
+            weights.push_back(0.0);
+            continue;
+          }
+          double w = std::exp(options_.preference_sharpness * preference_of(drug));
+          if (!ignores_ddi) {
+            for (int chosen : p.medications) {
+              const auto sign = ddi_.SignOf(chosen, drug);
+              if (sign == graph::EdgeSign::kSynergistic) w *= options_.synergy_boost;
+              if (sign == graph::EdgeSign::kAntagonistic) w *= options_.antagonism_damping;
+            }
+          }
+          weights.push_back(w);
+        }
+        double total_weight = 0.0;
+        for (double w : weights) total_weight += w;
+        if (total_weight <= 0.0) break;
+        p.medications.push_back(candidates[rng.SampleWeighted(weights)]);
+      }
+    }
+    std::sort(p.medications.begin(), p.medications.end());
+    p.medications.erase(std::unique(p.medications.begin(), p.medications.end()),
+                        p.medications.end());
+
+    // --- Features conditioned on disease status. ---
+    auto& f = p.features;
+    f.assign(kNumPatientFeatures, 0.0f);
+    const bool htn = Has(p.diseases, kHypertension);
+    const bool cvd = Has(p.diseases, kCardiovascularEvents);
+    const bool dm = Has(p.diseases, kType2Diabetes);
+    const bool neph = Has(p.diseases, kDiabeticNephropathy);
+    const bool anxiety = Has(p.diseases, kAnxietyDisorder);
+    const bool arthritis = Has(p.diseases, kArthritis);
+    const bool eye = Has(p.diseases, kEyeDiseases);
+    auto clamp01 = [](double v) { return static_cast<float>(std::clamp(v, 0.0, 1.0)); };
+
+    f[kFGender] = static_cast<float>(p.gender);
+    f[kFAge] = clamp01((p.age - 65.0) / 35.0);
+    f[kFBmi] = clamp01(0.45 + 0.05 * dm + 0.03 * htn + rng.Normal(0.0, 0.08));
+    f[kFSystolicBp] = clamp01(0.45 + 0.22 * htn + 0.05 * neph + rng.Normal(0.0, 0.07));
+    f[kFDiastolicBp] = clamp01(0.45 + 0.15 * htn + rng.Normal(0.0, 0.07));
+    f[kFHeartRate] = clamp01(0.50 + 0.08 * cvd + rng.Normal(0.0, 0.08));
+    f[kFFastingGlucose] = clamp01(0.35 + 0.30 * dm + rng.Normal(0.0, 0.06));
+    f[kFHba1c] = clamp01(0.32 + 0.33 * dm + 0.08 * neph + rng.Normal(0.0, 0.05));
+    f[kFTotalCholesterol] = clamp01(0.45 + 0.18 * cvd + rng.Normal(0.0, 0.08));
+    f[kFLdl] = clamp01(0.42 + 0.20 * cvd + rng.Normal(0.0, 0.08));
+    f[kFHdl] = clamp01(0.55 - 0.12 * cvd - 0.05 * dm + rng.Normal(0.0, 0.07));
+    f[kFTriglycerides] = clamp01(0.40 + 0.12 * dm + 0.10 * cvd + rng.Normal(0.0, 0.08));
+    f[kFCreatinine] = clamp01(0.35 + 0.30 * neph + rng.Normal(0.0, 0.06));
+    f[kFEgfr] = clamp01(0.65 - 0.30 * neph - 0.002 * (p.age - 65.0) + rng.Normal(0.0, 0.06));
+    f[kFUrineAlbumin] = clamp01(0.20 + 0.40 * neph + 0.08 * dm + rng.Normal(0.0, 0.06));
+    f[kFGdsScore] = clamp01(0.20 + 0.35 * anxiety + 0.05 * cvd + rng.Normal(0.0, 0.08));
+
+    for (int q = 0; q < 10; ++q) {
+      const double prob = 0.12 + 0.45 * anxiety + 0.25 * f[kFGdsScore];
+      f[kFPsychFirst + q] = rng.Bernoulli(std::min(prob, 0.95)) ? 1.0f : 0.0f;
+    }
+    for (int d = 0; d < catalog_.num_diseases(); ++d) {
+      const double prob = Has(p.diseases, d) ? 0.85 : 0.04;
+      f[kFHistoryFirst + d] = rng.Bernoulli(prob) ? 1.0f : 0.0f;
+    }
+    f[kFAlphaBlockerHistory] =
+        rng.Bernoulli(Has(p.diseases, kProstaticHyperplasia) || htn ? 0.35 : 0.03) ? 1.0f : 0.0f;
+    f[kFNsaidHistory] = rng.Bernoulli(arthritis ? 0.60 : 0.10) ? 1.0f : 0.0f;
+    for (int d = 0; d + 1 < catalog_.num_diseases(); ++d) {
+      const double prob = std::min(0.9, catalog_.disease(d).prevalence * 1.5 +
+                                            (Has(p.diseases, d) ? 0.10 : 0.0));
+      f[kFFamilyFirst + d] = rng.Bernoulli(prob) ? 1.0f : 0.0f;
+    }
+    f[kFGripStrength] = clamp01(0.35 + 0.20 * p.gender - 0.004 * (p.age - 65.0) +
+                                rng.Normal(0.0, 0.07));
+    f[kFWalkingSpeed] = clamp01(0.60 - 0.005 * (p.age - 65.0) - 0.05 * arthritis +
+                                rng.Normal(0.0, 0.07));
+    f[kFSmoking] = rng.Bernoulli(p.gender == 1 ? 0.30 : 0.05) ? 1.0f : 0.0f;
+    f[kFDrinking] = rng.Bernoulli(p.gender == 1 ? 0.25 : 0.06) ? 1.0f : 0.0f;
+    f[kFExercise] = clamp01(0.5 + rng.Normal(0.0, 0.15) - 0.05 * cvd);
+    f[kFEducationYears] = clamp01(0.35 + rng.Normal(0.0, 0.15));
+    f[kFLivingAlone] = rng.Bernoulli(0.18) ? 1.0f : 0.0f;
+    f[kFFallsLastYear] = clamp01(0.1 * rng.Poisson(0.35 + 0.01 * (p.age - 65.0)));
+    f[kFHospitalAdmissions] =
+        clamp01(0.12 * rng.Poisson(0.3 + 0.25 * static_cast<double>(p.diseases.size())));
+    f[kFVisionScore] = clamp01(0.70 - 0.30 * eye - 0.003 * (p.age - 65.0) +
+                               rng.Normal(0.0, 0.06));
+    f[kFHearingScore] = clamp01(0.70 - 0.004 * (p.age - 65.0) + rng.Normal(0.0, 0.07));
+    f[kFMmseScore] = clamp01(0.80 - 0.004 * (p.age - 65.0) - 0.04 * anxiety +
+                             rng.Normal(0.0, 0.06));
+    f[kFSleepQuality] = clamp01(0.60 - 0.20 * anxiety - 0.05 * arthritis +
+                                rng.Normal(0.0, 0.08));
+    f[kFPainScore] = clamp01(0.15 + 0.45 * arthritis + rng.Normal(0.0, 0.07));
+
+    // Leak the latent prescribing profile into continuous measurements
+    // (two features per latent coordinate). This is how the real cohort's
+    // questionnaire carries drug-level signal: lifestyle and physiology
+    // correlate with which drug a doctor selects within a family.
+    const int latent_feature_slots[12] = {
+        kFBmi, kFHeartRate, kFGdsScore, kFExercise, kFGripStrength,
+        kFWalkingSpeed, kFSleepQuality, kFMmseScore, kFEducationYears,
+        kFVisionScore, kFHearingScore, kFPainScore};
+    for (int j = 0; j < latent_dim && 3 * j + 2 < 12; ++j) {
+      f[latent_feature_slots[3 * j]] =
+          clamp01(f[latent_feature_slots[3 * j]] + 0.18 * latent[j]);
+      f[latent_feature_slots[3 * j + 1]] =
+          clamp01(f[latent_feature_slots[3 * j + 1]] - 0.18 * latent[j]);
+      f[latent_feature_slots[3 * j + 2]] =
+          clamp01(f[latent_feature_slots[3 * j + 2]] + 0.14 * latent[j]);
+    }
+
+    patients.push_back(std::move(p));
+  }
+  return patients;
+}
+
+tensor::Matrix ChronicCohortGenerator::FeatureMatrix(
+    const std::vector<PatientRecord>& patients) {
+  DSSDDI_CHECK(!patients.empty()) << "empty cohort";
+  tensor::Matrix x(static_cast<int>(patients.size()), kNumPatientFeatures);
+  for (size_t i = 0; i < patients.size(); ++i) {
+    DSSDDI_CHECK(patients[i].features.size() == kNumPatientFeatures)
+        << "patient " << i << " has wrong feature arity";
+    std::copy(patients[i].features.begin(), patients[i].features.end(),
+              x.RowPtr(static_cast<int>(i)));
+  }
+  return x;
+}
+
+tensor::Matrix ChronicCohortGenerator::MedicationMatrix(
+    const std::vector<PatientRecord>& patients, int num_drugs) {
+  tensor::Matrix y(static_cast<int>(patients.size()), num_drugs, 0.0f);
+  for (size_t i = 0; i < patients.size(); ++i) {
+    for (int drug : patients[i].medications) {
+      DSSDDI_CHECK(drug >= 0 && drug < num_drugs) << "drug id out of range";
+      y.At(static_cast<int>(i), drug) = 1.0f;
+    }
+  }
+  return y;
+}
+
+}  // namespace dssddi::data

@@ -1,0 +1,77 @@
+#ifndef DSSDDI_DATA_CHRONIC_COHORT_H_
+#define DSSDDI_DATA_CHRONIC_COHORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/catalog.h"
+#include "graph/signed_graph.h"
+#include "tensor/matrix.h"
+
+namespace dssddi::data {
+
+/// Number of questionnaire + laboratory features per participant
+/// (paper Section II-A: "we collected a total of 71 features").
+inline constexpr int kNumPatientFeatures = 71;
+
+/// One synthesized participant of the chronic-disease study.
+struct PatientRecord {
+  int gender = 0;  // 1 = male, 0 = female
+  float age = 65.0f;
+  std::vector<int> diseases;      // catalog disease ids
+  std::vector<float> features;    // kNumPatientFeatures values
+  std::vector<int> medications;   // catalog drug ids
+};
+
+struct ChronicCohortOptions {
+  /// Cohort sizes from the paper (Section II-A): 2254 male and 1903
+  /// female interview records.
+  int num_males = 2254;
+  int num_females = 1903;
+  uint64_t seed = 2001;  // study initiation year
+  /// Multiplicative preference for adding a drug synergistic with one
+  /// already prescribed, and aversion for an antagonistic one.
+  double synergy_boost = 6.0;
+  double antagonism_damping = 0.08;
+  /// Probability that a prescription ignores DDI entirely (severe cases,
+  /// paper Case 4).
+  double ddi_ignored_probability = 0.05;
+  /// Sharpness of the latent prescribing preference: higher makes drug
+  /// choice within a disease more deterministic given the patient's
+  /// latent profile (which leaks into the questionnaire features), i.e.
+  /// more learnable for feature-based models.
+  double preference_sharpness = 4.0;
+  /// Dimension of the latent patient profile.
+  int latent_dim = 4;
+};
+
+/// Synthesizes a Hong Kong Chronic Disease Study-like cohort. Disease
+/// status drives both the 71 features (labs, history, psych assessment)
+/// and medication use; medication choice within a disease prefers
+/// synergistic and avoids antagonistic combinations, creating the causal
+/// DDI → medication-use structure the MD module is designed to learn.
+class ChronicCohortGenerator {
+ public:
+  ChronicCohortGenerator(const Catalog& catalog, const graph::SignedGraph& ddi,
+                         const ChronicCohortOptions& options = {});
+
+  std::vector<PatientRecord> Generate() const;
+
+  /// Stacks per-patient features into an (n x 71) matrix.
+  static tensor::Matrix FeatureMatrix(const std::vector<PatientRecord>& patients);
+  /// Stacks medication use into an (n x num_drugs) 0/1 matrix.
+  static tensor::Matrix MedicationMatrix(const std::vector<PatientRecord>& patients,
+                                         int num_drugs);
+
+  /// Human-readable names of the 71 features, index-aligned.
+  static const std::vector<std::string>& FeatureNames();
+
+ private:
+  const Catalog& catalog_;
+  const graph::SignedGraph& ddi_;
+  ChronicCohortOptions options_;
+};
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_CHRONIC_COHORT_H_

@@ -1,0 +1,308 @@
+#include "data/csv_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "util/csv.h"
+
+namespace dssddi::data {
+namespace {
+
+std::string FormatFloat(float value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseFloat(const std::string& text, float* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const float value = std::strtof(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool ExportDatasetCsv(const SuggestionDataset& dataset, const CsvDatasetPaths& paths,
+                      std::string* error) {
+  // patients.csv
+  {
+    std::vector<std::string> header = {"patient_id"};
+    for (int j = 0; j < dataset.patient_features.cols(); ++j) {
+      header.push_back("f" + std::to_string(j));
+    }
+    util::CsvWriter writer(std::move(header));
+    for (int i = 0; i < dataset.num_patients(); ++i) {
+      std::vector<std::string> row = {std::to_string(i)};
+      for (int j = 0; j < dataset.patient_features.cols(); ++j) {
+        row.push_back(FormatFloat(dataset.patient_features.At(i, j)));
+      }
+      writer.AddRow(std::move(row));
+    }
+    if (!writer.WriteFile(paths.patients_csv)) {
+      return Fail(error, "cannot write " + paths.patients_csv);
+    }
+  }
+  // medication.csv (long format)
+  {
+    util::CsvWriter writer({"patient_id", "drug_id"});
+    for (int i = 0; i < dataset.num_patients(); ++i) {
+      for (int v = 0; v < dataset.num_drugs(); ++v) {
+        if (dataset.medication.At(i, v) > 0.5f) {
+          writer.AddRow({std::to_string(i), std::to_string(v)});
+        }
+      }
+    }
+    if (!writer.WriteFile(paths.medication_csv)) {
+      return Fail(error, "cannot write " + paths.medication_csv);
+    }
+  }
+  // ddi.csv — interaction edges only (0-edges are resampled at training).
+  {
+    util::CsvWriter writer({"drug_u", "drug_v", "sign"});
+    for (const auto& edge : dataset.ddi.edges()) {
+      if (edge.sign == graph::EdgeSign::kNone) continue;
+      writer.AddRow({std::to_string(edge.u), std::to_string(edge.v),
+                     std::to_string(static_cast<int>(edge.sign))});
+    }
+    if (!writer.WriteFile(paths.ddi_csv)) {
+      return Fail(error, "cannot write " + paths.ddi_csv);
+    }
+  }
+  // visits.csv (optional)
+  if (!paths.visits_csv.empty()) {
+    util::CsvWriter writer({"patient_id", "visit_index", "code_id"});
+    for (size_t i = 0; i < dataset.visit_codes.size(); ++i) {
+      for (size_t visit = 0; visit < dataset.visit_codes[i].size(); ++visit) {
+        for (int code : dataset.visit_codes[i][visit]) {
+          writer.AddRow({std::to_string(i), std::to_string(visit),
+                         std::to_string(code)});
+        }
+      }
+    }
+    if (!writer.WriteFile(paths.visits_csv)) {
+      return Fail(error, "cannot write " + paths.visits_csv);
+    }
+  }
+  // drugs.csv
+  {
+    std::vector<std::string> header = {"drug_id", "name"};
+    for (int j = 0; j < dataset.drug_features.cols(); ++j) {
+      header.push_back("k" + std::to_string(j));
+    }
+    util::CsvWriter writer(std::move(header));
+    for (int v = 0; v < dataset.num_drugs(); ++v) {
+      std::vector<std::string> row = {
+          std::to_string(v),
+          v < static_cast<int>(dataset.drug_names.size()) ? dataset.drug_names[v]
+                                                          : "drug" + std::to_string(v)};
+      for (int j = 0; j < dataset.drug_features.cols(); ++j) {
+        row.push_back(FormatFloat(dataset.drug_features.At(v, j)));
+      }
+      writer.AddRow(std::move(row));
+    }
+    if (!writer.WriteFile(paths.drugs_csv)) {
+      return Fail(error, "cannot write " + paths.drugs_csv);
+    }
+  }
+  return true;
+}
+
+bool LoadDatasetCsv(const CsvDatasetPaths& paths, const CsvImportOptions& options,
+                    SuggestionDataset* dataset, std::string* error) {
+  util::CsvDocument patients, medication, ddi, drugs;
+  std::string parse_error;
+  if (!util::ReadCsvFile(paths.patients_csv, &patients, &parse_error)) {
+    return Fail(error, paths.patients_csv + ": " + parse_error);
+  }
+  if (!util::ReadCsvFile(paths.medication_csv, &medication, &parse_error)) {
+    return Fail(error, paths.medication_csv + ": " + parse_error);
+  }
+  if (!util::ReadCsvFile(paths.ddi_csv, &ddi, &parse_error)) {
+    return Fail(error, paths.ddi_csv + ": " + parse_error);
+  }
+  if (!util::ReadCsvFile(paths.drugs_csv, &drugs, &parse_error)) {
+    return Fail(error, paths.drugs_csv + ": " + parse_error);
+  }
+
+  // ---- drugs.csv: ids must be 0..n-1 (any row order). ----
+  if (drugs.ColumnIndex("drug_id") != 0 || drugs.ColumnIndex("name") != 1) {
+    return Fail(error, paths.drugs_csv + ": header must start drug_id,name");
+  }
+  const int num_drugs = drugs.num_rows();
+  const int drug_feature_dim = drugs.num_columns() - 2;
+  SuggestionDataset result;
+  result.name = options.dataset_name;
+  result.drug_names.assign(num_drugs, "");
+  result.drug_features = drug_feature_dim > 0
+                             ? tensor::Matrix(num_drugs, drug_feature_dim)
+                             : tensor::Matrix::Identity(num_drugs);
+  std::vector<char> drug_seen(num_drugs, 0);
+  for (const auto& row : drugs.rows) {
+    int id = -1;
+    if (!ParseInt(row[0], &id) || id < 0 || id >= num_drugs || drug_seen[id]) {
+      return Fail(error, paths.drugs_csv + ": bad or duplicate drug_id '" + row[0] +
+                             "' (ids must be 0.." + std::to_string(num_drugs - 1) + ")");
+    }
+    drug_seen[id] = 1;
+    result.drug_names[id] = row[1];
+    for (int j = 0; j < drug_feature_dim; ++j) {
+      float value = 0.0f;
+      if (!ParseFloat(row[2 + j], &value)) {
+        return Fail(error, paths.drugs_csv + ": bad feature '" + row[2 + j] + "'");
+      }
+      result.drug_features.At(id, j) = value;
+    }
+  }
+
+  // ---- patients.csv ----
+  if (patients.ColumnIndex("patient_id") != 0 || patients.num_columns() < 2) {
+    return Fail(error, paths.patients_csv + ": header must start patient_id,<features>");
+  }
+  const int num_patients = patients.num_rows();
+  const int feature_dim = patients.num_columns() - 1;
+  result.patient_features = tensor::Matrix(num_patients, feature_dim);
+  std::vector<char> patient_seen(num_patients, 0);
+  // Missing-cell bookkeeping for the imputation pass.
+  std::vector<std::pair<int, int>> missing_cells;
+  std::vector<double> column_sum(feature_dim, 0.0);
+  std::vector<long long> column_count(feature_dim, 0);
+  for (const auto& row : patients.rows) {
+    int id = -1;
+    if (!ParseInt(row[0], &id) || id < 0 || id >= num_patients || patient_seen[id]) {
+      return Fail(error, paths.patients_csv + ": bad or duplicate patient_id '" +
+                             row[0] + "' (ids must be 0.." +
+                             std::to_string(num_patients - 1) + ")");
+    }
+    patient_seen[id] = 1;
+    for (int j = 0; j < feature_dim; ++j) {
+      if (row[1 + j].empty()) {
+        if (options.missing_policy == MissingPolicy::kReject) {
+          return Fail(error, paths.patients_csv + ": empty feature cell for patient " +
+                                 row[0] + " (set missing_policy to impute)");
+        }
+        missing_cells.emplace_back(id, j);
+        continue;
+      }
+      float value = 0.0f;
+      if (!ParseFloat(row[1 + j], &value)) {
+        return Fail(error, paths.patients_csv + ": bad feature '" + row[1 + j] + "'");
+      }
+      result.patient_features.At(id, j) = value;
+      column_sum[j] += value;
+      ++column_count[j];
+    }
+  }
+  if (options.missing_policy == MissingPolicy::kColumnMean) {
+    for (const auto& [id, j] : missing_cells) {
+      result.patient_features.At(id, j) =
+          column_count[j] > 0
+              ? static_cast<float>(column_sum[j] / static_cast<double>(column_count[j]))
+              : 0.0f;
+    }
+  }  // kZero: cells already default to 0.
+
+  // ---- medication.csv ----
+  if (medication.ColumnIndex("patient_id") != 0 ||
+      medication.ColumnIndex("drug_id") != 1) {
+    return Fail(error, paths.medication_csv + ": header must be patient_id,drug_id");
+  }
+  result.medication = tensor::Matrix(num_patients, num_drugs, 0.0f);
+  for (const auto& row : medication.rows) {
+    int patient = -1;
+    int drug = -1;
+    if (!ParseInt(row[0], &patient) || patient < 0 || patient >= num_patients) {
+      return Fail(error, paths.medication_csv + ": unknown patient_id '" + row[0] + "'");
+    }
+    if (!ParseInt(row[1], &drug) || drug < 0 || drug >= num_drugs) {
+      return Fail(error, paths.medication_csv + ": unknown drug_id '" + row[1] + "'");
+    }
+    result.medication.At(patient, drug) = 1.0f;
+  }
+
+  // ---- ddi.csv ----
+  if (ddi.ColumnIndex("drug_u") != 0 || ddi.ColumnIndex("drug_v") != 1 ||
+      ddi.ColumnIndex("sign") != 2) {
+    return Fail(error, paths.ddi_csv + ": header must be drug_u,drug_v,sign");
+  }
+  std::vector<graph::SignedEdge> edges;
+  edges.reserve(ddi.rows.size());
+  for (const auto& row : ddi.rows) {
+    graph::SignedEdge edge;
+    int sign = 0;
+    if (!ParseInt(row[0], &edge.u) || edge.u < 0 || edge.u >= num_drugs ||
+        !ParseInt(row[1], &edge.v) || edge.v < 0 || edge.v >= num_drugs ||
+        edge.u == edge.v) {
+      return Fail(error, paths.ddi_csv + ": bad drug pair '" + row[0] + "," + row[1] + "'");
+    }
+    if (!ParseInt(row[2], &sign) || (sign != -1 && sign != 1)) {
+      return Fail(error, paths.ddi_csv + ": sign must be -1 or 1, got '" + row[2] + "'");
+    }
+    edge.sign = static_cast<graph::EdgeSign>(sign);
+    edges.push_back(edge);
+  }
+  result.ddi = graph::SignedGraph(num_drugs, std::move(edges));
+
+  // ---- visits.csv (optional) ----
+  if (!paths.visits_csv.empty()) {
+    util::CsvDocument visits;
+    if (!util::ReadCsvFile(paths.visits_csv, &visits, &parse_error)) {
+      return Fail(error, paths.visits_csv + ": " + parse_error);
+    }
+    if (visits.ColumnIndex("patient_id") != 0 ||
+        visits.ColumnIndex("visit_index") != 1 ||
+        visits.ColumnIndex("code_id") != 2) {
+      return Fail(error,
+                  paths.visits_csv + ": header must be patient_id,visit_index,code_id");
+    }
+    result.visit_codes.assign(num_patients, {});
+    for (const auto& row : visits.rows) {
+      int patient = -1;
+      int visit = -1;
+      int code = -1;
+      if (!ParseInt(row[0], &patient) || patient < 0 || patient >= num_patients) {
+        return Fail(error, paths.visits_csv + ": unknown patient_id '" + row[0] + "'");
+      }
+      if (!ParseInt(row[1], &visit) || visit < 0 || visit > 1024) {
+        return Fail(error, paths.visits_csv + ": bad visit_index '" + row[1] + "'");
+      }
+      if (!ParseInt(row[2], &code) || code < 0) {
+        return Fail(error, paths.visits_csv + ": bad code_id '" + row[2] + "'");
+      }
+      auto& patient_visits = result.visit_codes[patient];
+      if (static_cast<int>(patient_visits.size()) <= visit) {
+        patient_visits.resize(visit + 1);
+      }
+      patient_visits[visit].push_back(code);
+    }
+  }
+
+  result.split = MakeSplit(num_patients, options.train_fraction,
+                           options.validation_fraction, options.split_seed);
+  result.num_diseases =
+      options.num_diseases > 0
+          ? options.num_diseases
+          : std::max(2, static_cast<int>(std::lround(std::sqrt(num_drugs))));
+  *dataset = std::move(result);
+  return true;
+}
+
+}  // namespace dssddi::data

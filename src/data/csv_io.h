@@ -1,0 +1,69 @@
+#ifndef DSSDDI_DATA_CSV_IO_H_
+#define DSSDDI_DATA_CSV_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace dssddi::data {
+
+/// File set of the interchange format: a cohort is four CSVs so clinics
+/// can assemble a SuggestionDataset from spreadsheets instead of the
+/// built-in generators.
+///   patients.csv    patient_id, <one column per feature>
+///   medication.csv  patient_id, drug_id            (long format, 0/1)
+///   ddi.csv         drug_u, drug_v, sign           (sign in {-1, 1})
+///   drugs.csv       drug_id, name, <feature columns, optional>
+struct CsvDatasetPaths {
+  std::string patients_csv;
+  std::string medication_csv;
+  std::string ddi_csv;
+  std::string drugs_csv;
+  /// Optional fifth file for visit histories (consumed by the sequence
+  /// baselines SafeDrug/CauseRec on EHR-style data):
+  ///   visits.csv   patient_id, visit_index, code_id
+  /// Leave empty to skip on both export and import.
+  std::string visits_csv;
+};
+
+/// How empty feature cells in patients.csv are handled.
+enum class MissingPolicy {
+  kReject,      // any empty cell is an error (default: safest)
+  kZero,        // impute 0
+  kColumnMean,  // impute the column mean over the observed cells
+};
+
+struct CsvImportOptions {
+  /// Split ratios applied after loading (paper uses 5:3:2).
+  double train_fraction = 0.5;
+  double validation_fraction = 0.3;
+  uint64_t split_seed = 532;
+  /// Cluster count for the causal treatment construction; <= 0 derives a
+  /// heuristic from the drug count.
+  int num_diseases = 0;
+  std::string dataset_name = "csv";
+  /// Imputation policy for empty patient-feature cells. Questionnaire
+  /// data is rarely complete; kColumnMean keeps the feature scale while
+  /// kZero is appropriate for one-hot history flags.
+  MissingPolicy missing_policy = MissingPolicy::kReject;
+};
+
+/// Writes the CSVs for `dataset` (four, plus visits.csv when a path is
+/// given and the dataset carries visit histories). Feature columns are named f0..fN
+/// unless the dataset carries names. Only +1/-1 DDI edges are exported
+/// (sampled 0-edges are a training artifact). Returns false and fills
+/// `error` on I/O failure.
+bool ExportDatasetCsv(const SuggestionDataset& dataset, const CsvDatasetPaths& paths,
+                      std::string* error = nullptr);
+
+/// Assembles a SuggestionDataset from the four CSVs. drugs.csv may omit
+/// feature columns, in which case drugs get identity features. Validates
+/// referential integrity (medication/ddi rows must name known ids) and
+/// numeric fields; returns false with a diagnostic in `error` otherwise.
+bool LoadDatasetCsv(const CsvDatasetPaths& paths, const CsvImportOptions& options,
+                    SuggestionDataset* dataset, std::string* error = nullptr);
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_CSV_IO_H_

@@ -1,0 +1,54 @@
+#include "data/dataset.h"
+
+#include "data/ddi_database.h"
+#include "data/drkg_like.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dssddi::data {
+
+Split MakeSplit(int num_patients, double train_fraction, double validation_fraction,
+                uint64_t seed) {
+  DSSDDI_CHECK(train_fraction > 0.0 && validation_fraction >= 0.0 &&
+               train_fraction + validation_fraction < 1.0)
+      << "invalid split fractions";
+  std::vector<int> order(num_patients);
+  for (int i = 0; i < num_patients; ++i) order[i] = i;
+  util::Rng rng(seed);
+  rng.Shuffle(order);
+  const int train_end = static_cast<int>(num_patients * train_fraction);
+  const int val_end = train_end + static_cast<int>(num_patients * validation_fraction);
+  Split split;
+  split.train.assign(order.begin(), order.begin() + train_end);
+  split.validation.assign(order.begin() + train_end, order.begin() + val_end);
+  split.test.assign(order.begin() + val_end, order.end());
+  return split;
+}
+
+SuggestionDataset BuildChronicDataset(const ChronicDatasetOptions& options) {
+  const Catalog& catalog = Catalog::Instance();
+  SuggestionDataset dataset;
+  dataset.name = "chronic";
+  dataset.ddi = GenerateDdiDatabase(catalog);
+
+  ChronicCohortGenerator generator(catalog, dataset.ddi, options.cohort);
+  const std::vector<PatientRecord> patients = generator.Generate();
+  dataset.patient_features = ChronicCohortGenerator::FeatureMatrix(patients);
+  dataset.medication =
+      ChronicCohortGenerator::MedicationMatrix(patients, catalog.num_drugs());
+  dataset.patient_diseases.reserve(patients.size());
+  for (const auto& p : patients) dataset.patient_diseases.push_back(p.diseases);
+
+  DrkgLikeOptions kg_options;
+  kg_options.embedding_dim = options.kg_embedding_dim;
+  kg_options.transe_epochs = options.transe_epochs;
+  dataset.drug_features = PretrainDrkgLikeEmbeddings(catalog, dataset.ddi, kg_options);
+
+  dataset.split = MakeSplit(dataset.num_patients(), 0.5, 0.3, options.split_seed);
+  dataset.num_diseases = catalog.num_diseases();
+  dataset.drug_names.reserve(catalog.num_drugs());
+  for (const auto& drug : catalog.drugs()) dataset.drug_names.push_back(drug.name);
+  return dataset;
+}
+
+}  // namespace dssddi::data

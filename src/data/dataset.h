@@ -1,0 +1,62 @@
+#ifndef DSSDDI_DATA_DATASET_H_
+#define DSSDDI_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/catalog.h"
+#include "data/chronic_cohort.h"
+#include "graph/signed_graph.h"
+#include "tensor/matrix.h"
+
+namespace dssddi::data {
+
+/// Train/validation/test partition over patient indices.
+struct Split {
+  std::vector<int> train;
+  std::vector<int> validation;
+  std::vector<int> test;
+};
+
+/// Random split by ratio (paper Section V-A2 uses 5:3:2).
+Split MakeSplit(int num_patients, double train_fraction, double validation_fraction,
+                uint64_t seed);
+
+/// A fully assembled medication-suggestion task instance, shared by the
+/// core system, every baseline, and the benchmark harnesses.
+struct SuggestionDataset {
+  std::string name;
+  tensor::Matrix patient_features;   // n x d1
+  tensor::Matrix medication;         // n x num_drugs, 0/1
+  tensor::Matrix drug_features;      // num_drugs x d2 (pretrained KG features)
+  graph::SignedGraph ddi;            // interaction graph over the drugs
+  Split split;
+  int num_diseases = 0;              // k for patient clustering
+  std::vector<std::string> drug_names;
+  /// Per-patient disease ids (chronic set only; empty for MIMIC-like).
+  std::vector<std::vector<int>> patient_diseases;
+  /// Per-patient visit histories as code-id lists (MIMIC-like set only;
+  /// consumed by the sequence-based baselines SafeDrug and CauseRec).
+  std::vector<std::vector<std::vector<int>>> visit_codes;
+
+  int num_patients() const { return patient_features.rows(); }
+  int num_drugs() const { return medication.cols(); }
+};
+
+struct ChronicDatasetOptions {
+  ChronicCohortOptions cohort;
+  uint64_t split_seed = 532;  // the paper's 5:3:2 ratio
+  /// Size of the pretrained KG embeddings. The paper uses 400; benches and
+  /// tests may shrink this for speed.
+  int kg_embedding_dim = 64;
+  int transe_epochs = 20;
+};
+
+/// Builds the full chronic-study task: DDI database, cohort, DRKG-like
+/// pretrained drug features, and the 5:3:2 split.
+SuggestionDataset BuildChronicDataset(const ChronicDatasetOptions& options = {});
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_DATASET_H_

@@ -1,0 +1,118 @@
+#include "data/ddi_database.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dssddi::data {
+
+namespace {
+
+std::pair<int, int> Ordered(int a, int b) { return a < b ? std::make_pair(a, b) : std::make_pair(b, a); }
+
+}  // namespace
+
+graph::SignedGraph GenerateDdiDatabase(const Catalog& catalog,
+                                       const DdiDatabaseOptions& options) {
+  const int n = catalog.num_drugs();
+  util::Rng rng(options.seed);
+  std::set<std::pair<int, int>> used;
+  std::vector<graph::SignedEdge> edges;
+
+  auto add_edge = [&](int u, int v, graph::EdgeSign sign) {
+    auto key = Ordered(u, v);
+    if (!used.insert(key).second) return false;
+    edges.push_back({key.first, key.second, sign});
+    return true;
+  };
+
+  // --- Interactions pinned by the paper's case studies. ---
+  const int doxazosin = catalog.FindDrug("Doxazosin");
+  const int terazosin = catalog.FindDrug("Terazosin");
+  const int prazosin = catalog.FindDrug("Prazosin");
+  const int enalapril = catalog.FindDrug("Enalapril");
+  const int perindopril = catalog.FindDrug("Perindopril");
+  const int amlodipine = catalog.FindDrug("Amlodipine");
+  const int indapamide = catalog.FindDrug("Indapamide");
+  const int felodipine = catalog.FindDrug("Felodipine");
+  const int simvastatin = catalog.FindDrug("Simvastatin");
+  const int atorvastatin = catalog.FindDrug("Atorvastatin");
+  const int metformin = catalog.FindDrug("Metformin");
+  const int isosorbide_dn = catalog.FindDrug("Isosorbide Dinitrate");
+  const int isosorbide_mn = catalog.FindDrug("Isosorbide Mononitrate");
+  const int gabapentin = catalog.FindDrug("Gabapentin");
+  const int phenytoin = catalog.FindDrug("Phenytoin");
+  const int theophylline = catalog.FindDrug("Theophylline");
+
+  int synergistic = 0;
+  int antagonistic = 0;
+  auto pin_synergy = [&](int u, int v) {
+    if (add_edge(u, v, graph::EdgeSign::kSynergistic)) ++synergistic;
+  };
+  auto pin_antagonism = [&](int u, int v) {
+    if (add_edge(u, v, graph::EdgeSign::kAntagonistic)) ++antagonistic;
+  };
+
+  pin_synergy(simvastatin, atorvastatin);      // Fig. 8(a)
+  pin_synergy(indapamide, perindopril);        // Case 1
+  pin_antagonism(isosorbide_mn, gabapentin);   // Fig. 8(a)
+  pin_antagonism(gabapentin, doxazosin);       // Fig. 8(e)
+  pin_antagonism(enalapril, theophylline);     // Case 2
+  pin_antagonism(isosorbide_dn, metformin);    // Case 4
+  for (int blocker : {phenytoin, doxazosin, terazosin, prazosin}) {  // Case 3
+    pin_antagonism(amlodipine, blocker);
+    pin_antagonism(felodipine, blocker);
+  }
+
+  // --- Fill synergy: same-indication pairs (combinatorial therapy within
+  // a disease family, mirroring DrugCombDB's curation bias). ---
+  std::vector<std::pair<int, int>> synergy_pool;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (catalog.ShareIndication(u, v)) synergy_pool.emplace_back(u, v);
+    }
+  }
+  rng.Shuffle(synergy_pool);
+  for (const auto& [u, v] : synergy_pool) {
+    if (synergistic >= options.num_synergistic) break;
+    if (add_edge(u, v, graph::EdgeSign::kSynergistic)) ++synergistic;
+  }
+  DSSDDI_CHECK(synergistic == options.num_synergistic)
+      << "synergy pool exhausted at " << synergistic;
+
+  // --- Fill antagonism: mostly cross-indication pairs (80%), with a
+  // minority of same-indication contraindications (20%). ---
+  std::vector<std::pair<int, int>> cross_pool;
+  std::vector<std::pair<int, int>> same_pool;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (used.count(Ordered(u, v)) != 0) continue;
+      (catalog.ShareIndication(u, v) ? same_pool : cross_pool).emplace_back(u, v);
+    }
+  }
+  rng.Shuffle(cross_pool);
+  rng.Shuffle(same_pool);
+  const int same_target = options.num_antagonistic / 5;
+  size_t same_cursor = 0;
+  size_t cross_cursor = 0;
+  while (antagonistic < options.num_antagonistic) {
+    const bool want_same =
+        antagonistic < same_target && same_cursor < same_pool.size();
+    if (want_same) {
+      const auto [u, v] = same_pool[same_cursor++];
+      if (add_edge(u, v, graph::EdgeSign::kAntagonistic)) ++antagonistic;
+    } else {
+      DSSDDI_CHECK(cross_cursor < cross_pool.size()) << "antagonism pool exhausted";
+      const auto [u, v] = cross_pool[cross_cursor++];
+      if (add_edge(u, v, graph::EdgeSign::kAntagonistic)) ++antagonistic;
+    }
+  }
+
+  return graph::SignedGraph(n, std::move(edges));
+}
+
+}  // namespace dssddi::data

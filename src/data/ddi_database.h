@@ -1,0 +1,36 @@
+#ifndef DSSDDI_DATA_DDI_DATABASE_H_
+#define DSSDDI_DATA_DDI_DATABASE_H_
+
+#include <cstdint>
+
+#include "data/catalog.h"
+#include "graph/signed_graph.h"
+
+namespace dssddi::data {
+
+struct DdiDatabaseOptions {
+  /// Pair counts extracted from DrugCombDB in the paper (Section II-C).
+  int num_synergistic = 97;
+  int num_antagonistic = 243;
+  uint64_t seed = 20230304;  // arXiv date of the paper
+};
+
+/// Generates a DrugCombDB-like interaction set over the catalog's 86
+/// drugs: exactly `num_synergistic` +1 edges and `num_antagonistic` -1
+/// edges. Synergy is biased toward drug pairs sharing an indication,
+/// antagonism toward cross-indication pairs, and every interaction the
+/// paper mentions in its case studies is pinned:
+///   * Simvastatin-Atorvastatin synergy and Isosorbide-Gabapentin
+///     antagonism (Fig. 8);
+///   * Indapamide-Perindopril synergy (Case 1);
+///   * Enalapril-Theophylline antagonism (Case 2);
+///   * Amlodipine/Felodipine antagonistic to Phenytoin, Doxazosin,
+///     Terazosin and Prazosin (Case 3);
+///   * Isosorbide Dinitrate-Metformin antagonism (Case 4);
+///   * Gabapentin-Doxazosin antagonism (Fig. 8e).
+graph::SignedGraph GenerateDdiDatabase(const Catalog& catalog,
+                                       const DdiDatabaseOptions& options = {});
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_DDI_DATABASE_H_

@@ -1,0 +1,101 @@
+#include "data/drkg_like.h"
+
+#include <string>
+
+#include "kg/transh.h"
+#include "util/rng.h"
+
+namespace dssddi::data {
+
+kg::TripleStore BuildDrkgLikeTriples(const Catalog& catalog,
+                                     const graph::SignedGraph& ddi,
+                                     const DrkgLikeOptions& options,
+                                     std::vector<int>* drug_entity_ids) {
+  util::Rng rng(options.seed);
+  kg::TripleStore store;
+
+  std::vector<int> drug_ids;
+  drug_ids.reserve(catalog.num_drugs());
+  for (const auto& drug : catalog.drugs()) {
+    drug_ids.push_back(store.AddEntity("drug::" + drug.name));
+  }
+  std::vector<int> disease_ids;
+  disease_ids.reserve(catalog.num_diseases());
+  for (const auto& disease : catalog.diseases()) {
+    disease_ids.push_back(store.AddEntity("disease::" + disease.name));
+  }
+  std::vector<int> gene_ids;
+  gene_ids.reserve(options.num_genes);
+  for (int g = 0; g < options.num_genes; ++g) {
+    gene_ids.push_back(store.AddEntity("gene::G" + std::to_string(g)));
+  }
+
+  const int rel_treats = store.AddRelation("treats");
+  const int rel_targets = store.AddRelation("targets");
+  const int rel_associated = store.AddRelation("associated_with");
+  const int rel_interacts = store.AddRelation("interacts_with");
+
+  // Drug -> disease facts.
+  for (const auto& drug : catalog.drugs()) {
+    for (int disease : drug.treats) {
+      store.AddTriple(drug_ids[drug.id], rel_treats, disease_ids[disease]);
+    }
+  }
+  // Disease -> genes: a fixed pool per disease so that drugs treating the
+  // same disease tend to share targets (mirrors real target overlap).
+  std::vector<std::vector<int>> disease_genes(catalog.num_diseases());
+  for (int d = 0; d < catalog.num_diseases(); ++d) {
+    disease_genes[d] = rng.SampleWithoutReplacement(options.num_genes,
+                                                    options.genes_per_disease);
+    for (int g : disease_genes[d]) {
+      store.AddTriple(gene_ids[g], rel_associated, disease_ids[d]);
+    }
+  }
+  // Drug -> gene targets drawn mostly from its diseases' gene pools.
+  for (const auto& drug : catalog.drugs()) {
+    for (int t = 0; t < options.targets_per_drug; ++t) {
+      int gene;
+      if (!drug.treats.empty() && rng.Bernoulli(0.7)) {
+        const auto& pool =
+            disease_genes[drug.treats[rng.NextBelow(drug.treats.size())]];
+        gene = pool[rng.NextBelow(pool.size())];
+      } else {
+        gene = static_cast<int>(rng.NextBelow(options.num_genes));
+      }
+      store.AddTriple(drug_ids[drug.id], rel_targets, gene_ids[gene]);
+    }
+  }
+  // Drug-drug interaction facts (sign-agnostic at the KG level, as in DRKG).
+  for (const auto& edge : ddi.edges()) {
+    if (edge.sign == graph::EdgeSign::kNone) continue;
+    store.AddTriple(drug_ids[edge.u], rel_interacts, drug_ids[edge.v]);
+  }
+
+  if (drug_entity_ids != nullptr) *drug_entity_ids = drug_ids;
+  return store;
+}
+
+tensor::Matrix PretrainDrkgLikeEmbeddings(const Catalog& catalog,
+                                          const graph::SignedGraph& ddi,
+                                          const DrkgLikeOptions& options) {
+  std::vector<int> drug_entity_ids;
+  const kg::TripleStore store =
+      BuildDrkgLikeTriples(catalog, ddi, options, &drug_entity_ids);
+  util::Rng rng(options.seed + 1);
+  if (options.kg_model == KgModel::kTransH) {
+    kg::TransHConfig config;
+    config.embedding_dim = options.embedding_dim;
+    config.epochs = options.transe_epochs;
+    kg::TransHModel model(store.num_entities(), store.num_relations(), config, rng);
+    model.Train(store, rng);
+    return model.EmbeddingsFor(drug_entity_ids);
+  }
+  kg::TransEConfig config;
+  config.embedding_dim = options.embedding_dim;
+  config.epochs = options.transe_epochs;
+  kg::TransEModel model(store.num_entities(), store.num_relations(), config, rng);
+  model.Train(store, rng);
+  return model.EmbeddingsFor(drug_entity_ids);
+}
+
+}  // namespace dssddi::data

@@ -1,0 +1,50 @@
+#ifndef DSSDDI_DATA_DRKG_LIKE_H_
+#define DSSDDI_DATA_DRKG_LIKE_H_
+
+#include <cstdint>
+
+#include "data/catalog.h"
+#include "graph/signed_graph.h"
+#include "kg/transe.h"
+#include "tensor/matrix.h"
+
+namespace dssddi::data {
+
+/// Knowledge-representation model used for the pretraining (the paper
+/// cites both TransE — used by DRKG — and TransH).
+enum class KgModel {
+  kTransE,
+  kTransH,
+};
+
+struct DrkgLikeOptions {
+  /// Synthetic gene entities bridging drugs and diseases (DRKG mixes
+  /// drugs with genes/proteins; the paper notes this extra complexity is
+  /// why raw KG features underperform DDIGCN in Table II).
+  int num_genes = 120;
+  int targets_per_drug = 3;
+  int genes_per_disease = 6;
+  int embedding_dim = 400;  // dimension used by the paper (Section II-B)
+  int transe_epochs = 30;   // epochs for either KG model
+  KgModel kg_model = KgModel::kTransE;
+  uint64_t seed = 777;
+};
+
+/// Builds a DRKG-like knowledge graph (drug-treats-disease,
+/// drug-targets-gene, gene-associated-disease, drug-interacts-drug) from
+/// the catalog + DDI data and pretrains TransE on it. Returns the 86 x dim
+/// drug-embedding matrix standing in for the paper's pretrained DRKG
+/// features.
+tensor::Matrix PretrainDrkgLikeEmbeddings(const Catalog& catalog,
+                                          const graph::SignedGraph& ddi,
+                                          const DrkgLikeOptions& options = {});
+
+/// Exposes the triple construction for tests.
+kg::TripleStore BuildDrkgLikeTriples(const Catalog& catalog,
+                                     const graph::SignedGraph& ddi,
+                                     const DrkgLikeOptions& options,
+                                     std::vector<int>* drug_entity_ids);
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_DRKG_LIKE_H_

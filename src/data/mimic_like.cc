@@ -1,0 +1,124 @@
+#include "data/mimic_like.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dssddi::data {
+
+SuggestionDataset BuildMimicLikeDataset(const MimicLikeOptions& options) {
+  util::Rng rng(options.seed);
+  const int vocab = options.num_diagnosis_codes + options.num_procedure_codes;
+
+  // --- Anonymous antagonistic-only DDI graph. ---
+  std::vector<graph::SignedEdge> ddi_edges;
+  std::set<std::pair<int, int>> used;
+  while (static_cast<int>(ddi_edges.size()) < options.num_antagonistic) {
+    int u = static_cast<int>(rng.NextBelow(options.num_drugs));
+    int v = static_cast<int>(rng.NextBelow(options.num_drugs));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!used.insert({u, v}).second) continue;
+    ddi_edges.push_back({u, v, graph::EdgeSign::kAntagonistic});
+  }
+
+  SuggestionDataset dataset;
+  dataset.name = "mimic-like";
+  dataset.ddi = graph::SignedGraph(options.num_drugs, std::move(ddi_edges));
+
+  // --- Latent conditions: each owns diagnosis codes, procedure codes and
+  // a medication pool biased away from internal antagonism. ---
+  struct Condition {
+    std::vector<int> diagnosis_codes;
+    std::vector<int> procedure_codes;
+    std::vector<int> medications;
+  };
+  std::vector<Condition> conditions(options.num_conditions);
+  for (auto& condition : conditions) {
+    for (int id : rng.SampleWithoutReplacement(options.num_diagnosis_codes, 8)) {
+      condition.diagnosis_codes.push_back(id);
+    }
+    for (int id : rng.SampleWithoutReplacement(options.num_procedure_codes, 4)) {
+      condition.procedure_codes.push_back(options.num_diagnosis_codes + id);
+    }
+    // Medication pool of 6 drugs, greedily avoiding internal antagonism.
+    while (condition.medications.size() < 6) {
+      const int drug = static_cast<int>(rng.NextBelow(options.num_drugs));
+      bool clashes = false;
+      for (int chosen : condition.medications) {
+        if (dataset.ddi.SignOf(chosen, drug) == graph::EdgeSign::kAntagonistic) {
+          clashes = true;
+          break;
+        }
+      }
+      if (clashes && !rng.Bernoulli(0.1)) continue;  // rare contradictions stay
+      if (std::find(condition.medications.begin(), condition.medications.end(), drug) !=
+          condition.medications.end()) {
+        continue;
+      }
+      condition.medications.push_back(drug);
+    }
+  }
+
+  // --- Patients. ---
+  dataset.patient_features = tensor::Matrix(options.num_patients, vocab, 0.0f);
+  dataset.medication = tensor::Matrix(options.num_patients, options.num_drugs, 0.0f);
+  dataset.visit_codes.resize(options.num_patients);
+  for (int p = 0; p < options.num_patients; ++p) {
+    const int num_conditions_here = 1 + static_cast<int>(rng.NextBelow(4));
+    const std::vector<int> mine =
+        rng.SampleWithoutReplacement(options.num_conditions, num_conditions_here);
+    const int visits = options.min_visits +
+        static_cast<int>(rng.NextBelow(options.max_visits - options.min_visits + 1));
+
+    // Earlier visits produce feature codes.
+    for (int visit = 0; visit + 1 < visits; ++visit) {
+      std::vector<int> codes;
+      for (int c : mine) {
+        for (int code : conditions[c].diagnosis_codes) {
+          if (rng.Bernoulli(0.55)) codes.push_back(code);
+        }
+        for (int code : conditions[c].procedure_codes) {
+          if (rng.Bernoulli(0.35)) codes.push_back(code);
+        }
+      }
+      // Noise codes unrelated to any condition.
+      for (int k = rng.Poisson(1.2); k > 0; --k) {
+        codes.push_back(static_cast<int>(rng.NextBelow(vocab)));
+      }
+      std::sort(codes.begin(), codes.end());
+      codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+      for (int code : codes) dataset.patient_features.At(p, code) = 1.0f;
+      dataset.visit_codes[p].push_back(std::move(codes));
+    }
+
+    // Last visit: medication labels.
+    for (int c : mine) {
+      const auto& pool = conditions[c].medications;
+      const int take = 2 + static_cast<int>(rng.NextBelow(3));  // 2-4 drugs
+      for (int idx : rng.SampleWithoutReplacement(static_cast<int>(pool.size()),
+                                                  std::min<int>(take, pool.size()))) {
+        dataset.medication.At(p, pool[idx]) = 1.0f;
+      }
+    }
+    // Occasional off-protocol drug.
+    if (rng.Bernoulli(0.15)) {
+      dataset.medication.At(p, static_cast<int>(rng.NextBelow(options.num_drugs))) = 1.0f;
+    }
+  }
+
+  // Anonymous drugs: identity features (no pretrained KG available).
+  dataset.drug_features = tensor::Matrix::Identity(options.num_drugs);
+  dataset.split = MakeSplit(options.num_patients, 0.5, 0.3, options.seed + 9);
+  dataset.num_diseases = options.num_conditions;
+  dataset.drug_names.reserve(options.num_drugs);
+  for (int d = 0; d < options.num_drugs; ++d) {
+    dataset.drug_names.push_back("ANON-" + std::to_string(d));
+  }
+  return dataset;
+}
+
+}  // namespace dssddi::data

@@ -1,0 +1,37 @@
+#ifndef DSSDDI_DATA_MIMIC_LIKE_H_
+#define DSSDDI_DATA_MIMIC_LIKE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace dssddi::data {
+
+struct MimicLikeOptions {
+  /// Patient count from the paper (Section V-E): 6350 patients with at
+  /// least two visits each.
+  int num_patients = 6350;
+  int min_visits = 2;
+  int max_visits = 4;
+  int num_diagnosis_codes = 256;
+  int num_procedure_codes = 128;
+  int num_drugs = 86;
+  /// Latent condition clusters driving codes and medications.
+  int num_conditions = 24;
+  /// Antagonistic-only anonymous DDI pairs (the public download the paper
+  /// used exposes only antagonistic interactions between anonymized
+  /// drugs, hence Table IV reports GIN-backbone results only).
+  int num_antagonistic = 240;
+  uint64_t seed = 20011;
+};
+
+/// Synthesizes a MIMIC-III-like EHR task: multi-visit histories where the
+/// diagnosis+procedure codes of earlier visits form the features and the
+/// last visit's medication list is the label. Also populates
+/// SuggestionDataset::visit_codes for the sequence-based baselines
+/// (SafeDrug, CauseRec).
+SuggestionDataset BuildMimicLikeDataset(const MimicLikeOptions& options = {});
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_MIMIC_LIKE_H_

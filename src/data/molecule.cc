@@ -1,0 +1,70 @@
+#include "data/molecule.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dssddi::data {
+
+tensor::CsrMatrix MoleculeGraph::MessageOperator() const {
+  std::vector<int> degree(num_atoms, 1);  // self-loop
+  for (auto [u, v] : bonds) {
+    ++degree[u];
+    ++degree[v];
+  }
+  std::vector<tensor::SparseEntry> entries;
+  for (int a = 0; a < num_atoms; ++a) {
+    entries.push_back({a, a, 1.0f / static_cast<float>(degree[a])});
+  }
+  for (auto [u, v] : bonds) {
+    entries.push_back({u, v, 1.0f / static_cast<float>(degree[u])});
+    entries.push_back({v, u, 1.0f / static_cast<float>(degree[v])});
+  }
+  return tensor::CsrMatrix::FromEntries(num_atoms, num_atoms, std::move(entries));
+}
+
+std::vector<MoleculeGraph> GenerateMolecules(int count, const MoleculeOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<MoleculeGraph> molecules;
+  molecules.reserve(count);
+  for (int m = 0; m < count; ++m) {
+    MoleculeGraph mol;
+    mol.num_atoms = options.min_atoms +
+        static_cast<int>(rng.NextBelow(options.max_atoms - options.min_atoms + 1));
+
+    // Random spanning tree keeps the molecule connected.
+    std::set<std::pair<int, int>> bond_set;
+    for (int a = 1; a < mol.num_atoms; ++a) {
+      const int parent = static_cast<int>(rng.NextBelow(a));
+      bond_set.insert({std::min(parent, a), std::max(parent, a)});
+    }
+    // Ring closures.
+    const int extras = static_cast<int>(options.extra_bond_rate * mol.num_atoms);
+    for (int e = 0; e < extras; ++e) {
+      int u = static_cast<int>(rng.NextBelow(mol.num_atoms));
+      int v = static_cast<int>(rng.NextBelow(mol.num_atoms));
+      if (u == v) continue;
+      bond_set.insert({std::min(u, v), std::max(u, v)});
+    }
+    mol.bonds.assign(bond_set.begin(), bond_set.end());
+
+    std::vector<int> degree(mol.num_atoms, 0);
+    for (auto [u, v] : mol.bonds) {
+      ++degree[u];
+      ++degree[v];
+    }
+    mol.atom_features = tensor::Matrix(mol.num_atoms, kAtomFeatureDim, 0.0f);
+    for (int a = 0; a < mol.num_atoms; ++a) {
+      const int type = static_cast<int>(rng.NextBelow(kNumAtomTypes));
+      mol.atom_features.At(a, type) = 1.0f;
+      mol.atom_features.At(a, kNumAtomTypes) =
+          static_cast<float>(degree[a]) / 4.0f;  // typical max valence
+    }
+    molecules.push_back(std::move(mol));
+  }
+  return molecules;
+}
+
+}  // namespace dssddi::data

@@ -1,0 +1,44 @@
+#ifndef DSSDDI_DATA_MOLECULE_H_
+#define DSSDDI_DATA_MOLECULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace dssddi::data {
+
+/// Synthetic molecular graph for one drug: atoms with one-hot(type) +
+/// normalized-degree features, bonds as an undirected edge list. Stands in
+/// for the real structures SafeDrug's global MPNN encoder consumes.
+struct MoleculeGraph {
+  int num_atoms = 0;
+  tensor::Matrix atom_features;           // num_atoms x feature dim
+  std::vector<std::pair<int, int>> bonds;
+
+  /// Mean-aggregation operator over bonds (row-normalized adjacency with
+  /// self-loops) for message passing.
+  tensor::CsrMatrix MessageOperator() const;
+};
+
+inline constexpr int kNumAtomTypes = 8;
+/// Atom feature dimension: one-hot atom type + degree.
+inline constexpr int kAtomFeatureDim = kNumAtomTypes + 1;
+
+struct MoleculeOptions {
+  int min_atoms = 8;
+  int max_atoms = 24;
+  /// Extra ring-closing bonds beyond the random spanning tree.
+  double extra_bond_rate = 0.35;
+  uint64_t seed = 1234;
+};
+
+/// Generates `count` random connected molecules (random tree + ring
+/// closures), deterministic in the seed. Drugs sharing an id across runs
+/// get identical structures.
+std::vector<MoleculeGraph> GenerateMolecules(int count, const MoleculeOptions& options = {});
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_MOLECULE_H_

@@ -1,0 +1,65 @@
+#include "data/standardize.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dssddi::data {
+
+void Standardizer::Fit(const tensor::Matrix& reference) {
+  DSSDDI_CHECK(reference.rows() > 0) << "cannot fit on an empty matrix";
+  const int cols = reference.cols();
+  const int rows = reference.rows();
+  mean_.assign(cols, 0.0f);
+  stddev_.assign(cols, 1.0f);
+
+  std::vector<double> sum(cols, 0.0);
+  std::vector<double> sum_sq(cols, 0.0);
+  for (int i = 0; i < rows; ++i) {
+    const float* row = reference.RowPtr(i);
+    for (int j = 0; j < cols; ++j) {
+      sum[j] += row[j];
+      sum_sq[j] += static_cast<double>(row[j]) * row[j];
+    }
+  }
+  for (int j = 0; j < cols; ++j) {
+    const double mean = sum[j] / rows;
+    const double variance = std::max(0.0, sum_sq[j] / rows - mean * mean);
+    mean_[j] = static_cast<float>(mean);
+    stddev_[j] = variance > 1e-12 ? static_cast<float>(std::sqrt(variance)) : 1.0f;
+  }
+}
+
+tensor::Matrix Standardizer::Transform(const tensor::Matrix& x) const {
+  DSSDDI_CHECK(fitted()) << "Transform before Fit";
+  DSSDDI_CHECK(x.cols() == static_cast<int>(mean_.size()))
+      << "column count mismatch: " << x.cols() << " vs " << mean_.size();
+  tensor::Matrix out = x;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.RowPtr(i);
+    for (int j = 0; j < out.cols(); ++j) {
+      row[j] = (row[j] - mean_[j]) / stddev_[j];
+    }
+  }
+  return out;
+}
+
+tensor::Matrix Standardizer::FitTransform(const tensor::Matrix& x) {
+  Fit(x);
+  return Transform(x);
+}
+
+tensor::Matrix Standardizer::InverseTransform(const tensor::Matrix& x) const {
+  DSSDDI_CHECK(fitted()) << "InverseTransform before Fit";
+  DSSDDI_CHECK(x.cols() == static_cast<int>(mean_.size())) << "column count mismatch";
+  tensor::Matrix out = x;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.RowPtr(i);
+    for (int j = 0; j < out.cols(); ++j) {
+      row[j] = row[j] * stddev_[j] + mean_[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace dssddi::data

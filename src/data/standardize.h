@@ -1,0 +1,44 @@
+#ifndef DSSDDI_DATA_STANDARDIZE_H_
+#define DSSDDI_DATA_STANDARDIZE_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dssddi::data {
+
+/// Column-wise standardization fitted on one matrix (the training split)
+/// and applied to others (validation/test), so no statistics leak across
+/// the split boundary. Columns with ~zero variance are centered only.
+///
+/// The questionnaire features mix scales (ages ~90, GDS scores ~15,
+/// one-hot history flags) — standardizing the training features before
+/// model fitting equalizes the gradient contribution per feature.
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Computes per-column mean and standard deviation of `reference`.
+  void Fit(const tensor::Matrix& reference);
+
+  /// (x - mean) / std per column; columns flagged as constant divide by 1.
+  tensor::Matrix Transform(const tensor::Matrix& x) const;
+
+  /// Fit + Transform on the same matrix.
+  tensor::Matrix FitTransform(const tensor::Matrix& x);
+
+  /// Reverses Transform (x * std + mean).
+  tensor::Matrix InverseTransform(const tensor::Matrix& x) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;  // 1.0 for ~constant columns
+};
+
+}  // namespace dssddi::data
+
+#endif  // DSSDDI_DATA_STANDARDIZE_H_

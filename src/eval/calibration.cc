@@ -1,0 +1,69 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace dssddi::eval {
+
+CalibrationReport ComputeCalibration(const tensor::Matrix& scores,
+                                     const tensor::Matrix& truth, int num_bins) {
+  DSSDDI_CHECK(scores.SameShape(truth)) << "scores/truth shape mismatch";
+  DSSDDI_CHECK(num_bins > 0) << "need at least one bin";
+  CalibrationReport report;
+  report.bins.resize(num_bins);
+  for (int b = 0; b < num_bins; ++b) {
+    report.bins[b].lower = static_cast<double>(b) / num_bins;
+    report.bins[b].upper = static_cast<double>(b + 1) / num_bins;
+  }
+
+  const long long total = scores.size();
+  if (total == 0) return report;
+
+  double brier = 0.0;
+  for (int i = 0; i < scores.rows(); ++i) {
+    for (int j = 0; j < scores.cols(); ++j) {
+      const double p = scores.At(i, j);
+      const double y = truth.At(i, j) > 0.5f ? 1.0 : 0.0;
+      DSSDDI_CHECK(p >= 0.0 && p <= 1.0) << "score outside [0,1]: " << p;
+      brier += (p - y) * (p - y);
+
+      const int bin = std::min(num_bins - 1, static_cast<int>(p * num_bins));
+      auto& entry = report.bins[bin];
+      ++entry.count;
+      entry.mean_confidence += p;
+      entry.empirical_rate += y;
+    }
+  }
+  report.brier = brier / static_cast<double>(total);
+
+  double ece = 0.0;
+  for (auto& bin : report.bins) {
+    if (bin.count == 0) continue;
+    bin.mean_confidence /= static_cast<double>(bin.count);
+    bin.empirical_rate /= static_cast<double>(bin.count);
+    const double weight = static_cast<double>(bin.count) / static_cast<double>(total);
+    ece += weight * std::fabs(bin.mean_confidence - bin.empirical_rate);
+  }
+  report.ece = ece;
+  return report;
+}
+
+std::string RenderCalibration(const CalibrationReport& report) {
+  util::TextTable table({"bin", "count", "mean confidence", "empirical rate"});
+  for (const auto& bin : report.bins) {
+    table.AddRow({"[" + util::FormatDouble(bin.lower, 1) + ", " +
+                      util::FormatDouble(bin.upper, 1) + ")",
+                  std::to_string(bin.count),
+                  util::FormatDouble(bin.mean_confidence, 4),
+                  util::FormatDouble(bin.empirical_rate, 4)});
+  }
+  std::string out = table.Render();
+  out += "Brier score: " + util::FormatDouble(report.brier, 4) +
+         "   ECE: " + util::FormatDouble(report.ece, 4) + "\n";
+  return out;
+}
+
+}  // namespace dssddi::eval

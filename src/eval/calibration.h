@@ -1,0 +1,44 @@
+#ifndef DSSDDI_EVAL_CALIBRATION_H_
+#define DSSDDI_EVAL_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dssddi::eval {
+
+/// One reliability-diagram bin.
+struct CalibrationBin {
+  double lower = 0.0;       // bin range [lower, upper)
+  double upper = 0.0;
+  long long count = 0;      // predictions falling in the bin
+  double mean_confidence = 0.0;
+  double empirical_rate = 0.0;  // fraction of positives among them
+};
+
+/// Probability-calibration summary for a score matrix against 0/1 truth:
+/// a clinical decision support system's scores are read as probabilities
+/// by doctors, so miscalibration is a safety issue even when ranking
+/// metrics look good.
+struct CalibrationReport {
+  /// Mean squared error of the probabilistic forecast (lower is better;
+  /// 0.25 is the score of always predicting 0.5).
+  double brier = 0.0;
+  /// Expected Calibration Error: bin-weighted |confidence - accuracy|.
+  double ece = 0.0;
+  std::vector<CalibrationBin> bins;
+};
+
+/// Computes Brier score and ECE over every (patient, drug) cell.
+/// `scores` entries must lie in [0, 1].
+CalibrationReport ComputeCalibration(const tensor::Matrix& scores,
+                                     const tensor::Matrix& truth,
+                                     int num_bins = 10);
+
+/// Renders the reliability diagram as an aligned text table.
+std::string RenderCalibration(const CalibrationReport& report);
+
+}  // namespace dssddi::eval
+
+#endif  // DSSDDI_EVAL_CALIBRATION_H_

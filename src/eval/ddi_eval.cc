@@ -1,0 +1,83 @@
+#include "eval/ddi_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dssddi::eval {
+
+DdiSignEvaluation EvaluateDdiSignPrediction(const graph::SignedGraph& ddi,
+                                            const core::DdiModuleConfig& config,
+                                            const DdiSignEvalOptions& options) {
+  DSSDDI_CHECK(options.test_fraction > 0.0 && options.test_fraction < 1.0)
+      << "test_fraction must lie in (0, 1)";
+  util::Rng rng(options.seed);
+
+  // Shuffle the +/-1 edges and split; explicit 0-edges are a training
+  // artifact and never part of the evaluation.
+  std::vector<graph::SignedEdge> interactions;
+  for (const auto& edge : ddi.edges()) {
+    if (edge.sign != graph::EdgeSign::kNone) interactions.push_back(edge);
+  }
+  DSSDDI_CHECK(interactions.size() >= 5) << "too few interaction edges to split";
+  for (size_t i = interactions.size(); i > 1; --i) {
+    std::swap(interactions[i - 1], interactions[rng.NextBelow(i)]);
+  }
+  const int num_test =
+      std::max(1, static_cast<int>(interactions.size() * options.test_fraction));
+  std::vector<graph::SignedEdge> test_edges(interactions.begin(),
+                                            interactions.begin() + num_test);
+  std::vector<graph::SignedEdge> train_edges(interactions.begin() + num_test,
+                                             interactions.end());
+
+  const graph::SignedGraph train_graph(ddi.num_vertices(), train_edges);
+  core::DdiModule module(train_graph, config);
+
+  DdiSignEvaluation result;
+  result.num_test_edges = num_test;
+  result.num_train_edges = static_cast<int>(train_edges.size());
+  result.final_train_mse = module.Train();
+
+  double mse = 0.0;
+  int correct = 0;
+  std::vector<double> synergistic_scores, antagonistic_scores;
+  for (const auto& edge : test_edges) {
+    const double predicted = module.PredictInteraction(edge.u, edge.v);
+    const double target = static_cast<double>(static_cast<int>(edge.sign));
+    mse += (predicted - target) * (predicted - target);
+
+    // Nearest of {-1, 0, +1}.
+    const double predicted_sign =
+        predicted > 0.5 ? 1.0 : (predicted < -0.5 ? -1.0 : 0.0);
+    if (predicted_sign == target) ++correct;
+
+    if (edge.sign == graph::EdgeSign::kSynergistic) {
+      synergistic_scores.push_back(predicted);
+    } else {
+      antagonistic_scores.push_back(predicted);
+    }
+  }
+  result.mse = mse / num_test;
+  result.sign_accuracy = static_cast<double>(correct) / num_test;
+
+  if (!synergistic_scores.empty() && !antagonistic_scores.empty()) {
+    double wins = 0.0;
+    for (double s : synergistic_scores) {
+      for (double a : antagonistic_scores) {
+        if (s > a) {
+          wins += 1.0;
+        } else if (s == a) {
+          wins += 0.5;
+        }
+      }
+    }
+    result.auc = wins / (static_cast<double>(synergistic_scores.size()) *
+                         static_cast<double>(antagonistic_scores.size()));
+  }
+  return result;
+}
+
+}  // namespace dssddi::eval

@@ -1,0 +1,44 @@
+#ifndef DSSDDI_EVAL_DDI_EVAL_H_
+#define DSSDDI_EVAL_DDI_EVAL_H_
+
+#include <cstdint>
+
+#include "core/ddi_module.h"
+#include "graph/signed_graph.h"
+
+namespace dssddi::eval {
+
+/// Held-out evaluation of DDIGCN as a drug-drug interaction predictor
+/// (the secondary task of the DDI-model literature the paper builds on:
+/// given a drug pair, predict synergy / antagonism).
+struct DdiSignEvaluation {
+  /// MSE of the predicted interaction score against the true sign on the
+  /// held-out edges (the DDI module's own training objective, Eq. 6).
+  double mse = 0.0;
+  /// Fraction of held-out interaction edges whose predicted score is
+  /// nearest to the true sign among {-1, 0, +1}.
+  double sign_accuracy = 0.0;
+  /// Probability that a random held-out synergistic edge scores higher
+  /// than a random held-out antagonistic one (ROC-AUC of the separation).
+  double auc = 0.5;
+  int num_test_edges = 0;
+  int num_train_edges = 0;
+  float final_train_mse = 0.0f;
+};
+
+struct DdiSignEvalOptions {
+  /// Fraction of the +/-1 edges held out for testing.
+  double test_fraction = 0.2;
+  uint64_t seed = 71;
+};
+
+/// Splits the interaction edges of `ddi`, trains a DDI module on the
+/// retained subgraph, and scores the held-out edges. The evaluation keeps
+/// every vertex (drug identity embeddings exist regardless of degree).
+DdiSignEvaluation EvaluateDdiSignPrediction(const graph::SignedGraph& ddi,
+                                            const core::DdiModuleConfig& config,
+                                            const DdiSignEvalOptions& options = {});
+
+}  // namespace dssddi::eval
+
+#endif  // DSSDDI_EVAL_DDI_EVAL_H_

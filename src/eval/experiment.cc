@@ -1,0 +1,92 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "core/suggestion_model.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace dssddi::eval {
+
+ModelEvaluation EvaluateModel(core::SuggestionModel& model,
+                              const data::SuggestionDataset& dataset,
+                              const EvaluateOptions& options,
+                              const core::MsModule* ms) {
+  ModelEvaluation evaluation;
+  evaluation.model_name = model.name();
+  evaluation.ks = options.ks;
+
+  util::Stopwatch stopwatch;
+  model.Fit(dataset);
+  evaluation.fit_seconds = stopwatch.ElapsedSeconds();
+
+  const std::vector<int>& test = dataset.split.test;
+  const tensor::Matrix scores = model.PredictScores(dataset, test);
+  const tensor::Matrix truth = dataset.medication.GatherRows(test);
+  for (int k : options.ks) {
+    evaluation.ranking.push_back(ComputeRankingMetrics(scores, truth, k));
+  }
+
+  if (ms != nullptr) {
+    std::vector<int> rows(scores.rows());
+    for (int i = 0; i < scores.rows(); ++i) rows[i] = i;
+    if (options.ss_sample > 0 && options.ss_sample < scores.rows()) {
+      util::Rng rng(options.ss_seed);
+      rng.Shuffle(rows);
+      rows.resize(options.ss_sample);
+    }
+    for (int k : options.ks) {
+      double total = 0.0;
+      for (int row : rows) {
+        total += ms->SuggestionSatisfaction(core::TopKDrugs(scores, row, k));
+      }
+      evaluation.suggestion_satisfaction.push_back(total / rows.size());
+    }
+  }
+  return evaluation;
+}
+
+std::string RenderRankingTable(const std::vector<ModelEvaluation>& evaluations) {
+  DSSDDI_CHECK(!evaluations.empty()) << "nothing to render";
+  std::vector<std::string> header = {"Method"};
+  for (int k : evaluations.front().ks) {
+    header.push_back("Precision@" + std::to_string(k));
+    header.push_back("Recall@" + std::to_string(k));
+    header.push_back("NDCG@" + std::to_string(k));
+  }
+  util::TextTable table(header);
+  for (const auto& eval : evaluations) {
+    std::vector<double> values;
+    for (const auto& metrics : eval.ranking) {
+      values.push_back(metrics.precision);
+      values.push_back(metrics.recall);
+      values.push_back(metrics.ndcg);
+    }
+    table.AddNumericRow(eval.model_name, values);
+  }
+  return table.Render();
+}
+
+std::string RenderSsTable(const std::vector<ModelEvaluation>& evaluations) {
+  DSSDDI_CHECK(!evaluations.empty()) << "nothing to render";
+  std::vector<std::string> header = {"Method"};
+  // Table III orders k ascending.
+  std::vector<int> ks = evaluations.front().ks;
+  std::vector<size_t> order(ks.size());
+  for (size_t i = 0; i < ks.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return ks[a] < ks[b]; });
+  for (size_t i : order) header.push_back("SS@" + std::to_string(ks[i]));
+  util::TextTable table(header);
+  for (const auto& eval : evaluations) {
+    DSSDDI_CHECK(eval.suggestion_satisfaction.size() == eval.ks.size())
+        << "model " << eval.model_name << " has no SS values";
+    std::vector<double> values;
+    for (size_t i : order) values.push_back(eval.suggestion_satisfaction[i]);
+    table.AddNumericRow(eval.model_name, values);
+  }
+  return table.Render();
+}
+
+}  // namespace dssddi::eval

@@ -1,0 +1,48 @@
+#ifndef DSSDDI_EVAL_EXPERIMENT_H_
+#define DSSDDI_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ms_module.h"
+#include "core/suggestion_model.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace dssddi::eval {
+
+/// One model's metrics at every requested k.
+struct ModelEvaluation {
+  std::string model_name;
+  std::vector<int> ks;
+  std::vector<RankingMetrics> ranking;   // aligned with ks
+  std::vector<double> suggestion_satisfaction;  // aligned with ks (may be empty)
+  double fit_seconds = 0.0;
+};
+
+struct EvaluateOptions {
+  std::vector<int> ks = {6, 5, 4, 3, 2, 1};  // Table I order
+  /// When > 0, SS@k is computed on this many test patients (subgraph
+  /// queries are per-patient; sampling keeps Table III tractable).
+  int ss_sample = 0;
+  uint64_t ss_seed = 99;
+};
+
+/// Fits the model on the dataset's training split and evaluates it on the
+/// test split. When `ms` is non-null, also computes SS@k over (sampled)
+/// test patients.
+ModelEvaluation EvaluateModel(core::SuggestionModel& model,
+                              const data::SuggestionDataset& dataset,
+                              const EvaluateOptions& options,
+                              const core::MsModule* ms = nullptr);
+
+/// Renders a Table I-style block: one row per model, columns
+/// P@k / R@k / N@k for each k.
+std::string RenderRankingTable(const std::vector<ModelEvaluation>& evaluations);
+
+/// Renders a Table III-style block: one row per model, SS@k columns.
+std::string RenderSsTable(const std::vector<ModelEvaluation>& evaluations);
+
+}  // namespace dssddi::eval
+
+#endif  // DSSDDI_EVAL_EXPERIMENT_H_

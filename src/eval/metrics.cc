@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dssddi::eval {
+
+namespace {
+
+std::vector<int> TopK(const tensor::Matrix& scores, int row, int k) {
+  std::vector<int> order(scores.cols());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores.At(row, a) > scores.At(row, b);
+  });
+  order.resize(std::min<int>(k, scores.cols()));
+  return order;
+}
+
+}  // namespace
+
+RankingMetrics ComputeRankingMetrics(const tensor::Matrix& scores,
+                                     const tensor::Matrix& truth, int k) {
+  DSSDDI_CHECK(scores.SameShape(truth)) << "scores/truth shape mismatch";
+  DSSDDI_CHECK(k > 0) << "k must be positive";
+  const int n = scores.rows();
+  long long hits = 0;
+  long long suggested = 0;
+  long long relevant = 0;
+  double ndcg_total = 0.0;
+  int ndcg_count = 0;
+
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int> top = TopK(scores, i, k);
+    int truth_count = 0;
+    for (int v = 0; v < truth.cols(); ++v) {
+      if (truth.At(i, v) > 0.5f) ++truth_count;
+    }
+    double dcg = 0.0;
+    int row_hits = 0;
+    for (size_t s = 0; s < top.size(); ++s) {
+      if (truth.At(i, top[s]) > 0.5f) {
+        ++row_hits;
+        dcg += 1.0 / std::log2(static_cast<double>(s) + 2.0);
+      }
+    }
+    hits += row_hits;
+    suggested += static_cast<long long>(top.size());
+    relevant += truth_count;
+    if (truth_count > 0) {
+      double idcg = 0.0;
+      const int ideal = std::min<int>(truth_count, static_cast<int>(top.size()));
+      for (int s = 0; s < ideal; ++s) {
+        idcg += 1.0 / std::log2(static_cast<double>(s) + 2.0);
+      }
+      ndcg_total += dcg / idcg;
+      ++ndcg_count;
+    }
+  }
+
+  RankingMetrics metrics;
+  metrics.precision = suggested > 0 ? static_cast<double>(hits) / suggested : 0.0;
+  metrics.recall = relevant > 0 ? static_cast<double>(hits) / relevant : 0.0;
+  metrics.ndcg = ndcg_count > 0 ? ndcg_total / ndcg_count : 0.0;
+  return metrics;
+}
+
+double PrecisionAtK(const tensor::Matrix& scores, const tensor::Matrix& truth, int k) {
+  return ComputeRankingMetrics(scores, truth, k).precision;
+}
+
+double RecallAtK(const tensor::Matrix& scores, const tensor::Matrix& truth, int k) {
+  return ComputeRankingMetrics(scores, truth, k).recall;
+}
+
+double NdcgAtK(const tensor::Matrix& scores, const tensor::Matrix& truth, int k) {
+  return ComputeRankingMetrics(scores, truth, k).ndcg;
+}
+
+}  // namespace dssddi::eval

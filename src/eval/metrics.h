@@ -1,0 +1,30 @@
+#ifndef DSSDDI_EVAL_METRICS_H_
+#define DSSDDI_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dssddi::eval {
+
+/// Ranking metrics for one batch of patients (paper Eq. 21-24).
+/// `scores`: n x |V| model outputs; `truth`: n x |V| 0/1 medication use.
+/// Precision@k and Recall@k are micro-averaged over patients exactly as
+/// in Eq. 21-22; NDCG@k averages per-patient NDCG over patients with at
+/// least one ground-truth drug.
+double PrecisionAtK(const tensor::Matrix& scores, const tensor::Matrix& truth, int k);
+double RecallAtK(const tensor::Matrix& scores, const tensor::Matrix& truth, int k);
+double NdcgAtK(const tensor::Matrix& scores, const tensor::Matrix& truth, int k);
+
+/// All three at once (shares the sorting work).
+struct RankingMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double ndcg = 0.0;
+};
+RankingMetrics ComputeRankingMetrics(const tensor::Matrix& scores,
+                                     const tensor::Matrix& truth, int k);
+
+}  // namespace dssddi::eval
+
+#endif  // DSSDDI_EVAL_METRICS_H_

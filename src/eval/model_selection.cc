@@ -1,0 +1,71 @@
+#include "eval/model_selection.h"
+
+#include <memory>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace dssddi::eval {
+
+GridSearchResult GridSearchDssddi(const std::vector<GridSearchCandidate>& candidates,
+                                  const data::SuggestionDataset& dataset, int k,
+                                  const EvaluateOptions& test_options) {
+  DSSDDI_CHECK(!candidates.empty()) << "grid search needs at least one candidate";
+  DSSDDI_CHECK(!dataset.split.validation.empty())
+      << "grid search needs a validation split";
+
+  GridSearchResult result;
+  result.validation_recalls.reserve(candidates.size());
+
+  const tensor::Matrix validation_truth =
+      dataset.medication.GatherRows(dataset.split.validation);
+
+  std::unique_ptr<core::DssddiSystem> best_system;
+  double best_recall = -1.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    auto candidate = std::make_unique<core::DssddiSystem>(candidates[i].config);
+    candidate->Fit(dataset);
+    const tensor::Matrix scores =
+        candidate->PredictScores(dataset, dataset.split.validation);
+    const double recall = RecallAtK(scores, validation_truth, k);
+    result.validation_recalls.push_back(recall);
+    if (recall > best_recall) {
+      best_recall = recall;
+      result.best_index = static_cast<int>(i);
+      best_system = std::move(candidate);
+    }
+  }
+
+  // Test evaluation of the winner, reusing its validation-time fit (the
+  // test split must not influence selection or training).
+  result.test_evaluation.model_name = candidates[result.best_index].label.empty()
+                                          ? best_system->name()
+                                          : candidates[result.best_index].label;
+  result.test_evaluation.ks = test_options.ks;
+  const tensor::Matrix test_scores =
+      best_system->PredictScores(dataset, dataset.split.test);
+  const tensor::Matrix test_truth = dataset.medication.GatherRows(dataset.split.test);
+  for (int test_k : test_options.ks) {
+    result.test_evaluation.ranking.push_back(
+        ComputeRankingMetrics(test_scores, test_truth, test_k));
+  }
+  return result;
+}
+
+std::vector<GridSearchCandidate> DefaultDssddiGrid(const core::DssddiConfig& base) {
+  std::vector<GridSearchCandidate> grid;
+  for (float delta : {0.5f, 1.0f, 2.0f}) {
+    for (float scale : {0.3f, 0.6f, 1.0f}) {
+      GridSearchCandidate candidate;
+      candidate.config = base;
+      candidate.config.md.delta = delta;
+      candidate.config.md.ddi_embedding_scale = scale;
+      candidate.label = "delta=" + std::to_string(delta).substr(0, 3) +
+                        " scale=" + std::to_string(scale).substr(0, 3);
+      grid.push_back(std::move(candidate));
+    }
+  }
+  return grid;
+}
+
+}  // namespace dssddi::eval

@@ -1,0 +1,44 @@
+#ifndef DSSDDI_EVAL_MODEL_SELECTION_H_
+#define DSSDDI_EVAL_MODEL_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dssddi_system.h"
+#include "data/dataset.h"
+#include "eval/experiment.h"
+
+namespace dssddi::eval {
+
+/// One hyperparameter combination to try.
+struct GridSearchCandidate {
+  core::DssddiConfig config;
+  std::string label;
+};
+
+struct GridSearchResult {
+  /// Index of the winning candidate.
+  int best_index = -1;
+  /// Validation recall@k of every candidate, aligned with the input.
+  std::vector<double> validation_recalls;
+  /// Test-split evaluation of the winning (already fitted) model.
+  ModelEvaluation test_evaluation;
+};
+
+/// The paper's protocol (Section V-A2): every candidate is fitted on the
+/// training split, scored by recall@k on the validation split, and only
+/// the winner is evaluated on the test split. The winner is fitted once —
+/// its validation-time fit is reused for the test evaluation, so the test
+/// split influences nothing.
+GridSearchResult GridSearchDssddi(const std::vector<GridSearchCandidate>& candidates,
+                                  const data::SuggestionDataset& dataset, int k,
+                                  const EvaluateOptions& test_options = {});
+
+/// Convenience: builds a candidate grid over the counterfactual loss
+/// weight delta and the DDI-embedding scale (the two knobs with no
+/// paper-prescribed value), holding `base` fixed otherwise.
+std::vector<GridSearchCandidate> DefaultDssddiGrid(const core::DssddiConfig& base);
+
+}  // namespace dssddi::eval
+
+#endif  // DSSDDI_EVAL_MODEL_SELECTION_H_

@@ -1,0 +1,89 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dssddi::eval {
+namespace {
+
+MetricCi Summarize(std::vector<double> samples, double confidence) {
+  MetricCi ci;
+  const double n = static_cast<double>(samples.size());
+  for (double s : samples) ci.mean += s;
+  ci.mean /= n;
+  for (double s : samples) ci.stddev += (s - ci.mean) * (s - ci.mean);
+  ci.stddev = std::sqrt(ci.stddev / std::max(1.0, n - 1.0));
+  std::sort(samples.begin(), samples.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  const auto at = [&](double q) {
+    const int index = std::clamp(static_cast<int>(q * (n - 1)), 0,
+                                 static_cast<int>(n - 1));
+    return samples[index];
+  };
+  ci.lower = at(tail);
+  ci.upper = at(1.0 - tail);
+  return ci;
+}
+
+std::vector<int> Resample(int n, util::Rng& rng) {
+  std::vector<int> rows(n);
+  for (int& r : rows) r = static_cast<int>(rng.NextBelow(n));
+  return rows;
+}
+
+}  // namespace
+
+BootstrapResult BootstrapRankingMetrics(const tensor::Matrix& scores,
+                                        const tensor::Matrix& truth, int k,
+                                        const BootstrapOptions& options) {
+  DSSDDI_CHECK(scores.rows() == truth.rows() && scores.cols() == truth.cols())
+      << "scores/truth shape mismatch";
+  DSSDDI_CHECK(options.num_resamples > 1) << "need at least 2 resamples";
+  util::Rng rng(options.seed);
+
+  std::vector<double> precision, recall, ndcg;
+  precision.reserve(options.num_resamples);
+  recall.reserve(options.num_resamples);
+  ndcg.reserve(options.num_resamples);
+  for (int b = 0; b < options.num_resamples; ++b) {
+    const std::vector<int> rows = Resample(scores.rows(), rng);
+    const tensor::Matrix s = scores.GatherRows(rows);
+    const tensor::Matrix t = truth.GatherRows(rows);
+    const RankingMetrics metrics = ComputeRankingMetrics(s, t, k);
+    precision.push_back(metrics.precision);
+    recall.push_back(metrics.recall);
+    ndcg.push_back(metrics.ndcg);
+  }
+
+  BootstrapResult result;
+  result.num_resamples = options.num_resamples;
+  result.confidence = options.confidence;
+  result.precision = Summarize(std::move(precision), options.confidence);
+  result.recall = Summarize(std::move(recall), options.confidence);
+  result.ndcg = Summarize(std::move(ndcg), options.confidence);
+  return result;
+}
+
+double PairedBootstrapWinRate(const tensor::Matrix& scores_a,
+                              const tensor::Matrix& scores_b,
+                              const tensor::Matrix& truth, int k,
+                              const BootstrapOptions& options) {
+  DSSDDI_CHECK(scores_a.SameShape(scores_b) && scores_a.rows() == truth.rows())
+      << "paired bootstrap needs aligned matrices";
+  util::Rng rng(options.seed);
+  int wins = 0;
+  for (int b = 0; b < options.num_resamples; ++b) {
+    const std::vector<int> rows = Resample(truth.rows(), rng);
+    const tensor::Matrix t = truth.GatherRows(rows);
+    const double recall_a = RecallAtK(scores_a.GatherRows(rows), t, k);
+    const double recall_b = RecallAtK(scores_b.GatherRows(rows), t, k);
+    if (recall_a > recall_b) ++wins;
+  }
+  return static_cast<double>(wins) / options.num_resamples;
+}
+
+}  // namespace dssddi::eval

@@ -1,0 +1,52 @@
+#ifndef DSSDDI_EVAL_SIGNIFICANCE_H_
+#define DSSDDI_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+
+#include "eval/metrics.h"
+#include "tensor/matrix.h"
+
+namespace dssddi::eval {
+
+/// Distribution summary for one bootstrapped metric.
+struct MetricCi {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double lower = 0.0;  // percentile interval bounds
+  double upper = 0.0;
+};
+
+/// Bootstrap summary of the three ranking metrics at one k.
+struct BootstrapResult {
+  MetricCi precision;
+  MetricCi recall;
+  MetricCi ndcg;
+  int num_resamples = 0;
+  double confidence = 0.0;
+};
+
+struct BootstrapOptions {
+  int num_resamples = 1000;
+  double confidence = 0.95;
+  uint64_t seed = 1234;
+};
+
+/// Patient-level bootstrap: resamples the rows of `scores`/`truth` with
+/// replacement and recomputes Precision/Recall/NDCG@k per resample, so
+/// the paper's point estimates can be reported with confidence intervals.
+BootstrapResult BootstrapRankingMetrics(const tensor::Matrix& scores,
+                                        const tensor::Matrix& truth, int k,
+                                        const BootstrapOptions& options = {});
+
+/// Paired bootstrap comparison of two models on the same patients:
+/// resamples rows once per iteration and measures the recall@k difference
+/// (a - b). Returns the fraction of resamples in which model A strictly
+/// beats model B — close to 1.0 means a robust win.
+double PairedBootstrapWinRate(const tensor::Matrix& scores_a,
+                              const tensor::Matrix& scores_b,
+                              const tensor::Matrix& truth, int k,
+                              const BootstrapOptions& options = {});
+
+}  // namespace dssddi::eval
+
+#endif  // DSSDDI_EVAL_SIGNIFICANCE_H_

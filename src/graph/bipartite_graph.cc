@@ -1,0 +1,86 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dssddi::graph {
+
+BipartiteGraph::BipartiteGraph(int num_patients, int num_drugs)
+    : num_patients_(num_patients),
+      num_drugs_(num_drugs),
+      patient_to_drugs_(num_patients),
+      drug_to_patients_(num_drugs) {}
+
+BipartiteGraph BipartiteGraph::FromAdjacencyMatrix(const tensor::Matrix& y) {
+  BipartiteGraph g(y.rows(), y.cols());
+  for (int i = 0; i < y.rows(); ++i) {
+    for (int v = 0; v < y.cols(); ++v) {
+      if (y.At(i, v) > 0.5f) g.AddEdge(i, v);
+    }
+  }
+  return g;
+}
+
+void BipartiteGraph::AddEdge(int patient, int drug) {
+  DSSDDI_CHECK(patient >= 0 && patient < num_patients_) << "patient id out of range";
+  DSSDDI_CHECK(drug >= 0 && drug < num_drugs_) << "drug id out of range";
+  auto& drugs = patient_to_drugs_[patient];
+  auto it = std::lower_bound(drugs.begin(), drugs.end(), drug);
+  if (it != drugs.end() && *it == drug) return;  // already present
+  drugs.insert(it, drug);
+  auto& patients = drug_to_patients_[drug];
+  patients.insert(std::lower_bound(patients.begin(), patients.end(), patient), patient);
+  ++num_edges_;
+}
+
+bool BipartiteGraph::HasEdge(int patient, int drug) const {
+  const auto& drugs = patient_to_drugs_[patient];
+  return std::binary_search(drugs.begin(), drugs.end(), drug);
+}
+
+std::vector<std::pair<int, int>> BipartiteGraph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(num_edges_);
+  for (int i = 0; i < num_patients_; ++i) {
+    for (int v : patient_to_drugs_[i]) edges.emplace_back(i, v);
+  }
+  return edges;
+}
+
+tensor::Matrix BipartiteGraph::ToDenseMatrix() const {
+  tensor::Matrix y(num_patients_, num_drugs_, 0.0f);
+  for (int i = 0; i < num_patients_; ++i) {
+    for (int v : patient_to_drugs_[i]) y.At(i, v) = 1.0f;
+  }
+  return y;
+}
+
+tensor::CsrMatrix BipartiteGraph::NormalizedPatientToDrug() const {
+  std::vector<tensor::SparseEntry> entries;
+  entries.reserve(num_edges_);
+  for (int i = 0; i < num_patients_; ++i) {
+    for (int v : patient_to_drugs_[i]) {
+      const float w = 1.0f / std::sqrt(static_cast<float>(patient_to_drugs_[i].size()) *
+                                       static_cast<float>(drug_to_patients_[v].size()));
+      entries.push_back({i, v, w});
+    }
+  }
+  return tensor::CsrMatrix::FromEntries(num_patients_, num_drugs_, std::move(entries));
+}
+
+tensor::CsrMatrix BipartiteGraph::NormalizedDrugToPatient() const {
+  std::vector<tensor::SparseEntry> entries;
+  entries.reserve(num_edges_);
+  for (int v = 0; v < num_drugs_; ++v) {
+    for (int i : drug_to_patients_[v]) {
+      const float w = 1.0f / std::sqrt(static_cast<float>(drug_to_patients_[v].size()) *
+                                       static_cast<float>(patient_to_drugs_[i].size()));
+      entries.push_back({v, i, w});
+    }
+  }
+  return tensor::CsrMatrix::FromEntries(num_drugs_, num_patients_, std::move(entries));
+}
+
+}  // namespace dssddi::graph

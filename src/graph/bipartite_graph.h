@@ -1,0 +1,56 @@
+#ifndef DSSDDI_GRAPH_BIPARTITE_GRAPH_H_
+#define DSSDDI_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace dssddi::graph {
+
+/// Patient-drug bipartite interaction graph (paper Definition 3). Patients
+/// index the left side [0, num_patients), drugs the right side
+/// [0, num_drugs). Edges are "patient i takes drug v".
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+  BipartiteGraph(int num_patients, int num_drugs);
+
+  /// Builds from a 0/1 medication-use matrix Y (patients x drugs).
+  static BipartiteGraph FromAdjacencyMatrix(const tensor::Matrix& y);
+
+  void AddEdge(int patient, int drug);
+  bool HasEdge(int patient, int drug) const;
+
+  int num_patients() const { return num_patients_; }
+  int num_drugs() const { return num_drugs_; }
+  int num_edges() const { return num_edges_; }
+
+  /// Drugs taken by `patient` (paper's N_i), ascending.
+  const std::vector<int>& DrugsOf(int patient) const { return patient_to_drugs_[patient]; }
+  /// Patients taking `drug` (paper's N_v), ascending.
+  const std::vector<int>& PatientsOf(int drug) const { return drug_to_patients_[drug]; }
+
+  /// All (patient, drug) edges.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// Dense 0/1 medication-use matrix Y.
+  tensor::Matrix ToDenseMatrix() const;
+
+  /// Symmetric-normalized propagation operators used by MDGCN /
+  /// LightGCN-style convolutions (paper Eq. 11-12): entry (i, v) is
+  /// 1 / sqrt(|N_i| |N_v|).
+  tensor::CsrMatrix NormalizedPatientToDrug() const;  // patients x drugs
+  tensor::CsrMatrix NormalizedDrugToPatient() const;  // drugs x patients
+
+ private:
+  int num_patients_ = 0;
+  int num_drugs_ = 0;
+  int num_edges_ = 0;
+  std::vector<std::vector<int>> patient_to_drugs_;
+  std::vector<std::vector<int>> drug_to_patients_;
+};
+
+}  // namespace dssddi::graph
+
+#endif  // DSSDDI_GRAPH_BIPARTITE_GRAPH_H_

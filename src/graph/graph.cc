@@ -1,0 +1,104 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dssddi::graph {
+
+Graph Graph::FromEdges(int num_vertices, const std::vector<std::pair<int, int>>& edges) {
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.edges_.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    DSSDDI_CHECK(u >= 0 && u < num_vertices && v >= 0 && v < num_vertices)
+        << "edge (" << u << "," << v << ") out of range";
+    DSSDDI_CHECK(u != v) << "self-loop at vertex " << u;
+    if (u > v) std::swap(u, v);
+    g.edges_.emplace_back(u, v);
+  }
+  std::sort(g.edges_.begin(), g.edges_.end());
+  g.edges_.erase(std::unique(g.edges_.begin(), g.edges_.end()), g.edges_.end());
+
+  g.adj_offsets_.assign(num_vertices + 1, 0);
+  for (auto [u, v] : g.edges_) {
+    ++g.adj_offsets_[u + 1];
+    ++g.adj_offsets_[v + 1];
+  }
+  for (int v = 0; v < num_vertices; ++v) g.adj_offsets_[v + 1] += g.adj_offsets_[v];
+  g.adj_neighbors_.resize(g.edges_.size() * 2);
+  g.adj_edge_ids_.resize(g.edges_.size() * 2);
+  std::vector<int> cursor(g.adj_offsets_.begin(), g.adj_offsets_.end() - 1);
+  for (int e = 0; e < static_cast<int>(g.edges_.size()); ++e) {
+    auto [u, v] = g.edges_[e];
+    g.adj_neighbors_[cursor[u]] = v;
+    g.adj_edge_ids_[cursor[u]++] = e;
+    g.adj_neighbors_[cursor[v]] = u;
+    g.adj_edge_ids_[cursor[v]++] = e;
+  }
+  // Neighbors within each vertex bucket are already ascending because the
+  // edge list is sorted lexicographically and buckets fill in order — but
+  // the (v, u) reversed insertions break that for the second endpoint, so
+  // sort each bucket (with the edge ids following along).
+  for (int v = 0; v < num_vertices; ++v) {
+    const int begin = g.adj_offsets_[v];
+    const int end = g.adj_offsets_[v + 1];
+    std::vector<std::pair<int, int>> bucket;
+    bucket.reserve(end - begin);
+    for (int i = begin; i < end; ++i) {
+      bucket.emplace_back(g.adj_neighbors_[i], g.adj_edge_ids_[i]);
+    }
+    std::sort(bucket.begin(), bucket.end());
+    for (int i = begin; i < end; ++i) {
+      g.adj_neighbors_[i] = bucket[i - begin].first;
+      g.adj_edge_ids_[i] = bucket[i - begin].second;
+    }
+  }
+  return g;
+}
+
+Graph::NeighborRange Graph::Neighbors(int v) const {
+  return {adj_neighbors_.data() + adj_offsets_[v],
+          adj_neighbors_.data() + adj_offsets_[v + 1]};
+}
+
+Graph::NeighborRange Graph::IncidentEdges(int v) const {
+  return {adj_edge_ids_.data() + adj_offsets_[v],
+          adj_edge_ids_.data() + adj_offsets_[v + 1]};
+}
+
+int Graph::EdgeId(int u, int v) const {
+  if (u < 0 || v < 0 || u >= num_vertices_ || v >= num_vertices_ || u == v) return -1;
+  // Search from the lower-degree endpoint.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const int begin = adj_offsets_[u];
+  const int end = adj_offsets_[u + 1];
+  auto it = std::lower_bound(adj_neighbors_.begin() + begin,
+                             adj_neighbors_.begin() + end, v);
+  if (it == adj_neighbors_.begin() + end || *it != v) return -1;
+  return adj_edge_ids_[it - adj_neighbors_.begin()];
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& vertices,
+                             std::vector<int>* vertex_map_out) const {
+  std::vector<int> old_to_new(num_vertices_, -1);
+  std::vector<int> new_to_old;
+  new_to_old.reserve(vertices.size());
+  for (int v : vertices) {
+    DSSDDI_CHECK(v >= 0 && v < num_vertices_) << "subgraph vertex out of range";
+    if (old_to_new[v] < 0) {
+      old_to_new[v] = static_cast<int>(new_to_old.size());
+      new_to_old.push_back(v);
+    }
+  }
+  std::vector<std::pair<int, int>> sub_edges;
+  for (auto [u, v] : edges_) {
+    if (old_to_new[u] >= 0 && old_to_new[v] >= 0) {
+      sub_edges.emplace_back(old_to_new[u], old_to_new[v]);
+    }
+  }
+  if (vertex_map_out != nullptr) *vertex_map_out = new_to_old;
+  return FromEdges(static_cast<int>(new_to_old.size()), sub_edges);
+}
+
+}  // namespace dssddi::graph

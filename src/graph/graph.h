@@ -1,0 +1,62 @@
+#ifndef DSSDDI_GRAPH_GRAPH_H_
+#define DSSDDI_GRAPH_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+namespace dssddi::graph {
+
+/// Undirected simple graph with contiguous vertex ids [0, n) and stable
+/// edge ids [0, m). Built once, then immutable; the community-search
+/// algorithms in src/algo operate on this type.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list; self-loops are rejected, duplicate edges
+  /// (in either orientation) are merged.
+  static Graph FromEdges(int num_vertices, const std::vector<std::pair<int, int>>& edges);
+
+  int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Endpoints of edge `e`, with first < second.
+  std::pair<int, int> Edge(int e) const { return edges_[e]; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  int Degree(int v) const { return adj_offsets_[v + 1] - adj_offsets_[v]; }
+
+  /// Neighbors of v in ascending order.
+  struct NeighborRange {
+    const int* begin_ptr;
+    const int* end_ptr;
+    const int* begin() const { return begin_ptr; }
+    const int* end() const { return end_ptr; }
+    int size() const { return static_cast<int>(end_ptr - begin_ptr); }
+  };
+  NeighborRange Neighbors(int v) const;
+
+  /// Edge ids parallel to Neighbors(v).
+  NeighborRange IncidentEdges(int v) const;
+
+  /// Edge id of {u, v}, or -1 if absent. O(log deg).
+  int EdgeId(int u, int v) const;
+
+  bool HasEdge(int u, int v) const { return EdgeId(u, v) >= 0; }
+
+  /// Vertex-induced subgraph. `vertex_map_out`, if non-null, receives the
+  /// original id of each new vertex (new id -> old id).
+  Graph InducedSubgraph(const std::vector<int>& vertices,
+                        std::vector<int>* vertex_map_out = nullptr) const;
+
+ private:
+  int num_vertices_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<int> adj_offsets_;
+  std::vector<int> adj_neighbors_;
+  std::vector<int> adj_edge_ids_;
+};
+
+}  // namespace dssddi::graph
+
+#endif  // DSSDDI_GRAPH_GRAPH_H_

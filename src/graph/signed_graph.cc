@@ -1,0 +1,119 @@
+#include "graph/signed_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dssddi::graph {
+
+SignedGraph::SignedGraph(int num_vertices, std::vector<SignedEdge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  for (auto& e : edges_) {
+    DSSDDI_CHECK(e.u >= 0 && e.u < num_vertices_ && e.v >= 0 && e.v < num_vertices_)
+        << "signed edge out of range";
+    DSSDDI_CHECK(e.u != e.v) << "self-interaction at drug " << e.u;
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  RebuildIndex();
+}
+
+void SignedGraph::RebuildIndex() {
+  neighbors_.assign(num_vertices_, {});
+  pos_neighbors_.assign(num_vertices_, {});
+  neg_neighbors_.assign(num_vertices_, {});
+  sign_index_.clear();
+  sign_index_.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    neighbors_[e.u].push_back(e.v);
+    neighbors_[e.v].push_back(e.u);
+    if (e.sign == EdgeSign::kSynergistic) {
+      pos_neighbors_[e.u].push_back(e.v);
+      pos_neighbors_[e.v].push_back(e.u);
+    } else if (e.sign == EdgeSign::kAntagonistic) {
+      neg_neighbors_[e.u].push_back(e.v);
+      neg_neighbors_[e.v].push_back(e.u);
+    }
+    sign_index_.emplace_back(static_cast<long long>(e.u) * num_vertices_ + e.v, e.sign);
+  }
+  std::sort(sign_index_.begin(), sign_index_.end());
+}
+
+int SignedGraph::CountEdges(EdgeSign sign) const {
+  int count = 0;
+  for (const auto& e : edges_) {
+    if (e.sign == sign) ++count;
+  }
+  return count;
+}
+
+EdgeSign SignedGraph::SignOf(int u, int v) const {
+  if (u > v) std::swap(u, v);
+  const long long key = static_cast<long long>(u) * num_vertices_ + v;
+  auto it = std::lower_bound(sign_index_.begin(), sign_index_.end(),
+                             std::make_pair(key, EdgeSign::kAntagonistic));
+  if (it == sign_index_.end() || it->first != key) return EdgeSign::kNone;
+  return it->second;
+}
+
+bool SignedGraph::HasInteraction(int u, int v) const {
+  return SignOf(u, v) != EdgeSign::kNone;
+}
+
+Graph SignedGraph::InteractionSkeleton() const {
+  std::vector<std::pair<int, int>> skeleton;
+  for (const auto& e : edges_) {
+    if (e.sign != EdgeSign::kNone) skeleton.emplace_back(e.u, e.v);
+  }
+  return Graph::FromEdges(num_vertices_, skeleton);
+}
+
+tensor::CsrMatrix SignedGraph::MeanAdjacency() const {
+  std::vector<tensor::SparseEntry> entries;
+  for (int v = 0; v < num_vertices_; ++v) {
+    const auto& nbrs = neighbors_[v];
+    if (nbrs.empty()) continue;
+    const float w = 1.0f / static_cast<float>(nbrs.size());
+    for (int u : nbrs) entries.push_back({v, u, w});
+  }
+  return tensor::CsrMatrix::FromEntries(num_vertices_, num_vertices_, std::move(entries));
+}
+
+tensor::CsrMatrix SignedGraph::MeanAdjacency(EdgeSign sign) const {
+  const auto& lists = sign == EdgeSign::kSynergistic ? pos_neighbors_ : neg_neighbors_;
+  DSSDDI_CHECK(sign != EdgeSign::kNone) << "MeanAdjacency(sign) needs +1 or -1";
+  std::vector<tensor::SparseEntry> entries;
+  for (int v = 0; v < num_vertices_; ++v) {
+    const auto& nbrs = lists[v];
+    if (nbrs.empty()) continue;
+    const float w = 1.0f / static_cast<float>(nbrs.size());
+    for (int u : nbrs) entries.push_back({v, u, w});
+  }
+  return tensor::CsrMatrix::FromEntries(num_vertices_, num_vertices_, std::move(entries));
+}
+
+void SignedGraph::SampleNoInteractionEdges(int count, util::Rng& rng) {
+  DSSDDI_CHECK(num_vertices_ >= 2) << "graph too small to sample pairs";
+  int added = 0;
+  int attempts = 0;
+  const int max_attempts = count * 200 + 1000;
+  while (added < count && attempts < max_attempts) {
+    ++attempts;
+    int u = static_cast<int>(rng.NextBelow(num_vertices_));
+    int v = static_cast<int>(rng.NextBelow(num_vertices_));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const long long key = static_cast<long long>(u) * num_vertices_ + v;
+    auto it = std::lower_bound(sign_index_.begin(), sign_index_.end(),
+                               std::make_pair(key, EdgeSign::kAntagonistic));
+    if (it != sign_index_.end() && it->first == key) continue;  // any edge exists
+    edges_.push_back({u, v, EdgeSign::kNone});
+    sign_index_.insert(it, {key, EdgeSign::kNone});
+    neighbors_[u].push_back(v);
+    neighbors_[v].push_back(u);
+    ++added;
+  }
+  DSSDDI_CHECK(added == count) << "could not sample " << count
+                               << " no-interaction pairs (graph too dense?)";
+}
+
+}  // namespace dssddi::graph

@@ -1,0 +1,82 @@
+#ifndef DSSDDI_GRAPH_SIGNED_GRAPH_H_
+#define DSSDDI_GRAPH_SIGNED_GRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+namespace dssddi::graph {
+
+/// Sign of a drug-drug interaction edge (paper Definition 2 plus the
+/// explicit "no interaction" edges added in Section IV-A1).
+enum class EdgeSign : int {
+  kAntagonistic = -1,
+  kNone = 0,
+  kSynergistic = 1,
+};
+
+struct SignedEdge {
+  int u = 0;
+  int v = 0;
+  EdgeSign sign = EdgeSign::kNone;
+};
+
+/// The DDI graph G = (V, E): drugs as vertices, synergistic (+1),
+/// antagonistic (-1), and sampled no-interaction (0) edges. The 0 edges
+/// exist only so DDIGCN can regress "no interaction"; the Medical Support
+/// module operates on the interaction-only skeleton.
+class SignedGraph {
+ public:
+  SignedGraph() = default;
+  SignedGraph(int num_vertices, std::vector<SignedEdge> edges);
+
+  int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<SignedEdge>& edges() const { return edges_; }
+
+  int CountEdges(EdgeSign sign) const;
+
+  /// Neighbors of `v` over all edge types (for GIN aggregation, Eq. 1 —
+  /// "the set of drugs that have interactions with drug Dv").
+  const std::vector<int>& Neighbors(int v) const { return neighbors_[v]; }
+  /// Neighbors connected by synergistic edges only (SGCN's B set).
+  const std::vector<int>& PositiveNeighbors(int v) const { return pos_neighbors_[v]; }
+  /// Neighbors connected by antagonistic edges only (SGCN's U set).
+  const std::vector<int>& NegativeNeighbors(int v) const { return neg_neighbors_[v]; }
+
+  /// Sign of edge {u, v}; kNone if absent or an explicit 0-edge.
+  EdgeSign SignOf(int u, int v) const;
+  /// True iff a synergistic or antagonistic edge joins u and v.
+  bool HasInteraction(int u, int v) const;
+
+  /// Unsigned skeleton over +1/-1 edges only (input to truss/CTC search).
+  Graph InteractionSkeleton() const;
+
+  /// Mean-normalized adjacency over all edges (weight 1/|N(v)| on row v),
+  /// used for GIN-style neighborhood averaging.
+  tensor::CsrMatrix MeanAdjacency() const;
+  /// Mean-normalized adjacency restricted to one sign.
+  tensor::CsrMatrix MeanAdjacency(EdgeSign sign) const;
+
+  /// Samples `count` vertex pairs with no synergistic/antagonistic edge and
+  /// appends them as explicit kNone edges (paper Section IV-A1). Existing
+  /// 0-edges are not duplicated.
+  void SampleNoInteractionEdges(int count, util::Rng& rng);
+
+ private:
+  void RebuildIndex();
+
+  int num_vertices_ = 0;
+  std::vector<SignedEdge> edges_;
+  std::vector<std::vector<int>> neighbors_;
+  std::vector<std::vector<int>> pos_neighbors_;
+  std::vector<std::vector<int>> neg_neighbors_;
+  // Flat lookup for SignOf: key = u * n + v.
+  std::vector<std::pair<long long, EdgeSign>> sign_index_;
+};
+
+}  // namespace dssddi::graph
+
+#endif  // DSSDDI_GRAPH_SIGNED_GRAPH_H_

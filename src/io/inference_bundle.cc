@@ -1,0 +1,243 @@
+#include "io/inference_bundle.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/ms_module.h"
+#include "core/suggestion_model.h"
+#include "io/serialize.h"
+#include "tensor/nn.h"
+#include "util/logging.h"
+
+namespace dssddi::io {
+namespace {
+
+constexpr uint32_t kBundleVersion = 1;
+
+// Plain-matrix activation matching tensor::Activate on Tensors (the
+// default leaky slope there is 0.01).
+void ActivateInPlace(tensor::Matrix& x, int activation) {
+  switch (static_cast<tensor::Activation>(activation)) {
+    case tensor::Activation::kNone:
+      return;
+    case tensor::Activation::kRelu:
+      for (float& v : x.data()) v = v > 0.0f ? v : 0.0f;
+      return;
+    case tensor::Activation::kLeakyRelu:
+      for (float& v : x.data()) v = v > 0.0f ? v : 0.01f * v;
+      return;
+    case tensor::Activation::kSigmoid:
+      for (float& v : x.data()) v = 1.0f / (1.0f + std::exp(-v));
+      return;
+    case tensor::Activation::kTanh:
+      for (float& v : x.data()) v = std::tanh(v);
+      return;
+  }
+}
+
+FrozenMlp FreezeMlp(const tensor::Mlp& mlp) {
+  FrozenMlp frozen;
+  frozen.layers.reserve(mlp.layers().size());
+  for (const auto& layer : mlp.layers()) {
+    FrozenMlp::Layer out;
+    out.weight = layer.weight().value();
+    out.bias = layer.bias().value();
+    out.activation = static_cast<int>(layer.activation());
+    frozen.layers.push_back(std::move(out));
+  }
+  return frozen;
+}
+
+void WriteFrozenMlp(BinaryWriter& writer, const FrozenMlp& mlp) {
+  writer.WriteU32(static_cast<uint32_t>(mlp.layers.size()));
+  for (const auto& layer : mlp.layers) {
+    WriteMatrix(writer, layer.weight);
+    WriteMatrix(writer, layer.bias);
+    writer.WriteI32(layer.activation);
+  }
+}
+
+bool ReadFrozenMlp(BinaryReader& reader, FrozenMlp* mlp) {
+  const uint32_t num_layers = reader.ReadU32();
+  if (!reader.ok() || num_layers > 64) {
+    reader.Fail();
+    return false;
+  }
+  mlp->layers.assign(num_layers, {});
+  for (auto& layer : mlp->layers) {
+    if (!ReadMatrix(reader, &layer.weight)) return false;
+    if (!ReadMatrix(reader, &layer.bias)) return false;
+    layer.activation = reader.ReadI32();
+    if (!reader.ok() || layer.activation < 0 || layer.activation > 4) {
+      reader.Fail();
+      return false;
+    }
+    if (layer.bias.rows() != 1 || layer.bias.cols() != layer.weight.cols()) {
+      reader.Fail();
+      return false;
+    }
+  }
+  return true;
+}
+
+// Nearest-centroid treatment row, matching MdModule::TreatmentRow.
+int NearestCluster(const tensor::Matrix& centroids, const float* features) {
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < centroids.rows(); ++c) {
+    double dist = 0.0;
+    const float* centroid = centroids.RowPtr(c);
+    for (int j = 0; j < centroids.cols(); ++j) {
+      const double d = static_cast<double>(features[j]) - centroid[j];
+      dist += d * d;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+tensor::Matrix FrozenMlp::Forward(const tensor::Matrix& x) const {
+  tensor::Matrix h = x;
+  for (const auto& layer : layers) {
+    h = h.MatMul(layer.weight).AddRowBroadcast(layer.bias);
+    ActivateInPlace(h, layer.activation);
+  }
+  return h;
+}
+
+tensor::Matrix InferenceBundle::PredictScores(const tensor::Matrix& x) const {
+  DSSDDI_CHECK(!final_drug_reps.empty()) << "bundle has no drug representations";
+  DSSDDI_CHECK(x.cols() == cluster_centroids.cols())
+      << "feature width " << x.cols() << " != trained width "
+      << cluster_centroids.cols();
+  const int num_patients = x.rows();
+  const int v_count = num_drugs();
+  const tensor::Matrix h_patients = patient_fc.Forward(x);
+
+  const int interaction_dim = mlp_decoder ? hidden_dim : 1;
+  tensor::Matrix decoder_input(num_patients * v_count, interaction_dim + 1);
+  for (int i = 0; i < num_patients; ++i) {
+    const int cluster = NearestCluster(cluster_centroids, x.RowPtr(i));
+    const float* treatment = cluster_treatment.RowPtr(cluster);
+    const float* hp = h_patients.RowPtr(i);
+    for (int v = 0; v < v_count; ++v) {
+      float* row = decoder_input.RowPtr(i * v_count + v);
+      const float* hd = final_drug_reps.RowPtr(v);
+      if (mlp_decoder) {
+        for (int j = 0; j < hidden_dim; ++j) row[j] = hp[j] * hd[j];
+      } else {
+        double acc = 0.0;
+        for (int j = 0; j < hidden_dim; ++j) acc += static_cast<double>(hp[j]) * hd[j];
+        row[0] = static_cast<float>(acc);
+      }
+      row[interaction_dim] = use_treatment_feature ? treatment[v] : 0.0f;
+    }
+  }
+  const tensor::Matrix logits = decoder.Forward(decoder_input);
+  tensor::Matrix scores(num_patients, v_count);
+  for (int i = 0; i < num_patients; ++i) {
+    for (int v = 0; v < v_count; ++v) {
+      scores.At(i, v) = 1.0f / (1.0f + std::exp(-logits.At(i * v_count + v, 0)));
+    }
+  }
+  return scores;
+}
+
+core::Suggestion InferenceBundle::Suggest(const tensor::Matrix& x, int k) const {
+  tensor::Matrix first_row(1, x.cols());
+  std::copy(x.RowPtr(0), x.RowPtr(0) + x.cols(), first_row.RowPtr(0));
+  const tensor::Matrix scores = PredictScores(first_row);
+
+  core::Suggestion suggestion;
+  suggestion.drugs = core::TopKDrugs(scores, 0, k);
+  suggestion.scores.reserve(suggestion.drugs.size());
+  for (int d : suggestion.drugs) suggestion.scores.push_back(scores.At(0, d));
+  const core::MsModule ms(ddi, ms_alpha);
+  suggestion.explanation = ms.Explain(suggestion.drugs);
+  return suggestion;
+}
+
+InferenceBundle ExtractInferenceBundle(const core::DssddiSystem& system,
+                                       const data::SuggestionDataset& dataset) {
+  const core::MdModule* md = system.md_module();
+  DSSDDI_CHECK(md != nullptr) << "ExtractInferenceBundle before Fit";
+
+  InferenceBundle bundle;
+  bundle.display_name = system.name();
+  bundle.patient_fc = FreezeMlp(md->patient_fc());
+  bundle.decoder = FreezeMlp(md->decoder());
+  bundle.final_drug_reps = md->DrugRepresentations();
+  bundle.cluster_centroids = md->cluster_centroids();
+  bundle.cluster_treatment = md->cluster_treatment();
+  bundle.ddi = dataset.ddi;
+  bundle.drug_names = dataset.drug_names;
+  bundle.mlp_decoder = md->config().decoder == core::MdDecoder::kMlp;
+  bundle.use_treatment_feature = md->config().use_treatment_feature;
+  bundle.hidden_dim = md->config().hidden_dim;
+  bundle.ms_alpha = system.config().ms_alpha;
+  return bundle;
+}
+
+Status SaveInferenceBundle(const std::string& path, const InferenceBundle& bundle) {
+  BinaryWriter writer;
+  writer.WriteString(bundle.display_name);
+  WriteFrozenMlp(writer, bundle.patient_fc);
+  WriteFrozenMlp(writer, bundle.decoder);
+  WriteMatrix(writer, bundle.final_drug_reps);
+  WriteMatrix(writer, bundle.cluster_centroids);
+  WriteMatrix(writer, bundle.cluster_treatment);
+  WriteSignedGraph(writer, bundle.ddi);
+  WriteStringVector(writer, bundle.drug_names);
+  writer.WriteU8(bundle.mlp_decoder ? 1 : 0);
+  writer.WriteU8(bundle.use_treatment_feature ? 1 : 0);
+  writer.WriteI32(bundle.hidden_dim);
+  writer.WriteF64(bundle.ms_alpha);
+  return WriteFramedFile(path, kFormatInferenceBundle, kBundleVersion, writer.buffer());
+}
+
+Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
+  std::string payload;
+  if (Status status = ReadFramedFile(path, kFormatInferenceBundle, kBundleVersion,
+                                     &payload, nullptr);
+      !status.ok) {
+    return status;
+  }
+  BinaryReader reader(payload);
+  bundle->display_name = reader.ReadString();
+  if (!ReadFrozenMlp(reader, &bundle->patient_fc)) {
+    return Status::Error("malformed patient encoder: " + path);
+  }
+  if (!ReadFrozenMlp(reader, &bundle->decoder)) {
+    return Status::Error("malformed decoder: " + path);
+  }
+  if (!ReadMatrix(reader, &bundle->final_drug_reps) ||
+      !ReadMatrix(reader, &bundle->cluster_centroids) ||
+      !ReadMatrix(reader, &bundle->cluster_treatment) ||
+      !ReadSignedGraph(reader, &bundle->ddi) ||
+      !ReadStringVector(reader, &bundle->drug_names)) {
+    return Status::Error("malformed bundle payload: " + path);
+  }
+  bundle->mlp_decoder = reader.ReadU8() != 0;
+  bundle->use_treatment_feature = reader.ReadU8() != 0;
+  bundle->hidden_dim = reader.ReadI32();
+  bundle->ms_alpha = reader.ReadF64();
+  if (!reader.ok() || reader.remaining() != 0) {
+    return Status::Error("malformed bundle payload: " + path);
+  }
+  // Cross-field consistency so a loaded bundle cannot index out of range.
+  if (bundle->ddi.num_vertices() != bundle->num_drugs() ||
+      bundle->cluster_treatment.cols() != bundle->num_drugs() ||
+      bundle->final_drug_reps.cols() != bundle->hidden_dim ||
+      (!bundle->drug_names.empty() &&
+       static_cast<int>(bundle->drug_names.size()) != bundle->num_drugs())) {
+    return Status::Error("inconsistent bundle dimensions: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dssddi::io

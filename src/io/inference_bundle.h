@@ -1,0 +1,76 @@
+#ifndef DSSDDI_IO_INFERENCE_BUNDLE_H_
+#define DSSDDI_IO_INFERENCE_BUNDLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dssddi_system.h"
+#include "data/dataset.h"
+#include "graph/signed_graph.h"
+#include "io/binary.h"
+#include "tensor/matrix.h"
+
+namespace dssddi::io {
+
+/// Frozen MLP weights with a plain-Matrix forward pass. This mirrors
+/// tensor::Mlp but carries no autograd machinery, so a trained model can
+/// be deployed for scoring without the training stack.
+struct FrozenMlp {
+  struct Layer {
+    tensor::Matrix weight;  // in_features x out_features
+    tensor::Matrix bias;    // 1 x out_features
+    int activation = 0;     // tensor::Activation as int, for serialization
+  };
+  std::vector<Layer> layers;
+
+  /// y = act_L(...act_1(x W_1 + b_1)...W_L + b_L), matching Mlp::Forward.
+  tensor::Matrix Forward(const tensor::Matrix& x) const;
+};
+
+/// Everything needed to run a trained DSSDDI system at inference time:
+/// the MD module's frozen encoder/decoder, the propagated drug
+/// representations (DDI embeddings already folded in), the treatment
+/// cluster tables, and the DDI graph for Medical Support explanations.
+///
+/// The bundle round-trips through a single framed file, so a model trained
+/// once on the full cohort can be shipped to a clinic host and queried
+/// there (`PredictScores` / `Suggest`) bit-identically to the in-process
+/// system it was extracted from.
+struct InferenceBundle {
+  std::string display_name;
+  FrozenMlp patient_fc;
+  FrozenMlp decoder;
+  /// |V| x hidden final drug representations (h'_v, post layer-combination
+  /// and DDI-embedding addition).
+  tensor::Matrix final_drug_reps;
+  tensor::Matrix cluster_centroids;   // k x d1
+  tensor::Matrix cluster_treatment;   // k x |V|
+  graph::SignedGraph ddi;
+  std::vector<std::string> drug_names;
+  bool mlp_decoder = true;            // MdDecoder::kMlp vs kDotLinear
+  bool use_treatment_feature = true;
+  int hidden_dim = 0;
+  double ms_alpha = 0.5;
+
+  int num_drugs() const { return final_drug_reps.rows(); }
+
+  /// Sigmoid suggestion scores (|x| x |V|) for raw patient features.
+  /// Bit-identical to MdModule::PredictScores on the same weights.
+  tensor::Matrix PredictScores(const tensor::Matrix& x) const;
+
+  /// Top-k suggestion with Medical Support explanation for one patient
+  /// feature row (1 x d1 matrix or the first row of a larger matrix).
+  core::Suggestion Suggest(const tensor::Matrix& x, int k) const;
+};
+
+/// Extracts a frozen inference bundle from a trained system. `dataset`
+/// supplies the DDI graph and drug names shown in explanations.
+InferenceBundle ExtractInferenceBundle(const core::DssddiSystem& system,
+                                       const data::SuggestionDataset& dataset);
+
+Status SaveInferenceBundle(const std::string& path, const InferenceBundle& bundle);
+Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle);
+
+}  // namespace dssddi::io
+
+#endif  // DSSDDI_IO_INFERENCE_BUNDLE_H_

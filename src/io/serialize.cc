@@ -1,0 +1,237 @@
+#include "io/serialize.h"
+
+#include <utility>
+
+namespace dssddi::io {
+namespace {
+
+constexpr uint32_t kCodecVersion = 1;
+
+// Guards against absurd counts from corrupted length prefixes before any
+// allocation happens. Generous: the full chronic dataset is far smaller.
+constexpr uint32_t kMaxReasonableCount = 1u << 28;
+
+template <typename SaveBody>
+Status SaveFramed(const std::string& path, uint32_t format_id, SaveBody body) {
+  BinaryWriter writer;
+  body(writer);
+  return WriteFramedFile(path, format_id, kCodecVersion, writer.buffer());
+}
+
+template <typename LoadBody>
+Status LoadFramed(const std::string& path, uint32_t format_id, LoadBody body) {
+  std::string payload;
+  uint32_t version = 0;
+  if (Status status = ReadFramedFile(path, format_id, kCodecVersion, &payload, &version);
+      !status.ok) {
+    return status;
+  }
+  BinaryReader reader(payload);
+  if (!body(reader) || !reader.ok()) {
+    return Status::Error("malformed payload: " + path);
+  }
+  if (reader.remaining() != 0) {
+    return Status::Error("trailing bytes after payload: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WriteMatrix(BinaryWriter& writer, const tensor::Matrix& matrix) {
+  writer.WriteU32(static_cast<uint32_t>(matrix.rows()));
+  writer.WriteU32(static_cast<uint32_t>(matrix.cols()));
+  writer.WriteFloatArray(matrix.data().data(), matrix.data().size());
+}
+
+bool ReadMatrix(BinaryReader& reader, tensor::Matrix* matrix) {
+  const uint32_t rows = reader.ReadU32();
+  const uint32_t cols = reader.ReadU32();
+  if (!reader.ok() || rows > kMaxReasonableCount || cols > kMaxReasonableCount) {
+    reader.Fail();
+    return false;
+  }
+  std::vector<float> values;
+  if (!reader.ReadFloatArray(&values)) return false;
+  if (values.size() != static_cast<size_t>(rows) * cols) {
+    reader.Fail();
+    return false;
+  }
+  *matrix = tensor::Matrix(static_cast<int>(rows), static_cast<int>(cols));
+  matrix->data() = std::move(values);
+  return true;
+}
+
+void WriteSignedGraph(BinaryWriter& writer, const graph::SignedGraph& graph) {
+  writer.WriteU32(static_cast<uint32_t>(graph.num_vertices()));
+  writer.WriteU32(static_cast<uint32_t>(graph.edges().size()));
+  for (const auto& edge : graph.edges()) {
+    writer.WriteU32(static_cast<uint32_t>(edge.u));
+    writer.WriteU32(static_cast<uint32_t>(edge.v));
+    writer.WriteI32(static_cast<int32_t>(edge.sign));
+  }
+}
+
+bool ReadSignedGraph(BinaryReader& reader, graph::SignedGraph* graph) {
+  const uint32_t num_vertices = reader.ReadU32();
+  const uint32_t num_edges = reader.ReadU32();
+  if (!reader.ok() || num_vertices > kMaxReasonableCount ||
+      num_edges > kMaxReasonableCount) {
+    reader.Fail();
+    return false;
+  }
+  std::vector<graph::SignedEdge> edges;
+  edges.reserve(num_edges);
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    graph::SignedEdge edge;
+    edge.u = static_cast<int>(reader.ReadU32());
+    edge.v = static_cast<int>(reader.ReadU32());
+    const int32_t sign = reader.ReadI32();
+    if (!reader.ok()) return false;
+    if (sign < -1 || sign > 1 ||
+        edge.u >= static_cast<int>(num_vertices) ||
+        edge.v >= static_cast<int>(num_vertices)) {
+      reader.Fail();
+      return false;
+    }
+    edge.sign = static_cast<graph::EdgeSign>(sign);
+    edges.push_back(edge);
+  }
+  *graph = graph::SignedGraph(static_cast<int>(num_vertices), std::move(edges));
+  return true;
+}
+
+void WriteSplit(BinaryWriter& writer, const data::Split& split) {
+  writer.WriteIntVector(split.train);
+  writer.WriteIntVector(split.validation);
+  writer.WriteIntVector(split.test);
+}
+
+bool ReadSplit(BinaryReader& reader, data::Split* split) {
+  return reader.ReadIntVector(&split->train) &&
+         reader.ReadIntVector(&split->validation) &&
+         reader.ReadIntVector(&split->test);
+}
+
+void WriteStringVector(BinaryWriter& writer, const std::vector<std::string>& values) {
+  writer.WriteU32(static_cast<uint32_t>(values.size()));
+  for (const auto& value : values) writer.WriteString(value);
+}
+
+bool ReadStringVector(BinaryReader& reader, std::vector<std::string>* values) {
+  const uint32_t count = reader.ReadU32();
+  if (!reader.ok() || count > kMaxReasonableCount) {
+    reader.Fail();
+    return false;
+  }
+  values->clear();
+  values->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    values->push_back(reader.ReadString());
+    if (!reader.ok()) return false;
+  }
+  return true;
+}
+
+void WriteIntVectorVector(BinaryWriter& writer,
+                          const std::vector<std::vector<int>>& values) {
+  writer.WriteU32(static_cast<uint32_t>(values.size()));
+  for (const auto& inner : values) writer.WriteIntVector(inner);
+}
+
+bool ReadIntVectorVector(BinaryReader& reader,
+                         std::vector<std::vector<int>>* values) {
+  const uint32_t count = reader.ReadU32();
+  if (!reader.ok() || count > kMaxReasonableCount) {
+    reader.Fail();
+    return false;
+  }
+  values->assign(count, {});
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.ReadIntVector(&(*values)[i])) return false;
+  }
+  return true;
+}
+
+void WriteDataset(BinaryWriter& writer, const data::SuggestionDataset& dataset) {
+  writer.WriteString(dataset.name);
+  WriteMatrix(writer, dataset.patient_features);
+  WriteMatrix(writer, dataset.medication);
+  WriteMatrix(writer, dataset.drug_features);
+  WriteSignedGraph(writer, dataset.ddi);
+  WriteSplit(writer, dataset.split);
+  writer.WriteI32(dataset.num_diseases);
+  WriteStringVector(writer, dataset.drug_names);
+  WriteIntVectorVector(writer, dataset.patient_diseases);
+  writer.WriteU32(static_cast<uint32_t>(dataset.visit_codes.size()));
+  for (const auto& visits : dataset.visit_codes) {
+    WriteIntVectorVector(writer, visits);
+  }
+}
+
+bool ReadDataset(BinaryReader& reader, data::SuggestionDataset* dataset) {
+  dataset->name = reader.ReadString();
+  if (!ReadMatrix(reader, &dataset->patient_features)) return false;
+  if (!ReadMatrix(reader, &dataset->medication)) return false;
+  if (!ReadMatrix(reader, &dataset->drug_features)) return false;
+  if (!ReadSignedGraph(reader, &dataset->ddi)) return false;
+  if (!ReadSplit(reader, &dataset->split)) return false;
+  dataset->num_diseases = reader.ReadI32();
+  if (!ReadStringVector(reader, &dataset->drug_names)) return false;
+  if (!ReadIntVectorVector(reader, &dataset->patient_diseases)) return false;
+  const uint32_t num_patients_with_visits = reader.ReadU32();
+  if (!reader.ok() || num_patients_with_visits > kMaxReasonableCount) {
+    reader.Fail();
+    return false;
+  }
+  dataset->visit_codes.assign(num_patients_with_visits, {});
+  for (uint32_t i = 0; i < num_patients_with_visits; ++i) {
+    if (!ReadIntVectorVector(reader, &dataset->visit_codes[i])) return false;
+  }
+  // Cross-field consistency: the medication matrix defines the patient and
+  // drug axes every other field must agree with.
+  const int num_patients = dataset->medication.rows();
+  const int num_drugs = dataset->medication.cols();
+  if (dataset->patient_features.rows() != num_patients ||
+      dataset->ddi.num_vertices() != num_drugs ||
+      (!dataset->drug_names.empty() &&
+       static_cast<int>(dataset->drug_names.size()) != num_drugs)) {
+    reader.Fail();
+    return false;
+  }
+  return true;
+}
+
+Status SaveMatrixFile(const std::string& path, const tensor::Matrix& matrix) {
+  return SaveFramed(path, kFormatMatrix,
+                    [&](BinaryWriter& writer) { WriteMatrix(writer, matrix); });
+}
+
+Status LoadMatrixFile(const std::string& path, tensor::Matrix* matrix) {
+  return LoadFramed(path, kFormatMatrix,
+                    [&](BinaryReader& reader) { return ReadMatrix(reader, matrix); });
+}
+
+Status SaveSignedGraphFile(const std::string& path, const graph::SignedGraph& graph) {
+  return SaveFramed(path, kFormatSignedGraph,
+                    [&](BinaryWriter& writer) { WriteSignedGraph(writer, graph); });
+}
+
+Status LoadSignedGraphFile(const std::string& path, graph::SignedGraph* graph) {
+  return LoadFramed(path, kFormatSignedGraph, [&](BinaryReader& reader) {
+    return ReadSignedGraph(reader, graph);
+  });
+}
+
+Status SaveDatasetFile(const std::string& path, const data::SuggestionDataset& dataset) {
+  return SaveFramed(path, kFormatDataset,
+                    [&](BinaryWriter& writer) { WriteDataset(writer, dataset); });
+}
+
+Status LoadDatasetFile(const std::string& path, data::SuggestionDataset* dataset) {
+  return LoadFramed(path, kFormatDataset, [&](BinaryReader& reader) {
+    return ReadDataset(reader, dataset);
+  });
+}
+
+}  // namespace dssddi::io

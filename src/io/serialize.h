@@ -1,0 +1,63 @@
+#ifndef DSSDDI_IO_SERIALIZE_H_
+#define DSSDDI_IO_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/signed_graph.h"
+#include "io/binary.h"
+#include "tensor/matrix.h"
+
+namespace dssddi::io {
+
+/// Artifact kinds stored in the framed-file header (see WriteFramedFile).
+enum FormatId : uint32_t {
+  kFormatMatrix = 1,
+  kFormatSignedGraph = 2,
+  kFormatDataset = 3,
+  kFormatInferenceBundle = 4,
+};
+
+// ---- In-buffer codecs (composable; used by the file wrappers and the
+// inference bundle). Readers return false and mark the BinaryReader
+// failed on malformed input. ----
+
+void WriteMatrix(BinaryWriter& writer, const tensor::Matrix& matrix);
+bool ReadMatrix(BinaryReader& reader, tensor::Matrix* matrix);
+
+void WriteSignedGraph(BinaryWriter& writer, const graph::SignedGraph& graph);
+bool ReadSignedGraph(BinaryReader& reader, graph::SignedGraph* graph);
+
+void WriteSplit(BinaryWriter& writer, const data::Split& split);
+bool ReadSplit(BinaryReader& reader, data::Split* split);
+
+void WriteStringVector(BinaryWriter& writer, const std::vector<std::string>& values);
+bool ReadStringVector(BinaryReader& reader, std::vector<std::string>* values);
+
+void WriteIntVectorVector(BinaryWriter& writer,
+                          const std::vector<std::vector<int>>& values);
+bool ReadIntVectorVector(BinaryReader& reader,
+                         std::vector<std::vector<int>>* values);
+
+void WriteDataset(BinaryWriter& writer, const data::SuggestionDataset& dataset);
+bool ReadDataset(BinaryReader& reader, data::SuggestionDataset* dataset);
+
+// ---- File-level wrappers: framed (magic + format id + version +
+// checksum) so corruption and kind confusion fail with a clear message. ----
+
+Status SaveMatrixFile(const std::string& path, const tensor::Matrix& matrix);
+Status LoadMatrixFile(const std::string& path, tensor::Matrix* matrix);
+
+Status SaveSignedGraphFile(const std::string& path, const graph::SignedGraph& graph);
+Status LoadSignedGraphFile(const std::string& path, graph::SignedGraph* graph);
+
+/// Persists a fully assembled suggestion dataset (features, medication,
+/// DDI graph, split, names, histories) so expensive generator + TransE
+/// runs can be cached across processes.
+Status SaveDatasetFile(const std::string& path, const data::SuggestionDataset& dataset);
+Status LoadDatasetFile(const std::string& path, data::SuggestionDataset* dataset);
+
+}  // namespace dssddi::io
+
+#endif  // DSSDDI_IO_SERIALIZE_H_

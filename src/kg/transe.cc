@@ -1,0 +1,159 @@
+#include "kg/transe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/init.h"
+#include "util/logging.h"
+
+namespace dssddi::kg {
+
+int TripleStore::AddEntity(const std::string& name) {
+  entity_names_.push_back(name);
+  return static_cast<int>(entity_names_.size()) - 1;
+}
+
+int TripleStore::AddRelation(const std::string& name) {
+  relation_names_.push_back(name);
+  return static_cast<int>(relation_names_.size()) - 1;
+}
+
+void TripleStore::AddTriple(int head, int relation, int tail) {
+  DSSDDI_CHECK(head >= 0 && head < num_entities()) << "bad head id";
+  DSSDDI_CHECK(tail >= 0 && tail < num_entities()) << "bad tail id";
+  DSSDDI_CHECK(relation >= 0 && relation < num_relations()) << "bad relation id";
+  triples_.push_back({head, relation, tail});
+}
+
+int TripleStore::FindEntity(const std::string& name) const {
+  for (int i = 0; i < num_entities(); ++i) {
+    if (entity_names_[i] == name) return i;
+  }
+  return -1;
+}
+
+bool TripleStore::Contains(const Triple& t) const {
+  for (const auto& existing : triples_) {
+    if (existing.head == t.head && existing.relation == t.relation &&
+        existing.tail == t.tail) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TransEModel::TransEModel(int num_entities, int num_relations,
+                         const TransEConfig& config, util::Rng& rng)
+    : config_(config) {
+  const float bound = 6.0f / std::sqrt(static_cast<float>(config.embedding_dim));
+  entity_embeddings_ =
+      tensor::UniformInit(num_entities, config.embedding_dim, -bound, bound, rng);
+  relation_embeddings_ =
+      tensor::UniformInit(num_relations, config.embedding_dim, -bound, bound, rng);
+  // Relations are normalized once at init (standard TransE practice).
+  relation_embeddings_ = relation_embeddings_.RowL2Normalized();
+  for (int e = 0; e < num_entities; ++e) NormalizeEntity(e);
+}
+
+void TransEModel::NormalizeEntity(int entity) {
+  float* row = entity_embeddings_.RowPtr(entity);
+  double norm_sq = 0.0;
+  for (int j = 0; j < entity_embeddings_.cols(); ++j) {
+    norm_sq += static_cast<double>(row[j]) * row[j];
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (norm < 1e-12) return;
+  for (int j = 0; j < entity_embeddings_.cols(); ++j) {
+    row[j] = static_cast<float>(row[j] / norm);
+  }
+}
+
+float TransEModel::Distance(const Triple& t) const {
+  const float* h = entity_embeddings_.RowPtr(t.head);
+  const float* r = relation_embeddings_.RowPtr(t.relation);
+  const float* tl = entity_embeddings_.RowPtr(t.tail);
+  double acc = 0.0;
+  for (int j = 0; j < entity_embeddings_.cols(); ++j) {
+    const double d = static_cast<double>(h[j]) + r[j] - tl[j];
+    acc += config_.use_l1 ? std::fabs(d) : d * d;
+  }
+  return static_cast<float>(config_.use_l1 ? acc : std::sqrt(acc));
+}
+
+float TransEModel::TrainEpoch(const TripleStore& store, util::Rng& rng) {
+  const auto& triples = store.triples();
+  DSSDDI_CHECK(!triples.empty()) << "TransE needs at least one triple";
+  std::vector<int> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng.Shuffle(order);
+
+  const int dim = config_.embedding_dim;
+  const float lr = config_.learning_rate;
+  double total_loss = 0.0;
+
+  for (int idx : order) {
+    const Triple positive = triples[idx];
+    // Corrupt head or tail uniformly; re-draw if the corruption is a
+    // known true triple (up to a few attempts).
+    Triple negative = positive;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      negative = positive;
+      if (rng.Bernoulli(0.5)) {
+        negative.head = static_cast<int>(rng.NextBelow(store.num_entities()));
+      } else {
+        negative.tail = static_cast<int>(rng.NextBelow(store.num_entities()));
+      }
+      if (!store.Contains(negative)) break;
+    }
+
+    const float pos_dist = Distance(positive);
+    const float neg_dist = Distance(negative);
+    const float loss = config_.margin + pos_dist - neg_dist;
+    if (loss <= 0.0f) continue;
+    total_loss += loss;
+
+    // Gradient of margin + d(pos) - d(neg) w.r.t. embeddings, for the L2
+    // distance d = ||h + r - t||: dd/dh = (h + r - t) / d, etc.
+    auto apply = [&](const Triple& t, float sign) {
+      float* h = entity_embeddings_.RowPtr(t.head);
+      float* r = relation_embeddings_.RowPtr(t.relation);
+      float* tl = entity_embeddings_.RowPtr(t.tail);
+      const float dist = std::max(Distance(t), 1e-6f);
+      for (int j = 0; j < dim; ++j) {
+        float grad;
+        const float diff = h[j] + r[j] - tl[j];
+        if (config_.use_l1) {
+          grad = diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f);
+        } else {
+          grad = diff / dist;
+        }
+        grad *= sign;
+        h[j] -= lr * grad;
+        r[j] -= lr * grad;
+        tl[j] += lr * grad;
+      }
+    };
+    apply(positive, +1.0f);   // decrease positive distance
+    apply(negative, -1.0f);   // increase negative distance
+
+    NormalizeEntity(positive.head);
+    NormalizeEntity(positive.tail);
+    NormalizeEntity(negative.head);
+    NormalizeEntity(negative.tail);
+  }
+  return static_cast<float>(total_loss / triples.size());
+}
+
+float TransEModel::Train(const TripleStore& store, util::Rng& rng) {
+  float loss = 0.0f;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    loss = TrainEpoch(store, rng);
+  }
+  return loss;
+}
+
+tensor::Matrix TransEModel::EmbeddingsFor(const std::vector<int>& entity_ids) const {
+  return entity_embeddings_.GatherRows(entity_ids);
+}
+
+}  // namespace dssddi::kg

@@ -1,0 +1,93 @@
+#ifndef DSSDDI_KG_TRANSE_H_
+#define DSSDDI_KG_TRANSE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi::kg {
+
+/// One (head, relation, tail) fact in a knowledge graph.
+struct Triple {
+  int head = 0;
+  int relation = 0;
+  int tail = 0;
+};
+
+/// In-memory triple store with entity/relation vocabularies. The chronic
+/// data pipeline builds a DRKG-like drug–disease–gene graph here and
+/// pretrains TransE on it to obtain the paper's "KG" drug features.
+class TripleStore {
+ public:
+  /// Interns a name and returns its entity id.
+  int AddEntity(const std::string& name);
+  int AddRelation(const std::string& name);
+
+  /// Adds a fact; ids must have been interned.
+  void AddTriple(int head, int relation, int tail);
+
+  int num_entities() const { return static_cast<int>(entity_names_.size()); }
+  int num_relations() const { return static_cast<int>(relation_names_.size()); }
+  const std::vector<Triple>& triples() const { return triples_; }
+  const std::string& EntityName(int id) const { return entity_names_[id]; }
+  const std::string& RelationName(int id) const { return relation_names_[id]; }
+
+  /// Entity id by name, or -1.
+  int FindEntity(const std::string& name) const;
+
+  /// True iff the exact triple exists (linear scan; used for negative
+  /// sampling on modest graphs).
+  bool Contains(const Triple& t) const;
+
+ private:
+  std::vector<std::string> entity_names_;
+  std::vector<std::string> relation_names_;
+  std::vector<Triple> triples_;
+};
+
+struct TransEConfig {
+  int embedding_dim = 400;  // matches the DRKG embeddings used in the paper
+  float learning_rate = 0.01f;
+  float margin = 1.0f;
+  int epochs = 50;
+  /// L1 distance if true (original TransE supports both); L2 otherwise.
+  bool use_l1 = false;
+};
+
+/// TransE (Bordes et al., NeurIPS'13): entities and relations embed in the
+/// same space with h + r ≈ t for true triples. Trained with margin ranking
+/// loss against corrupted triples and per-step entity renormalization.
+/// Implemented with direct SGD updates (no autograd) for speed.
+class TransEModel {
+ public:
+  TransEModel(int num_entities, int num_relations, const TransEConfig& config,
+              util::Rng& rng);
+
+  /// Runs `config.epochs` passes over the triples; returns final mean loss.
+  float Train(const TripleStore& store, util::Rng& rng);
+
+  /// One epoch; returns mean margin loss.
+  float TrainEpoch(const TripleStore& store, util::Rng& rng);
+
+  /// Distance-based score: smaller = more plausible.
+  float Distance(const Triple& t) const;
+
+  const tensor::Matrix& entity_embeddings() const { return entity_embeddings_; }
+  const tensor::Matrix& relation_embeddings() const { return relation_embeddings_; }
+
+  /// Rows of the entity matrix for the given ids (e.g. the 86 drugs).
+  tensor::Matrix EmbeddingsFor(const std::vector<int>& entity_ids) const;
+
+ private:
+  void NormalizeEntity(int entity);
+
+  TransEConfig config_;
+  tensor::Matrix entity_embeddings_;
+  tensor::Matrix relation_embeddings_;
+};
+
+}  // namespace dssddi::kg
+
+#endif  // DSSDDI_KG_TRANSE_H_

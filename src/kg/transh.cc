@@ -1,0 +1,158 @@
+#include "kg/transh.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/init.h"
+#include "util/logging.h"
+
+namespace dssddi::kg {
+namespace {
+
+double Dot(const float* a, const float* b, int dim) {
+  double acc = 0.0;
+  for (int j = 0; j < dim; ++j) acc += static_cast<double>(a[j]) * b[j];
+  return acc;
+}
+
+}  // namespace
+
+TransHModel::TransHModel(int num_entities, int num_relations,
+                         const TransHConfig& config, util::Rng& rng)
+    : config_(config) {
+  const float bound = 6.0f / std::sqrt(static_cast<float>(config.embedding_dim));
+  entity_embeddings_ =
+      tensor::UniformInit(num_entities, config.embedding_dim, -bound, bound, rng);
+  relation_translations_ =
+      tensor::UniformInit(num_relations, config.embedding_dim, -bound, bound, rng);
+  relation_normals_ =
+      tensor::UniformInit(num_relations, config.embedding_dim, -bound, bound, rng);
+  for (int e = 0; e < num_entities; ++e) NormalizeEntity(e);
+  for (int r = 0; r < num_relations; ++r) NormalizeRelationNormal(r);
+}
+
+void TransHModel::NormalizeEntity(int entity) {
+  float* row = entity_embeddings_.RowPtr(entity);
+  const int dim = entity_embeddings_.cols();
+  const double norm = std::sqrt(Dot(row, row, dim));
+  // Soft constraint ||e|| <= 1: rescale only when outside the ball.
+  if (norm <= 1.0 || norm < 1e-12) return;
+  for (int j = 0; j < dim; ++j) row[j] = static_cast<float>(row[j] / norm);
+}
+
+void TransHModel::NormalizeRelationNormal(int relation) {
+  float* row = relation_normals_.RowPtr(relation);
+  const int dim = relation_normals_.cols();
+  const double norm = std::sqrt(Dot(row, row, dim));
+  if (norm < 1e-12) {
+    row[0] = 1.0f;  // degenerate normal: reset to a unit axis
+    return;
+  }
+  for (int j = 0; j < dim; ++j) row[j] = static_cast<float>(row[j] / norm);
+}
+
+float TransHModel::Distance(const Triple& t) const {
+  const int dim = entity_embeddings_.cols();
+  const float* h = entity_embeddings_.RowPtr(t.head);
+  const float* tl = entity_embeddings_.RowPtr(t.tail);
+  const float* d_r = relation_translations_.RowPtr(t.relation);
+  const float* w = relation_normals_.RowPtr(t.relation);
+  const double wh = Dot(w, h, dim);
+  const double wt = Dot(w, tl, dim);
+  double acc = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    const double delta = (h[j] - wh * w[j]) + d_r[j] - (tl[j] - wt * w[j]);
+    acc += delta * delta;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float TransHModel::TrainEpoch(const TripleStore& store, util::Rng& rng) {
+  const auto& triples = store.triples();
+  DSSDDI_CHECK(!triples.empty()) << "TransH needs at least one triple";
+  std::vector<int> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng.Shuffle(order);
+
+  const int dim = config_.embedding_dim;
+  const float lr = config_.learning_rate;
+  double total_loss = 0.0;
+  std::vector<double> g(dim);
+
+  for (int idx : order) {
+    const Triple positive = triples[idx];
+    Triple negative = positive;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      negative = positive;
+      if (rng.Bernoulli(0.5)) {
+        negative.head = static_cast<int>(rng.NextBelow(store.num_entities()));
+      } else {
+        negative.tail = static_cast<int>(rng.NextBelow(store.num_entities()));
+      }
+      if (!store.Contains(negative)) break;
+    }
+
+    const float pos_dist = Distance(positive);
+    const float neg_dist = Distance(negative);
+    const float loss = config_.margin + pos_dist - neg_dist;
+    if (loss <= 0.0f) continue;
+    total_loss += loss;
+
+    // SGD step on margin + d(pos) - d(neg). For the L2 hyperplane
+    // distance with residual delta and unit gradient g = delta / dist:
+    //   grad_h   =  g - (w.g) w
+    //   grad_t   = -(g - (w.g) w)
+    //   grad_d_r =  g
+    //   grad_w   = -((g.w) h + (w.h) g) + ((g.w) t + (w.t) g)
+    auto apply = [&](const Triple& t, float sign) {
+      float* h = entity_embeddings_.RowPtr(t.head);
+      float* tl = entity_embeddings_.RowPtr(t.tail);
+      float* d_r = relation_translations_.RowPtr(t.relation);
+      float* w = relation_normals_.RowPtr(t.relation);
+      const double wh = Dot(w, h, dim);
+      const double wt = Dot(w, tl, dim);
+
+      double dist = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        g[j] = (h[j] - wh * w[j]) + d_r[j] - (tl[j] - wt * w[j]);
+        dist += g[j] * g[j];
+      }
+      dist = std::sqrt(dist);
+      if (dist < 1e-12) return;
+      for (int j = 0; j < dim; ++j) g[j] /= dist;
+
+      double gw = 0.0;
+      for (int j = 0; j < dim; ++j) gw += g[j] * w[j];
+      const float step = sign * lr;
+      for (int j = 0; j < dim; ++j) {
+        const double grad_shared = g[j] - gw * w[j];
+        const double grad_w =
+            -(gw * h[j] + wh * g[j]) + (gw * tl[j] + wt * g[j]);
+        h[j] -= static_cast<float>(step * grad_shared);
+        tl[j] += static_cast<float>(step * grad_shared);
+        d_r[j] -= static_cast<float>(step * g[j]);
+        w[j] -= static_cast<float>(step * grad_w);
+      }
+      NormalizeEntity(t.head);
+      NormalizeEntity(t.tail);
+      NormalizeRelationNormal(t.relation);
+    };
+    apply(positive, +1.0f);   // decrease the positive distance
+    apply(negative, -1.0f);   // increase the negative distance
+  }
+  return static_cast<float>(total_loss / static_cast<double>(triples.size()));
+}
+
+float TransHModel::Train(const TripleStore& store, util::Rng& rng) {
+  float last = 0.0f;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    last = TrainEpoch(store, rng);
+  }
+  return last;
+}
+
+tensor::Matrix TransHModel::EmbeddingsFor(const std::vector<int>& entity_ids) const {
+  return entity_embeddings_.GatherRows(entity_ids);
+}
+
+}  // namespace dssddi::kg

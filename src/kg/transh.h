@@ -1,0 +1,64 @@
+#ifndef DSSDDI_KG_TRANSH_H_
+#define DSSDDI_KG_TRANSH_H_
+
+#include <vector>
+
+#include "kg/transe.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi::kg {
+
+struct TransHConfig {
+  int embedding_dim = 400;
+  float learning_rate = 0.01f;
+  float margin = 1.0f;
+  int epochs = 50;
+};
+
+/// TransH (Wang et al., AAAI'14), the paper's other cited knowledge-
+/// representation model for drug embeddings: each relation owns a
+/// hyperplane with unit normal w_r and an in-plane translation d_r, and
+/// entities are projected onto the hyperplane before translation:
+///
+///   score(h, r, t) = || (h - (w_r.h) w_r) + d_r - (t - (w_r.t) w_r) ||_2
+///
+/// The projection lets one entity carry different roles under different
+/// relations, which fixes TransE's collapse on 1-to-N relations (e.g.
+/// one disease treated by many drugs — exactly the drug-indication shape
+/// of the DRKG-like graph). Trained with margin ranking loss and direct
+/// SGD updates, mirroring the TransE implementation.
+class TransHModel {
+ public:
+  TransHModel(int num_entities, int num_relations, const TransHConfig& config,
+              util::Rng& rng);
+
+  /// Runs `config.epochs` passes; returns the final epoch's mean loss.
+  float Train(const TripleStore& store, util::Rng& rng);
+
+  /// One shuffled pass of margin-ranking SGD; returns mean loss.
+  float TrainEpoch(const TripleStore& store, util::Rng& rng);
+
+  /// Hyperplane distance score: smaller = more plausible.
+  float Distance(const Triple& t) const;
+
+  const tensor::Matrix& entity_embeddings() const { return entity_embeddings_; }
+  const tensor::Matrix& relation_translations() const { return relation_translations_; }
+  const tensor::Matrix& relation_normals() const { return relation_normals_; }
+
+  /// Rows of the entity matrix for the given ids (e.g. the 86 drugs).
+  tensor::Matrix EmbeddingsFor(const std::vector<int>& entity_ids) const;
+
+ private:
+  void NormalizeEntity(int entity);
+  void NormalizeRelationNormal(int relation);
+
+  TransHConfig config_;
+  tensor::Matrix entity_embeddings_;
+  tensor::Matrix relation_translations_;  // d_r
+  tensor::Matrix relation_normals_;       // w_r (unit rows)
+};
+
+}  // namespace dssddi::kg
+
+#endif  // DSSDDI_KG_TRANSH_H_

@@ -1,0 +1,109 @@
+#include "models/bipar_gcn.h"
+
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace dssddi::models {
+
+namespace {
+using tensor::Matrix;
+using tensor::Tensor;
+}  // namespace
+
+void BiparGcnModel::Fit(const data::SuggestionDataset& dataset) {
+  util::Rng rng(config_.seed);
+  x_train_ = dataset.patient_features.GatherRows(dataset.split.train);
+  const Matrix y_train = dataset.medication.GatherRows(dataset.split.train);
+  bipartite_ = graph::BipartiteGraph::FromAdjacencyMatrix(y_train);
+  patient_to_drug_ = bipartite_.NormalizedPatientToDrug();
+  drug_to_patient_ = bipartite_.NormalizedDrugToPatient();
+
+  const int h = config_.hidden_dim;
+  patient_input_ = tensor::Linear(x_train_.cols(), h, rng, tensor::Activation::kRelu);
+  drug_input_ = tensor::Linear(dataset.drug_features.cols(), h, rng,
+                               tensor::Activation::kRelu);
+  patient_layers_.clear();
+  drug_layers_.clear();
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    patient_layers_.emplace_back(h, h, rng, tensor::Activation::kRelu);
+    drug_layers_.emplace_back(h, h, rng, tensor::Activation::kRelu);
+  }
+
+  auto encode = [&]() {
+    Tensor hp = patient_input_.Forward(Tensor::Constant(x_train_));
+    Tensor hd = drug_input_.Forward(Tensor::Constant(dataset.drug_features));
+    for (int layer = 0; layer < config_.num_layers; ++layer) {
+      // Patient-oriented tower aggregates drug messages and vice versa,
+      // each through its own per-layer weights.
+      Tensor hp_next = patient_layers_[layer].Forward(
+          tensor::Add(hp, tensor::SpMM(patient_to_drug_, hd)));
+      Tensor hd_next = drug_layers_[layer].Forward(
+          tensor::Add(hd, tensor::SpMM(drug_to_patient_, hp)));
+      hp = hp_next;
+      hd = hd_next;
+    }
+    return std::make_pair(hp, hd);
+  };
+
+  std::vector<int> pos_patients;
+  std::vector<int> pos_drugs;
+  for (int i = 0; i < y_train.rows(); ++i) {
+    for (int v : bipartite_.DrugsOf(i)) {
+      pos_patients.push_back(i);
+      pos_drugs.push_back(v);
+    }
+  }
+  const int num_pos = static_cast<int>(pos_patients.size());
+
+  std::vector<Tensor> params = tensor::ConcatParams(
+      {patient_input_.Parameters(), drug_input_.Parameters()});
+  for (const auto& layer : patient_layers_) {
+    auto p = layer.Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  for (const auto& layer : drug_layers_) {
+    auto p = layer.Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  tensor::AdamOptimizer optimizer(std::move(params), config_.learning_rate);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<int> edge_p = pos_patients;
+    std::vector<int> edge_d = pos_drugs;
+    Matrix targets(2 * num_pos, 1, 0.0f);
+    for (int s = 0; s < num_pos; ++s) {
+      targets.At(s, 0) = 1.0f;
+      const int i = pos_patients[s];
+      int v = static_cast<int>(rng.NextBelow(dataset.num_drugs()));
+      for (int attempt = 0; attempt < 16 && bipartite_.HasEdge(i, v); ++attempt) {
+        v = static_cast<int>(rng.NextBelow(dataset.num_drugs()));
+      }
+      edge_p.push_back(i);
+      edge_d.push_back(v);
+    }
+    optimizer.ZeroGrad();
+    auto [hp, hd] = encode();
+    Tensor logits = tensor::RowDot(tensor::GatherRows(hp, edge_p),
+                                   tensor::GatherRows(hd, edge_d));
+    Tensor loss = tensor::BceWithLogitsLoss(logits, Tensor::Constant(targets));
+    loss.Backward();
+    optimizer.Step();
+  }
+  auto [hp, hd] = encode();
+  (void)hp;
+  final_drug_reps_ = hd.value();
+}
+
+tensor::Matrix BiparGcnModel::PredictScores(const data::SuggestionDataset& dataset,
+                                            const std::vector<int>& patient_indices) {
+  DSSDDI_CHECK(!final_drug_reps_.empty()) << "PredictScores before Fit";
+  const Matrix x = dataset.patient_features.GatherRows(patient_indices);
+  // Unseen patients run the tower without propagation terms.
+  Tensor hp = patient_input_.Forward(Tensor::Constant(x));
+  for (const auto& layer : patient_layers_) hp = layer.Forward(hp);
+  return hp.value().MatMulTransposed(final_drug_reps_);
+}
+
+}  // namespace dssddi::models

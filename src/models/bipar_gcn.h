@@ -1,0 +1,51 @@
+#ifndef DSSDDI_MODELS_BIPAR_GCN_H_
+#define DSSDDI_MODELS_BIPAR_GCN_H_
+
+#include <cstdint>
+
+#include "core/suggestion_model.h"
+#include "graph/bipartite_graph.h"
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace dssddi::models {
+
+struct BiparGcnConfig {
+  int hidden_dim = 64;
+  int num_layers = 2;
+  int epochs = 250;
+  float learning_rate = 0.01f;
+  uint64_t seed = 23;
+};
+
+/// Bipar-GCN baseline (Jin et al., ICDE'20): two structurally identical
+/// towers with separate parameters — a patient-oriented network and a
+/// drug-oriented network — each stacking feature transform + propagation
+/// + ReLU layers over the bipartite graph; inner-product decoder. Unseen
+/// patients are embedded through the patient tower's feature transform
+/// (their propagation terms are empty).
+class BiparGcnModel : public core::SuggestionModel {
+ public:
+  explicit BiparGcnModel(const BiparGcnConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "Bipar-GCN"; }
+  void Fit(const data::SuggestionDataset& dataset) override;
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+ private:
+  BiparGcnConfig config_;
+  graph::BipartiteGraph bipartite_;
+  tensor::CsrMatrix patient_to_drug_;
+  tensor::CsrMatrix drug_to_patient_;
+  tensor::Matrix x_train_;
+  tensor::Linear patient_input_;
+  tensor::Linear drug_input_;
+  std::vector<tensor::Linear> patient_layers_;
+  std::vector<tensor::Linear> drug_layers_;
+  tensor::Matrix final_drug_reps_;
+};
+
+}  // namespace dssddi::models
+
+#endif  // DSSDDI_MODELS_BIPAR_GCN_H_

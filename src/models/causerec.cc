@@ -1,0 +1,69 @@
+#include "models/causerec.h"
+
+#include "tensor/init.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace dssddi::models {
+
+namespace {
+using tensor::Matrix;
+using tensor::Tensor;
+}  // namespace
+
+void CauseRecModel::Fit(const data::SuggestionDataset& dataset) {
+  util::Rng rng(config_.seed);
+  const Matrix x_train = dataset.patient_features.GatherRows(dataset.split.train);
+  const Matrix y_train = dataset.medication.GatherRows(dataset.split.train);
+  const int n = x_train.rows();
+  const int h = config_.hidden_dim;
+
+  encoder_ = tensor::Linear(x_train.cols(), h, rng, tensor::Activation::kRelu);
+  drug_embeddings_ = Tensor::Parameter(
+      tensor::GaussianInit(dataset.num_drugs(), h, 0.1f, rng));
+
+  auto params = encoder_.Parameters();
+  params.push_back(drug_embeddings_);
+  tensor::AdamOptimizer optimizer(std::move(params), config_.learning_rate);
+
+  const Tensor targets = Tensor::Constant(y_train);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Counterfactual synthesis: replace a random subset of concepts of
+    // each patient with those of a random donor patient.
+    Matrix x_cf = x_train;
+    for (int i = 0; i < n; ++i) {
+      const int donor = static_cast<int>(rng.NextBelow(n));
+      for (int j = 0; j < x_train.cols(); ++j) {
+        if (rng.Bernoulli(config_.replace_fraction)) {
+          x_cf.At(i, j) = x_train.At(donor, j);
+        }
+      }
+    }
+    optimizer.ZeroGrad();
+    Tensor reps = encoder_.Forward(Tensor::Constant(x_train));
+    Tensor logits = tensor::MatMul(reps, tensor::Transpose(drug_embeddings_));
+    Tensor loss = tensor::BceWithLogitsLoss(logits, targets);
+
+    // Contrastive term: counterfactual representations should diverge
+    // from the factual ones (negative MSE, clipped through tanh to keep
+    // the objective bounded).
+    Tensor cf_reps = encoder_.Forward(Tensor::Constant(x_cf));
+    Tensor divergence = tensor::MeanAll(
+        tensor::Tanh(tensor::Square(tensor::Sub(reps, cf_reps))));
+    loss = tensor::Add(loss, tensor::Scale(divergence, -config_.contrast_weight));
+    loss.Backward();
+    optimizer.Step();
+  }
+  final_drug_reps_ = drug_embeddings_.value();
+}
+
+tensor::Matrix CauseRecModel::PredictScores(const data::SuggestionDataset& dataset,
+                                            const std::vector<int>& patient_indices) {
+  DSSDDI_CHECK(!final_drug_reps_.empty()) << "PredictScores before Fit";
+  const Matrix x = dataset.patient_features.GatherRows(patient_indices);
+  return encoder_.Forward(Tensor::Constant(x)).value().MatMulTransposed(final_drug_reps_);
+}
+
+}  // namespace dssddi::models

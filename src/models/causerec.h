@@ -1,0 +1,50 @@
+#ifndef DSSDDI_MODELS_CAUSEREC_H_
+#define DSSDDI_MODELS_CAUSEREC_H_
+
+#include <cstdint>
+
+#include "core/suggestion_model.h"
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace dssddi::models {
+
+struct CauseRecConfig {
+  int hidden_dim = 64;
+  int epochs = 200;
+  float learning_rate = 0.01f;
+  /// Fraction of feature "concepts" replaced when synthesizing a
+  /// counterfactual patient sequence.
+  float replace_fraction = 0.3f;
+  /// Weight of the counterfactual contrastive term.
+  float contrast_weight = 0.2f;
+  uint64_t seed = 25;
+};
+
+/// CauseRec baseline (Zhang et al., SIGIR'21), adapted: patient
+/// representations are learned from their observed concept vector
+/// (questionnaire features / visit codes); counterfactual patients are
+/// synthesized by replacing a random subset of concepts with another
+/// patient's values, and a contrastive term pushes counterfactual
+/// representations away from the factual ones. The paper notes CauseRec
+/// leans on patients' past visits, which is why it struggles on
+/// first-visit chronic patients (Tables I, IV).
+class CauseRecModel : public core::SuggestionModel {
+ public:
+  explicit CauseRecModel(const CauseRecConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "CauseRec"; }
+  void Fit(const data::SuggestionDataset& dataset) override;
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+ private:
+  CauseRecConfig config_;
+  tensor::Linear encoder_;
+  tensor::Tensor drug_embeddings_;
+  tensor::Matrix final_drug_reps_;
+};
+
+}  // namespace dssddi::models
+
+#endif  // DSSDDI_MODELS_CAUSEREC_H_

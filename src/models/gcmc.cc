@@ -1,0 +1,104 @@
+#include "models/gcmc.h"
+
+#include "tensor/init.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace dssddi::models {
+
+namespace {
+using tensor::Matrix;
+using tensor::Tensor;
+}  // namespace
+
+void GcmcModel::Fit(const data::SuggestionDataset& dataset) {
+  util::Rng rng(config_.seed);
+  x_train_ = dataset.patient_features.GatherRows(dataset.split.train);
+  const Matrix y_train = dataset.medication.GatherRows(dataset.split.train);
+  bipartite_ = graph::BipartiteGraph::FromAdjacencyMatrix(y_train);
+  patient_to_drug_ = bipartite_.NormalizedPatientToDrug();
+  drug_to_patient_ = bipartite_.NormalizedDrugToPatient();
+
+  const int h = config_.hidden_dim;
+  patient_feature_path_ = tensor::Linear(x_train_.cols(), h, rng);
+  patient_message_path_ = tensor::Linear(dataset.drug_features.cols(), h, rng);
+  drug_feature_path_ = tensor::Linear(dataset.drug_features.cols(), h, rng);
+  drug_message_path_ = tensor::Linear(x_train_.cols(), h, rng);
+  patient_dense_ = tensor::Linear(h, h, rng, tensor::Activation::kRelu);
+  drug_dense_ = tensor::Linear(h, h, rng, tensor::Activation::kRelu);
+  bilinear_q_ = Tensor::Parameter(tensor::XavierUniform(h, h, rng));
+
+  auto encode = [&]() {
+    // Message path: aggregate transformed neighbour features; feature
+    // path keeps unseen nodes meaningful.
+    Tensor drug_in = Tensor::Constant(dataset.drug_features);
+    Tensor patient_in = Tensor::Constant(x_train_);
+    Tensor hp = tensor::Relu(tensor::Add(
+        patient_feature_path_.Forward(patient_in),
+        tensor::SpMM(patient_to_drug_, patient_message_path_.Forward(drug_in))));
+    Tensor hd = tensor::Relu(tensor::Add(
+        drug_feature_path_.Forward(drug_in),
+        tensor::SpMM(drug_to_patient_, drug_message_path_.Forward(patient_in))));
+    return std::make_pair(patient_dense_.Forward(hp), drug_dense_.Forward(hd));
+  };
+
+  std::vector<int> pos_patients;
+  std::vector<int> pos_drugs;
+  for (int i = 0; i < y_train.rows(); ++i) {
+    for (int v : bipartite_.DrugsOf(i)) {
+      pos_patients.push_back(i);
+      pos_drugs.push_back(v);
+    }
+  }
+  const int num_pos = static_cast<int>(pos_patients.size());
+
+  std::vector<Tensor> params = tensor::ConcatParams(
+      {patient_feature_path_.Parameters(), patient_message_path_.Parameters(),
+       drug_feature_path_.Parameters(), drug_message_path_.Parameters(),
+       patient_dense_.Parameters(), drug_dense_.Parameters()});
+  params.push_back(bilinear_q_);
+  tensor::AdamOptimizer optimizer(std::move(params), config_.learning_rate);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<int> edge_p = pos_patients;
+    std::vector<int> edge_d = pos_drugs;
+    Matrix targets(2 * num_pos, 1, 0.0f);
+    for (int s = 0; s < num_pos; ++s) {
+      targets.At(s, 0) = 1.0f;
+      const int i = pos_patients[s];
+      int v = static_cast<int>(rng.NextBelow(dataset.num_drugs()));
+      for (int attempt = 0; attempt < 16 && bipartite_.HasEdge(i, v); ++attempt) {
+        v = static_cast<int>(rng.NextBelow(dataset.num_drugs()));
+      }
+      edge_p.push_back(i);
+      edge_d.push_back(v);
+    }
+    optimizer.ZeroGrad();
+    auto [hp, hd] = encode();
+    // Bilinear decoder: logit = u^T Q v.
+    Tensor transformed = tensor::MatMul(tensor::GatherRows(hp, edge_p), bilinear_q_);
+    Tensor logits = tensor::RowDot(transformed, tensor::GatherRows(hd, edge_d));
+    Tensor loss = tensor::BceWithLogitsLoss(logits, Tensor::Constant(targets));
+    loss.Backward();
+    optimizer.Step();
+  }
+  auto [hp, hd] = encode();
+  (void)hp;
+  final_drug_reps_ = hd.value();
+}
+
+tensor::Matrix GcmcModel::PredictScores(const data::SuggestionDataset& dataset,
+                                        const std::vector<int>& patient_indices) {
+  DSSDDI_CHECK(!final_drug_reps_.empty()) << "PredictScores before Fit";
+  const Matrix x = dataset.patient_features.GatherRows(patient_indices);
+  // Unseen patients: feature path only (no incident edges to message over).
+  const Matrix hp = patient_dense_
+      .Forward(tensor::Relu(patient_feature_path_.Forward(Tensor::Constant(x))))
+      .value();
+  const Matrix transformed = hp.MatMul(bilinear_q_.value());
+  return transformed.MatMulTransposed(final_drug_reps_);
+}
+
+}  // namespace dssddi::models

@@ -1,0 +1,52 @@
+#ifndef DSSDDI_MODELS_GCMC_H_
+#define DSSDDI_MODELS_GCMC_H_
+
+#include <cstdint>
+
+#include "core/suggestion_model.h"
+#include "graph/bipartite_graph.h"
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace dssddi::models {
+
+struct GcmcConfig {
+  int hidden_dim = 64;
+  int epochs = 250;
+  float learning_rate = 0.01f;
+  uint64_t seed = 22;
+};
+
+/// Graph Convolutional Matrix Completion baseline (van den Berg et al.,
+/// 2017): one graph-convolution pass per rating type (here the single
+/// "takes" rating), a dense layer, and a bilinear decoder. Patient
+/// embeddings combine a feature path with the message-passing path, so
+/// unseen patients (no edges) fall back to the feature path.
+class GcmcModel : public core::SuggestionModel {
+ public:
+  explicit GcmcModel(const GcmcConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "GCMC"; }
+  void Fit(const data::SuggestionDataset& dataset) override;
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+ private:
+  GcmcConfig config_;
+  graph::BipartiteGraph bipartite_;
+  tensor::CsrMatrix patient_to_drug_;
+  tensor::CsrMatrix drug_to_patient_;
+  tensor::Matrix x_train_;
+  tensor::Linear patient_feature_path_;
+  tensor::Linear patient_message_path_;
+  tensor::Linear drug_feature_path_;
+  tensor::Linear drug_message_path_;
+  tensor::Linear patient_dense_;
+  tensor::Linear drug_dense_;
+  tensor::Tensor bilinear_q_;
+  tensor::Matrix final_drug_reps_;
+};
+
+}  // namespace dssddi::models
+
+#endif  // DSSDDI_MODELS_GCMC_H_

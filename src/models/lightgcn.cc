@@ -1,0 +1,105 @@
+#include "models/lightgcn.h"
+
+#include "tensor/init.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace dssddi::models {
+
+namespace {
+using tensor::Matrix;
+using tensor::Tensor;
+}  // namespace
+
+LightGcnModel::Propagated LightGcnModel::Propagate() const {
+  Tensor p0 = patient_proj_.Forward(Tensor::Constant(x_train_));
+  Tensor d0 = drug_embeddings_;
+  Tensor p_sum = p0;
+  Tensor d_sum = d0;
+  Tensor p_cur = p0;
+  Tensor d_cur = d0;
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    Tensor p_next = tensor::SpMM(patient_to_drug_, d_cur);
+    Tensor d_next = tensor::SpMM(drug_to_patient_, p_cur);
+    p_cur = p_next;
+    d_cur = d_next;
+    p_sum = tensor::Add(p_sum, p_cur);
+    d_sum = tensor::Add(d_sum, d_cur);
+  }
+  const float inv = 1.0f / static_cast<float>(config_.num_layers + 1);
+  return {tensor::Scale(p_sum, inv), tensor::Scale(d_sum, inv)};
+}
+
+void LightGcnModel::Fit(const data::SuggestionDataset& dataset) {
+  util::Rng rng(config_.seed);
+  x_train_ = dataset.patient_features.GatherRows(dataset.split.train);
+  y_train_ = dataset.medication.GatherRows(dataset.split.train);
+  bipartite_ = graph::BipartiteGraph::FromAdjacencyMatrix(y_train_);
+  patient_to_drug_ = bipartite_.NormalizedPatientToDrug();
+  drug_to_patient_ = bipartite_.NormalizedDrugToPatient();
+  patient_proj_ = tensor::Linear(x_train_.cols(), config_.hidden_dim, rng);
+  drug_embeddings_ = Tensor::Parameter(
+      tensor::GaussianInit(dataset.num_drugs(), config_.hidden_dim, 0.1f, rng));
+
+  // Positive edges + per-epoch 1:1 negative sampling, BCE on logits.
+  std::vector<int> pos_patients;
+  std::vector<int> pos_drugs;
+  for (int i = 0; i < y_train_.rows(); ++i) {
+    for (int v : bipartite_.DrugsOf(i)) {
+      pos_patients.push_back(i);
+      pos_drugs.push_back(v);
+    }
+  }
+  const int num_pos = static_cast<int>(pos_patients.size());
+
+  auto params = patient_proj_.Parameters();
+  params.push_back(drug_embeddings_);
+  tensor::AdamOptimizer optimizer(std::move(params), config_.learning_rate);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<int> edge_p = pos_patients;
+    std::vector<int> edge_d = pos_drugs;
+    Matrix targets(2 * num_pos, 1, 0.0f);
+    for (int s = 0; s < num_pos; ++s) {
+      targets.At(s, 0) = 1.0f;
+      const int i = pos_patients[s];
+      int v = static_cast<int>(rng.NextBelow(dataset.num_drugs()));
+      for (int attempt = 0; attempt < 16 && bipartite_.HasEdge(i, v); ++attempt) {
+        v = static_cast<int>(rng.NextBelow(dataset.num_drugs()));
+      }
+      edge_p.push_back(i);
+      edge_d.push_back(v);
+    }
+    optimizer.ZeroGrad();
+    Propagated reps = Propagate();
+    Tensor logits = tensor::RowDot(tensor::GatherRows(reps.patients, edge_p),
+                                   tensor::GatherRows(reps.drugs, edge_d));
+    Tensor loss = tensor::BceWithLogitsLoss(logits, Tensor::Constant(targets));
+    loss.Backward();
+    optimizer.Step();
+  }
+  Propagated reps = Propagate();
+  final_patient_reps_ = reps.patients.value();
+  final_drug_reps_ = reps.drugs.value();
+}
+
+tensor::Matrix LightGcnModel::UnseenPatientRepresentations(const Matrix& x) const {
+  // Isolated nodes keep only the layer-0 term of the layer average.
+  return patient_proj_.Forward(Tensor::Constant(x))
+      .value()
+      .Scale(1.0f / static_cast<float>(config_.num_layers + 1));
+}
+
+tensor::Matrix LightGcnModel::TrainedPatientRepresentations() const {
+  return final_patient_reps_;
+}
+
+tensor::Matrix LightGcnModel::PredictScores(const data::SuggestionDataset& dataset,
+                                            const std::vector<int>& patient_indices) {
+  DSSDDI_CHECK(!final_drug_reps_.empty()) << "PredictScores before Fit";
+  const Matrix x = dataset.patient_features.GatherRows(patient_indices);
+  return UnseenPatientRepresentations(x).MatMulTransposed(final_drug_reps_);
+}
+
+}  // namespace dssddi::models

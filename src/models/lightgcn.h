@@ -1,0 +1,65 @@
+#ifndef DSSDDI_MODELS_LIGHTGCN_H_
+#define DSSDDI_MODELS_LIGHTGCN_H_
+
+#include <cstdint>
+
+#include "core/suggestion_model.h"
+#include "graph/bipartite_graph.h"
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace dssddi::models {
+
+struct LightGcnConfig {
+  int hidden_dim = 64;
+  int num_layers = 2;
+  int epochs = 300;
+  float learning_rate = 0.01f;
+  uint64_t seed = 21;
+};
+
+/// LightGCN baseline (He et al., SIGIR'20): propagation without feature
+/// transforms or nonlinearities, layer averaging, inner-product decoder.
+/// To score *unobserved* patients (who have no edges), patient layer-0
+/// embeddings come from a learned linear map of the questionnaire
+/// features; at test time an unseen patient contributes its layer-0 term
+/// only (its propagated terms are zero), matching the transductive
+/// model's behaviour on isolated nodes.
+class LightGcnModel : public core::SuggestionModel {
+ public:
+  explicit LightGcnModel(const LightGcnConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "LightGCN"; }
+  void Fit(const data::SuggestionDataset& dataset) override;
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+  /// Final (propagated, layer-averaged) representations of *training*
+  /// patients and drugs — used by the Fig. 7 similarity study.
+  tensor::Matrix TrainedPatientRepresentations() const;
+  const tensor::Matrix& DrugRepresentations() const { return final_drug_reps_; }
+  /// Representation an unseen patient receives (layer-0 / (L+1)).
+  tensor::Matrix UnseenPatientRepresentations(const tensor::Matrix& x) const;
+
+ private:
+  struct Propagated {
+    tensor::Tensor patients;
+    tensor::Tensor drugs;
+  };
+  Propagated Propagate() const;
+
+  LightGcnConfig config_;
+  graph::BipartiteGraph bipartite_;
+  tensor::CsrMatrix patient_to_drug_;
+  tensor::CsrMatrix drug_to_patient_;
+  tensor::Matrix x_train_;
+  tensor::Matrix y_train_;
+  tensor::Linear patient_proj_;
+  tensor::Tensor drug_embeddings_;
+  tensor::Matrix final_drug_reps_;
+  tensor::Matrix final_patient_reps_;
+};
+
+}  // namespace dssddi::models
+
+#endif  // DSSDDI_MODELS_LIGHTGCN_H_

@@ -1,0 +1,172 @@
+#include "models/linear_classifiers.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dssddi::models {
+
+namespace {
+
+float SigmoidOf(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+
+}  // namespace
+
+void LogisticRegression::Fit(const tensor::Matrix& x, const std::vector<float>& y,
+                             int iterations, float learning_rate, float l2) {
+  const int n = x.rows();
+  const int d = x.cols();
+  DSSDDI_CHECK(static_cast<int>(y.size()) == n) << "label size mismatch";
+  weights_.assign(d, 0.0f);
+  bias_ = 0.0f;
+  std::vector<float> gradient(d);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(gradient.begin(), gradient.end(), 0.0f);
+    float bias_gradient = 0.0f;
+    for (int i = 0; i < n; ++i) {
+      const float* row = x.RowPtr(i);
+      float z = bias_;
+      for (int j = 0; j < d; ++j) z += weights_[j] * row[j];
+      const float err = SigmoidOf(z) - y[i];
+      for (int j = 0; j < d; ++j) gradient[j] += err * row[j];
+      bias_gradient += err;
+    }
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (int j = 0; j < d; ++j) {
+      weights_[j] -= learning_rate * (gradient[j] * inv_n + l2 * weights_[j]);
+    }
+    bias_ -= learning_rate * bias_gradient * inv_n;
+  }
+}
+
+std::vector<float> LogisticRegression::PredictProba(const tensor::Matrix& x) const {
+  DSSDDI_CHECK(x.cols() == static_cast<int>(weights_.size())) << "feature dim mismatch";
+  std::vector<float> probs(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* row = x.RowPtr(i);
+    float z = bias_;
+    for (size_t j = 0; j < weights_.size(); ++j) z += weights_[j] * row[j];
+    probs[i] = SigmoidOf(z);
+  }
+  return probs;
+}
+
+void EccModel::Fit(const data::SuggestionDataset& dataset) {
+  const tensor::Matrix x = dataset.patient_features.GatherRows(dataset.split.train);
+  const tensor::Matrix y = dataset.medication.GatherRows(dataset.split.train);
+  const int num_labels = y.cols();
+  util::Rng rng(config_.seed);
+
+  chains_.assign(config_.num_chains, {});
+  for (auto& chain : chains_) {
+    chain.label_order.resize(num_labels);
+    std::iota(chain.label_order.begin(), chain.label_order.end(), 0);
+    rng.Shuffle(chain.label_order);
+    chain.classifiers.resize(num_labels);
+
+    // The chain input grows by one prediction column per step.
+    tensor::Matrix augmented(x.rows(), x.cols() + num_labels, 0.0f);
+    for (int i = 0; i < x.rows(); ++i) {
+      std::copy(x.RowPtr(i), x.RowPtr(i) + x.cols(), augmented.RowPtr(i));
+    }
+    for (int step = 0; step < num_labels; ++step) {
+      const int label = chain.label_order[step];
+      std::vector<float> targets(x.rows());
+      for (int i = 0; i < x.rows(); ++i) targets[i] = y.At(i, label);
+      // Train on features + predictions so far (columns beyond are zero).
+      tensor::Matrix view(x.rows(), x.cols() + step);
+      for (int i = 0; i < x.rows(); ++i) {
+        std::copy(augmented.RowPtr(i), augmented.RowPtr(i) + view.cols(), view.RowPtr(i));
+      }
+      chain.classifiers[step].Fit(view, targets, config_.iterations,
+                                  config_.learning_rate, config_.l2);
+      const std::vector<float> predictions = chain.classifiers[step].PredictProba(view);
+      for (int i = 0; i < x.rows(); ++i) {
+        augmented.At(i, x.cols() + step) = predictions[i];
+      }
+    }
+  }
+}
+
+tensor::Matrix EccModel::PredictScores(const data::SuggestionDataset& dataset,
+                                       const std::vector<int>& patient_indices) {
+  const tensor::Matrix x = dataset.patient_features.GatherRows(patient_indices);
+  const int num_labels = dataset.num_drugs();
+  tensor::Matrix scores(x.rows(), num_labels, 0.0f);
+  for (const auto& chain : chains_) {
+    tensor::Matrix augmented(x.rows(), x.cols() + num_labels, 0.0f);
+    for (int i = 0; i < x.rows(); ++i) {
+      std::copy(x.RowPtr(i), x.RowPtr(i) + x.cols(), augmented.RowPtr(i));
+    }
+    for (int step = 0; step < num_labels; ++step) {
+      tensor::Matrix view(x.rows(), x.cols() + step);
+      for (int i = 0; i < x.rows(); ++i) {
+        std::copy(augmented.RowPtr(i), augmented.RowPtr(i) + view.cols(), view.RowPtr(i));
+      }
+      const std::vector<float> predictions = chain.classifiers[step].PredictProba(view);
+      const int label = chain.label_order[step];
+      for (int i = 0; i < x.rows(); ++i) {
+        augmented.At(i, x.cols() + step) = predictions[i];
+        scores.At(i, label) += predictions[i];
+      }
+    }
+  }
+  scores.ScaleInPlace(1.0f / static_cast<float>(chains_.size()));
+  return scores;
+}
+
+void SvmModel::Fit(const data::SuggestionDataset& dataset) {
+  const tensor::Matrix x = dataset.patient_features.GatherRows(dataset.split.train);
+  const tensor::Matrix y = dataset.medication.GatherRows(dataset.split.train);
+  const int n = x.rows();
+  const int d = x.cols();
+  const int num_labels = y.cols();
+  util::Rng rng(config_.seed);
+
+  weights_ = tensor::Matrix(num_labels, d + 1, 0.0f);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int label = 0; label < num_labels; ++label) {
+    float* w = weights_.RowPtr(label);
+    long long step = 0;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng.Shuffle(order);
+      for (int i : order) {
+        ++step;
+        const float eta = config_.learning_rate /
+                          (1.0f + config_.regularization * static_cast<float>(step));
+        const float target = y.At(i, label) > 0.5f ? 1.0f : -1.0f;
+        const float* row = x.RowPtr(i);
+        float margin = w[d];
+        for (int j = 0; j < d; ++j) margin += w[j] * row[j];
+        // L2 shrink + hinge subgradient.
+        for (int j = 0; j < d; ++j) w[j] *= 1.0f - eta * config_.regularization;
+        if (target * margin < 1.0f) {
+          for (int j = 0; j < d; ++j) w[j] += eta * target * row[j];
+          w[d] += eta * target;
+        }
+      }
+    }
+  }
+}
+
+tensor::Matrix SvmModel::PredictScores(const data::SuggestionDataset& dataset,
+                                       const std::vector<int>& patient_indices) {
+  const tensor::Matrix x = dataset.patient_features.GatherRows(patient_indices);
+  const int d = x.cols();
+  tensor::Matrix scores(x.rows(), weights_.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* row = x.RowPtr(i);
+    for (int label = 0; label < weights_.rows(); ++label) {
+      const float* w = weights_.RowPtr(label);
+      float margin = w[d];
+      for (int j = 0; j < d; ++j) margin += w[j] * row[j];
+      scores.At(i, label) = margin;
+    }
+  }
+  return scores;
+}
+
+}  // namespace dssddi::models

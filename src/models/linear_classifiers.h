@@ -1,0 +1,86 @@
+#ifndef DSSDDI_MODELS_LINEAR_CLASSIFIERS_H_
+#define DSSDDI_MODELS_LINEAR_CLASSIFIERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/suggestion_model.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi::models {
+
+/// Plain binary logistic regression trained with full-batch gradient
+/// descent (building block of ECC).
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  void Fit(const tensor::Matrix& x, const std::vector<float>& y, int iterations,
+           float learning_rate, float l2);
+
+  /// P(y=1 | x) for every row.
+  std::vector<float> PredictProba(const tensor::Matrix& x) const;
+
+ private:
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+struct EccConfig {
+  int num_chains = 3;   // ensemble size
+  int iterations = 60;
+  float learning_rate = 0.5f;
+  float l2 = 1e-4f;
+  uint64_t seed = 5;
+};
+
+/// Ensemble Classifier Chain baseline (Read et al., 2009): each chain
+/// orders the labels randomly; classifier t sees the input features plus
+/// the predictions of classifiers 1..t-1. Predictions average over chains.
+/// Logistic regression is the base classifier, as in the paper (Section
+/// V-A1).
+class EccModel : public core::SuggestionModel {
+ public:
+  explicit EccModel(const EccConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "ECC"; }
+  void Fit(const data::SuggestionDataset& dataset) override;
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+ private:
+  EccConfig config_;
+  struct Chain {
+    std::vector<int> label_order;
+    std::vector<LogisticRegression> classifiers;
+  };
+  std::vector<Chain> chains_;
+};
+
+struct SvmConfig {
+  int epochs = 40;
+  float learning_rate = 0.05f;
+  float regularization = 1e-4f;
+  uint64_t seed = 6;
+};
+
+/// One-vs-rest linear SVM baseline trained with hinge-loss SGD
+/// (Pegasos-style). Scores are raw margins, which rank drugs directly.
+class SvmModel : public core::SuggestionModel {
+ public:
+  explicit SvmModel(const SvmConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "SVM"; }
+  void Fit(const data::SuggestionDataset& dataset) override;
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+ private:
+  SvmConfig config_;
+  tensor::Matrix weights_;  // num_drugs x (d+1), last column = bias
+};
+
+}  // namespace dssddi::models
+
+#endif  // DSSDDI_MODELS_LINEAR_CLASSIFIERS_H_

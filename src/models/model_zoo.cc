@@ -1,0 +1,74 @@
+#include "models/model_zoo.h"
+
+#include <cmath>
+
+#include "models/bipar_gcn.h"
+#include "models/causerec.h"
+#include "models/gcmc.h"
+#include "models/lightgcn.h"
+#include "models/linear_classifiers.h"
+#include "models/safedrug.h"
+#include "models/usersim.h"
+
+namespace dssddi::models {
+
+namespace {
+int Scaled(int epochs, float scale) {
+  return std::max(1, static_cast<int>(std::lround(epochs * scale)));
+}
+}  // namespace
+
+std::vector<std::unique_ptr<core::SuggestionModel>> MakeBaselines(
+    const ZooConfig& config) {
+  std::vector<std::unique_ptr<core::SuggestionModel>> models;
+  models.push_back(std::make_unique<UserSimModel>());
+  models.push_back(std::make_unique<EccModel>());
+  models.push_back(std::make_unique<SvmModel>());
+
+  GcmcConfig gcmc;
+  gcmc.epochs = Scaled(config.gnn_epochs, config.epoch_scale);
+  models.push_back(std::make_unique<GcmcModel>(gcmc));
+
+  LightGcnConfig lightgcn;
+  lightgcn.epochs = Scaled(config.gnn_epochs, config.epoch_scale);
+  models.push_back(std::make_unique<LightGcnModel>(lightgcn));
+
+  SafeDrugConfig safedrug;
+  safedrug.epochs = Scaled(config.gnn_epochs * 4 / 5, config.epoch_scale);
+  models.push_back(std::make_unique<SafeDrugModel>(safedrug));
+
+  BiparGcnConfig bipar;
+  bipar.epochs = Scaled(config.gnn_epochs, config.epoch_scale);
+  models.push_back(std::make_unique<BiparGcnModel>(bipar));
+
+  CauseRecConfig causerec;
+  causerec.epochs = Scaled(config.gnn_epochs * 4 / 5, config.epoch_scale);
+  models.push_back(std::make_unique<CauseRecModel>(causerec));
+  return models;
+}
+
+std::unique_ptr<core::DssddiSystem> MakeDssddi(core::BackboneKind backbone,
+                                               const ZooConfig& config,
+                                               core::DrugEmbeddingSource source) {
+  core::DssddiConfig dssddi;
+  dssddi.ddi.backbone = backbone;
+  dssddi.ddi.epochs = Scaled(config.ddi_epochs, config.epoch_scale);
+  dssddi.md.epochs = Scaled(config.md_epochs, config.epoch_scale);
+  dssddi.embedding_source = source;
+  if (source != core::DrugEmbeddingSource::kDdigcn) {
+    dssddi.display_name = DrugEmbeddingSourceName(source);
+  }
+  return std::make_unique<core::DssddiSystem>(dssddi);
+}
+
+std::vector<std::unique_ptr<core::SuggestionModel>> MakeDssddiVariants(
+    const ZooConfig& config) {
+  std::vector<std::unique_ptr<core::SuggestionModel>> models;
+  models.push_back(MakeDssddi(core::BackboneKind::kSigat, config));
+  models.push_back(MakeDssddi(core::BackboneKind::kSnea, config));
+  models.push_back(MakeDssddi(core::BackboneKind::kGin, config));
+  models.push_back(MakeDssddi(core::BackboneKind::kSgcn, config));
+  return models;
+}
+
+}  // namespace dssddi::models

@@ -1,0 +1,37 @@
+#ifndef DSSDDI_MODELS_MODEL_ZOO_H_
+#define DSSDDI_MODELS_MODEL_ZOO_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dssddi_system.h"
+#include "core/suggestion_model.h"
+
+namespace dssddi::models {
+
+/// Global knobs for building comparable model suites (benches shrink
+/// epochs for wall-clock reasons; tests shrink further).
+struct ZooConfig {
+  int gnn_epochs = 250;
+  int md_epochs = 300;
+  int ddi_epochs = 400;
+  float epoch_scale = 1.0f;  // multiplies every epoch count
+};
+
+/// All baselines of Table I, in the paper's order (traditional methods,
+/// then graph learning-based methods).
+std::vector<std::unique_ptr<core::SuggestionModel>> MakeBaselines(
+    const ZooConfig& config = {});
+
+/// The four DSSDDI variants of Table I (SiGAT, SNEA, GIN, SGCN).
+std::vector<std::unique_ptr<core::SuggestionModel>> MakeDssddiVariants(
+    const ZooConfig& config = {});
+
+/// A single DSSDDI instance with the given backbone and embedding source.
+std::unique_ptr<core::DssddiSystem> MakeDssddi(
+    core::BackboneKind backbone, const ZooConfig& config = {},
+    core::DrugEmbeddingSource source = core::DrugEmbeddingSource::kDdigcn);
+
+}  // namespace dssddi::models
+
+#endif  // DSSDDI_MODELS_MODEL_ZOO_H_

@@ -1,0 +1,209 @@
+#include "models/safedrug.h"
+
+#include <algorithm>
+
+#include "graph/bipartite_graph.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace dssddi::models {
+
+namespace {
+using tensor::Matrix;
+using tensor::Tensor;
+}  // namespace
+
+Tensor SafeDrugModel::EncodeDrugs() const {
+  // MPNN per molecule, mean-pooled; stacked into a |V| x hidden matrix
+  // via a shared readout. Pooling uses a block-diagonal mean operator so
+  // a single autograd graph covers all molecules.
+  // Concatenate all atom features; remember per-molecule atom ranges.
+  int total_atoms = 0;
+  for (const auto& mol : molecules_) total_atoms += mol.num_atoms;
+  Matrix atoms(total_atoms, data::kAtomFeatureDim);
+  std::vector<tensor::SparseEntry> message_entries;
+  std::vector<tensor::SparseEntry> pool_entries;
+  int offset = 0;
+  for (size_t m = 0; m < molecules_.size(); ++m) {
+    const auto& mol = molecules_[m];
+    for (int a = 0; a < mol.num_atoms; ++a) {
+      std::copy(mol.atom_features.RowPtr(a),
+                mol.atom_features.RowPtr(a) + data::kAtomFeatureDim,
+                atoms.RowPtr(offset + a));
+      pool_entries.push_back({static_cast<int>(m), offset + a,
+                              1.0f / static_cast<float>(mol.num_atoms)});
+    }
+    const tensor::CsrMatrix op = mol.MessageOperator();
+    for (int r = 0; r < op.rows(); ++r) {
+      for (int idx = op.row_offsets()[r]; idx < op.row_offsets()[r + 1]; ++idx) {
+        message_entries.push_back(
+            {offset + r, offset + op.col_indices()[idx], op.values()[idx]});
+      }
+    }
+    offset += mol.num_atoms;
+  }
+  const tensor::CsrMatrix message_op =
+      tensor::CsrMatrix::FromEntries(total_atoms, total_atoms, std::move(message_entries));
+  const tensor::CsrMatrix pool_op = tensor::CsrMatrix::FromEntries(
+      static_cast<int>(molecules_.size()), total_atoms, std::move(pool_entries));
+
+  Tensor h = atom_input_.Forward(Tensor::Constant(atoms));
+  for (const auto& layer : mpnn_layers_) {
+    h = layer.Forward(tensor::SpMM(message_op, h));
+  }
+  return mol_readout_.Forward(tensor::SpMM(pool_op, h));
+}
+
+Tensor SafeDrugModel::EncodePatients(const data::SuggestionDataset& dataset,
+                                     const std::vector<int>& rows) const {
+  if (!use_visits_) {
+    return patient_input_.Forward(
+        Tensor::Constant(dataset.patient_features.GatherRows(rows)));
+  }
+  // GRU over visit multi-hot vectors, batched by time step with masking.
+  const int n = static_cast<int>(rows.size());
+  const int vocab = dataset.patient_features.cols();
+  int max_visits = 1;
+  for (int r : rows) {
+    max_visits = std::max(max_visits,
+                          static_cast<int>(dataset.visit_codes[r].size()));
+  }
+  Tensor h = Tensor::Constant(Matrix::Zeros(n, config_.hidden_dim));
+  for (int t = 0; t < max_visits; ++t) {
+    Matrix visit(n, vocab, 0.0f);
+    Matrix mask(n, config_.hidden_dim, 0.0f);
+    for (int i = 0; i < n; ++i) {
+      const auto& visits = dataset.visit_codes[rows[i]];
+      if (t >= static_cast<int>(visits.size())) continue;
+      for (int code : visits[t]) visit.At(i, code) = 1.0f;
+      for (int j = 0; j < config_.hidden_dim; ++j) mask.At(i, j) = 1.0f;
+    }
+    Tensor e = visit_embed_.Forward(Tensor::Constant(visit));
+    Tensor concat = tensor::ConcatCols(e, h);
+    Tensor z = tensor::Sigmoid(gru_update_.Forward(concat));
+    Tensor r = tensor::Sigmoid(gru_reset_.Forward(concat));
+    Tensor candidate = tensor::Tanh(
+        gru_candidate_.Forward(tensor::ConcatCols(e, tensor::Mul(r, h))));
+    Tensor one_minus_z = tensor::AddScalar(tensor::Scale(z, -1.0f), 1.0f);
+    Tensor h_new = tensor::Add(tensor::Mul(one_minus_z, h), tensor::Mul(z, candidate));
+    // Masked update: patients without visit t keep their previous state.
+    Tensor mask_t = Tensor::Constant(mask);
+    Tensor inv_mask = Tensor::Constant([&] {
+      Matrix inv = mask;
+      for (float& v : inv.data()) v = 1.0f - v;
+      return inv;
+    }());
+    h = tensor::Add(tensor::Mul(mask_t, h_new), tensor::Mul(inv_mask, h));
+  }
+  return h;
+}
+
+void SafeDrugModel::Fit(const data::SuggestionDataset& dataset) {
+  util::Rng rng(config_.seed);
+  use_visits_ = !dataset.visit_codes.empty();
+
+  data::MoleculeOptions mol_options;
+  mol_options.seed = config_.seed * 31 + 7;
+  molecules_ = data::GenerateMolecules(dataset.num_drugs(), mol_options);
+
+  const int h = config_.hidden_dim;
+  atom_input_ = tensor::Linear(data::kAtomFeatureDim, h, rng, tensor::Activation::kRelu);
+  mpnn_layers_.clear();
+  for (int layer = 0; layer < config_.mpnn_layers; ++layer) {
+    mpnn_layers_.emplace_back(h, h, rng, tensor::Activation::kRelu);
+  }
+  mol_readout_ = tensor::Linear(h, h, rng);
+  patient_input_ = tensor::Linear(dataset.patient_features.cols(), h, rng,
+                                  tensor::Activation::kRelu);
+  visit_embed_ = tensor::Linear(dataset.patient_features.cols(), h, rng);
+  gru_update_ = tensor::Linear(2 * h, h, rng);
+  gru_reset_ = tensor::Linear(2 * h, h, rng);
+  gru_candidate_ = tensor::Linear(2 * h, h, rng);
+
+  const Matrix y_train = dataset.medication.GatherRows(dataset.split.train);
+  const graph::BipartiteGraph bipartite =
+      graph::BipartiteGraph::FromAdjacencyMatrix(y_train);
+  std::vector<int> pos_local;   // index into split.train
+  std::vector<int> pos_drugs;
+  for (int i = 0; i < y_train.rows(); ++i) {
+    for (int v : bipartite.DrugsOf(i)) {
+      pos_local.push_back(i);
+      pos_drugs.push_back(v);
+    }
+  }
+  const int num_pos = static_cast<int>(pos_local.size());
+
+  // Antagonistic pairs for the controllability penalty.
+  std::vector<int> ant_u;
+  std::vector<int> ant_v;
+  for (const auto& edge : dataset.ddi.edges()) {
+    if (edge.sign == graph::EdgeSign::kAntagonistic) {
+      ant_u.push_back(edge.u);
+      ant_v.push_back(edge.v);
+    }
+  }
+
+  std::vector<Tensor> params = tensor::ConcatParams(
+      {atom_input_.Parameters(), mol_readout_.Parameters(),
+       patient_input_.Parameters(), visit_embed_.Parameters(),
+       gru_update_.Parameters(), gru_reset_.Parameters(),
+       gru_candidate_.Parameters()});
+  for (const auto& layer : mpnn_layers_) {
+    auto p = layer.Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  tensor::AdamOptimizer optimizer(std::move(params), config_.learning_rate);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<int> edge_local = pos_local;
+    std::vector<int> edge_drugs = pos_drugs;
+    Matrix targets(2 * num_pos, 1, 0.0f);
+    for (int s = 0; s < num_pos; ++s) {
+      targets.At(s, 0) = 1.0f;
+      const int i = pos_local[s];
+      int v = static_cast<int>(rng.NextBelow(dataset.num_drugs()));
+      for (int attempt = 0; attempt < 16 && bipartite.HasEdge(i, v); ++attempt) {
+        v = static_cast<int>(rng.NextBelow(dataset.num_drugs()));
+      }
+      edge_local.push_back(i);
+      edge_drugs.push_back(v);
+    }
+    optimizer.ZeroGrad();
+    Tensor drug_reps = EncodeDrugs();
+    Tensor patient_reps = EncodePatients(dataset, dataset.split.train);
+    Tensor logits = tensor::RowDot(tensor::GatherRows(patient_reps, edge_local),
+                                   tensor::GatherRows(drug_reps, edge_drugs));
+    Tensor loss = tensor::BceWithLogitsLoss(logits, Tensor::Constant(targets));
+
+    if (config_.ddi_penalty > 0.0f && !ant_u.empty()) {
+      // Joint antagonistic probability on a small patient batch.
+      std::vector<int> batch;
+      for (int b = 0; b < config_.ddi_penalty_batch; ++b) {
+        batch.push_back(static_cast<int>(
+            rng.NextBelow(static_cast<uint64_t>(y_train.rows()))));
+      }
+      Tensor batch_reps = tensor::GatherRows(patient_reps, batch);
+      // scores: |V| x batch (drug-major to enable per-pair row gathers).
+      Tensor drug_scores = tensor::Sigmoid(
+          tensor::MatMul(drug_reps, tensor::Transpose(batch_reps)));
+      Tensor joint = tensor::Mul(tensor::GatherRows(drug_scores, ant_u),
+                                 tensor::GatherRows(drug_scores, ant_v));
+      loss = tensor::Add(loss, tensor::Scale(tensor::MeanAll(joint),
+                                             config_.ddi_penalty));
+    }
+    loss.Backward();
+    optimizer.Step();
+  }
+  final_drug_reps_ = EncodeDrugs().value();
+}
+
+tensor::Matrix SafeDrugModel::PredictScores(const data::SuggestionDataset& dataset,
+                                            const std::vector<int>& patient_indices) {
+  DSSDDI_CHECK(!final_drug_reps_.empty()) << "PredictScores before Fit";
+  const Matrix patient_reps = EncodePatients(dataset, patient_indices).value();
+  return patient_reps.MatMulTransposed(final_drug_reps_);
+}
+
+}  // namespace dssddi::models

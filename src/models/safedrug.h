@@ -1,0 +1,64 @@
+#ifndef DSSDDI_MODELS_SAFEDRUG_H_
+#define DSSDDI_MODELS_SAFEDRUG_H_
+
+#include <cstdint>
+
+#include "core/suggestion_model.h"
+#include "data/molecule.h"
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace dssddi::models {
+
+struct SafeDrugConfig {
+  int hidden_dim = 64;
+  int mpnn_layers = 2;
+  int epochs = 200;
+  float learning_rate = 0.01f;
+  /// Weight of the DDI-controllability penalty on antagonistic co-scores.
+  float ddi_penalty = 0.05f;
+  /// Patients sampled per epoch for the DDI penalty term.
+  int ddi_penalty_batch = 32;
+  uint64_t seed = 24;
+};
+
+/// SafeDrug baseline (Yang et al., IJCAI'21), adapted: a global MPNN
+/// encodes each drug's molecular graph (synthetic molecules stand in for
+/// real structures); patients encode via a GRU over their visit-code
+/// history (MIMIC-like data) or a feature MLP when no visit history
+/// exists — the paper notes this reliance on past visits is exactly why
+/// SafeDrug struggles with first-visit chronic patients. Training adds a
+/// penalty on jointly scoring antagonistic drug pairs.
+class SafeDrugModel : public core::SuggestionModel {
+ public:
+  explicit SafeDrugModel(const SafeDrugConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "SafeDrug"; }
+  void Fit(const data::SuggestionDataset& dataset) override;
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+ private:
+  tensor::Tensor EncodeDrugs() const;
+  /// Patient hidden states for the given dataset rows.
+  tensor::Tensor EncodePatients(const data::SuggestionDataset& dataset,
+                                const std::vector<int>& rows) const;
+
+  SafeDrugConfig config_;
+  std::vector<data::MoleculeGraph> molecules_;
+  tensor::Linear atom_input_;
+  std::vector<tensor::Linear> mpnn_layers_;
+  tensor::Linear mol_readout_;
+  // Feature-MLP path (chronic) and GRU path (visit histories).
+  tensor::Linear patient_input_;
+  tensor::Linear visit_embed_;
+  tensor::Linear gru_update_;  // z gate: [e, h] -> h
+  tensor::Linear gru_reset_;   // r gate
+  tensor::Linear gru_candidate_;
+  bool use_visits_ = false;
+  tensor::Matrix final_drug_reps_;
+};
+
+}  // namespace dssddi::models
+
+#endif  // DSSDDI_MODELS_SAFEDRUG_H_

@@ -1,0 +1,18 @@
+#include "models/usersim.h"
+
+namespace dssddi::models {
+
+void UserSimModel::Fit(const data::SuggestionDataset& dataset) {
+  observed_features_ = dataset.patient_features.GatherRows(dataset.split.train);
+  observed_medication_ = dataset.medication.GatherRows(dataset.split.train);
+}
+
+tensor::Matrix UserSimModel::PredictScores(const data::SuggestionDataset& dataset,
+                                           const std::vector<int>& patient_indices) {
+  const tensor::Matrix query = dataset.patient_features.GatherRows(patient_indices);
+  const tensor::Matrix similarity =
+      tensor::Matrix::CosineSimilarity(query, observed_features_);
+  return similarity.MatMul(observed_medication_);
+}
+
+}  // namespace dssddi::models

@@ -1,0 +1,27 @@
+#ifndef DSSDDI_MODELS_USERSIM_H_
+#define DSSDDI_MODELS_USERSIM_H_
+
+#include "core/suggestion_model.h"
+
+namespace dssddi::models {
+
+/// UserSim baseline (paper Eq. 20): scores for an unobserved patient are
+/// the medication use of observed patients weighted by cosine similarity,
+/// Y_U = cos(X_U, X_O) * Y_O. No training beyond caching the splits.
+class UserSimModel : public core::SuggestionModel {
+ public:
+  std::string name() const override { return "UserSim"; }
+
+  void Fit(const data::SuggestionDataset& dataset) override;
+
+  tensor::Matrix PredictScores(const data::SuggestionDataset& dataset,
+                               const std::vector<int>& patient_indices) override;
+
+ private:
+  tensor::Matrix observed_features_;
+  tensor::Matrix observed_medication_;
+};
+
+}  // namespace dssddi::models
+
+#endif  // DSSDDI_MODELS_USERSIM_H_

@@ -1,0 +1,33 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace dssddi::tensor {
+
+Matrix XavierUniform(int rows, int cols, util::Rng& rng) {
+  const double bound = std::sqrt(6.0 / (rows + cols));
+  Matrix m(rows, cols);
+  for (float& v : m.data()) v = static_cast<float>(rng.Uniform(-bound, bound));
+  return m;
+}
+
+Matrix HeNormal(int rows, int cols, util::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / rows);
+  Matrix m(rows, cols);
+  for (float& v : m.data()) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return m;
+}
+
+Matrix GaussianInit(int rows, int cols, float stddev, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data()) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return m;
+}
+
+Matrix UniformInit(int rows, int cols, float lo, float hi, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data()) v = static_cast<float>(rng.Uniform(lo, hi));
+  return m;
+}
+
+}  // namespace dssddi::tensor

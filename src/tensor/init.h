@@ -1,0 +1,24 @@
+#ifndef DSSDDI_TENSOR_INIT_H_
+#define DSSDDI_TENSOR_INIT_H_
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi::tensor {
+
+/// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+Matrix XavierUniform(int rows, int cols, util::Rng& rng);
+
+/// He/Kaiming normal initialization: N(0, sqrt(2/fan_in)). Preferred before
+/// ReLU-family activations.
+Matrix HeNormal(int rows, int cols, util::Rng& rng);
+
+/// Elementwise N(0, stddev).
+Matrix GaussianInit(int rows, int cols, float stddev, util::Rng& rng);
+
+/// Elementwise U(lo, hi).
+Matrix UniformInit(int rows, int cols, float lo, float hi, util::Rng& rng);
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_INIT_H_

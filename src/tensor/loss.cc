@@ -1,0 +1,55 @@
+#include "tensor/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace dssddi::tensor {
+
+Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  DSSDDI_CHECK(prediction.value().SameShape(target.value())) << "MSE shape mismatch";
+  return MeanAll(Square(Sub(prediction, target)));
+}
+
+Tensor BceLoss(const Tensor& probabilities, const Tensor& targets) {
+  DSSDDI_CHECK(probabilities.value().SameShape(targets.value())) << "BCE shape mismatch";
+  // -[y log p + (1-y) log (1-p)], averaged.
+  Tensor log_p = Log(probabilities);
+  Tensor one_minus_p = AddScalar(Scale(probabilities, -1.0f), 1.0f);
+  Tensor log_one_minus_p = Log(one_minus_p);
+  Tensor one_minus_y = AddScalar(Scale(targets, -1.0f), 1.0f);
+  Tensor pointwise = Add(Mul(targets, log_p), Mul(one_minus_y, log_one_minus_p));
+  return Scale(MeanAll(pointwise), -1.0f);
+}
+
+Tensor BceWithLogitsLoss(const Tensor& logits, const Tensor& targets) {
+  DSSDDI_CHECK(logits.value().SameShape(targets.value())) << "BCE-logits shape mismatch";
+  auto nz = logits.node();
+  auto ny = targets.node();
+  const int n = nz->value.size();
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = nz->value.data()[i];
+    const double y = ny->value.data()[i];
+    total += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  auto node = std::make_shared<TensorNode>();
+  node->value = Matrix::Scalar(static_cast<float>(total / n));
+  node->parents = {nz, ny};
+  node->requires_grad = nz->requires_grad;
+  node->backward_fn = [nz, ny, n](TensorNode& self) {
+    if (!(nz->requires_grad)) return;
+    nz->EnsureGrad();
+    const float dy = self.grad.At(0, 0) / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+      const float z = nz->value.data()[i];
+      const float y = ny->value.data()[i];
+      const float sigma = 1.0f / (1.0f + std::exp(-z));
+      nz->grad.data()[i] += dy * (sigma - y);
+    }
+  };
+  return Tensor::FromNode(std::move(node));
+}
+
+}  // namespace dssddi::tensor

@@ -1,0 +1,22 @@
+#ifndef DSSDDI_TENSOR_LOSS_H_
+#define DSSDDI_TENSOR_LOSS_H_
+
+#include "tensor/tensor.h"
+
+namespace dssddi::tensor {
+
+/// Mean squared error between prediction and (constant) target; the loss
+/// used to train DDIGCN as an edge regressor (paper Eq. 6).
+Tensor MseLoss(const Tensor& prediction, const Tensor& target);
+
+/// Binary cross-entropy on probabilities in (0, 1); the loss used to train
+/// MDGCN on factual and counterfactual links (paper Eq. 16-17).
+Tensor BceLoss(const Tensor& probabilities, const Tensor& targets);
+
+/// Numerically stable BCE directly on logits:
+/// max(z,0) - z*y + log(1 + exp(-|z|)).
+Tensor BceWithLogitsLoss(const Tensor& logits, const Tensor& targets);
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_LOSS_H_

@@ -1,0 +1,252 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dssddi::tensor {
+
+Matrix::Matrix(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+  DSSDDI_CHECK(rows >= 0 && cols >= 0) << "negative matrix dimension";
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : rows) {
+    DSSDDI_CHECK(static_cast<int>(row.size()) == cols_) << "ragged initializer";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n, 0.0f);
+  for (int i = 0; i < n; ++i) m.At(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Scalar(float value) {
+  Matrix m(1, 1);
+  m.At(0, 0) = value;
+  return m;
+}
+
+Matrix Matrix::Row(const std::vector<float>& values) {
+  Matrix m(1, static_cast<int>(values.size()));
+  m.data_ = values;
+  return m;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  DSSDDI_CHECK(cols_ == other.rows_)
+      << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
+      << other.rows_ << "x" << other.cols_;
+  Matrix out(rows_, other.cols_, 0.0f);
+  // i-k-j loop order: the inner loop walks contiguous memory in both
+  // `other` and `out`, which matters since this is the training hot path.
+  for (int i = 0; i < rows_; ++i) {
+    const float* a_row = RowPtr(i);
+    float* out_row = out.RowPtr(i);
+    for (int k = 0; k < cols_; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = other.RowPtr(k);
+      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  DSSDDI_CHECK(rows_ == other.rows_) << "A^T*B shape mismatch";
+  Matrix out(cols_, other.cols_, 0.0f);
+  for (int k = 0; k < rows_; ++k) {
+    const float* a_row = RowPtr(k);
+    const float* b_row = other.RowPtr(k);
+    for (int i = 0; i < cols_; ++i) {
+      const float a = a_row[i];
+      if (a == 0.0f) continue;
+      float* out_row = out.RowPtr(i);
+      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  DSSDDI_CHECK(cols_ == other.cols_) << "A*B^T shape mismatch";
+  Matrix out(rows_, other.rows_, 0.0f);
+  for (int i = 0; i < rows_; ++i) {
+    const float* a_row = RowPtr(i);
+    float* out_row = out.RowPtr(i);
+    for (int j = 0; j < other.rows_; ++j) {
+      const float* b_row = other.RowPtr(j);
+      float acc = 0.0f;
+      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  DSSDDI_CHECK(SameShape(other)) << "add shape mismatch";
+  Matrix out = *this;
+  for (int i = 0; i < out.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  DSSDDI_CHECK(SameShape(other)) << "sub shape mismatch";
+  Matrix out = *this;
+  for (int i = 0; i < out.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  DSSDDI_CHECK(SameShape(other)) << "hadamard shape mismatch";
+  Matrix out = *this;
+  for (int i = 0; i < out.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(float factor) const {
+  Matrix out = *this;
+  for (float& v : out.data_) v *= factor;
+  return out;
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
+  DSSDDI_CHECK(row.rows_ == 1 && row.cols_ == cols_) << "broadcast shape mismatch";
+  Matrix out = *this;
+  for (int i = 0; i < rows_; ++i) {
+    float* out_row = out.RowPtr(i);
+    for (int j = 0; j < cols_; ++j) out_row[j] += row.data_[j];
+  }
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<int>& indices) const {
+  Matrix out(static_cast<int>(indices.size()), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    DSSDDI_CHECK(indices[i] >= 0 && indices[i] < rows_)
+        << "gather index " << indices[i] << " out of range [0," << rows_ << ")";
+    std::copy(RowPtr(indices[i]), RowPtr(indices[i]) + cols_,
+              out.RowPtr(static_cast<int>(i)));
+  }
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  DSSDDI_CHECK(SameShape(other)) << "add-in-place shape mismatch";
+  for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::ScaleInPlace(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+void Matrix::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+float Matrix::SumAll() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Matrix::MeanAll() const {
+  DSSDDI_CHECK(size() > 0) << "mean of empty matrix";
+  return SumAll() / static_cast<float>(size());
+}
+
+float Matrix::MaxAll() const {
+  DSSDDI_CHECK(size() > 0) << "max of empty matrix";
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Matrix Matrix::RowSums() const {
+  Matrix out(rows_, 1);
+  for (int i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const float* row = RowPtr(i);
+    for (int j = 0; j < cols_; ++j) acc += row[j];
+    out.At(i, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const float* row = RowPtr(i);
+    for (int j = 0; j < cols_; ++j) out.data_[j] += row[j];
+  }
+  return out;
+}
+
+Matrix Matrix::RowL2Normalized() const {
+  Matrix out = *this;
+  for (int i = 0; i < rows_; ++i) {
+    float* row = out.RowPtr(i);
+    double norm_sq = 0.0;
+    for (int j = 0; j < cols_; ++j) norm_sq += static_cast<double>(row[j]) * row[j];
+    const double norm = std::sqrt(norm_sq);
+    if (norm < 1e-12) continue;
+    for (int j = 0; j < cols_; ++j) row[j] = static_cast<float>(row[j] / norm);
+  }
+  return out;
+}
+
+Matrix Matrix::CosineSimilarity(const Matrix& a, const Matrix& b) {
+  DSSDDI_CHECK(a.cols() == b.cols()) << "cosine similarity dim mismatch";
+  return a.RowL2Normalized().MatMulTransposed(b.RowL2Normalized());
+}
+
+float Matrix::RowSquaredDistance(int r, const Matrix& other, int s) const {
+  DSSDDI_CHECK(cols_ == other.cols_) << "row distance dim mismatch";
+  const float* a = RowPtr(r);
+  const float* b = other.RowPtr(s);
+  double acc = 0.0;
+  for (int j = 0; j < cols_; ++j) {
+    const double d = static_cast<double>(a[j]) - b[j];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+std::string Matrix::DebugString(int max_rows, int max_cols) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  for (int i = 0; i < std::min(rows_, max_rows); ++i) {
+    out << (i == 0 ? "[" : " [");
+    for (int j = 0; j < std::min(cols_, max_cols); ++j) {
+      if (j > 0) out << ", ";
+      out << At(i, j);
+    }
+    if (cols_ > max_cols) out << ", ...";
+    out << "]";
+  }
+  if (rows_ > max_rows) out << " ...";
+  out << "]";
+  return out.str();
+}
+
+}  // namespace dssddi::tensor

@@ -1,0 +1,92 @@
+#ifndef DSSDDI_TENSOR_MATRIX_H_
+#define DSSDDI_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dssddi::tensor {
+
+/// Dense row-major single-precision matrix. This is the value type under
+/// the autograd `Tensor`; it is also used directly by non-differentiable
+/// code (metrics, k-means, generators). A 1xN or Nx1 matrix doubles as a
+/// vector; a 1x1 matrix doubles as a scalar.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, float fill = 0.0f);
+  /// Builds from nested initializer lists, e.g. Matrix({{1, 2}, {3, 4}}).
+  Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0f); }
+  static Matrix Ones(int rows, int cols) { return Matrix(rows, cols, 1.0f); }
+  static Matrix Identity(int n);
+  /// 1x1 matrix holding `value`.
+  static Matrix Scalar(float value);
+  /// 1xN row vector from `values`.
+  static Matrix Row(const std::vector<float>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  float At(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  float* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* RowPtr(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // ---- Out-of-place algebra (shapes are checked). ----
+  Matrix MatMul(const Matrix& other) const;
+  /// this^T * other without materializing the transpose.
+  Matrix TransposedMatMul(const Matrix& other) const;
+  /// this * other^T without materializing the transpose.
+  Matrix MatMulTransposed(const Matrix& other) const;
+  Matrix Transpose() const;
+  Matrix Add(const Matrix& other) const;
+  Matrix Sub(const Matrix& other) const;
+  Matrix Hadamard(const Matrix& other) const;
+  Matrix Scale(float factor) const;
+  /// Adds `row` (1xC) to every row.
+  Matrix AddRowBroadcast(const Matrix& row) const;
+  /// Returns rows indexed by `indices` (duplicates allowed).
+  Matrix GatherRows(const std::vector<int>& indices) const;
+
+  // ---- In-place updates. ----
+  void AddInPlace(const Matrix& other);
+  void ScaleInPlace(float factor);
+  void Fill(float value);
+
+  // ---- Reductions / norms. ----
+  float SumAll() const;
+  float MeanAll() const;
+  float MaxAll() const;
+  float FrobeniusNorm() const;
+  Matrix RowSums() const;   // Nx1
+  Matrix ColSums() const;   // 1xC
+  /// L2-normalizes every row (rows with ~zero norm are left as zeros).
+  Matrix RowL2Normalized() const;
+  /// Cosine similarity between each pair of rows of `a` and `b` (a.rows x b.rows).
+  static Matrix CosineSimilarity(const Matrix& a, const Matrix& b);
+  /// Squared Euclidean distance between row `r` of this and row `s` of other.
+  float RowSquaredDistance(int r, const Matrix& other, int s) const;
+
+  /// Human-readable rendering for debugging/tests.
+  std::string DebugString(int max_rows = 6, int max_cols = 8) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_MATRIX_H_

@@ -1,0 +1,71 @@
+#include "tensor/nn.h"
+
+#include "tensor/init.h"
+#include "util/logging.h"
+
+namespace dssddi::tensor {
+
+Tensor Activate(const Tensor& x, Activation activation, float leaky_slope) {
+  switch (activation) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return Relu(x);
+    case Activation::kLeakyRelu: return LeakyRelu(x, leaky_slope);
+    case Activation::kSigmoid: return Sigmoid(x);
+    case Activation::kTanh: return Tanh(x);
+  }
+  return x;
+}
+
+Linear::Linear(int in_features, int out_features, util::Rng& rng, Activation activation)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::Parameter(XavierUniform(in_features, out_features, rng))),
+      bias_(Tensor::Parameter(Matrix::Zeros(1, out_features))),
+      activation_(activation) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  DSSDDI_CHECK(x.cols() == in_features_)
+      << "Linear expects " << in_features_ << " features, got " << x.cols();
+  return Activate(AddRowBroadcast(MatMul(x, weight_), bias_), activation_);
+}
+
+Mlp::Mlp(const std::vector<int>& dims, util::Rng& rng, Activation hidden_activation,
+         Activation output_activation) {
+  DSSDDI_CHECK(dims.size() >= 2) << "MLP needs at least input and output dims";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = i + 2 == dims.size();
+    layers_.emplace_back(dims[i], dims[i + 1], rng,
+                         last ? output_activation : hidden_activation);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer.Forward(h);
+  return h;
+}
+
+std::vector<Tensor> Mlp::Parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& layer : layers_) {
+    auto layer_params = layer.Parameters();
+    params.insert(params.end(), layer_params.begin(), layer_params.end());
+  }
+  return params;
+}
+
+BatchNormLayer::BatchNormLayer(int features)
+    : gamma_(Tensor::Parameter(Matrix::Ones(1, features))),
+      beta_(Tensor::Parameter(Matrix::Zeros(1, features))) {}
+
+Tensor BatchNormLayer::Forward(const Tensor& x) const {
+  return BatchNorm(x, gamma_, beta_);
+}
+
+std::vector<Tensor> ConcatParams(std::initializer_list<std::vector<Tensor>> lists) {
+  std::vector<Tensor> out;
+  for (const auto& list : lists) out.insert(out.end(), list.begin(), list.end());
+  return out;
+}
+
+}  // namespace dssddi::tensor

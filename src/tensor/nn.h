@@ -1,0 +1,83 @@
+#ifndef DSSDDI_TENSOR_NN_H_
+#define DSSDDI_TENSOR_NN_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dssddi::tensor {
+
+/// Activation selector shared by the layer helpers.
+enum class Activation { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// Applies the selected activation.
+Tensor Activate(const Tensor& x, Activation activation, float leaky_slope = 0.01f);
+
+/// Fully connected layer y = act(x W + b) with Xavier-initialized W.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in_features, int out_features, util::Rng& rng,
+         Activation activation = Activation::kNone);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  std::vector<Tensor> Parameters() const { return {weight_, bias_}; }
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  Activation activation() const { return activation_; }
+
+ private:
+  int in_features_ = 0;
+  int out_features_ = 0;
+  Tensor weight_;
+  Tensor bias_;
+  Activation activation_ = Activation::kNone;
+};
+
+/// Multi-layer perceptron: Linear layers with the given hidden activation;
+/// the final layer applies `output_activation` (default none).
+class Mlp {
+ public:
+  Mlp() = default;
+  /// `dims` is {in, hidden..., out}; requires at least {in, out}.
+  Mlp(const std::vector<int>& dims, util::Rng& rng,
+      Activation hidden_activation = Activation::kRelu,
+      Activation output_activation = Activation::kNone);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const;
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const std::vector<Linear>& layers() const { return layers_; }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+/// Learnable batch-norm wrapper: owns gamma (ones) and beta (zeros).
+class BatchNormLayer {
+ public:
+  BatchNormLayer() = default;
+  explicit BatchNormLayer(int features);
+
+  Tensor Forward(const Tensor& x) const;
+  std::vector<Tensor> Parameters() const { return {gamma_, beta_}; }
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Concatenates parameter lists (utility for composing modules).
+std::vector<Tensor> ConcatParams(std::initializer_list<std::vector<Tensor>> lists);
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_NN_H_

@@ -1,0 +1,519 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dssddi::tensor {
+
+namespace {
+
+/// Creates a node computing `value` from `parents`; requires_grad is
+/// inherited from any parent.
+std::shared_ptr<TensorNode> MakeNode(Matrix value,
+                                     std::vector<std::shared_ptr<TensorNode>> parents,
+                                     std::function<void(TensorNode&)> backward_fn) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  node->backward_fn = std::move(backward_fn);
+  for (const auto& parent : node->parents) {
+    if (parent->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  return node;
+}
+
+bool NeedsGrad(const std::shared_ptr<TensorNode>& node) {
+  return node->requires_grad;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  Matrix value = na->value.MatMul(nb->value);
+  auto node = MakeNode(std::move(value), {na, nb}, [na, nb](TensorNode& self) {
+    if (NeedsGrad(na)) {
+      na->EnsureGrad();
+      na->grad.AddInPlace(self.grad.MatMulTransposed(nb->value));
+    }
+    if (NeedsGrad(nb)) {
+      nb->EnsureGrad();
+      nb->grad.AddInPlace(na->value.TransposedMatMul(self.grad));
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  auto node = MakeNode(na->value.Add(nb->value), {na, nb}, [na, nb](TensorNode& self) {
+    if (NeedsGrad(na)) {
+      na->EnsureGrad();
+      na->grad.AddInPlace(self.grad);
+    }
+    if (NeedsGrad(nb)) {
+      nb->EnsureGrad();
+      nb->grad.AddInPlace(self.grad);
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  auto node = MakeNode(na->value.Sub(nb->value), {na, nb}, [na, nb](TensorNode& self) {
+    if (NeedsGrad(na)) {
+      na->EnsureGrad();
+      na->grad.AddInPlace(self.grad);
+    }
+    if (NeedsGrad(nb)) {
+      nb->EnsureGrad();
+      nb->grad.AddInPlace(self.grad.Scale(-1.0f));
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  auto node = MakeNode(na->value.Hadamard(nb->value), {na, nb}, [na, nb](TensorNode& self) {
+    if (NeedsGrad(na)) {
+      na->EnsureGrad();
+      na->grad.AddInPlace(self.grad.Hadamard(nb->value));
+    }
+    if (NeedsGrad(nb)) {
+      nb->EnsureGrad();
+      nb->grad.AddInPlace(self.grad.Hadamard(na->value));
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Scale(const Tensor& a, float factor) {
+  auto na = a.node();
+  auto node = MakeNode(na->value.Scale(factor), {na}, [na, factor](TensorNode& self) {
+    if (NeedsGrad(na)) {
+      na->EnsureGrad();
+      na->grad.AddInPlace(self.grad.Scale(factor));
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor ScalarMul(const Tensor& x, const Tensor& scalar) {
+  auto nx = x.node();
+  auto ns = scalar.node();
+  DSSDDI_CHECK(ns->value.rows() == 1 && ns->value.cols() == 1)
+      << "ScalarMul expects a 1x1 scalar tensor";
+  auto node = MakeNode(nx->value.Scale(ns->value.At(0, 0)), {nx, ns},
+                       [nx, ns](TensorNode& self) {
+    const float s = ns->value.At(0, 0);
+    if (NeedsGrad(nx)) {
+      nx->EnsureGrad();
+      nx->grad.AddInPlace(self.grad.Scale(s));
+    }
+    if (NeedsGrad(ns)) {
+      ns->EnsureGrad();
+      double acc = 0.0;
+      const auto& dy = self.grad.data();
+      const auto& xv = nx->value.data();
+      for (size_t i = 0; i < dy.size(); ++i) acc += static_cast<double>(dy[i]) * xv[i];
+      ns->grad.At(0, 0) += static_cast<float>(acc);
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor AddScalar(const Tensor& a, float c) {
+  auto na = a.node();
+  Matrix value = na->value;
+  for (float& v : value.data()) v += c;
+  auto node = MakeNode(std::move(value), {na}, [na](TensorNode& self) {
+    if (NeedsGrad(na)) {
+      na->EnsureGrad();
+      na->grad.AddInPlace(self.grad);
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  auto nx = x.node();
+  auto nb = bias.node();
+  auto node = MakeNode(nx->value.AddRowBroadcast(nb->value), {nx, nb},
+                       [nx, nb](TensorNode& self) {
+    if (NeedsGrad(nx)) {
+      nx->EnsureGrad();
+      nx->grad.AddInPlace(self.grad);
+    }
+    if (NeedsGrad(nb)) {
+      nb->EnsureGrad();
+      nb->grad.AddInPlace(self.grad.ColSums());
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  auto na = a.node();
+  Matrix value = na->value;
+  for (float& v : value.data()) v = 1.0f / (1.0f + std::exp(-v));
+  auto node = MakeNode(std::move(value), {na}, [na](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const auto& y = self.value.data();
+    const auto& dy = self.grad.data();
+    auto& dx = na->grad.data();
+    for (size_t i = 0; i < dx.size(); ++i) dx[i] += dy[i] * y[i] * (1.0f - y[i]);
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Relu(const Tensor& a) {
+  auto na = a.node();
+  Matrix value = na->value;
+  for (float& v : value.data()) v = v > 0.0f ? v : 0.0f;
+  auto node = MakeNode(std::move(value), {na}, [na](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const auto& x = na->value.data();
+    const auto& dy = self.grad.data();
+    auto& dx = na->grad.data();
+    for (size_t i = 0; i < dx.size(); ++i) dx[i] += x[i] > 0.0f ? dy[i] : 0.0f;
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  auto na = a.node();
+  Matrix value = na->value;
+  for (float& v : value.data()) v = v > 0.0f ? v : negative_slope * v;
+  auto node = MakeNode(std::move(value), {na}, [na, negative_slope](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const auto& x = na->value.data();
+    const auto& dy = self.grad.data();
+    auto& dx = na->grad.data();
+    for (size_t i = 0; i < dx.size(); ++i) {
+      dx[i] += x[i] > 0.0f ? dy[i] : negative_slope * dy[i];
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Tanh(const Tensor& a) {
+  auto na = a.node();
+  Matrix value = na->value;
+  for (float& v : value.data()) v = std::tanh(v);
+  auto node = MakeNode(std::move(value), {na}, [na](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const auto& y = self.value.data();
+    const auto& dy = self.grad.data();
+    auto& dx = na->grad.data();
+    for (size_t i = 0; i < dx.size(); ++i) dx[i] += dy[i] * (1.0f - y[i] * y[i]);
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Square(const Tensor& a) {
+  auto na = a.node();
+  Matrix value = na->value;
+  for (float& v : value.data()) v = v * v;
+  auto node = MakeNode(std::move(value), {na}, [na](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const auto& x = na->value.data();
+    const auto& dy = self.grad.data();
+    auto& dx = na->grad.data();
+    for (size_t i = 0; i < dx.size(); ++i) dx[i] += 2.0f * x[i] * dy[i];
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  auto na = a.node();
+  Matrix value = na->value;
+  for (float& v : value.data()) v = std::log(v > eps ? v : eps);
+  auto node = MakeNode(std::move(value), {na}, [na, eps](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const auto& x = na->value.data();
+    const auto& dy = self.grad.data();
+    auto& dx = na->grad.data();
+    for (size_t i = 0; i < dx.size(); ++i) {
+      dx[i] += dy[i] / (x[i] > eps ? x[i] : eps);
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  DSSDDI_CHECK(na->value.rows() == nb->value.rows()) << "concat row mismatch";
+  const int rows = na->value.rows();
+  const int ca = na->value.cols();
+  const int cb = nb->value.cols();
+  Matrix value(rows, ca + cb);
+  for (int i = 0; i < rows; ++i) {
+    std::copy(na->value.RowPtr(i), na->value.RowPtr(i) + ca, value.RowPtr(i));
+    std::copy(nb->value.RowPtr(i), nb->value.RowPtr(i) + cb, value.RowPtr(i) + ca);
+  }
+  auto node = MakeNode(std::move(value), {na, nb}, [na, nb, rows, ca, cb](TensorNode& self) {
+    if (NeedsGrad(na)) {
+      na->EnsureGrad();
+      for (int i = 0; i < rows; ++i) {
+        const float* dy = self.grad.RowPtr(i);
+        float* dx = na->grad.RowPtr(i);
+        for (int j = 0; j < ca; ++j) dx[j] += dy[j];
+      }
+    }
+    if (NeedsGrad(nb)) {
+      nb->EnsureGrad();
+      for (int i = 0; i < rows; ++i) {
+        const float* dy = self.grad.RowPtr(i) + ca;
+        float* dx = nb->grad.RowPtr(i);
+        for (int j = 0; j < cb; ++j) dx[j] += dy[j];
+      }
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Transpose(const Tensor& a) {
+  auto na = a.node();
+  auto node = MakeNode(na->value.Transpose(), {na}, [na](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    na->grad.AddInPlace(self.grad.Transpose());
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor GatherRows(const Tensor& a, std::vector<int> indices) {
+  auto na = a.node();
+  Matrix value = na->value.GatherRows(indices);
+  auto idx = std::make_shared<std::vector<int>>(std::move(indices));
+  auto node = MakeNode(std::move(value), {na}, [na, idx](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const int cols = self.value.cols();
+    for (size_t i = 0; i < idx->size(); ++i) {
+      const float* dy = self.grad.RowPtr(static_cast<int>(i));
+      float* dx = na->grad.RowPtr((*idx)[i]);
+      for (int j = 0; j < cols; ++j) dx[j] += dy[j];
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor SumAll(const Tensor& a) {
+  auto na = a.node();
+  auto node = MakeNode(Matrix::Scalar(na->value.SumAll()), {na}, [na](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const float dy = self.grad.At(0, 0);
+    for (float& v : na->grad.data()) v += dy;
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  auto na = a.node();
+  const float inv_n = 1.0f / static_cast<float>(na->value.size());
+  auto node = MakeNode(Matrix::Scalar(na->value.MeanAll()), {na}, [na, inv_n](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    const float dy = self.grad.At(0, 0) * inv_n;
+    for (float& v : na->grad.data()) v += dy;
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor SpMM(const CsrMatrix& adjacency, const Tensor& x) {
+  auto nx = x.node();
+  Matrix value = adjacency.Multiply(nx->value);
+  // The CSR matrix is copied into the closure; graphs are small enough
+  // (tens of thousands of edges) that this keeps lifetimes simple.
+  auto adj = std::make_shared<CsrMatrix>(adjacency);
+  auto node = MakeNode(std::move(value), {nx}, [nx, adj](TensorNode& self) {
+    if (!NeedsGrad(nx)) return;
+    nx->EnsureGrad();
+    nx->grad.AddInPlace(adj->TransposedMultiply(self.grad));
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor RowDot(const Tensor& a, const Tensor& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  DSSDDI_CHECK(na->value.SameShape(nb->value)) << "RowDot shape mismatch";
+  const int rows = na->value.rows();
+  const int cols = na->value.cols();
+  Matrix value(rows, 1);
+  for (int i = 0; i < rows; ++i) {
+    const float* ra = na->value.RowPtr(i);
+    const float* rb = nb->value.RowPtr(i);
+    double acc = 0.0;
+    for (int j = 0; j < cols; ++j) acc += static_cast<double>(ra[j]) * rb[j];
+    value.At(i, 0) = static_cast<float>(acc);
+  }
+  auto node = MakeNode(std::move(value), {na, nb}, [na, nb, rows, cols](TensorNode& self) {
+    for (int i = 0; i < rows; ++i) {
+      const float dy = self.grad.At(i, 0);
+      if (NeedsGrad(na)) {
+        na->EnsureGrad();
+        float* dst = na->grad.RowPtr(i);
+        const float* src = nb->value.RowPtr(i);
+        for (int j = 0; j < cols; ++j) dst[j] += dy * src[j];
+      }
+      if (NeedsGrad(nb)) {
+        nb->EnsureGrad();
+        float* dst = nb->grad.RowPtr(i);
+        const float* src = na->value.RowPtr(i);
+        for (int j = 0; j < cols; ++j) dst[j] += dy * src[j];
+      }
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  auto na = a.node();
+  const int rows = na->value.rows();
+  const int cols = na->value.cols();
+  Matrix value = na->value;
+  for (int i = 0; i < rows; ++i) {
+    float* row = value.RowPtr(i);
+    float max_v = row[0];
+    for (int j = 1; j < cols; ++j) max_v = std::max(max_v, row[j]);
+    double total = 0.0;
+    for (int j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      total += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int j = 0; j < cols; ++j) row[j] *= inv;
+  }
+  auto node = MakeNode(std::move(value), {na}, [na, rows, cols](TensorNode& self) {
+    if (!NeedsGrad(na)) return;
+    na->EnsureGrad();
+    for (int i = 0; i < rows; ++i) {
+      const float* y = self.value.RowPtr(i);
+      const float* dy = self.grad.RowPtr(i);
+      float* dx = na->grad.RowPtr(i);
+      double dot = 0.0;
+      for (int j = 0; j < cols; ++j) dot += static_cast<double>(dy[j]) * y[j];
+      for (int j = 0; j < cols; ++j) {
+        dx[j] += y[j] * (dy[j] - static_cast<float>(dot));
+      }
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor BatchNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps) {
+  auto nx = x.node();
+  auto ng = gamma.node();
+  auto nb = beta.node();
+  const int rows = nx->value.rows();
+  const int cols = nx->value.cols();
+  DSSDDI_CHECK(ng->value.rows() == 1 && ng->value.cols() == cols) << "gamma shape";
+  DSSDDI_CHECK(nb->value.rows() == 1 && nb->value.cols() == cols) << "beta shape";
+  DSSDDI_CHECK(rows > 0) << "batchnorm on empty batch";
+
+  // Per-column statistics (biased variance, matching the usual BN formula).
+  auto mean = std::make_shared<std::vector<float>>(cols, 0.0f);
+  auto inv_std = std::make_shared<std::vector<float>>(cols, 0.0f);
+  auto x_hat = std::make_shared<Matrix>(rows, cols);
+  for (int j = 0; j < cols; ++j) {
+    double m = 0.0;
+    for (int i = 0; i < rows; ++i) m += nx->value.At(i, j);
+    m /= rows;
+    double var = 0.0;
+    for (int i = 0; i < rows; ++i) {
+      const double d = nx->value.At(i, j) - m;
+      var += d * d;
+    }
+    var /= rows;
+    (*mean)[j] = static_cast<float>(m);
+    (*inv_std)[j] = static_cast<float>(1.0 / std::sqrt(var + eps));
+  }
+  Matrix value(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const float xh = (nx->value.At(i, j) - (*mean)[j]) * (*inv_std)[j];
+      x_hat->At(i, j) = xh;
+      value.At(i, j) = ng->value.At(0, j) * xh + nb->value.At(0, j);
+    }
+  }
+  auto node = MakeNode(std::move(value), {nx, ng, nb},
+                       [nx, ng, nb, x_hat, inv_std, rows, cols](TensorNode& self) {
+    // dgamma, dbeta.
+    if (NeedsGrad(ng)) {
+      ng->EnsureGrad();
+      for (int j = 0; j < cols; ++j) {
+        double acc = 0.0;
+        for (int i = 0; i < rows; ++i) acc += self.grad.At(i, j) * x_hat->At(i, j);
+        ng->grad.At(0, j) += static_cast<float>(acc);
+      }
+    }
+    if (NeedsGrad(nb)) {
+      nb->EnsureGrad();
+      for (int j = 0; j < cols; ++j) {
+        double acc = 0.0;
+        for (int i = 0; i < rows; ++i) acc += self.grad.At(i, j);
+        nb->grad.At(0, j) += static_cast<float>(acc);
+      }
+    }
+    if (NeedsGrad(nx)) {
+      nx->EnsureGrad();
+      // dx = gamma * inv_std * (dy - mean(dy) - x_hat * mean(dy * x_hat)).
+      for (int j = 0; j < cols; ++j) {
+        double mean_dy = 0.0;
+        double mean_dy_xhat = 0.0;
+        for (int i = 0; i < rows; ++i) {
+          mean_dy += self.grad.At(i, j);
+          mean_dy_xhat += self.grad.At(i, j) * x_hat->At(i, j);
+        }
+        mean_dy /= rows;
+        mean_dy_xhat /= rows;
+        const float scale = ng->value.At(0, j) * (*inv_std)[j];
+        for (int i = 0; i < rows; ++i) {
+          nx->grad.At(i, j) += scale * (self.grad.At(i, j) -
+                                        static_cast<float>(mean_dy) -
+                                        x_hat->At(i, j) * static_cast<float>(mean_dy_xhat));
+        }
+      }
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor Dropout(const Tensor& x, float p, util::Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  DSSDDI_CHECK(p < 1.0f) << "dropout probability must be < 1";
+  auto nx = x.node();
+  const float keep = 1.0f - p;
+  auto mask = std::make_shared<Matrix>(nx->value.rows(), nx->value.cols());
+  for (float& m : mask->data()) m = rng.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  Matrix value = nx->value.Hadamard(*mask);
+  auto node = MakeNode(std::move(value), {nx}, [nx, mask](TensorNode& self) {
+    if (!NeedsGrad(nx)) return;
+    nx->EnsureGrad();
+    nx->grad.AddInPlace(self.grad.Hadamard(*mask));
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
+}  // namespace dssddi::tensor

@@ -1,0 +1,76 @@
+#ifndef DSSDDI_TENSOR_OPS_H_
+#define DSSDDI_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dssddi::tensor {
+
+// Differentiable operators. Each returns a new Tensor wired into the
+// autograd graph of its inputs. Shapes are validated eagerly.
+
+/// a (NxK) * b (KxM) -> NxM.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// Elementwise a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// a * factor.
+Tensor Scale(const Tensor& a, float factor);
+/// x * s where s is a trainable 1x1 tensor (e.g. GIN's (1 + eps)).
+Tensor ScalarMul(const Tensor& x, const Tensor& scalar);
+/// a + c elementwise.
+Tensor AddScalar(const Tensor& a, float c);
+/// x (NxC) + bias (1xC) broadcast over rows.
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+
+/// Activations.
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope = 0.01f);
+Tensor Tanh(const Tensor& a);
+
+/// Elementwise square and (clamped) natural log: log(max(a, eps)).
+Tensor Square(const Tensor& a);
+Tensor Log(const Tensor& a, float eps = 1e-7f);
+
+/// Horizontal concatenation [a | b] (same row count).
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Matrix transpose.
+Tensor Transpose(const Tensor& a);
+
+/// Selects rows of `a` by index (duplicates allowed). Gradient scatters
+/// back with accumulation — this is the embedding-lookup primitive.
+Tensor GatherRows(const Tensor& a, std::vector<int> indices);
+
+/// Full reductions to 1x1.
+Tensor SumAll(const Tensor& a);
+Tensor MeanAll(const Tensor& a);
+
+/// Fixed sparse adjacency times dense features; gradient flows to `x` only.
+Tensor SpMM(const CsrMatrix& adjacency, const Tensor& x);
+
+/// Row-wise inner product of a and b (same NxC shape) -> Nx1.
+Tensor RowDot(const Tensor& a, const Tensor& b);
+
+/// Softmax over each row.
+Tensor RowSoftmax(const Tensor& a);
+
+/// Batch normalization over rows, per column, with learnable 1xC gamma and
+/// beta. Full-batch statistics (the GNNs here always see the whole graph,
+/// so train and eval statistics coincide).
+Tensor BatchNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+/// Inverted dropout. Identity when `training` is false or p == 0.
+Tensor Dropout(const Tensor& x, float p, util::Rng& rng, bool training);
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_OPS_H_

@@ -1,0 +1,67 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dssddi::tensor {
+
+void Optimizer::ZeroGrad() {
+  for (auto& param : params_) param.ZeroGrad();
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<Tensor> params, float learning_rate,
+                           float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      weight_decay_(weight_decay) {}
+
+void SgdOptimizer::Step() {
+  for (auto& param : params_) {
+    auto& value = param.mutable_value();
+    const auto& grad = param.grad();
+    for (int i = 0; i < value.size(); ++i) {
+      float g = grad.data()[i] + weight_decay_ * value.data()[i];
+      value.data()[i] -= learning_rate_ * g;
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Tensor> params, float learning_rate,
+                             float beta1, float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (const auto& param : params_) {
+    first_moment_.emplace_back(param.value().rows(), param.value().cols(), 0.0f);
+    second_moment_.emplace_back(param.value().rows(), param.value().cols(), 0.0f);
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    auto& value = params_[p].mutable_value();
+    const auto& grad = params_[p].grad();
+    auto& m = first_moment_[p];
+    auto& v = second_moment_[p];
+    DSSDDI_CHECK(grad.SameShape(value)) << "gradient/parameter shape drift";
+    for (int i = 0; i < value.size(); ++i) {
+      float g = grad.data()[i] + weight_decay_ * value.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0f - beta1_) * g;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m.data()[i] / bias1;
+      const float v_hat = v.data()[i] / bias2;
+      value.data()[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace dssddi::tensor

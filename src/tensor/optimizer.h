@@ -1,0 +1,69 @@
+#ifndef DSSDDI_TENSOR_OPTIMIZER_H_
+#define DSSDDI_TENSOR_OPTIMIZER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dssddi::tensor {
+
+/// Optimizer interface over a fixed set of parameter tensors.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored on the params.
+  virtual void Step() = 0;
+
+  /// Zeroes gradients of all registered parameters.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<Tensor> params, float learning_rate,
+               float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2014), as used to train both MDGCN and DDIGCN in the
+/// paper (Section V-A3).
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::vector<Tensor> params, float learning_rate,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+                float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int step_count_ = 0;
+  std::vector<Matrix> first_moment_;
+  std::vector<Matrix> second_moment_;
+};
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_OPTIMIZER_H_

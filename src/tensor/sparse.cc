@@ -1,0 +1,72 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dssddi::tensor {
+
+CsrMatrix CsrMatrix::FromEntries(int rows, int cols, std::vector<SparseEntry> entries) {
+  CsrMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  for (const auto& e : entries) {
+    DSSDDI_CHECK(e.row >= 0 && e.row < rows && e.col >= 0 && e.col < cols)
+        << "sparse entry (" << e.row << "," << e.col << ") out of " << rows << "x" << cols;
+  }
+  std::sort(entries.begin(), entries.end(), [](const SparseEntry& a, const SparseEntry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  out.row_offsets_.assign(rows + 1, 0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0 && entries[i].row == entries[i - 1].row && entries[i].col == entries[i - 1].col) {
+      out.values_.back() += entries[i].value;  // merge duplicates
+      continue;
+    }
+    out.col_indices_.push_back(entries[i].col);
+    out.values_.push_back(entries[i].value);
+    ++out.row_offsets_[entries[i].row + 1];
+  }
+  for (int r = 0; r < rows; ++r) out.row_offsets_[r + 1] += out.row_offsets_[r];
+  return out;
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& dense) const {
+  DSSDDI_CHECK(cols_ == dense.rows()) << "SpMM shape mismatch";
+  Matrix out(rows_, dense.cols(), 0.0f);
+  for (int r = 0; r < rows_; ++r) {
+    float* out_row = out.RowPtr(r);
+    for (int idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
+      const float w = values_[idx];
+      const float* in_row = dense.RowPtr(col_indices_[idx]);
+      for (int j = 0; j < dense.cols(); ++j) out_row[j] += w * in_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::TransposedMultiply(const Matrix& dense) const {
+  DSSDDI_CHECK(rows_ == dense.rows()) << "SpMM^T shape mismatch";
+  Matrix out(cols_, dense.cols(), 0.0f);
+  for (int r = 0; r < rows_; ++r) {
+    const float* in_row = dense.RowPtr(r);
+    for (int idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
+      const float w = values_[idx];
+      float* out_row = out.RowPtr(col_indices_[idx]);
+      for (int j = 0; j < dense.cols(); ++j) out_row[j] += w * in_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_, 0.0f);
+  for (int r = 0; r < rows_; ++r) {
+    for (int idx = row_offsets_[r]; idx < row_offsets_[r + 1]; ++idx) {
+      out.At(r, col_indices_[idx]) += values_[idx];
+    }
+  }
+  return out;
+}
+
+}  // namespace dssddi::tensor

@@ -1,0 +1,55 @@
+#ifndef DSSDDI_TENSOR_SPARSE_H_
+#define DSSDDI_TENSOR_SPARSE_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dssddi::tensor {
+
+/// One weighted entry of a sparse matrix under construction.
+struct SparseEntry {
+  int row = 0;
+  int col = 0;
+  float value = 0.0f;
+};
+
+/// Immutable CSR sparse matrix. Used for graph adjacency/propagation
+/// operators inside GNN layers: values are fixed (non-trainable), so SpMM
+/// only back-propagates through the dense operand.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) {}
+
+  /// Builds from COO entries; duplicate (row, col) pairs are summed.
+  static CsrMatrix FromEntries(int rows, int cols, std::vector<SparseEntry> entries);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int nnz() const { return static_cast<int>(values_.size()); }
+
+  const std::vector<int>& row_offsets() const { return row_offsets_; }
+  const std::vector<int>& col_indices() const { return col_indices_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Dense product: this (RxC, sparse) * dense (CxD) -> RxD.
+  Matrix Multiply(const Matrix& dense) const;
+
+  /// Transposed product: this^T (CxR) * dense (RxD) -> CxD. Needed for the
+  /// SpMM backward pass.
+  Matrix TransposedMultiply(const Matrix& dense) const;
+
+  /// Materializes the dense equivalent (tests / tiny graphs only).
+  Matrix ToDense() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int> row_offsets_;
+  std::vector<int> col_indices_;
+  std::vector<float> values_;
+};
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_SPARSE_H_

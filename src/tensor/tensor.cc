@@ -1,0 +1,86 @@
+#include "tensor/tensor.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace dssddi::tensor {
+
+Tensor Tensor::Constant(Matrix value) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  Tensor t;
+  return FromNode(std::move(node));
+}
+
+Tensor Tensor::Parameter(Matrix value) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->EnsureGrad();
+  return FromNode(std::move(node));
+}
+
+Tensor Tensor::FromNode(std::shared_ptr<TensorNode> node) {
+  Tensor t;
+  t.node_ = std::move(node);
+  return t;
+}
+
+void Tensor::Backward() const {
+  DSSDDI_CHECK(node_ != nullptr) << "Backward on undefined tensor";
+  DSSDDI_CHECK(node_->value.rows() == 1 && node_->value.cols() == 1)
+      << "Backward requires a scalar (1x1) tensor, got "
+      << node_->value.rows() << "x" << node_->value.cols();
+
+  // Iterative post-order DFS for a topological order (leaves last).
+  std::vector<TensorNode*> order;
+  std::unordered_set<TensorNode*> visited;
+  std::vector<std::pair<TensorNode*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      TensorNode* parent = node->parents[next_child].get();
+      ++next_child;
+      if (parent->requires_grad) {
+        if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Zero intermediate grads, then seed the root with dL/dL = 1.
+  for (TensorNode* node : order) {
+    if (!node->parents.empty()) {  // leaves keep accumulated grads
+      node->EnsureGrad();
+      node->grad.Fill(0.0f);
+    } else {
+      node->EnsureGrad();
+    }
+  }
+  node_->grad.Fill(1.0f);
+
+  // Reverse topological order: root first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode* node = *it;
+    if (node->backward_fn) node->backward_fn(*node);
+  }
+}
+
+void Tensor::ZeroGrad() const {
+  DSSDDI_CHECK(node_ != nullptr) << "ZeroGrad on undefined tensor";
+  node_->EnsureGrad();
+  node_->grad.Fill(0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  DSSDDI_CHECK(node_ != nullptr) << "Detach on undefined tensor";
+  return Constant(node_->value);
+}
+
+}  // namespace dssddi::tensor

@@ -1,0 +1,73 @@
+#ifndef DSSDDI_TENSOR_TENSOR_H_
+#define DSSDDI_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dssddi::tensor {
+
+/// Internal autograd graph node. Holds the forward value, the accumulated
+/// gradient, edges to parents, and a closure that propagates this node's
+/// gradient into its parents. Not used directly — see `Tensor`.
+struct TensorNode {
+  Matrix value;
+  Matrix grad;  // allocated lazily, same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  /// Reads `grad` of this node and accumulates into parents' grads.
+  std::function<void(TensorNode&)> backward_fn;
+
+  void EnsureGrad() {
+    if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+      grad = Matrix::Zeros(value.rows(), value.cols());
+    }
+  }
+};
+
+/// Value-semantic handle to an autograd node. `Tensor` builds a dynamic
+/// computation graph: every op in ops.h produces a new node wired to its
+/// inputs; calling `Backward()` on a scalar result runs reverse-mode
+/// differentiation over the recorded graph.
+///
+/// Two construction modes:
+///   * `Tensor::Constant(m)`   — data; no gradient is tracked through it.
+///   * `Tensor::Parameter(m)`  — trainable leaf; receives gradients and is
+///                               what optimizers update.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  static Tensor Constant(Matrix value);
+  static Tensor Parameter(Matrix value);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  Matrix& mutable_value() { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+
+  /// Runs reverse-mode autodiff from this node, which must be 1x1.
+  /// Gradients accumulate into every reachable `requires_grad` leaf.
+  void Backward() const;
+
+  /// Zeroes this node's gradient buffer (optimizers call this per step).
+  void ZeroGrad() const;
+
+  /// Detaches: returns a constant tensor sharing a copy of the value.
+  Tensor Detach() const;
+
+  std::shared_ptr<TensorNode> node() const { return node_; }
+  static Tensor FromNode(std::shared_ptr<TensorNode> node);
+
+ private:
+  std::shared_ptr<TensorNode> node_;
+};
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_TENSOR_H_

@@ -1,0 +1,155 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dssddi::util {
+
+std::string EscapeCsvField(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  DSSDDI_CHECK(row.size() == header_.size()) << "CSV row arity mismatch";
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << EscapeCsvField(row[i]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  file << ToString();
+  return file.good();
+}
+
+
+int CsvDocument::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool ParseCsv(const std::string& text, CsvDocument* document, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  document->header.clear();
+  document->rows.clear();
+
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool record_has_content = false;
+  size_t line = 1;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&]() -> bool {
+    end_field();
+    if (document->header.empty()) {
+      document->header = std::move(record);
+    } else {
+      if (record.size() != document->header.size()) {
+        return false;
+      }
+      document->rows.push_back(std::move(record));
+    }
+    record.clear();
+    record_has_content = false;
+    return true;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+        if (ch == '\n') ++line;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        if (!field.empty()) return fail("stray quote at line " + std::to_string(line));
+        in_quotes = true;
+        record_has_content = true;
+        break;
+      case ',':
+        end_field();
+        record_has_content = true;
+        break;
+      case '\r':
+        // Swallow the CR of a CRLF pair; a lone CR is treated as noise.
+        break;
+      case '\n':
+        if (record_has_content || !field.empty() || !record.empty()) {
+          if (!end_record()) {
+            return fail("row arity mismatch at line " + std::to_string(line));
+          }
+        }
+        ++line;
+        break;
+      default:
+        field += ch;
+        record_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) return fail("unterminated quoted field");
+  if (record_has_content || !field.empty() || !record.empty()) {
+    if (!end_record()) {
+      return fail("row arity mismatch at line " + std::to_string(line));
+    }
+  }
+  if (document->header.empty()) return fail("empty CSV document");
+  return true;
+}
+
+bool ReadCsvFile(const std::string& path, CsvDocument* document, std::string* error) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    if (error != nullptr) *error = "cannot open: " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), document, error);
+}
+
+}  // namespace dssddi::util

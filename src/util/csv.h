@@ -1,0 +1,53 @@
+#ifndef DSSDDI_UTIL_CSV_H_
+#define DSSDDI_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace dssddi::util {
+
+/// Minimal CSV writer for persisting experiment series (one row per call).
+/// Values containing commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Serializes header + rows; `WriteFile` returns false on I/O error.
+  std::string ToString() const;
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV field (exposed for testing).
+std::string EscapeCsvField(const std::string& field);
+
+/// Parsed CSV document: a header row plus data rows, all unescaped.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  int num_columns() const { return static_cast<int>(header.size()); }
+  int num_rows() const { return static_cast<int>(rows.size()); }
+  /// Column index by header name, or -1.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Parses RFC 4180 CSV text (quoted fields, embedded commas/quotes/
+/// newlines, CRLF line endings). The first record is the header; every
+/// data row must have the header's arity. Returns false and fills
+/// `error` (if non-null) on malformed input.
+bool ParseCsv(const std::string& text, CsvDocument* document,
+              std::string* error = nullptr);
+
+/// Reads and parses a CSV file; false on I/O or parse error.
+bool ReadCsvFile(const std::string& path, CsvDocument* document,
+                 std::string* error = nullptr);
+
+}  // namespace dssddi::util
+
+#endif  // DSSDDI_UTIL_CSV_H_

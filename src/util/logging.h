@@ -1,0 +1,52 @@
+#ifndef DSSDDI_UTIL_LOGGING_H_
+#define DSSDDI_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dssddi::util {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log/check sink. A `LogMessage` accumulates into a string
+/// stream and emits on destruction; `kFatal` aborts the process. Used via
+/// the DSSDDI_LOG / DSSDDI_CHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Global minimum severity; messages below it are swallowed (checks always fire).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace dssddi::util
+
+#define DSSDDI_LOG(severity)                                            \
+  ::dssddi::util::LogMessage(::dssddi::util::LogSeverity::k##severity, \
+                             __FILE__, __LINE__)
+
+// CHECK evaluates its condition exactly once; on failure it logs the
+// condition text plus any streamed context and aborts.
+#define DSSDDI_CHECK(condition)                                      \
+  if (condition) {                                                   \
+  } else                                                             \
+    ::dssddi::util::LogMessage(::dssddi::util::LogSeverity::kFatal, \
+                               __FILE__, __LINE__)                   \
+        << "Check failed: " #condition " "
+
+#endif  // DSSDDI_UTIL_LOGGING_H_

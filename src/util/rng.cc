@@ -1,0 +1,118 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dssddi::util {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  DSSDDI_CHECK(n > 0) << "NextBelow requires n > 0";
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DSSDDI_CHECK(lo <= hi) << "UniformInt requires lo <= hi";
+  return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-12) u1 = NextDouble();
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+int Rng::Poisson(double lambda) {
+  const double limit = std::exp(-lambda);
+  double product = NextDouble();
+  int count = 0;
+  while (product > limit) {
+    product *= NextDouble();
+    ++count;
+  }
+  return count;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  DSSDDI_CHECK(k <= n) << "cannot sample " << k << " from " << n;
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: first k entries are the sample.
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(NextBelow(static_cast<uint64_t>(n - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+int Rng::SampleWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  DSSDDI_CHECK(total > 0.0) << "SampleWeighted requires positive total weight";
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace dssddi::util

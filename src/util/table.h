@@ -1,0 +1,38 @@
+#ifndef DSSDDI_UTIL_TABLE_H_
+#define DSSDDI_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dssddi::util {
+
+/// Plain-text table renderer used by the benchmark harnesses to print the
+/// paper's tables (Table I-IV) in an aligned, diff-friendly format.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: first cell is a label, the rest are numbers formatted
+  /// with `precision` decimal places.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 4);
+
+  /// Renders with column alignment and a header separator.
+  std::string Render() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed precision (helper shared by benches).
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace dssddi::util
+
+#endif  // DSSDDI_UTIL_TABLE_H_

@@ -1,0 +1,195 @@
+// Tests for the greedy densest-subgraph peeling and its anchored variant
+// (the Medical Support module's alternative explainer). The greedy
+// algorithm is a 2-approximation, which we verify against brute-force
+// enumeration on small random graphs.
+
+#include <cmath>
+
+#include "algo/densest.h"
+#include "core/ms_module.h"
+#include "graph/graph.h"
+#include "graph/signed_graph.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace dssddi {
+namespace {
+
+using graph::Graph;
+
+Graph RandomGraph(int n, double p, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(p)) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+// Exact densest subgraph by subset enumeration (n <= ~14).
+double BruteForceDensity(const Graph& g) {
+  const int n = g.num_vertices();
+  double best = 0.0;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    int vertices = 0;
+    int edges = 0;
+    for (int v = 0; v < n; ++v) {
+      if (mask & (1u << v)) ++vertices;
+    }
+    for (int e = 0; e < g.num_edges(); ++e) {
+      const auto [u, v] = g.Edge(e);
+      if ((mask & (1u << u)) && (mask & (1u << v))) ++edges;
+    }
+    best = std::max(best, static_cast<double>(edges) / vertices);
+  }
+  return best;
+}
+
+double SubgraphDensity(const Graph& g, const algo::DenseSubgraph& subgraph) {
+  if (subgraph.vertices.empty()) return 0.0;
+  return static_cast<double>(subgraph.edge_ids.size()) / subgraph.vertices.size();
+}
+
+TEST(DensestTest, CompleteGraphIsItsOwnDensest) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < 6; ++u) {
+    for (int v = u + 1; v < 6; ++v) edges.emplace_back(u, v);
+  }
+  const Graph g = Graph::FromEdges(6, edges);
+  const auto result = algo::GreedyDensestSubgraph(g);
+  EXPECT_EQ(result.vertices.size(), 6u);
+  EXPECT_DOUBLE_EQ(result.density, 15.0 / 6.0);
+}
+
+TEST(DensestTest, CliqueWithPendantPathPeelsThePath) {
+  // K4 on {0..3} plus path 3-4-5: the densest subgraph is the clique.
+  const Graph g = Graph::FromEdges(6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3},
+                                       {2, 3}, {3, 4}, {4, 5}});
+  const auto result = algo::GreedyDensestSubgraph(g);
+  EXPECT_EQ(result.vertices, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(result.density, 6.0 / 4.0);
+}
+
+TEST(DensestTest, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(algo::GreedyDensestSubgraph(Graph()).vertices.empty());
+  const Graph isolated = Graph::FromEdges(3, {});
+  const auto result = algo::GreedyDensestSubgraph(isolated);
+  EXPECT_DOUBLE_EQ(result.density, 0.0);
+}
+
+class DensestApproximationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensestApproximationTest, GreedyIsWithinHalfOfOptimal) {
+  const int seed = GetParam();
+  const Graph g = RandomGraph(10 + seed % 3, 0.25 + 0.05 * (seed % 4), seed);
+  if (g.num_edges() == 0) return;
+  const double optimal = BruteForceDensity(g);
+  const auto greedy = algo::GreedyDensestSubgraph(g);
+  EXPECT_DOUBLE_EQ(SubgraphDensity(g, greedy), greedy.density);
+  EXPECT_GE(greedy.density, optimal / 2.0 - 1e-9);
+  EXPECT_LE(greedy.density, optimal + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DensestApproximationTest,
+                         ::testing::Range(1, 13));
+
+class AnchoredDensestTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnchoredDensestTest, AnchorsAlwaysRetained) {
+  const int seed = GetParam();
+  util::Rng rng(seed * 31);
+  const Graph g = RandomGraph(14, 0.2, seed);
+  std::vector<int> anchors = {static_cast<int>(rng.NextBelow(14)),
+                              static_cast<int>(rng.NextBelow(14))};
+  const auto result = algo::AnchoredDensestSubgraph(g, anchors);
+  for (int a : anchors) {
+    EXPECT_NE(std::find(result.vertices.begin(), result.vertices.end(), a),
+              result.vertices.end())
+        << "anchor " << a;
+  }
+  // Reported density matches the returned subgraph.
+  EXPECT_DOUBLE_EQ(SubgraphDensity(g, result), result.density);
+  // Every returned vertex shares a component with some anchor.
+  // (Peeling never adds vertices, so this verifies the restriction.)
+  for (int e : result.edge_ids) {
+    const auto [u, v] = g.Edge(e);
+    EXPECT_NE(std::find(result.vertices.begin(), result.vertices.end(), u),
+              result.vertices.end());
+    EXPECT_NE(std::find(result.vertices.begin(), result.vertices.end(), v),
+              result.vertices.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, AnchoredDensestTest, ::testing::Range(1, 9));
+
+TEST(AnchoredDensestTest, IsolatedAnchorReturnsItself) {
+  const Graph g = Graph::FromEdges(4, {{1, 2}, {2, 3}, {1, 3}});
+  const auto result = algo::AnchoredDensestSubgraph(g, {0});
+  EXPECT_EQ(result.vertices, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(result.density, 0.0);
+}
+
+TEST(AnchoredDensestTest, AnchoredDensityAtMostUnanchored) {
+  // Keeping anchors is a constraint, so the achievable density can only
+  // drop relative to the free greedy solution on the same component.
+  const Graph g = RandomGraph(12, 0.3, 99);
+  const auto free_result = algo::GreedyDensestSubgraph(g);
+  for (int a = 0; a < g.num_vertices(); ++a) {
+    const auto anchored = algo::AnchoredDensestSubgraph(g, {a});
+    EXPECT_LE(anchored.density, free_result.density + 1e-9) << "anchor " << a;
+  }
+}
+
+// ---------------------------------------------------------------------
+// MS module with the densest-subgraph explainer
+// ---------------------------------------------------------------------
+
+graph::SignedGraph SmallDdi() {
+  using graph::EdgeSign;
+  return graph::SignedGraph(
+      7, {{0, 1, EdgeSign::kSynergistic},
+          {0, 2, EdgeSign::kAntagonistic},
+          {1, 2, EdgeSign::kAntagonistic},
+          {2, 3, EdgeSign::kSynergistic},
+          {1, 3, EdgeSign::kAntagonistic},
+          {0, 3, EdgeSign::kSynergistic},
+          {4, 5, EdgeSign::kSynergistic}});
+}
+
+TEST(MsExplainerTest, DensestBackendProducesValidExplanation) {
+  const auto ddi = SmallDdi();
+  const core::MsModule ms(ddi, 0.5, core::ExplainerKind::kDensestSubgraph);
+  const auto exp = ms.Explain({0, 1});
+  // Suggested drugs present, density populated, trussness untouched.
+  for (int d : {0, 1}) {
+    EXPECT_NE(std::find(exp.subgraph_drugs.begin(), exp.subgraph_drugs.end(), d),
+              exp.subgraph_drugs.end());
+  }
+  EXPECT_GT(exp.density, 0.0);
+  EXPECT_EQ(exp.trussness, 0);
+  EXPECT_EQ(exp.synergies_within.size(), 1u);
+  EXPECT_GT(exp.suggestion_satisfaction, 0.0);
+  EXPECT_LE(exp.suggestion_satisfaction, 1.0);
+}
+
+TEST(MsExplainerTest, BothBackendsAgreeOnWithinSuggestionInteractions) {
+  const auto ddi = SmallDdi();
+  const core::MsModule ctc(ddi, 0.5, core::ExplainerKind::kClosestTrussCommunity);
+  const core::MsModule dense(ddi, 0.5, core::ExplainerKind::kDensestSubgraph);
+  const auto a = ctc.Explain({0, 2, 3});
+  const auto b = dense.Explain({0, 2, 3});
+  // Within-suggestion interactions come from the DDI graph, not the
+  // subgraph backend, so they must be identical.
+  EXPECT_EQ(a.synergies_within.size(), b.synergies_within.size());
+  EXPECT_EQ(a.antagonisms_within.size(), b.antagonisms_within.size());
+}
+
+TEST(MsExplainerTest, KindNamesAreDistinct) {
+  EXPECT_NE(core::ExplainerKindName(core::ExplainerKind::kClosestTrussCommunity),
+            core::ExplainerKindName(core::ExplainerKind::kDensestSubgraph));
+}
+
+}  // namespace
+}  // namespace dssddi

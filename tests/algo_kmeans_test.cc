@@ -1,0 +1,91 @@
+#include <set>
+
+#include "algo/kmeans.h"
+#include "gtest/gtest.h"
+
+namespace dssddi::algo {
+namespace {
+
+using tensor::Matrix;
+
+Matrix TwoBlobs(int per_blob, util::Rng& rng) {
+  Matrix points(2 * per_blob, 2);
+  for (int i = 0; i < per_blob; ++i) {
+    points.At(i, 0) = static_cast<float>(rng.Normal(-5.0, 0.3));
+    points.At(i, 1) = static_cast<float>(rng.Normal(-5.0, 0.3));
+    points.At(per_blob + i, 0) = static_cast<float>(rng.Normal(5.0, 0.3));
+    points.At(per_blob + i, 1) = static_cast<float>(rng.Normal(5.0, 0.3));
+  }
+  return points;
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  util::Rng rng(1);
+  const Matrix points = TwoBlobs(40, rng);
+  const auto result = KMeans(points, 2, rng);
+  // All points of a blob share a label, and the two blobs differ.
+  for (int i = 1; i < 40; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]);
+    EXPECT_EQ(result.assignments[40 + i], result.assignments[40]);
+  }
+  EXPECT_NE(result.assignments[0], result.assignments[40]);
+}
+
+TEST(KMeansTest, CentroidsNearBlobMeans) {
+  util::Rng rng(2);
+  const Matrix points = TwoBlobs(50, rng);
+  const auto result = KMeans(points, 2, rng);
+  std::set<std::pair<int, int>> centroid_signs;
+  for (int c = 0; c < 2; ++c) {
+    centroid_signs.insert({result.centroids.At(c, 0) > 0 ? 1 : -1,
+                           result.centroids.At(c, 1) > 0 ? 1 : -1});
+  }
+  EXPECT_TRUE(centroid_signs.count({1, 1}) == 1);
+  EXPECT_TRUE(centroid_signs.count({-1, -1}) == 1);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  util::Rng rng(3);
+  Matrix points({{0, 0}, {1, 1}, {2, 2}});
+  const auto result = KMeans(points, 3, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+  std::set<int> labels(result.assignments.begin(), result.assignments.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  util::Rng rng(4);
+  Matrix points({{0, 0}, {2, 0}, {0, 2}, {2, 2}});
+  const auto result = KMeans(points, 1, rng);
+  EXPECT_NEAR(result.centroids.At(0, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(result.centroids.At(0, 1), 1.0f, 1e-5);
+}
+
+TEST(KMeansTest, InertiaNeverIncreasesWithMoreClusters) {
+  util::Rng rng(5);
+  const Matrix points = TwoBlobs(30, rng);
+  double previous = 1e18;
+  for (int k = 1; k <= 5; ++k) {
+    util::Rng local(42);
+    const auto result = KMeans(points, k, local);
+    EXPECT_LE(result.inertia, previous + 1e-6) << "k=" << k;
+    previous = result.inertia;
+  }
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  util::Rng rng(6);
+  Matrix points(10, 3, 1.0f);
+  const auto result = KMeans(points, 3, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansDeathTest, RejectsBadK) {
+  util::Rng rng(7);
+  Matrix points({{0, 0}, {1, 1}});
+  EXPECT_DEATH(KMeans(points, 3, rng), "k-means");
+  EXPECT_DEATH(KMeans(points, 0, rng), "k-means");
+}
+
+}  // namespace
+}  // namespace dssddi::algo

@@ -1,0 +1,295 @@
+// Tests for the application layer: rank-movement case finders (the
+// library form of paper Fig. 9), indirect-similarity measurement, the
+// clinic report renderer, and the suggestion safety audit.
+
+#include <optional>
+
+#include "app/case_study.h"
+#include "app/report.h"
+#include "gtest/gtest.h"
+#include "test_support.h"
+
+namespace dssddi {
+namespace {
+
+using app::CaseKind;
+using app::CaseStudyInput;
+using app::RankMovement;
+using graph::EdgeSign;
+using graph::SignedEdge;
+using graph::SignedGraph;
+using tensor::Matrix;
+
+// A hand-built 2-patient, 4-drug scenario where the rank movements are
+// fully controlled:
+//   DDI: 0 ~ 1 synergistic, 2 x 1 antagonistic, 2 x 3 antagonistic.
+//   Patient 0 takes drugs 0 and 1; patient 1 takes drugs 2 and 3.
+struct Scenario {
+  data::SuggestionDataset dataset;
+  std::vector<int> test = {0, 1};
+  Matrix with_ddi;
+  Matrix without_ddi;
+
+  Scenario() {
+    dataset.patient_features = Matrix(2, 3, 0.1f);
+    dataset.medication = Matrix(2, 4, 0.0f);
+    dataset.medication.At(0, 0) = 1.0f;
+    dataset.medication.At(0, 1) = 1.0f;
+    dataset.medication.At(1, 2) = 1.0f;
+    dataset.medication.At(1, 3) = 1.0f;
+    dataset.ddi = SignedGraph(
+        4, {{0, 1, EdgeSign::kSynergistic},
+            {2, 1, EdgeSign::kAntagonistic},
+            {2, 3, EdgeSign::kAntagonistic}});
+    dataset.drug_names = {"Alpha", "Beta", "Gamma", "Delta"};
+
+    // Without DDI: patient 0 ranks drugs [2, 0, 1, 3] (drug 0 at rank 2).
+    without_ddi = Matrix({{0.6f, 0.4f, 0.9f, 0.1f},
+                          {0.5f, 0.4f, 0.6f, 0.55f}});
+    // With DDI: drug 0 lifted to rank 1 for patient 0 (synergy with 1);
+    // drug 2's antagonist situation for patient 1: drug 3 (taken, rank 2
+    // without) is downgraded to rank 4 (deviation), and for patient 0 the
+    // untaken drug 2 (rank 1 without) drops to rank 3 (antagonistic to
+    // taken drug 1).
+    with_ddi = Matrix({{0.9f, 0.6f, 0.3f, 0.1f},
+                       {0.5f, 0.4f, 0.6f, 0.05f}});
+  }
+
+  CaseStudyInput Input() const {
+    return {&dataset, &test, &with_ddi, &without_ddi};
+  }
+};
+
+TEST(CaseStudyTest, RankOfBasics) {
+  const Matrix scores({{0.9f, 0.1f, 0.5f}});
+  EXPECT_EQ(app::RankOf(scores, 0, 0), 1);
+  EXPECT_EQ(app::RankOf(scores, 0, 2), 2);
+  EXPECT_EQ(app::RankOf(scores, 0, 1), 3);
+}
+
+TEST(CaseStudyTest, RankOfResolvesTiesInFavourOfQueriedDrug) {
+  const Matrix scores({{0.5f, 0.5f, 0.5f}});
+  EXPECT_EQ(app::RankOf(scores, 0, 0), 1);
+  EXPECT_EQ(app::RankOf(scores, 0, 2), 1);
+}
+
+TEST(CaseStudyTest, FindsSynergisticLift) {
+  Scenario scenario;
+  const auto movement = app::FindSynergisticLift(scenario.Input());
+  ASSERT_TRUE(movement.has_value());
+  EXPECT_EQ(movement->kind, CaseKind::kSynergisticLift);
+  EXPECT_EQ(movement->patient, 0);
+  EXPECT_EQ(movement->drug, 0);
+  EXPECT_EQ(movement->partner, 1);
+  EXPECT_EQ(movement->rank_without, 2);
+  EXPECT_EQ(movement->rank_with, 1);
+  EXPECT_EQ(movement->Lift(), 1);
+}
+
+TEST(CaseStudyTest, FindsAntagonisticDrop) {
+  Scenario scenario;
+  const auto movement = app::FindAntagonisticDrop(scenario.Input());
+  ASSERT_TRUE(movement.has_value());
+  EXPECT_EQ(movement->kind, CaseKind::kAntagonisticDrop);
+  // Patient 0 does not take drug 2, which antagonizes taken drug 1, and
+  // it falls from rank 1 to rank 3.
+  EXPECT_EQ(movement->patient, 0);
+  EXPECT_EQ(movement->drug, 2);
+  EXPECT_EQ(movement->partner, 1);
+  EXPECT_EQ(movement->Lift(), -2);
+}
+
+TEST(CaseStudyTest, FindsGroundTruthDeviation) {
+  Scenario scenario;
+  const auto movement = app::FindGroundTruthDeviation(scenario.Input());
+  ASSERT_TRUE(movement.has_value());
+  EXPECT_EQ(movement->kind, CaseKind::kGroundTruthDeviation);
+  // Patient 1 takes the antagonistic pair {2, 3}; drug 3 is downgraded.
+  EXPECT_EQ(movement->patient, 1);
+  EXPECT_EQ(movement->drug, 3);
+  EXPECT_EQ(movement->partner, 2);
+  EXPECT_LT(movement->Lift(), 0);
+}
+
+TEST(CaseStudyTest, NoMovementReturnsEmpty) {
+  Scenario scenario;
+  scenario.with_ddi = scenario.without_ddi;  // identical rankings
+  EXPECT_FALSE(app::FindSynergisticLift(scenario.Input()).has_value());
+  EXPECT_FALSE(app::FindAntagonisticDrop(scenario.Input()).has_value());
+  EXPECT_FALSE(app::FindGroundTruthDeviation(scenario.Input()).has_value());
+}
+
+TEST(CaseStudyTest, RenderMovementMentionsDrugNamesAndRanks) {
+  Scenario scenario;
+  const auto movement = app::FindSynergisticLift(scenario.Input());
+  ASSERT_TRUE(movement.has_value());
+  const std::string text = app::RenderMovement(*movement, scenario.dataset.drug_names);
+  EXPECT_NE(text.find("Alpha"), std::string::npos);
+  EXPECT_NE(text.find("Beta"), std::string::npos);
+  EXPECT_NE(text.find("rank 2 -> 1"), std::string::npos);
+}
+
+TEST(IndirectSimilarityTest, SharedAntagonistsDetected) {
+  // Drugs 0 and 1 both antagonize 2 and 3 but have no direct edge.
+  SignedGraph ddi(4, {{0, 2, EdgeSign::kAntagonistic},
+                      {0, 3, EdgeSign::kAntagonistic},
+                      {1, 2, EdgeSign::kAntagonistic},
+                      {1, 3, EdgeSign::kAntagonistic}});
+  Matrix embeddings({{1.0f, 0.0f}, {0.9f, 0.1f}, {0.0f, 1.0f}, {-1.0f, 0.0f}});
+  const auto result = app::MeasureIndirectSimilarity(embeddings, ddi, 0, 1);
+  EXPECT_EQ(result.shared_antagonists, (std::vector<int>{2, 3}));
+  EXPECT_GT(result.pair_cosine, result.mean_cosine);
+}
+
+TEST(IndirectSimilarityTest, TopPairsExcludeDirectInteractions) {
+  SignedGraph ddi(4, {{0, 2, EdgeSign::kAntagonistic},
+                      {1, 2, EdgeSign::kAntagonistic},
+                      {0, 1, EdgeSign::kSynergistic}});  // direct edge
+  Matrix embeddings = Matrix::Identity(4);
+  const auto pairs = app::TopIndirectPairs(embeddings, ddi, 10);
+  for (const auto& pair : pairs) {
+    EXPECT_FALSE(ddi.HasInteraction(pair.drug_a, pair.drug_b))
+        << pair.drug_a << "," << pair.drug_b;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Clinic report
+// ---------------------------------------------------------------------
+
+core::Suggestion MakeSuggestion() {
+  core::Suggestion suggestion;
+  suggestion.drugs = {0, 1};
+  suggestion.scores = {0.91f, 0.74f};
+  suggestion.explanation.suggested_drugs = {0, 1};
+  suggestion.explanation.subgraph_drugs = {0, 1, 2};
+  suggestion.explanation.synergies_within.push_back({0, 1, EdgeSign::kSynergistic});
+  suggestion.explanation.antagonisms_outward.push_back({1, 2, EdgeSign::kAntagonistic});
+  suggestion.explanation.suggestion_satisfaction = 0.5427;
+  suggestion.explanation.trussness = 3;
+  suggestion.explanation.diameter = 1;
+  return suggestion;
+}
+
+TEST(ClinicReportTest, ContainsAllSections) {
+  const auto suggestion = MakeSuggestion();
+  const std::vector<std::string> drug_names = {"Simvastatin", "Atorvastatin",
+                                               "Gabapentin"};
+  app::ReportOptions options;
+  options.patient_label = "HK-2417";
+  const std::string report = app::RenderClinicReport(
+      suggestion, drug_names, {"age", "bmi"}, {0.8f, -0.2f}, options);
+
+  EXPECT_NE(report.find("HK-2417"), std::string::npos);
+  EXPECT_NE(report.find("Simvastatin (DID 0)"), std::string::npos);
+  EXPECT_NE(report.find("score 0.910"), std::string::npos);
+  EXPECT_NE(report.find("Synergism"), std::string::npos);
+  EXPECT_NE(report.find("Avoided antagonistic partners"), std::string::npos);
+  EXPECT_NE(report.find("Gabapentin"), std::string::npos);
+  EXPECT_NE(report.find("Suggestion Satisfaction: 0.5427"), std::string::npos);
+  EXPECT_NE(report.find("age"), std::string::npos);
+  EXPECT_NE(report.find("trussness 3"), std::string::npos);
+}
+
+TEST(ClinicReportTest, WarnsOnAntagonismWithinSuggestion) {
+  auto suggestion = MakeSuggestion();
+  suggestion.explanation.antagonisms_within.push_back({0, 1, EdgeSign::kAntagonistic});
+  const std::string report =
+      app::RenderClinicReport(suggestion, {"A", "B", "C"}, {}, {});
+  EXPECT_NE(report.find("WARNING"), std::string::npos);
+}
+
+TEST(ClinicReportTest, OmitsOptionalSections) {
+  const auto suggestion = MakeSuggestion();
+  app::ReportOptions options;
+  options.show_scores = false;
+  options.show_subgraph_stats = false;
+  options.max_patient_features = 0;
+  const std::string report =
+      app::RenderClinicReport(suggestion, {"A", "B", "C"}, {"f"}, {1.0f}, options);
+  EXPECT_EQ(report.find("score"), std::string::npos);
+  EXPECT_EQ(report.find("trussness"), std::string::npos);
+  EXPECT_EQ(report.find("Patient snapshot"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Safety audit
+// ---------------------------------------------------------------------
+
+TEST(SafetyAuditTest, FlagsWithinAndAcross) {
+  SignedGraph ddi(5, {{0, 1, EdgeSign::kAntagonistic},
+                      {0, 2, EdgeSign::kSynergistic},
+                      {1, 3, EdgeSign::kAntagonistic}});
+  // Suggested {0, 1} (antagonistic pair) to a patient taking {3}.
+  const auto flags = app::AuditSuggestion({0, 1}, {3}, ddi);
+  ASSERT_EQ(flags.size(), 2u);
+  EXPECT_TRUE(flags[0].within_suggestion);
+  EXPECT_EQ(flags[0].drug_u, 0);
+  EXPECT_EQ(flags[0].drug_v, 1);
+  EXPECT_FALSE(flags[1].within_suggestion);
+  EXPECT_EQ(flags[1].drug_u, 1);
+  EXPECT_EQ(flags[1].drug_v, 3);
+}
+
+TEST(SafetyAuditTest, CleanSuggestionHasNoFlags) {
+  SignedGraph ddi(4, {{0, 1, EdgeSign::kSynergistic}});
+  EXPECT_TRUE(app::AuditSuggestion({0, 1}, {2, 3}, ddi).empty());
+}
+
+TEST(SafetyAuditTest, CurrentDrugAlsoSuggestedNotDoubleCounted) {
+  SignedGraph ddi(3, {{0, 1, EdgeSign::kAntagonistic}});
+  // Drug 1 is both suggested and currently taken: only the
+  // within-suggestion flag should appear.
+  const auto flags = app::AuditSuggestion({0, 1}, {1}, ddi);
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_TRUE(flags[0].within_suggestion);
+}
+
+TEST(SafetyAuditTest, RenderMentionsContext) {
+  SignedGraph ddi(3, {{0, 1, EdgeSign::kAntagonistic}});
+  const auto flags = app::AuditSuggestion({0}, {1}, ddi);
+  const std::string text = app::RenderSafetyFlags(flags, {"A", "B", "C"});
+  EXPECT_NE(text.find("WARNING"), std::string::npos);
+  EXPECT_NE(text.find("currently taken"), std::string::npos);
+  EXPECT_EQ(app::RenderSafetyFlags({}, {}).find("WARNING"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: finders work on a trained system over the tiny dataset.
+// ---------------------------------------------------------------------
+
+TEST(CaseStudyIntegrationTest, TrainedSystemProducesMovements) {
+  const auto dataset = testing::TinyDataset();
+  core::DssddiConfig config;
+  config.ddi.epochs = 60;
+  config.md.epochs = 80;
+  config.md.hidden_dim = 16;
+  core::DssddiSystem with_ddi(config);
+  with_ddi.Fit(dataset);
+
+  auto without_config = config;
+  without_config.embedding_source = core::DrugEmbeddingSource::kWithoutDdi;
+  core::DssddiSystem without_ddi(without_config);
+  without_ddi.Fit(dataset);
+
+  const auto& test = dataset.split.test;
+  const Matrix scores_with = with_ddi.PredictScores(dataset, test);
+  const Matrix scores_without = without_ddi.PredictScores(dataset, test);
+  const CaseStudyInput input{&dataset, &test, &scores_with, &scores_without};
+
+  // The finders must not crash and any movement they report must be
+  // internally consistent with the score matrices.
+  for (auto finder : {app::FindSynergisticLift, app::FindAntagonisticDrop,
+                      app::FindGroundTruthDeviation}) {
+    const auto movement = finder(input);
+    if (!movement.has_value()) continue;
+    EXPECT_EQ(movement->rank_without,
+              app::RankOf(scores_without, movement->test_row, movement->drug));
+    EXPECT_EQ(movement->rank_with,
+              app::RankOf(scores_with, movement->test_row, movement->drug));
+    EXPECT_TRUE(dataset.ddi.HasInteraction(movement->drug, movement->partner));
+  }
+}
+
+}  // namespace
+}  // namespace dssddi

@@ -1,0 +1,336 @@
+// Tests for the CSV interchange path: the RFC 4180 parser in util and
+// the four-file cohort import/export in data. A clinic must be able to
+// round-trip a dataset through spreadsheets without loss, and malformed
+// input must fail with a diagnostic instead of a bad dataset.
+
+#include <string>
+
+#include "core/dssddi_system.h"
+#include "data/csv_io.h"
+#include "gtest/gtest.h"
+#include "test_support.h"
+#include "util/csv.h"
+
+namespace dssddi {
+namespace {
+
+// ---------------------------------------------------------------------
+// util::ParseCsv
+// ---------------------------------------------------------------------
+
+TEST(ParseCsvTest, SimpleDocument) {
+  util::CsvDocument document;
+  ASSERT_TRUE(util::ParseCsv("a,b,c\n1,2,3\n4,5,6\n", &document));
+  EXPECT_EQ(document.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(document.num_rows(), 2);
+  EXPECT_EQ(document.rows[1], (std::vector<std::string>{"4", "5", "6"}));
+  EXPECT_EQ(document.ColumnIndex("b"), 1);
+  EXPECT_EQ(document.ColumnIndex("missing"), -1);
+}
+
+TEST(ParseCsvTest, QuotedFieldsWithCommasQuotesNewlines) {
+  util::CsvDocument document;
+  const std::string text =
+      "name,note\n\"Smith, John\",\"said \"\"hi\"\"\"\n\"multi\nline\",plain\n";
+  ASSERT_TRUE(util::ParseCsv(text, &document));
+  ASSERT_EQ(document.num_rows(), 2);
+  EXPECT_EQ(document.rows[0][0], "Smith, John");
+  EXPECT_EQ(document.rows[0][1], "said \"hi\"");
+  EXPECT_EQ(document.rows[1][0], "multi\nline");
+}
+
+TEST(ParseCsvTest, CrlfAndMissingTrailingNewline) {
+  util::CsvDocument document;
+  ASSERT_TRUE(util::ParseCsv("a,b\r\n1,2\r\n3,4", &document));
+  ASSERT_EQ(document.num_rows(), 2);
+  EXPECT_EQ(document.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(ParseCsvTest, EmptyFieldsPreserved) {
+  util::CsvDocument document;
+  ASSERT_TRUE(util::ParseCsv("a,b,c\n,,\nx,,z\n", &document));
+  EXPECT_EQ(document.rows[0], (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(document.rows[1], (std::vector<std::string>{"x", "", "z"}));
+}
+
+TEST(ParseCsvTest, ArityMismatchRejectedWithLineNumber) {
+  util::CsvDocument document;
+  std::string error;
+  EXPECT_FALSE(util::ParseCsv("a,b\n1,2\n1,2,3\n", &document, &error));
+  EXPECT_NE(error.find("arity"), std::string::npos);
+  EXPECT_NE(error.find("3"), std::string::npos);
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteRejected) {
+  util::CsvDocument document;
+  std::string error;
+  EXPECT_FALSE(util::ParseCsv("a,b\n\"open,2\n", &document, &error));
+  EXPECT_NE(error.find("unterminated"), std::string::npos);
+}
+
+TEST(ParseCsvTest, EmptyDocumentRejected) {
+  util::CsvDocument document;
+  EXPECT_FALSE(util::ParseCsv("", &document));
+}
+
+TEST(ParseCsvTest, WriterOutputParsesBack) {
+  util::CsvWriter writer({"id", "text"});
+  writer.AddRow({"1", "plain"});
+  writer.AddRow({"2", "comma, quote \" and\nnewline"});
+  util::CsvDocument document;
+  ASSERT_TRUE(util::ParseCsv(writer.ToString(), &document));
+  ASSERT_EQ(document.num_rows(), 2);
+  EXPECT_EQ(document.rows[1][1], "comma, quote \" and\nnewline");
+}
+
+// ---------------------------------------------------------------------
+// data::ExportDatasetCsv / LoadDatasetCsv
+// ---------------------------------------------------------------------
+
+data::CsvDatasetPaths TempPaths(const std::string& stem) {
+  const std::string dir = ::testing::TempDir() + "/";
+  return {dir + stem + "_patients.csv", dir + stem + "_medication.csv",
+          dir + stem + "_ddi.csv", dir + stem + "_drugs.csv"};
+}
+
+TEST(DatasetCsvTest, RoundTripPreservesEverything) {
+  const auto dataset = testing::TinyDataset();
+  const auto paths = TempPaths("roundtrip");
+  std::string error;
+  ASSERT_TRUE(data::ExportDatasetCsv(dataset, paths, &error)) << error;
+
+  data::CsvImportOptions options;
+  options.num_diseases = dataset.num_diseases;
+  data::SuggestionDataset loaded;
+  ASSERT_TRUE(data::LoadDatasetCsv(paths, options, &loaded, &error)) << error;
+
+  ASSERT_EQ(loaded.num_patients(), dataset.num_patients());
+  ASSERT_EQ(loaded.num_drugs(), dataset.num_drugs());
+  EXPECT_EQ(loaded.drug_names, dataset.drug_names);
+  for (int i = 0; i < dataset.num_patients(); ++i) {
+    for (int j = 0; j < dataset.patient_features.cols(); ++j) {
+      EXPECT_FLOAT_EQ(loaded.patient_features.At(i, j),
+                      dataset.patient_features.At(i, j));
+    }
+  }
+  EXPECT_EQ(loaded.medication.data(), dataset.medication.data());
+  // Interaction edges preserved with their signs.
+  for (const auto& edge : dataset.ddi.edges()) {
+    if (edge.sign == graph::EdgeSign::kNone) continue;
+    EXPECT_EQ(loaded.ddi.SignOf(edge.u, edge.v), edge.sign)
+        << edge.u << "-" << edge.v;
+  }
+  EXPECT_EQ(loaded.num_diseases, dataset.num_diseases);
+}
+
+TEST(DatasetCsvTest, DrugsWithoutFeatureColumnsGetIdentity) {
+  const auto paths = TempPaths("identity");
+  ASSERT_TRUE(util::CsvWriter({"patient_id", "f0"}).WriteFile(paths.patients_csv));
+  {
+    util::CsvWriter writer({"patient_id", "f0"});
+    writer.AddRow({"0", "1.5"});
+    writer.AddRow({"1", "-0.5"});
+    ASSERT_TRUE(writer.WriteFile(paths.patients_csv));
+  }
+  {
+    util::CsvWriter writer({"patient_id", "drug_id"});
+    writer.AddRow({"0", "0"});
+    ASSERT_TRUE(writer.WriteFile(paths.medication_csv));
+  }
+  {
+    util::CsvWriter writer({"drug_u", "drug_v", "sign"});
+    writer.AddRow({"0", "1", "1"});
+    ASSERT_TRUE(writer.WriteFile(paths.ddi_csv));
+  }
+  {
+    util::CsvWriter writer({"drug_id", "name"});
+    writer.AddRow({"0", "A"});
+    writer.AddRow({"1", "B"});
+    ASSERT_TRUE(writer.WriteFile(paths.drugs_csv));
+  }
+  data::SuggestionDataset loaded;
+  std::string error;
+  ASSERT_TRUE(data::LoadDatasetCsv(paths, {}, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.drug_features.rows(), 2);
+  EXPECT_EQ(loaded.drug_features.cols(), 2);
+  EXPECT_FLOAT_EQ(loaded.drug_features.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(loaded.drug_features.At(1, 0), 0.0f);
+}
+
+class DatasetCsvRejectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    paths_ = TempPaths("reject");
+    const auto dataset = testing::TinyDataset(30, 3, 6);
+    std::string error;
+    ASSERT_TRUE(data::ExportDatasetCsv(dataset, paths_, &error)) << error;
+  }
+
+  void ExpectLoadFails(const std::string& expected_fragment) {
+    data::SuggestionDataset loaded;
+    std::string error;
+    EXPECT_FALSE(data::LoadDatasetCsv(paths_, {}, &loaded, &error));
+    EXPECT_NE(error.find(expected_fragment), std::string::npos) << error;
+  }
+
+  data::CsvDatasetPaths paths_;
+};
+
+TEST_F(DatasetCsvRejectionTest, UnknownDrugInMedication) {
+  util::CsvWriter writer({"patient_id", "drug_id"});
+  writer.AddRow({"0", "999"});
+  ASSERT_TRUE(writer.WriteFile(paths_.medication_csv));
+  ExpectLoadFails("unknown drug_id");
+}
+
+TEST_F(DatasetCsvRejectionTest, BadSignInDdi) {
+  util::CsvWriter writer({"drug_u", "drug_v", "sign"});
+  writer.AddRow({"0", "1", "7"});
+  ASSERT_TRUE(writer.WriteFile(paths_.ddi_csv));
+  ExpectLoadFails("sign must be -1 or 1");
+}
+
+TEST_F(DatasetCsvRejectionTest, SelfLoopInDdi) {
+  util::CsvWriter writer({"drug_u", "drug_v", "sign"});
+  writer.AddRow({"2", "2", "1"});
+  ASSERT_TRUE(writer.WriteFile(paths_.ddi_csv));
+  ExpectLoadFails("bad drug pair");
+}
+
+TEST_F(DatasetCsvRejectionTest, NonNumericFeature) {
+  util::CsvWriter writer({"patient_id", "f0"});
+  writer.AddRow({"0", "not-a-number"});
+  ASSERT_TRUE(writer.WriteFile(paths_.patients_csv));
+  ExpectLoadFails("bad feature");
+}
+
+TEST_F(DatasetCsvRejectionTest, DuplicatePatientId) {
+  util::CsvWriter writer({"patient_id", "f0"});
+  writer.AddRow({"0", "1.0"});
+  writer.AddRow({"0", "2.0"});
+  ASSERT_TRUE(writer.WriteFile(paths_.patients_csv));
+  ExpectLoadFails("duplicate patient_id");
+}
+
+TEST_F(DatasetCsvRejectionTest, WrongMedicationHeader) {
+  util::CsvWriter writer({"pid", "did"});
+  writer.AddRow({"0", "1"});
+  ASSERT_TRUE(writer.WriteFile(paths_.medication_csv));
+  ExpectLoadFails("header");
+}
+
+TEST(DatasetCsvTest, VisitHistoriesRoundTripThroughFifthFile) {
+  auto dataset = testing::TinyDataset(20, 2, 6);
+  dataset.visit_codes.assign(20, {});
+  dataset.visit_codes[0] = {{3, 1}, {2}};
+  dataset.visit_codes[7] = {{5}};
+  auto paths = TempPaths("visits5");
+  paths.visits_csv = ::testing::TempDir() + "/visits5_visits.csv";
+  std::string error;
+  ASSERT_TRUE(data::ExportDatasetCsv(dataset, paths, &error)) << error;
+
+  data::SuggestionDataset loaded;
+  ASSERT_TRUE(data::LoadDatasetCsv(paths, {}, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.visit_codes.size(), 20u);
+  EXPECT_EQ(loaded.visit_codes[0], dataset.visit_codes[0]);
+  EXPECT_EQ(loaded.visit_codes[7], dataset.visit_codes[7]);
+  EXPECT_TRUE(loaded.visit_codes[3].empty());
+
+  // Without the fifth path, no visit data is loaded.
+  paths.visits_csv.clear();
+  data::SuggestionDataset without;
+  ASSERT_TRUE(data::LoadDatasetCsv(paths, {}, &without, &error)) << error;
+  EXPECT_TRUE(without.visit_codes.empty());
+}
+
+TEST(DatasetCsvTest, VisitsWithUnknownPatientRejected) {
+  auto dataset = testing::TinyDataset(10, 2, 6);
+  auto paths = TempPaths("visitsbad");
+  paths.visits_csv = ::testing::TempDir() + "/visitsbad_visits.csv";
+  std::string error;
+  ASSERT_TRUE(data::ExportDatasetCsv(dataset, paths, &error)) << error;
+  util::CsvWriter writer({"patient_id", "visit_index", "code_id"});
+  writer.AddRow({"99", "0", "1"});
+  ASSERT_TRUE(writer.WriteFile(paths.visits_csv));
+  data::SuggestionDataset loaded;
+  EXPECT_FALSE(data::LoadDatasetCsv(paths, {}, &loaded, &error));
+  EXPECT_NE(error.find("unknown patient_id"), std::string::npos) << error;
+}
+
+class MissingPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    paths_ = TempPaths("missing");
+    // Patient 1's f0 and patient 2's f1 are empty.
+    util::CsvWriter patients({"patient_id", "f0", "f1"});
+    patients.AddRow({"0", "2.0", "4.0"});
+    patients.AddRow({"1", "", "8.0"});
+    patients.AddRow({"2", "6.0", ""});
+    ASSERT_TRUE(patients.WriteFile(paths_.patients_csv));
+    util::CsvWriter medication({"patient_id", "drug_id"});
+    medication.AddRow({"0", "0"});
+    ASSERT_TRUE(medication.WriteFile(paths_.medication_csv));
+    util::CsvWriter ddi({"drug_u", "drug_v", "sign"});
+    ddi.AddRow({"0", "1", "1"});
+    ASSERT_TRUE(ddi.WriteFile(paths_.ddi_csv));
+    util::CsvWriter drugs({"drug_id", "name"});
+    drugs.AddRow({"0", "A"});
+    drugs.AddRow({"1", "B"});
+    ASSERT_TRUE(drugs.WriteFile(paths_.drugs_csv));
+  }
+
+  data::CsvDatasetPaths paths_;
+};
+
+TEST_F(MissingPolicyTest, RejectIsTheDefault) {
+  data::SuggestionDataset loaded;
+  std::string error;
+  EXPECT_FALSE(data::LoadDatasetCsv(paths_, {}, &loaded, &error));
+  EXPECT_NE(error.find("empty feature cell"), std::string::npos) << error;
+}
+
+TEST_F(MissingPolicyTest, ZeroImputation) {
+  data::CsvImportOptions options;
+  options.missing_policy = data::MissingPolicy::kZero;
+  data::SuggestionDataset loaded;
+  std::string error;
+  ASSERT_TRUE(data::LoadDatasetCsv(paths_, options, &loaded, &error)) << error;
+  EXPECT_FLOAT_EQ(loaded.patient_features.At(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(loaded.patient_features.At(2, 1), 0.0f);
+  EXPECT_FLOAT_EQ(loaded.patient_features.At(0, 0), 2.0f);  // observed kept
+}
+
+TEST_F(MissingPolicyTest, ColumnMeanImputation) {
+  data::CsvImportOptions options;
+  options.missing_policy = data::MissingPolicy::kColumnMean;
+  data::SuggestionDataset loaded;
+  std::string error;
+  ASSERT_TRUE(data::LoadDatasetCsv(paths_, options, &loaded, &error)) << error;
+  EXPECT_FLOAT_EQ(loaded.patient_features.At(1, 0), 4.0f);  // mean(2, 6)
+  EXPECT_FLOAT_EQ(loaded.patient_features.At(2, 1), 6.0f);  // mean(4, 8)
+}
+
+TEST(DatasetCsvTest, LoadedDatasetTrainsEndToEnd) {
+  // The import path must produce a dataset every model can consume.
+  const auto dataset = testing::TinyDataset();
+  const auto paths = TempPaths("train");
+  std::string error;
+  ASSERT_TRUE(data::ExportDatasetCsv(dataset, paths, &error)) << error;
+  data::CsvImportOptions options;
+  options.num_diseases = 4;
+  data::SuggestionDataset loaded;
+  ASSERT_TRUE(data::LoadDatasetCsv(paths, options, &loaded, &error)) << error;
+
+  core::DssddiConfig config;
+  config.ddi.epochs = 40;
+  config.md.epochs = 50;
+  config.md.hidden_dim = 16;
+  core::DssddiSystem system(config);
+  system.Fit(loaded);
+  const auto scores = system.PredictScores(loaded, loaded.split.test);
+  EXPECT_EQ(scores.rows(), static_cast<int>(loaded.split.test.size()));
+  EXPECT_EQ(scores.cols(), loaded.num_drugs());
+}
+
+}  // namespace
+}  // namespace dssddi

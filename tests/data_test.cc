@@ -1,0 +1,306 @@
+#include <algorithm>
+#include <set>
+
+#include "data/catalog.h"
+#include "data/chronic_cohort.h"
+#include "data/dataset.h"
+#include "data/ddi_database.h"
+#include "data/drkg_like.h"
+#include "data/mimic_like.h"
+#include "data/molecule.h"
+#include "gtest/gtest.h"
+
+namespace dssddi::data {
+namespace {
+
+TEST(CatalogTest, HasExactly86DrugsAnd15Diseases) {
+  const Catalog& catalog = Catalog::Instance();
+  EXPECT_EQ(catalog.num_drugs(), 86);
+  EXPECT_EQ(catalog.num_diseases(), 15);
+}
+
+TEST(CatalogTest, PaperNamedDrugIdsArePinned) {
+  const Catalog& catalog = Catalog::Instance();
+  EXPECT_EQ(catalog.drug(1).name, "Doxazosin");
+  EXPECT_EQ(catalog.drug(3).name, "Enalapril");
+  EXPECT_EQ(catalog.drug(5).name, "Perindopril");
+  EXPECT_EQ(catalog.drug(8).name, "Amlodipine");
+  EXPECT_EQ(catalog.drug(10).name, "Indapamide");
+  EXPECT_EQ(catalog.drug(32).name, "Felodipine");
+  EXPECT_EQ(catalog.drug(46).name, "Simvastatin");
+  EXPECT_EQ(catalog.drug(47).name, "Atorvastatin");
+  EXPECT_EQ(catalog.drug(48).name, "Metformin");
+  EXPECT_EQ(catalog.drug(61).name, "Gabapentin");
+  EXPECT_EQ(catalog.drug(83).name, "Theophylline");
+}
+
+TEST(CatalogTest, EveryDrugTreatsSomething) {
+  const Catalog& catalog = Catalog::Instance();
+  int total_primary = 0;
+  for (const auto& drug : catalog.drugs()) {
+    EXPECT_FALSE(drug.treats.empty()) << drug.name;
+  }
+  for (int d = 0; d < catalog.num_diseases(); ++d) {
+    total_primary += catalog.PrimaryDrugCount(d);
+  }
+  EXPECT_EQ(total_primary, 86);
+}
+
+TEST(CatalogTest, HypertensionHasTheMostDrugs) {
+  const Catalog& catalog = Catalog::Instance();
+  const int htn = catalog.PrimaryDrugCount(kHypertension);
+  for (int d = 0; d < catalog.num_diseases(); ++d) {
+    EXPECT_LE(catalog.PrimaryDrugCount(d), htn);
+  }
+}
+
+TEST(CatalogTest, ShareIndicationSymmetry) {
+  const Catalog& catalog = Catalog::Instance();
+  EXPECT_TRUE(catalog.ShareIndication(46, 47));  // both statins treat CVD
+  EXPECT_EQ(catalog.ShareIndication(48, 61), false);  // metformin vs gabapentin
+}
+
+TEST(DdiDatabaseTest, ExactEdgeCounts) {
+  const auto ddi = GenerateDdiDatabase(Catalog::Instance());
+  EXPECT_EQ(ddi.CountEdges(graph::EdgeSign::kSynergistic), 97);
+  EXPECT_EQ(ddi.CountEdges(graph::EdgeSign::kAntagonistic), 243);
+  EXPECT_EQ(ddi.num_vertices(), 86);
+}
+
+TEST(DdiDatabaseTest, PaperCaseInteractionsPresent) {
+  const auto ddi = GenerateDdiDatabase(Catalog::Instance());
+  using graph::EdgeSign;
+  EXPECT_EQ(ddi.SignOf(46, 47), EdgeSign::kSynergistic);   // statin pair (Fig. 8)
+  EXPECT_EQ(ddi.SignOf(10, 5), EdgeSign::kSynergistic);    // Case 1
+  EXPECT_EQ(ddi.SignOf(59, 61), EdgeSign::kAntagonistic);  // Fig. 8
+  EXPECT_EQ(ddi.SignOf(61, 1), EdgeSign::kAntagonistic);   // Fig. 8(e)
+  EXPECT_EQ(ddi.SignOf(3, 83), EdgeSign::kAntagonistic);   // Case 2
+  EXPECT_EQ(ddi.SignOf(58, 48), EdgeSign::kAntagonistic);  // Case 4
+  for (int blocker : {63, 1, 2, 9}) {                      // Case 3
+    EXPECT_EQ(ddi.SignOf(8, blocker), EdgeSign::kAntagonistic);
+    EXPECT_EQ(ddi.SignOf(32, blocker), EdgeSign::kAntagonistic);
+  }
+}
+
+TEST(DdiDatabaseTest, DeterministicAcrossCalls) {
+  const auto a = GenerateDdiDatabase(Catalog::Instance());
+  const auto b = GenerateDdiDatabase(Catalog::Instance());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edges()[e].u, b.edges()[e].u);
+    EXPECT_EQ(a.edges()[e].v, b.edges()[e].v);
+    EXPECT_EQ(a.edges()[e].sign, b.edges()[e].sign);
+  }
+}
+
+class CohortTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ddi_ = new graph::SignedGraph(GenerateDdiDatabase(Catalog::Instance()));
+    ChronicCohortOptions options;
+    options.num_males = 150;
+    options.num_females = 100;
+    generator_ = new ChronicCohortGenerator(Catalog::Instance(), *ddi_, options);
+    patients_ = new std::vector<PatientRecord>(generator_->Generate());
+  }
+  static void TearDownTestSuite() {
+    delete patients_;
+    delete generator_;
+    delete ddi_;
+    patients_ = nullptr;
+    generator_ = nullptr;
+    ddi_ = nullptr;
+  }
+  static graph::SignedGraph* ddi_;
+  static ChronicCohortGenerator* generator_;
+  static std::vector<PatientRecord>* patients_;
+};
+
+graph::SignedGraph* CohortTest::ddi_ = nullptr;
+ChronicCohortGenerator* CohortTest::generator_ = nullptr;
+std::vector<PatientRecord>* CohortTest::patients_ = nullptr;
+
+TEST_F(CohortTest, CohortSizeAndGenderSplit) {
+  EXPECT_EQ(patients_->size(), 250u);
+  int males = 0;
+  for (const auto& p : *patients_) males += p.gender;
+  EXPECT_EQ(males, 150);
+}
+
+TEST_F(CohortTest, EveryPatientHasDiseaseAndFeatures) {
+  for (const auto& p : *patients_) {
+    EXPECT_FALSE(p.diseases.empty());
+    EXPECT_EQ(p.features.size(), static_cast<size_t>(kNumPatientFeatures));
+    EXPECT_GE(p.age, 65.0f);
+  }
+}
+
+TEST_F(CohortTest, MedicationsMatchIndications) {
+  const Catalog& catalog = Catalog::Instance();
+  for (const auto& p : *patients_) {
+    for (int drug : p.medications) {
+      bool indicated = false;
+      for (int disease : catalog.drug(drug).treats) {
+        indicated |= std::find(p.diseases.begin(), p.diseases.end(), disease) !=
+                     p.diseases.end();
+      }
+      EXPECT_TRUE(indicated) << "drug " << catalog.drug(drug).name
+                             << " not indicated for patient diseases";
+    }
+  }
+}
+
+TEST_F(CohortTest, ProstaticHyperplasiaIsMaleOnly) {
+  for (const auto& p : *patients_) {
+    if (p.gender == 0) {
+      EXPECT_TRUE(std::find(p.diseases.begin(), p.diseases.end(),
+                            kProstaticHyperplasia) == p.diseases.end());
+    }
+  }
+}
+
+TEST_F(CohortTest, AntagonisticPairsAreRareInPrescriptions) {
+  int antagonistic_pairs = 0;
+  int synergistic_pairs = 0;
+  for (const auto& p : *patients_) {
+    for (size_t a = 0; a < p.medications.size(); ++a) {
+      for (size_t b = a + 1; b < p.medications.size(); ++b) {
+        const auto sign = ddi_->SignOf(p.medications[a], p.medications[b]);
+        if (sign == graph::EdgeSign::kAntagonistic) ++antagonistic_pairs;
+        if (sign == graph::EdgeSign::kSynergistic) ++synergistic_pairs;
+      }
+    }
+  }
+  // The prescribing model seeks synergy and avoids antagonism.
+  EXPECT_GT(synergistic_pairs, antagonistic_pairs);
+}
+
+TEST_F(CohortTest, FeatureMatrixRoundTrip) {
+  const auto x = ChronicCohortGenerator::FeatureMatrix(*patients_);
+  const auto y = ChronicCohortGenerator::MedicationMatrix(*patients_, 86);
+  EXPECT_EQ(x.rows(), 250);
+  EXPECT_EQ(x.cols(), kNumPatientFeatures);
+  EXPECT_EQ(y.cols(), 86);
+  // Row sums of y match medication counts.
+  for (int i = 0; i < 20; ++i) {
+    float row_sum = 0.0f;
+    for (int v = 0; v < 86; ++v) row_sum += y.At(i, v);
+    EXPECT_FLOAT_EQ(row_sum, static_cast<float>((*patients_)[i].medications.size()));
+  }
+}
+
+TEST_F(CohortTest, FeatureNamesAligned) {
+  EXPECT_EQ(ChronicCohortGenerator::FeatureNames().size(),
+            static_cast<size_t>(kNumPatientFeatures));
+}
+
+TEST_F(CohortTest, DiabetesRaisesGlucose) {
+  // Feature 6 is fasting glucose; diabetics should average higher.
+  double diabetic = 0.0;
+  double healthy = 0.0;
+  int n_diabetic = 0;
+  int n_healthy = 0;
+  for (const auto& p : *patients_) {
+    const bool dm = std::find(p.diseases.begin(), p.diseases.end(), kType2Diabetes) !=
+                    p.diseases.end();
+    (dm ? diabetic : healthy) += p.features[6];
+    ++(dm ? n_diabetic : n_healthy);
+  }
+  ASSERT_GT(n_diabetic, 0);
+  ASSERT_GT(n_healthy, 0);
+  EXPECT_GT(diabetic / n_diabetic, healthy / n_healthy + 0.1);
+}
+
+TEST(SplitTest, RatiosAndDisjointness) {
+  const Split split = MakeSplit(100, 0.5, 0.3, 1);
+  EXPECT_EQ(split.train.size(), 50u);
+  EXPECT_EQ(split.validation.size(), 30u);
+  EXPECT_EQ(split.test.size(), 20u);
+  std::set<int> all;
+  for (const auto* part : {&split.train, &split.validation, &split.test}) {
+    for (int i : *part) all.insert(i);
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(DrkgLikeTest, TripleStoreShape) {
+  const Catalog& catalog = Catalog::Instance();
+  const auto ddi = GenerateDdiDatabase(catalog);
+  DrkgLikeOptions options;
+  std::vector<int> drug_ids;
+  const auto store = BuildDrkgLikeTriples(catalog, ddi, options, &drug_ids);
+  EXPECT_EQ(drug_ids.size(), 86u);
+  EXPECT_EQ(store.num_entities(), 86 + 15 + options.num_genes);
+  EXPECT_EQ(store.num_relations(), 4);
+  EXPECT_GT(static_cast<int>(store.triples().size()), 86 * 2);
+}
+
+TEST(DrkgLikeTest, EmbeddingsHaveRequestedShape) {
+  const Catalog& catalog = Catalog::Instance();
+  const auto ddi = GenerateDdiDatabase(catalog);
+  DrkgLikeOptions options;
+  options.embedding_dim = 16;
+  options.transe_epochs = 2;
+  const auto embeddings = PretrainDrkgLikeEmbeddings(catalog, ddi, options);
+  EXPECT_EQ(embeddings.rows(), 86);
+  EXPECT_EQ(embeddings.cols(), 16);
+}
+
+TEST(MimicLikeTest, ShapeAndVisitInvariants) {
+  MimicLikeOptions options;
+  options.num_patients = 200;
+  const auto dataset = BuildMimicLikeDataset(options);
+  EXPECT_EQ(dataset.num_patients(), 200);
+  EXPECT_EQ(dataset.num_drugs(), 86);
+  EXPECT_EQ(dataset.ddi.CountEdges(graph::EdgeSign::kSynergistic), 0);
+  EXPECT_EQ(dataset.ddi.CountEdges(graph::EdgeSign::kAntagonistic), 240);
+  EXPECT_EQ(dataset.visit_codes.size(), 200u);
+  for (const auto& visits : dataset.visit_codes) {
+    EXPECT_GE(visits.size(), 1u);  // >= 1 previous visit (>= 2 visits total)
+    EXPECT_LE(visits.size(), 3u);
+  }
+  // Every patient takes at least one drug at the last visit.
+  for (int i = 0; i < dataset.num_patients(); ++i) {
+    float total = 0.0f;
+    for (int v = 0; v < dataset.num_drugs(); ++v) total += dataset.medication.At(i, v);
+    EXPECT_GE(total, 1.0f);
+  }
+}
+
+TEST(MoleculeTest, GeneratedMoleculesAreConnectedAndSized) {
+  MoleculeOptions options;
+  const auto molecules = GenerateMolecules(20, options);
+  EXPECT_EQ(molecules.size(), 20u);
+  for (const auto& mol : molecules) {
+    EXPECT_GE(mol.num_atoms, options.min_atoms);
+    EXPECT_LE(mol.num_atoms, options.max_atoms);
+    EXPECT_GE(static_cast<int>(mol.bonds.size()), mol.num_atoms - 1);
+    EXPECT_EQ(mol.atom_features.rows(), mol.num_atoms);
+    EXPECT_EQ(mol.atom_features.cols(), kAtomFeatureDim);
+    // Message operator rows sum to 1 (mean aggregation with self-loop).
+    const auto op = mol.MessageOperator().ToDense();
+    for (int a = 0; a < mol.num_atoms; ++a) {
+      float row_sum = 0.0f;
+      for (int b = 0; b < mol.num_atoms; ++b) row_sum += op.At(a, b);
+      EXPECT_NEAR(row_sum, 1.0f, 1e-5);
+    }
+  }
+}
+
+TEST(ChronicDatasetTest, SmallBuildEndToEnd) {
+  ChronicDatasetOptions options;
+  options.cohort.num_males = 60;
+  options.cohort.num_females = 40;
+  options.kg_embedding_dim = 8;
+  options.transe_epochs = 1;
+  const auto dataset = BuildChronicDataset(options);
+  EXPECT_EQ(dataset.num_patients(), 100);
+  EXPECT_EQ(dataset.num_drugs(), 86);
+  EXPECT_EQ(dataset.drug_features.cols(), 8);
+  EXPECT_EQ(dataset.split.train.size(), 50u);
+  EXPECT_EQ(dataset.num_diseases, 15);
+  EXPECT_EQ(dataset.patient_diseases.size(), 100u);
+}
+
+}  // namespace
+}  // namespace dssddi::data

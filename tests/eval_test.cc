@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include "core/ms_module.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+#include "models/usersim.h"
+#include "test_support.h"
+
+namespace dssddi::eval {
+namespace {
+
+using tensor::Matrix;
+
+TEST(MetricsTest, PerfectRankingScoresOne) {
+  Matrix scores({{0.9f, 0.8f, 0.1f, 0.0f}});
+  Matrix truth({{1, 1, 0, 0}});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, truth, 2), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(scores, truth, 2), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(scores, truth, 2), 1.0);
+}
+
+TEST(MetricsTest, WorstRankingScoresZero) {
+  Matrix scores({{0.0f, 0.1f, 0.8f, 0.9f}});
+  Matrix truth({{1, 1, 0, 0}});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, truth, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(scores, truth, 2), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(scores, truth, 2), 0.0);
+}
+
+TEST(MetricsTest, HandComputedMixedCase) {
+  // Top-3 picks drugs 0 (hit), 1 (miss), 2 (hit); truth has 3 positives.
+  Matrix scores({{0.9f, 0.8f, 0.7f, 0.1f, 0.0f}});
+  Matrix truth({{1, 0, 1, 1, 0}});
+  EXPECT_NEAR(PrecisionAtK(scores, truth, 3), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(RecallAtK(scores, truth, 3), 2.0 / 3.0, 1e-9);
+  const double dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(4.0);
+  const double idcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0) + 1.0 / std::log2(4.0);
+  EXPECT_NEAR(NdcgAtK(scores, truth, 3), dcg / idcg, 1e-9);
+}
+
+TEST(MetricsTest, MicroAveragingOverPatients) {
+  // Patient 0: 1 hit of 1 suggested; patient 1: 0 hits.
+  Matrix scores({{0.9f, 0.0f}, {0.9f, 0.0f}});
+  Matrix truth({{1, 0}, {0, 1}});
+  EXPECT_NEAR(PrecisionAtK(scores, truth, 1), 0.5, 1e-9);
+  EXPECT_NEAR(RecallAtK(scores, truth, 1), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, PatientsWithoutTruthSkippedInNdcg) {
+  Matrix scores({{0.9f, 0.1f}, {0.9f, 0.1f}});
+  Matrix truth({{1, 0}, {0, 0}});
+  EXPECT_NEAR(NdcgAtK(scores, truth, 1), 1.0, 1e-9);  // second patient ignored
+}
+
+TEST(MetricsTest, RecallGrowsWithK) {
+  Matrix scores({{0.9f, 0.8f, 0.7f, 0.6f}});
+  Matrix truth({{0, 1, 0, 1}});
+  double previous = 0.0;
+  for (int k = 1; k <= 4; ++k) {
+    const double r = RecallAtK(scores, truth, k);
+    EXPECT_GE(r, previous);
+    previous = r;
+  }
+  EXPECT_NEAR(previous, 1.0, 1e-9);
+}
+
+TEST(ExperimentTest, EvaluateModelProducesAlignedMetrics) {
+  auto dataset = testing::TinyDataset();
+  models::UserSimModel model;
+  EvaluateOptions options;
+  options.ks = {3, 2, 1};
+  core::MsModule ms(dataset.ddi, 0.5);
+  const auto evaluation = EvaluateModel(model, dataset, options, &ms);
+  EXPECT_EQ(evaluation.model_name, "UserSim");
+  EXPECT_EQ(evaluation.ranking.size(), 3u);
+  EXPECT_EQ(evaluation.suggestion_satisfaction.size(), 3u);
+  EXPECT_GE(evaluation.fit_seconds, 0.0);
+  for (const auto& m : evaluation.ranking) {
+    EXPECT_GE(m.precision, 0.0);
+    EXPECT_LE(m.precision, 1.0);
+  }
+}
+
+TEST(ExperimentTest, TablesRenderAllModels) {
+  auto dataset = testing::TinyDataset();
+  models::UserSimModel model;
+  EvaluateOptions options;
+  options.ks = {2, 1};
+  core::MsModule ms(dataset.ddi, 0.5);
+  std::vector<ModelEvaluation> evaluations;
+  evaluations.push_back(EvaluateModel(model, dataset, options, &ms));
+  const std::string ranking = RenderRankingTable(evaluations);
+  EXPECT_NE(ranking.find("UserSim"), std::string::npos);
+  EXPECT_NE(ranking.find("Precision@2"), std::string::npos);
+  const std::string ss = RenderSsTable(evaluations);
+  EXPECT_NE(ss.find("SS@1"), std::string::npos);
+  // Ascending k order in the SS table (Table III layout).
+  EXPECT_LT(ss.find("SS@1"), ss.find("SS@2"));
+}
+
+TEST(ExperimentTest, SsSamplingLimitsWork) {
+  auto dataset = testing::TinyDataset();
+  models::UserSimModel model;
+  EvaluateOptions options;
+  options.ks = {2};
+  options.ss_sample = 5;
+  core::MsModule ms(dataset.ddi, 0.5);
+  const auto evaluation = EvaluateModel(model, dataset, options, &ms);
+  EXPECT_EQ(evaluation.suggestion_satisfaction.size(), 1u);
+  EXPECT_GT(evaluation.suggestion_satisfaction[0], 0.0);
+}
+
+}  // namespace
+}  // namespace dssddi::eval

@@ -1,0 +1,152 @@
+// End-to-end integration tests: the full chronic pipeline (generator ->
+// DDI module -> MD module -> MS module -> metrics) at reduced scale, and
+// cross-module invariants that only appear when everything is wired
+// together.
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dssddi_system.h"
+#include "data/dataset.h"
+#include "data/mimic_like.h"
+#include "eval/experiment.h"
+#include "gtest/gtest.h"
+#include "models/usersim.h"
+
+namespace dssddi {
+namespace {
+
+data::SuggestionDataset SmallChronic() {
+  data::ChronicDatasetOptions options;
+  options.cohort.num_males = 220;
+  options.cohort.num_females = 180;
+  options.kg_embedding_dim = 16;
+  options.transe_epochs = 3;
+  return data::BuildChronicDataset(options);
+}
+
+core::DssddiConfig FastConfig() {
+  core::DssddiConfig config;
+  config.ddi.epochs = 80;
+  config.md.epochs = 100;
+  return config;
+}
+
+TEST(IntegrationTest, ChronicPipelineBeatsPopularityAndUserSim) {
+  const auto dataset = SmallChronic();
+  eval::EvaluateOptions options;
+  options.ks = {6};
+
+  core::DssddiSystem system(FastConfig());
+  const auto dssddi_eval = eval::EvaluateModel(system, dataset, options);
+
+  models::UserSimModel usersim;
+  const auto usersim_eval = eval::EvaluateModel(usersim, dataset, options);
+
+  // At this reduced scale DSSDDI should at least match the naive
+  // similarity baseline (the decisive comparisons run in the benches).
+  EXPECT_GE(dssddi_eval.ranking[0].recall, usersim_eval.ranking[0].recall - 0.02)
+      << "DSSDDI R@6=" << dssddi_eval.ranking[0].recall
+      << " UserSim R@6=" << usersim_eval.ranking[0].recall;
+  EXPECT_GT(dssddi_eval.ranking[0].recall, 0.2);
+}
+
+TEST(IntegrationTest, SuggestionsAvoidAntagonisticPairsMoreThanChance) {
+  const auto dataset = SmallChronic();
+  core::DssddiSystem system(FastConfig());
+  system.Fit(dataset);
+  const auto scores = system.PredictScores(dataset, dataset.split.test);
+
+  // Count antagonistic pairs inside top-4 suggestions vs inside random
+  // 4-drug sets (expected count = pairs * density).
+  const double density =
+      static_cast<double>(dataset.ddi.CountEdges(graph::EdgeSign::kAntagonistic)) /
+      (86.0 * 85.0 / 2.0);
+  const double expected_random = 6.0 * density;  // C(4,2) pairs
+  double total = 0.0;
+  for (int i = 0; i < scores.rows(); ++i) {
+    const auto top = core::TopKDrugs(scores, i, 4);
+    for (size_t a = 0; a < top.size(); ++a) {
+      for (size_t b = a + 1; b < top.size(); ++b) {
+        if (dataset.ddi.SignOf(top[a], top[b]) == graph::EdgeSign::kAntagonistic) {
+          total += 1.0;
+        }
+      }
+    }
+  }
+  const double mean_antagonistic = total / scores.rows();
+  EXPECT_LT(mean_antagonistic, expected_random * 1.5)
+      << "suggested sets carry too many antagonistic pairs";
+}
+
+TEST(IntegrationTest, ExplanationsAreConsistentWithDdiGraph) {
+  const auto dataset = SmallChronic();
+  core::DssddiSystem system(FastConfig());
+  system.Fit(dataset);
+  for (int p = 0; p < 5; ++p) {
+    const auto suggestion = system.Suggest(dataset, dataset.split.test[p], 3);
+    const auto& exp = suggestion.explanation;
+    // Every reported synergy/antagonism must exist in the DDI graph.
+    for (const auto& e : exp.synergies_within) {
+      EXPECT_EQ(dataset.ddi.SignOf(e.drug_u, e.drug_v), graph::EdgeSign::kSynergistic);
+    }
+    for (const auto& e : exp.antagonisms_within) {
+      EXPECT_EQ(dataset.ddi.SignOf(e.drug_u, e.drug_v), graph::EdgeSign::kAntagonistic);
+    }
+    for (const auto& e : exp.antagonisms_outward) {
+      EXPECT_EQ(dataset.ddi.SignOf(e.drug_u, e.drug_v), graph::EdgeSign::kAntagonistic);
+    }
+    // Every suggested drug appears in the subgraph.
+    for (int d : suggestion.drugs) {
+      EXPECT_NE(std::find(exp.subgraph_drugs.begin(), exp.subgraph_drugs.end(), d),
+                exp.subgraph_drugs.end());
+    }
+    EXPECT_GE(exp.suggestion_satisfaction, 0.0);
+    EXPECT_LE(exp.suggestion_satisfaction, 1.0 + 1e-9);
+  }
+}
+
+TEST(IntegrationTest, MimicPipelineRuns) {
+  data::MimicLikeOptions options;
+  options.num_patients = 300;
+  const auto dataset = data::BuildMimicLikeDataset(options);
+  core::DssddiConfig config = FastConfig();
+  config.ddi.backbone = core::BackboneKind::kGin;  // antagonistic-only DDI
+  core::DssddiSystem system(config);
+  eval::EvaluateOptions eval_options;
+  eval_options.ks = {8, 4};
+  const auto evaluation = eval::EvaluateModel(system, dataset, eval_options);
+  // MIMIC-like labels are dense (>= 2 drugs per patient); even the small
+  // pipeline should beat random (random P@8 ~ meds/86 ~ 0.1).
+  EXPECT_GT(evaluation.ranking[0].precision, 0.15);
+}
+
+TEST(IntegrationTest, DeterministicDatasetAcrossBuilds) {
+  const auto a = SmallChronic();
+  const auto b = SmallChronic();
+  ASSERT_EQ(a.num_patients(), b.num_patients());
+  for (int i = 0; i < a.patient_features.size(); ++i) {
+    ASSERT_FLOAT_EQ(a.patient_features.data()[i], b.patient_features.data()[i]);
+  }
+  for (int i = 0; i < a.medication.size(); ++i) {
+    ASSERT_FLOAT_EQ(a.medication.data()[i], b.medication.data()[i]);
+  }
+}
+
+TEST(IntegrationTest, BackboneChoiceChangesNameOnly) {
+  const auto dataset = SmallChronic();
+  for (auto kind : {core::BackboneKind::kGin, core::BackboneKind::kSgcn}) {
+    core::DssddiConfig config = FastConfig();
+    config.ddi.backbone = kind;
+    config.ddi.epochs = 20;
+    config.md.epochs = 30;
+    core::DssddiSystem system(config);
+    system.Fit(dataset);
+    const auto scores = system.PredictScores(dataset, {dataset.split.test[0]});
+    EXPECT_EQ(scores.cols(), 86);
+    EXPECT_EQ(system.name(), "DSSDDI(" + core::BackboneName(kind) + ")");
+  }
+}
+
+}  // namespace
+}  // namespace dssddi

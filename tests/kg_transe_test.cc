@@ -1,0 +1,102 @@
+#include "gtest/gtest.h"
+#include "kg/transe.h"
+#include "util/rng.h"
+
+namespace dssddi::kg {
+namespace {
+
+/// A small KG with clear cluster structure: two families of entities,
+/// "likes" edges within families only.
+TripleStore FamilyStore() {
+  TripleStore store;
+  for (int i = 0; i < 10; ++i) store.AddEntity("e" + std::to_string(i));
+  const int rel = store.AddRelation("likes");
+  // Family A: 0..4 in a cycle; family B: 5..9 in a cycle.
+  for (int i = 0; i < 5; ++i) store.AddTriple(i, rel, (i + 1) % 5);
+  for (int i = 0; i < 5; ++i) store.AddTriple(5 + i, rel, 5 + (i + 1) % 5);
+  return store;
+}
+
+TEST(TripleStoreTest, VocabularyAndLookup) {
+  TripleStore store;
+  const int a = store.AddEntity("aspirin");
+  const int d = store.AddEntity("cvd");
+  const int treats = store.AddRelation("treats");
+  store.AddTriple(a, treats, d);
+  EXPECT_EQ(store.num_entities(), 2);
+  EXPECT_EQ(store.num_relations(), 1);
+  EXPECT_EQ(store.FindEntity("aspirin"), a);
+  EXPECT_EQ(store.FindEntity("missing"), -1);
+  EXPECT_TRUE(store.Contains({a, treats, d}));
+  EXPECT_FALSE(store.Contains({d, treats, a}));
+}
+
+TEST(TransETest, EntityEmbeddingsAreUnitNorm) {
+  util::Rng rng(1);
+  TransEConfig config;
+  config.embedding_dim = 16;
+  config.epochs = 2;
+  TripleStore store = FamilyStore();
+  TransEModel model(store.num_entities(), store.num_relations(), config, rng);
+  model.Train(store, rng);
+  const auto& embeddings = model.entity_embeddings();
+  for (int e = 0; e < embeddings.rows(); ++e) {
+    double norm = 0.0;
+    for (int j = 0; j < embeddings.cols(); ++j) {
+      norm += static_cast<double>(embeddings.At(e, j)) * embeddings.At(e, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-3) << "entity " << e;
+  }
+}
+
+TEST(TransETest, TrainingReducesLoss) {
+  util::Rng rng(2);
+  TransEConfig config;
+  config.embedding_dim = 24;
+  TripleStore store = FamilyStore();
+  TransEModel model(store.num_entities(), store.num_relations(), config, rng);
+  const float first = model.TrainEpoch(store, rng);
+  float last = first;
+  for (int epoch = 0; epoch < 40; ++epoch) last = model.TrainEpoch(store, rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(TransETest, TrueTriplesScoreBetterThanCorruptions) {
+  util::Rng rng(3);
+  TransEConfig config;
+  config.embedding_dim = 24;
+  config.epochs = 60;
+  TripleStore store = FamilyStore();
+  TransEModel model(store.num_entities(), store.num_relations(), config, rng);
+  model.Train(store, rng);
+  // Average distance of true triples vs cross-family corruptions.
+  double true_dist = 0.0;
+  double false_dist = 0.0;
+  int count = 0;
+  for (const auto& t : store.triples()) {
+    true_dist += model.Distance(t);
+    Triple corrupted = t;
+    corrupted.tail = (t.tail + 5) % 10;  // other family
+    false_dist += model.Distance(corrupted);
+    ++count;
+  }
+  EXPECT_LT(true_dist / count, false_dist / count);
+}
+
+TEST(TransETest, EmbeddingsForGathersRows) {
+  util::Rng rng(4);
+  TransEConfig config;
+  config.embedding_dim = 8;
+  TripleStore store = FamilyStore();
+  TransEModel model(store.num_entities(), store.num_relations(), config, rng);
+  const auto subset = model.EmbeddingsFor({3, 7});
+  EXPECT_EQ(subset.rows(), 2);
+  EXPECT_EQ(subset.cols(), 8);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(subset.At(0, j), model.entity_embeddings().At(3, j));
+    EXPECT_FLOAT_EQ(subset.At(1, j), model.entity_embeddings().At(7, j));
+  }
+}
+
+}  // namespace
+}  // namespace dssddi::kg

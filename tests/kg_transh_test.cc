@@ -1,0 +1,223 @@
+// Tests for TransH: hyperplane geometry, margin-ranking learning on a
+// synthetic drug-disease KG, determinism, and the 1-to-N separation
+// property that motivates TransH over TransE (one disease treated by
+// many drugs must not collapse the drug embeddings).
+
+#include <cmath>
+#include <set>
+
+#include "data/catalog.h"
+#include "data/ddi_database.h"
+#include "data/drkg_like.h"
+#include "gtest/gtest.h"
+#include "kg/transe.h"
+#include "kg/transh.h"
+#include "util/rng.h"
+
+namespace dssddi {
+namespace {
+
+using kg::Triple;
+using kg::TripleStore;
+
+/// A bipartite treatment KG: `num_diseases` diseases, each treated by
+/// `drugs_per_disease` dedicated drugs through one "treats" relation,
+/// plus a "comorbid_with" relation among diseases.
+struct TreatmentKg {
+  TripleStore store;
+  int relation_treats = 0;
+  int relation_comorbid = 0;
+  std::vector<int> disease_ids;
+  std::vector<std::vector<int>> drugs_of;  // per disease
+};
+
+TreatmentKg MakeTreatmentKg(int num_diseases, int drugs_per_disease) {
+  TreatmentKg kg;
+  kg.relation_treats = kg.store.AddRelation("treats");
+  kg.relation_comorbid = kg.store.AddRelation("comorbid_with");
+  for (int d = 0; d < num_diseases; ++d) {
+    kg.disease_ids.push_back(kg.store.AddEntity("disease" + std::to_string(d)));
+  }
+  kg.drugs_of.resize(num_diseases);
+  for (int d = 0; d < num_diseases; ++d) {
+    for (int j = 0; j < drugs_per_disease; ++j) {
+      const int drug = kg.store.AddEntity("drug" + std::to_string(d) + "_" +
+                                          std::to_string(j));
+      kg.drugs_of[d].push_back(drug);
+      kg.store.AddTriple(drug, kg.relation_treats, kg.disease_ids[d]);
+    }
+  }
+  for (int d = 0; d + 1 < num_diseases; ++d) {
+    kg.store.AddTriple(kg.disease_ids[d], kg.relation_comorbid,
+                       kg.disease_ids[d + 1]);
+  }
+  return kg;
+}
+
+kg::TransHConfig SmallConfig() {
+  kg::TransHConfig config;
+  config.embedding_dim = 16;
+  config.epochs = 60;
+  config.learning_rate = 0.05f;
+  return config;
+}
+
+TEST(TransHTest, RelationNormalsStayUnit) {
+  auto kg = MakeTreatmentKg(3, 4);
+  util::Rng rng(1);
+  kg::TransHModel model(kg.store.num_entities(), kg.store.num_relations(),
+                        SmallConfig(), rng);
+  model.Train(kg.store, rng);
+  for (int r = 0; r < kg.store.num_relations(); ++r) {
+    const float* w = model.relation_normals().RowPtr(r);
+    double norm = 0.0;
+    for (int j = 0; j < model.relation_normals().cols(); ++j) norm += w[j] * w[j];
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4) << "relation " << r;
+  }
+}
+
+TEST(TransHTest, EntitiesStayInUnitBall) {
+  auto kg = MakeTreatmentKg(3, 4);
+  util::Rng rng(2);
+  kg::TransHModel model(kg.store.num_entities(), kg.store.num_relations(),
+                        SmallConfig(), rng);
+  model.Train(kg.store, rng);
+  for (int e = 0; e < kg.store.num_entities(); ++e) {
+    const float* row = model.entity_embeddings().RowPtr(e);
+    double norm = 0.0;
+    for (int j = 0; j < model.entity_embeddings().cols(); ++j) norm += row[j] * row[j];
+    EXPECT_LE(std::sqrt(norm), 1.0 + 1e-4) << "entity " << e;
+  }
+}
+
+TEST(TransHTest, LossDecreasesWithTraining) {
+  auto kg = MakeTreatmentKg(4, 5);
+  util::Rng rng(3);
+  auto config = SmallConfig();
+  kg::TransHModel model(kg.store.num_entities(), kg.store.num_relations(), config,
+                        rng);
+  const float first = model.TrainEpoch(kg.store, rng);
+  float last = first;
+  for (int epoch = 1; epoch < config.epochs; ++epoch) {
+    last = model.TrainEpoch(kg.store, rng);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(TransHTest, TrueTriplesScoreBetterThanCorrupted) {
+  auto kg = MakeTreatmentKg(4, 5);
+  util::Rng rng(4);
+  kg::TransHModel model(kg.store.num_entities(), kg.store.num_relations(),
+                        SmallConfig(), rng);
+  model.Train(kg.store, rng);
+
+  int better = 0;
+  int total = 0;
+  util::Rng corrupt_rng(5);
+  for (const auto& triple : kg.store.triples()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      Triple corrupted = triple;
+      corrupted.tail = static_cast<int>(corrupt_rng.NextBelow(kg.store.num_entities()));
+      if (kg.store.Contains(corrupted)) continue;
+      ++total;
+      if (model.Distance(triple) < model.Distance(corrupted)) ++better;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(better) / total, 0.85)
+      << better << "/" << total << " corrupted triples ranked below the true one";
+}
+
+TEST(TransHTest, DeterministicUnderSeed) {
+  auto kg = MakeTreatmentKg(3, 3);
+  auto run = [&] {
+    util::Rng rng(6);
+    kg::TransHModel model(kg.store.num_entities(), kg.store.num_relations(),
+                          SmallConfig(), rng);
+    model.Train(kg.store, rng);
+    return model.entity_embeddings();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(TransHTest, OneToManyRelationKeepsDrugsSeparated) {
+  // The TransH motivation: under TransE, drugs d with (d, treats, X) for
+  // the same X are pushed toward t - r, collapsing them. TransH's
+  // per-relation projection only constrains the component on the
+  // hyperplane, leaving room to separate. Train both on a KG with a
+  // strongly 1-to-N "treats" relation and compare mean pairwise distance
+  // among same-disease drugs.
+  auto kg = MakeTreatmentKg(2, 12);
+  auto pairwise_mean = [&](const tensor::Matrix& embeddings) {
+    double total = 0.0;
+    int count = 0;
+    for (int d = 0; d < 2; ++d) {
+      const auto& drugs = kg.drugs_of[d];
+      for (size_t a = 0; a < drugs.size(); ++a) {
+        for (size_t b = a + 1; b < drugs.size(); ++b) {
+          total += std::sqrt(
+              embeddings.RowSquaredDistance(drugs[a], embeddings, drugs[b]));
+          ++count;
+        }
+      }
+    }
+    return total / count;
+  };
+
+  util::Rng rng_h(7);
+  kg::TransHModel transh(kg.store.num_entities(), kg.store.num_relations(),
+                         SmallConfig(), rng_h);
+  transh.Train(kg.store, rng_h);
+
+  kg::TransEConfig transe_config;
+  transe_config.embedding_dim = 16;
+  transe_config.epochs = 60;
+  transe_config.learning_rate = 0.05f;
+  util::Rng rng_e(7);
+  kg::TransEModel transe(kg.store.num_entities(), kg.store.num_relations(),
+                         transe_config, rng_e);
+  transe.Train(kg.store, rng_e);
+
+  const double spread_h = pairwise_mean(transh.entity_embeddings());
+  const double spread_e = pairwise_mean(transe.entity_embeddings());
+  // TransH must retain at least comparable spread; the typical outcome is
+  // strictly larger. Allow a small tolerance to avoid seed sensitivity.
+  EXPECT_GT(spread_h, spread_e * 0.9)
+      << "TransH spread " << spread_h << " vs TransE " << spread_e;
+}
+
+TEST(DrkgLikePipelineTest, TransHBackendProducesDistinctEmbeddings) {
+  const auto& catalog = data::Catalog::Instance();
+  const graph::SignedGraph ddi = data::GenerateDdiDatabase(catalog);
+  data::DrkgLikeOptions options;
+  options.embedding_dim = 12;
+  options.transe_epochs = 3;
+  const auto transe = data::PretrainDrkgLikeEmbeddings(catalog, ddi, options);
+  options.kg_model = data::KgModel::kTransH;
+  const auto transh = data::PretrainDrkgLikeEmbeddings(catalog, ddi, options);
+
+  ASSERT_EQ(transe.rows(), catalog.num_drugs());
+  ASSERT_TRUE(transh.SameShape(transe));
+  // The two pretrained feature sets must be genuinely different models.
+  EXPECT_NE(transe.data(), transh.data());
+  // And both must be finite.
+  for (float v : transh.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TransHTest, EmbeddingsForGathersRows) {
+  auto kg = MakeTreatmentKg(2, 2);
+  util::Rng rng(8);
+  kg::TransHModel model(kg.store.num_entities(), kg.store.num_relations(),
+                        SmallConfig(), rng);
+  const auto rows = model.EmbeddingsFor({1, 3});
+  EXPECT_EQ(rows.rows(), 2);
+  EXPECT_EQ(rows.cols(), 16);
+  for (int j = 0; j < rows.cols(); ++j) {
+    EXPECT_FLOAT_EQ(rows.At(0, j), model.entity_embeddings().At(1, j));
+  }
+}
+
+}  // namespace
+}  // namespace dssddi

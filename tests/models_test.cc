@@ -1,0 +1,191 @@
+#include <cmath>
+#include <memory>
+
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+#include "models/bipar_gcn.h"
+#include "models/causerec.h"
+#include "models/gcmc.h"
+#include "models/lightgcn.h"
+#include "models/linear_classifiers.h"
+#include "models/model_zoo.h"
+#include "models/safedrug.h"
+#include "models/usersim.h"
+#include "test_support.h"
+
+namespace dssddi::models {
+namespace {
+
+/// Every baseline should comfortably beat random ranking on the tiny
+/// separable dataset: random P@3 would be ~3/12 = 0.25 precision.
+void ExpectBeatsRandom(core::SuggestionModel& model, double min_precision = 0.35) {
+  auto dataset = testing::TinyDataset();
+  model.Fit(dataset);
+  const auto scores = model.PredictScores(dataset, dataset.split.test);
+  const auto truth = dataset.medication.GatherRows(dataset.split.test);
+  const double p3 = eval::PrecisionAtK(scores, truth, 3);
+  EXPECT_GT(p3, min_precision) << model.name() << " P@3=" << p3;
+}
+
+TEST(UserSimTest, BeatsRandom) {
+  UserSimModel model;
+  ExpectBeatsRandom(model, 0.5);
+}
+
+TEST(UserSimTest, MatchesManualCosineComputation) {
+  auto dataset = testing::TinyDataset(40, 2, 6);
+  UserSimModel model;
+  model.Fit(dataset);
+  const auto scores = model.PredictScores(dataset, {dataset.split.test[0]});
+  EXPECT_EQ(scores.rows(), 1);
+  EXPECT_EQ(scores.cols(), 6);
+}
+
+TEST(EccTest, BeatsRandom) {
+  EccConfig config;
+  config.num_chains = 2;
+  config.iterations = 40;
+  EccModel model(config);
+  ExpectBeatsRandom(model, 0.4);
+}
+
+TEST(LogisticRegressionTest, SeparableProblem) {
+  tensor::Matrix x({{0.0f}, {0.2f}, {0.8f}, {1.0f}});
+  std::vector<float> y = {0, 0, 1, 1};
+  LogisticRegression lr;
+  lr.Fit(x, y, 500, 1.0f, 0.0f);
+  const auto probs = lr.PredictProba(x);
+  EXPECT_LT(probs[0], 0.3f);
+  EXPECT_GT(probs[3], 0.7f);
+}
+
+TEST(SvmTest, BeatsRandom) {
+  SvmConfig config;
+  config.epochs = 20;
+  SvmModel model(config);
+  ExpectBeatsRandom(model, 0.4);
+}
+
+TEST(GcmcTest, BeatsRandom) {
+  GcmcConfig config;
+  config.hidden_dim = 16;
+  config.epochs = 80;
+  GcmcModel model(config);
+  ExpectBeatsRandom(model);
+}
+
+TEST(LightGcnTest, BeatsRandom) {
+  LightGcnConfig config;
+  config.hidden_dim = 16;
+  config.epochs = 100;
+  LightGcnModel model(config);
+  ExpectBeatsRandom(model);
+}
+
+TEST(LightGcnTest, ExposesRepresentationsForFig7) {
+  auto dataset = testing::TinyDataset();
+  LightGcnConfig config;
+  config.hidden_dim = 16;
+  config.epochs = 30;
+  LightGcnModel model(config);
+  model.Fit(dataset);
+  EXPECT_EQ(model.DrugRepresentations().rows(), dataset.num_drugs());
+  EXPECT_EQ(model.TrainedPatientRepresentations().rows(),
+            static_cast<int>(dataset.split.train.size()));
+  const auto unseen = model.UnseenPatientRepresentations(
+      dataset.patient_features.GatherRows(dataset.split.test));
+  EXPECT_EQ(unseen.rows(), static_cast<int>(dataset.split.test.size()));
+}
+
+TEST(BiparGcnTest, BeatsRandom) {
+  BiparGcnConfig config;
+  config.hidden_dim = 16;
+  config.epochs = 80;
+  BiparGcnModel model(config);
+  ExpectBeatsRandom(model);
+}
+
+TEST(SafeDrugTest, BeatsRandomOnFeatureOnlyData) {
+  SafeDrugConfig config;
+  config.hidden_dim = 16;
+  config.epochs = 80;
+  SafeDrugModel model(config);
+  ExpectBeatsRandom(model, 0.3);
+}
+
+TEST(SafeDrugTest, HandlesVisitSequences) {
+  auto dataset = testing::TinyDataset(60, 3, 9);
+  // Fabricate visit histories over a tiny code vocabulary equal to the
+  // feature dim.
+  dataset.visit_codes.resize(dataset.num_patients());
+  util::Rng rng(5);
+  for (int i = 0; i < dataset.num_patients(); ++i) {
+    const int visits = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int t = 0; t < visits; ++t) {
+      std::vector<int> codes;
+      codes.push_back(i % 3);  // group-identifying code
+      if (rng.Bernoulli(0.5)) {
+        codes.push_back(static_cast<int>(rng.NextBelow(
+            static_cast<uint64_t>(dataset.patient_features.cols()))));
+      }
+      dataset.visit_codes[i].push_back(codes);
+    }
+  }
+  SafeDrugConfig config;
+  config.hidden_dim = 12;
+  config.epochs = 40;
+  SafeDrugModel model(config);
+  model.Fit(dataset);
+  const auto scores = model.PredictScores(dataset, dataset.split.test);
+  EXPECT_EQ(scores.rows(), static_cast<int>(dataset.split.test.size()));
+  EXPECT_EQ(scores.cols(), 9);
+}
+
+TEST(CauseRecTest, ProducesFiniteScores) {
+  CauseRecConfig config;
+  config.hidden_dim = 16;
+  config.epochs = 40;
+  CauseRecModel model(config);
+  auto dataset = testing::TinyDataset();
+  model.Fit(dataset);
+  const auto scores = model.PredictScores(dataset, dataset.split.test);
+  for (float v : scores.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ModelZooTest, BaselineRosterMatchesTableOne) {
+  ZooConfig config;
+  config.epoch_scale = 0.01f;
+  const auto baselines = MakeBaselines(config);
+  ASSERT_EQ(baselines.size(), 8u);
+  EXPECT_EQ(baselines[0]->name(), "UserSim");
+  EXPECT_EQ(baselines[1]->name(), "ECC");
+  EXPECT_EQ(baselines[2]->name(), "SVM");
+  EXPECT_EQ(baselines[3]->name(), "GCMC");
+  EXPECT_EQ(baselines[4]->name(), "LightGCN");
+  EXPECT_EQ(baselines[5]->name(), "SafeDrug");
+  EXPECT_EQ(baselines[6]->name(), "Bipar-GCN");
+  EXPECT_EQ(baselines[7]->name(), "CauseRec");
+}
+
+TEST(ModelZooTest, DssddiVariantRoster) {
+  ZooConfig config;
+  const auto variants = MakeDssddiVariants(config);
+  ASSERT_EQ(variants.size(), 4u);
+  EXPECT_EQ(variants[0]->name(), "DSSDDI(SiGAT)");
+  EXPECT_EQ(variants[1]->name(), "DSSDDI(SNEA)");
+  EXPECT_EQ(variants[2]->name(), "DSSDDI(GIN)");
+  EXPECT_EQ(variants[3]->name(), "DSSDDI(SGCN)");
+}
+
+TEST(ModelZooTest, AblationSourceNames) {
+  ZooConfig config;
+  auto kg = MakeDssddi(core::BackboneKind::kSgcn, config,
+                       core::DrugEmbeddingSource::kKg);
+  EXPECT_EQ(kg->name(), "KG");
+  auto onehot = MakeDssddi(core::BackboneKind::kSgcn, config,
+                           core::DrugEmbeddingSource::kOneHot);
+  EXPECT_EQ(onehot->name(), "One-hot");
+}
+
+}  // namespace
+}  // namespace dssddi::models

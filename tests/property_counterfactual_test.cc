@@ -1,0 +1,199 @@
+// Property suite for the causal treatment / counterfactual construction
+// (paper Section IV-B1, Eq. 7-8). For random cohort instances the
+// construction must satisfy:
+//   * T >= Y (the three steps only add treatments);
+//   * patients in the same cluster share identical treatment rows (steps
+//     2 and 3 are cluster-level functions);
+//   * T is closed under synergistic edges (step 3's constraint);
+//   * T^CF differs from T exactly on the matched pairs, and both T^CF and
+//     Y^CF stay 0/1;
+//   * disabling step 3 yields exactly the cluster OR of Y.
+
+#include <cmath>
+
+#include "core/counterfactual.h"
+#include "gtest/gtest.h"
+#include "test_support.h"
+
+namespace dssddi {
+namespace {
+
+using core::BuildCounterfactualLinks;
+using core::CounterfactualConfig;
+using core::CounterfactualLinks;
+using tensor::Matrix;
+
+struct Instance {
+  Matrix x;
+  Matrix y;
+  Matrix z;
+  graph::SignedGraph ddi;
+};
+
+Instance MakeInstance(uint64_t seed) {
+  auto dataset = testing::TinyDataset(80, 4, 12, seed);
+  Instance instance;
+  instance.x = dataset.patient_features.GatherRows(dataset.split.train);
+  instance.y = dataset.medication.GatherRows(dataset.split.train);
+  instance.z = dataset.drug_features;
+  instance.ddi = dataset.ddi;
+  return instance;
+}
+
+class CounterfactualPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  CounterfactualLinks Build(const Instance& instance,
+                            const CounterfactualConfig& config) {
+    return BuildCounterfactualLinks(instance.x, instance.z, instance.y,
+                                    instance.ddi, config);
+  }
+};
+
+TEST_P(CounterfactualPropertyTest, TreatmentDominatesObservedLinks) {
+  const auto instance = MakeInstance(GetParam());
+  CounterfactualConfig config;
+  config.num_clusters = 4;
+  const auto links = Build(instance, config);
+  for (int i = 0; i < instance.y.rows(); ++i) {
+    for (int v = 0; v < instance.y.cols(); ++v) {
+      EXPECT_GE(links.treatment.At(i, v), instance.y.At(i, v)) << i << "," << v;
+    }
+  }
+}
+
+TEST_P(CounterfactualPropertyTest, TreatmentRowsUniformWithinCluster) {
+  const auto instance = MakeInstance(GetParam());
+  CounterfactualConfig config;
+  config.num_clusters = 4;
+  const auto links = Build(instance, config);
+  const int m = instance.y.rows();
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      if (links.cluster_of[i] != links.cluster_of[j]) continue;
+      for (int v = 0; v < instance.y.cols(); ++v) {
+        ASSERT_EQ(links.treatment.At(i, v), links.treatment.At(j, v))
+            << "patients " << i << "," << j << " drug " << v;
+      }
+    }
+  }
+}
+
+TEST_P(CounterfactualPropertyTest, TreatmentClosedUnderSynergy) {
+  const auto instance = MakeInstance(GetParam());
+  CounterfactualConfig config;
+  config.num_clusters = 4;
+  const auto links = Build(instance, config);
+  for (int i = 0; i < instance.y.rows(); ++i) {
+    for (const auto& edge : instance.ddi.edges()) {
+      if (edge.sign != graph::EdgeSign::kSynergistic) continue;
+      EXPECT_EQ(links.treatment.At(i, edge.u) > 0.5f,
+                links.treatment.At(i, edge.v) > 0.5f)
+          << "patient " << i << " edge " << edge.u << "-" << edge.v;
+    }
+  }
+}
+
+TEST_P(CounterfactualPropertyTest, EverythingStaysBinary) {
+  const auto instance = MakeInstance(GetParam());
+  CounterfactualConfig config;
+  config.num_clusters = 4;
+  const auto links = Build(instance, config);
+  for (const Matrix* matrix :
+       {&links.treatment, &links.cf_treatment, &links.cf_outcome}) {
+    for (float value : matrix->data()) {
+      EXPECT_TRUE(value == 0.0f || value == 1.0f) << value;
+    }
+  }
+}
+
+TEST_P(CounterfactualPropertyTest, CounterfactualFlipsExactlyMatchedPairs) {
+  const auto instance = MakeInstance(GetParam());
+  CounterfactualConfig config;
+  config.num_clusters = 4;
+  config.patient_distance_quantile = 0.3;
+  config.drug_distance_quantile = 0.8;
+  const auto links = Build(instance, config);
+
+  int flipped = 0;
+  for (int i = 0; i < links.treatment.rows(); ++i) {
+    for (int v = 0; v < links.treatment.cols(); ++v) {
+      const float t = links.treatment.At(i, v);
+      const float cf = links.cf_treatment.At(i, v);
+      // Eq. 8: the counterfactual treatment is either a flip or a copy.
+      EXPECT_TRUE(cf == t || cf == 1.0f - t);
+      if (cf != t) ++flipped;
+    }
+  }
+  EXPECT_EQ(flipped, links.num_matched_pairs);
+  EXPECT_LE(links.num_matched_pairs,
+            links.treatment.rows() * links.treatment.cols());
+}
+
+TEST_P(CounterfactualPropertyTest, UnmatchedPairsCopyFactualOutcome) {
+  const auto instance = MakeInstance(GetParam());
+  CounterfactualConfig config;
+  config.num_clusters = 4;
+  // Zero-width caps: no neighbour can qualify, so nothing matches.
+  config.patient_distance_quantile = 0.0;
+  config.drug_distance_quantile = 0.0;
+  const auto links = Build(instance, config);
+  EXPECT_EQ(links.num_matched_pairs, 0);
+  EXPECT_EQ(links.cf_treatment.data(), links.treatment.data());
+  EXPECT_EQ(links.cf_outcome.data(), instance.y.data());
+}
+
+TEST_P(CounterfactualPropertyTest, DisablingExpansionGivesClusterOr) {
+  const auto instance = MakeInstance(GetParam());
+  CounterfactualConfig config;
+  config.num_clusters = 4;
+  config.expand_treatment_via_ddi = false;
+  const auto links = Build(instance, config);
+
+  // Expected: T_iv = OR over the patient's cluster of Y_jv.
+  const int m = instance.y.rows();
+  const int num_drugs = instance.y.cols();
+  std::vector<std::vector<float>> cluster_or(config.num_clusters,
+                                             std::vector<float>(num_drugs, 0.0f));
+  for (int i = 0; i < m; ++i) {
+    for (int v = 0; v < num_drugs; ++v) {
+      if (instance.y.At(i, v) > 0.5f) cluster_or[links.cluster_of[i]][v] = 1.0f;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int v = 0; v < num_drugs; ++v) {
+      EXPECT_EQ(links.treatment.At(i, v), cluster_or[links.cluster_of[i]][v])
+          << i << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCohorts, CounterfactualPropertyTest,
+                         ::testing::Range(1, 9));
+
+// Deterministic chain scenario: with closure semantics, a synergy chain
+// a-b-c pulls both b and c into the treatment of a patient taking only a.
+TEST(CounterfactualClosureTest, SynergyChainFullyExpands) {
+  Matrix x(2, 2);
+  x.At(0, 0) = 1.0f;
+  x.At(1, 1) = 1.0f;
+  Matrix y(2, 4, 0.0f);
+  y.At(0, 0) = 1.0f;  // patient 0 takes only drug 0
+  y.At(1, 3) = 1.0f;
+  const Matrix z = Matrix::Identity(4);
+  const graph::SignedGraph ddi(4, {{0, 1, graph::EdgeSign::kSynergistic},
+                                   {1, 2, graph::EdgeSign::kSynergistic}});
+  CounterfactualConfig config;
+  config.num_clusters = 2;
+  const auto links = BuildCounterfactualLinks(x, z, y, ddi, config);
+
+  const int cluster0 = links.cluster_of[0];
+  const int cluster1 = links.cluster_of[1];
+  ASSERT_NE(cluster0, cluster1) << "orthogonal patients must split";
+  EXPECT_EQ(links.treatment.At(0, 0), 1.0f);
+  EXPECT_EQ(links.treatment.At(0, 1), 1.0f) << "one hop";
+  EXPECT_EQ(links.treatment.At(0, 2), 1.0f) << "closure through the chain";
+  EXPECT_EQ(links.treatment.At(0, 3), 0.0f) << "no synergy path to drug 3";
+}
+
+}  // namespace
+}  // namespace dssddi

@@ -1,0 +1,142 @@
+// Property suite for the evaluation metrics (paper Eq. 21-24): analytic
+// invariants that must hold for arbitrary score matrices and 0/1 truth
+// matrices — bounds, monotonicity in k, the micro-averaging identity
+// linking Precision@k and Recall@k, and perfect-ranking optimality.
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi {
+namespace {
+
+using tensor::Matrix;
+
+struct RandomInstance {
+  Matrix scores;
+  Matrix truth;
+  int total_truth = 0;
+};
+
+RandomInstance MakeInstance(uint64_t seed, int patients, int drugs,
+                            double truth_rate) {
+  util::Rng rng(seed);
+  RandomInstance instance;
+  instance.scores = Matrix(patients, drugs);
+  instance.truth = Matrix(patients, drugs);
+  for (int i = 0; i < patients; ++i) {
+    for (int v = 0; v < drugs; ++v) {
+      instance.scores.At(i, v) = static_cast<float>(rng.Uniform(0.0, 1.0));
+      if (rng.Bernoulli(truth_rate)) {
+        instance.truth.At(i, v) = 1.0f;
+        ++instance.total_truth;
+      }
+    }
+  }
+  return instance;
+}
+
+class MetricsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsPropertyTest, BoundsAndMonotonicity) {
+  const auto instance = MakeInstance(GetParam(), 25, 12, 0.2);
+  double previous_recall = 0.0;
+  for (int k = 1; k <= 12; ++k) {
+    const auto metrics = eval::ComputeRankingMetrics(instance.scores,
+                                                     instance.truth, k);
+    EXPECT_GE(metrics.precision, 0.0);
+    EXPECT_LE(metrics.precision, 1.0);
+    EXPECT_GE(metrics.recall, 0.0);
+    EXPECT_LE(metrics.recall, 1.0);
+    EXPECT_GE(metrics.ndcg, 0.0);
+    EXPECT_LE(metrics.ndcg, 1.0 + 1e-9);
+    // Suggesting more drugs can only find more of the truth.
+    EXPECT_GE(metrics.recall, previous_recall - 1e-12) << "k=" << k;
+    previous_recall = metrics.recall;
+  }
+}
+
+TEST_P(MetricsPropertyTest, MicroAveragingIdentity) {
+  // With micro-averaging, hits = P@k * (n*k) = R@k * total_truth.
+  const auto instance = MakeInstance(GetParam() + 100, 20, 10, 0.25);
+  for (int k : {1, 3, 5, 10}) {
+    const double p = eval::PrecisionAtK(instance.scores, instance.truth, k);
+    const double r = eval::RecallAtK(instance.scores, instance.truth, k);
+    const double hits_from_p = p * 20 * k;
+    const double hits_from_r = r * instance.total_truth;
+    EXPECT_NEAR(hits_from_p, hits_from_r, 1e-6) << "k=" << k;
+    // Hit counts are integers.
+    EXPECT_NEAR(hits_from_p, std::round(hits_from_p), 1e-6);
+  }
+}
+
+TEST_P(MetricsPropertyTest, FullSuggestionHasFullRecall) {
+  const auto instance = MakeInstance(GetParam() + 200, 15, 8, 0.3);
+  EXPECT_DOUBLE_EQ(eval::RecallAtK(instance.scores, instance.truth, 8), 1.0);
+}
+
+TEST_P(MetricsPropertyTest, PerfectRankingIsNdcgOptimal) {
+  // Scoring truth + noise-smaller-than-the-gap ranks every relevant drug
+  // first; NDCG must be exactly 1 and no other ranking can beat it.
+  util::Rng rng(GetParam() + 300);
+  const auto instance = MakeInstance(GetParam() + 300, 15, 8, 0.3);
+  Matrix perfect = instance.truth;
+  for (float& v : perfect.data()) {
+    v += static_cast<float>(rng.Uniform(0.0, 0.4));
+  }
+  for (int k = 1; k <= 8; ++k) {
+    const double ideal = eval::NdcgAtK(perfect, instance.truth, k);
+    EXPECT_NEAR(ideal, 1.0, 1e-9) << "k=" << k;
+    const double other = eval::NdcgAtK(instance.scores, instance.truth, k);
+    EXPECT_LE(other, ideal + 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(MetricsPropertyTest, ScoresInvariantUnderMonotoneTransform) {
+  // Ranking metrics depend only on score order, not magnitude.
+  const auto instance = MakeInstance(GetParam() + 400, 12, 9, 0.25);
+  Matrix transformed = instance.scores;
+  for (float& v : transformed.data()) v = 5.0f * v * v * v + 2.0f;  // monotone on [0,1]
+  for (int k : {1, 4, 9}) {
+    const auto a = eval::ComputeRankingMetrics(instance.scores, instance.truth, k);
+    const auto b = eval::ComputeRankingMetrics(transformed, instance.truth, k);
+    EXPECT_DOUBLE_EQ(a.precision, b.precision) << "k=" << k;
+    EXPECT_DOUBLE_EQ(a.recall, b.recall) << "k=" << k;
+    EXPECT_DOUBLE_EQ(a.ndcg, b.ndcg) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MetricsPropertyTest, ::testing::Range(1, 11));
+
+TEST(MetricsEdgeCaseTest, EmptyTruthGivesZeroRecallZeroPrecision) {
+  Matrix scores(4, 5, 0.5f);
+  Matrix truth(4, 5, 0.0f);
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(scores, truth, 3), 0.0);
+  // No ground truth at all: recall's denominator is empty; the metric
+  // must return a finite, non-negative value rather than dividing by 0.
+  const double recall = eval::RecallAtK(scores, truth, 3);
+  EXPECT_TRUE(std::isfinite(recall));
+  EXPECT_GE(recall, 0.0);
+}
+
+TEST(MetricsEdgeCaseTest, SinglePatientSingleDrug) {
+  Matrix scores(1, 1, 0.9f);
+  Matrix truth(1, 1, 1.0f);
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(scores, truth, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eval::RecallAtK(scores, truth, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eval::NdcgAtK(scores, truth, 1), 1.0);
+}
+
+TEST(MetricsEdgeCaseTest, KLargerThanDrugCountIsClamped) {
+  Matrix scores(2, 3, 0.5f);
+  Matrix truth(2, 3, 0.0f);
+  truth.At(0, 1) = 1.0f;
+  const double recall = eval::RecallAtK(scores, truth, 100);
+  EXPECT_DOUBLE_EQ(recall, 1.0);
+}
+
+}  // namespace
+}  // namespace dssddi

@@ -1,0 +1,101 @@
+// Tests for the train-split feature standardizer: moments, constant
+// columns, split-boundary hygiene, and inverse round trip.
+
+#include <cmath>
+
+#include "data/standardize.h"
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi {
+namespace {
+
+using data::Standardizer;
+using tensor::Matrix;
+
+Matrix RandomFeatures(int rows, int cols, uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix x(rows, cols);
+  for (int j = 0; j < cols; ++j) {
+    const double mean = rng.Uniform(-10.0, 10.0);
+    const double scale = rng.Uniform(0.5, 20.0);
+    for (int i = 0; i < rows; ++i) {
+      x.At(i, j) = static_cast<float>(rng.Normal(mean, scale));
+    }
+  }
+  return x;
+}
+
+TEST(StandardizerTest, TransformedColumnsHaveZeroMeanUnitVariance) {
+  const Matrix x = RandomFeatures(500, 6, 3);
+  Standardizer standardizer;
+  const Matrix z = standardizer.FitTransform(x);
+  for (int j = 0; j < z.cols(); ++j) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < z.rows(); ++i) {
+      sum += z.At(i, j);
+      sum_sq += static_cast<double>(z.At(i, j)) * z.At(i, j);
+    }
+    const double mean = sum / z.rows();
+    const double variance = sum_sq / z.rows() - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "column " << j;
+    EXPECT_NEAR(variance, 1.0, 1e-2) << "column " << j;
+  }
+}
+
+TEST(StandardizerTest, ConstantColumnCenteredNotScaled) {
+  Matrix x(10, 2, 0.0f);
+  for (int i = 0; i < 10; ++i) {
+    x.At(i, 0) = 7.0f;  // constant
+    x.At(i, 1) = static_cast<float>(i);
+  }
+  Standardizer standardizer;
+  const Matrix z = standardizer.FitTransform(x);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(z.At(i, 0), 0.0f);          // centered, divided by 1
+    EXPECT_TRUE(std::isfinite(z.At(i, 1)));
+  }
+  EXPECT_FLOAT_EQ(standardizer.stddev()[0], 1.0f);
+}
+
+TEST(StandardizerTest, TestSplitUsesTrainStatistics) {
+  const Matrix train = RandomFeatures(200, 4, 5);
+  Matrix test = RandomFeatures(50, 4, 6);
+  // Shift the test distribution: the transform must NOT re-center it.
+  for (float& v : test.data()) v += 100.0f;
+
+  Standardizer standardizer;
+  standardizer.Fit(train);
+  const Matrix z = standardizer.Transform(test);
+  double mean = 0.0;
+  for (float v : z.data()) mean += v;
+  mean /= z.size();
+  // Under train statistics the shifted test data stays far from zero.
+  EXPECT_GT(mean, 1.0);
+}
+
+TEST(StandardizerTest, InverseTransformRoundTrips) {
+  const Matrix x = RandomFeatures(60, 5, 7);
+  Standardizer standardizer;
+  const Matrix z = standardizer.FitTransform(x);
+  const Matrix back = standardizer.InverseTransform(z);
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      EXPECT_NEAR(back.At(i, j), x.At(i, j), 1e-2) << i << "," << j;
+    }
+  }
+}
+
+TEST(StandardizerTest, FittedFlagAndAccessors) {
+  Standardizer standardizer;
+  EXPECT_FALSE(standardizer.fitted());
+  standardizer.Fit(Matrix(3, 2, 1.0f));
+  EXPECT_TRUE(standardizer.fitted());
+  EXPECT_EQ(standardizer.mean().size(), 2u);
+  EXPECT_FLOAT_EQ(standardizer.mean()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace dssddi

@@ -1,0 +1,236 @@
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dssddi::tensor {
+namespace {
+
+/// Central-difference gradient check: |analytic - numeric| must stay
+/// within tolerance for every parameter entry.
+void CheckGradients(const std::function<Tensor(const Tensor&)>& fn, Matrix init,
+                    float tolerance = 2e-2f, float epsilon = 1e-2f) {
+  Tensor param = Tensor::Parameter(init);
+  param.ZeroGrad();
+  Tensor loss = fn(param);
+  loss.Backward();
+  const Matrix analytic = param.grad();
+
+  for (int i = 0; i < init.size(); ++i) {
+    const float saved = param.mutable_value().data()[i];
+    param.mutable_value().data()[i] = saved + epsilon;
+    const float up = fn(param).value().At(0, 0);
+    param.mutable_value().data()[i] = saved - epsilon;
+    const float down = fn(param).value().At(0, 0);
+    param.mutable_value().data()[i] = saved;
+    const float numeric = (up - down) / (2.0f * epsilon);
+    EXPECT_NEAR(analytic.data()[i], numeric, tolerance)
+        << "entry " << i << " analytic=" << analytic.data()[i]
+        << " numeric=" << numeric;
+  }
+}
+
+Matrix RandomMatrix(int rows, int cols, uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (float& v : m.data()) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return m;
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  const Matrix other = RandomMatrix(4, 3, 1);
+  CheckGradients(
+      [&](const Tensor& p) { return SumAll(MatMul(p, Tensor::Constant(other))); },
+      RandomMatrix(2, 4, 2));
+  CheckGradients(
+      [&](const Tensor& p) { return SumAll(MatMul(Tensor::Constant(other), p)); },
+      RandomMatrix(3, 2, 3));
+}
+
+TEST(AutogradTest, AddSubMulGradients) {
+  const Matrix other = RandomMatrix(3, 3, 4);
+  CheckGradients(
+      [&](const Tensor& p) { return SumAll(Mul(Add(p, Tensor::Constant(other)),
+                                               Sub(p, Tensor::Constant(other)))); },
+      RandomMatrix(3, 3, 5));
+}
+
+TEST(AutogradTest, ActivationGradients) {
+  // Keep away from ReLU kinks by shifting values off zero.
+  Matrix init = RandomMatrix(3, 4, 6);
+  for (float& v : init.data()) v += v > 0.0f ? 0.5f : -0.5f;
+  CheckGradients([&](const Tensor& p) { return SumAll(Relu(p)); }, init);
+  CheckGradients([&](const Tensor& p) { return SumAll(LeakyRelu(p, 0.1f)); }, init);
+  CheckGradients([&](const Tensor& p) { return SumAll(Sigmoid(p)); },
+                 RandomMatrix(3, 4, 7));
+  CheckGradients([&](const Tensor& p) { return SumAll(Tanh(p)); },
+                 RandomMatrix(3, 4, 8));
+}
+
+TEST(AutogradTest, SquareAndLogGradients) {
+  CheckGradients([&](const Tensor& p) { return SumAll(Square(p)); },
+                 RandomMatrix(2, 5, 9));
+  Matrix positive = RandomMatrix(2, 3, 10);
+  for (float& v : positive.data()) v = std::fabs(v) + 0.5f;
+  CheckGradients([&](const Tensor& p) { return SumAll(Log(p)); }, positive);
+}
+
+TEST(AutogradTest, ConcatAndGatherGradients) {
+  const Matrix other = RandomMatrix(3, 2, 11);
+  CheckGradients(
+      [&](const Tensor& p) {
+        Tensor cat = ConcatCols(p, Tensor::Constant(other));
+        return SumAll(Square(cat));
+      },
+      RandomMatrix(3, 4, 12));
+  CheckGradients(
+      [&](const Tensor& p) {
+        // Duplicate index exercises scatter-add.
+        return SumAll(Square(GatherRows(p, {0, 2, 0})));
+      },
+      RandomMatrix(3, 3, 13));
+}
+
+TEST(AutogradTest, TransposeGradient) {
+  const Matrix other = RandomMatrix(2, 3, 14);
+  CheckGradients(
+      [&](const Tensor& p) {
+        return SumAll(Mul(Transpose(p), Tensor::Constant(other)));
+      },
+      RandomMatrix(3, 2, 15));
+}
+
+TEST(AutogradTest, SpMMGradient) {
+  CsrMatrix adj = CsrMatrix::FromEntries(
+      3, 3, {{0, 1, 0.5f}, {1, 0, 0.5f}, {1, 2, 0.5f}, {2, 1, 1.0f}});
+  CheckGradients(
+      [&](const Tensor& p) { return SumAll(Square(SpMM(adj, p))); },
+      RandomMatrix(3, 4, 16));
+}
+
+TEST(AutogradTest, RowDotGradient) {
+  const Matrix other = RandomMatrix(4, 3, 17);
+  CheckGradients(
+      [&](const Tensor& p) {
+        return SumAll(Square(RowDot(p, Tensor::Constant(other))));
+      },
+      RandomMatrix(4, 3, 18));
+}
+
+TEST(AutogradTest, RowSoftmaxGradient) {
+  const Matrix weights = RandomMatrix(2, 4, 19);
+  CheckGradients(
+      [&](const Tensor& p) {
+        return SumAll(Mul(RowSoftmax(p), Tensor::Constant(weights)));
+      },
+      RandomMatrix(2, 4, 20), 2e-2f, 5e-3f);
+}
+
+TEST(AutogradTest, ScalarOpsGradients) {
+  CheckGradients([&](const Tensor& p) { return MeanAll(Scale(p, 3.0f)); },
+                 RandomMatrix(2, 3, 21));
+  CheckGradients([&](const Tensor& p) { return SumAll(AddScalar(p, 2.0f)); },
+                 RandomMatrix(2, 3, 22));
+  const Matrix big = RandomMatrix(3, 3, 23);
+  CheckGradients(
+      [&](const Tensor& p) { return SumAll(ScalarMul(Tensor::Constant(big), p)); },
+      Matrix::Scalar(0.7f));
+}
+
+TEST(AutogradTest, AddRowBroadcastGradient) {
+  const Matrix x = RandomMatrix(4, 3, 24);
+  CheckGradients(
+      [&](const Tensor& p) {
+        return SumAll(Square(AddRowBroadcast(Tensor::Constant(x), p)));
+      },
+      RandomMatrix(1, 3, 25));
+}
+
+TEST(AutogradTest, BatchNormGradient) {
+  const Matrix x = RandomMatrix(6, 3, 26);
+  const Matrix gamma = Matrix::Ones(1, 3);
+  const Matrix beta = Matrix::Zeros(1, 3);
+  // Gradient w.r.t. the input.
+  CheckGradients(
+      [&](const Tensor& p) {
+        return SumAll(Square(BatchNorm(p, Tensor::Constant(gamma),
+                                       Tensor::Constant(beta))));
+      },
+      x, 5e-2f, 5e-3f);
+  // Gradient w.r.t. gamma.
+  CheckGradients(
+      [&](const Tensor& p) {
+        return SumAll(Square(BatchNorm(Tensor::Constant(x), p,
+                                       Tensor::Constant(beta))));
+      },
+      RandomMatrix(1, 3, 27), 5e-2f, 5e-3f);
+}
+
+TEST(AutogradTest, BceWithLogitsMatchesManualBce) {
+  const Matrix targets({{1}, {0}, {1}});
+  const Matrix logits({{0.3f}, {-0.7f}, {1.2f}});
+  Tensor z = Tensor::Constant(logits);
+  Tensor stable = BceWithLogitsLoss(z, Tensor::Constant(targets));
+  Tensor manual = BceLoss(Sigmoid(z), Tensor::Constant(targets));
+  EXPECT_NEAR(stable.value().At(0, 0), manual.value().At(0, 0), 1e-5);
+}
+
+TEST(AutogradTest, BceWithLogitsGradient) {
+  const Matrix targets({{1}, {0}, {1}, {0}});
+  CheckGradients(
+      [&](const Tensor& p) {
+        return BceWithLogitsLoss(p, Tensor::Constant(targets));
+      },
+      RandomMatrix(4, 1, 28), 1e-2f, 5e-3f);
+}
+
+TEST(AutogradTest, MseLossGradient) {
+  const Matrix target = RandomMatrix(3, 2, 29);
+  CheckGradients(
+      [&](const Tensor& p) { return MseLoss(p, Tensor::Constant(target)); },
+      RandomMatrix(3, 2, 30));
+}
+
+TEST(AutogradTest, GradientAccumulatesOnSharedLeaf) {
+  Tensor p = Tensor::Parameter(Matrix({{2.0f}}));
+  p.ZeroGrad();
+  // loss = p * p (as two uses of the same leaf) -> dl/dp = 2p = 4.
+  Tensor loss = SumAll(Mul(p, p));
+  loss.Backward();
+  EXPECT_NEAR(p.grad().At(0, 0), 4.0f, 1e-5);
+}
+
+TEST(AutogradTest, BackwardRequiresScalar) {
+  Tensor p = Tensor::Parameter(Matrix::Ones(2, 2));
+  EXPECT_DEATH(Mul(p, p).Backward(), "scalar");
+}
+
+TEST(AutogradTest, DetachBlocksGradient) {
+  Tensor p = Tensor::Parameter(Matrix({{3.0f}}));
+  p.ZeroGrad();
+  Tensor loss = SumAll(Mul(p.Detach(), p.Detach()));
+  EXPECT_FALSE(loss.requires_grad());
+}
+
+TEST(AutogradTest, DropoutIdentityWhenEval) {
+  util::Rng rng(31);
+  Tensor p = Tensor::Parameter(RandomMatrix(3, 3, 32));
+  Tensor out = Dropout(p, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(out.node().get(), p.node().get());
+}
+
+TEST(AutogradTest, DropoutScalesByKeepProbability) {
+  util::Rng rng(33);
+  Matrix ones = Matrix::Ones(200, 50);
+  Tensor out = Dropout(Tensor::Constant(ones), 0.3f, rng, /*training=*/true);
+  // Inverted dropout preserves the mean.
+  EXPECT_NEAR(out.value().MeanAll(), 1.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace dssddi::tensor

@@ -1,0 +1,144 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace dssddi::tensor {
+namespace {
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 6.0f);
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 50.0f);
+}
+
+TEST(MatrixTest, TransposedVariantsMatchExplicitTranspose) {
+  Matrix a({{1, 2, 3}, {4, 5, 6}});
+  Matrix b({{1, 0}, {2, 1}, {0, 3}});
+  // A^T * A == Transpose(A).MatMul(A)
+  Matrix expected = a.Transpose().MatMul(a);
+  Matrix got = a.TransposedMatMul(a);
+  ASSERT_TRUE(expected.SameShape(got));
+  for (int i = 0; i < expected.size(); ++i) {
+    EXPECT_FLOAT_EQ(expected.data()[i], got.data()[i]);
+  }
+  // A * B'^T where B' = b^T
+  Matrix bt = b.Transpose();
+  Matrix expected2 = a.MatMul(b);
+  Matrix got2 = a.MatMulTransposed(bt);
+  for (int i = 0; i < expected2.size(); ++i) {
+    EXPECT_FLOAT_EQ(expected2.data()[i], got2.data()[i]);
+  }
+}
+
+TEST(MatrixTest, IdentityMatMulIsNoop) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix result = Matrix::Identity(2).MatMul(a);
+  for (int i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(result.data()[i], a.data()[i]);
+}
+
+TEST(MatrixTest, AddSubHadamardScale) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{2, 2}, {2, 2}});
+  EXPECT_FLOAT_EQ(a.Add(b).At(1, 1), 6.0f);
+  EXPECT_FLOAT_EQ(a.Sub(b).At(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(a.Hadamard(b).At(1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(a.Scale(0.5f).At(0, 1), 1.0f);
+}
+
+TEST(MatrixTest, RowBroadcastAndGather) {
+  Matrix a({{1, 2}, {3, 4}, {5, 6}});
+  Matrix bias({{10, 20}});
+  Matrix shifted = a.AddRowBroadcast(bias);
+  EXPECT_FLOAT_EQ(shifted.At(2, 1), 26.0f);
+  Matrix gathered = a.GatherRows({2, 0, 2});
+  EXPECT_EQ(gathered.rows(), 3);
+  EXPECT_FLOAT_EQ(gathered.At(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(gathered.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(gathered.At(2, 1), 6.0f);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix a({{1, 2}, {3, 4}});
+  EXPECT_FLOAT_EQ(a.SumAll(), 10.0f);
+  EXPECT_FLOAT_EQ(a.MeanAll(), 2.5f);
+  EXPECT_FLOAT_EQ(a.MaxAll(), 4.0f);
+  EXPECT_FLOAT_EQ(a.RowSums().At(1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(a.ColSums().At(0, 0), 4.0f);
+  EXPECT_NEAR(a.FrobeniusNorm(), std::sqrt(30.0f), 1e-5);
+}
+
+TEST(MatrixTest, RowL2NormalizedHandlesZeros) {
+  Matrix a({{3, 4}, {0, 0}});
+  Matrix normalized = a.RowL2Normalized();
+  EXPECT_NEAR(normalized.At(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(normalized.At(0, 1), 0.8f, 1e-6);
+  EXPECT_FLOAT_EQ(normalized.At(1, 0), 0.0f);
+}
+
+TEST(MatrixTest, CosineSimilarityDiagonalIsOne) {
+  Matrix a({{1, 2, 3}, {-1, 0, 2}});
+  Matrix sim = Matrix::CosineSimilarity(a, a);
+  EXPECT_NEAR(sim.At(0, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(sim.At(1, 1), 1.0f, 1e-5);
+  EXPECT_NEAR(sim.At(0, 1), sim.At(1, 0), 1e-6);
+}
+
+TEST(MatrixTest, RowSquaredDistance) {
+  Matrix a({{0, 0}, {3, 4}});
+  EXPECT_FLOAT_EQ(a.RowSquaredDistance(0, a, 1), 25.0f);
+  EXPECT_FLOAT_EQ(a.RowSquaredDistance(1, a, 1), 0.0f);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  std::vector<SparseEntry> entries = {{0, 1, 2.0f}, {1, 0, -1.0f}, {1, 2, 3.0f}};
+  CsrMatrix sparse = CsrMatrix::FromEntries(2, 3, entries);
+  Matrix dense({{1, 2}, {3, 4}, {5, 6}});
+  Matrix result = sparse.Multiply(dense);
+  Matrix expected = sparse.ToDense().MatMul(dense);
+  ASSERT_TRUE(result.SameShape(expected));
+  for (int i = 0; i < result.size(); ++i) {
+    EXPECT_FLOAT_EQ(result.data()[i], expected.data()[i]);
+  }
+}
+
+TEST(CsrMatrixTest, TransposedMultiplyMatchesDense) {
+  std::vector<SparseEntry> entries = {{0, 0, 1.0f}, {0, 2, 2.0f}, {1, 1, -3.0f}};
+  CsrMatrix sparse = CsrMatrix::FromEntries(2, 3, entries);
+  Matrix dense({{1, 2}, {3, 4}});
+  Matrix result = sparse.TransposedMultiply(dense);
+  Matrix expected = sparse.ToDense().Transpose().MatMul(dense);
+  ASSERT_TRUE(result.SameShape(expected));
+  for (int i = 0; i < result.size(); ++i) {
+    EXPECT_FLOAT_EQ(result.data()[i], expected.data()[i]);
+  }
+}
+
+TEST(CsrMatrixTest, DuplicateEntriesAreSummed) {
+  std::vector<SparseEntry> entries = {{0, 0, 1.0f}, {0, 0, 2.5f}};
+  CsrMatrix sparse = CsrMatrix::FromEntries(1, 1, entries);
+  EXPECT_EQ(sparse.nnz(), 1);
+  EXPECT_FLOAT_EQ(sparse.ToDense().At(0, 0), 3.5f);
+}
+
+TEST(CsrMatrixTest, EmptyMatrixBehaves) {
+  CsrMatrix sparse = CsrMatrix::FromEntries(3, 2, {});
+  EXPECT_EQ(sparse.nnz(), 0);
+  Matrix result = sparse.Multiply(Matrix::Ones(2, 4));
+  EXPECT_FLOAT_EQ(result.SumAll(), 0.0f);
+}
+
+}  // namespace
+}  // namespace dssddi::tensor

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/loss.h"
+#include "tensor/nn.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace dssddi::tensor {
+namespace {
+
+TEST(LinearTest, ShapesAndParameterCount) {
+  util::Rng rng(1);
+  Linear layer(5, 3, rng);
+  Tensor out = layer.Forward(Tensor::Constant(Matrix::Ones(4, 5)));
+  EXPECT_EQ(out.rows(), 4);
+  EXPECT_EQ(out.cols(), 3);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(MlpTest, ForwardShapesAndLayerCount) {
+  util::Rng rng(2);
+  Mlp mlp({8, 16, 4}, rng);
+  EXPECT_EQ(mlp.num_layers(), 2);
+  Tensor out = mlp.Forward(Tensor::Constant(Matrix::Ones(3, 8)));
+  EXPECT_EQ(out.cols(), 4);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+}
+
+TEST(SgdTest, ConvergesOnLinearRegression) {
+  util::Rng rng(3);
+  // y = 2x - 1 with a single-feature linear model.
+  Matrix x(64, 1);
+  Matrix y(64, 1);
+  for (int i = 0; i < 64; ++i) {
+    x.At(i, 0) = static_cast<float>(i) / 64.0f;
+    y.At(i, 0) = 2.0f * x.At(i, 0) - 1.0f;
+  }
+  Linear model(1, 1, rng);
+  SgdOptimizer optimizer(model.Parameters(), 0.5f);
+  float last = 1e9f;
+  for (int step = 0; step < 500; ++step) {
+    optimizer.ZeroGrad();
+    Tensor loss = MseLoss(model.Forward(Tensor::Constant(x)), Tensor::Constant(y));
+    loss.Backward();
+    optimizer.Step();
+    last = loss.value().At(0, 0);
+  }
+  EXPECT_LT(last, 1e-3f);
+  EXPECT_NEAR(model.weight().value().At(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(model.bias().value().At(0, 0), -1.0f, 0.05f);
+}
+
+TEST(AdamTest, ConvergesFasterThanSgdOnIllConditionedProblem) {
+  // Quadratic with very different curvatures per coordinate.
+  auto loss_of = [](const Tensor& p) {
+    Matrix scale_matrix({{100.0f, 0.01f}});
+    Tensor scaled = Mul(p, Tensor::Constant(scale_matrix));
+    return SumAll(Mul(scaled, p));  // 100 p0^2 + 0.01 p1^2
+  };
+  auto run = [&](bool adam) {
+    Tensor p = Tensor::Parameter(Matrix({{1.0f, 1.0f}}));
+    std::unique_ptr<Optimizer> optimizer;
+    if (adam) {
+      optimizer = std::make_unique<AdamOptimizer>(std::vector<Tensor>{p}, 0.05f);
+    } else {
+      optimizer = std::make_unique<SgdOptimizer>(std::vector<Tensor>{p}, 0.001f);
+    }
+    float value = 0.0f;
+    for (int step = 0; step < 300; ++step) {
+      optimizer->ZeroGrad();
+      Tensor loss = loss_of(p);
+      loss.Backward();
+      optimizer->Step();
+      value = loss.value().At(0, 0);
+    }
+    return value;
+  };
+  EXPECT_LT(run(/*adam=*/true), run(/*adam=*/false));
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedParameters) {
+  Tensor p = Tensor::Parameter(Matrix({{5.0f}}));
+  AdamOptimizer optimizer({p}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int step = 0; step < 200; ++step) {
+    optimizer.ZeroGrad();  // gradient stays zero; only decay acts
+    optimizer.Step();
+  }
+  EXPECT_LT(std::fabs(p.value().At(0, 0)), 1.0f);
+}
+
+TEST(MlpTest, LearnsXor) {
+  util::Rng rng(4);
+  Matrix x({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  Matrix y({{0}, {1}, {1}, {0}});
+  Mlp mlp({2, 8, 1}, rng, Activation::kTanh);
+  AdamOptimizer optimizer(mlp.Parameters(), 0.05f);
+  for (int step = 0; step < 800; ++step) {
+    optimizer.ZeroGrad();
+    Tensor loss = BceWithLogitsLoss(mlp.Forward(Tensor::Constant(x)),
+                                    Tensor::Constant(y));
+    loss.Backward();
+    optimizer.Step();
+  }
+  const Matrix logits = mlp.Forward(Tensor::Constant(x)).value();
+  EXPECT_LT(logits.At(0, 0), 0.0f);
+  EXPECT_GT(logits.At(1, 0), 0.0f);
+  EXPECT_GT(logits.At(2, 0), 0.0f);
+  EXPECT_LT(logits.At(3, 0), 0.0f);
+}
+
+TEST(BatchNormLayerTest, NormalizesColumns) {
+  BatchNormLayer bn(2);
+  Matrix x({{1, 10}, {2, 20}, {3, 30}, {4, 40}});
+  const Matrix out = bn.Forward(Tensor::Constant(x)).value();
+  for (int j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int i = 0; i < 4; ++i) mean += out.At(i, j);
+    mean /= 4.0;
+    for (int i = 0; i < 4; ++i) {
+      var += (out.At(i, j) - mean) * (out.At(i, j) - mean);
+    }
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(InitTest, XavierBoundsAndHeSpread) {
+  util::Rng rng(5);
+  const Matrix xavier = XavierUniform(50, 50, rng);
+  const double bound = std::sqrt(6.0 / 100.0);
+  for (float v : xavier.data()) {
+    EXPECT_LE(std::fabs(v), bound + 1e-6);
+  }
+  const Matrix he = HeNormal(1000, 4, rng);
+  double sum_sq = 0.0;
+  for (float v : he.data()) sum_sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(sum_sq / he.size(), 2.0 / 1000.0, 5e-4);
+}
+
+TEST(ActivateTest, DispatchesAllKinds) {
+  Tensor x = Tensor::Constant(Matrix({{-1.0f, 2.0f}}));
+  EXPECT_FLOAT_EQ(Activate(x, Activation::kNone).value().At(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(Activate(x, Activation::kRelu).value().At(0, 0), 0.0f);
+  EXPECT_NEAR(Activate(x, Activation::kLeakyRelu, 0.1f).value().At(0, 0), -0.1f, 1e-6);
+  EXPECT_NEAR(Activate(x, Activation::kSigmoid).value().At(0, 1),
+              1.0f / (1.0f + std::exp(-2.0f)), 1e-6);
+  EXPECT_NEAR(Activate(x, Activation::kTanh).value().At(0, 1), std::tanh(2.0f), 1e-6);
+}
+
+}  // namespace
+}  // namespace dssddi::tensor

@@ -1,0 +1,66 @@
+#ifndef DSSDDI_TESTS_TEST_SUPPORT_H_
+#define DSSDDI_TESTS_TEST_SUPPORT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/signed_graph.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace dssddi::testing {
+
+/// Builds a small but learnable suggestion dataset: patients belong to
+/// latent groups, each group takes a fixed drug set plus noise; features
+/// are a noisy one-hot of the group. Every model should beat random on
+/// it, and it is fast enough for unit tests.
+inline data::SuggestionDataset TinyDataset(int num_patients = 120, int num_groups = 4,
+                                           int num_drugs = 12, uint64_t seed = 11) {
+  util::Rng rng(seed);
+  data::SuggestionDataset dataset;
+  dataset.name = "tiny";
+
+  // Each group takes 3 consecutive drugs.
+  std::vector<std::vector<int>> group_drugs(num_groups);
+  for (int g = 0; g < num_groups; ++g) {
+    for (int j = 0; j < 3; ++j) group_drugs[g].push_back((3 * g + j) % num_drugs);
+  }
+
+  const int feature_dim = num_groups + 4;
+  dataset.patient_features = tensor::Matrix(num_patients, feature_dim);
+  dataset.medication = tensor::Matrix(num_patients, num_drugs, 0.0f);
+  for (int i = 0; i < num_patients; ++i) {
+    const int g = i % num_groups;
+    for (int j = 0; j < feature_dim; ++j) {
+      dataset.patient_features.At(i, j) =
+          static_cast<float>(rng.Normal(j == g ? 1.0 : 0.0, 0.15));
+    }
+    for (int v : group_drugs[g]) {
+      if (rng.Bernoulli(0.9)) dataset.medication.At(i, v) = 1.0f;
+    }
+    if (rng.Bernoulli(0.2)) {
+      dataset.medication.At(i, static_cast<int>(rng.NextBelow(num_drugs))) = 1.0f;
+    }
+  }
+
+  // DDI: synergy within groups, antagonism across the first two groups.
+  std::vector<graph::SignedEdge> edges;
+  for (int g = 0; g < num_groups; ++g) {
+    edges.push_back({group_drugs[g][0], group_drugs[g][1], graph::EdgeSign::kSynergistic});
+  }
+  edges.push_back({group_drugs[0][0], group_drugs[1][0], graph::EdgeSign::kAntagonistic});
+  edges.push_back({group_drugs[0][2], group_drugs[1][2], graph::EdgeSign::kAntagonistic});
+  dataset.ddi = graph::SignedGraph(num_drugs, std::move(edges));
+
+  dataset.drug_features = tensor::Matrix::Identity(num_drugs);
+  dataset.split = data::MakeSplit(num_patients, 0.5, 0.3, seed + 1);
+  dataset.num_diseases = num_groups;
+  for (int d = 0; d < num_drugs; ++d) {
+    dataset.drug_names.push_back("T" + std::to_string(d));
+  }
+  return dataset;
+}
+
+}  // namespace dssddi::testing
+
+#endif  // DSSDDI_TESTS_TEST_SUPPORT_H_
