@@ -1,0 +1,191 @@
+// Serving throughput benchmark: how far the SuggestionService scales
+// past naive one-at-a-time scoring. Trains a small chronic-cohort
+// system once, freezes it into an InferenceBundle, then replays the
+// same synthetic query stream through the service under a grid of
+// (threads × micro-batch × cache) configurations.
+//
+// The headline claim: batched multi-threaded serving sustains >= 2x the
+// throughput of single-threaded unbatched serving on the same stream.
+//
+//   ./bench/bench_serving [--requests N] [--unique U] [--quick]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/dssddi_system.h"
+#include "data/chronic_cohort.h"
+#include "data/dataset.h"
+#include "io/inference_bundle.h"
+#include "serve/service.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dssddi;
+
+struct StreamQuery {
+  int64_t patient_id;
+  const std::vector<float>* features;
+};
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+  double hit_rate = 0.0;
+  uint64_t coalesced = 0;
+};
+
+/// Replays `stream` through a fresh service with the given knobs and
+/// returns the sustained throughput. Clients are closed-loop: at most
+/// 256 requests are in flight at once, like a fleet of frontends each
+/// waiting for answers before sending more.
+RunResult RunConfig(const io::InferenceBundle& bundle,
+                    const std::vector<StreamQuery>& stream, int threads, int batch,
+                    size_t cache_capacity, bool explain) {
+  serve::ServiceOptions options;
+  options.num_threads = threads;
+  options.max_batch_size = batch;
+  options.cache_capacity = cache_capacity;
+  serve::SuggestionService service(bundle, options);
+
+  constexpr size_t kWindow = 256;
+  util::Stopwatch clock;
+  std::deque<std::future<core::Suggestion>> in_flight;
+  for (const StreamQuery& query : stream) {
+    if (in_flight.size() >= kWindow) {
+      in_flight.front().get();
+      in_flight.pop_front();
+    }
+    serve::Request request;
+    request.patient_id = query.patient_id;
+    request.features = *query.features;
+    request.k = 3;
+    request.explain = explain;
+    in_flight.push_back(service.Submit(std::move(request)));
+  }
+  for (auto& future : in_flight) future.get();
+  const double elapsed = clock.ElapsedSeconds();
+
+  const serve::ServiceStats stats = service.Stats();
+  RunResult result;
+  result.qps = static_cast<double>(stream.size()) / elapsed;
+  result.p50_ms = stats.p50_latency_ms;
+  result.p99_ms = stats.p99_latency_ms;
+  result.mean_batch = stats.mean_batch_size;
+  result.hit_rate = stats.cache_hit_rate;
+  result.coalesced = stats.coalesced;
+  return result;
+}
+
+void PrintRow(const std::string& label, const RunResult& result, double baseline_qps) {
+  std::printf("%-34s %9.0f %8.2fx %9.3f %9.3f %7.1f %7.1f%% %9llu\n", label.c_str(),
+              result.qps, result.qps / baseline_qps, result.p50_ms, result.p99_ms,
+              result.mean_batch, 100.0 * result.hit_rate,
+              static_cast<unsigned long long>(result.coalesced));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_requests = 4000;
+  int unique_patients = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
+      num_requests = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--unique") && i + 1 < argc) {
+      unique_patients = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--quick")) {
+      num_requests = 800;
+    } else {
+      std::printf("usage: %s [--requests N] [--unique U] [--quick]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  bench::PrintHeader("Serving throughput: threads x micro-batch x cache",
+                     "serving-layer scaling (beyond the paper's offline eval)");
+
+  // One small trained system, frozen once; quality is irrelevant here.
+  data::ChronicDatasetOptions data_options;
+  data_options.cohort.num_males = 150;
+  data_options.cohort.num_females = 100;
+  const data::SuggestionDataset dataset = data::BuildChronicDataset(data_options);
+  core::DssddiConfig config;
+  config.ddi.epochs = 40;
+  config.md.epochs = 40;
+  core::DssddiSystem system(config);
+  std::printf("training a small system to freeze (%d patients, %d drugs)...\n",
+              dataset.num_patients(), dataset.num_drugs());
+  system.Fit(dataset);
+  const io::InferenceBundle bundle = io::ExtractInferenceBundle(system, dataset);
+
+  // Synthetic query stream: `unique_patients` synthetic feature rows,
+  // revisited uniformly at random — the same stream for every config.
+  const int width = bundle.cluster_centroids.cols();
+  util::Rng rng(7);
+  std::vector<std::vector<float>> patients(unique_patients);
+  for (auto& features : patients) {
+    features.resize(width);
+    for (float& v : features) v = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  std::vector<StreamQuery> stream;
+  stream.reserve(num_requests);
+  for (int i = 0; i < num_requests; ++i) {
+    const int patient = static_cast<int>(rng.NextBelow(unique_patients));
+    stream.push_back({patient, &patients[patient]});
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = std::max(4, hw == 0 ? 4 : static_cast<int>(hw));
+  std::printf("stream: %d requests over %d unique patients; %u hardware threads\n\n",
+              num_requests, unique_patients, hw);
+
+  // Headline grid: the product workload (suggestions WITH Medical
+  // Support explanations, as the paper's system presents them).
+  std::printf("%-34s %9s %9s %9s %9s %7s %8s %9s\n", "config (with explanations)",
+              "req/s", "speedup", "p50 ms", "p99 ms", "batch", "hits", "coalesced");
+  const RunResult naive = RunConfig(bundle, stream, 1, 1, 0, true);
+  PrintRow("1 thread, unbatched, no cache", naive, naive.qps);
+  PrintRow("1 thread, batch<=8",
+           RunConfig(bundle, stream, 1, 8, 0, true), naive.qps);
+  PrintRow(std::to_string(threads) + " threads, batch<=8",
+           RunConfig(bundle, stream, threads, 8, 0, true), naive.qps);
+  PrintRow(std::to_string(threads) + " threads, batch<=32",
+           RunConfig(bundle, stream, threads, 32, 0, true), naive.qps);
+  const RunResult full = RunConfig(bundle, stream, threads, 32, 4096, true);
+  PrintRow(std::to_string(threads) + " threads, batch<=32, cache", full, naive.qps);
+
+  // Raw scoring grid (explanations off): isolates the matrix path, where
+  // tiled batching and threads are the only levers.
+  std::printf("\n%-34s %9s %9s %9s %9s %7s %8s %9s\n", "config (scoring only)",
+              "req/s", "speedup", "p50 ms", "p99 ms", "batch", "hits", "coalesced");
+  const RunResult scoring_base = RunConfig(bundle, stream, 1, 1, 0, false);
+  PrintRow("1 thread, unbatched", scoring_base, scoring_base.qps);
+  PrintRow("1 thread, batch<=8",
+           RunConfig(bundle, stream, 1, 8, 0, false), scoring_base.qps);
+  PrintRow(std::to_string(threads) + " threads, batch<=8",
+           RunConfig(bundle, stream, threads, 8, 0, false), scoring_base.qps);
+  PrintRow(std::to_string(threads) + " threads, batch<=32",
+           RunConfig(bundle, stream, threads, 32, 0, false), scoring_base.qps);
+
+  const double speedup = full.qps / naive.qps;
+  std::printf(
+      "\nbatched multi-threaded serving (cache+coalescing on) vs single-threaded"
+      " unbatched: %.2fx %s\n",
+      speedup, speedup >= 2.0 ? "(PASS: >= 2x)" : "(below the 2x target)");
+  std::printf(
+      "attribution: compare the no-cache rows above for the threads+batching"
+      " contribution alone (~1x on single-core hosts) vs the cache rows for"
+      " the repeat-traffic contribution.\n");
+  return speedup >= 2.0 ? 0 : 1;
+}

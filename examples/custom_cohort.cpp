@@ -72,8 +72,11 @@ void WriteClinicExport(const data::CsvDatasetPaths& paths, int num_patients) {
 
 int main() {
   const std::string dir = "/tmp/dssddi_clinic_";
-  const data::CsvDatasetPaths paths = {dir + "patients.csv", dir + "medication.csv",
-                                       dir + "ddi.csv", dir + "drugs.csv"};
+  data::CsvDatasetPaths paths;
+  paths.patients_csv = dir + "patients.csv";
+  paths.medication_csv = dir + "medication.csv";
+  paths.ddi_csv = dir + "ddi.csv";
+  paths.drugs_csv = dir + "drugs.csv";
   std::printf("writing clinic export (4 CSVs under /tmp)...\n");
   WriteClinicExport(paths, 240);
 

@@ -12,7 +12,9 @@
 namespace dssddi::io {
 namespace {
 
-constexpr uint32_t kBundleVersion = 1;
+// Version 2 added ms_explainer; version-1 files load with the default
+// closest-truss-community explainer.
+constexpr uint32_t kBundleVersion = 2;
 
 // Plain-matrix activation matching tensor::Activate on Tensors (the
 // default leaky slope there is 0.01).
@@ -157,7 +159,8 @@ core::Suggestion InferenceBundle::Suggest(const tensor::Matrix& x, int k) const 
   suggestion.drugs = core::TopKDrugs(scores, 0, k);
   suggestion.scores.reserve(suggestion.drugs.size());
   for (int d : suggestion.drugs) suggestion.scores.push_back(scores.At(0, d));
-  const core::MsModule ms(ddi, ms_alpha);
+  const core::MsModule ms(ddi, ms_alpha,
+                          static_cast<core::ExplainerKind>(ms_explainer));
   suggestion.explanation = ms.Explain(suggestion.drugs);
   return suggestion;
 }
@@ -180,6 +183,7 @@ InferenceBundle ExtractInferenceBundle(const core::DssddiSystem& system,
   bundle.use_treatment_feature = md->config().use_treatment_feature;
   bundle.hidden_dim = md->config().hidden_dim;
   bundle.ms_alpha = system.config().ms_alpha;
+  bundle.ms_explainer = static_cast<int>(system.config().ms_explainer);
   return bundle;
 }
 
@@ -197,13 +201,15 @@ Status SaveInferenceBundle(const std::string& path, const InferenceBundle& bundl
   writer.WriteU8(bundle.use_treatment_feature ? 1 : 0);
   writer.WriteI32(bundle.hidden_dim);
   writer.WriteF64(bundle.ms_alpha);
+  writer.WriteU8(static_cast<uint8_t>(bundle.ms_explainer));
   return WriteFramedFile(path, kFormatInferenceBundle, kBundleVersion, writer.buffer());
 }
 
 Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
   std::string payload;
+  uint32_t version = 0;
   if (Status status = ReadFramedFile(path, kFormatInferenceBundle, kBundleVersion,
-                                     &payload, nullptr);
+                                     &payload, &version);
       !status.ok) {
     return status;
   }
@@ -226,7 +232,8 @@ Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
   bundle->use_treatment_feature = reader.ReadU8() != 0;
   bundle->hidden_dim = reader.ReadI32();
   bundle->ms_alpha = reader.ReadF64();
-  if (!reader.ok() || reader.remaining() != 0) {
+  bundle->ms_explainer = version >= 2 ? reader.ReadU8() : 0;
+  if (!reader.ok() || reader.remaining() != 0 || bundle->ms_explainer > 1) {
     return Status::Error("malformed bundle payload: " + path);
   }
   // Cross-field consistency so a loaded bundle cannot index out of range.

@@ -51,6 +51,9 @@ struct InferenceBundle {
   bool use_treatment_feature = true;
   int hidden_dim = 0;
   double ms_alpha = 0.5;
+  /// core::ExplainerKind as int; carried so served explanations use the
+  /// same subgraph backend the system was configured with.
+  int ms_explainer = 0;
 
   int num_drugs() const { return final_drug_reps.rows(); }
 

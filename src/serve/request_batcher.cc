@@ -1,0 +1,89 @@
+#include "serve/request_batcher.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dssddi::serve {
+
+RequestBatcher::RequestBatcher(const Options& options, BatchHandler handler)
+    : options_(options), handler_(std::move(handler)) {
+  DSSDDI_CHECK(handler_ != nullptr) << "RequestBatcher needs a batch handler";
+  if (options_.max_batch_size < 1) options_.max_batch_size = 1;
+  if (options_.max_wait_us < 0) options_.max_wait_us = 0;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+RequestBatcher::~RequestBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<core::Suggestion> RequestBatcher::Enqueue(Request request, CacheKey key) {
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.key = key;
+  pending.enqueue_time = std::chrono::steady_clock::now();
+  std::future<core::Suggestion> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DSSDDI_CHECK(!stopping_) << "RequestBatcher::Enqueue after shutdown";
+    queue_.push_back(std::move(pending));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+RequestBatcher::DispatchCounters RequestBatcher::dispatch_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {batches_dispatched_, requests_dispatched_};
+}
+
+uint64_t RequestBatcher::batches_dispatched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_dispatched_;
+}
+
+uint64_t RequestBatcher::requests_dispatched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_dispatched_;
+}
+
+void RequestBatcher::DispatchLoop() {
+  const size_t max_batch = static_cast<size_t>(options_.max_batch_size);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Hold the batch open until it fills, the oldest request times out,
+    // or shutdown forces a flush.
+    if (options_.max_wait_us > 0) {
+      const auto deadline =
+          queue_.front().enqueue_time + std::chrono::microseconds(options_.max_wait_us);
+      wake_.wait_until(lock, deadline, [this, max_batch] {
+        return stopping_ || queue_.size() >= max_batch;
+      });
+    }
+    std::vector<PendingRequest> batch;
+    const size_t take = std::min(queue_.size(), max_batch);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++batches_dispatched_;
+    requests_dispatched_ += batch.size();
+    lock.unlock();
+    handler_(std::move(batch));
+    lock.lock();
+  }
+}
+
+}  // namespace dssddi::serve

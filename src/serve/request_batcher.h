@@ -1,0 +1,102 @@
+#ifndef DSSDDI_SERVE_REQUEST_BATCHER_H_
+#define DSSDDI_SERVE_REQUEST_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/dssddi_system.h"
+#include "serve/suggestion_cache.h"
+
+namespace dssddi::serve {
+
+/// One top-k suggestion query as it enters the serving layer.
+struct Request {
+  /// Stable external id used as the cache key; negative bypasses the cache.
+  int64_t patient_id = -1;
+  /// Raw patient feature row (width must match the trained model).
+  std::vector<float> features;
+  int k = 3;
+  /// When false, the (comparatively expensive) Medical Support subgraph
+  /// explanation is skipped and only drugs + scores are filled.
+  bool explain = true;
+};
+
+/// A request travelling through the batcher with its completion handle.
+struct PendingRequest {
+  Request request;
+  /// Cache/singleflight key, precomputed by the submitter for keyed
+  /// requests (patient_id >= 0); default-initialized otherwise.
+  CacheKey key;
+  std::promise<core::Suggestion> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+/// Groups single-patient requests into micro-batches so model scoring
+/// runs one matrix pass per batch instead of one per request. A
+/// dedicated dispatcher thread collects arrivals; a batch is cut as soon
+/// as `max_batch_size` requests are waiting or the oldest request has
+/// waited `max_wait_us`, whichever comes first. The cut batch is handed
+/// to `handler` (which typically posts it onto a ThreadPool).
+///
+/// The destructor stops intake and flushes everything still queued, so
+/// no promise is ever abandoned.
+class RequestBatcher {
+ public:
+  struct Options {
+    int max_batch_size = 32;
+    /// How long the dispatcher holds an underfull batch open waiting for
+    /// company. 0 dispatches whatever is queued immediately.
+    int max_wait_us = 200;
+  };
+
+  using BatchHandler = std::function<void(std::vector<PendingRequest>)>;
+
+  RequestBatcher(const Options& options, BatchHandler handler);
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Queues a request; the returned future is fulfilled once its batch
+  /// has been scored. `key` travels alongside so the scorer does not
+  /// recompute it.
+  std::future<core::Suggestion> Enqueue(Request request, CacheKey key = {});
+
+  struct DispatchCounters {
+    uint64_t batches = 0;
+    uint64_t requests = 0;
+  };
+
+  /// Both counters from one lock acquisition — a consistent snapshot
+  /// (reading them separately could interleave with a dispatch).
+  DispatchCounters dispatch_counters() const;
+
+  uint64_t batches_dispatched() const;
+  uint64_t requests_dispatched() const;
+
+ private:
+  void DispatchLoop();
+
+  Options options_;
+  BatchHandler handler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<PendingRequest> queue_;
+  bool stopping_ = false;
+  uint64_t batches_dispatched_ = 0;
+  uint64_t requests_dispatched_ = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace dssddi::serve
+
+#endif  // DSSDDI_SERVE_REQUEST_BATCHER_H_

@@ -1,0 +1,229 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/suggestion_model.h"
+#include "io/binary.h"
+#include "util/logging.h"
+
+namespace dssddi::serve {
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Cache/singleflight key for a request: patient id and k plus a hash of
+/// the feature bytes, so an id reused with updated patient state can
+/// never be answered from the stale entry.
+CacheKey KeyFor(const Request& request) {
+  return CacheKey{request.patient_id, request.k,
+                  io::Fnv1a64(reinterpret_cast<const char*>(request.features.data()),
+                              request.features.size() * sizeof(float))};
+}
+
+/// Nearest-rank percentile over an unsorted sample copy.
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(q * (values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+}  // namespace
+
+SuggestionService::SuggestionService(io::InferenceBundle bundle,
+                                     const ServiceOptions& options)
+    : bundle_(std::move(bundle)),
+      ms_(bundle_.ddi, bundle_.ms_alpha,
+          static_cast<core::ExplainerKind>(bundle_.ms_explainer)),
+      options_(options) {
+  DSSDDI_CHECK(bundle_.num_drugs() > 0) << "serving an empty bundle";
+  if (options_.latency_window < 16) options_.latency_window = 16;
+  latency_ring_.resize(options_.latency_window, 0.0);
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<SuggestionCache>(options_.cache_capacity,
+                                               options_.cache_shards);
+  }
+  pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_.num_threads));
+  RequestBatcher::Options batch_options;
+  batch_options.max_batch_size = options_.max_batch_size;
+  batch_options.max_wait_us = options_.batch_wait_us;
+  batcher_ = std::make_unique<RequestBatcher>(
+      batch_options, [this](std::vector<PendingRequest> batch) {
+        pool_->Submit([this, shared = std::make_shared<std::vector<PendingRequest>>(
+                                 std::move(batch))]() mutable {
+          HandleBatch(std::move(*shared));
+        });
+      });
+}
+
+std::future<core::Suggestion> SuggestionService::Submit(Request request) {
+  const auto start = std::chrono::steady_clock::now();
+
+  if (static_cast<int>(request.features.size()) != feature_width() ||
+      request.k < 1) {
+    std::promise<core::Suggestion> rejected;
+    rejected.set_exception(std::make_exception_ptr(std::invalid_argument(
+        "bad request: " + std::to_string(request.features.size()) +
+        " features (want " + std::to_string(feature_width()) +
+        "), k=" + std::to_string(request.k))));
+    return rejected.get_future();
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Cache only fully-explained suggestions so a hit can answer any
+  // explain=true request verbatim; explanation-free requests always go
+  // through scoring (they are cheap) and never pollute the cache.
+  CacheKey key;
+  if (cache_ && request.patient_id >= 0 && request.explain) {
+    key = KeyFor(request);
+    core::Suggestion cached;
+    if (cache_->Get(key, &cached)) {
+      RecordLatency(MillisSince(start));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      std::promise<core::Suggestion> ready;
+      ready.set_value(std::move(cached));
+      return ready.get_future();
+    }
+    // Singleflight: if the same keyed query is already being scored,
+    // ride on that computation instead of scoring it again.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        it->second.push_back(Waiter{std::promise<core::Suggestion>{}, start});
+        return it->second.back().promise.get_future();
+      }
+      inflight_.emplace(key, std::vector<Waiter>{});
+    }
+  }
+  return batcher_->Enqueue(std::move(request), key);
+}
+
+std::vector<core::Suggestion> SuggestionService::SubmitBatch(
+    std::vector<Request> requests) {
+  std::vector<std::future<core::Suggestion>> futures;
+  futures.reserve(requests.size());
+  for (Request& request : requests) futures.push_back(Submit(std::move(request)));
+  std::vector<core::Suggestion> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
+  if (batch.empty()) return;
+  const int width = feature_width();
+  const int total = static_cast<int>(batch.size());
+  const int tile =
+      options_.score_tile > 0 ? std::min(options_.score_tile, total) : total;
+
+  // Score the batch tile-by-tile: each pass's decoder interaction matrix
+  // (tile * num_drugs rows) stays CPU-cache resident, while the batch as
+  // a whole amortized one queue handoff. Rows are independent in
+  // PredictScores, so tiling leaves every result bit-identical.
+  for (int begin = 0; begin < total; begin += tile) {
+    const int rows = std::min(tile, total - begin);
+    tensor::Matrix x(rows, width);
+    for (int i = 0; i < rows; ++i) {
+      const auto& features = batch[begin + i].request.features;
+      std::copy(features.begin(), features.end(), x.RowPtr(i));
+    }
+    const tensor::Matrix scores = bundle_.PredictScores(x);
+
+    for (int i = 0; i < rows; ++i) {
+      PendingRequest& pending = batch[begin + i];
+      core::Suggestion suggestion = BuildSuggestion(scores, i, pending.request);
+      if (cache_ && pending.request.explain && pending.request.patient_id >= 0) {
+        cache_->Put(pending.key, suggestion);
+        ResolveInflight(pending.key, suggestion);
+      }
+      RecordLatency(MillisSince(pending.enqueue_time));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      pending.promise.set_value(std::move(suggestion));
+    }
+  }
+}
+
+core::Suggestion SuggestionService::BuildSuggestion(const tensor::Matrix& scores,
+                                                    int row, const Request& request) {
+  core::Suggestion suggestion;
+  suggestion.drugs = core::TopKDrugs(scores, row, request.k);
+  suggestion.scores.reserve(suggestion.drugs.size());
+  for (int d : suggestion.drugs) suggestion.scores.push_back(scores.At(row, d));
+  if (request.explain) suggestion.explanation = ms_.Explain(suggestion.drugs);
+  return suggestion;
+}
+
+void SuggestionService::ResolveInflight(const CacheKey& key,
+                                        const core::Suggestion& value) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    waiters = std::move(it->second);
+    inflight_.erase(it);
+  }
+  for (Waiter& waiter : waiters) {
+    RecordLatency(MillisSince(waiter.start));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    waiter.promise.set_value(value);
+  }
+}
+
+void SuggestionService::RecordLatency(double millis) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_ring_[latency_next_] = millis;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  if (latency_count_ < latency_ring_.size()) ++latency_count_;
+}
+
+ServiceStats SuggestionService::Stats() const {
+  ServiceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  const RequestBatcher::DispatchCounters dispatch = batcher_->dispatch_counters();
+  stats.batches = dispatch.batches;
+  stats.mean_batch_size =
+      stats.batches == 0
+          ? 0.0
+          : static_cast<double>(dispatch.requests) / stats.batches;
+  if (cache_) {
+    const CacheCounters counters = cache_->Counters();
+    stats.cache_hits = counters.hits;
+    stats.cache_misses = counters.misses;
+    stats.cache_hit_rate = counters.hit_rate();
+  }
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.uptime_seconds = uptime_.ElapsedSeconds();
+  stats.qps = stats.uptime_seconds > 0.0
+                  ? static_cast<double>(stats.completed) / stats.uptime_seconds
+                  : 0.0;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    std::vector<double> sample(latency_ring_.begin(),
+                               latency_ring_.begin() + latency_count_);
+    stats.p50_latency_ms = Percentile(sample, 0.50);
+    stats.p99_latency_ms = Percentile(std::move(sample), 0.99);
+  }
+  stats.num_threads = pool_->num_threads();
+  return stats;
+}
+
+}  // namespace dssddi::serve

@@ -1,0 +1,142 @@
+#ifndef DSSDDI_SERVE_SERVICE_H_
+#define DSSDDI_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dssddi_system.h"
+#include "core/ms_module.h"
+#include "io/inference_bundle.h"
+#include "serve/request_batcher.h"
+#include "serve/suggestion_cache.h"
+#include "serve/thread_pool.h"
+#include "util/stopwatch.h"
+
+namespace dssddi::serve {
+
+struct ServiceOptions {
+  /// Worker threads scoring batches. 0 uses the hardware concurrency.
+  int num_threads = 0;
+  /// Micro-batch ceiling; 1 disables batching (one matrix pass per request).
+  int max_batch_size = 32;
+  /// How long an underfull batch waits for more requests, in microseconds.
+  int batch_wait_us = 200;
+  /// Total cached suggestions across shards; 0 disables the cache (and
+  /// with it in-flight coalescing, which rides on the same keys).
+  size_t cache_capacity = 4096;
+  int cache_shards = 8;
+  /// Scoring tile: a dispatched batch is scored `score_tile` rows per
+  /// matrix pass. Small tiles keep the decoder's interaction matrix
+  /// (tile x num_drugs rows) inside the CPU cache; batching still
+  /// amortizes queue handoffs across the whole batch. 0 scores the
+  /// batch in one pass.
+  int score_tile = 8;
+  /// Ring-buffer size for latency percentiles (most recent completions).
+  size_t latency_window = 1 << 15;
+};
+
+/// Point-in-time service health snapshot.
+struct ServiceStats {
+  uint64_t requests = 0;       // accepted by Submit
+  uint64_t completed = 0;      // futures fulfilled
+  uint64_t batches = 0;        // matrix passes dispatched
+  double mean_batch_size = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  /// Requests that attached to an identical in-flight query instead of
+  /// being scored again (singleflight coalescing).
+  uint64_t coalesced = 0;
+  double uptime_seconds = 0.0;
+  double qps = 0.0;            // completed / uptime
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  int num_threads = 0;
+};
+
+/// Concurrent top-k suggestion server over a frozen io::InferenceBundle.
+///
+/// Requests enter through `Submit` (future-based) or `SubmitBatch`
+/// (blocking convenience). A RequestBatcher groups concurrent arrivals
+/// into micro-batches, a ThreadPool scores each batch through
+/// cache-tiled `InferenceBundle::PredictScores` matrix passes, and a
+/// sharded LRU SuggestionCache short-circuits repeat (patient_id, k)
+/// queries. While a keyed query is being scored, identical arrivals
+/// coalesce onto it (singleflight) instead of queuing duplicate work.
+/// Results are bit-identical to calling `InferenceBundle::Suggest` (and
+/// therefore `DssddiSystem::Suggest`) per patient: batching and tiling
+/// change only how rows are grouped, never the per-row arithmetic.
+///
+/// Thread-safety: `Submit`, `SubmitBatch` and `Stats` may be called from
+/// any number of threads. Destruction flushes every in-flight request
+/// before returning, so no future is left dangling.
+class SuggestionService {
+ public:
+  explicit SuggestionService(io::InferenceBundle bundle,
+                             const ServiceOptions& options = {});
+  ~SuggestionService() = default;
+
+  SuggestionService(const SuggestionService&) = delete;
+  SuggestionService& operator=(const SuggestionService&) = delete;
+
+  /// Asynchronously answers one request. The future carries the
+  /// suggestion, or an exception for malformed input (wrong feature
+  /// width, k < 1).
+  std::future<core::Suggestion> Submit(Request request);
+
+  /// Submits all requests, waits, and returns the suggestions in order.
+  std::vector<core::Suggestion> SubmitBatch(std::vector<Request> requests);
+
+  ServiceStats Stats() const;
+
+  const io::InferenceBundle& bundle() const { return bundle_; }
+  const ServiceOptions& options() const { return options_; }
+  int feature_width() const { return bundle_.cluster_centroids.cols(); }
+
+ private:
+  struct Waiter {
+    std::promise<core::Suggestion> promise;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  void HandleBatch(std::vector<PendingRequest> batch);
+  core::Suggestion BuildSuggestion(const tensor::Matrix& scores, int row,
+                                   const Request& request);
+  /// Fulfils everyone coalesced onto `key` with copies of `value`.
+  void ResolveInflight(const CacheKey& key, const core::Suggestion& value);
+  void RecordLatency(double millis);
+
+  io::InferenceBundle bundle_;
+  core::MsModule ms_;
+  ServiceOptions options_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  util::Stopwatch uptime_;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<CacheKey, std::vector<Waiter>, CacheKeyHash> inflight_;
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+
+  // Shutdown order (reverse of declaration): the batcher stops first and
+  // flushes its queue into the pool, the pool then drains and joins, and
+  // only then do the cache and bundle go away.
+  std::unique_ptr<SuggestionCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<RequestBatcher> batcher_;
+};
+
+}  // namespace dssddi::serve
+
+#endif  // DSSDDI_SERVE_SERVICE_H_

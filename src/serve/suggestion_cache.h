@@ -1,0 +1,110 @@
+#ifndef DSSDDI_SERVE_SUGGESTION_CACHE_H_
+#define DSSDDI_SERVE_SUGGESTION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/dssddi_system.h"
+
+namespace dssddi::serve {
+
+/// Cache key: which patient asked for how many drugs. Patients are
+/// identified by an external id (EHR record number, cohort row, ...);
+/// requests without a stable id (negative patient_id) bypass the cache.
+/// `feature_hash` guards against the id outliving the patient state: a
+/// query for the same patient with updated features hashes differently
+/// and can never be answered from the stale entry.
+struct CacheKey {
+  int64_t patient_id = -1;
+  int k = 0;
+  uint64_t feature_hash = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return patient_id == other.patient_id && k == other.k &&
+           feature_hash == other.feature_hash;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    // 64-bit mix (splitmix64 finalizer) over all fields.
+    uint64_t x = static_cast<uint64_t>(key.patient_id) * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(key.k);
+    x ^= key.feature_hash + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// Counter snapshot; all counters are cumulative since construction.
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Sharded LRU cache of served suggestions. Keys hash to one of
+/// `num_shards` independent shards, each with its own mutex, LRU list and
+/// capacity slice, so concurrent lookups for different patients rarely
+/// contend. Within a shard, eviction is strict LRU (Get refreshes
+/// recency; Put of an existing key overwrites and refreshes).
+class SuggestionCache {
+ public:
+  /// `capacity` is the total entry budget across shards (each shard gets
+  /// an equal slice, at least 1). With `num_shards` == 1 the cache is a
+  /// single globally-ordered LRU, which unit tests rely on.
+  explicit SuggestionCache(size_t capacity, int num_shards = 8);
+
+  SuggestionCache(const SuggestionCache&) = delete;
+  SuggestionCache& operator=(const SuggestionCache&) = delete;
+
+  /// On hit copies the cached suggestion into `*out`, refreshes recency
+  /// and returns true. On miss returns false and counts a miss.
+  bool Get(const CacheKey& key, core::Suggestion* out);
+
+  /// Inserts or overwrites `key`, evicting the least-recently-used entry
+  /// of the target shard when its slice is full.
+  void Put(const CacheKey& key, core::Suggestion value);
+
+  void Clear();
+
+  CacheCounters Counters() const;
+  size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<CacheKey, core::Suggestion>> lru;
+    std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dssddi::serve
+
+#endif  // DSSDDI_SERVE_SUGGESTION_CACHE_H_

@@ -1,0 +1,53 @@
+#ifndef DSSDDI_SERVE_THREAD_POOL_H_
+#define DSSDDI_SERVE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dssddi::serve {
+
+/// Fixed-size worker pool over a FIFO task queue. Tasks submitted before
+/// destruction are all executed: the destructor stops intake, drains the
+/// queue, and joins the workers. Submission and execution are fully
+/// thread-safe; each task runs exactly once on exactly one worker.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Must not be called
+  /// after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of tasks that have finished running (monotonic).
+  uint64_t tasks_executed() const { return tasks_executed_.load(); }
+
+  /// Tasks submitted but not yet started.
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dssddi::serve
+
+#endif  // DSSDDI_SERVE_THREAD_POOL_H_

@@ -47,7 +47,7 @@ double BruteForceDensity(const Graph& g) {
   return best;
 }
 
-double SubgraphDensity(const Graph& g, const algo::DenseSubgraph& subgraph) {
+double SubgraphDensity(const Graph&, const algo::DenseSubgraph& subgraph) {
   if (subgraph.vertices.empty()) return 0.0;
   return static_cast<double>(subgraph.edge_ids.size()) / subgraph.vertices.size();
 }

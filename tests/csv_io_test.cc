@@ -89,8 +89,12 @@ TEST(ParseCsvTest, WriterOutputParsesBack) {
 
 data::CsvDatasetPaths TempPaths(const std::string& stem) {
   const std::string dir = ::testing::TempDir() + "/";
-  return {dir + stem + "_patients.csv", dir + stem + "_medication.csv",
-          dir + stem + "_ddi.csv", dir + stem + "_drugs.csv"};
+  data::CsvDatasetPaths paths;
+  paths.patients_csv = dir + stem + "_patients.csv";
+  paths.medication_csv = dir + stem + "_medication.csv";
+  paths.ddi_csv = dir + stem + "_ddi.csv";
+  paths.drugs_csv = dir + stem + "_drugs.csv";
+  return paths;
 }
 
 TEST(DatasetCsvTest, RoundTripPreservesEverything) {

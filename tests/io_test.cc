@@ -372,6 +372,7 @@ TEST_F(InferenceBundleTest, SaveLoadPreservesScoresBitExactly) {
   ASSERT_TRUE(io::LoadInferenceBundle(path, &loaded).ok);
   EXPECT_EQ(loaded.display_name, bundle.display_name);
   EXPECT_EQ(loaded.hidden_dim, bundle.hidden_dim);
+  EXPECT_EQ(loaded.ms_explainer, bundle.ms_explainer);
 
   const auto& test_ids = dataset_->split.test;
   const tensor::Matrix x = dataset_->patient_features.GatherRows(test_ids);

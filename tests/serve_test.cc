@@ -1,0 +1,459 @@
+// Tests for the concurrent serving subsystem: the worker pool runs every
+// task exactly once, the sharded LRU cache evicts in order and survives
+// concurrent hammering, the micro-batcher respects its batch ceiling,
+// and SuggestionService answers are bit-identical to calling
+// DssddiSystem::Suggest directly for the same patients.
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/dssddi_system.h"
+#include "gtest/gtest.h"
+#include "io/inference_bundle.h"
+#include "serve/request_batcher.h"
+#include "serve/service.h"
+#include "serve/suggestion_cache.h"
+#include "serve/thread_pool.h"
+#include "test_support.h"
+
+namespace dssddi {
+namespace {
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesEveryTaskExactlyOnce) {
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> run_counts(kTasks);
+  for (auto& count : run_counts) count = 0;
+  {
+    serve::ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&run_counts, i] { run_counts[i].fetch_add(1); });
+    }
+    // Pool destructor drains the queue before joining.
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(run_counts[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, CountsExecutedTasks) {
+  serve::ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 64; ++i) pool.Submit([&sum] { sum.fetch_add(1); });
+  while (pool.tasks_executed() < 64) std::this_thread::yield();
+  EXPECT_EQ(sum.load(), 64);
+  EXPECT_EQ(pool.tasks_executed(), 64u);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  std::atomic<int> sum{0};
+  {
+    serve::ThreadPool pool(3);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; ++t) {
+      producers.emplace_back([&pool, &sum] {
+        for (int i = 0; i < 100; ++i) pool.Submit([&sum] { sum.fetch_add(1); });
+      });
+    }
+    for (auto& producer : producers) producer.join();
+  }
+  EXPECT_EQ(sum.load(), 400);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  serve::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  while (pool.tasks_executed() < 1) std::this_thread::yield();
+  EXPECT_TRUE(ran.load());
+}
+
+// ---------------------------------------------------------------------
+// SuggestionCache
+// ---------------------------------------------------------------------
+
+core::Suggestion MakeSuggestion(int tag) {
+  core::Suggestion suggestion;
+  suggestion.drugs = {tag, tag + 1};
+  suggestion.scores = {1.0f, 0.5f};
+  return suggestion;
+}
+
+TEST(SuggestionCacheTest, HitReturnsStoredValue) {
+  serve::SuggestionCache cache(/*capacity=*/8, /*num_shards=*/2);
+  cache.Put({7, 3}, MakeSuggestion(42));
+  core::Suggestion out;
+  ASSERT_TRUE(cache.Get({7, 3}, &out));
+  EXPECT_EQ(out.drugs, (std::vector<int>{42, 43}));
+  // Same patient, different k is a different entry.
+  EXPECT_FALSE(cache.Get({7, 4}, &out));
+  const auto counters = cache.Counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.entries, 1u);
+}
+
+TEST(SuggestionCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  // One shard makes the LRU order global and deterministic.
+  serve::SuggestionCache cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Put({1, 1}, MakeSuggestion(1));
+  cache.Put({2, 1}, MakeSuggestion(2));
+  cache.Put({3, 1}, MakeSuggestion(3));
+
+  core::Suggestion out;
+  ASSERT_TRUE(cache.Get({1, 1}, &out));  // refresh 1; LRU order is now 2,3,1
+
+  cache.Put({4, 1}, MakeSuggestion(4));  // evicts 2
+  EXPECT_FALSE(cache.Get({2, 1}, &out));
+  EXPECT_TRUE(cache.Get({1, 1}, &out));
+  EXPECT_TRUE(cache.Get({3, 1}, &out));
+  EXPECT_TRUE(cache.Get({4, 1}, &out));
+
+  cache.Put({5, 1}, MakeSuggestion(5));  // evicts 1 (LRU after the gets: 1,3,4)
+  EXPECT_FALSE(cache.Get({1, 1}, &out));
+  EXPECT_TRUE(cache.Get({3, 1}, &out));
+
+  const auto counters = cache.Counters();
+  EXPECT_EQ(counters.evictions, 2u);
+  EXPECT_EQ(counters.entries, 3u);
+}
+
+TEST(SuggestionCacheTest, PutOfExistingKeyOverwritesAndRefreshes) {
+  serve::SuggestionCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put({1, 1}, MakeSuggestion(1));
+  cache.Put({2, 1}, MakeSuggestion(2));
+  cache.Put({1, 1}, MakeSuggestion(100));  // overwrite + refresh; order: 1,2
+  cache.Put({3, 1}, MakeSuggestion(3));    // evicts 2, not 1
+
+  core::Suggestion out;
+  ASSERT_TRUE(cache.Get({1, 1}, &out));
+  EXPECT_EQ(out.drugs.front(), 100);
+  EXPECT_FALSE(cache.Get({2, 1}, &out));
+}
+
+TEST(SuggestionCacheTest, ThreadSafeUnderConcurrentHammering) {
+  serve::SuggestionCache cache(/*capacity=*/64, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5000;
+  std::atomic<uint64_t> observed_hits{0};
+  std::atomic<uint64_t> observed_misses{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &observed_hits, &observed_misses, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const serve::CacheKey key{(t * 31 + i) % 200, 1 + i % 3};
+        if (i % 3 == 0) {
+          cache.Put(key, MakeSuggestion(i));
+        } else {
+          core::Suggestion out;
+          if (cache.Get(key, &out)) {
+            // A hit must carry a well-formed value, not torn state.
+            ASSERT_EQ(out.drugs.size(), 2u);
+            ASSERT_EQ(out.drugs[0] + 1, out.drugs[1]);
+            observed_hits.fetch_add(1);
+          } else {
+            observed_misses.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  const auto counters = cache.Counters();
+  EXPECT_EQ(counters.hits, observed_hits.load());
+  EXPECT_EQ(counters.misses, observed_misses.load());
+  EXPECT_LE(counters.entries, 64u + 8u);  // capacity, rounded up per shard
+  EXPECT_GT(counters.hits + counters.misses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// RequestBatcher
+// ---------------------------------------------------------------------
+
+TEST(RequestBatcherTest, GroupsRequestsUpToBatchCeiling) {
+  std::mutex mutex;
+  std::vector<size_t> batch_sizes;
+  serve::RequestBatcher::Options options;
+  options.max_batch_size = 4;
+  options.max_wait_us = 20000;  // generous so a burst lands in few batches
+  serve::RequestBatcher batcher(options, [&](std::vector<serve::PendingRequest> batch) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      batch_sizes.push_back(batch.size());
+    }
+    for (auto& pending : batch) pending.promise.set_value({});
+  });
+
+  std::vector<std::future<core::Suggestion>> futures;
+  for (int i = 0; i < 10; ++i) {
+    serve::Request request;
+    request.k = 1;
+    futures.push_back(batcher.Enqueue(std::move(request)));
+  }
+  for (auto& future : futures) future.get();
+
+  std::lock_guard<std::mutex> lock(mutex);
+  size_t total = 0;
+  for (size_t size : batch_sizes) {
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, 4u);
+    total += size;
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(batcher.requests_dispatched(), 10u);
+  EXPECT_EQ(batcher.batches_dispatched(), batch_sizes.size());
+}
+
+TEST(RequestBatcherTest, FlushesQueueOnDestruction) {
+  std::atomic<int> handled{0};
+  {
+    serve::RequestBatcher::Options options;
+    options.max_batch_size = 64;
+    options.max_wait_us = 10'000'000;  // would wait 10s without the flush
+    serve::RequestBatcher batcher(options, [&](std::vector<serve::PendingRequest> batch) {
+      handled.fetch_add(static_cast<int>(batch.size()));
+      for (auto& pending : batch) pending.promise.set_value({});
+    });
+    for (int i = 0; i < 5; ++i) batcher.Enqueue({});
+    // Destructor must flush the 5 queued requests without the timeout.
+  }
+  EXPECT_EQ(handled.load(), 5);
+}
+
+// ---------------------------------------------------------------------
+// SuggestionService end-to-end: identical to the in-process system.
+// ---------------------------------------------------------------------
+
+class SuggestionServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::SuggestionDataset(testing::TinyDataset());
+    core::DssddiConfig config;
+    config.ddi.epochs = 60;
+    config.md.epochs = 80;
+    config.md.hidden_dim = 16;
+    system_ = new core::DssddiSystem(config);
+    system_->Fit(*dataset_);
+    bundle_ = new io::InferenceBundle(
+        io::ExtractInferenceBundle(*system_, *dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    delete system_;
+    delete dataset_;
+    bundle_ = nullptr;
+    system_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static serve::Request RequestFor(int patient, int k) {
+    serve::Request request;
+    request.patient_id = patient;
+    const auto& features = dataset_->patient_features;
+    request.features.assign(features.RowPtr(patient),
+                            features.RowPtr(patient) + features.cols());
+    request.k = k;
+    return request;
+  }
+
+  static void ExpectSameSuggestion(const core::Suggestion& actual,
+                                   const core::Suggestion& expected) {
+    EXPECT_EQ(actual.drugs, expected.drugs);
+    ASSERT_EQ(actual.scores.size(), expected.scores.size());
+    for (size_t i = 0; i < expected.scores.size(); ++i) {
+      EXPECT_EQ(actual.scores[i], expected.scores[i]) << "score " << i;
+    }
+    EXPECT_EQ(actual.explanation.subgraph_drugs, expected.explanation.subgraph_drugs);
+    EXPECT_EQ(actual.explanation.suggested_drugs, expected.explanation.suggested_drugs);
+    EXPECT_DOUBLE_EQ(actual.explanation.suggestion_satisfaction,
+                     expected.explanation.suggestion_satisfaction);
+  }
+
+  static data::SuggestionDataset* dataset_;
+  static core::DssddiSystem* system_;
+  static io::InferenceBundle* bundle_;
+};
+
+data::SuggestionDataset* SuggestionServiceTest::dataset_ = nullptr;
+core::DssddiSystem* SuggestionServiceTest::system_ = nullptr;
+io::InferenceBundle* SuggestionServiceTest::bundle_ = nullptr;
+
+TEST_F(SuggestionServiceTest, MatchesDirectSuggestForEveryTestPatient) {
+  serve::ServiceOptions options;
+  options.num_threads = 4;
+  options.max_batch_size = 8;
+  options.batch_wait_us = 500;
+  serve::SuggestionService service(*bundle_, options);
+
+  constexpr int kK = 3;
+  const std::vector<int>& patients = dataset_->split.test;
+  std::vector<std::future<core::Suggestion>> futures;
+  futures.reserve(patients.size());
+  for (int patient : patients) {
+    futures.push_back(service.Submit(RequestFor(patient, kK)));
+  }
+  for (size_t i = 0; i < patients.size(); ++i) {
+    const core::Suggestion actual = futures[i].get();
+    const core::Suggestion expected = system_->Suggest(*dataset_, patients[i], kK);
+    ExpectSameSuggestion(actual, expected);
+  }
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, patients.size());
+  EXPECT_EQ(stats.completed, patients.size());
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+}
+
+TEST_F(SuggestionServiceTest, RepeatQueriesAreServedFromCache) {
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 128;
+  serve::SuggestionService service(*bundle_, options);
+
+  const int patient = dataset_->split.test.front();
+  const core::Suggestion first = service.Submit(RequestFor(patient, 4)).get();
+  const core::Suggestion second = service.Submit(RequestFor(patient, 4)).get();
+  ExpectSameSuggestion(second, first);
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);  // only the first Submit missed
+  EXPECT_GT(stats.cache_hit_rate, 0.0);
+}
+
+TEST_F(SuggestionServiceTest, SubmitBatchPreservesOrderAndMatchesDirect) {
+  serve::ServiceOptions options;
+  options.num_threads = 4;
+  options.max_batch_size = 16;
+  serve::SuggestionService service(*bundle_, options);
+
+  std::vector<int> patients(dataset_->split.test.begin(),
+                            dataset_->split.test.begin() + 6);
+  std::vector<serve::Request> requests;
+  for (int patient : patients) requests.push_back(RequestFor(patient, 2));
+  const std::vector<core::Suggestion> results = service.SubmitBatch(std::move(requests));
+  ASSERT_EQ(results.size(), patients.size());
+  for (size_t i = 0; i < patients.size(); ++i) {
+    ExpectSameSuggestion(results[i], system_->Suggest(*dataset_, patients[i], 2));
+  }
+}
+
+TEST_F(SuggestionServiceTest, ExplanationFreeRequestsMatchOnDrugsAndScores) {
+  serve::SuggestionService service(*bundle_, {});
+  const int patient = dataset_->split.test.back();
+  serve::Request request = RequestFor(patient, 3);
+  request.explain = false;
+  const core::Suggestion actual = service.Submit(std::move(request)).get();
+  const core::Suggestion expected = system_->Suggest(*dataset_, patient, 3);
+  EXPECT_EQ(actual.drugs, expected.drugs);
+  for (size_t i = 0; i < expected.scores.size(); ++i) {
+    EXPECT_EQ(actual.scores[i], expected.scores[i]);
+  }
+  EXPECT_TRUE(actual.explanation.subgraph_drugs.empty());
+}
+
+TEST_F(SuggestionServiceTest, MalformedRequestsAreRejectedViaTheFuture) {
+  serve::SuggestionService service(*bundle_, {});
+  serve::Request bad_width;
+  bad_width.features = {1.0f, 2.0f};  // wrong feature width
+  bad_width.k = 3;
+  EXPECT_THROW(service.Submit(std::move(bad_width)).get(), std::invalid_argument);
+
+  serve::Request bad_k = RequestFor(dataset_->split.test.front(), 3);
+  bad_k.k = 0;
+  EXPECT_THROW(service.Submit(std::move(bad_k)).get(), std::invalid_argument);
+
+  // Rejected submissions are not counted as accepted requests, so
+  // requests == completed and monitors see no phantom backlog.
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST_F(SuggestionServiceTest, ChangedFeaturesForSamePatientIdBypassStaleCache) {
+  serve::ServiceOptions options;
+  options.cache_capacity = 64;
+  serve::SuggestionService service(*bundle_, options);
+
+  // Same external id, two different underlying patients: the cache must
+  // not answer the second query with the first patient's suggestion.
+  const int patient_a = dataset_->split.test[0];
+  const int patient_b = dataset_->split.test[1];
+  serve::Request first = RequestFor(patient_a, 3);
+  serve::Request second = RequestFor(patient_b, 3);
+  second.patient_id = first.patient_id;
+
+  const core::Suggestion got_a = service.Submit(std::move(first)).get();
+  const core::Suggestion got_b = service.Submit(std::move(second)).get();
+  ExpectSameSuggestion(got_a, system_->Suggest(*dataset_, patient_a, 3));
+  ExpectSameSuggestion(got_b, system_->Suggest(*dataset_, patient_b, 3));
+
+  // Identical repeat (same id AND same features) still hits.
+  const core::Suggestion repeat = service.Submit(RequestFor(patient_a, 3)).get();
+  ExpectSameSuggestion(repeat, got_a);
+  EXPECT_GE(service.Stats().cache_hits, 1u);
+}
+
+TEST_F(SuggestionServiceTest, HonorsTheBundlesExplainerKind) {
+  // A system configured with the densest-subgraph explainer must serve
+  // densest-subgraph explanations, not the default truss community.
+  core::DssddiConfig config;
+  config.ddi.epochs = 30;
+  config.md.epochs = 40;
+  config.md.hidden_dim = 16;
+  config.ms_explainer = core::ExplainerKind::kDensestSubgraph;
+  core::DssddiSystem densest_system(config);
+  densest_system.Fit(*dataset_);
+  const auto bundle = io::ExtractInferenceBundle(densest_system, *dataset_);
+  EXPECT_EQ(bundle.ms_explainer,
+            static_cast<int>(core::ExplainerKind::kDensestSubgraph));
+
+  serve::SuggestionService service(bundle, {});
+  const int patient = dataset_->split.test.front();
+  const core::Suggestion actual = service.Submit(RequestFor(patient, 3)).get();
+  const core::Suggestion expected = densest_system.Suggest(*dataset_, patient, 3);
+  ExpectSameSuggestion(actual, expected);
+  // The densest explainer fills density and leaves trussness at 0.
+  EXPECT_EQ(actual.explanation.trussness, expected.explanation.trussness);
+  EXPECT_DOUBLE_EQ(actual.explanation.density, expected.explanation.density);
+}
+
+TEST_F(SuggestionServiceTest, ConcurrentMixedLoadStaysConsistent) {
+  serve::ServiceOptions options;
+  options.num_threads = 4;
+  options.max_batch_size = 8;
+  options.cache_capacity = 64;
+  serve::SuggestionService service(*bundle_, options);
+
+  const std::vector<int>& patients = dataset_->split.test;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        const int patient = patients[(t * 7 + i) % patients.size()];
+        const core::Suggestion got = service.Submit(RequestFor(patient, 3)).get();
+        const core::Suggestion want = system_->Suggest(*dataset_, patient, 3);
+        if (got.drugs != want.drugs) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 100u);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace dssddi
