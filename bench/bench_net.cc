@@ -1,0 +1,253 @@
+// HTTP front-end benchmark: closed-loop loopback load against the full
+// network stack (epoll server -> JSON codec -> admission -> batched
+// scoring). Reports sustained qps and client-observed latency
+// percentiles across a connection-count grid, then demonstrates
+// admission-control shedding under a deliberately tight in-flight bound.
+//
+//   ./bench/bench_net [--requests N] [--unique U] [--quick]
+//
+// Each "connection" is one closed-loop client thread reusing a single
+// keep-alive connection: it sends, waits for the answer, sends again —
+// like a clinic frontend. qps therefore saturates once the scoring core
+// is busy, and added connections buy queueing, not throughput, on a
+// single-core host.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/dssddi_system.h"
+#include "data/chronic_cohort.h"
+#include "data/dataset.h"
+#include "io/inference_bundle.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/suggest_frontend.h"
+#include "serve/service.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dssddi;
+
+struct LoadResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+};
+
+double Percentile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(q * (values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+/// Closed-loop load: `connections` keep-alive clients split
+/// `total_requests` between them; each waits for its answer before
+/// sending the next. 429s count as shed (they still complete the loop
+/// iteration — fast rejection is the point of admission control).
+LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
+                   int connections, int total_requests) {
+  std::atomic<int> next{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::vector<double>> latencies(connections);
+
+  util::Stopwatch clock;
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok) {
+        errors.fetch_add(1);
+        return;
+      }
+      latencies[c].reserve(total_requests / connections + 1);
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= total_requests) break;
+        util::Stopwatch request_clock;
+        net::ClientResponse response;
+        if (!client.connected() &&
+            !client.Connect("127.0.0.1", port).ok) {
+          errors.fetch_add(1);
+          break;
+        }
+        const io::Status status = client.Request(
+            "POST", "/v1/suggest", bodies[i % bodies.size()], &response);
+        if (!status.ok) {
+          errors.fetch_add(1);
+          continue;
+        }
+        latencies[c].push_back(request_clock.ElapsedMillis());
+        if (response.status == 200) {
+          ok.fetch_add(1);
+        } else if (response.status == 429) {
+          shed.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double elapsed = clock.ElapsedSeconds();
+
+  std::vector<double> merged;
+  for (auto& lane : latencies) {
+    merged.insert(merged.end(), lane.begin(), lane.end());
+  }
+  LoadResult result;
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  result.qps = elapsed > 0 ? static_cast<double>(result.ok + result.shed) / elapsed
+                           : 0.0;
+  result.p50_ms = Percentile(merged, 0.50);
+  result.p99_ms = Percentile(merged, 0.99);
+  return result;
+}
+
+void PrintRow(int connections, const LoadResult& result) {
+  std::printf("%11d %10.0f %10.3f %10.3f %8llu %8llu %8llu\n", connections,
+              result.qps, result.p50_ms, result.p99_ms,
+              static_cast<unsigned long long>(result.ok),
+              static_cast<unsigned long long>(result.shed),
+              static_cast<unsigned long long>(result.errors));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_requests = 2000;
+  int unique_patients = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
+      num_requests = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--unique") && i + 1 < argc) {
+      unique_patients = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--quick")) {
+      num_requests = 600;
+    } else {
+      std::printf("usage: %s [--requests N] [--unique U] [--quick]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  bench::PrintHeader("HTTP front-end: qps/p50/p99 vs connection count",
+                     "network serving tier (beyond the paper's offline eval)");
+
+  // One small trained system, frozen once; quality is irrelevant here.
+  data::ChronicDatasetOptions data_options;
+  data_options.cohort.num_males = 150;
+  data_options.cohort.num_females = 100;
+  const data::SuggestionDataset dataset = data::BuildChronicDataset(data_options);
+  core::DssddiConfig config;
+  config.ddi.epochs = 40;
+  config.md.epochs = 40;
+  core::DssddiSystem system(config);
+  std::printf("training a small system to freeze (%d patients, %d drugs)...\n",
+              dataset.num_patients(), dataset.num_drugs());
+  system.Fit(dataset);
+  io::InferenceBundle bundle = io::ExtractInferenceBundle(system, dataset);
+  const int width = bundle.cluster_centroids.cols();
+
+  // Pre-serialized JSON bodies over `unique_patients` synthetic rows
+  // (explanations on — the product workload — so the cache matters).
+  util::Rng rng(7);
+  std::vector<std::string> bodies;
+  bodies.reserve(unique_patients);
+  for (int p = 0; p < unique_patients; ++p) {
+    net::JsonWriter json;
+    json.BeginObject().Key("patient_id").Int(p).Key("features").BeginArray();
+    for (int j = 0; j < width; ++j) {
+      json.Float(static_cast<float>(rng.Normal(0.0, 1.0)));
+    }
+    json.EndArray().Key("k").Int(3).Key("explain").Bool(true).EndObject();
+    bodies.push_back(json.str());
+  }
+
+  // ------------------------------------------------------------------
+  // Grid 1: open admission — throughput and latency vs connections.
+  // ------------------------------------------------------------------
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 0;  // hardware concurrency
+  service_options.max_batch_size = 32;
+  service_options.cache_capacity = 4096;
+  serve::SuggestionService service(bundle, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  frontend.AttachServer(&server);
+  if (const io::Status status = server.Start(); !status.ok) {
+    std::printf("error: %s\n", status.message.c_str());
+    return 1;
+  }
+  std::printf("server up on 127.0.0.1:%d (%d scoring threads); %d requests"
+              " per cell, %d unique patients\n\n",
+              server.port(), service.Stats().num_threads, num_requests,
+              unique_patients);
+
+  std::printf("%11s %10s %10s %10s %8s %8s %8s\n", "connections", "qps",
+              "p50 ms", "p99 ms", "ok", "shed", "errors");
+  for (const int connections : {1, 8, 32}) {
+    PrintRow(connections,
+             RunLoad(server.port(), bodies, connections, num_requests));
+  }
+  const serve::ServiceStats open_stats = service.Stats();
+  std::printf("\nservice after grid: %llu completed, cache hit rate %.1f%%,"
+              " mean batch %.1f, 0 shed (admission open)\n",
+              static_cast<unsigned long long>(open_stats.completed),
+              100.0 * open_stats.cache_hit_rate, open_stats.mean_batch_size);
+  server.Stop();
+
+  // ------------------------------------------------------------------
+  // Grid 2: tight admission — the gate sheds instead of queueing.
+  // ------------------------------------------------------------------
+  serve::ServiceOptions tight_options = service_options;
+  tight_options.cache_capacity = 0;  // every request pays real scoring
+  tight_options.admission.max_in_flight = 4;
+  tight_options.admission.max_queue_depth = 8;
+  serve::SuggestionService tight_service(std::move(bundle), tight_options);
+  net::SuggestFrontend tight_frontend(&tight_service);
+  net::HttpServer tight_server(server_options, tight_frontend.AsHandler());
+  if (const io::Status status = tight_server.Start(); !status.ok) {
+    std::printf("error: %s\n", status.message.c_str());
+    return 1;
+  }
+  std::printf("\nwith admission bounds (max_in_flight=4, max_queue=8) and the"
+              " cache off:\n");
+  std::printf("%11s %10s %10s %10s %8s %8s %8s\n", "connections", "qps",
+              "p50 ms", "p99 ms", "ok", "shed", "errors");
+  LoadResult tight_result;
+  for (const int connections : {1, 8, 32}) {
+    tight_result =
+        RunLoad(tight_server.port(), bodies, connections, num_requests);
+    PrintRow(connections, tight_result);
+  }
+  const serve::ServiceStats tight_stats = tight_service.Stats();
+  std::printf("\nadmission after grid: %llu admitted, %llu shed — overload"
+              " turns into fast 429s, p99 stays bounded\n",
+              static_cast<unsigned long long>(tight_stats.admitted),
+              static_cast<unsigned long long>(tight_stats.shed));
+  tight_server.Stop();
+
+  const bool ok = tight_result.errors == 0;
+  std::printf("%s\n", ok ? "PASS: full grid served with zero errors"
+                         : "FAIL: errors observed under load");
+  return ok ? 0 : 1;
+}

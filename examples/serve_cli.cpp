@@ -25,8 +25,7 @@
 #include <vector>
 
 #include "core/dssddi_system.h"
-#include "data/chronic_cohort.h"
-#include "data/dataset.h"
+#include "example_bundle.h"
 #include "io/inference_bundle.h"
 #include "serve/service.h"
 #include "util/rng.h"
@@ -72,30 +71,7 @@ int main(int argc, char** argv) {
 
   // 1. Get a bundle: reuse the file if it loads, otherwise train a small
   //    chronic-cohort system and export it (the dss_cli workflow).
-  io::InferenceBundle bundle;
-  if (io::LoadInferenceBundle(model_path, &bundle).ok) {
-    std::printf("loaded bundle '%s' from %s (%d drugs)\n",
-                bundle.display_name.c_str(), model_path.c_str(), bundle.num_drugs());
-  } else {
-    std::printf("no usable bundle at %s — training one (about a minute)...\n",
-                model_path.c_str());
-    data::ChronicDatasetOptions data_options;
-    data_options.cohort.num_males = 300;
-    data_options.cohort.num_females = 200;
-    const data::SuggestionDataset dataset = data::BuildChronicDataset(data_options);
-    core::DssddiConfig config;
-    config.ddi.epochs = 120;
-    config.md.epochs = 120;
-    core::DssddiSystem system(config);
-    system.Fit(dataset);
-    bundle = io::ExtractInferenceBundle(system, dataset);
-    if (const io::Status status = io::SaveInferenceBundle(model_path, bundle);
-        !status.ok) {
-      std::printf("warning: could not save bundle: %s\n", status.message.c_str());
-    } else {
-      std::printf("exported bundle to %s\n", model_path.c_str());
-    }
-  }
+  io::InferenceBundle bundle = examples::LoadOrTrainBundle(model_path);
 
   // 2. Start the service.
   serve::ServiceOptions options;

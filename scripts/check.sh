@@ -1,11 +1,36 @@
 #!/usr/bin/env bash
 # One-command tier-1 gate: configure, build with all cores, run ctest.
 # Usage: scripts/check.sh [build-dir]   (default: build)
+#
+# Opt-in sanitizer pass: set CHECK_SANITIZE to a -fsanitize list and a
+# second build dir (<build-dir>-sanitize) is configured with it and ctest
+# runs again under the instrumented binaries — this is how the epoll /
+# threading code gets exercised under ASan+UBSan:
+#
+#   CHECK_SANITIZE=address,undefined scripts/check.sh
+#
+# CHECK_SANITIZE_ONLY=1 skips the plain pass (for CI jobs that split the
+# two builds across runners instead of paying for both in one job).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [[ -z "${CHECK_SANITIZE_ONLY:-}" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi
+
+if [[ -n "${CHECK_SANITIZE:-}" ]]; then
+  SAN_DIR="${BUILD_DIR}-sanitize"
+  echo "== sanitizer pass (-fsanitize=${CHECK_SANITIZE}) in ${SAN_DIR} =="
+  cmake -B "$SAN_DIR" -S . -DDSSDDI_SANITIZE="$CHECK_SANITIZE" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$SAN_DIR" -j "$(nproc)"
+  # Test fixtures intentionally leak a few process-lifetime singletons;
+  # leak checking would only report those, so keep ASan focused on
+  # use-after-free / overflow / races-made-visible.
+  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)"
+fi

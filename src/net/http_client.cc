@@ -1,0 +1,186 @@
+#include "net/http_client.h"
+
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace dssddi::net {
+
+const std::string* ClientResponse::FindHeader(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (AsciiEqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+io::Status HttpClient::Connect(const std::string& host, int port,
+                               int timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return io::Status::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  struct timeval timeout {};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return io::Status::Error("unparseable address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const io::Status status = io::Status::Error(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    Close();
+    return status;
+  }
+  buffer_.clear();
+  return io::Status::Ok();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+io::Status HttpClient::Request(const std::string& method,
+                               const std::string& target,
+                               const std::string& body, ClientResponse* out) {
+  if (fd_ < 0) return io::Status::Error("not connected");
+  std::string wire;
+  wire.reserve(128 + body.size());
+  wire += method;
+  wire.push_back(' ');
+  wire += target;
+  wire += " HTTP/1.1\r\nHost: dssddi\r\n";
+  if (!body.empty()) {
+    wire += "Content-Type: application/json\r\nContent-Length: ";
+    wire += std::to_string(body.size());
+    wire += "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const io::Status status =
+        io::Status::Error(std::string("send: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+  return ReadResponse(out);
+}
+
+io::Status HttpClient::ReadResponse(ClientResponse* out) {
+  *out = ClientResponse{};
+  // 1. Accumulate until the header terminator.
+  size_t header_end = std::string::npos;
+  for (;;) {
+    header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const io::Status status = io::Status::Error(
+        n == 0 ? "connection closed mid-response"
+               : std::string("recv: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+
+  // 2. Status line + headers.
+  const std::string head = buffer_.substr(0, header_end);
+  buffer_.erase(0, header_end + 4);
+  size_t line_start = 0;
+  size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  if (status_line.compare(0, 5, "HTTP/") != 0) {
+    Close();
+    return io::Status::Error("malformed status line '" + status_line + "'");
+  }
+  const size_t space = status_line.find(' ');
+  if (space == std::string::npos || space + 4 > status_line.size()) {
+    Close();
+    return io::Status::Error("malformed status line '" + status_line + "'");
+  }
+  out->status = std::atoi(status_line.c_str() + space + 1);
+  while (line_end != std::string::npos) {
+    line_start = line_end + 2;
+    line_end = head.find("\r\n", line_start);
+    const std::string line = head.substr(
+        line_start, (line_end == std::string::npos ? head.size() : line_end) -
+                        line_start);
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    size_t value_start = colon + 1;
+    while (value_start < line.size() &&
+           (line[value_start] == ' ' || line[value_start] == '\t')) {
+      ++value_start;
+    }
+    out->headers.emplace_back(line.substr(0, colon), line.substr(value_start));
+  }
+
+  // 3. Fixed-length body.
+  size_t content_length = 0;
+  if (const std::string* length = out->FindHeader("Content-Length")) {
+    content_length = static_cast<size_t>(std::strtoull(length->c_str(), nullptr, 10));
+  }
+  while (buffer_.size() < content_length) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const io::Status status = io::Status::Error(
+        n == 0 ? "connection closed mid-body"
+               : std::string("recv: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+  out->body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+
+  out->keep_alive = true;
+  if (const std::string* connection = out->FindHeader("Connection")) {
+    if (AsciiEqualsIgnoreCase(*connection, "close")) out->keep_alive = false;
+  }
+  if (!out->keep_alive) Close();
+  return io::Status::Ok();
+}
+
+}  // namespace dssddi::net

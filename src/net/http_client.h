@@ -1,0 +1,55 @@
+#ifndef DSSDDI_NET_HTTP_CLIENT_H_
+#define DSSDDI_NET_HTTP_CLIENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/binary.h"
+
+namespace dssddi::net {
+
+/// What the client got back from one exchange.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// Tiny blocking HTTP/1.1 client for tests and load generators: one
+/// connection, keep-alive reuse, fixed-length bodies only (no chunked).
+/// Reads carry a socket timeout so a wedged server fails the exchange
+/// instead of hanging the caller. Not thread-safe; use one per thread.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  io::Status Connect(const std::string& host, int port, int timeout_ms = 5000);
+
+  /// One request/response exchange on the open connection. `body` may be
+  /// empty (GET). On success fills `*out`; if the server answered with
+  /// `Connection: close` the socket is closed and the next Request needs
+  /// a fresh Connect.
+  io::Status Request(const std::string& method, const std::string& target,
+                     const std::string& body, ClientResponse* out);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  io::Status ReadResponse(ClientResponse* out);
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+}  // namespace dssddi::net
+
+#endif  // DSSDDI_NET_HTTP_CLIENT_H_

@@ -1,0 +1,404 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/json.h"
+#include "util/logging.h"
+
+namespace dssddi::net {
+namespace {
+
+/// Canned response for connections shed before a parser even exists.
+constexpr char kOverloadResponse[] =
+    "HTTP/1.1 503 Service Unavailable\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: 36\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+    "{\"error\":\"connection limit reached\"}";
+
+io::Status MakeListenSocket(const std::string& host, int port, int backlog,
+                            bool want_reuseport, bool* got_reuseport,
+                            int* out_fd, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return io::Status::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  *got_reuseport = false;
+  if (want_reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) == 0) {
+    *got_reuseport = true;
+  }
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return io::Status::Error("unparseable listen address '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const io::Status status = io::Status::Error(
+        "bind " + host + ":" + std::to_string(port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const io::Status status =
+        io::Status::Error(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  struct sockaddr_in bound {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &bound_len) != 0) {
+    const io::Status status =
+        io::Status::Error(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  *out_fd = fd;
+  *bound_port = ntohs(bound.sin_port);
+  return io::Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// ResponseWriter
+// ---------------------------------------------------------------------
+
+void ResponseWriter::Send(HttpResponse response) const {
+  if (!target_) return;
+  if (target_->used.exchange(true, std::memory_order_acq_rel)) return;
+  HttpServer* const server = target_->server;
+  const size_t loop_index = target_->loop_index;
+  const uint64_t conn_id = target_->conn_id;
+  // The posted task only runs while the loop is alive, and the loop only
+  // dies inside HttpServer::Stop — which joins before the server's
+  // connection tables are torn down. A Send after Stop returns false
+  // here and the response is dropped (the socket is gone anyway).
+  target_->loop->Post([server, loop_index, conn_id,
+                       response = std::move(response)]() mutable {
+    server->CompleteRequest(loop_index, conn_id, std::move(response));
+  });
+}
+
+// ---------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------
+
+HttpServer::HttpServer(const HttpServerOptions& options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {
+  DSSDDI_CHECK(handler_ != nullptr) << "HttpServer needs a handler";
+  if (options_.num_loops < 1) options_.num_loops = 1;
+  if (options_.backlog < 1) options_.backlog = 1;
+  if (options_.max_connections < 1) options_.max_connections = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+io::Status HttpServer::Start() {
+  DSSDDI_CHECK(!started_) << "HttpServer::Start called twice";
+
+  // First listener: resolves the port (maybe ephemeral) and tells us
+  // whether this kernel honors SO_REUSEPORT.
+  int first_fd = -1;
+  bool first_reuseport = false;
+  const bool want_reuseport = options_.num_loops > 1;
+  io::Status status =
+      MakeListenSocket(options_.host, options_.port, options_.backlog,
+                       want_reuseport, &first_reuseport, &first_fd, &port_);
+  if (!status.ok) return status;
+  reuseport_ = want_reuseport && first_reuseport;
+
+  loops_.clear();
+  for (int i = 0; i < options_.num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->events = std::make_shared<EventLoop>();
+    if (i == 0) {
+      loop->listen_fd = first_fd;
+    } else if (reuseport_) {
+      bool got = false;
+      status = MakeListenSocket(options_.host, port_, options_.backlog,
+                                /*want_reuseport=*/true, &got, &loop->listen_fd,
+                                &port_);
+      if (!status.ok) {
+        ::close(first_fd);
+        for (auto& l : loops_) {
+          if (l->listen_fd >= 0) ::close(l->listen_fd);
+        }
+        loops_.clear();
+        return status;
+      }
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    Loop& loop = *loops_[i];
+    if (loop.listen_fd >= 0) {
+      loop.events->Add(loop.listen_fd, EPOLLIN,
+                       [this, i](uint32_t) { HandleAccept(i); });
+    }
+    loop.thread = std::thread([events = loop.events] { events->Run(); });
+  }
+  started_ = true;
+  return io::Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& loop : loops_) loop->events->Stop();
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // Loop threads are dead; tear the sockets down from here.
+  for (auto& loop : loops_) {
+    for (auto& [id, conn] : loop->conns) {
+      ::close(conn->fd);
+      active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    loop->conns.clear();
+    if (loop->listen_fd >= 0) {
+      ::close(loop->listen_fd);
+      loop->listen_fd = -1;
+    }
+  }
+}
+
+HttpServer::Counters HttpServer::counters() const {
+  Counters counters;
+  counters.accepted = accepted_.load(std::memory_order_relaxed);
+  counters.active = active_.load(std::memory_order_relaxed);
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.responses = responses_.load(std::memory_order_relaxed);
+  counters.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  counters.overload_closed = overload_closed_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void HttpServer::HandleAccept(size_t loop_index) {
+  Loop& loop = *loops_[loop_index];
+  for (;;) {  // edge-triggered: drain the accept queue
+    const int fd = ::accept4(loop.listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != ECONNABORTED) {
+        DSSDDI_LOG(Warning) << "accept4: " << std::strerror(errno);
+      }
+      return;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (active_.load(std::memory_order_relaxed) >=
+        static_cast<uint64_t>(options_.max_connections)) {
+      overload_closed_.fetch_add(1, std::memory_order_relaxed);
+      // Best-effort courtesy 503; the fresh socket buffer makes a short
+      // write all but guaranteed.
+      [[maybe_unused]] const ssize_t n =
+          ::send(fd, kOverloadResponse, sizeof(kOverloadResponse) - 1,
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const size_t target =
+        reuseport_ ? loop_index
+                   : next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                         loops_.size();
+    if (target == loop_index) {
+      RegisterConnection(target, fd);
+    } else if (!loops_[target]->events->Post(
+                   [this, target, fd] { RegisterConnection(target, fd); })) {
+      ::close(fd);  // target loop already stopped
+    }
+  }
+}
+
+void HttpServer::RegisterConnection(size_t loop_index, int fd) {
+  Loop& loop = *loops_[loop_index];
+  auto conn = std::make_unique<Connection>(options_.limits);
+  conn->fd = fd;
+  conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t id = conn->id;
+  active_.fetch_add(1, std::memory_order_relaxed);
+  loop.conns.emplace(id, std::move(conn));
+  loop.events->Add(fd, EPOLLIN | EPOLLRDHUP,
+                   [this, loop_index, id](uint32_t events) {
+                     HandleIo(loop_index, id, events);
+                   });
+}
+
+void HttpServer::HandleIo(size_t loop_index, uint64_t conn_id, uint32_t events) {
+  Loop& loop = *loops_[loop_index];
+  auto it = loop.conns.find(conn_id);
+  if (it == loop.conns.end()) return;
+  Connection* conn = it->second.get();
+
+  if (events & EPOLLERR) {
+    CloseConnection(loop_index, conn_id);
+    return;
+  }
+  if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) {
+    if (!ReadInput(loop_index, conn)) return;
+    if (!ProcessConnection(loop_index, conn)) return;
+  }
+  if (events & EPOLLOUT) {
+    if (!FlushOutput(loop_index, conn)) return;
+    if (!conn->awaiting_response && !conn->close_after_flush) {
+      ProcessConnection(loop_index, conn);
+    }
+  }
+}
+
+bool HttpServer::ReadInput(size_t loop_index, Connection* conn) {
+  // Pipelining / slowloris guard: a connection may buffer at most one
+  // maximal request plus a read chunk before we stop trusting it.
+  const size_t input_cap = options_.limits.max_request_line +
+                           options_.limits.max_header_bytes +
+                           options_.limits.max_body_bytes + 8192;
+  char buffer[8192];
+  for (;;) {  // edge-triggered: drain until EAGAIN or EOF
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->in.append(buffer, static_cast<size_t>(n));
+      if (conn->in.size() > input_cap) {
+        CloseConnection(loop_index, conn->id);
+        return false;
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn->eof = true;
+      return true;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    CloseConnection(loop_index, conn->id);
+    return false;
+  }
+}
+
+bool HttpServer::ProcessConnection(size_t loop_index, Connection* conn) {
+  while (!conn->awaiting_response && !conn->close_after_flush &&
+         !conn->in.empty()) {
+    size_t consumed = 0;
+    const HttpParser::Result result =
+        conn->parser.Feed(conn->in.data(), conn->in.size(), &consumed);
+    conn->in.erase(0, consumed);
+    if (result == HttpParser::Result::kNeedMore) break;
+    if (result == HttpParser::Result::kError) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse error;
+      error.status = conn->parser.error_status();
+      // The reason can embed raw client bytes (method, version token);
+      // escape them or the error body itself is malformed JSON.
+      error.body = "{\"error\":\"" + JsonEscape(conn->parser.error_reason()) + "\"}";
+      error.close = true;
+      conn->out += SerializeResponse(error, /*keep_alive=*/false);
+      conn->close_after_flush = true;
+      break;
+    }
+    // One complete request: dispatch and stop parsing until it is
+    // answered (pipelined successors stay buffered in `in`).
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    HttpRequest request = conn->parser.TakeRequest();
+    conn->parser.Reset();
+    conn->awaiting_response = true;
+    conn->keep_alive = request.keep_alive;
+
+    ResponseWriter writer;
+    writer.target_ = std::make_shared<ResponseWriter::Target>();
+    writer.target_->loop = loops_[loop_index]->events;
+    writer.target_->server = this;
+    writer.target_->loop_index = loop_index;
+    writer.target_->conn_id = conn->id;
+    handler_(request, writer);
+  }
+  if (conn->eof && !conn->awaiting_response && conn->out.empty() &&
+      conn->out_offset == 0) {
+    CloseConnection(loop_index, conn->id);
+    return false;
+  }
+  return FlushOutput(loop_index, conn);
+}
+
+bool HttpServer::FlushOutput(size_t loop_index, Connection* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        loops_[loop_index]->events->Modify(conn->fd,
+                                           EPOLLIN | EPOLLRDHUP | EPOLLOUT);
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(loop_index, conn->id);
+    return false;
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    loops_[loop_index]->events->Modify(conn->fd, EPOLLIN | EPOLLRDHUP);
+  }
+  if (conn->close_after_flush || (conn->eof && !conn->awaiting_response)) {
+    CloseConnection(loop_index, conn->id);
+    return false;
+  }
+  return true;
+}
+
+void HttpServer::CompleteRequest(size_t loop_index, uint64_t conn_id,
+                                 HttpResponse response) {
+  Loop& loop = *loops_[loop_index];
+  auto it = loop.conns.find(conn_id);
+  if (it == loop.conns.end()) return;  // connection died while scoring
+  Connection* conn = it->second.get();
+  if (!conn->awaiting_response) return;
+
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  const bool keep = conn->keep_alive && !response.close;
+  conn->out += SerializeResponse(response, conn->keep_alive);
+  conn->awaiting_response = false;
+  if (!keep) conn->close_after_flush = true;
+  if (!FlushOutput(loop_index, conn)) return;
+  if (!conn->close_after_flush) {
+    ProcessConnection(loop_index, conn);  // next pipelined request, if any
+  }
+}
+
+void HttpServer::CloseConnection(size_t loop_index, uint64_t conn_id) {
+  Loop& loop = *loops_[loop_index];
+  auto it = loop.conns.find(conn_id);
+  if (it == loop.conns.end()) return;
+  loop.events->Remove(it->second->fd);
+  ::close(it->second->fd);
+  loop.conns.erase(it);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace dssddi::net

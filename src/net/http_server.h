@@ -1,0 +1,156 @@
+#ifndef DSSDDI_NET_HTTP_SERVER_H_
+#define DSSDDI_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "io/binary.h"
+#include "net/event_loop.h"
+#include "net/http.h"
+
+namespace dssddi::net {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port; see HttpServer::port().
+  int port = 8080;
+  /// Event-loop threads. With SO_REUSEPORT each loop gets its own
+  /// listening socket and the kernel spreads accepts; without it, loop 0
+  /// accepts and hands connections to the others round-robin.
+  int num_loops = 1;
+  int backlog = 128;
+  /// Concurrent connections across all loops; excess accepts are closed
+  /// with a canned 503 (connection-level shedding, distinct from the
+  /// admission controller's per-request 429).
+  int max_connections = 1024;
+  HttpParser::Limits limits;
+};
+
+class HttpServer;
+
+/// One-shot completion handle for a dispatched request. Copy it
+/// anywhere, call `Send` from any thread exactly once; duplicate sends
+/// are ignored, and sends that outlive the connection (or the server)
+/// are dropped harmlessly.
+class ResponseWriter {
+ public:
+  void Send(HttpResponse response) const;
+
+ private:
+  friend class HttpServer;
+  struct Target {
+    std::shared_ptr<EventLoop> loop;
+    HttpServer* server = nullptr;
+    size_t loop_index = 0;
+    uint64_t conn_id = 0;
+    std::atomic<bool> used{false};
+  };
+  std::shared_ptr<Target> target_;
+};
+
+/// Dependency-free epoll HTTP/1.1 server: N edge-triggered event loops,
+/// keep-alive with pipelining (one request dispatched at a time per
+/// connection), fixed-length bodies only, hard parse limits. The handler
+/// runs on the loop thread and must not block on request-rate work — it
+/// forwards scoring (e.g. SuggestionService::TrySubmitAsync) and answers
+/// later through the ResponseWriter. Rare admin operations (bundle
+/// reload) may run inline at the cost of stalling that one loop; with
+/// num_loops > 1 the other loops keep serving.
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, ResponseWriter)>;
+
+  HttpServer(const HttpServerOptions& options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, registers acceptors, and spawns the loop threads.
+  io::Status Start();
+  /// Stops the loops, joins their threads, closes every socket.
+  /// Idempotent; called by the destructor. In-flight ResponseWriters
+  /// degrade to no-ops.
+  void Stop();
+
+  /// Actual bound port (useful with options.port == 0).
+  int port() const { return port_; }
+  /// True when each loop owns a SO_REUSEPORT listener (vs fd handoff).
+  bool using_reuseport() const { return reuseport_; }
+  int num_loops() const { return static_cast<int>(loops_.size()); }
+
+  struct Counters {
+    uint64_t accepted = 0;        // connections accepted
+    uint64_t active = 0;          // currently open connections
+    uint64_t requests = 0;        // requests dispatched to the handler
+    uint64_t responses = 0;       // responses written back
+    uint64_t parse_errors = 0;    // connections failed by the parser
+    uint64_t overload_closed = 0; // accepts shed by max_connections
+  };
+  Counters counters() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string in;          // received, not yet parsed
+    std::string out;         // serialized, not yet sent
+    size_t out_offset = 0;
+    HttpParser parser;
+    bool awaiting_response = false;
+    bool keep_alive = true;
+    bool close_after_flush = false;
+    bool want_write = false;  // EPOLLOUT armed
+    bool eof = false;         // peer closed its write side
+
+    explicit Connection(const HttpParser::Limits& limits) : parser(limits) {}
+  };
+
+  struct Loop {
+    std::shared_ptr<EventLoop> events;
+    std::thread thread;
+    int listen_fd = -1;
+    /// Loop-thread-only connection table.
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+  };
+
+  void HandleAccept(size_t loop_index);
+  void RegisterConnection(size_t loop_index, int fd);
+  void HandleIo(size_t loop_index, uint64_t conn_id, uint32_t events);
+  /// All three return false when they closed the connection.
+  bool ReadInput(size_t loop_index, Connection* conn);
+  bool ProcessConnection(size_t loop_index, Connection* conn);
+  bool FlushOutput(size_t loop_index, Connection* conn);
+  void CompleteRequest(size_t loop_index, uint64_t conn_id,
+                       HttpResponse response);
+  void CloseConnection(size_t loop_index, uint64_t conn_id);
+
+  friend class ResponseWriter;
+
+  HttpServerOptions options_;
+  Handler handler_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  int port_ = 0;
+  bool reuseport_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<size_t> next_loop_{0};  // round-robin fd handoff
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> active_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> overload_closed_{0};
+};
+
+}  // namespace dssddi::net
+
+#endif  // DSSDDI_NET_HTTP_SERVER_H_

@@ -1,0 +1,301 @@
+#include "net/suggest_frontend.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "io/inference_bundle.h"
+#include "net/json.h"
+
+namespace dssddi::net {
+namespace {
+
+HttpResponse JsonError(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  JsonWriter writer;
+  writer.BeginObject().Key("error").String(message).EndObject();
+  response.body = writer.str();
+  return response;
+}
+
+void WriteEdges(JsonWriter& writer, const char* key,
+                const std::vector<core::InteractionEdge>& edges) {
+  writer.Key(key).BeginArray();
+  for (const core::InteractionEdge& edge : edges) {
+    writer.BeginArray().Int(edge.drug_u).Int(edge.drug_v).EndArray();
+  }
+  writer.EndArray();
+}
+
+std::string SuggestionToJson(const core::Suggestion& suggestion,
+                             const serve::ModelSnapshot& snapshot,
+                             int64_t patient_id, bool explain) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("patient_id").Int(patient_id);
+  writer.Key("model_version").UInt(snapshot.version);
+  writer.Key("drugs").BeginArray();
+  for (const int drug : suggestion.drugs) writer.Int(drug);
+  writer.EndArray();
+  // %.9g round-trips binary32 exactly: a client parsing these decimals
+  // recovers the very floats the model produced.
+  writer.Key("scores").BeginArray();
+  for (const float score : suggestion.scores) writer.Float(score);
+  writer.EndArray();
+  writer.Key("drug_names").BeginArray();
+  for (const int drug : suggestion.drugs) {
+    if (drug >= 0 &&
+        drug < static_cast<int>(snapshot.bundle.drug_names.size())) {
+      writer.String(snapshot.bundle.drug_names[drug]);
+    } else {
+      writer.Null();
+    }
+  }
+  writer.EndArray();
+  if (explain) {
+    const core::Explanation& explanation = suggestion.explanation;
+    writer.Key("explanation").BeginObject();
+    writer.Key("suggestion_satisfaction")
+        .Double(explanation.suggestion_satisfaction);
+    writer.Key("subgraph_drugs").BeginArray();
+    for (const int drug : explanation.subgraph_drugs) writer.Int(drug);
+    writer.EndArray();
+    WriteEdges(writer, "synergies_within", explanation.synergies_within);
+    WriteEdges(writer, "antagonisms_within", explanation.antagonisms_within);
+    WriteEdges(writer, "antagonisms_outward", explanation.antagonisms_outward);
+    writer.Key("trussness").Int(explanation.trussness);
+    writer.Key("diameter").Int(explanation.diameter);
+    writer.Key("density").Double(explanation.density);
+    writer.EndObject();
+  }
+  writer.EndObject();
+  return writer.str();
+}
+
+}  // namespace
+
+void SuggestFrontend::Handle(const HttpRequest& request,
+                             ResponseWriter writer) {
+  const std::string& target = request.target;
+  if (target == "/v1/suggest") {
+    if (request.method != "POST") {
+      writer.Send(JsonError(405, "use POST for /v1/suggest"));
+      return;
+    }
+    HandleSuggest(request, writer);
+    return;
+  }
+  // HEAD is rejected along with everything else non-GET: the server
+  // always writes the body it declares, and silently serving HEAD with
+  // a body would desync keep-alive clients.
+  if (target == "/healthz") {
+    if (request.method != "GET") {
+      writer.Send(JsonError(405, "use GET for /healthz"));
+      return;
+    }
+    HandleHealth(writer);
+    return;
+  }
+  if (target == "/statsz") {
+    if (request.method != "GET") {
+      writer.Send(JsonError(405, "use GET for /statsz"));
+      return;
+    }
+    HandleStats(writer);
+    return;
+  }
+  if (target == "/admin/reload") {
+    if (request.method != "POST") {
+      writer.Send(JsonError(405, "use POST for /admin/reload"));
+      return;
+    }
+    HandleReload(request, writer);
+    return;
+  }
+  writer.Send(JsonError(404, "no route for '" + target + "'"));
+}
+
+void SuggestFrontend::HandleSuggest(const HttpRequest& request,
+                                    ResponseWriter writer) {
+  JsonValue document;
+  std::string parse_error;
+  if (!ParseJson(request.body, &document, &parse_error)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    writer.Send(JsonError(400, "bad JSON: " + parse_error));
+    return;
+  }
+  if (!document.is_object()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    writer.Send(JsonError(400, "body must be a JSON object"));
+    return;
+  }
+  const JsonValue* features = document.Find("features");
+  if (features == nullptr || !features->is_array()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    writer.Send(JsonError(400, "'features' must be an array of numbers"));
+    return;
+  }
+
+  serve::Request suggest;
+  suggest.features.reserve(features->Items().size());
+  for (const JsonValue& value : features->Items()) {
+    if (!value.is_number()) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      writer.Send(JsonError(400, "'features' must be an array of numbers"));
+      return;
+    }
+    suggest.features.push_back(static_cast<float>(value.AsDouble()));
+  }
+  if (const JsonValue* patient_id = document.Find("patient_id")) {
+    suggest.patient_id = patient_id->AsInt(-1);
+  }
+  if (const JsonValue* k = document.Find("k")) {
+    suggest.k = static_cast<int>(k->AsInt(3));
+  }
+  if (const JsonValue* explain = document.Find("explain")) {
+    suggest.explain = explain->AsBool(true);
+  }
+
+  const int64_t patient_id = suggest.patient_id;
+  const bool explain = suggest.explain;
+  serve::SuggestionService* service = service_;
+  const bool admitted = service_->TrySubmitAsync(
+      std::move(suggest),
+      [writer, service, patient_id, explain](
+          core::Suggestion suggestion,
+          std::shared_ptr<const serve::ModelSnapshot> snapshot,
+          std::exception_ptr error) {
+        if (error) {
+          try {
+            std::rethrow_exception(error);
+          } catch (const std::invalid_argument& e) {
+            writer.Send(JsonError(400, e.what()));
+          } catch (const std::exception& e) {
+            writer.Send(JsonError(500, e.what()));
+          }
+          return;
+        }
+        // Serialize against the snapshot that actually produced the
+        // suggestion: under a concurrent reload the service's current
+        // snapshot may already be a different model with different
+        // drug names and version.
+        if (!snapshot) snapshot = service->snapshot();
+        HttpResponse response;
+        response.body =
+            SuggestionToJson(suggestion, *snapshot, patient_id, explain);
+        writer.Send(std::move(response));
+      });
+  if (!admitted) {
+    HttpResponse shed = JsonError(429, "overloaded, retry later");
+    shed.extra_headers.emplace_back("Retry-After", "1");
+    writer.Send(std::move(shed));
+  }
+}
+
+void SuggestFrontend::HandleHealth(ResponseWriter writer) const {
+  const serve::ServiceStats stats = service_->Stats();
+  HttpResponse response;
+  JsonWriter json;
+  json.BeginObject()
+      .Key("status").String("ok")
+      .Key("model_version").UInt(stats.model_version)
+      .Key("uptime_seconds").Double(stats.uptime_seconds)
+      .EndObject();
+  response.body = json.str();
+  writer.Send(std::move(response));
+}
+
+void SuggestFrontend::HandleStats(ResponseWriter writer) const {
+  const serve::ServiceStats stats = service_->Stats();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("service").BeginObject()
+      .Key("requests").UInt(stats.requests)
+      .Key("completed").UInt(stats.completed)
+      .Key("in_flight").UInt(stats.in_flight)
+      .Key("queue_depth").UInt(stats.queue_depth)
+      .Key("batches").UInt(stats.batches)
+      .Key("mean_batch_size").Double(stats.mean_batch_size)
+      .Key("qps").Double(stats.qps)
+      .Key("p50_latency_ms").Double(stats.p50_latency_ms)
+      .Key("p99_latency_ms").Double(stats.p99_latency_ms)
+      .Key("num_threads").Int(stats.num_threads)
+      .Key("uptime_seconds").Double(stats.uptime_seconds)
+      .EndObject();
+  json.Key("admission").BeginObject()
+      .Key("admitted").UInt(stats.admitted)
+      .Key("shed").UInt(stats.shed)
+      .EndObject();
+  json.Key("cache").BeginObject()
+      .Key("hits").UInt(stats.cache_hits)
+      .Key("misses").UInt(stats.cache_misses)
+      .Key("hit_rate").Double(stats.cache_hit_rate)
+      .Key("coalesced").UInt(stats.coalesced)
+      .EndObject();
+  json.Key("model").BeginObject()
+      .Key("version").UInt(stats.model_version)
+      .Key("reloads").UInt(stats.reloads)
+      .Key("display_name").String(service_->snapshot()->bundle.display_name)
+      .EndObject();
+  if (http_ != nullptr) {
+    const HttpServer::Counters http = http_->counters();
+    json.Key("http").BeginObject()
+        .Key("accepted").UInt(http.accepted)
+        .Key("active").UInt(http.active)
+        .Key("requests").UInt(http.requests)
+        .Key("responses").UInt(http.responses)
+        .Key("parse_errors").UInt(http.parse_errors)
+        .Key("overload_closed").UInt(http.overload_closed)
+        .Key("bad_requests").UInt(bad_requests())
+        .EndObject();
+  }
+  json.EndObject();
+  HttpResponse response;
+  response.body = json.str();
+  writer.Send(std::move(response));
+}
+
+void SuggestFrontend::HandleReload(const HttpRequest& request,
+                                   ResponseWriter writer) {
+  JsonValue document;
+  std::string parse_error;
+  if (!ParseJson(request.body, &document, &parse_error) ||
+      !document.is_object()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    writer.Send(JsonError(400, "bad JSON: " + parse_error));
+    return;
+  }
+  const JsonValue* path = document.Find("path");
+  if (path == nullptr || !path->is_string() || path->AsString().empty()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    writer.Send(JsonError(400, "'path' must name a bundle file"));
+    return;
+  }
+
+  io::InferenceBundle bundle;
+  if (const io::Status loaded = io::LoadInferenceBundle(path->AsString(), &bundle);
+      !loaded.ok) {
+    writer.Send(JsonError(400, "cannot load bundle: " + loaded.message));
+    return;
+  }
+  const int num_drugs = bundle.num_drugs();
+  const std::string display_name = bundle.display_name;
+  if (const io::Status swapped = service_->Reload(std::move(bundle));
+      !swapped.ok) {
+    writer.Send(JsonError(409, swapped.message));
+    return;
+  }
+  HttpResponse response;
+  JsonWriter json;
+  json.BeginObject()
+      .Key("model_version").UInt(service_->model_version())
+      .Key("display_name").String(display_name)
+      .Key("num_drugs").Int(num_drugs)
+      .EndObject();
+  response.body = json.str();
+  writer.Send(std::move(response));
+}
+
+}  // namespace dssddi::net

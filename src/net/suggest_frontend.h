@@ -1,0 +1,69 @@
+#ifndef DSSDDI_NET_SUGGEST_FRONTEND_H_
+#define DSSDDI_NET_SUGGEST_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/http_server.h"
+#include "serve/service.h"
+
+namespace dssddi::net {
+
+/// HTTP API over a SuggestionService. Routes:
+///
+///   POST /v1/suggest   {"patient_id":7,"features":[...],"k":3,"explain":true}
+///                      -> 200 {"drugs":[...],"scores":[...],...}
+///                      -> 400 malformed JSON / wrong feature width / bad k
+///                      -> 429 shed by the admission controller
+///   GET  /healthz      liveness + model version
+///   GET  /statsz       ServiceStats + admission + HTTP counters as JSON
+///   POST /admin/reload {"path":"/models/new.dssb"} -> hot-swaps the bundle
+///                      -> 409 incompatible bundle, 400 bad body/file
+///
+/// Scoring is fully asynchronous: the handler enqueues into the service
+/// and the completion (on a worker thread) sends through the
+/// ResponseWriter, so event-loop threads never wait on a model pass.
+/// Suggestion scores are serialized with %.9g, which round-trips
+/// binary32 exactly — a client parsing the JSON recovers bit-identical
+/// floats to an in-process `DssddiSystem::Suggest` call.
+///
+/// `/admin/reload` loads the bundle from local disk on the calling loop
+/// thread (admin traffic is rare; a short accept stall is acceptable)
+/// and swaps it in without draining in-flight requests.
+class SuggestFrontend {
+ public:
+  explicit SuggestFrontend(serve::SuggestionService* service)
+      : service_(service) {}
+
+  /// Optional: include the server's connection counters in /statsz.
+  void AttachServer(const HttpServer* server) { http_ = server; }
+
+  /// The HttpServer handler. Runs on an event-loop thread; never blocks
+  /// on scoring.
+  void Handle(const HttpRequest& request, ResponseWriter writer);
+
+  HttpServer::Handler AsHandler() {
+    return [this](const HttpRequest& request, ResponseWriter writer) {
+      Handle(request, writer);
+    };
+  }
+
+  /// Requests rejected before reaching the service (bad JSON, bad route
+  /// bodies); 404/405s are not counted.
+  uint64_t bad_requests() const { return bad_requests_.load(); }
+
+ private:
+  void HandleSuggest(const HttpRequest& request, ResponseWriter writer);
+  void HandleHealth(ResponseWriter writer) const;
+  void HandleStats(ResponseWriter writer) const;
+  void HandleReload(const HttpRequest& request, ResponseWriter writer);
+
+  serve::SuggestionService* service_;
+  const HttpServer* http_ = nullptr;
+  std::atomic<uint64_t> bad_requests_{0};
+};
+
+}  // namespace dssddi::net
+
+#endif  // DSSDDI_NET_SUGGEST_FRONTEND_H_

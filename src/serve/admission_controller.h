@@ -1,0 +1,74 @@
+#ifndef DSSDDI_SERVE_ADMISSION_CONTROLLER_H_
+#define DSSDDI_SERVE_ADMISSION_CONTROLLER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dssddi::serve {
+
+/// Load-shedding gate in front of the serving pipeline. Two independent
+/// bounds, both observed at admission time:
+///
+///  - `max_in_flight`: requests admitted but not yet completed. This is
+///    the classic token gate — it caps the work (and memory: promises,
+///    feature rows, batch slots) a traffic burst can pin at once.
+///  - `max_queue_depth`: requests sitting in the batcher/pool queues
+///    waiting for a worker. Queue depth is the earliest congestion
+///    signal: once queues grow, every queued request is already paying
+///    latency, so it is strictly better to shed new arrivals (HTTP 429)
+///    than to let them join a line that can only get longer.
+///
+/// Either bound set to 0 disables that check. The controller is a pure
+/// policy + counters object: the caller supplies the current depths, the
+/// controller answers admit/shed and keeps cumulative counts. All
+/// methods are lock-free and safe from any thread.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Admitted-but-uncompleted ceiling; 0 = unbounded.
+    size_t max_in_flight = 0;
+    /// Batcher+pool queue-depth ceiling observed at admission; 0 = unbounded.
+    size_t max_queue_depth = 0;
+  };
+
+  struct Counters {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+  };
+
+  AdmissionController() = default;
+  explicit AdmissionController(const Options& options) : options_(options) {}
+
+  /// Decides one arrival given the current pipeline state. Updates the
+  /// admitted/shed counters as a side effect.
+  bool Admit(size_t in_flight, size_t queue_depth) {
+    if ((options_.max_in_flight > 0 && in_flight >= options_.max_in_flight) ||
+        (options_.max_queue_depth > 0 &&
+         queue_depth >= options_.max_queue_depth)) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  Counters counters() const {
+    return {admitted_.load(std::memory_order_relaxed),
+            shed_.load(std::memory_order_relaxed)};
+  }
+
+  const Options& options() const { return options_; }
+  bool enabled() const {
+    return options_.max_in_flight > 0 || options_.max_queue_depth > 0;
+  }
+
+ private:
+  Options options_;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+};
+
+}  // namespace dssddi::serve
+
+#endif  // DSSDDI_SERVE_ADMISSION_CONTROLLER_H_

@@ -23,19 +23,19 @@ RequestBatcher::~RequestBatcher() {
   dispatcher_.join();
 }
 
-std::future<core::Suggestion> RequestBatcher::Enqueue(Request request, CacheKey key) {
+void RequestBatcher::Enqueue(Request request, CacheKey key, Completion done) {
+  DSSDDI_CHECK(done != nullptr) << "RequestBatcher::Enqueue needs a completion";
   PendingRequest pending;
   pending.request = std::move(request);
   pending.key = key;
+  pending.done = std::move(done);
   pending.enqueue_time = std::chrono::steady_clock::now();
-  std::future<core::Suggestion> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     DSSDDI_CHECK(!stopping_) << "RequestBatcher::Enqueue after shutdown";
     queue_.push_back(std::move(pending));
   }
   wake_.notify_one();
-  return future;
 }
 
 RequestBatcher::DispatchCounters RequestBatcher::dispatch_counters() const {
@@ -51,6 +51,11 @@ uint64_t RequestBatcher::batches_dispatched() const {
 uint64_t RequestBatcher::requests_dispatched() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return requests_dispatched_;
+}
+
+size_t RequestBatcher::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void RequestBatcher::DispatchLoop() {

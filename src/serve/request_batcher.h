@@ -5,16 +5,20 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/dssddi_system.h"
 #include "serve/suggestion_cache.h"
 
 namespace dssddi::serve {
+
+struct ModelSnapshot;  // defined in serve/service.h
 
 /// One top-k suggestion query as it enters the serving layer.
 struct Request {
@@ -28,14 +32,38 @@ struct Request {
   bool explain = true;
 };
 
+/// Completion sink for one request. On success `error` is null and
+/// `snapshot` pins the model generation that produced the suggestion
+/// (callers serializing the result must read names/version from it, not
+/// from the service's current snapshot — a reload may have swapped in
+/// between); `snapshot` may be null in contexts without a model (bare
+/// batcher tests, failures). On failure the suggestion is
+/// default-constructed and `error` carries the exception. Invoked exactly
+/// once, from whichever thread finishes the request (a scoring worker, or
+/// the submitter itself on a cache hit) — implementations must be safe to
+/// run anywhere, must not block, and should not throw (an escaping
+/// exception is swallowed and logged, never redelivered).
+using Completion =
+    std::function<void(core::Suggestion suggestion,
+                       std::shared_ptr<const ModelSnapshot> snapshot,
+                       std::exception_ptr error)>;
+
 /// A request travelling through the batcher with its completion handle.
 struct PendingRequest {
   Request request;
   /// Cache/singleflight key, precomputed by the submitter for keyed
   /// requests (patient_id >= 0); default-initialized otherwise.
   CacheKey key;
-  std::promise<core::Suggestion> promise;
+  Completion done;
   std::chrono::steady_clock::time_point enqueue_time;
+
+  void Complete(core::Suggestion suggestion,
+                std::shared_ptr<const ModelSnapshot> snapshot = nullptr) {
+    done(std::move(suggestion), std::move(snapshot), nullptr);
+  }
+  void Fail(std::exception_ptr error) {
+    done(core::Suggestion{}, nullptr, error);
+  }
 };
 
 /// Groups single-patient requests into micro-batches so model scoring
@@ -46,7 +74,7 @@ struct PendingRequest {
 /// to `handler` (which typically posts it onto a ThreadPool).
 ///
 /// The destructor stops intake and flushes everything still queued, so
-/// no promise is ever abandoned.
+/// no completion is ever abandoned.
 class RequestBatcher {
  public:
   struct Options {
@@ -64,10 +92,9 @@ class RequestBatcher {
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
-  /// Queues a request; the returned future is fulfilled once its batch
-  /// has been scored. `key` travels alongside so the scorer does not
-  /// recompute it.
-  std::future<core::Suggestion> Enqueue(Request request, CacheKey key = {});
+  /// Queues a request; `done` fires once its batch has been scored.
+  /// `key` travels alongside so the scorer does not recompute it.
+  void Enqueue(Request request, CacheKey key, Completion done);
 
   struct DispatchCounters {
     uint64_t batches = 0;
@@ -80,6 +107,9 @@ class RequestBatcher {
 
   uint64_t batches_dispatched() const;
   uint64_t requests_dispatched() const;
+
+  /// Requests queued but not yet cut into a batch.
+  size_t QueueDepth() const;
 
  private:
   void DispatchLoop();

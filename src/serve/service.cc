@@ -28,11 +28,16 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 
 /// Cache/singleflight key for a request: patient id and k plus a hash of
 /// the feature bytes, so an id reused with updated patient state can
-/// never be answered from the stale entry.
-CacheKey KeyFor(const Request& request) {
+/// never be answered from the stale entry. `generation` is the version
+/// of the snapshot the submitter loaded: because it comes from the same
+/// atomic load that scoring validity is judged by, a post-reload
+/// submitter keys with the new version and can never hit (or be hit by)
+/// a pre-reload entry — no ordering window against the cache flush.
+CacheKey KeyFor(const Request& request, uint64_t generation) {
   return CacheKey{request.patient_id, request.k,
                   io::Fnv1a64(reinterpret_cast<const char*>(request.features.data()),
-                              request.features.size() * sizeof(float))};
+                              request.features.size() * sizeof(float)),
+                  generation};
 }
 
 /// Nearest-rank percentile over an unsorted sample copy.
@@ -47,11 +52,10 @@ double Percentile(std::vector<double> values, double q) {
 
 SuggestionService::SuggestionService(io::InferenceBundle bundle,
                                      const ServiceOptions& options)
-    : bundle_(std::move(bundle)),
-      ms_(bundle_.ddi, bundle_.ms_alpha,
-          static_cast<core::ExplainerKind>(bundle_.ms_explainer)),
-      options_(options) {
-  DSSDDI_CHECK(bundle_.num_drugs() > 0) << "serving an empty bundle";
+    : options_(options), admission_(options.admission) {
+  DSSDDI_CHECK(bundle.num_drugs() > 0) << "serving an empty bundle";
+  snapshot_ = std::make_shared<const ModelSnapshot>(std::move(bundle),
+                                                    version_.load());
   if (options_.latency_window < 16) options_.latency_window = 16;
   latency_ring_.resize(options_.latency_window, 0.0);
   if (options_.cache_capacity > 0) {
@@ -71,17 +75,23 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
       });
 }
 
-std::future<core::Suggestion> SuggestionService::Submit(Request request) {
-  const auto start = std::chrono::steady_clock::now();
+std::shared_ptr<const ModelSnapshot> SuggestionService::snapshot() const {
+  return std::atomic_load(&snapshot_);
+}
 
-  if (static_cast<int>(request.features.size()) != feature_width() ||
+void SuggestionService::SubmitAsync(Request request, Completion done) {
+  DSSDDI_CHECK(done != nullptr) << "SubmitAsync needs a completion";
+  const auto start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const ModelSnapshot> snapshot = this->snapshot();
+
+  if (static_cast<int>(request.features.size()) != snapshot->feature_width() ||
       request.k < 1) {
-    std::promise<core::Suggestion> rejected;
-    rejected.set_exception(std::make_exception_ptr(std::invalid_argument(
-        "bad request: " + std::to_string(request.features.size()) +
-        " features (want " + std::to_string(feature_width()) +
-        "), k=" + std::to_string(request.k))));
-    return rejected.get_future();
+    done(core::Suggestion{}, snapshot,
+         std::make_exception_ptr(std::invalid_argument(
+             "bad request: " + std::to_string(request.features.size()) +
+             " features (want " + std::to_string(snapshot->feature_width()) +
+             "), k=" + std::to_string(request.k))));
+    return;
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
 
@@ -90,14 +100,13 @@ std::future<core::Suggestion> SuggestionService::Submit(Request request) {
   // through scoring (they are cheap) and never pollute the cache.
   CacheKey key;
   if (cache_ && request.patient_id >= 0 && request.explain) {
-    key = KeyFor(request);
+    key = KeyFor(request, snapshot->version);
     core::Suggestion cached;
     if (cache_->Get(key, &cached)) {
       RecordLatency(MillisSince(start));
       completed_.fetch_add(1, std::memory_order_relaxed);
-      std::promise<core::Suggestion> ready;
-      ready.set_value(std::move(cached));
-      return ready.get_future();
+      done(std::move(cached), snapshot, nullptr);
+      return;
     }
     // Singleflight: if the same keyed query is already being scored,
     // ride on that computation instead of scoring it again.
@@ -106,13 +115,35 @@ std::future<core::Suggestion> SuggestionService::Submit(Request request) {
       auto it = inflight_.find(key);
       if (it != inflight_.end()) {
         coalesced_.fetch_add(1, std::memory_order_relaxed);
-        it->second.push_back(Waiter{std::promise<core::Suggestion>{}, start});
-        return it->second.back().promise.get_future();
+        it->second.push_back(Waiter{std::move(done), start});
+        return;
       }
       inflight_.emplace(key, std::vector<Waiter>{});
     }
   }
-  return batcher_->Enqueue(std::move(request), key);
+  batcher_->Enqueue(std::move(request), key, std::move(done));
+}
+
+bool SuggestionService::TrySubmitAsync(Request request, Completion done) {
+  if (!admission_.Admit(InFlight(), QueueDepth())) return false;
+  SubmitAsync(std::move(request), std::move(done));
+  return true;
+}
+
+std::future<core::Suggestion> SuggestionService::Submit(Request request) {
+  auto promise = std::make_shared<std::promise<core::Suggestion>>();
+  std::future<core::Suggestion> future = promise->get_future();
+  SubmitAsync(std::move(request),
+              [promise](core::Suggestion suggestion,
+                        std::shared_ptr<const ModelSnapshot> /*snapshot*/,
+                        std::exception_ptr error) {
+                if (error) {
+                  promise->set_exception(error);
+                } else {
+                  promise->set_value(std::move(suggestion));
+                }
+              });
+  return future;
 }
 
 std::vector<core::Suggestion> SuggestionService::SubmitBatch(
@@ -126,9 +157,51 @@ std::vector<core::Suggestion> SuggestionService::SubmitBatch(
   return results;
 }
 
+io::Status SuggestionService::Reload(io::InferenceBundle bundle) {
+  if (bundle.num_drugs() <= 0) {
+    return io::Status::Error("reload rejected: new bundle has no drugs");
+  }
+  // One reload at a time; readers are never blocked by this mutex.
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  const std::shared_ptr<const ModelSnapshot> current = snapshot();
+  const int new_width = bundle.cluster_centroids.cols();
+  if (new_width != current->feature_width()) {
+    return io::Status::Error(
+        "reload rejected: feature width " + std::to_string(new_width) +
+        " != served width " + std::to_string(current->feature_width()));
+  }
+  const uint64_t next_version =
+      version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  auto next = std::make_shared<const ModelSnapshot>(std::move(bundle),
+                                                    next_version);
+  // Correctness does not depend on ordering here: cache keys carry the
+  // snapshot version their submitter loaded, so v2-keyed entries can
+  // only ever hold v2-scored results. BumpGeneration is reclamation —
+  // it frees the now-unreachable v1 entries (and advances the cache's
+  // own generation for standalone users of that API).
+  std::atomic_store(&snapshot_, std::static_pointer_cast<const ModelSnapshot>(next));
+  if (cache_) cache_->BumpGeneration();
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return io::Status::Ok();
+}
+
+size_t SuggestionService::QueueDepth() const {
+  return batcher_->QueueDepth() + pool_->QueueDepth();
+}
+
+uint64_t SuggestionService::InFlight() const {
+  const uint64_t requests = requests_.load(std::memory_order_relaxed);
+  const uint64_t completed = completed_.load(std::memory_order_relaxed);
+  return requests > completed ? requests - completed : 0;
+}
+
 void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
   if (batch.empty()) return;
-  const int width = feature_width();
+  // Pin one model generation for the whole batch. A concurrent Reload
+  // cannot free it (shared_ptr) and every row of this batch is scored by
+  // the same weights.
+  const std::shared_ptr<const ModelSnapshot> snapshot = this->snapshot();
+  const int width = snapshot->feature_width();
   const int total = static_cast<int>(batch.size());
   const int tile =
       options_.score_tile > 0 ? std::min(options_.score_tile, total) : total;
@@ -137,41 +210,87 @@ void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
   // (tile * num_drugs rows) stays CPU-cache resident, while the batch as
   // a whole amortized one queue handoff. Rows are independent in
   // PredictScores, so tiling leaves every result bit-identical.
-  for (int begin = 0; begin < total; begin += tile) {
-    const int rows = std::min(tile, total - begin);
-    tensor::Matrix x(rows, width);
-    for (int i = 0; i < rows; ++i) {
-      const auto& features = batch[begin + i].request.features;
-      std::copy(features.begin(), features.end(), x.RowPtr(i));
-    }
-    const tensor::Matrix scores = bundle_.PredictScores(x);
-
-    for (int i = 0; i < rows; ++i) {
-      PendingRequest& pending = batch[begin + i];
-      core::Suggestion suggestion = BuildSuggestion(scores, i, pending.request);
-      if (cache_ && pending.request.explain && pending.request.patient_id >= 0) {
-        cache_->Put(pending.key, suggestion);
-        ResolveInflight(pending.key, suggestion);
+  int finished = 0;  // requests whose completion already fired
+  try {
+    for (int begin = 0; begin < total; begin += tile) {
+      const int rows = std::min(tile, total - begin);
+      tensor::Matrix x(rows, width);
+      for (int i = 0; i < rows; ++i) {
+        const auto& features = batch[begin + i].request.features;
+        std::copy(features.begin(), features.end(), x.RowPtr(i));
       }
-      RecordLatency(MillisSince(pending.enqueue_time));
+      const tensor::Matrix scores = snapshot->bundle.PredictScores(x);
+
+      for (int i = 0; i < rows; ++i) {
+        PendingRequest& pending = batch[begin + i];
+        core::Suggestion suggestion =
+            BuildSuggestion(*snapshot, scores, i, pending.request);
+        if (cache_ && pending.request.explain && pending.request.patient_id >= 0) {
+          // Cache only when the submit-time key generation matches the
+          // snapshot that scored the row. After a racing Reload they can
+          // differ (submitted against v1, scored by v2): caching the v2
+          // result under a v1 key would let a pre-reload submitter hit
+          // it and serialize v2 scores against v1 names/version. The
+          // coalesced waiters are still resolved — they asked the same
+          // question and this is its (new-model) answer.
+          if (pending.key.generation == snapshot->version) {
+            cache_->Put(pending.key, suggestion);
+          }
+          ResolveInflight(pending.key, suggestion, snapshot);
+        }
+        RecordLatency(MillisSince(pending.enqueue_time));
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        // Count this request finished BEFORE invoking its completion,
+        // and swallow completion throws here like every other delivery
+        // path does — the catch below is for scoring failures only and
+        // must never redeliver a completion's own exception to the rest
+        // of the batch.
+        ++finished;
+        try {
+          pending.Complete(std::move(suggestion), snapshot);
+        } catch (...) {
+          DSSDDI_LOG(Warning) << "completion threw; continuing batch";
+        }
+      }
+    }
+  } catch (...) {
+    // Scoring threw (bad_alloc under pressure, a pathological explain).
+    // Every not-yet-finished request — and anyone coalesced onto one —
+    // must still complete, or its HTTP connection hangs forever and the
+    // in-flight count never drains (eventually pinning the admission
+    // gate shut).
+    const std::exception_ptr error = std::current_exception();
+    DSSDDI_LOG(Warning) << "batch of " << total << " failed after "
+                        << finished << " completions; failing the rest";
+    for (int i = finished; i < total; ++i) {
+      PendingRequest& pending = batch[i];
+      if (cache_ && pending.request.explain && pending.request.patient_id >= 0) {
+        FailInflight(pending.key, error);
+      }
       completed_.fetch_add(1, std::memory_order_relaxed);
-      pending.promise.set_value(std::move(suggestion));
+      try {
+        pending.Fail(error);
+      } catch (...) {
+        DSSDDI_LOG(Warning) << "failure completion threw; continuing";
+      }
     }
   }
 }
 
-core::Suggestion SuggestionService::BuildSuggestion(const tensor::Matrix& scores,
-                                                    int row, const Request& request) {
+core::Suggestion SuggestionService::BuildSuggestion(
+    const ModelSnapshot& snapshot, const tensor::Matrix& scores, int row,
+    const Request& request) {
   core::Suggestion suggestion;
   suggestion.drugs = core::TopKDrugs(scores, row, request.k);
   suggestion.scores.reserve(suggestion.drugs.size());
   for (int d : suggestion.drugs) suggestion.scores.push_back(scores.At(row, d));
-  if (request.explain) suggestion.explanation = ms_.Explain(suggestion.drugs);
+  if (request.explain) suggestion.explanation = snapshot.ms.Explain(suggestion.drugs);
   return suggestion;
 }
 
-void SuggestionService::ResolveInflight(const CacheKey& key,
-                                        const core::Suggestion& value) {
+void SuggestionService::ResolveInflight(
+    const CacheKey& key, const core::Suggestion& value,
+    const std::shared_ptr<const ModelSnapshot>& snapshot) {
   std::vector<Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -183,7 +302,33 @@ void SuggestionService::ResolveInflight(const CacheKey& key,
   for (Waiter& waiter : waiters) {
     RecordLatency(MillisSince(waiter.start));
     completed_.fetch_add(1, std::memory_order_relaxed);
-    waiter.promise.set_value(value);
+    // One throwing waiter must not abandon the rest — they have already
+    // been moved out of the map and would be lost with the unwind.
+    try {
+      waiter.done(value, snapshot, nullptr);
+    } catch (...) {
+      DSSDDI_LOG(Warning) << "coalesced completion threw; continuing";
+    }
+  }
+}
+
+void SuggestionService::FailInflight(const CacheKey& key,
+                                     const std::exception_ptr& error) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    waiters = std::move(it->second);
+    inflight_.erase(it);
+  }
+  for (Waiter& waiter : waiters) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      waiter.done(core::Suggestion{}, nullptr, error);
+    } catch (...) {
+      DSSDDI_LOG(Warning) << "coalesced failure completion threw; continuing";
+    }
   }
 }
 
@@ -211,6 +356,13 @@ ServiceStats SuggestionService::Stats() const {
     stats.cache_hit_rate = counters.hit_rate();
   }
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  const AdmissionController::Counters admission = admission_.counters();
+  stats.admitted = admission.admitted;
+  stats.shed = admission.shed;
+  stats.in_flight = InFlight();
+  stats.queue_depth = QueueDepth();
+  stats.model_version = snapshot()->version;
+  stats.reloads = reloads_.load(std::memory_order_relaxed);
   stats.uptime_seconds = uptime_.ElapsedSeconds();
   stats.qps = stats.uptime_seconds > 0.0
                   ? static_cast<double>(stats.completed) / stats.uptime_seconds

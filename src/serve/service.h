@@ -8,11 +8,13 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/dssddi_system.h"
 #include "core/ms_module.h"
 #include "io/inference_bundle.h"
+#include "serve/admission_controller.h"
 #include "serve/request_batcher.h"
 #include "serve/suggestion_cache.h"
 #include "serve/thread_pool.h"
@@ -39,12 +41,15 @@ struct ServiceOptions {
   int score_tile = 8;
   /// Ring-buffer size for latency percentiles (most recent completions).
   size_t latency_window = 1 << 15;
+  /// Load-shedding bounds applied by TrySubmitAsync (both 0 = admit
+  /// everything; Submit/SubmitAsync always bypass admission).
+  AdmissionController::Options admission;
 };
 
 /// Point-in-time service health snapshot.
 struct ServiceStats {
   uint64_t requests = 0;       // accepted by Submit
-  uint64_t completed = 0;      // futures fulfilled
+  uint64_t completed = 0;      // completions fired
   uint64_t batches = 0;        // matrix passes dispatched
   double mean_batch_size = 0.0;
   uint64_t cache_hits = 0;
@@ -53,6 +58,17 @@ struct ServiceStats {
   /// Requests that attached to an identical in-flight query instead of
   /// being scored again (singleflight coalescing).
   uint64_t coalesced = 0;
+  /// Admission gate outcomes (TrySubmitAsync callers only).
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  /// Accepted requests not yet completed / waiting for a worker, at the
+  /// instant of the snapshot.
+  uint64_t in_flight = 0;
+  uint64_t queue_depth = 0;
+  /// Model snapshot bookkeeping: version starts at 1 and increases by
+  /// one per successful hot reload.
+  uint64_t model_version = 0;
+  uint64_t reloads = 0;
   double uptime_seconds = 0.0;
   double qps = 0.0;            // completed / uptime
   double p50_latency_ms = 0.0;
@@ -60,9 +76,28 @@ struct ServiceStats {
   int num_threads = 0;
 };
 
+/// One immutable, shareable model generation: the frozen bundle plus the
+/// Medical Support explainer built over its DDI graph. In-flight batches
+/// pin the snapshot they score against via shared_ptr, so a hot reload
+/// never pulls weights out from under a request.
+struct ModelSnapshot {
+  io::InferenceBundle bundle;
+  core::MsModule ms;  // references bundle.ddi; must stay declared after it
+  uint64_t version = 1;
+
+  ModelSnapshot(io::InferenceBundle b, uint64_t v)
+      : bundle(std::move(b)),
+        ms(bundle.ddi, bundle.ms_alpha,
+           static_cast<core::ExplainerKind>(bundle.ms_explainer)),
+        version(v) {}
+
+  int feature_width() const { return bundle.cluster_centroids.cols(); }
+};
+
 /// Concurrent top-k suggestion server over a frozen io::InferenceBundle.
 ///
-/// Requests enter through `Submit` (future-based) or `SubmitBatch`
+/// Requests enter through `Submit` (future-based), `SubmitAsync`
+/// (callback-based, what the HTTP front-end uses) or `SubmitBatch`
 /// (blocking convenience). A RequestBatcher groups concurrent arrivals
 /// into micro-batches, a ThreadPool scores each batch through
 /// cache-tiled `InferenceBundle::PredictScores` matrix passes, and a
@@ -73,9 +108,21 @@ struct ServiceStats {
 /// therefore `DssddiSystem::Suggest`) per patient: batching and tiling
 /// change only how rows are grouped, never the per-row arithmetic.
 ///
-/// Thread-safety: `Submit`, `SubmitBatch` and `Stats` may be called from
-/// any number of threads. Destruction flushes every in-flight request
-/// before returning, so no future is left dangling.
+/// The model lives behind an atomically swapped shared_ptr snapshot:
+/// `Reload` installs a new bundle without draining in-flight requests —
+/// batches already cut keep the snapshot they grabbed alive, new
+/// arrivals score against the new weights, and the suggestion cache is
+/// version-keyed and flushed so a post-reload query can never be
+/// answered from pre-reload results.
+///
+/// `TrySubmitAsync` additionally runs the AdmissionController token
+/// gate: when in-flight or queue-depth bounds are hit the request is
+/// shed (returns false, nothing enqueued) so overload degrades into
+/// fast rejections instead of unbounded queues.
+///
+/// Thread-safety: every public method may be called from any number of
+/// threads. Destruction flushes every in-flight request before
+/// returning, so no completion is left dangling.
 class SuggestionService {
  public:
   explicit SuggestionService(io::InferenceBundle bundle,
@@ -90,31 +137,65 @@ class SuggestionService {
   /// width, k < 1).
   std::future<core::Suggestion> Submit(Request request);
 
+  /// Callback flavor of Submit: `done` fires exactly once, from
+  /// whichever thread completes the request, with either the suggestion
+  /// or the rejection exception. Never blocks the caller on scoring.
+  void SubmitAsync(Request request, Completion done);
+
+  /// Admission-gated SubmitAsync. Returns false when the admission
+  /// controller sheds the request (done is NOT invoked); the HTTP
+  /// front-end maps that to 429 Too Many Requests.
+  bool TrySubmitAsync(Request request, Completion done);
+
   /// Submits all requests, waits, and returns the suggestions in order.
   std::vector<core::Suggestion> SubmitBatch(std::vector<Request> requests);
 
+  /// Atomically replaces the served model. Fails (and serves the old
+  /// snapshot untouched) if the new bundle is empty or its feature width
+  /// differs from the current one — in-flight requests were validated
+  /// against that width. On success the suggestion cache generation is
+  /// bumped and flushed and `model_version` advances.
+  io::Status Reload(io::InferenceBundle bundle);
+
   ServiceStats Stats() const;
 
-  const io::InferenceBundle& bundle() const { return bundle_; }
+  /// The current model snapshot (never null). Callers may hold it as
+  /// long as they like; it stays valid across reloads.
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
   const ServiceOptions& options() const { return options_; }
-  int feature_width() const { return bundle_.cluster_centroids.cols(); }
+  uint64_t model_version() const { return snapshot()->version; }
+  int feature_width() const { return snapshot()->feature_width(); }
+
+  /// Requests waiting in the batcher plus batches waiting for a worker.
+  size_t QueueDepth() const;
 
  private:
   struct Waiter {
-    std::promise<core::Suggestion> promise;
+    Completion done;
     std::chrono::steady_clock::time_point start;
   };
 
   void HandleBatch(std::vector<PendingRequest> batch);
-  core::Suggestion BuildSuggestion(const tensor::Matrix& scores, int row,
+  core::Suggestion BuildSuggestion(const ModelSnapshot& snapshot,
+                                   const tensor::Matrix& scores, int row,
                                    const Request& request);
   /// Fulfils everyone coalesced onto `key` with copies of `value`.
-  void ResolveInflight(const CacheKey& key, const core::Suggestion& value);
+  void ResolveInflight(const CacheKey& key, const core::Suggestion& value,
+                       const std::shared_ptr<const ModelSnapshot>& snapshot);
+  /// Fails everyone coalesced onto `key` (scoring threw for the leader).
+  void FailInflight(const CacheKey& key, const std::exception_ptr& error);
   void RecordLatency(double millis);
+  uint64_t InFlight() const;
 
-  io::InferenceBundle bundle_;
-  core::MsModule ms_;
   ServiceOptions options_;
+  AdmissionController admission_;
+
+  /// Swapped only by Reload; read via std::atomic_load everywhere.
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::atomic<uint64_t> version_{1};
+  std::atomic<uint64_t> reloads_{0};
+  std::mutex reload_mutex_;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> completed_{0};
@@ -131,7 +212,7 @@ class SuggestionService {
 
   // Shutdown order (reverse of declaration): the batcher stops first and
   // flushes its queue into the pool, the pool then drains and joins, and
-  // only then do the cache and bundle go away.
+  // only then do the cache and snapshot go away.
   std::unique_ptr<SuggestionCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<RequestBatcher> batcher_;

@@ -1,6 +1,7 @@
 #ifndef DSSDDI_SERVE_SUGGESTION_CACHE_H_
 #define DSSDDI_SERVE_SUGGESTION_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -18,15 +19,20 @@ namespace dssddi::serve {
 /// requests without a stable id (negative patient_id) bypass the cache.
 /// `feature_hash` guards against the id outliving the patient state: a
 /// query for the same patient with updated features hashes differently
-/// and can never be answered from the stale entry.
+/// and can never be answered from the stale entry. `generation` ties the
+/// entry to one model snapshot: after a hot bundle reload the service
+/// keys with the new snapshot's version, so an entry computed by the old
+/// model can never answer a post-reload query even if a Put raced the
+/// reload's Clear.
 struct CacheKey {
   int64_t patient_id = -1;
   int k = 0;
   uint64_t feature_hash = 0;
+  uint64_t generation = 0;
 
   bool operator==(const CacheKey& other) const {
     return patient_id == other.patient_id && k == other.k &&
-           feature_hash == other.feature_hash;
+           feature_hash == other.feature_hash && generation == other.generation;
   }
 };
 
@@ -36,6 +42,7 @@ struct CacheKeyHash {
     uint64_t x = static_cast<uint64_t>(key.patient_id) * 0x9e3779b97f4a7c15ull +
                  static_cast<uint64_t>(key.k);
     x ^= key.feature_hash + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+    x += key.generation * 0xff51afd7ed558ccdull;
     x ^= x >> 30;
     x *= 0xbf58476d1ce4e5b9ull;
     x ^= x >> 27;
@@ -63,6 +70,10 @@ struct CacheCounters {
 /// capacity slice, so concurrent lookups for different patients rarely
 /// contend. Within a shard, eviction is strict LRU (Get refreshes
 /// recency; Put of an existing key overwrites and refreshes).
+///
+/// Hit/miss/eviction counters are atomics, so a stats reader never takes
+/// a shard lock just to observe them and a concurrent Get can never
+/// publish a torn count.
 class SuggestionCache {
  public:
   /// `capacity` is the total entry budget across shards (each shard gets
@@ -81,7 +92,20 @@ class SuggestionCache {
   /// of the target shard when its slice is full.
   void Put(const CacheKey& key, core::Suggestion value);
 
+  /// Drops every entry; counters are preserved.
   void Clear();
+
+  /// Current generation, monotonically increasing from 0. Callers that
+  /// embed it in CacheKey get automatic cross-generation isolation.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Hot-reload hook: advances the generation and drops every entry, so
+  /// results computed against the previous model are both unreachable
+  /// (new keys carry the new generation) and freed. Returns the new
+  /// generation.
+  uint64_t BumpGeneration();
 
   CacheCounters Counters() const;
   size_t capacity() const { return capacity_; }
@@ -93,15 +117,16 @@ class SuggestionCache {
     /// Front = most recently used.
     std::list<std::pair<CacheKey, core::Suggestion>> lru;
     std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> index;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
     size_t capacity = 0;
   };
 
   Shard& ShardFor(const CacheKey& key);
 
   size_t capacity_;
+  std::atomic<uint64_t> generation_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

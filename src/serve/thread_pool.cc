@@ -1,5 +1,6 @@
 #include "serve/thread_pool.h"
 
+#include <stdexcept>
 #include <utility>
 
 #include "util/logging.h"
@@ -7,30 +8,38 @@
 namespace dssddi::serve {
 
 ThreadPool::ThreadPool(int num_threads) {
-  if (num_threads < 1) num_threads = 1;
+  if (num_threads < 1) {
+    throw std::invalid_argument("ThreadPool needs at least 1 thread, got " +
+                                std::to_string(num_threads));
+  }
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    if (joined_) return;
+    joined_ = true;
   }
   wake_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   DSSDDI_CHECK(task != nullptr) << "ThreadPool::Submit with empty task";
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    DSSDDI_CHECK(!stopping_) << "ThreadPool::Submit after shutdown";
+    if (stopping_) return false;
     queue_.push_back(std::move(task));
   }
   wake_.notify_one();
+  return true;
 }
 
 size_t ThreadPool::QueueDepth() const {
@@ -49,7 +58,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+      DSSDDI_LOG(Warning) << "ThreadPool task threw: " << e.what();
+    } catch (...) {
+      tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+      DSSDDI_LOG(Warning) << "ThreadPool task threw a non-std exception";
+    }
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }

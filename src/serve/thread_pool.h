@@ -13,26 +13,39 @@
 namespace dssddi::serve {
 
 /// Fixed-size worker pool over a FIFO task queue. Tasks submitted before
-/// destruction are all executed: the destructor stops intake, drains the
-/// queue, and joins the workers. Submission and execution are fully
-/// thread-safe; each task runs exactly once on exactly one worker.
+/// shutdown are all executed: `Shutdown` (or the destructor) stops
+/// intake, drains the queue, and joins the workers. Submission and
+/// execution are fully thread-safe; each task runs exactly once on
+/// exactly one worker. A task that throws is swallowed (counted in
+/// `tasks_failed`) so one bad request can never kill a worker thread.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (values < 1 are clamped to 1).
+  /// Spawns `num_threads` workers. Throws std::invalid_argument for
+  /// values < 1: a zero-thread pool would deadlock every Submit, so the
+  /// caller must resolve "use a default" before constructing.
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker. Must not be called
-  /// after destruction has begun.
-  void Submit(std::function<void()> task);
+  /// Enqueues `task` for execution on some worker and returns true.
+  /// After `Shutdown` has begun the task is rejected and false is
+  /// returned (the task is destroyed without running).
+  bool Submit(std::function<void()> task);
+
+  /// Stops intake, runs everything already queued, and joins the
+  /// workers. Idempotent; called by the destructor.
+  void Shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Number of tasks that have finished running (monotonic).
+  /// Number of tasks that have finished running (monotonic; includes
+  /// tasks that threw).
   uint64_t tasks_executed() const { return tasks_executed_.load(); }
+
+  /// Tasks whose callable exited via an exception (monotonic).
+  uint64_t tasks_failed() const { return tasks_failed_.load(); }
 
   /// Tasks submitted but not yet started.
   size_t QueueDepth() const;
@@ -44,7 +57,9 @@ class ThreadPool {
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  bool joined_ = false;
   std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> tasks_failed_{0};
   std::vector<std::thread> workers_;
 };
 

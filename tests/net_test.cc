@@ -1,0 +1,661 @@
+// Tests for the HTTP front-end: the JSON codec round-trips binary32
+// exactly, the request parser enforces its hard limits, and the epoll
+// server serves real loopback traffic — concurrent keep-alive clients
+// get responses bit-identical to DssddiSystem::Suggest, overload sheds
+// 429s instead of hanging, and a hot bundle reload under sustained load
+// swaps models without dropping or corrupting a single response.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dssddi_system.h"
+#include "gtest/gtest.h"
+#include "io/inference_bundle.h"
+#include "net/http.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/suggest_frontend.h"
+#include "serve/service.h"
+#include "test_support.h"
+
+namespace dssddi {
+namespace {
+
+// ---------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------
+
+TEST(JsonTest, WriterParserRoundTrip) {
+  net::JsonWriter writer;
+  writer.BeginObject()
+      .Key("name").String("he said \"hi\"\n")
+      .Key("count").Int(-42)
+      .Key("ok").Bool(true)
+      .Key("nothing").Null()
+      .Key("values").BeginArray().Double(1.5).Double(-0.25).EndArray()
+      .Key("nested").BeginObject().Key("deep").Int(7).EndObject()
+      .EndObject();
+
+  net::JsonValue document;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson(writer.str(), &document, &error)) << error;
+  ASSERT_TRUE(document.is_object());
+  EXPECT_EQ(document.Find("name")->AsString(), "he said \"hi\"\n");
+  EXPECT_EQ(document.Find("count")->AsInt(), -42);
+  EXPECT_TRUE(document.Find("ok")->AsBool());
+  EXPECT_TRUE(document.Find("nothing")->is_null());
+  ASSERT_EQ(document.Find("values")->Items().size(), 2u);
+  EXPECT_DOUBLE_EQ(document.Find("values")->Items()[0].AsDouble(), 1.5);
+  EXPECT_EQ(document.Find("nested")->Find("deep")->AsInt(), 7);
+}
+
+TEST(JsonTest, FloatSerializationRoundTripsBinary32Exactly) {
+  // The serving contract rides on this: scores cross the wire as decimal
+  // text yet must compare bit-equal to the in-process floats.
+  const std::vector<float> tricky = {
+      0.1f, 1.0f / 3.0f, 1e-8f, -3.402823e38f, 1.17549435e-38f,
+      0.49999997f, 2.0000002f, -0.0f};
+  net::JsonWriter writer;
+  writer.BeginArray();
+  for (const float value : tricky) writer.Float(value);
+  writer.EndArray();
+
+  net::JsonValue document;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson(writer.str(), &document, &error)) << error;
+  ASSERT_EQ(document.Items().size(), tricky.size());
+  for (size_t i = 0; i < tricky.size(); ++i) {
+    const float parsed = static_cast<float>(document.Items()[i].AsDouble());
+    EXPECT_EQ(std::memcmp(&parsed, &tricky[i], sizeof(float)), 0)
+        << "float " << i << " did not round-trip";
+  }
+}
+
+TEST(JsonTest, ParserRejectsMalformedDocuments) {
+  net::JsonValue document;
+  std::string error;
+  EXPECT_FALSE(net::ParseJson("", &document, &error));
+  EXPECT_FALSE(net::ParseJson("{\"a\":1} trailing", &document, &error));
+  EXPECT_FALSE(net::ParseJson("{\"a\":}", &document, &error));
+  EXPECT_FALSE(net::ParseJson("\"bad \\q escape\"", &document, &error));
+  EXPECT_FALSE(net::ParseJson("{\"a\" 1}", &document, &error));
+  EXPECT_FALSE(net::ParseJson("[1,2", &document, &error));
+  // 70 nested arrays exceeds the depth cap of 64.
+  EXPECT_FALSE(net::ParseJson(std::string(70, '[') + std::string(70, ']'),
+                              &document, &error));
+  // Escapes parse correctly, including surrogate pairs.
+  ASSERT_TRUE(net::ParseJson("\"\\u00e9\\ud83d\\ude00\"", &document, &error))
+      << error;
+  EXPECT_EQ(document.AsString(), "\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+// ---------------------------------------------------------------------
+// HTTP parser
+// ---------------------------------------------------------------------
+
+TEST(HttpParserTest, ParsesPipelinedRequestsIncrementally) {
+  const std::string wire =
+      "POST /v1/suggest HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 4\r\n"
+      "\r\n"
+      "abcd"
+      "GET /healthz HTTP/1.1\r\n\r\n";
+
+  net::HttpParser parser;
+  // Feed byte-by-byte: the parser must consume exactly the first request
+  // and leave the pipelined follower untouched.
+  size_t offset = 0;
+  net::HttpParser::Result result = net::HttpParser::Result::kNeedMore;
+  while (offset < wire.size() && result == net::HttpParser::Result::kNeedMore) {
+    size_t consumed = 0;
+    result = parser.Feed(wire.data() + offset, 1, &consumed);
+    offset += consumed;
+  }
+  ASSERT_EQ(result, net::HttpParser::Result::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().target, "/v1/suggest");
+  EXPECT_EQ(parser.request().body, "abcd");
+  EXPECT_TRUE(parser.request().keep_alive);
+  ASSERT_NE(parser.request().FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("content-type"), "application/json");
+
+  parser.Reset();
+  size_t consumed = 0;
+  result = parser.Feed(wire.data() + offset, wire.size() - offset, &consumed);
+  ASSERT_EQ(result, net::HttpParser::Result::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, ConnectionSemanticsFollowVersionAndHeader) {
+  net::HttpParser parser;
+  size_t consumed = 0;
+  const std::string http10 = "GET / HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(parser.Feed(http10.data(), http10.size(), &consumed),
+            net::HttpParser::Result::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+
+  parser.Reset();
+  const std::string close11 = "GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(parser.Feed(close11.data(), close11.size(), &consumed),
+            net::HttpParser::Result::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(HttpParserTest, EnforcesHardLimits) {
+  net::HttpParser::Limits limits;
+  limits.max_request_line = 64;
+  limits.max_header_bytes = 128;
+  limits.max_headers = 4;
+  limits.max_body_bytes = 16;
+
+  {
+    net::HttpParser parser(limits);
+    const std::string line = "GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n";
+    size_t consumed = 0;
+    ASSERT_EQ(parser.Feed(line.data(), line.size(), &consumed),
+              net::HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 414);
+  }
+  {
+    net::HttpParser parser(limits);
+    const std::string big_header =
+        "GET / HTTP/1.1\r\nX-Big: " + std::string(200, 'b') + "\r\n\r\n";
+    size_t consumed = 0;
+    ASSERT_EQ(parser.Feed(big_header.data(), big_header.size(), &consumed),
+              net::HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+  {
+    net::HttpParser parser(limits);
+    std::string many = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 6; ++i) many += "H" + std::to_string(i) + ": v\r\n";
+    many += "\r\n";
+    size_t consumed = 0;
+    ASSERT_EQ(parser.Feed(many.data(), many.size(), &consumed),
+              net::HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+  {
+    net::HttpParser parser(limits);
+    const std::string big_body =
+        "POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+    size_t consumed = 0;
+    ASSERT_EQ(parser.Feed(big_body.data(), big_body.size(), &consumed),
+              net::HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 413);
+  }
+  {
+    net::HttpParser parser(limits);
+    const std::string chunked =
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    size_t consumed = 0;
+    ASSERT_EQ(parser.Feed(chunked.data(), chunked.size(), &consumed),
+              net::HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 501);
+  }
+  {
+    net::HttpParser parser(limits);
+    const std::string version = "GET / HTTP/2.0\r\n\r\n";
+    size_t consumed = 0;
+    ASSERT_EQ(parser.Feed(version.data(), version.size(), &consumed),
+              net::HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 505);
+  }
+  {
+    // Duplicate Content-Length is a request-smuggling vector: reject it
+    // even when a lenient proxy in front would have picked one.
+    net::HttpParser parser(limits);
+    const std::string smuggle =
+        "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 8\r\n\r\n";
+    size_t consumed = 0;
+    ASSERT_EQ(parser.Feed(smuggle.data(), smuggle.size(), &consumed),
+              net::HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+  {
+    net::HttpParser parser(limits);
+    const std::string garbage = "NOT-HTTP\r\n\r\n";
+    size_t consumed = 0;
+    ASSERT_EQ(parser.Feed(garbage.data(), garbage.size(), &consumed),
+              net::HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over loopback
+// ---------------------------------------------------------------------
+
+class NetEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::SuggestionDataset(testing::TinyDataset());
+    core::DssddiConfig config;
+    config.ddi.epochs = 60;
+    config.md.epochs = 80;
+    config.md.hidden_dim = 16;
+    system_ = new core::DssddiSystem(config);
+    system_->Fit(*dataset_);
+    bundle_ = new io::InferenceBundle(
+        io::ExtractInferenceBundle(*system_, *dataset_));
+
+    core::DssddiConfig other_config;
+    other_config.ddi.epochs = 30;
+    other_config.md.epochs = 40;
+    other_config.md.hidden_dim = 8;
+    other_system_ = new core::DssddiSystem(other_config);
+    other_system_->Fit(*dataset_);
+    other_bundle_ = new io::InferenceBundle(
+        io::ExtractInferenceBundle(*other_system_, *dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete other_bundle_;
+    delete other_system_;
+    delete bundle_;
+    delete system_;
+    other_bundle_ = nullptr;
+    other_system_ = nullptr;
+    bundle_ = nullptr;
+    system_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static std::string SuggestBody(int patient, int k, bool explain) {
+    const auto& features = dataset_->patient_features;
+    net::JsonWriter json;
+    json.BeginObject().Key("patient_id").Int(patient);
+    json.Key("features").BeginArray();
+    for (int j = 0; j < features.cols(); ++j) {
+      json.Float(features.At(patient, j));
+    }
+    json.EndArray();
+    json.Key("k").Int(k).Key("explain").Bool(explain).EndObject();
+    return json.str();
+  }
+
+  /// Asserts `body` carries exactly the drugs+scores of `expected`
+  /// (bit-identical floats after the decimal round-trip).
+  static void ExpectMatchesSuggestion(const std::string& body,
+                                      const core::Suggestion& expected) {
+    net::JsonValue document;
+    std::string error;
+    ASSERT_TRUE(net::ParseJson(body, &document, &error)) << error;
+    const net::JsonValue* drugs = document.Find("drugs");
+    const net::JsonValue* scores = document.Find("scores");
+    ASSERT_NE(drugs, nullptr);
+    ASSERT_NE(scores, nullptr);
+    ASSERT_EQ(drugs->Items().size(), expected.drugs.size());
+    ASSERT_EQ(scores->Items().size(), expected.scores.size());
+    for (size_t i = 0; i < expected.drugs.size(); ++i) {
+      EXPECT_EQ(drugs->Items()[i].AsInt(), expected.drugs[i]) << "drug " << i;
+      const float score = static_cast<float>(scores->Items()[i].AsDouble());
+      EXPECT_EQ(std::memcmp(&score, &expected.scores[i], sizeof(float)), 0)
+          << "score " << i << " not bit-identical";
+    }
+  }
+
+  /// True when `body` matches `expected` on drugs and scores.
+  static bool MatchesSuggestion(const std::string& body,
+                                const core::Suggestion& expected) {
+    net::JsonValue document;
+    std::string error;
+    if (!net::ParseJson(body, &document, &error)) return false;
+    const net::JsonValue* drugs = document.Find("drugs");
+    const net::JsonValue* scores = document.Find("scores");
+    if (drugs == nullptr || scores == nullptr) return false;
+    if (drugs->Items().size() != expected.drugs.size()) return false;
+    for (size_t i = 0; i < expected.drugs.size(); ++i) {
+      if (drugs->Items()[i].AsInt() != expected.drugs[i]) return false;
+      const float score = static_cast<float>(scores->Items()[i].AsDouble());
+      if (std::memcmp(&score, &expected.scores[i], sizeof(float)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static data::SuggestionDataset* dataset_;
+  static core::DssddiSystem* system_;
+  static io::InferenceBundle* bundle_;
+  static core::DssddiSystem* other_system_;
+  static io::InferenceBundle* other_bundle_;
+};
+
+data::SuggestionDataset* NetEndToEndTest::dataset_ = nullptr;
+core::DssddiSystem* NetEndToEndTest::system_ = nullptr;
+io::InferenceBundle* NetEndToEndTest::bundle_ = nullptr;
+core::DssddiSystem* NetEndToEndTest::other_system_ = nullptr;
+io::InferenceBundle* NetEndToEndTest::other_bundle_ = nullptr;
+
+TEST_F(NetEndToEndTest, ConcurrentKeepAliveClientsMatchDirectSuggest) {
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.max_batch_size = 8;
+  serve::SuggestionService service(*bundle_, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_loops = 2;  // exercise REUSEPORT or fd handoff
+  net::HttpServer server(server_options, frontend.AsHandler());
+  frontend.AttachServer(&server);
+  ASSERT_TRUE(server.Start().ok);
+
+  const std::vector<int>& patients = dataset_->split.test;
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok) {
+        failures.fetch_add(100);
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {  // keep-alive: one connection
+        const int patient = patients[(t * 13 + i) % patients.size()];
+        net::ClientResponse response;
+        const io::Status status = client.Request(
+            "POST", "/v1/suggest", SuggestBody(patient, 3, true), &response);
+        if (!status.ok || response.status != 200 ||
+            !MatchesSuggestion(response.body,
+                               system_->Suggest(*dataset_, patient, 3))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const net::HttpServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.requests, kClients * kPerClient);
+  EXPECT_EQ(counters.responses, kClients * kPerClient);
+  // Keep-alive: four connections served all the traffic.
+  EXPECT_EQ(counters.accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(counters.parse_errors, 0u);
+  server.Stop();
+}
+
+TEST_F(NetEndToEndTest, HealthStatsRoutingAndErrors) {
+  serve::SuggestionService service(*bundle_, {});
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  frontend.AttachServer(&server);
+  ASSERT_TRUE(server.Start().ok);
+
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+
+  net::ClientResponse response;
+  ASSERT_TRUE(client.Request("GET", "/healthz", "", &response).ok);
+  EXPECT_EQ(response.status, 200);
+  net::JsonValue health;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson(response.body, &health, &error)) << error;
+  EXPECT_EQ(health.Find("status")->AsString(), "ok");
+  EXPECT_EQ(health.Find("model_version")->AsInt(), 1);
+
+  ASSERT_TRUE(client.Request("GET", "/statsz", "", &response).ok);
+  EXPECT_EQ(response.status, 200);
+  net::JsonValue stats;
+  ASSERT_TRUE(net::ParseJson(response.body, &stats, &error)) << error;
+  ASSERT_NE(stats.Find("service"), nullptr);
+  ASSERT_NE(stats.Find("http"), nullptr);
+  EXPECT_GE(stats.Find("http")->Find("accepted")->AsInt(), 1);
+
+  ASSERT_TRUE(client.Request("GET", "/no/such/route", "", &response).ok);
+  EXPECT_EQ(response.status, 404);
+  ASSERT_TRUE(client.Request("GET", "/v1/suggest", "", &response).ok);
+  EXPECT_EQ(response.status, 405);
+  ASSERT_TRUE(client.Request("POST", "/v1/suggest", "{not json", &response).ok);
+  EXPECT_EQ(response.status, 400);
+  ASSERT_TRUE(client.Request("POST", "/v1/suggest",
+                             "{\"features\":[1,2],\"k\":3}", &response).ok);
+  EXPECT_EQ(response.status, 400);  // wrong feature width (service-level)
+  // Only pre-service rejections count as frontend bad requests; the
+  // width mismatch above was rejected by the service itself.
+  EXPECT_EQ(frontend.bad_requests(), 1u);
+  server.Stop();
+}
+
+TEST_F(NetEndToEndTest, MalformedWireBytesGet400AndClose) {
+  serve::SuggestionService service(*bundle_, {});
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)), 0);
+  const char garbage[] = "THIS IS NOT HTTP\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage) - 1, 0), 0);
+  std::string reply;
+  char buffer[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    reply.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(reply.compare(0, 17, "HTTP/1.1 400 Bad "), 0) << reply;
+  EXPECT_NE(reply.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(server.counters().parse_errors, 1u);
+  server.Stop();
+}
+
+TEST_F(NetEndToEndTest, ConnectionLimitShedsWith503) {
+  serve::SuggestionService service(*bundle_, {});
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  server_options.max_connections = 1;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+
+  net::HttpClient first;
+  ASSERT_TRUE(first.Connect("127.0.0.1", server.port()).ok);
+  net::ClientResponse response;
+  ASSERT_TRUE(first.Request("GET", "/healthz", "", &response).ok);
+  ASSERT_EQ(response.status, 200);  // first connection is registered
+
+  net::HttpClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", server.port()).ok);
+  ASSERT_TRUE(second.Request("GET", "/healthz", "", &response).ok);
+  EXPECT_EQ(response.status, 503);
+  EXPECT_GE(server.counters().overload_closed, 1u);
+  server.Stop();
+}
+
+TEST_F(NetEndToEndTest, OverloadShedsWith429InsteadOfHanging) {
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.max_batch_size = 64;
+  service_options.batch_wait_us = 100000;  // park accepted requests 100ms
+  service_options.admission.max_in_flight = 1;
+  serve::SuggestionService service(*bundle_, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+
+  const std::vector<int>& patients = dataset_->split.test;
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::atomic<int> ok_responses{0};
+  std::atomic<int> shed_responses{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok) {
+        failures.fetch_add(100);
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const int patient = patients[(t * 5 + i) % patients.size()];
+        net::ClientResponse response;
+        if (!client.Request("POST", "/v1/suggest",
+                            SuggestBody(patient, 3, false), &response).ok) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (response.status == 200) {
+          if (!MatchesSuggestion(response.body,
+                                 system_->Suggest(*dataset_, patient, 3))) {
+            failures.fetch_add(1);
+          }
+          ok_responses.fetch_add(1);
+        } else if (response.status == 429) {
+          shed_responses.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(ok_responses.load(), 0);
+  EXPECT_GT(shed_responses.load(), 0) << "admission gate never shed";
+  EXPECT_EQ(ok_responses.load() + shed_responses.load(), kClients * kPerClient);
+  EXPECT_EQ(service.Stats().shed, static_cast<uint64_t>(shed_responses.load()));
+  server.Stop();
+}
+
+TEST_F(NetEndToEndTest, ReloadUnderLoadSwapsWithoutCorruptingResponses) {
+  const std::string other_path = ::testing::TempDir() + "dssddi_net_reload.dssb";
+  ASSERT_TRUE(io::SaveInferenceBundle(other_path, *other_bundle_).ok);
+
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.max_batch_size = 4;
+  serve::SuggestionService service(*bundle_, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+
+  const std::vector<int>& patients = dataset_->split.test;
+  // Precompute both models' expected answers for every test patient.
+  std::vector<core::Suggestion> expect_old, expect_new;
+  for (const int patient : patients) {
+    expect_old.push_back(system_->Suggest(*dataset_, patient, 3));
+    expect_new.push_back(other_system_->Suggest(*dataset_, patient, 3));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> served{0};
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok) {
+        failures.fetch_add(100);
+        return;
+      }
+      for (int i = 0; !stop.load(); ++i) {
+        const size_t index = (t * 7 + i) % patients.size();
+        net::ClientResponse response;
+        if (!client.Request("POST", "/v1/suggest",
+                            SuggestBody(patients[index], 3, true),
+                            &response).ok ||
+            response.status != 200) {
+          failures.fetch_add(1);
+          return;
+        }
+        // Under reload every response must be exactly one model's answer
+        // — never a blend, never garbage.
+        if (!MatchesSuggestion(response.body, expect_old[index]) &&
+            !MatchesSuggestion(response.body, expect_new[index])) {
+          failures.fetch_add(1);
+          return;
+        }
+        served.fetch_add(1);
+      }
+    });
+  }
+
+  // Let traffic flow, then hot-swap mid-stream.
+  while (served.load() < 20 && failures.load() == 0) {
+    std::this_thread::yield();
+  }
+  net::HttpClient admin;
+  ASSERT_TRUE(admin.Connect("127.0.0.1", server.port()).ok);
+  net::ClientResponse reload_response;
+  ASSERT_TRUE(admin.Request("POST", "/admin/reload",
+                            "{\"path\":\"" + other_path + "\"}",
+                            &reload_response).ok);
+  ASSERT_EQ(reload_response.status, 200) << reload_response.body;
+  net::JsonValue reload_json;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson(reload_response.body, &reload_json, &error));
+  EXPECT_EQ(reload_json.Find("model_version")->AsInt(), 2);
+
+  // Keep the load up briefly after the swap, then stop.
+  const int after_swap_target = served.load() + 20;
+  while (served.load() < after_swap_target && failures.load() == 0) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Post-reload, answers come from the new model only (cache flushed:
+  // even previously-hot patients get new-model results).
+  net::HttpClient check;
+  ASSERT_TRUE(check.Connect("127.0.0.1", server.port()).ok);
+  for (size_t index = 0; index < patients.size(); ++index) {
+    net::ClientResponse response;
+    ASSERT_TRUE(check.Request("POST", "/v1/suggest",
+                              SuggestBody(patients[index], 3, true),
+                              &response).ok);
+    ASSERT_EQ(response.status, 200);
+    ExpectMatchesSuggestion(response.body, expect_new[index]);
+  }
+  EXPECT_EQ(service.Stats().reloads, 1u);
+
+  // Incompatible reload target is refused with 409 and does not disturb
+  // the served model.
+  io::InferenceBundle narrow = *other_bundle_;
+  narrow.cluster_centroids = tensor::Matrix(
+      narrow.cluster_centroids.rows(), narrow.cluster_centroids.cols() + 2);
+  const std::string narrow_path = ::testing::TempDir() + "dssddi_net_narrow.dssb";
+  ASSERT_TRUE(io::SaveInferenceBundle(narrow_path, narrow).ok);
+  net::ClientResponse conflict;
+  ASSERT_TRUE(admin.Request("POST", "/admin/reload",
+                            "{\"path\":\"" + narrow_path + "\"}", &conflict).ok);
+  EXPECT_EQ(conflict.status, 409);
+  EXPECT_EQ(service.model_version(), 2u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace dssddi

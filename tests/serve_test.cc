@@ -13,6 +13,7 @@
 #include "core/dssddi_system.h"
 #include "gtest/gtest.h"
 #include "io/inference_bundle.h"
+#include "serve/admission_controller.h"
 #include "serve/request_batcher.h"
 #include "serve/service.h"
 #include "serve/suggestion_cache.h"
@@ -67,13 +68,38 @@ TEST(ThreadPoolTest, ConcurrentSubmitters) {
   EXPECT_EQ(sum.load(), 400);
 }
 
-TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
-  serve::ThreadPool pool(0);
-  EXPECT_EQ(pool.num_threads(), 1);
-  std::atomic<bool> ran{false};
-  pool.Submit([&ran] { ran = true; });
-  while (pool.tasks_executed() < 1) std::this_thread::yield();
-  EXPECT_TRUE(ran.load());
+TEST(ThreadPoolTest, RejectsNonPositiveThreadCounts) {
+  // A zero-thread pool would deadlock every Submit, so construction must
+  // fail loudly instead of silently clamping.
+  EXPECT_THROW(serve::ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(serve::ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNotExecuted) {
+  serve::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);  // Shutdown drained the queue.
+  // Late submissions are refused; the task must never run.
+  EXPECT_FALSE(pool.Submit([&ran] { ran.fetch_add(100); }));
+  EXPECT_EQ(ran.load(), 1);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ThrowingTasksDoNotKillWorkers) {
+  serve::ThreadPool pool(2);
+  std::atomic<int> survived{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("request gone wrong"); });
+    pool.Submit([&survived] { survived.fetch_add(1); });
+  }
+  while (pool.tasks_executed() < 16) std::this_thread::yield();
+  // Every well-behaved task still ran on a live worker, and the failures
+  // were counted rather than propagated.
+  EXPECT_EQ(survived.load(), 8);
+  EXPECT_EQ(pool.tasks_failed(), 8u);
+  EXPECT_EQ(pool.tasks_executed(), 16u);
 }
 
 // ---------------------------------------------------------------------
@@ -139,6 +165,25 @@ TEST(SuggestionCacheTest, PutOfExistingKeyOverwritesAndRefreshes) {
   EXPECT_FALSE(cache.Get({2, 1}, &out));
 }
 
+TEST(SuggestionCacheTest, BumpGenerationFlushesAndIsolatesOldEntries) {
+  serve::SuggestionCache cache(/*capacity=*/8, /*num_shards=*/2);
+  EXPECT_EQ(cache.generation(), 0u);
+  serve::CacheKey old_key{7, 3, 0, cache.generation()};
+  cache.Put(old_key, MakeSuggestion(1));
+
+  EXPECT_EQ(cache.BumpGeneration(), 1u);
+  EXPECT_EQ(cache.generation(), 1u);
+  EXPECT_EQ(cache.Counters().entries, 0u);  // flushed
+
+  core::Suggestion out;
+  EXPECT_FALSE(cache.Get(old_key, &out));
+  // Even a stale Put that raced the flush stays invisible to callers
+  // keying with the new generation.
+  cache.Put(old_key, MakeSuggestion(1));
+  serve::CacheKey new_key{7, 3, 0, cache.generation()};
+  EXPECT_FALSE(cache.Get(new_key, &out));
+}
+
 TEST(SuggestionCacheTest, ThreadSafeUnderConcurrentHammering) {
   serve::SuggestionCache cache(/*capacity=*/64, /*num_shards=*/8);
   constexpr int kThreads = 8;
@@ -191,14 +236,21 @@ TEST(RequestBatcherTest, GroupsRequestsUpToBatchCeiling) {
       std::lock_guard<std::mutex> lock(mutex);
       batch_sizes.push_back(batch.size());
     }
-    for (auto& pending : batch) pending.promise.set_value({});
+    for (auto& pending : batch) pending.Complete({});
   });
 
+  std::vector<std::promise<core::Suggestion>> promises(10);
   std::vector<std::future<core::Suggestion>> futures;
+  for (auto& promise : promises) futures.push_back(promise.get_future());
   for (int i = 0; i < 10; ++i) {
     serve::Request request;
     request.k = 1;
-    futures.push_back(batcher.Enqueue(std::move(request)));
+    batcher.Enqueue(std::move(request), {},
+                    [&promises, i](core::Suggestion suggestion,
+                                   std::shared_ptr<const serve::ModelSnapshot>,
+                                   std::exception_ptr) {
+                      promises[i].set_value(std::move(suggestion));
+                    });
   }
   for (auto& future : futures) future.get();
 
@@ -222,9 +274,13 @@ TEST(RequestBatcherTest, FlushesQueueOnDestruction) {
     options.max_wait_us = 10'000'000;  // would wait 10s without the flush
     serve::RequestBatcher batcher(options, [&](std::vector<serve::PendingRequest> batch) {
       handled.fetch_add(static_cast<int>(batch.size()));
-      for (auto& pending : batch) pending.promise.set_value({});
+      for (auto& pending : batch) pending.Complete({});
     });
-    for (int i = 0; i < 5; ++i) batcher.Enqueue({});
+    for (int i = 0; i < 5; ++i) {
+      batcher.Enqueue({}, {},
+                      [](core::Suggestion, std::shared_ptr<const serve::ModelSnapshot>,
+                         std::exception_ptr) {});
+    }
     // Destructor must flush the 5 queued requests without the timeout.
   }
   EXPECT_EQ(handled.load(), 5);
@@ -453,6 +509,108 @@ TEST_F(SuggestionServiceTest, ConcurrentMixedLoadStaysConsistent) {
   const serve::ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.completed, 100u);
   EXPECT_GT(stats.cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Admission control and hot reload.
+// ---------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, EnforcesBothBoundsAndCounts) {
+  serve::AdmissionController::Options options;
+  options.max_in_flight = 2;
+  options.max_queue_depth = 3;
+  serve::AdmissionController gate(options);
+  EXPECT_TRUE(gate.enabled());
+
+  EXPECT_TRUE(gate.Admit(/*in_flight=*/0, /*queue_depth=*/0));
+  EXPECT_TRUE(gate.Admit(1, 2));
+  EXPECT_FALSE(gate.Admit(2, 0));  // in-flight bound
+  EXPECT_FALSE(gate.Admit(0, 3));  // queue bound
+  const auto counters = gate.counters();
+  EXPECT_EQ(counters.admitted, 2u);
+  EXPECT_EQ(counters.shed, 2u);
+
+  serve::AdmissionController open;  // both bounds 0 = admit everything
+  EXPECT_FALSE(open.enabled());
+  EXPECT_TRUE(open.Admit(1u << 20, 1u << 20));
+}
+
+TEST_F(SuggestionServiceTest, TrySubmitShedsWhenInFlightBoundIsHit) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.max_batch_size = 64;
+  options.batch_wait_us = 200000;  // hold the batch open: requests stay in flight
+  options.admission.max_in_flight = 1;
+  serve::SuggestionService service(*bundle_, options);
+
+  std::promise<core::Suggestion> first_done;
+  ASSERT_TRUE(service.TrySubmitAsync(
+      RequestFor(dataset_->split.test[0], 3),
+      [&first_done](core::Suggestion suggestion,
+                    std::shared_ptr<const serve::ModelSnapshot>,
+                    std::exception_ptr) {
+        first_done.set_value(std::move(suggestion));
+      }));
+  // The first request is parked in the batcher window, so the gate must
+  // shed the second arrival instead of queuing it.
+  EXPECT_FALSE(service.TrySubmitAsync(
+      RequestFor(dataset_->split.test[1], 3),
+      [](core::Suggestion, std::shared_ptr<const serve::ModelSnapshot>,
+         std::exception_ptr) { FAIL() << "shed request ran"; }));
+
+  first_done.get_future().get();
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+}
+
+TEST_F(SuggestionServiceTest, ReloadSwapsModelAndFlushesCache) {
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 64;
+  serve::SuggestionService service(*bundle_, options);
+  EXPECT_EQ(service.model_version(), 1u);
+
+  const int patient = dataset_->split.test.front();
+  // Warm the cache against model v1.
+  const core::Suggestion before = service.Submit(RequestFor(patient, 3)).get();
+  ExpectSameSuggestion(before, system_->Suggest(*dataset_, patient, 3));
+
+  // Train a genuinely different model and hot-swap it in.
+  core::DssddiConfig config;
+  config.ddi.epochs = 30;
+  config.md.epochs = 40;
+  config.md.hidden_dim = 8;
+  core::DssddiSystem other(config);
+  other.Fit(*dataset_);
+  const io::Status status =
+      service.Reload(io::ExtractInferenceBundle(other, *dataset_));
+  ASSERT_TRUE(status.ok) << status.message;
+  EXPECT_EQ(service.model_version(), 2u);
+  EXPECT_EQ(service.Stats().reloads, 1u);
+
+  // The same query must now be answered by the new model — the v1 cache
+  // entry may not leak through.
+  const core::Suggestion after = service.Submit(RequestFor(patient, 3)).get();
+  ExpectSameSuggestion(after, other.Suggest(*dataset_, patient, 3));
+}
+
+TEST_F(SuggestionServiceTest, ReloadRejectsEmptyOrMismatchedBundles) {
+  serve::SuggestionService service(*bundle_, {});
+
+  EXPECT_FALSE(service.Reload(io::InferenceBundle{}).ok);
+
+  io::InferenceBundle narrow = *bundle_;
+  narrow.cluster_centroids =
+      tensor::Matrix(narrow.cluster_centroids.rows(),
+                     narrow.cluster_centroids.cols() + 1);
+  EXPECT_FALSE(service.Reload(std::move(narrow)).ok);
+
+  // The original model keeps serving untouched.
+  EXPECT_EQ(service.model_version(), 1u);
+  const int patient = dataset_->split.test.front();
+  ExpectSameSuggestion(service.Submit(RequestFor(patient, 3)).get(),
+                       system_->Suggest(*dataset_, patient, 3));
 }
 
 }  // namespace
