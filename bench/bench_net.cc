@@ -197,9 +197,10 @@ int main(int argc, char** argv) {
     std::printf("error: %s\n", status.message.c_str());
     return 1;
   }
-  std::printf("server up on 127.0.0.1:%d (%d scoring threads); %d requests"
-              " per cell, %d unique patients\n\n",
-              server.port(), service.Stats().num_threads, num_requests,
+  std::printf("server up on 127.0.0.1:%d (%d scoring threads, %s gemm"
+              " backend); %d requests per cell, %d unique patients\n\n",
+              server.port(), service.Stats().num_threads,
+              service.Stats().gemm_backend.c_str(), num_requests,
               unique_patients);
 
   std::printf("%11s %10s %10s %10s %8s %8s %8s\n", "connections", "qps",

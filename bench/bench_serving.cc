@@ -24,6 +24,7 @@
 #include "data/dataset.h"
 #include "io/inference_bundle.h"
 #include "serve/service.h"
+#include "tensor/kernels/gemm_backend.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -147,8 +148,10 @@ int main(int argc, char** argv) {
 
   const unsigned hw = std::thread::hardware_concurrency();
   const int threads = std::max(4, hw == 0 ? 4 : static_cast<int>(hw));
-  std::printf("stream: %d requests over %d unique patients; %u hardware threads\n\n",
+  std::printf("stream: %d requests over %d unique patients; %u hardware threads\n",
               num_requests, unique_patients, hw);
+  std::printf("gemm backend: %s (set DSSDDI_GEMM_BACKEND=reference|blocked)\n\n",
+              tensor::kernels::ActiveBackendName());
 
   // Headline grid: the product workload (suggestions WITH Medical
   // Support explanations, as the paper's system presents them).

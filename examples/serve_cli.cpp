@@ -81,8 +81,10 @@ int main(int argc, char** argv) {
   serve::SuggestionService service(std::move(bundle), options);
   const int width = service.feature_width();
   std::printf(
-      "service up: %d threads, batch<=%d, cache=%zu, feature width %d\n\n",
-      service.Stats().num_threads, batch, cache, width);
+      "service up: %d threads, batch<=%d, cache=%zu, %s gemm,"
+      " feature width %d\n\n",
+      service.Stats().num_threads, batch, cache,
+      service.Stats().gemm_backend.c_str(), width);
 
   // 3. Synthesize a query stream: `unique_patients` distinct synthetic
   //    patients, revisited with heavy repetition like a clinic day sheet.

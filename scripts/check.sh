@@ -2,10 +2,17 @@
 # One-command tier-1 gate: configure, build with all cores, run ctest.
 # Usage: scripts/check.sh [build-dir]   (default: build)
 #
+# Every ctest pass runs once per GEMM backend (DSSDDI_GEMM_BACKEND =
+# reference, then blocked) so the SIMD/blocked kernels see the full
+# suite, not just tensor_kernels_test. CHECK_GEMM_BACKENDS overrides the
+# list, e.g. CHECK_GEMM_BACKENDS=reference for a single fast pass or a
+# one-backend CI matrix leg.
+#
 # Opt-in sanitizer pass: set CHECK_SANITIZE to a -fsanitize list and a
 # second build dir (<build-dir>-sanitize) is configured with it and ctest
-# runs again under the instrumented binaries — this is how the epoll /
-# threading code gets exercised under ASan+UBSan:
+# runs again (per backend) under the instrumented binaries — this is how
+# the epoll / threading code AND the blocked SIMD kernels get exercised
+# under ASan+UBSan:
 #
 #   CHECK_SANITIZE=address,undefined scripts/check.sh
 #
@@ -15,11 +22,23 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+GEMM_BACKENDS="${CHECK_GEMM_BACKENDS:-reference blocked}"
+
+run_ctest() {
+  local dir="$1"
+  shift
+  local backend
+  for backend in $GEMM_BACKENDS; do
+    echo "== ctest (${dir}, DSSDDI_GEMM_BACKEND=${backend}) =="
+    DSSDDI_GEMM_BACKEND="$backend" "$@" \
+      ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  done
+}
 
 if [[ -z "${CHECK_SANITIZE_ONLY:-}" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j "$(nproc)"
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+  run_ctest "$BUILD_DIR" env
 fi
 
 if [[ -n "${CHECK_SANITIZE:-}" ]]; then
@@ -31,6 +50,5 @@ if [[ -n "${CHECK_SANITIZE:-}" ]]; then
   # Test fixtures intentionally leak a few process-lifetime singletons;
   # leak checking would only report those, so keep ASan focused on
   # use-after-free / overflow / races-made-visible.
-  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)"
+  run_ctest "$SAN_DIR" env ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1"
 fi

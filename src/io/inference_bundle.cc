@@ -6,6 +6,7 @@
 #include "core/ms_module.h"
 #include "core/suggestion_model.h"
 #include "io/serialize.h"
+#include "tensor/kernels/gemm_backend.h"
 #include "tensor/nn.h"
 #include "util/logging.h"
 
@@ -15,27 +16,6 @@ namespace {
 // Version 2 added ms_explainer; version-1 files load with the default
 // closest-truss-community explainer.
 constexpr uint32_t kBundleVersion = 2;
-
-// Plain-matrix activation matching tensor::Activate on Tensors (the
-// default leaky slope there is 0.01).
-void ActivateInPlace(tensor::Matrix& x, int activation) {
-  switch (static_cast<tensor::Activation>(activation)) {
-    case tensor::Activation::kNone:
-      return;
-    case tensor::Activation::kRelu:
-      for (float& v : x.data()) v = v > 0.0f ? v : 0.0f;
-      return;
-    case tensor::Activation::kLeakyRelu:
-      for (float& v : x.data()) v = v > 0.0f ? v : 0.01f * v;
-      return;
-    case tensor::Activation::kSigmoid:
-      for (float& v : x.data()) v = 1.0f / (1.0f + std::exp(-v));
-      return;
-    case tensor::Activation::kTanh:
-      for (float& v : x.data()) v = std::tanh(v);
-      return;
-  }
-}
 
 FrozenMlp FreezeMlp(const tensor::Mlp& mlp) {
   FrozenMlp frozen;
@@ -104,11 +84,28 @@ int NearestCluster(const tensor::Matrix& centroids, const float* features) {
 }  // namespace
 
 tensor::Matrix FrozenMlp::Forward(const tensor::Matrix& x) const {
-  tensor::Matrix h = x;
+  // One fused GemmBiasAct kernel pass per layer: the bias add and
+  // activation ride the accumulation epilogue, so nothing is allocated
+  // beyond the layer output itself. Same arithmetic order as the old
+  // MatMul -> AddRowBroadcast -> activate chain, hence bit-identical on
+  // the reference backend.
+  const tensor::kernels::GemmBackend& gemm = tensor::kernels::ActiveBackend();
+  tensor::Matrix h;
+  const tensor::Matrix* cur = &x;  // no copy of the input row block
   for (const auto& layer : layers) {
-    h = h.MatMul(layer.weight).AddRowBroadcast(layer.bias);
-    ActivateInPlace(h, layer.activation);
+    DSSDDI_CHECK(cur->cols() == layer.weight.rows())
+        << "frozen layer expects " << layer.weight.rows() << " features, got "
+        << cur->cols();
+    tensor::Matrix next(cur->rows(), layer.weight.cols());
+    gemm.GemmBiasAct(
+        cur->rows(), cur->cols(), layer.weight.cols(), cur->data().data(),
+        layer.weight.data().data(), layer.bias.data().data(),
+        next.data().data(),
+        static_cast<tensor::kernels::EpilogueActivation>(layer.activation));
+    h = std::move(next);
+    cur = &h;
   }
+  if (layers.empty()) return x;
   return h;
 }
 

@@ -24,6 +24,9 @@ struct FrozenMlp {
   std::vector<Layer> layers;
 
   /// y = act_L(...act_1(x W_1 + b_1)...W_L + b_L), matching Mlp::Forward.
+  /// Each layer is one fused GemmBiasAct pass on the active GEMM backend
+  /// (tensor/kernels/gemm_backend.h) — no intermediate bias/activation
+  /// matrices are materialized.
   tensor::Matrix Forward(const tensor::Matrix& x) const;
 };
 

@@ -222,6 +222,7 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
       .Key("p50_latency_ms").Double(stats.p50_latency_ms)
       .Key("p99_latency_ms").Double(stats.p99_latency_ms)
       .Key("num_threads").Int(stats.num_threads)
+      .Key("gemm_backend").String(stats.gemm_backend)
       .Key("uptime_seconds").Double(stats.uptime_seconds)
       .EndObject();
   json.Key("admission").BeginObject()

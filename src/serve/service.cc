@@ -9,6 +9,7 @@
 
 #include "core/suggestion_model.h"
 #include "io/binary.h"
+#include "tensor/kernels/gemm_backend.h"
 #include "util/logging.h"
 
 namespace dssddi::serve {
@@ -203,54 +204,51 @@ void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
   const std::shared_ptr<const ModelSnapshot> snapshot = this->snapshot();
   const int width = snapshot->feature_width();
   const int total = static_cast<int>(batch.size());
-  const int tile =
-      options_.score_tile > 0 ? std::min(options_.score_tile, total) : total;
 
-  // Score the batch tile-by-tile: each pass's decoder interaction matrix
-  // (tile * num_drugs rows) stays CPU-cache resident, while the batch as
-  // a whole amortized one queue handoff. Rows are independent in
-  // PredictScores, so tiling leaves every result bit-identical.
+  // Score the whole batch in one kernel-backed matrix pass. The
+  // hand-rolled score tiling that used to live here is gone: keeping the
+  // working set cache-resident is the GEMM backend's job now (the
+  // blocked backend tiles internally; the reference backend streams).
+  // Rows are independent in PredictScores, so batch grouping leaves
+  // every result bit-identical.
   int finished = 0;  // requests whose completion already fired
   try {
-    for (int begin = 0; begin < total; begin += tile) {
-      const int rows = std::min(tile, total - begin);
-      tensor::Matrix x(rows, width);
-      for (int i = 0; i < rows; ++i) {
-        const auto& features = batch[begin + i].request.features;
-        std::copy(features.begin(), features.end(), x.RowPtr(i));
-      }
-      const tensor::Matrix scores = snapshot->bundle.PredictScores(x);
+    tensor::Matrix x(total, width);
+    for (int i = 0; i < total; ++i) {
+      const auto& features = batch[i].request.features;
+      std::copy(features.begin(), features.end(), x.RowPtr(i));
+    }
+    const tensor::Matrix scores = snapshot->bundle.PredictScores(x);
 
-      for (int i = 0; i < rows; ++i) {
-        PendingRequest& pending = batch[begin + i];
-        core::Suggestion suggestion =
-            BuildSuggestion(*snapshot, scores, i, pending.request);
-        if (cache_ && pending.request.explain && pending.request.patient_id >= 0) {
-          // Cache only when the submit-time key generation matches the
-          // snapshot that scored the row. After a racing Reload they can
-          // differ (submitted against v1, scored by v2): caching the v2
-          // result under a v1 key would let a pre-reload submitter hit
-          // it and serialize v2 scores against v1 names/version. The
-          // coalesced waiters are still resolved — they asked the same
-          // question and this is its (new-model) answer.
-          if (pending.key.generation == snapshot->version) {
-            cache_->Put(pending.key, suggestion);
-          }
-          ResolveInflight(pending.key, suggestion, snapshot);
+    for (int i = 0; i < total; ++i) {
+      PendingRequest& pending = batch[i];
+      core::Suggestion suggestion =
+          BuildSuggestion(*snapshot, scores, i, pending.request);
+      if (cache_ && pending.request.explain && pending.request.patient_id >= 0) {
+        // Cache only when the submit-time key generation matches the
+        // snapshot that scored the row. After a racing Reload they can
+        // differ (submitted against v1, scored by v2): caching the v2
+        // result under a v1 key would let a pre-reload submitter hit
+        // it and serialize v2 scores against v1 names/version. The
+        // coalesced waiters are still resolved — they asked the same
+        // question and this is its (new-model) answer.
+        if (pending.key.generation == snapshot->version) {
+          cache_->Put(pending.key, suggestion);
         }
-        RecordLatency(MillisSince(pending.enqueue_time));
-        completed_.fetch_add(1, std::memory_order_relaxed);
-        // Count this request finished BEFORE invoking its completion,
-        // and swallow completion throws here like every other delivery
-        // path does — the catch below is for scoring failures only and
-        // must never redeliver a completion's own exception to the rest
-        // of the batch.
-        ++finished;
-        try {
-          pending.Complete(std::move(suggestion), snapshot);
-        } catch (...) {
-          DSSDDI_LOG(Warning) << "completion threw; continuing batch";
-        }
+        ResolveInflight(pending.key, suggestion, snapshot);
+      }
+      RecordLatency(MillisSince(pending.enqueue_time));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      // Count this request finished BEFORE invoking its completion,
+      // and swallow completion throws here like every other delivery
+      // path does — the catch below is for scoring failures only and
+      // must never redeliver a completion's own exception to the rest
+      // of the batch.
+      ++finished;
+      try {
+        pending.Complete(std::move(suggestion), snapshot);
+      } catch (...) {
+        DSSDDI_LOG(Warning) << "completion threw; continuing batch";
       }
     }
   } catch (...) {
@@ -375,6 +373,7 @@ ServiceStats SuggestionService::Stats() const {
     stats.p99_latency_ms = Percentile(std::move(sample), 0.99);
   }
   stats.num_threads = pool_->num_threads();
+  stats.gemm_backend = tensor::kernels::ActiveBackendName();
   return stats;
 }
 

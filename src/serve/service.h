@@ -7,6 +7,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -33,12 +34,6 @@ struct ServiceOptions {
   /// with it in-flight coalescing, which rides on the same keys).
   size_t cache_capacity = 4096;
   int cache_shards = 8;
-  /// Scoring tile: a dispatched batch is scored `score_tile` rows per
-  /// matrix pass. Small tiles keep the decoder's interaction matrix
-  /// (tile x num_drugs rows) inside the CPU cache; batching still
-  /// amortizes queue handoffs across the whole batch. 0 scores the
-  /// batch in one pass.
-  int score_tile = 8;
   /// Ring-buffer size for latency percentiles (most recent completions).
   size_t latency_window = 1 << 15;
   /// Load-shedding bounds applied by TrySubmitAsync (both 0 = admit
@@ -74,6 +69,9 @@ struct ServiceStats {
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   int num_threads = 0;
+  /// Active GEMM backend ("reference" / "blocked") scoring every batch,
+  /// so perf numbers are never attributed to the wrong kernel.
+  std::string gemm_backend;
 };
 
 /// One immutable, shareable model generation: the frozen bundle plus the
@@ -99,14 +97,15 @@ struct ModelSnapshot {
 /// Requests enter through `Submit` (future-based), `SubmitAsync`
 /// (callback-based, what the HTTP front-end uses) or `SubmitBatch`
 /// (blocking convenience). A RequestBatcher groups concurrent arrivals
-/// into micro-batches, a ThreadPool scores each batch through
-/// cache-tiled `InferenceBundle::PredictScores` matrix passes, and a
+/// into micro-batches, a ThreadPool scores each batch in one
+/// `InferenceBundle::PredictScores` pass on the active GEMM backend
+/// (cache blocking lives inside the kernel layer, not up here), and a
 /// sharded LRU SuggestionCache short-circuits repeat (patient_id, k)
 /// queries. While a keyed query is being scored, identical arrivals
 /// coalesce onto it (singleflight) instead of queuing duplicate work.
 /// Results are bit-identical to calling `InferenceBundle::Suggest` (and
-/// therefore `DssddiSystem::Suggest`) per patient: batching and tiling
-/// change only how rows are grouped, never the per-row arithmetic.
+/// therefore `DssddiSystem::Suggest`) per patient: batching changes only
+/// how rows are grouped, never the per-row arithmetic.
 ///
 /// The model lives behind an atomically swapped shared_ptr snapshot:
 /// `Reload` installs a new bundle without draining in-flight requests —

@@ -1,0 +1,53 @@
+#include "tensor/kernels/gemm_backend.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace dssddi::tensor::kernels {
+namespace {
+
+const GemmBackend* BackendFromEnv() {
+  const char* env = std::getenv(kGemmBackendEnvVar);
+  if (env != nullptr && *env != '\0') {
+    if (const GemmBackend* backend = FindBackend(env)) return backend;
+    DSSDDI_LOG(Warning) << "unknown " << kGemmBackendEnvVar << "='" << env
+                        << "'; using the reference GEMM backend";
+  }
+  return &ReferenceGemm();
+}
+
+std::atomic<const GemmBackend*>& ActiveSlot() {
+  // Initialized on first use (thread-safe local static), so the env var
+  // is honored no matter which dense-math path runs first.
+  static std::atomic<const GemmBackend*> slot{BackendFromEnv()};
+  return slot;
+}
+
+}  // namespace
+
+const GemmBackend& ActiveBackend() {
+  return *ActiveSlot().load(std::memory_order_acquire);
+}
+
+const char* ActiveBackendName() { return ActiveBackend().name(); }
+
+bool SetBackend(const std::string& name) {
+  const GemmBackend* backend = FindBackend(name);
+  if (backend == nullptr) return false;
+  ActiveSlot().store(backend, std::memory_order_release);
+  return true;
+}
+
+const GemmBackend* FindBackend(const std::string& name) {
+  if (name == ReferenceGemm().name()) return &ReferenceGemm();
+  if (name == BlockedGemm().name()) return &BlockedGemm();
+  return nullptr;
+}
+
+std::vector<std::string> AvailableBackends() {
+  return {ReferenceGemm().name(), BlockedGemm().name()};
+}
+
+}  // namespace dssddi::tensor::kernels

@@ -1,0 +1,127 @@
+#ifndef DSSDDI_TENSOR_KERNELS_GEMM_BACKEND_H_
+#define DSSDDI_TENSOR_KERNELS_GEMM_BACKEND_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace dssddi::tensor::kernels {
+
+/// Elementwise epilogue applied by the fused GemmBiasAct kernel. The
+/// numeric values mirror tensor::Activation (and the serialized
+/// activation ints inside io::FrozenMlp), so call sites static_cast
+/// instead of maintaining a mapping table. kLeakyRelu uses the library's
+/// fixed 0.01 negative slope.
+enum class EpilogueActivation : int {
+  kNone = 0,
+  kRelu = 1,
+  kLeakyRelu = 2,
+  kSigmoid = 3,
+  kTanh = 4,
+};
+
+/// The scalar epilogue shared by every backend (and by tests composing
+/// the unfused equivalent). Must match tensor::Activate / the historical
+/// io ActivateInPlace bit-for-bit.
+inline float ActivateScalar(float v, EpilogueActivation activation) {
+  switch (activation) {
+    case EpilogueActivation::kNone: return v;
+    case EpilogueActivation::kRelu: return v > 0.0f ? v : 0.0f;
+    case EpilogueActivation::kLeakyRelu: return v > 0.0f ? v : 0.01f * v;
+    case EpilogueActivation::kSigmoid: return 1.0f / (1.0f + std::exp(-v));
+    case EpilogueActivation::kTanh: return std::tanh(v);
+  }
+  return v;
+}
+
+/// One dense single-precision GEMM implementation. Every dense-math path
+/// in the library (Matrix::MatMul and friends, autograd forward/backward,
+/// the frozen serving MLP, the request batcher's scoring pass) runs on
+/// top of this interface, so swapping a backend swaps the arithmetic
+/// engine of the whole system in one place.
+///
+/// Contract shared by all four kernels:
+///   * matrices are row-major and tightly packed;
+///   * `a`, `b`, `bias` and `c` never alias;
+///   * `c` (always m x n, contraction length k) is fully overwritten —
+///     there is no accumulate-into mode, callers may pass uninitialized
+///     or stale buffers;
+///   * zero-sized dimensions are legal no-ops (`c` is still cleared).
+///
+///   Gemm:        c = a.b            a is m x k,          b is k x n
+///   GemmAT:      c = a^T.b          a is k x m (stored), b is k x n
+///   GemmBT:      c = a.b^T          a is m x k,          b is n x k (stored)
+///   GemmBiasAct: c = act(a.b + row-broadcast bias), bias is 1 x n
+///
+/// GemmBiasAct is the fused MLP-layer epilogue: the bias add and
+/// activation happen in the same pass as the accumulation, so a frozen
+/// forward allocates one output per layer instead of materializing the
+/// matmul result, the bias-shifted copy, and the activated copy. Per
+/// element it computes act((sum of products) + bias) in exactly that
+/// order, which keeps it bit-identical to the unfused compose on the
+/// same backend.
+class GemmBackend {
+ public:
+  virtual ~GemmBackend() = default;
+
+  /// Stable identifier ("reference", "blocked") used for selection and
+  /// reported in ServiceStats / /statsz / bench output.
+  virtual const char* name() const = 0;
+
+  virtual void Gemm(int m, int k, int n, const float* a, const float* b,
+                    float* c) const = 0;
+  virtual void GemmAT(int m, int k, int n, const float* a, const float* b,
+                      float* c) const = 0;
+  virtual void GemmBT(int m, int k, int n, const float* a, const float* b,
+                      float* c) const = 0;
+  virtual void GemmBiasAct(int m, int k, int n, const float* a, const float* b,
+                           const float* bias, float* c,
+                           EpilogueActivation activation) const = 0;
+};
+
+/// The default backend: bit-exactly the historical naive loops (i-k-j
+/// accumulation for Gemm, k-i-j for GemmAT, float-scalar dot products for
+/// GemmBT), minus the old `a == 0.0f` sparsity shortcut — that shortcut
+/// silently swallowed 0 * NaN / 0 * inf contributions, so non-finite
+/// inputs now propagate per IEEE instead of disappearing. For finite
+/// inputs the accumulation order (and therefore every bit of the result)
+/// is unchanged from the pre-kernel-layer code. Any future backend that
+/// reintroduces a skip-zero fast path must document a finite-input
+/// precondition.
+const GemmBackend& ReferenceGemm();
+
+/// Cache-blocked, register-tiled backend with SIMD inner kernels
+/// (AVX2+FMA or SSE2 intrinsics where available, auto-vectorizable
+/// portable loops otherwise). Documented finite-input precondition: it
+/// reassociates the k-accumulation (panel/vector-lane partial sums), so
+/// results match the reference backend only to relative rounding
+/// tolerance (~1e-5 for the library's magnitudes), and non-finite inputs
+/// still propagate but may surface through a different partial sum.
+const GemmBackend& BlockedGemm();
+
+/// Process-wide backend selection. The initial value is taken from the
+/// DSSDDI_GEMM_BACKEND environment variable on first use ("reference"
+/// when unset or unrecognized); SetBackend overrides it at runtime.
+/// Reads and writes are atomic and safe from any thread, but swapping
+/// mid-computation changes which kernels later matmuls use — select once
+/// at startup in numeric-sensitivity-critical programs.
+const GemmBackend& ActiveBackend();
+const char* ActiveBackendName();
+
+/// Selects by name; returns false (and changes nothing) for an unknown
+/// name.
+bool SetBackend(const std::string& name);
+
+/// Looks a backend up by name without touching the process-wide
+/// selection (tests and benches pin implementations this way). Returns
+/// nullptr for unknown names.
+const GemmBackend* FindBackend(const std::string& name);
+
+/// Names accepted by SetBackend / DSSDDI_GEMM_BACKEND.
+std::vector<std::string> AvailableBackends();
+
+inline constexpr char kGemmBackendEnvVar[] = "DSSDDI_GEMM_BACKEND";
+
+}  // namespace dssddi::tensor::kernels
+
+#endif  // DSSDDI_TENSOR_KERNELS_GEMM_BACKEND_H_

@@ -1,0 +1,98 @@
+// The reference GEMM backend: the exact loop nests that used to live in
+// tensor::Matrix, preserved here as the bit-exactness baseline. The
+// serve/core bit-identity tests and the Table I-IV harnesses are pinned
+// to this arithmetic, so these loops must never change accumulation
+// order. The one deliberate difference from the historical code is the
+// removal of the `if (a == 0.0f) continue;` sparsity shortcut, which
+// swallowed 0 * NaN / 0 * inf contributions — for finite inputs the
+// removal is bit-neutral (adding an exact +/-0 product never perturbs a
+// finite partial sum started from +0), for non-finite inputs it restores
+// IEEE propagation.
+
+#include <algorithm>
+
+#include "tensor/kernels/gemm_backend.h"
+
+namespace dssddi::tensor::kernels {
+namespace {
+
+class ReferenceBackend final : public GemmBackend {
+ public:
+  const char* name() const override { return "reference"; }
+
+  void Gemm(int m, int k, int n, const float* a, const float* b,
+            float* c) const override {
+    std::fill(c, c + static_cast<size_t>(m) * n, 0.0f);
+    // i-k-j loop order: the inner loop walks contiguous memory in both
+    // `b` and `c`, which matters since this is the training hot path.
+    for (int i = 0; i < m; ++i) {
+      const float* a_row = a + static_cast<size_t>(i) * k;
+      float* c_row = c + static_cast<size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = a_row[p];
+        const float* b_row = b + static_cast<size_t>(p) * n;
+        for (int j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  }
+
+  void GemmAT(int m, int k, int n, const float* a, const float* b,
+              float* c) const override {
+    std::fill(c, c + static_cast<size_t>(m) * n, 0.0f);
+    // k-i-j: one pass over the stored k x m `a`, streaming `b` and `c`.
+    for (int p = 0; p < k; ++p) {
+      const float* a_row = a + static_cast<size_t>(p) * m;
+      const float* b_row = b + static_cast<size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = a_row[i];
+        float* c_row = c + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  }
+
+  void GemmBT(int m, int k, int n, const float* a, const float* b,
+              float* c) const override {
+    // Row-by-row float dot products, sequential over k.
+    for (int i = 0; i < m; ++i) {
+      const float* a_row = a + static_cast<size_t>(i) * k;
+      float* c_row = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* b_row = b + static_cast<size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] = acc;
+      }
+    }
+  }
+
+  void GemmBiasAct(int m, int k, int n, const float* a, const float* b,
+                   const float* bias, float* c,
+                   EpilogueActivation activation) const override {
+    // Same i-k-j accumulation as Gemm; the epilogue runs on each row as
+    // soon as its accumulation finishes (cache-warm), computing
+    // act(sum + bias) in exactly the unfused order.
+    for (int i = 0; i < m; ++i) {
+      const float* a_row = a + static_cast<size_t>(i) * k;
+      float* c_row = c + static_cast<size_t>(i) * n;
+      std::fill(c_row, c_row + n, 0.0f);
+      for (int p = 0; p < k; ++p) {
+        const float av = a_row[p];
+        const float* b_row = b + static_cast<size_t>(p) * n;
+        for (int j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+      for (int j = 0; j < n; ++j) {
+        c_row[j] = ActivateScalar(c_row[j] + bias[j], activation);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const GemmBackend& ReferenceGemm() {
+  static const ReferenceBackend backend;
+  return backend;
+}
+
+}  // namespace dssddi::tensor::kernels

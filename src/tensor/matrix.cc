@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/kernels/gemm_backend.h"
 #include "util/logging.h"
 
 namespace dssddi::tensor {
@@ -41,55 +42,36 @@ Matrix Matrix::Row(const std::vector<float>& values) {
   return m;
 }
 
+// The three dense products are thin wrappers over the process-wide GEMM
+// backend (see tensor/kernels/gemm_backend.h): shape checking and
+// allocation here, arithmetic in the selected kernel. The default
+// reference backend reproduces the historical loops bit-for-bit for
+// finite inputs; it no longer skips zero multiplicands, so 0 * NaN and
+// 0 * inf contributions propagate instead of silently disappearing.
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   DSSDDI_CHECK(cols_ == other.rows_)
       << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
       << other.rows_ << "x" << other.cols_;
-  Matrix out(rows_, other.cols_, 0.0f);
-  // i-k-j loop order: the inner loop walks contiguous memory in both
-  // `other` and `out`, which matters since this is the training hot path.
-  for (int i = 0; i < rows_; ++i) {
-    const float* a_row = RowPtr(i);
-    float* out_row = out.RowPtr(i);
-    for (int k = 0; k < cols_; ++k) {
-      const float a = a_row[k];
-      if (a == 0.0f) continue;
-      const float* b_row = other.RowPtr(k);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  Matrix out(rows_, other.cols_);
+  kernels::ActiveBackend().Gemm(rows_, cols_, other.cols_, data_.data(),
+                                other.data_.data(), out.data_.data());
   return out;
 }
 
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
   DSSDDI_CHECK(rows_ == other.rows_) << "A^T*B shape mismatch";
-  Matrix out(cols_, other.cols_, 0.0f);
-  for (int k = 0; k < rows_; ++k) {
-    const float* a_row = RowPtr(k);
-    const float* b_row = other.RowPtr(k);
-    for (int i = 0; i < cols_; ++i) {
-      const float a = a_row[i];
-      if (a == 0.0f) continue;
-      float* out_row = out.RowPtr(i);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  Matrix out(cols_, other.cols_);
+  kernels::ActiveBackend().GemmAT(cols_, rows_, other.cols_, data_.data(),
+                                  other.data_.data(), out.data_.data());
   return out;
 }
 
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   DSSDDI_CHECK(cols_ == other.cols_) << "A*B^T shape mismatch";
-  Matrix out(rows_, other.rows_, 0.0f);
-  for (int i = 0; i < rows_; ++i) {
-    const float* a_row = RowPtr(i);
-    float* out_row = out.RowPtr(i);
-    for (int j = 0; j < other.rows_; ++j) {
-      const float* b_row = other.RowPtr(j);
-      float acc = 0.0f;
-      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
-    }
-  }
+  Matrix out(rows_, other.rows_);
+  kernels::ActiveBackend().GemmBT(rows_, cols_, other.rows_, data_.data(),
+                                  other.data_.data(), out.data_.data());
   return out;
 }
 

@@ -44,6 +44,9 @@ class Matrix {
   }
 
   // ---- Out-of-place algebra (shapes are checked). ----
+  // The three dense products run on the process-wide GEMM backend
+  // (tensor/kernels/gemm_backend.h); select with kernels::SetBackend or
+  // the DSSDDI_GEMM_BACKEND environment variable.
   Matrix MatMul(const Matrix& other) const;
   /// this^T * other without materializing the transpose.
   Matrix TransposedMatMul(const Matrix& other) const;

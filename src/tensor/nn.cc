@@ -26,7 +26,11 @@ Linear::Linear(int in_features, int out_features, util::Rng& rng, Activation act
 Tensor Linear::Forward(const Tensor& x) const {
   DSSDDI_CHECK(x.cols() == in_features_)
       << "Linear expects " << in_features_ << " features, got " << x.cols();
-  return Activate(AddRowBroadcast(MatMul(x, weight_), bias_), activation_);
+  // One fused GemmBiasAct node instead of the MatMul / AddRowBroadcast /
+  // Activate chain: same bits forward and backward, two fewer
+  // intermediate matrices per layer per step.
+  return FusedLinear(x, weight_, bias_,
+                     static_cast<kernels::EpilogueActivation>(activation_));
 }
 
 Mlp::Mlp(const std::vector<int>& dims, util::Rng& rng, Activation hidden_activation,

@@ -163,6 +163,80 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
   return Tensor::FromNode(std::move(node));
 }
 
+Tensor FusedLinear(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                   kernels::EpilogueActivation activation) {
+  auto nx = x.node();
+  auto nw = weight.node();
+  auto nb = bias.node();
+  const int m = nx->value.rows();
+  const int k = nx->value.cols();
+  const int n = nw->value.cols();
+  DSSDDI_CHECK(nw->value.rows() == k)
+      << "FusedLinear shape mismatch: " << m << "x" << k << " * "
+      << nw->value.rows() << "x" << n;
+  DSSDDI_CHECK(nb->value.rows() == 1 && nb->value.cols() == n)
+      << "FusedLinear bias must be 1x" << n;
+
+  Matrix value(m, n);
+  kernels::ActiveBackend().GemmBiasAct(m, k, n, nx->value.data().data(),
+                                       nw->value.data().data(),
+                                       nb->value.data().data(),
+                                       value.data().data(), activation);
+  auto node = MakeNode(std::move(value), {nx, nw, nb},
+                       [nx, nw, nb, activation](TensorNode& self) {
+    // dZ = dY (.) act'(Z), recovered from the activated output Y alone:
+    // for relu/leaky the sign of Y matches the sign of Z, and sigmoid /
+    // tanh derivatives are functions of Y. Expressions mirror the
+    // standalone activation backward ops term-for-term so the fused op
+    // stays bit-identical to the composed graph.
+    Matrix dz_local;
+    const Matrix* dz = &self.grad;
+    if (activation != kernels::EpilogueActivation::kNone) {
+      dz_local = self.grad;
+      const auto& y = self.value.data();
+      auto& d = dz_local.data();
+      switch (activation) {
+        case kernels::EpilogueActivation::kNone:
+          break;
+        case kernels::EpilogueActivation::kRelu:
+          for (size_t i = 0; i < d.size(); ++i) {
+            d[i] = y[i] > 0.0f ? d[i] : 0.0f;
+          }
+          break;
+        case kernels::EpilogueActivation::kLeakyRelu:
+          for (size_t i = 0; i < d.size(); ++i) {
+            d[i] = y[i] > 0.0f ? d[i] : 0.01f * d[i];
+          }
+          break;
+        case kernels::EpilogueActivation::kSigmoid:
+          for (size_t i = 0; i < d.size(); ++i) {
+            d[i] = d[i] * y[i] * (1.0f - y[i]);
+          }
+          break;
+        case kernels::EpilogueActivation::kTanh:
+          for (size_t i = 0; i < d.size(); ++i) {
+            d[i] = d[i] * (1.0f - y[i] * y[i]);
+          }
+          break;
+      }
+      dz = &dz_local;
+    }
+    if (NeedsGrad(nx)) {
+      nx->EnsureGrad();
+      nx->grad.AddInPlace(dz->MatMulTransposed(nw->value));
+    }
+    if (NeedsGrad(nw)) {
+      nw->EnsureGrad();
+      nw->grad.AddInPlace(nx->value.TransposedMatMul(*dz));
+    }
+    if (NeedsGrad(nb)) {
+      nb->EnsureGrad();
+      nb->grad.AddInPlace(dz->ColSums());
+    }
+  });
+  return Tensor::FromNode(std::move(node));
+}
+
 Tensor Sigmoid(const Tensor& a) {
   auto na = a.node();
   Matrix value = na->value;

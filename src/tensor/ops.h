@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "tensor/kernels/gemm_backend.h"
 #include "tensor/sparse.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -10,7 +11,9 @@
 namespace dssddi::tensor {
 
 // Differentiable operators. Each returns a new Tensor wired into the
-// autograd graph of its inputs. Shapes are validated eagerly.
+// autograd graph of its inputs. Shapes are validated eagerly. Dense
+// forward and backward matmuls all route through the process-wide GEMM
+// backend (tensor/kernels/gemm_backend.h) via the Matrix wrappers.
 
 /// a (NxK) * b (KxM) -> NxM.
 Tensor MatMul(const Tensor& a, const Tensor& b);
@@ -28,6 +31,15 @@ Tensor ScalarMul(const Tensor& x, const Tensor& scalar);
 Tensor AddScalar(const Tensor& a, float c);
 /// x (NxC) + bias (1xC) broadcast over rows.
 Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+
+/// act(x (NxK) * weight (KxM) + bias (1xM)) as ONE graph node backed by
+/// the fused GemmBiasAct kernel: no intermediate matmul / bias-shifted
+/// matrices are materialized in the forward pass, and the backward pass
+/// computes dX, dW and dbias from one shared dZ. Bit-identical (values
+/// and gradients) to Activate(AddRowBroadcast(MatMul(x, w), b), act) on
+/// the same backend; kLeakyRelu uses the library's fixed 0.01 slope.
+Tensor FusedLinear(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                   kernels::EpilogueActivation activation);
 
 /// Activations.
 Tensor Sigmoid(const Tensor& a);

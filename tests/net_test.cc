@@ -25,6 +25,7 @@
 #include "net/json.h"
 #include "net/suggest_frontend.h"
 #include "serve/service.h"
+#include "tensor/kernels/gemm_backend.h"
 #include "test_support.h"
 
 namespace dssddi {
@@ -416,6 +417,9 @@ TEST_F(NetEndToEndTest, HealthStatsRoutingAndErrors) {
   net::JsonValue stats;
   ASSERT_TRUE(net::ParseJson(response.body, &stats, &error)) << error;
   ASSERT_NE(stats.Find("service"), nullptr);
+  ASSERT_NE(stats.Find("service")->Find("gemm_backend"), nullptr);
+  EXPECT_EQ(stats.Find("service")->Find("gemm_backend")->AsString(),
+            tensor::kernels::ActiveBackendName());
   ASSERT_NE(stats.Find("http"), nullptr);
   EXPECT_GE(stats.Find("http")->Find("accepted")->AsInt(), 1);
 

@@ -18,6 +18,7 @@
 #include "serve/service.h"
 #include "serve/suggestion_cache.h"
 #include "serve/thread_pool.h"
+#include "tensor/kernels/gemm_backend.h"
 #include "test_support.h"
 
 namespace dssddi {
@@ -368,6 +369,11 @@ TEST_F(SuggestionServiceTest, MatchesDirectSuggestForEveryTestPatient) {
   EXPECT_EQ(stats.requests, patients.size());
   EXPECT_EQ(stats.completed, patients.size());
   EXPECT_GE(stats.mean_batch_size, 1.0);
+  // The active GEMM kernel is part of the stats surface, so perf numbers
+  // are always attributable to a specific backend.
+  EXPECT_EQ(stats.gemm_backend,
+            tensor::kernels::ActiveBackendName());
+  EXPECT_FALSE(stats.gemm_backend.empty());
 }
 
 TEST_F(SuggestionServiceTest, RepeatQueriesAreServedFromCache) {

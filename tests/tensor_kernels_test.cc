@@ -1,0 +1,420 @@
+// The GEMM kernel layer's contract tests:
+//   (a) the reference backend is bit-identical to the pre-refactor naive
+//       Matrix loops (which carried an `a == 0` sparsity shortcut) on
+//       randomized finite shapes;
+//   (b) the blocked backend matches reference within 1e-5 relative
+//       tolerance, including degenerate and non-tile-multiple shapes;
+//   (c) the fused GemmBiasAct kernel equals the unfused compose for
+//       every activation FrozenMlp supports, on both backends;
+// plus backend-registry behavior, non-finite propagation (the fixed
+// NaN-swallowing bug), and bit-identity of the fused autograd linear op.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "io/inference_bundle.h"
+#include "tensor/kernels/gemm_backend.h"
+#include "tensor/matrix.h"
+#include "tensor/nn.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dssddi::tensor {
+namespace {
+
+using kernels::EpilogueActivation;
+using kernels::GemmBackend;
+
+/// Restores the process-wide backend selection on scope exit, so tests
+/// that call SetBackend never leak state into other tests (or override
+/// the CI-chosen DSSDDI_GEMM_BACKEND for the rest of the binary).
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(kernels::ActiveBackendName()) {}
+  ~BackendGuard() { kernels::SetBackend(saved_); }
+
+ private:
+  std::string saved_;
+};
+
+/// Random finite matrix with ~20% exact zeros, so the oracle's sparsity
+/// shortcut actually fires during the bit-identity comparison.
+Matrix RandomMatrix(int rows, int cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data()) {
+    v = rng.Bernoulli(0.2) ? 0.0f : static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  return m;
+}
+
+// ---- Pre-refactor oracles: the exact loops (including the `a == 0.0f`
+// sparsity shortcut) that lived in tensor::Matrix before the kernel
+// layer existed. ----
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0f);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.RowPtr(i);
+    float* out_row = out.RowPtr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const float av = a_row[k];
+      if (av == 0.0f) continue;
+      const float* b_row = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix NaiveTransposedMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols(), 0.0f);
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* a_row = a.RowPtr(k);
+    const float* b_row = b.RowPtr(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out.RowPtr(i);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix NaiveMatMulTransposed(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows(), 0.0f);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.RowPtr(i);
+    float* out_row = out.RowPtr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* b_row = b.RowPtr(j);
+      float acc = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+void ExpectBitEqual(const Matrix& expected, const Matrix& got,
+                    const std::string& what) {
+  ASSERT_TRUE(expected.SameShape(got)) << what;
+  for (int i = 0; i < expected.size(); ++i) {
+    // Compare the raw bit patterns: this is stricter than float == (it
+    // distinguishes -0 from +0) and well-defined for NaN.
+    uint32_t eb, gb;
+    std::memcpy(&eb, &expected.data()[i], sizeof(eb));
+    std::memcpy(&gb, &got.data()[i], sizeof(gb));
+    ASSERT_EQ(eb, gb) << what << " diverges at flat index " << i << ": "
+                      << expected.data()[i] << " vs " << got.data()[i];
+  }
+}
+
+void ExpectClose(const Matrix& expected, const Matrix& got, float rel_tol,
+                 const std::string& what) {
+  ASSERT_TRUE(expected.SameShape(got)) << what;
+  for (int i = 0; i < expected.size(); ++i) {
+    const float e = expected.data()[i];
+    const float g = got.data()[i];
+    ASSERT_LE(std::fabs(e - g), rel_tol * std::max(1.0f, std::fabs(e)))
+        << what << " diverges at flat index " << i << ": " << e << " vs " << g;
+  }
+}
+
+struct Shape {
+  int m, k, n;
+};
+
+const Shape kRandomShapes[] = {
+    {1, 1, 1},  {2, 3, 4},   {7, 5, 3},    {1, 17, 1},    {16, 1, 16},
+    {8, 65, 64}, {33, 32, 31}, {12, 64, 1},  {5, 128, 86},
+};
+
+// Degenerate and non-multiple-of-tile shapes for the blocked backend
+// (tiles are 4 rows x {8,16} cols x 256-deep panels).
+const Shape kEdgeShapes[] = {
+    {0, 3, 4},   {3, 0, 4},    {3, 4, 0},    {0, 0, 0},    {1, 5, 1},
+    {5, 1, 5},   {1, 64, 33},  {63, 1, 1},   {4, 7, 9},    {5, 8, 16},
+    {33, 65, 17}, {100, 130, 50}, {64, 300, 96},
+};
+
+const EpilogueActivation kAllActivations[] = {
+    EpilogueActivation::kNone, EpilogueActivation::kRelu,
+    EpilogueActivation::kLeakyRelu, EpilogueActivation::kSigmoid,
+    EpilogueActivation::kTanh,
+};
+
+std::string ShapeLabel(const char* kernel, const Shape& s) {
+  return std::string(kernel) + " m=" + std::to_string(s.m) +
+         " k=" + std::to_string(s.k) + " n=" + std::to_string(s.n);
+}
+
+// ---- (a) reference backend == pre-refactor loops, bit for bit. ----
+
+TEST(GemmReferenceTest, BitIdenticalToPreRefactorLoops) {
+  const GemmBackend& ref = kernels::ReferenceGemm();
+  util::Rng rng(11);
+  for (const Shape& s : kRandomShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, rng);
+    const Matrix b = RandomMatrix(s.k, s.n, rng);
+    Matrix c(s.m, s.n);
+    ref.Gemm(s.m, s.k, s.n, a.data().data(), b.data().data(), c.data().data());
+    ExpectBitEqual(NaiveMatMul(a, b), c, ShapeLabel("Gemm", s));
+
+    const Matrix at = RandomMatrix(s.k, s.m, rng);  // stored k x m
+    Matrix cat(s.m, s.n);
+    ref.GemmAT(s.m, s.k, s.n, at.data().data(), b.data().data(),
+               cat.data().data());
+    ExpectBitEqual(NaiveTransposedMatMul(at, b), cat, ShapeLabel("GemmAT", s));
+
+    const Matrix bt = RandomMatrix(s.n, s.k, rng);  // stored n x k
+    Matrix cbt(s.m, s.n);
+    ref.GemmBT(s.m, s.k, s.n, a.data().data(), bt.data().data(),
+               cbt.data().data());
+    ExpectBitEqual(NaiveMatMulTransposed(a, bt), cbt, ShapeLabel("GemmBT", s));
+  }
+}
+
+// ---- (b) blocked backend == reference within tolerance, all shapes. ----
+
+TEST(GemmBlockedTest, MatchesReferenceOnRandomAndEdgeShapes) {
+  const GemmBackend& ref = kernels::ReferenceGemm();
+  const GemmBackend& blk = kernels::BlockedGemm();
+  util::Rng rng(13);
+  std::vector<Shape> shapes(std::begin(kRandomShapes), std::end(kRandomShapes));
+  shapes.insert(shapes.end(), std::begin(kEdgeShapes), std::end(kEdgeShapes));
+  for (const Shape& s : shapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, rng);
+    const Matrix b = RandomMatrix(s.k, s.n, rng);
+    Matrix want(s.m, s.n), got(s.m, s.n);
+    ref.Gemm(s.m, s.k, s.n, a.data().data(), b.data().data(),
+             want.data().data());
+    blk.Gemm(s.m, s.k, s.n, a.data().data(), b.data().data(),
+             got.data().data());
+    ExpectClose(want, got, 1e-5f, ShapeLabel("Gemm", s));
+
+    const Matrix at = RandomMatrix(s.k, s.m, rng);
+    ref.GemmAT(s.m, s.k, s.n, at.data().data(), b.data().data(),
+               want.data().data());
+    blk.GemmAT(s.m, s.k, s.n, at.data().data(), b.data().data(),
+               got.data().data());
+    ExpectClose(want, got, 1e-5f, ShapeLabel("GemmAT", s));
+
+    const Matrix bt = RandomMatrix(s.n, s.k, rng);
+    ref.GemmBT(s.m, s.k, s.n, a.data().data(), bt.data().data(),
+               want.data().data());
+    blk.GemmBT(s.m, s.k, s.n, a.data().data(), bt.data().data(),
+               got.data().data());
+    ExpectClose(want, got, 1e-5f, ShapeLabel("GemmBT", s));
+
+    const Matrix bias = RandomMatrix(1, s.n, rng);
+    ref.GemmBiasAct(s.m, s.k, s.n, a.data().data(), b.data().data(),
+                    bias.data().data(), want.data().data(),
+                    EpilogueActivation::kLeakyRelu);
+    blk.GemmBiasAct(s.m, s.k, s.n, a.data().data(), b.data().data(),
+                    bias.data().data(), got.data().data(),
+                    EpilogueActivation::kLeakyRelu);
+    ExpectClose(want, got, 1e-5f, ShapeLabel("GemmBiasAct", s));
+  }
+}
+
+// ---- (c) fused GemmBiasAct == unfused compose, every activation. ----
+
+TEST(GemmBiasActTest, FusedEqualsUnfusedComposeOnBothBackends) {
+  util::Rng rng(17);
+  const Shape shapes[] = {{6, 33, 20}, {1, 8, 64}, {9, 65, 1}, {4, 16, 8}};
+  for (const std::string& name : kernels::AvailableBackends()) {
+    const GemmBackend& backend = *kernels::FindBackend(name);
+    for (const Shape& s : shapes) {
+      const Matrix a = RandomMatrix(s.m, s.k, rng);
+      const Matrix b = RandomMatrix(s.k, s.n, rng);
+      const Matrix bias = RandomMatrix(1, s.n, rng);
+      for (EpilogueActivation act : kAllActivations) {
+        Matrix fused(s.m, s.n);
+        backend.GemmBiasAct(s.m, s.k, s.n, a.data().data(), b.data().data(),
+                            bias.data().data(), fused.data().data(), act);
+        // Unfused compose on the same backend: plain Gemm, then the
+        // bias add and scalar epilogue in a separate pass.
+        Matrix composed(s.m, s.n);
+        backend.Gemm(s.m, s.k, s.n, a.data().data(), b.data().data(),
+                     composed.data().data());
+        for (int i = 0; i < s.m; ++i) {
+          float* row = composed.RowPtr(i);
+          for (int j = 0; j < s.n; ++j) {
+            row[j] = kernels::ActivateScalar(row[j] + bias.At(0, j), act);
+          }
+        }
+        ExpectBitEqual(composed, fused,
+                       name + " act=" + std::to_string(static_cast<int>(act)) +
+                           " " + ShapeLabel("GemmBiasAct", s));
+      }
+    }
+  }
+}
+
+TEST(GemmBiasActTest, FrozenMlpForwardMatchesManualCompose) {
+  BackendGuard guard;
+  util::Rng rng(23);
+  io::FrozenMlp mlp;
+  const int dims[] = {19, 16, 8, 1};
+  const int acts[] = {1, 2, 0};  // relu, leaky-relu, none
+  for (int layer = 0; layer < 3; ++layer) {
+    io::FrozenMlp::Layer l;
+    l.weight = RandomMatrix(dims[layer], dims[layer + 1], rng);
+    l.bias = RandomMatrix(1, dims[layer + 1], rng);
+    l.activation = acts[layer];
+    mlp.layers.push_back(std::move(l));
+  }
+  const Matrix x = RandomMatrix(7, dims[0], rng);
+  for (const std::string& name : kernels::AvailableBackends()) {
+    ASSERT_TRUE(kernels::SetBackend(name));
+    Matrix h = x;
+    for (const auto& layer : mlp.layers) {
+      h = h.MatMul(layer.weight).AddRowBroadcast(layer.bias);
+      for (float& v : h.data()) {
+        v = kernels::ActivateScalar(
+            v, static_cast<EpilogueActivation>(layer.activation));
+      }
+    }
+    ExpectBitEqual(h, mlp.Forward(x), "FrozenMlp::Forward on " + name);
+  }
+}
+
+// ---- Fused autograd linear op: bit-identical to the composed graph. ----
+
+TEST(FusedLinearTest, ValueAndGradsBitIdenticalToComposedGraph) {
+  BackendGuard guard;
+  util::Rng rng(29);
+  for (const std::string& name : kernels::AvailableBackends()) {
+    ASSERT_TRUE(kernels::SetBackend(name));
+    for (EpilogueActivation act : kAllActivations) {
+      const Matrix xv = RandomMatrix(5, 7, rng);
+      const Matrix wv = RandomMatrix(7, 4, rng);
+      const Matrix bv = RandomMatrix(1, 4, rng);
+
+      Tensor x1 = Tensor::Parameter(xv);
+      Tensor w1 = Tensor::Parameter(wv);
+      Tensor b1 = Tensor::Parameter(bv);
+      Tensor fused = FusedLinear(x1, w1, b1, act);
+      SumAll(fused).Backward();
+
+      Tensor x2 = Tensor::Parameter(xv);
+      Tensor w2 = Tensor::Parameter(wv);
+      Tensor b2 = Tensor::Parameter(bv);
+      Tensor composed = Activate(AddRowBroadcast(MatMul(x2, w2), b2),
+                                 static_cast<Activation>(act));
+      SumAll(composed).Backward();
+
+      const std::string label =
+          name + " act=" + std::to_string(static_cast<int>(act));
+      ExpectBitEqual(composed.value(), fused.value(), label + " value");
+      ExpectBitEqual(x2.grad(), x1.grad(), label + " dX");
+      ExpectBitEqual(w2.grad(), w1.grad(), label + " dW");
+      ExpectBitEqual(b2.grad(), b1.grad(), label + " dbias");
+    }
+  }
+}
+
+TEST(FusedLinearTest, SharedInputAccumulationMatchesComposedGraph) {
+  // x feeds both the linear layer and a second branch; the fused op must
+  // not change the order in which x's gradient contributions accumulate.
+  util::Rng rng(31);
+  const Matrix xv = RandomMatrix(6, 5, rng);
+  const Matrix wv = RandomMatrix(5, 5, rng);
+  const Matrix bv = RandomMatrix(1, 5, rng);
+  const Matrix w2v = RandomMatrix(5, 5, rng);
+
+  Tensor x1 = Tensor::Parameter(xv);
+  Tensor w2a = Tensor::Constant(w2v);
+  Tensor fused = Add(FusedLinear(x1, Tensor::Constant(wv),
+                                 Tensor::Constant(bv),
+                                 EpilogueActivation::kTanh),
+                     MatMul(x1, w2a));
+  SumAll(fused).Backward();
+
+  Tensor x2 = Tensor::Parameter(xv);
+  Tensor w2b = Tensor::Constant(w2v);
+  Tensor composed =
+      Add(Activate(AddRowBroadcast(MatMul(x2, Tensor::Constant(wv)),
+                                   Tensor::Constant(bv)),
+                   Activation::kTanh),
+          MatMul(x2, w2b));
+  SumAll(composed).Backward();
+
+  ExpectBitEqual(composed.value(), fused.value(), "branched value");
+  ExpectBitEqual(x2.grad(), x1.grad(), "branched dX accumulation");
+}
+
+// ---- Registry / selection. ----
+
+TEST(GemmRegistryTest, FindsKnownBackendsRejectsUnknown) {
+  EXPECT_NE(kernels::FindBackend("reference"), nullptr);
+  EXPECT_NE(kernels::FindBackend("blocked"), nullptr);
+  EXPECT_EQ(kernels::FindBackend("cuda"), nullptr);
+  EXPECT_EQ(kernels::FindBackend(""), nullptr);
+  const std::vector<std::string> names = kernels::AvailableBackends();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "reference");
+  EXPECT_EQ(names[1], "blocked");
+}
+
+TEST(GemmRegistryTest, SetBackendSwitchesDispatch) {
+  BackendGuard guard;
+  util::Rng rng(37);
+  const Matrix a = RandomMatrix(9, 70, rng);
+  const Matrix b = RandomMatrix(70, 23, rng);
+  for (const std::string& name : kernels::AvailableBackends()) {
+    ASSERT_TRUE(kernels::SetBackend(name));
+    EXPECT_STREQ(kernels::ActiveBackendName(), name.c_str());
+    Matrix direct(a.rows(), b.cols());
+    kernels::FindBackend(name)->Gemm(a.rows(), a.cols(), b.cols(),
+                                     a.data().data(), b.data().data(),
+                                     direct.data().data());
+    ExpectBitEqual(direct, a.MatMul(b), "Matrix::MatMul dispatch to " + name);
+  }
+  EXPECT_FALSE(kernels::SetBackend("no-such-backend"));
+}
+
+// ---- Non-finite propagation (the fixed sparsity-shortcut bug). ----
+
+TEST(GemmNonFiniteTest, ZeroTimesNonFinitePropagatesOnBothBackends) {
+  const float kNan = std::numeric_limits<float>::quiet_NaN();
+  const float kInf = std::numeric_limits<float>::infinity();
+  for (const std::string& name : kernels::AvailableBackends()) {
+    const GemmBackend& backend = *kernels::FindBackend(name);
+    // Row [0, 1] against a column whose first entry is NaN: the 0 * NaN
+    // term must turn the dot product into NaN (the old shortcut skipped
+    // it and silently produced 1).
+    const Matrix a({{0.0f, 1.0f}});
+    const Matrix b_nan({{kNan}, {1.0f}});
+    Matrix c(1, 1);
+    backend.Gemm(1, 2, 1, a.data().data(), b_nan.data().data(),
+                 c.data().data());
+    EXPECT_TRUE(std::isnan(c.At(0, 0))) << name << " swallowed 0 * NaN";
+
+    const Matrix b_inf({{kInf}, {1.0f}});
+    backend.Gemm(1, 2, 1, a.data().data(), b_inf.data().data(),
+                 c.data().data());
+    EXPECT_TRUE(std::isnan(c.At(0, 0))) << name << " swallowed 0 * inf";
+
+    // An inf reached through a nonzero coefficient stays inf.
+    const Matrix a_one({{1.0f, 1.0f}});
+    backend.Gemm(1, 2, 1, a_one.data().data(), b_inf.data().data(),
+                 c.data().data());
+    EXPECT_TRUE(std::isinf(c.At(0, 0))) << name << " lost inf";
+
+    // GemmAT takes the same fast path historically; prove it too.
+    const Matrix at({{0.0f}, {1.0f}});  // stored 2x1 == logical 1x2 transposed
+    backend.GemmAT(1, 2, 1, at.data().data(), b_nan.data().data(),
+                   c.data().data());
+    EXPECT_TRUE(std::isnan(c.At(0, 0))) << name << " GemmAT swallowed 0 * NaN";
+  }
+}
+
+}  // namespace
+}  // namespace dssddi::tensor

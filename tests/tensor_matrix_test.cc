@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include "gtest/gtest.h"
 #include "tensor/matrix.h"
@@ -41,6 +42,25 @@ TEST(MatrixTest, TransposedVariantsMatchExplicitTranspose) {
   for (int i = 0; i < expected2.size(); ++i) {
     EXPECT_FLOAT_EQ(expected2.data()[i], got2.data()[i]);
   }
+}
+
+TEST(MatrixTest, NonFiniteValuesPropagateThroughMatMul) {
+  // The old loops skipped zero multiplicands, so 0 * NaN / 0 * inf
+  // contributions silently vanished; the kernel layer propagates them.
+  const float kNan = std::numeric_limits<float>::quiet_NaN();
+  const float kInf = std::numeric_limits<float>::infinity();
+  Matrix a({{0.0f, 2.0f}});
+  Matrix b({{kNan, 1.0f}, {1.0f, 1.0f}});
+  Matrix c = a.MatMul(b);
+  EXPECT_TRUE(std::isnan(c.At(0, 0)));
+  EXPECT_FLOAT_EQ(c.At(0, 1), 2.0f);
+
+  Matrix b_inf({{kInf, 1.0f}, {1.0f, 1.0f}});
+  EXPECT_TRUE(std::isnan(a.MatMul(b_inf).At(0, 0)));  // 0 * inf = NaN
+
+  Matrix at({{0.0f}, {2.0f}});
+  EXPECT_TRUE(std::isnan(at.TransposedMatMul(b).At(0, 0)));
+  EXPECT_TRUE(std::isnan(a.MatMulTransposed(Matrix({{kNan, 1.0f}})).At(0, 0)));
 }
 
 TEST(MatrixTest, IdentityMatMulIsNoop) {
