@@ -2,10 +2,12 @@
 #define DSSDDI_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "data/dataset.h"
 #include "data/mimic_like.h"
+#include "io/binary.h"
 
 namespace dssddi::bench {
 
@@ -33,6 +35,24 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref) 
   std::printf("%s\n", title.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("==========================================================\n\n");
+}
+
+/// Writes a bench's machine-readable results to BENCH_<name>.json (in
+/// BENCH_JSON_DIR when set, else the working directory) so the perf
+/// trajectory is tracked as an artifact across PRs. Failures are
+/// reported but never fail the bench — the human-readable output above
+/// is the primary record.
+inline void WriteBenchJson(const std::string& name, const std::string& json) {
+  const char* dir = std::getenv("BENCH_JSON_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/BENCH_" + name + ".json"
+                               : "BENCH_" + name + ".json";
+  if (const io::Status status = io::WriteStringToFile(path, json); status.ok) {
+    std::printf("\nmachine-readable results: %s\n", path.c_str());
+  } else {
+    std::printf("\nwarning: could not write %s: %s\n", path.c_str(),
+                status.message.c_str());
+  }
 }
 
 }  // namespace dssddi::bench

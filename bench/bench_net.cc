@@ -6,6 +6,8 @@
 //
 //   ./bench/bench_net [--requests N] [--unique U] [--quick]
 //
+// Machine-readable results land in BENCH_net.json.
+//
 // Each "connection" is one closed-loop client thread reusing a single
 // keep-alive connection: it sends, waits for the answer, sends again —
 // like a clinic frontend. qps therefore saturates once the scoring core
@@ -203,11 +205,36 @@ int main(int argc, char** argv) {
               service.Stats().gemm_backend.c_str(), num_requests,
               unique_patients);
 
+  net::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("net");
+  json.Key("gemm_backend").String(service.Stats().gemm_backend);
+  json.Key("quantization").String(service.Stats().quantization);
+  json.Key("requests").Int(num_requests);
+  json.Key("unique_patients").Int(unique_patients);
+  json.Key("num_threads").Int(service.Stats().num_threads);
+  const auto record = [&json](const char* grid, int connections,
+                              const LoadResult& result) {
+    json.BeginObject()
+        .Key("grid").String(grid)
+        .Key("connections").Int(connections)
+        .Key("qps").Double(result.qps)
+        .Key("p50_ms").Double(result.p50_ms)
+        .Key("p99_ms").Double(result.p99_ms)
+        .Key("ok").UInt(result.ok)
+        .Key("shed").UInt(result.shed)
+        .Key("errors").UInt(result.errors)
+        .EndObject();
+  };
+  json.Key("rows").BeginArray();
+
   std::printf("%11s %10s %10s %10s %8s %8s %8s\n", "connections", "qps",
               "p50 ms", "p99 ms", "ok", "shed", "errors");
   for (const int connections : {1, 8, 32}) {
-    PrintRow(connections,
-             RunLoad(server.port(), bodies, connections, num_requests));
+    const LoadResult result =
+        RunLoad(server.port(), bodies, connections, num_requests);
+    PrintRow(connections, result);
+    record("open_admission", connections, result);
   }
   const serve::ServiceStats open_stats = service.Stats();
   std::printf("\nservice after grid: %llu completed, cache hit rate %.1f%%,"
@@ -239,6 +266,7 @@ int main(int argc, char** argv) {
     tight_result =
         RunLoad(tight_server.port(), bodies, connections, num_requests);
     PrintRow(connections, tight_result);
+    record("tight_admission", connections, tight_result);
   }
   const serve::ServiceStats tight_stats = tight_service.Stats();
   std::printf("\nadmission after grid: %llu admitted, %llu shed — overload"
@@ -250,5 +278,9 @@ int main(int argc, char** argv) {
   const bool ok = tight_result.errors == 0;
   std::printf("%s\n", ok ? "PASS: full grid served with zero errors"
                          : "FAIL: errors observed under load");
+  json.EndArray();
+  json.Key("pass").Bool(ok);
+  json.EndObject();
+  bench::WriteBenchJson("net", json.str());
   return ok ? 0 : 1;
 }

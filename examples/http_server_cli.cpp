@@ -105,12 +105,13 @@ int main(int argc, char** argv) {
 
   std::printf(
       "serving on http://%s:%d  (%d loop%s, %s; %d scoring threads;"
-      " %s gemm; admission: %zu in-flight / %zu queued; feature width %d)\n",
+      " %s gemm; quantize=%s; admission: %zu in-flight / %zu queued;"
+      " feature width %d)\n",
       host.c_str(), server.port(), server.num_loops(),
       server.num_loops() == 1 ? "" : "s",
       server.using_reuseport() ? "SO_REUSEPORT" : "fd handoff",
       service.Stats().num_threads, service.Stats().gemm_backend.c_str(),
-      max_inflight, max_queue, width);
+      service.Stats().quantization.c_str(), max_inflight, max_queue, width);
   std::printf("try:  curl http://%s:%d/healthz\n", host.c_str(), server.port());
   std::printf("      curl http://%s:%d/statsz\n", host.c_str(), server.port());
   std::printf(

@@ -82,9 +82,10 @@ int main(int argc, char** argv) {
   const int width = service.feature_width();
   std::printf(
       "service up: %d threads, batch<=%d, cache=%zu, %s gemm,"
-      " feature width %d\n\n",
+      " quantize=%s, feature width %d\n\n",
       service.Stats().num_threads, batch, cache,
-      service.Stats().gemm_backend.c_str(), width);
+      service.Stats().gemm_backend.c_str(),
+      service.Stats().quantization.c_str(), width);
 
   // 3. Synthesize a query stream: `unique_patients` distinct synthetic
   //    patients, revisited with heavy repetition like a clinic day sheet.

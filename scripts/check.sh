@@ -2,11 +2,13 @@
 # One-command tier-1 gate: configure, build with all cores, run ctest.
 # Usage: scripts/check.sh [build-dir]   (default: build)
 #
-# Every ctest pass runs once per GEMM backend (DSSDDI_GEMM_BACKEND =
-# reference, then blocked) so the SIMD/blocked kernels see the full
-# suite, not just tensor_kernels_test. CHECK_GEMM_BACKENDS overrides the
-# list, e.g. CHECK_GEMM_BACKENDS=reference for a single fast pass or a
-# one-backend CI matrix leg.
+# Every ctest pass runs once per (GEMM backend x quantization mode):
+# DSSDDI_GEMM_BACKEND = reference, then blocked, each under
+# DSSDDI_QUANTIZE = none, then int8 — so the SIMD/blocked kernels AND
+# the int8 quantized serving path see the full suite, not just their
+# unit tests. CHECK_GEMM_BACKENDS / CHECK_QUANTIZE_MODES override the
+# lists, e.g. CHECK_GEMM_BACKENDS=reference CHECK_QUANTIZE_MODES=none
+# for a single fast pass or a one-combination CI matrix leg.
 #
 # Opt-in sanitizer pass: set CHECK_SANITIZE to a -fsanitize list and a
 # second build dir (<build-dir>-sanitize) is configured with it and ctest
@@ -23,15 +25,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 GEMM_BACKENDS="${CHECK_GEMM_BACKENDS:-reference blocked}"
+QUANTIZE_MODES="${CHECK_QUANTIZE_MODES:-none int8}"
 
 run_ctest() {
   local dir="$1"
   shift
-  local backend
+  local backend quantize
   for backend in $GEMM_BACKENDS; do
-    echo "== ctest (${dir}, DSSDDI_GEMM_BACKEND=${backend}) =="
-    DSSDDI_GEMM_BACKEND="$backend" "$@" \
-      ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+    for quantize in $QUANTIZE_MODES; do
+      echo "== ctest (${dir}, DSSDDI_GEMM_BACKEND=${backend}, DSSDDI_QUANTIZE=${quantize}) =="
+      DSSDDI_GEMM_BACKEND="$backend" DSSDDI_QUANTIZE="$quantize" "$@" \
+        ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+    done
   done
 }
 

@@ -131,17 +131,6 @@ std::string BinaryReader::ReadString() {
   return value;
 }
 
-bool BinaryReader::ReadFloatArray(std::vector<float>* out) {
-  const uint32_t count = ReadU32();
-  if (!ok_ || position_ + static_cast<size_t>(count) * 4 > buffer_->size()) {
-    ok_ = false;
-    return false;
-  }
-  out->resize(count);
-  for (uint32_t i = 0; i < count; ++i) (*out)[i] = ReadF32();
-  return ok_;
-}
-
 bool BinaryReader::ReadIntVector(std::vector<int>* out) {
   const uint32_t count = ReadU32();
   if (!ok_ || position_ + static_cast<size_t>(count) * 4 > buffer_->size()) {

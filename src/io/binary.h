@@ -63,7 +63,20 @@ class BinaryReader {
   double ReadF64();
   std::string ReadString();
   /// Reads a u32 count prefix then that many floats into `out`.
-  bool ReadFloatArray(std::vector<float>* out);
+  bool ReadFloatArray(std::vector<float>* out) { return ReadFloatsInto(out); }
+  /// Same, for any vector-like float container (e.g. the tensor
+  /// library's aligned storage) — avoids a copy through a temporary.
+  template <typename FloatVector>
+  bool ReadFloatsInto(FloatVector* out) {
+    const uint32_t count = ReadU32();
+    if (!ok_ || position_ + static_cast<size_t>(count) * 4 > buffer_->size()) {
+      ok_ = false;
+      return false;
+    }
+    out->resize(count);
+    for (uint32_t i = 0; i < count; ++i) (*out)[i] = ReadF32();
+    return ok_;
+  }
   bool ReadIntVector(std::vector<int>* out);
 
   bool ok() const { return ok_; }

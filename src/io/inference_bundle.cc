@@ -14,8 +14,11 @@ namespace dssddi::io {
 namespace {
 
 // Version 2 added ms_explainer; version-1 files load with the default
-// closest-truss-community explainer.
-constexpr uint32_t kBundleVersion = 2;
+// closest-truss-community explainer. Version 3 appended the int8
+// quantized-MLP sections; older files load fine and rebuild the int8
+// companions from the float weights (deterministically, so rebuilt and
+// shipped quantizations score identical bits).
+constexpr uint32_t kBundleVersion = 3;
 
 FrozenMlp FreezeMlp(const tensor::Mlp& mlp) {
   FrozenMlp frozen;
@@ -45,6 +48,9 @@ bool ReadFrozenMlp(BinaryReader& reader, FrozenMlp* mlp) {
     reader.Fail();
     return false;
   }
+  // A reused destination must not keep a previous model's int8
+  // companion — it would silently score int8 with stale weights.
+  mlp->quantized.layers.clear();
   mlp->layers.assign(num_layers, {});
   for (auto& layer : mlp->layers) {
     if (!ReadMatrix(reader, &layer.weight)) return false;
@@ -84,24 +90,51 @@ int NearestCluster(const tensor::Matrix& centroids, const float* features) {
 }  // namespace
 
 tensor::Matrix FrozenMlp::Forward(const tensor::Matrix& x) const {
-  // One fused GemmBiasAct kernel pass per layer: the bias add and
-  // activation ride the accumulation epilogue, so nothing is allocated
-  // beyond the layer output itself. Same arithmetic order as the old
-  // MatMul -> AddRowBroadcast -> activate chain, hence bit-identical on
-  // the reference backend.
+  return Forward(x, tensor::kernels::ActiveQuantMode());
+}
+
+tensor::Matrix FrozenMlp::Forward(const tensor::Matrix& x,
+                                  tensor::kernels::QuantMode mode) const {
+  // One fused kernel pass per layer: the bias add and activation ride
+  // the accumulation epilogue, so nothing is allocated beyond the layer
+  // output itself. On the float path the arithmetic order matches the
+  // old MatMul -> AddRowBroadcast -> activate chain, hence bit-identical
+  // on the reference backend.
+  //
+  // Under int8, each wide layer dynamically quantizes its input rows
+  // (group-wise, row-local) and runs the fused int8 kernel; layers
+  // narrower than kQuantMinColumns (the logit head) stay float — a
+  // quantized GEMV cannot amortize the activation-quantization pass and
+  // its precision gates the final ranking. The policy depends only on
+  // layer shape, so it is deterministic across hosts and reloads.
+  const bool use_int8 = mode == tensor::kernels::QuantMode::kInt8 &&
+                        quantized.layers.size() == layers.size() &&
+                        !layers.empty();
   const tensor::kernels::GemmBackend& gemm = tensor::kernels::ActiveBackend();
+  tensor::kernels::QuantizedRows rows;  // reused across quantized layers
   tensor::Matrix h;
   const tensor::Matrix* cur = &x;  // no copy of the input row block
-  for (const auto& layer : layers) {
+  for (size_t li = 0; li < layers.size(); ++li) {
+    const Layer& layer = layers[li];
     DSSDDI_CHECK(cur->cols() == layer.weight.rows())
         << "frozen layer expects " << layer.weight.rows() << " features, got "
         << cur->cols();
     tensor::Matrix next(cur->rows(), layer.weight.cols());
-    gemm.GemmBiasAct(
-        cur->rows(), cur->cols(), layer.weight.cols(), cur->data().data(),
-        layer.weight.data().data(), layer.bias.data().data(),
-        next.data().data(),
-        static_cast<tensor::kernels::EpilogueActivation>(layer.activation));
+    if (use_int8 &&
+        layer.weight.cols() >= tensor::kernels::kQuantMinColumns) {
+      const QuantizedMlp::Layer& q = quantized.layers[li];
+      tensor::kernels::QuantizeRowsSymmetric(cur->data().data(), cur->rows(),
+                                             cur->cols(), &rows);
+      tensor::kernels::QGemmBiasAct(
+          rows, q.weights, q.bias.data().data(), next.data().data(),
+          static_cast<tensor::kernels::EpilogueActivation>(q.activation));
+    } else {
+      gemm.GemmBiasAct(
+          cur->rows(), cur->cols(), layer.weight.cols(), cur->data().data(),
+          layer.weight.data().data(), layer.bias.data().data(),
+          next.data().data(),
+          static_cast<tensor::kernels::EpilogueActivation>(layer.activation));
+    }
     h = std::move(next);
     cur = &h;
   }
@@ -109,14 +142,27 @@ tensor::Matrix FrozenMlp::Forward(const tensor::Matrix& x) const {
   return h;
 }
 
+void FrozenMlp::BuildQuantized() { quantized = QuantizeMlp(*this); }
+
+tensor::kernels::QuantMode InferenceBundle::EffectiveQuantMode() const {
+  if (quantization == kQuantizeAuto) return tensor::kernels::ActiveQuantMode();
+  return static_cast<tensor::kernels::QuantMode>(quantization);
+}
+
+void InferenceBundle::EnsureQuantized() {
+  if (patient_fc.quantized.empty()) patient_fc.BuildQuantized();
+  if (decoder.quantized.empty()) decoder.BuildQuantized();
+}
+
 tensor::Matrix InferenceBundle::PredictScores(const tensor::Matrix& x) const {
   DSSDDI_CHECK(!final_drug_reps.empty()) << "bundle has no drug representations";
   DSSDDI_CHECK(x.cols() == cluster_centroids.cols())
       << "feature width " << x.cols() << " != trained width "
       << cluster_centroids.cols();
+  const tensor::kernels::QuantMode mode = EffectiveQuantMode();
   const int num_patients = x.rows();
   const int v_count = num_drugs();
-  const tensor::Matrix h_patients = patient_fc.Forward(x);
+  const tensor::Matrix h_patients = patient_fc.Forward(x, mode);
 
   const int interaction_dim = mlp_decoder ? hidden_dim : 1;
   tensor::Matrix decoder_input(num_patients * v_count, interaction_dim + 1);
@@ -137,7 +183,7 @@ tensor::Matrix InferenceBundle::PredictScores(const tensor::Matrix& x) const {
       row[interaction_dim] = use_treatment_feature ? treatment[v] : 0.0f;
     }
   }
-  const tensor::Matrix logits = decoder.Forward(decoder_input);
+  const tensor::Matrix logits = decoder.Forward(decoder_input, mode);
   tensor::Matrix scores(num_patients, v_count);
   for (int i = 0; i < num_patients; ++i) {
     for (int v = 0; v < v_count; ++v) {
@@ -181,6 +227,7 @@ InferenceBundle ExtractInferenceBundle(const core::DssddiSystem& system,
   bundle.hidden_dim = md->config().hidden_dim;
   bundle.ms_alpha = system.config().ms_alpha;
   bundle.ms_explainer = static_cast<int>(system.config().ms_explainer);
+  bundle.EnsureQuantized();
   return bundle;
 }
 
@@ -199,6 +246,17 @@ Status SaveInferenceBundle(const std::string& path, const InferenceBundle& bundl
   writer.WriteI32(bundle.hidden_dim);
   writer.WriteF64(bundle.ms_alpha);
   writer.WriteU8(static_cast<uint8_t>(bundle.ms_explainer));
+  // Version 3: the pre-quantized int8 MLPs ride along so a serving host
+  // flips to int8 without re-deriving anything. Saving a hand-assembled
+  // bundle that was never quantized writes the sections empty; the
+  // loader rebuilds them from the float weights instead.
+  const bool has_quantized =
+      !bundle.patient_fc.quantized.empty() && !bundle.decoder.quantized.empty();
+  writer.WriteU8(has_quantized ? 1 : 0);
+  if (has_quantized) {
+    WriteQuantizedMlp(writer, bundle.patient_fc.quantized);
+    WriteQuantizedMlp(writer, bundle.decoder.quantized);
+  }
   return WriteFramedFile(path, kFormatInferenceBundle, kBundleVersion, writer.buffer());
 }
 
@@ -230,6 +288,13 @@ Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
   bundle->hidden_dim = reader.ReadI32();
   bundle->ms_alpha = reader.ReadF64();
   bundle->ms_explainer = version >= 2 ? reader.ReadU8() : 0;
+  bool has_quantized = false;
+  if (version >= 3 && reader.ok()) has_quantized = reader.ReadU8() != 0;
+  if (has_quantized &&
+      (!ReadQuantizedMlp(reader, &bundle->patient_fc.quantized) ||
+       !ReadQuantizedMlp(reader, &bundle->decoder.quantized))) {
+    return Status::Error("malformed quantized section: " + path);
+  }
   if (!reader.ok() || reader.remaining() != 0 || bundle->ms_explainer > 1) {
     return Status::Error("malformed bundle payload: " + path);
   }
@@ -241,6 +306,45 @@ Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
        static_cast<int>(bundle->drug_names.size()) != bundle->num_drugs())) {
     return Status::Error("inconsistent bundle dimensions: " + path);
   }
+  // The per-section length prefixes above catch byte-level corruption;
+  // these shape checks catch semantically impossible bundles that would
+  // otherwise abort (layer-width CHECK) or read out of bounds (a decoder
+  // emitting zero columns) at scoring time. Untrusted files must fail
+  // here, at load, with a Status.
+  const auto chain_ok = [](const FrozenMlp& mlp, int in_width, int out_width) {
+    int width = in_width;
+    for (const auto& layer : mlp.layers) {
+      if (layer.weight.rows() != width) return false;
+      width = layer.weight.cols();
+    }
+    return out_width < 0 || width == out_width;
+  };
+  const int feature_width = bundle->cluster_centroids.cols();
+  const int interaction_dim = bundle->mlp_decoder ? bundle->hidden_dim : 1;
+  if (!chain_ok(bundle->patient_fc, feature_width, bundle->hidden_dim) ||
+      !chain_ok(bundle->decoder, interaction_dim + 1, 1)) {
+    return Status::Error("inconsistent bundle layer shapes: " + path);
+  }
+  // A shipped quantized section must describe exactly the float layers
+  // it rides with; on any disagreement (or for pre-v3 files) rebuild
+  // from the float weights — same deterministic bits either way.
+  const auto quantized_matches = [](const FrozenMlp& mlp) {
+    if (mlp.quantized.layers.size() != mlp.layers.size()) return false;
+    for (size_t i = 0; i < mlp.layers.size(); ++i) {
+      const auto& f = mlp.layers[i];
+      const auto& q = mlp.quantized.layers[i];
+      if (q.weights.k != f.weight.rows() || q.weights.n != f.weight.cols() ||
+          q.activation != f.activation) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (has_quantized && (!quantized_matches(bundle->patient_fc) ||
+                        !quantized_matches(bundle->decoder))) {
+    return Status::Error("quantized section disagrees with float layers: " + path);
+  }
+  bundle->EnsureQuantized();
   return Status::Ok();
 }
 

@@ -8,6 +8,8 @@
 #include "data/dataset.h"
 #include "graph/signed_graph.h"
 #include "io/binary.h"
+#include "io/quantized_mlp.h"
+#include "tensor/kernels/qgemm.h"
 #include "tensor/matrix.h"
 
 namespace dssddi::io {
@@ -22,13 +24,32 @@ struct FrozenMlp {
     int activation = 0;     // tensor::Activation as int, for serialization
   };
   std::vector<Layer> layers;
+  /// Pre-quantized int8 companion (weights + per-column scales). Empty
+  /// until BuildQuantized() — bundles build or load it automatically; a
+  /// hand-assembled FrozenMlp stays float-only until asked.
+  QuantizedMlp quantized;
 
   /// y = act_L(...act_1(x W_1 + b_1)...W_L + b_L), matching Mlp::Forward.
   /// Each layer is one fused GemmBiasAct pass on the active GEMM backend
   /// (tensor/kernels/gemm_backend.h) — no intermediate bias/activation
-  /// matrices are materialized.
+  /// matrices are materialized. The one-argument overload follows the
+  /// process-wide quantization mode (DSSDDI_QUANTIZE / SetQuantMode);
+  /// pass a mode explicitly to pin the arithmetic. The int8 path runs
+  /// only when `quantized` has been built, so float-only callers are
+  /// never surprised.
   tensor::Matrix Forward(const tensor::Matrix& x) const;
+  tensor::Matrix Forward(const tensor::Matrix& x,
+                         tensor::kernels::QuantMode mode) const;
+
+  /// (Re)derives `quantized` from the float layers. Deterministic;
+  /// idempotent; cheap (one pass over the weights).
+  void BuildQuantized();
 };
+
+/// InferenceBundle::quantization value meaning "follow the process-wide
+/// mode" (DSSDDI_QUANTIZE / kernels::SetQuantMode). The serve layer
+/// resolves it to a concrete mode once per model snapshot.
+inline constexpr int kQuantizeAuto = -1;
 
 /// Everything needed to run a trained DSSDDI system at inference time:
 /// the MD module's frozen encoder/decoder, the propagated drug
@@ -57,11 +78,25 @@ struct InferenceBundle {
   /// core::ExplainerKind as int; carried so served explanations use the
   /// same subgraph backend the system was configured with.
   int ms_explainer = 0;
+  /// Runtime-only (never serialized) quantization override for this
+  /// bundle: kQuantizeAuto follows the process-wide mode, otherwise a
+  /// kernels::QuantMode value pins the arithmetic regardless of the
+  /// environment. The serve layer sets this from ServiceOptions and the
+  /// /admin/reload "quantize" field.
+  int quantization = kQuantizeAuto;
 
   int num_drugs() const { return final_drug_reps.rows(); }
 
+  /// The concrete mode this bundle scores with right now.
+  tensor::kernels::QuantMode EffectiveQuantMode() const;
+  /// Builds both MLPs' int8 companions if absent (Extract/Load already
+  /// do; this covers hand-assembled bundles switched to int8 later).
+  void EnsureQuantized();
+
   /// Sigmoid suggestion scores (|x| x |V|) for raw patient features.
-  /// Bit-identical to MdModule::PredictScores on the same weights.
+  /// On the float path, bit-identical to MdModule::PredictScores on the
+  /// same weights. Under int8 the two MLP passes run the quantized
+  /// kernels; scores stay row-local, so batching never changes them.
   tensor::Matrix PredictScores(const tensor::Matrix& x) const;
 
   /// Top-k suggestion with Medical Support explanation for one patient

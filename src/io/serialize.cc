@@ -51,14 +51,15 @@ bool ReadMatrix(BinaryReader& reader, tensor::Matrix* matrix) {
     reader.Fail();
     return false;
   }
-  std::vector<float> values;
-  if (!reader.ReadFloatArray(&values)) return false;
-  if (values.size() != static_cast<size_t>(rows) * cols) {
+  // Read straight into the matrix's (aligned) storage — model loads and
+  // /admin/reload deserialize every weight through here, so no copy via
+  // a temporary vector.
+  *matrix = tensor::Matrix(static_cast<int>(rows), static_cast<int>(cols));
+  if (!reader.ReadFloatsInto(&matrix->data())) return false;
+  if (matrix->data().size() != static_cast<size_t>(rows) * cols) {
     reader.Fail();
     return false;
   }
-  *matrix = tensor::Matrix(static_cast<int>(rows), static_cast<int>(cols));
-  matrix->data() = std::move(values);
   return true;
 }
 

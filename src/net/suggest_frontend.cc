@@ -223,6 +223,7 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
       .Key("p99_latency_ms").Double(stats.p99_latency_ms)
       .Key("num_threads").Int(stats.num_threads)
       .Key("gemm_backend").String(stats.gemm_backend)
+      .Key("quantization").String(stats.quantization)
       .Key("uptime_seconds").Double(stats.uptime_seconds)
       .EndObject();
   json.Key("admission").BeginObject()
@@ -239,7 +240,13 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
       .Key("version").UInt(stats.model_version)
       .Key("reloads").UInt(stats.reloads)
       .Key("display_name").String(service_->snapshot()->bundle.display_name)
-      .EndObject();
+      .Key("quantization").String(stats.quantization);
+  // Per-layer weight-quantization error (patient encoder layers first,
+  // then decoder layers); empty on the float path.
+  json.Key("quant_layer_max_abs_error").BeginArray();
+  for (const double error : stats.quant_layer_max_abs_error) json.Double(error);
+  json.EndArray();
+  json.EndObject();
   if (http_ != nullptr) {
     const HttpServer::Counters http = http_->counters();
     json.Key("http").BeginObject()
@@ -275,12 +282,29 @@ void SuggestFrontend::HandleReload(const HttpRequest& request,
     return;
   }
 
+  // Optional "quantize": "auto" (default) follows the process-wide
+  // mode, "none"/"float" pins float, "int8" pins the quantized path —
+  // so one reload call flips a live server between float and int8.
+  int quantization = io::kQuantizeAuto;
+  if (const JsonValue* quantize = document.Find("quantize")) {
+    tensor::kernels::QuantMode mode;
+    if (!quantize->is_string() ||
+        (quantize->AsString() != "auto" &&
+         !tensor::kernels::ParseQuantMode(quantize->AsString(), &mode))) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      writer.Send(JsonError(400, "'quantize' must be auto, none or int8"));
+      return;
+    }
+    if (quantize->AsString() != "auto") quantization = static_cast<int>(mode);
+  }
+
   io::InferenceBundle bundle;
   if (const io::Status loaded = io::LoadInferenceBundle(path->AsString(), &bundle);
       !loaded.ok) {
     writer.Send(JsonError(400, "cannot load bundle: " + loaded.message));
     return;
   }
+  bundle.quantization = quantization;
   const int num_drugs = bundle.num_drugs();
   const std::string display_name = bundle.display_name;
   if (const io::Status swapped = service_->Reload(std::move(bundle));
@@ -294,6 +318,7 @@ void SuggestFrontend::HandleReload(const HttpRequest& request,
       .Key("model_version").UInt(service_->model_version())
       .Key("display_name").String(display_name)
       .Key("num_drugs").Int(num_drugs)
+      .Key("quantization").String(service_->snapshot()->quantization_name())
       .EndObject();
   response.body = json.str();
   writer.Send(std::move(response));

@@ -55,6 +55,13 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
                                      const ServiceOptions& options)
     : options_(options), admission_(options.admission) {
   DSSDDI_CHECK(bundle.num_drugs() > 0) << "serving an empty bundle";
+  if (options_.quantization != "auto") {
+    tensor::kernels::QuantMode mode;
+    DSSDDI_CHECK(tensor::kernels::ParseQuantMode(options_.quantization, &mode))
+        << "unknown ServiceOptions::quantization '" << options_.quantization
+        << "' (want auto, none or int8)";
+    bundle.quantization = static_cast<int>(mode);
+  }
   snapshot_ = std::make_shared<const ModelSnapshot>(std::move(bundle),
                                                     version_.load());
   if (options_.latency_window < 16) options_.latency_window = 16;
@@ -374,6 +381,17 @@ ServiceStats SuggestionService::Stats() const {
   }
   stats.num_threads = pool_->num_threads();
   stats.gemm_backend = tensor::kernels::ActiveBackendName();
+  const std::shared_ptr<const ModelSnapshot> current = snapshot();
+  stats.quantization = current->quantization_name();
+  if (current->quant_mode() == tensor::kernels::QuantMode::kInt8) {
+    const auto append_errors = [&stats](const io::QuantizedMlp& mlp) {
+      for (const auto& layer : mlp.layers) {
+        stats.quant_layer_max_abs_error.push_back(layer.max_abs_error);
+      }
+    };
+    append_errors(current->bundle.patient_fc.quantized);
+    append_errors(current->bundle.decoder.quantized);
+  }
   return stats;
 }
 

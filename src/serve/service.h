@@ -39,6 +39,12 @@ struct ServiceOptions {
   /// Load-shedding bounds applied by TrySubmitAsync (both 0 = admit
   /// everything; Submit/SubmitAsync always bypass admission).
   AdmissionController::Options admission;
+  /// Scoring arithmetic for the initial bundle: "auto" follows the
+  /// process-wide mode (DSSDDI_QUANTIZE / kernels::SetQuantMode),
+  /// "none"/"float" pins the float kernels, "int8" pins the quantized
+  /// path. Reload decides per incoming bundle (see /admin/reload's
+  /// "quantize" field), so the mode can be flipped live.
+  std::string quantization = "auto";
 };
 
 /// Point-in-time service health snapshot.
@@ -72,6 +78,14 @@ struct ServiceStats {
   /// Active GEMM backend ("reference" / "blocked") scoring every batch,
   /// so perf numbers are never attributed to the wrong kernel.
   std::string gemm_backend;
+  /// Scoring arithmetic of the current snapshot: "none" (float) or
+  /// "int8" — snapshot-resolved, so it reports what is actually served
+  /// even while the process-wide mode is being flipped.
+  std::string quantization;
+  /// Per-layer max |w - dequant(quant(w))| across the served MLPs
+  /// (patient encoder layers first, then decoder layers). Empty when
+  /// serving the float path.
+  std::vector<double> quant_layer_max_abs_error;
 };
 
 /// One immutable, shareable model generation: the frozen bundle plus the
@@ -87,9 +101,27 @@ struct ModelSnapshot {
       : bundle(std::move(b)),
         ms(bundle.ddi, bundle.ms_alpha,
            static_cast<core::ExplainerKind>(bundle.ms_explainer)),
-        version(v) {}
+        version(v) {
+    // Pin the quantization mode for this model generation: an "auto"
+    // bundle resolves the process-wide mode exactly once, here, so a
+    // later SetQuantMode / env change can never alter the arithmetic of
+    // a snapshot already in flight — the next reload picks it up.
+    if (bundle.quantization == io::kQuantizeAuto) {
+      bundle.quantization =
+          static_cast<int>(tensor::kernels::ActiveQuantMode());
+    }
+    if (quant_mode() == tensor::kernels::QuantMode::kInt8) {
+      bundle.EnsureQuantized();
+    }
+  }
 
   int feature_width() const { return bundle.cluster_centroids.cols(); }
+  tensor::kernels::QuantMode quant_mode() const {
+    return bundle.EffectiveQuantMode();
+  }
+  const char* quantization_name() const {
+    return tensor::kernels::QuantModeName(quant_mode());
+  }
 };
 
 /// Concurrent top-k suggestion server over a frozen io::InferenceBundle.

@@ -1,0 +1,63 @@
+#ifndef DSSDDI_TENSOR_ALIGNED_H_
+#define DSSDDI_TENSOR_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dssddi::tensor {
+
+/// Minimal C++17 allocator handing out `Alignment`-byte-aligned blocks,
+/// so SIMD kernels can assume their operands' backing stores start on a
+/// vector boundary (the kernels still issue unaligned loads — interior
+/// rows of an odd-width matrix are not aligned — but an aligned base
+/// keeps the hot first-row/packed-buffer case on the fast path).
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no weaker than alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+};
+
+template <typename T, typename U, std::size_t A>
+bool operator==(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) noexcept {
+  return true;
+}
+template <typename T, typename U, std::size_t A>
+bool operator!=(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) noexcept {
+  return false;
+}
+
+/// The alignment every dense buffer in the tensor library guarantees:
+/// one AVX2 vector (and two SSE vectors).
+inline constexpr std::size_t kTensorAlignment = 32;
+
+/// 32-byte-aligned float storage — the value type behind tensor::Matrix.
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float, kTensorAlignment>>;
+/// 32-byte-aligned int8 storage for the quantized kernels' packed tiles.
+using AlignedInt8Vector =
+    std::vector<signed char, AlignedAllocator<signed char, kTensorAlignment>>;
+/// 32-byte-aligned uint8 storage for quantized activation rows.
+using AlignedByteVector =
+    std::vector<unsigned char, AlignedAllocator<unsigned char, kTensorAlignment>>;
+
+}  // namespace dssddi::tensor
+
+#endif  // DSSDDI_TENSOR_ALIGNED_H_

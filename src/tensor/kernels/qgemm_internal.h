@@ -1,0 +1,68 @@
+#ifndef DSSDDI_TENSOR_KERNELS_QGEMM_INTERNAL_H_
+#define DSSDDI_TENSOR_KERNELS_QGEMM_INTERNAL_H_
+
+#include <cstdint>
+
+// Shared between qgemm.cc (dispatch + scalar kernels) and qgemm_avx2.cc
+// (the AVX2+FMA translation unit, compiled with -mavx2 -mfma when the
+// compiler supports it; see DSSDDI_QGEMM_AVX2_TU in CMakeLists.txt).
+
+namespace dssddi::tensor::kernels::internal {
+
+/// c (m x n float, row stride n, overwritten) =
+///     w_scales[j] * sum over 32-channel groups of
+///         a_scales[i][g] * (exact corrected int32 dot of group g)
+///
+/// where the corrected dot is sum((a_u8 - 128) * w_s8) computed as
+/// sum(a_u8 * w_s8) - corrections[g * n_padded + j].
+///
+/// `a` is m rows x k_padded of uint8 (zero point 128); `w` is the
+/// packed tile layout of QuantizedWeights::data (n_padded/8 tiles x
+/// k_padded/4 sub-blocks x 32 bytes); scales/corrections are laid out
+/// as in QuantizedWeights. Padded columns (j >= n) are computed and
+/// discarded. Both packed buffers are 32-byte aligned.
+///
+/// Bit-identity contract shared by every implementation: per (row,
+/// column), group int32 sums accumulate exactly; each group value is
+/// converted to float (exact: |value| < 2^24) and fused-multiply-added
+/// by the group's activation scale into one float accumulator, groups
+/// in ascending order; the accumulator is multiplied by the column
+/// scale last.
+using QGemmKernelFn = void (*)(const unsigned char* a, const float* a_scales,
+                               const signed char* w, const float* w_scales,
+                               const int32_t* corrections, int m, int n,
+                               int n_padded, int k_padded, float* c);
+
+/// Quantizes one full 32-float group: returns the symmetric scale
+/// (max_abs / 127, or 0 for an all-zero / non-finite-max group, with
+/// all-zero-point output) and writes 32 uint8 values
+/// clamp(round(v/scale), -127, 127) + 128. Rounding is to-nearest-even
+/// in every implementation (cvtps2dq and lrintf agree), so quantized
+/// bytes are ISA-independent for finite inputs. (A NaN input lane is
+/// clamped, never crashes, but maxps and std::max disagree on NaN
+/// propagation, so cross-ISA bit-identity is only promised for finite
+/// activations — which is all the serving path ever produces; IEEE
+/// semantics live on the float path.)
+using QuantizeGroupFn = float (*)(const float* src, unsigned char* dst);
+
+/// Portable reference implementations (always compiled).
+void QGemmScaledScalar(const unsigned char* a, const float* a_scales,
+                       const signed char* w, const float* w_scales,
+                       const int32_t* corrections, int m, int n, int n_padded,
+                       int k_padded, float* c);
+float QuantizeGroupScalar(const float* src, unsigned char* dst);
+
+#if defined(DSSDDI_QGEMM_AVX2_TU)
+/// Defined in qgemm_avx2.cc. Only callable after a runtime
+/// __builtin_cpu_supports check. Bit-identical to the scalar
+/// implementations by the contracts above.
+void QGemmScaledAvx2(const unsigned char* a, const float* a_scales,
+                     const signed char* w, const float* w_scales,
+                     const int32_t* corrections, int m, int n, int n_padded,
+                     int k_padded, float* c);
+float QuantizeGroupAvx2(const float* src, unsigned char* dst);
+#endif
+
+}  // namespace dssddi::tensor::kernels::internal
+
+#endif  // DSSDDI_TENSOR_KERNELS_QGEMM_INTERNAL_H_

@@ -38,7 +38,7 @@ Matrix Matrix::Scalar(float value) {
 
 Matrix Matrix::Row(const std::vector<float>& values) {
   Matrix m(1, static_cast<int>(values.size()));
-  m.data_ = values;
+  m.data_.assign(values.begin(), values.end());
   return m;
 }
 

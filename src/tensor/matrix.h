@@ -6,12 +6,16 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned.h"
+
 namespace dssddi::tensor {
 
 /// Dense row-major single-precision matrix. This is the value type under
 /// the autograd `Tensor`; it is also used directly by non-differentiable
 /// code (metrics, k-means, generators). A 1xN or Nx1 matrix doubles as a
-/// vector; a 1x1 matrix doubles as a scalar.
+/// vector; a 1x1 matrix doubles as a scalar. Storage is 32-byte aligned
+/// (see tensor/aligned.h) so the SIMD GEMM / int8 kernels always see a
+/// vector-aligned base pointer.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -36,8 +40,8 @@ class Matrix {
   float At(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }
   float* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
   const float* RowPtr(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
-  std::vector<float>& data() { return data_; }
-  const std::vector<float>& data() const { return data_; }
+  AlignedFloatVector& data() { return data_; }
+  const AlignedFloatVector& data() const { return data_; }
 
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
@@ -87,7 +91,7 @@ class Matrix {
  private:
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  AlignedFloatVector data_;
 };
 
 }  // namespace dssddi::tensor

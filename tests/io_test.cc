@@ -350,7 +350,10 @@ data::SuggestionDataset* InferenceBundleTest::dataset_ = nullptr;
 core::DssddiSystem* InferenceBundleTest::system_ = nullptr;
 
 TEST_F(InferenceBundleTest, ExtractedBundleMatchesSystemScores) {
-  const auto bundle = io::ExtractInferenceBundle(*system_, *dataset_);
+  auto bundle = io::ExtractInferenceBundle(*system_, *dataset_);
+  // This oracle is about the float path: the training stack scores in
+  // float, so pin the bundle to float regardless of DSSDDI_QUANTIZE.
+  bundle.quantization = static_cast<int>(tensor::kernels::QuantMode::kNone);
   const auto& test_ids = dataset_->split.test;
   const tensor::Matrix expected = system_->PredictScores(*dataset_, test_ids);
   const tensor::Matrix actual =
@@ -382,7 +385,8 @@ TEST_F(InferenceBundleTest, SaveLoadPreservesScoresBitExactly) {
 }
 
 TEST_F(InferenceBundleTest, SuggestMatchesInProcessSystem) {
-  const auto bundle = io::ExtractInferenceBundle(*system_, *dataset_);
+  auto bundle = io::ExtractInferenceBundle(*system_, *dataset_);
+  bundle.quantization = static_cast<int>(tensor::kernels::QuantMode::kNone);
   const int patient = dataset_->split.test.front();
   const auto expected = system_->Suggest(*dataset_, patient, 3);
   const auto actual =
@@ -391,6 +395,163 @@ TEST_F(InferenceBundleTest, SuggestMatchesInProcessSystem) {
   EXPECT_EQ(actual.explanation.subgraph_drugs, expected.explanation.subgraph_drugs);
   EXPECT_DOUBLE_EQ(actual.explanation.suggestion_satisfaction,
                    expected.explanation.suggestion_satisfaction);
+}
+
+TEST_F(InferenceBundleTest, QuantizedSectionRoundTripsBitExactly) {
+  // The int8 companions ship inside the bundle file (version 3); a
+  // loaded bundle must score the quantized path bit-identically to the
+  // bundle it was saved from — whether it uses the shipped section or
+  // (for older files) rebuilds it from the float weights.
+  auto bundle = io::ExtractInferenceBundle(*system_, *dataset_);
+  bundle.quantization = static_cast<int>(tensor::kernels::QuantMode::kInt8);
+  const std::string path = TempPath("model_q.dssb");
+  ASSERT_TRUE(io::SaveInferenceBundle(path, bundle).ok);
+
+  io::InferenceBundle loaded;
+  ASSERT_TRUE(io::LoadInferenceBundle(path, &loaded).ok);
+  loaded.quantization = static_cast<int>(tensor::kernels::QuantMode::kInt8);
+  ASSERT_EQ(loaded.patient_fc.quantized.layers.size(),
+            bundle.patient_fc.quantized.layers.size());
+  for (size_t i = 0; i < bundle.patient_fc.quantized.layers.size(); ++i) {
+    const auto& saved = bundle.patient_fc.quantized.layers[i].weights;
+    const auto& got = loaded.patient_fc.quantized.layers[i].weights;
+    EXPECT_EQ(saved.data, got.data) << "layer " << i;
+    EXPECT_EQ(saved.scales, got.scales) << "layer " << i;
+  }
+
+  const tensor::Matrix x =
+      dataset_->patient_features.GatherRows(dataset_->split.test);
+  const tensor::Matrix before = bundle.PredictScores(x);
+  const tensor::Matrix after = loaded.PredictScores(x);
+  EXPECT_EQ(before.data(), after.data());  // bit-exact int8 scores
+}
+
+TEST_F(InferenceBundleTest, QuantizedScoresAreBatchInvariant) {
+  // Per-row dynamic activation scales make quantization row-local: a
+  // patient's int8 scores may not depend on who shares the batch. This
+  // is what lets the serving batcher regroup rows freely under int8.
+  auto bundle = io::ExtractInferenceBundle(*system_, *dataset_);
+  bundle.quantization = static_cast<int>(tensor::kernels::QuantMode::kInt8);
+  const auto& test_ids = dataset_->split.test;
+  const tensor::Matrix batch =
+      bundle.PredictScores(dataset_->patient_features.GatherRows(test_ids));
+  for (size_t i = 0; i < test_ids.size(); ++i) {
+    const tensor::Matrix solo = bundle.PredictScores(
+        dataset_->patient_features.GatherRows({test_ids[i]}));
+    for (int j = 0; j < solo.cols(); ++j) {
+      ASSERT_EQ(solo.At(0, j), batch.At(static_cast<int>(i), j))
+          << "patient " << test_ids[i] << " score " << j;
+    }
+  }
+}
+
+TEST_F(InferenceBundleTest, ReloadIntoReusedBundleDropsStaleQuantizedWeights) {
+  // Loading into a reused InferenceBundle object must never keep the
+  // previous model's int8 companion: when the new file carries no
+  // quantized section the companion is rebuilt from the NEW float
+  // weights, not served from the stale ones.
+  const auto bundle_a = io::ExtractInferenceBundle(*system_, *dataset_);
+
+  core::DssddiConfig other_config;
+  other_config.ddi.epochs = 30;
+  other_config.md.epochs = 30;
+  other_config.md.hidden_dim = 16;
+  core::DssddiSystem other(other_config);
+  other.Fit(*dataset_);
+  io::InferenceBundle bundle_b = io::ExtractInferenceBundle(other, *dataset_);
+  // Strip B's quantized sections so its file says has_quantized = 0.
+  bundle_b.patient_fc.quantized.layers.clear();
+  bundle_b.decoder.quantized.layers.clear();
+
+  const std::string path_a = TempPath("reuse_a.dssb");
+  const std::string path_b = TempPath("reuse_b.dssb");
+  ASSERT_TRUE(io::SaveInferenceBundle(path_a, bundle_a).ok);
+  ASSERT_TRUE(io::SaveInferenceBundle(path_b, bundle_b).ok);
+
+  io::InferenceBundle reused;
+  ASSERT_TRUE(io::LoadInferenceBundle(path_a, &reused).ok);
+  ASSERT_TRUE(io::LoadInferenceBundle(path_b, &reused).ok);
+
+  bundle_b.EnsureQuantized();
+  reused.quantization = static_cast<int>(tensor::kernels::QuantMode::kInt8);
+  bundle_b.quantization = static_cast<int>(tensor::kernels::QuantMode::kInt8);
+  const tensor::Matrix x =
+      dataset_->patient_features.GatherRows(dataset_->split.test);
+  const tensor::Matrix expected = bundle_b.PredictScores(x);
+  const tensor::Matrix actual = reused.PredictScores(x);
+  EXPECT_EQ(actual.data(), expected.data());
+}
+
+TEST_F(InferenceBundleTest, EveryTruncatedPrefixOfABundleFileIsRejected) {
+  const auto bundle = io::ExtractInferenceBundle(*system_, *dataset_);
+  const std::string path = TempPath("truncate_sweep.dssb");
+  ASSERT_TRUE(io::SaveInferenceBundle(path, bundle).ok);
+  std::string raw;
+  ASSERT_TRUE(io::ReadFileToString(path, &raw).ok);
+
+  const std::string cut_path = TempPath("truncate_cut.dssb");
+  for (int tenths = 0; tenths < 10; ++tenths) {
+    const size_t cut = raw.size() * static_cast<size_t>(tenths) / 10;
+    ASSERT_TRUE(io::WriteStringToFile(cut_path, raw.substr(0, cut)).ok);
+    io::InferenceBundle loaded;
+    EXPECT_FALSE(io::LoadInferenceBundle(cut_path, &loaded).ok)
+        << "accepted a bundle truncated to " << cut << " of " << raw.size()
+        << " bytes";
+  }
+}
+
+TEST_F(InferenceBundleTest, ShapeInconsistentBundleRejectedAtLoad) {
+  // A bundle whose patient encoder disagrees with its feature width used
+  // to pass loading and then abort (layer-width CHECK) at scoring time;
+  // untrusted files must fail at load with a Status instead.
+  auto bundle = io::ExtractInferenceBundle(*system_, *dataset_);
+  bundle.cluster_centroids = tensor::Matrix(
+      bundle.cluster_centroids.rows(), bundle.cluster_centroids.cols() + 1);
+  const std::string path = TempPath("bad_shapes.dssb");
+  ASSERT_TRUE(io::SaveInferenceBundle(path, bundle).ok);
+  io::InferenceBundle loaded;
+  const io::Status status = io::LoadInferenceBundle(path, &loaded);
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find("layer shapes"), std::string::npos)
+      << status.message;
+}
+
+TEST(QuantizedMlpCodecTest, SectionLengthDisagreementRejected) {
+  // The quantized section declares its own byte length; a length that
+  // disagrees with the section content must be rejected before any of
+  // the payload is interpreted.
+  io::FrozenMlp mlp;
+  io::FrozenMlp::Layer layer;
+  layer.weight = tensor::Matrix({{0.5f, -1.0f}, {2.0f, 0.25f}, {1.5f, -0.75f}});
+  layer.bias = tensor::Matrix({{0.1f, -0.2f}});
+  layer.activation = 1;
+  mlp.layers.push_back(layer);
+  const io::QuantizedMlp quantized = io::QuantizeMlp(mlp);
+
+  io::BinaryWriter writer;
+  io::WriteQuantizedMlp(writer, quantized);
+
+  {  // Sanity: the untouched section parses.
+    io::BinaryReader reader(writer.buffer());
+    io::QuantizedMlp parsed;
+    ASSERT_TRUE(io::ReadQuantizedMlp(reader, &parsed));
+    ASSERT_EQ(parsed.layers.size(), 1u);
+    EXPECT_EQ(parsed.layers[0].weights.data, quantized.layers[0].weights.data);
+  }
+  {  // Declared length one byte short of the actual section body.
+    std::string corrupt = writer.buffer();
+    corrupt[0] = static_cast<char>(static_cast<unsigned char>(corrupt[0]) - 1);
+    io::BinaryReader reader(corrupt);
+    io::QuantizedMlp parsed;
+    EXPECT_FALSE(io::ReadQuantizedMlp(reader, &parsed));
+    EXPECT_FALSE(reader.ok());
+  }
+  {  // Truncated mid-section.
+    const std::string truncated = writer.buffer().substr(0, writer.size() - 3);
+    io::BinaryReader reader(truncated);
+    io::QuantizedMlp parsed;
+    EXPECT_FALSE(io::ReadQuantizedMlp(reader, &parsed));
+  }
 }
 
 TEST_F(InferenceBundleTest, CorruptedBundleRejected) {

@@ -260,6 +260,14 @@ class NetEndToEndTest : public ::testing::Test {
     other_system_->Fit(*dataset_);
     other_bundle_ = new io::InferenceBundle(
         io::ExtractInferenceBundle(*other_system_, *dataset_));
+
+    // These tests assert bit-identity against the float training stack,
+    // so the bundles pin the float path regardless of DSSDDI_QUANTIZE —
+    // the int8 serving contract (top-k agreement, not bit-identity) is
+    // covered by quantize_serving_test.
+    bundle_->quantization = static_cast<int>(tensor::kernels::QuantMode::kNone);
+    other_bundle_->quantization =
+        static_cast<int>(tensor::kernels::QuantMode::kNone);
   }
   static void TearDownTestSuite() {
     delete other_bundle_;
@@ -614,8 +622,12 @@ TEST_F(NetEndToEndTest, ReloadUnderLoadSwapsWithoutCorruptingResponses) {
   net::HttpClient admin;
   ASSERT_TRUE(admin.Connect("127.0.0.1", server.port()).ok);
   net::ClientResponse reload_response;
+  // Pin float on the reloaded bundle too ("quantize":"none" — the file
+  // itself always loads as "auto"): the expectations below come from the
+  // float training stack.
   ASSERT_TRUE(admin.Request("POST", "/admin/reload",
-                            "{\"path\":\"" + other_path + "\"}",
+                            "{\"path\":\"" + other_path +
+                                "\",\"quantize\":\"none\"}",
                             &reload_response).ok);
   ASSERT_EQ(reload_response.status, 200) << reload_response.body;
   net::JsonValue reload_json;
@@ -647,10 +659,19 @@ TEST_F(NetEndToEndTest, ReloadUnderLoadSwapsWithoutCorruptingResponses) {
   EXPECT_EQ(service.Stats().reloads, 1u);
 
   // Incompatible reload target is refused with 409 and does not disturb
-  // the served model.
+  // the served model. The bundle must be internally consistent (the
+  // loader now rejects shape-inconsistent files outright with 400), just
+  // trained for a different feature width: widen the centroids AND the
+  // patient encoder's input layer together.
   io::InferenceBundle narrow = *other_bundle_;
   narrow.cluster_centroids = tensor::Matrix(
       narrow.cluster_centroids.rows(), narrow.cluster_centroids.cols() + 2);
+  tensor::Matrix& first_weight = narrow.patient_fc.layers.front().weight;
+  tensor::Matrix widened(first_weight.rows() + 2, first_weight.cols());
+  std::copy(first_weight.data().begin(), first_weight.data().end(),
+            widened.data().begin());
+  first_weight = std::move(widened);
+  narrow.patient_fc.BuildQuantized();
   const std::string narrow_path = ::testing::TempDir() + "dssddi_net_narrow.dssb";
   ASSERT_TRUE(io::SaveInferenceBundle(narrow_path, narrow).ok);
   net::ClientResponse conflict;

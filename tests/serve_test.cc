@@ -303,6 +303,10 @@ class SuggestionServiceTest : public ::testing::Test {
     system_->Fit(*dataset_);
     bundle_ = new io::InferenceBundle(
         io::ExtractInferenceBundle(*system_, *dataset_));
+    // These tests assert bit-identity against the float training stack,
+    // so the bundle pins the float path regardless of DSSDDI_QUANTIZE —
+    // the int8 contract (top-k agreement) lives in quantize_serving_test.
+    bundle_->quantization = static_cast<int>(tensor::kernels::QuantMode::kNone);
   }
   static void TearDownTestSuite() {
     delete bundle_;
@@ -476,7 +480,8 @@ TEST_F(SuggestionServiceTest, HonorsTheBundlesExplainerKind) {
   config.ms_explainer = core::ExplainerKind::kDensestSubgraph;
   core::DssddiSystem densest_system(config);
   densest_system.Fit(*dataset_);
-  const auto bundle = io::ExtractInferenceBundle(densest_system, *dataset_);
+  auto bundle = io::ExtractInferenceBundle(densest_system, *dataset_);
+  bundle.quantization = static_cast<int>(tensor::kernels::QuantMode::kNone);
   EXPECT_EQ(bundle.ms_explainer,
             static_cast<int>(core::ExplainerKind::kDensestSubgraph));
 
@@ -589,8 +594,9 @@ TEST_F(SuggestionServiceTest, ReloadSwapsModelAndFlushesCache) {
   config.md.hidden_dim = 8;
   core::DssddiSystem other(config);
   other.Fit(*dataset_);
-  const io::Status status =
-      service.Reload(io::ExtractInferenceBundle(other, *dataset_));
+  io::InferenceBundle other_bundle = io::ExtractInferenceBundle(other, *dataset_);
+  other_bundle.quantization = static_cast<int>(tensor::kernels::QuantMode::kNone);
+  const io::Status status = service.Reload(std::move(other_bundle));
   ASSERT_TRUE(status.ok) << status.message;
   EXPECT_EQ(service.model_version(), 2u);
   EXPECT_EQ(service.Stats().reloads, 1u);

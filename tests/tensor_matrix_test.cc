@@ -1,5 +1,7 @@
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "gtest/gtest.h"
 #include "tensor/matrix.h"
@@ -158,6 +160,36 @@ TEST(CsrMatrixTest, EmptyMatrixBehaves) {
   EXPECT_EQ(sparse.nnz(), 0);
   Matrix result = sparse.Multiply(Matrix::Ones(2, 4));
   EXPECT_FLOAT_EQ(result.SumAll(), 0.0f);
+}
+
+TEST(MatrixAlignmentTest, StorageIsAlwaysThirtyTwoByteAligned) {
+  // The SIMD GEMM and int8 kernels rely on every Matrix base pointer
+  // starting on an AVX2 vector boundary (tensor/aligned.h). Cover the
+  // construction paths: sized, fill, initializer-list, copies, moves,
+  // and odd sizes whose default-allocator layout would drift.
+  for (const auto [rows, cols] : {std::pair<int, int>{1, 1},
+                                  {1, 7},
+                                  {3, 31},
+                                  {17, 65},
+                                  {64, 64},
+                                  {129, 86}}) {
+    Matrix m(rows, cols, 0.5f);
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(m.data().data()) % kTensorAlignment,
+              0u)
+        << rows << "x" << cols;
+    Matrix copy = m;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(copy.data().data()) % kTensorAlignment,
+              0u);
+    Matrix moved = std::move(copy);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(moved.data().data()) % kTensorAlignment,
+              0u);
+  }
+  const Matrix lists({{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}});
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(lists.data().data()) % kTensorAlignment,
+            0u);
+  const Matrix row = Matrix::Row({1.0f, 2.0f, 3.0f, 4.0f, 5.0f});
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(row.data().data()) % kTensorAlignment,
+            0u);
 }
 
 }  // namespace
