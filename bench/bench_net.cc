@@ -1,8 +1,11 @@
 // HTTP front-end benchmark: closed-loop loopback load against the full
-// network stack (epoll server -> JSON codec -> admission -> batched
-// scoring). Reports sustained qps and client-observed latency
-// percentiles across a connection-count grid, then demonstrates
-// admission-control shedding under a deliberately tight in-flight bound.
+// network stack (epoll server -> codec -> admission -> batched
+// scoring). The headline comparison is JSON vs the binary frame codec
+// on the same /v1/suggest route (content-type negotiated, identical
+// feature rows): sustained qps and client-observed latency percentiles
+// across a connection-count grid. Then admission-control shedding under
+// a deliberately tight in-flight bound, and deadline-aware shedding
+// under an infeasibly tight per-request budget.
 //
 //   ./bench/bench_net [--requests N] [--unique U] [--quick]
 //
@@ -16,6 +19,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -31,6 +35,7 @@
 #include "net/http_server.h"
 #include "net/json.h"
 #include "net/suggest_frontend.h"
+#include "net/wire.h"
 #include "serve/service.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -42,9 +47,11 @@ using namespace dssddi;
 struct LoadResult {
   double qps = 0.0;
   double p50_ms = 0.0;
+  double p90_ms = 0.0;
   double p99_ms = 0.0;
   uint64_t ok = 0;
-  uint64_t shed = 0;
+  uint64_t shed = 0;       // 429 load sheds
+  uint64_t timed_out = 0;  // 504 deadline sheds / expiries
   uint64_t errors = 0;
 };
 
@@ -57,13 +64,16 @@ double Percentile(std::vector<double>& values, double q) {
 
 /// Closed-loop load: `connections` keep-alive clients split
 /// `total_requests` between them; each waits for its answer before
-/// sending the next. 429s count as shed (they still complete the loop
-/// iteration — fast rejection is the point of admission control).
+/// sending the next. 429s count as shed and 504s as timed_out (both
+/// complete the loop iteration — fast rejection is the point of
+/// admission control and deadline propagation alike).
 LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
-                   int connections, int total_requests) {
+                   int connections, int total_requests,
+                   const net::ClientRequestOptions& request_options) {
   std::atomic<int> next{0};
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> timed_out{0};
   std::atomic<uint64_t> errors{0};
   std::vector<std::vector<double>> latencies(connections);
 
@@ -88,8 +98,9 @@ LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
           errors.fetch_add(1);
           break;
         }
-        const io::Status status = client.Request(
-            "POST", "/v1/suggest", bodies[i % bodies.size()], &response);
+        const io::Status status =
+            client.Request("POST", "/v1/suggest", bodies[i % bodies.size()],
+                           request_options, &response);
         if (!status.ok) {
           errors.fetch_add(1);
           continue;
@@ -99,6 +110,8 @@ LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
           ok.fetch_add(1);
         } else if (response.status == 429) {
           shed.fetch_add(1);
+        } else if (response.status == 504) {
+          timed_out.fetch_add(1);
         } else {
           errors.fetch_add(1);
         }
@@ -115,20 +128,28 @@ LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
   LoadResult result;
   result.ok = ok.load();
   result.shed = shed.load();
+  result.timed_out = timed_out.load();
   result.errors = errors.load();
-  result.qps = elapsed > 0 ? static_cast<double>(result.ok + result.shed) / elapsed
-                           : 0.0;
+  const uint64_t answered = result.ok + result.shed + result.timed_out;
+  result.qps = elapsed > 0 ? static_cast<double>(answered) / elapsed : 0.0;
   result.p50_ms = Percentile(merged, 0.50);
+  result.p90_ms = Percentile(merged, 0.90);
   result.p99_ms = Percentile(merged, 0.99);
   return result;
 }
 
-void PrintRow(int connections, const LoadResult& result) {
-  std::printf("%11d %10.0f %10.3f %10.3f %8llu %8llu %8llu\n", connections,
-              result.qps, result.p50_ms, result.p99_ms,
-              static_cast<unsigned long long>(result.ok),
+void PrintRow(const char* codec, int connections, const LoadResult& result) {
+  std::printf("%7s %6d %10.0f %9.3f %9.3f %9.3f %7llu %6llu %6llu %6llu\n",
+              codec, connections, result.qps, result.p50_ms, result.p90_ms,
+              result.p99_ms, static_cast<unsigned long long>(result.ok),
               static_cast<unsigned long long>(result.shed),
+              static_cast<unsigned long long>(result.timed_out),
               static_cast<unsigned long long>(result.errors));
+}
+
+void PrintHeaderRow() {
+  std::printf("%7s %6s %10s %9s %9s %9s %7s %6s %6s %6s\n", "codec", "conns",
+              "qps", "p50 ms", "p90 ms", "p99 ms", "ok", "shed", "504", "err");
 }
 
 }  // namespace
@@ -149,7 +170,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::PrintHeader("HTTP front-end: qps/p50/p99 vs connection count",
+  bench::PrintHeader("HTTP front-end: JSON vs binary framing, shedding grids",
                      "network serving tier (beyond the paper's offline eval)");
 
   // One small trained system, frozen once; quality is irrelevant here.
@@ -167,23 +188,48 @@ int main(int argc, char** argv) {
   io::InferenceBundle bundle = io::ExtractInferenceBundle(system, dataset);
   const int width = bundle.cluster_centroids.cols();
 
-  // Pre-serialized JSON bodies over `unique_patients` synthetic rows
-  // (explanations on — the product workload — so the cache matters).
+  // Pre-serialized bodies over `unique_patients` synthetic rows, one
+  // JSON and one binary frame per row from the SAME floats, so the two
+  // codecs ask the server for identical work (explanations on — the
+  // product workload — so the cache matters equally for both).
   util::Rng rng(7);
-  std::vector<std::string> bodies;
-  bodies.reserve(unique_patients);
+  std::vector<std::string> json_bodies;
+  std::vector<std::string> frame_bodies;
+  json_bodies.reserve(unique_patients);
+  frame_bodies.reserve(unique_patients);
   for (int p = 0; p < unique_patients; ++p) {
+    std::vector<float> features(width);
+    for (int j = 0; j < width; ++j) {
+      features[j] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
     net::JsonWriter json;
     json.BeginObject().Key("patient_id").Int(p).Key("features").BeginArray();
-    for (int j = 0; j < width; ++j) {
-      json.Float(static_cast<float>(rng.Normal(0.0, 1.0)));
-    }
+    for (const float f : features) json.Float(f);
     json.EndArray().Key("k").Int(3).Key("explain").Bool(true).EndObject();
-    bodies.push_back(json.str());
+    json_bodies.push_back(json.str());
+    net::wire::SuggestRequestFrame frame;
+    frame.patient_id = p;
+    frame.k = 3;
+    frame.explain = true;
+    frame.features = features;
+    frame_bodies.push_back(net::wire::EncodeSuggestRequest(frame));
   }
+  size_t json_bytes = 0, frame_bytes = 0;
+  for (const auto& body : json_bodies) json_bytes += body.size();
+  for (const auto& body : frame_bodies) frame_bytes += body.size();
+  std::printf("request bytes/query: JSON %.0f, binary %.0f (%.1fx smaller)\n",
+              static_cast<double>(json_bytes) / unique_patients,
+              static_cast<double>(frame_bytes) / unique_patients,
+              static_cast<double>(json_bytes) / frame_bytes);
+
+  net::ClientRequestOptions json_options;  // defaults: application/json
+  net::ClientRequestOptions frame_options;
+  frame_options.content_type = net::wire::kContentType;
 
   // ------------------------------------------------------------------
-  // Grid 1: open admission — throughput and latency vs connections.
+  // Grid 1: open admission — JSON vs binary framing per connection
+  // count. Same service, same cache, same scoring work; only the wire
+  // codec differs.
   // ------------------------------------------------------------------
   serve::ServiceOptions service_options;
   service_options.num_threads = 0;  // hardware concurrency
@@ -213,34 +259,66 @@ int main(int argc, char** argv) {
   json.Key("requests").Int(num_requests);
   json.Key("unique_patients").Int(unique_patients);
   json.Key("num_threads").Int(service.Stats().num_threads);
-  const auto record = [&json](const char* grid, int connections,
-                              const LoadResult& result) {
+  json.Key("json_request_bytes").UInt(json_bytes / unique_patients);
+  json.Key("binary_request_bytes").UInt(frame_bytes / unique_patients);
+  const auto record = [&json](const char* grid, const char* codec,
+                              int connections, const LoadResult& result) {
     json.BeginObject()
         .Key("grid").String(grid)
+        .Key("codec").String(codec)
         .Key("connections").Int(connections)
         .Key("qps").Double(result.qps)
         .Key("p50_ms").Double(result.p50_ms)
+        .Key("p90_ms").Double(result.p90_ms)
         .Key("p99_ms").Double(result.p99_ms)
         .Key("ok").UInt(result.ok)
         .Key("shed").UInt(result.shed)
+        .Key("timed_out").UInt(result.timed_out)
         .Key("errors").UInt(result.errors)
         .EndObject();
   };
   json.Key("rows").BeginArray();
 
-  std::printf("%11s %10s %10s %10s %8s %8s %8s\n", "connections", "qps",
-              "p50 ms", "p99 ms", "ok", "shed", "errors");
+  PrintHeaderRow();
+  double qps_ratio_product = 1.0;
+  double p50_ratio_product = 1.0;
+  int grid_cells = 0;
+  uint64_t grid_errors = 0;
   for (const int connections : {1, 8, 32}) {
-    const LoadResult result =
-        RunLoad(server.port(), bodies, connections, num_requests);
-    PrintRow(connections, result);
-    record("open_admission", connections, result);
+    // JSON first, binary second, same cell size; the warm cache carries
+    // over, which favors neither codec (same keys, same hits).
+    const LoadResult json_result =
+        RunLoad(server.port(), json_bodies, connections, num_requests,
+                json_options);
+    PrintRow("json", connections, json_result);
+    record("open_admission", "json", connections, json_result);
+    const LoadResult frame_result =
+        RunLoad(server.port(), frame_bodies, connections, num_requests,
+                frame_options);
+    PrintRow("binary", connections, frame_result);
+    record("open_admission", "binary", connections, frame_result);
+    grid_errors += json_result.errors + frame_result.errors;
+    if (json_result.qps > 0 && frame_result.qps > 0) {
+      qps_ratio_product *= frame_result.qps / json_result.qps;
+      if (json_result.p50_ms > 0 && frame_result.p50_ms > 0) {
+        p50_ratio_product *= json_result.p50_ms / frame_result.p50_ms;
+      }
+      ++grid_cells;
+    }
   }
+  const double qps_speedup =
+      grid_cells > 0 ? std::pow(qps_ratio_product, 1.0 / grid_cells) : 0.0;
+  const double p50_speedup =
+      grid_cells > 0 ? std::pow(p50_ratio_product, 1.0 / grid_cells) : 0.0;
   const serve::ServiceStats open_stats = service.Stats();
-  std::printf("\nservice after grid: %llu completed, cache hit rate %.1f%%,"
-              " mean batch %.1f, 0 shed (admission open)\n",
+  std::printf("\nbinary vs JSON geomean over the grid: %.2fx qps, %.2fx p50\n",
+              qps_speedup, p50_speedup);
+  std::printf("service after grid: %llu completed, cache hit rate %.1f%%,"
+              " mean batch %.1f, p50/p90/p99/max %.2f/%.2f/%.2f/%.2f ms\n",
               static_cast<unsigned long long>(open_stats.completed),
-              100.0 * open_stats.cache_hit_rate, open_stats.mean_batch_size);
+              100.0 * open_stats.cache_hit_rate, open_stats.mean_batch_size,
+              open_stats.p50_latency_ms, open_stats.p90_latency_ms,
+              open_stats.p99_latency_ms, open_stats.max_latency_ms);
   server.Stop();
 
   // ------------------------------------------------------------------
@@ -250,7 +328,7 @@ int main(int argc, char** argv) {
   tight_options.cache_capacity = 0;  // every request pays real scoring
   tight_options.admission.max_in_flight = 4;
   tight_options.admission.max_queue_depth = 8;
-  serve::SuggestionService tight_service(std::move(bundle), tight_options);
+  serve::SuggestionService tight_service(bundle, tight_options);
   net::SuggestFrontend tight_frontend(&tight_service);
   net::HttpServer tight_server(server_options, tight_frontend.AsHandler());
   if (const io::Status status = tight_server.Start(); !status.ok) {
@@ -259,14 +337,13 @@ int main(int argc, char** argv) {
   }
   std::printf("\nwith admission bounds (max_in_flight=4, max_queue=8) and the"
               " cache off:\n");
-  std::printf("%11s %10s %10s %10s %8s %8s %8s\n", "connections", "qps",
-              "p50 ms", "p99 ms", "ok", "shed", "errors");
+  PrintHeaderRow();
   LoadResult tight_result;
   for (const int connections : {1, 8, 32}) {
-    tight_result =
-        RunLoad(tight_server.port(), bodies, connections, num_requests);
-    PrintRow(connections, tight_result);
-    record("tight_admission", connections, tight_result);
+    tight_result = RunLoad(tight_server.port(), json_bodies, connections,
+                           num_requests, json_options);
+    PrintRow("json", connections, tight_result);
+    record("tight_admission", "json", connections, tight_result);
   }
   const serve::ServiceStats tight_stats = tight_service.Stats();
   std::printf("\nadmission after grid: %llu admitted, %llu shed — overload"
@@ -275,10 +352,53 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(tight_stats.shed));
   tight_server.Stop();
 
-  const bool ok = tight_result.errors == 0;
-  std::printf("%s\n", ok ? "PASS: full grid served with zero errors"
-                         : "FAIL: errors observed under load");
+  // ------------------------------------------------------------------
+  // Grid 3: deadline propagation — every request advertises a 2ms
+  // budget while the batch window alone is 5ms, so the pipeline should
+  // answer 504 (shed at admission once the p50 is known, or expired in
+  // the batcher before scoring) instead of scoring doomed work.
+  // ------------------------------------------------------------------
+  serve::ServiceOptions deadline_service_options = service_options;
+  deadline_service_options.cache_capacity = 0;
+  deadline_service_options.batch_wait_us = 5000;
+  serve::SuggestionService deadline_service(std::move(bundle),
+                                            deadline_service_options);
+  net::SuggestFrontend deadline_frontend(&deadline_service);
+  net::HttpServer deadline_server(server_options,
+                                  deadline_frontend.AsHandler());
+  if (const io::Status status = deadline_server.Start(); !status.ok) {
+    std::printf("error: %s\n", status.message.c_str());
+    return 1;
+  }
+  net::ClientRequestOptions doomed_options = json_options;
+  doomed_options.deadline_ms = 30000;    // client waits for its 504
+  doomed_options.advertise_deadline_ms = 2;  // server budget: 2ms
+  std::printf("\nwith a 2ms advertised budget against a 5ms batch window"
+              " (cache off):\n");
+  PrintHeaderRow();
+  const int deadline_requests = std::min(num_requests, 600);
+  const LoadResult doomed = RunLoad(deadline_server.port(), json_bodies, 8,
+                                    deadline_requests, doomed_options);
+  PrintRow("json", 8, doomed);
+  record("tight_deadline", "json", 8, doomed);
+  const serve::ServiceStats deadline_stats = deadline_service.Stats();
+  std::printf("\ndeadline after grid: %llu expired pre-scoring, %llu"
+              " deadline-shed at admission, %llu batches scored\n",
+              static_cast<unsigned long long>(deadline_stats.expired),
+              static_cast<unsigned long long>(deadline_stats.deadline_shed),
+              static_cast<unsigned long long>(deadline_stats.batches));
+  deadline_server.Stop();
+
+  const bool ok = grid_errors == 0 && tight_result.errors == 0 &&
+                  doomed.errors == 0 && qps_speedup > 1.0;
+  std::printf("%s\n",
+              ok ? "PASS: zero errors and binary framing beats JSON on qps"
+                 : "FAIL: errors observed or binary framing showed no win");
   json.EndArray();
+  json.Key("binary_vs_json_qps_speedup").Double(qps_speedup);
+  json.Key("binary_vs_json_p50_speedup").Double(p50_speedup);
+  json.Key("deadline_expired").UInt(deadline_stats.expired);
+  json.Key("deadline_shed").UInt(deadline_stats.deadline_shed);
   json.Key("pass").Bool(ok);
   json.EndObject();
   bench::WriteBenchJson("net", json.str());

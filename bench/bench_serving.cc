@@ -45,7 +45,9 @@ struct StreamQuery {
 struct RunResult {
   double qps = 0.0;
   double p50_ms = 0.0;
+  double p90_ms = 0.0;
   double p99_ms = 0.0;
+  double max_ms = 0.0;
   double mean_batch = 0.0;
   double hit_rate = 0.0;
   uint64_t coalesced = 0;
@@ -88,7 +90,9 @@ RunResult RunConfig(const io::InferenceBundle& bundle,
   RunResult result;
   result.qps = static_cast<double>(stream.size()) / elapsed;
   result.p50_ms = stats.p50_latency_ms;
+  result.p90_ms = stats.p90_latency_ms;
   result.p99_ms = stats.p99_latency_ms;
+  result.max_ms = stats.max_latency_ms;
   result.mean_batch = stats.mean_batch_size;
   result.hit_rate = stats.cache_hit_rate;
   result.coalesced = stats.coalesced;
@@ -96,8 +100,9 @@ RunResult RunConfig(const io::InferenceBundle& bundle,
 }
 
 void PrintRow(const std::string& label, const RunResult& result, double baseline_qps) {
-  std::printf("%-34s %9.0f %8.2fx %9.3f %9.3f %7.1f %7.1f%% %9llu\n", label.c_str(),
-              result.qps, result.qps / baseline_qps, result.p50_ms, result.p99_ms,
+  std::printf("%-34s %9.0f %8.2fx %8.3f %8.3f %8.3f %8.3f %6.1f %6.1f%% %9llu\n",
+              label.c_str(), result.qps, result.qps / baseline_qps,
+              result.p50_ms, result.p90_ms, result.p99_ms, result.max_ms,
               result.mean_batch, 100.0 * result.hit_rate,
               static_cast<unsigned long long>(result.coalesced));
 }
@@ -178,7 +183,9 @@ int main(int argc, char** argv) {
         .Key("quantization").String(quantization)
         .Key("qps").Double(result.qps)
         .Key("p50_ms").Double(result.p50_ms)
+        .Key("p90_ms").Double(result.p90_ms)
         .Key("p99_ms").Double(result.p99_ms)
+        .Key("max_ms").Double(result.max_ms)
         .Key("mean_batch").Double(result.mean_batch)
         .Key("cache_hit_rate").Double(result.hit_rate)
         .Key("coalesced").UInt(result.coalesced)
@@ -187,8 +194,9 @@ int main(int argc, char** argv) {
 
   // Headline grid: the product workload (suggestions WITH Medical
   // Support explanations, as the paper's system presents them).
-  std::printf("%-34s %9s %9s %9s %9s %7s %8s %9s\n", "config (with explanations)",
-              "req/s", "speedup", "p50 ms", "p99 ms", "batch", "hits", "coalesced");
+  std::printf("%-34s %9s %9s %8s %8s %8s %8s %6s %7s %9s\n",
+              "config (with explanations)", "req/s", "speedup", "p50 ms",
+              "p90 ms", "p99 ms", "max ms", "batch", "hits", "coalesced");
   const RunResult naive = RunConfig(bundle, stream, 1, 1, 0, true);
   PrintRow("1 thread, unbatched, no cache", naive, naive.qps);
   record("1 thread, unbatched, no cache", true, "none", naive);
@@ -207,8 +215,9 @@ int main(int argc, char** argv) {
 
   // Raw scoring grid (explanations off): isolates the matrix path, where
   // tiled batching, threads — and now the int8 kernels — are the levers.
-  std::printf("\n%-34s %9s %9s %9s %9s %7s %8s %9s\n", "config (scoring only)",
-              "req/s", "speedup", "p50 ms", "p99 ms", "batch", "hits", "coalesced");
+  std::printf("\n%-34s %9s %9s %8s %8s %8s %8s %6s %7s %9s\n",
+              "config (scoring only)", "req/s", "speedup", "p50 ms", "p90 ms",
+              "p99 ms", "max ms", "batch", "hits", "coalesced");
   const RunResult scoring_base = RunConfig(bundle, stream, 1, 1, 0, false);
   PrintRow("1 thread, unbatched", scoring_base, scoring_base.qps);
   record("1 thread, unbatched", false, "none", scoring_base);

@@ -17,6 +17,9 @@
 //     --cache C          cache capacity, 0 disables (default 4096)
 //     --max-inflight N   admission bound, 0 = unbounded (default 256)
 //     --max-queue N      queue-depth bound, 0 = unbounded (default 512)
+//     --deadline-ms D    default /v1/suggest latency budget when the
+//                        client sends no X-Deadline-Ms / binary deadline
+//                        field; 0 = no default budget (default 250)
 //     --duration S       seconds to serve; 0 = until SIGINT (default 0)
 
 #include <csignal>
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
   size_t cache = 4096;
   size_t max_inflight = 256;
   size_t max_queue = 512;
+  int deadline_ms = 250;
   int duration = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--model") && i + 1 < argc) {
@@ -68,13 +72,15 @@ int main(int argc, char** argv) {
       max_inflight = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (!std::strcmp(argv[i], "--max-queue") && i + 1 < argc) {
       max_queue = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--deadline-ms") && i + 1 < argc) {
+      deadline_ms = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--duration") && i + 1 < argc) {
       duration = std::atoi(argv[++i]);
     } else {
       std::printf(
           "usage: %s [--model PATH] [--host H] [--port P] [--loops N]"
           " [--threads T] [--batch B] [--cache C] [--max-inflight N]"
-          " [--max-queue N] [--duration S]\n",
+          " [--max-queue N] [--deadline-ms D] [--duration S]\n",
           argv[0]);
       return 1;
     }
@@ -91,7 +97,11 @@ int main(int argc, char** argv) {
   service_options.admission.max_queue_depth = max_queue;
   serve::SuggestionService service(std::move(bundle), service_options);
 
-  net::SuggestFrontend frontend(&service);
+  net::SuggestFrontendOptions frontend_options;
+  if (deadline_ms > 0) {
+    frontend_options.route_budgets.push_back({"/v1/suggest", deadline_ms});
+  }
+  net::SuggestFrontend frontend(&service, frontend_options);
   net::HttpServerOptions server_options;
   server_options.host = host;
   server_options.port = port;
@@ -106,12 +116,13 @@ int main(int argc, char** argv) {
   std::printf(
       "serving on http://%s:%d  (%d loop%s, %s; %d scoring threads;"
       " %s gemm; quantize=%s; admission: %zu in-flight / %zu queued;"
-      " feature width %d)\n",
+      " suggest budget %d ms; feature width %d)\n",
       host.c_str(), server.port(), server.num_loops(),
       server.num_loops() == 1 ? "" : "s",
       server.using_reuseport() ? "SO_REUSEPORT" : "fd handoff",
       service.Stats().num_threads, service.Stats().gemm_backend.c_str(),
-      service.Stats().quantization.c_str(), max_inflight, max_queue, width);
+      service.Stats().quantization.c_str(), max_inflight, max_queue,
+      deadline_ms, width);
   std::printf("try:  curl http://%s:%d/healthz\n", host.c_str(), server.port());
   std::printf("      curl http://%s:%d/statsz\n", host.c_str(), server.port());
   std::printf(
@@ -138,12 +149,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(http.requests),
               static_cast<unsigned long long>(http.responses),
               static_cast<unsigned long long>(http.parse_errors));
-  std::printf("  service: %llu completed (%.0f qps), p50 %.3f ms, p99 %.3f ms\n",
+  std::printf("  service: %llu completed (%.0f qps), p50 %.3f ms, p90 %.3f ms,"
+              " p99 %.3f ms, max %.3f ms\n",
               static_cast<unsigned long long>(stats.completed), stats.qps,
-              stats.p50_latency_ms, stats.p99_latency_ms);
-  std::printf("  admission: %llu admitted, %llu shed; model v%llu (%llu reloads)\n",
+              stats.p50_latency_ms, stats.p90_latency_ms, stats.p99_latency_ms,
+              stats.max_latency_ms);
+  std::printf("  admission: %llu admitted, %llu shed, %llu deadline-shed,"
+              " %llu expired; model v%llu (%llu reloads)\n",
               static_cast<unsigned long long>(stats.admitted),
               static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.deadline_shed),
+              static_cast<unsigned long long>(stats.expired),
               static_cast<unsigned long long>(stats.model_version),
               static_cast<unsigned long long>(stats.reloads));
   return 0;

@@ -5,6 +5,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -14,6 +15,17 @@
 #include <cstring>
 
 namespace dssddi::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
 
 const std::string* ClientResponse::FindHeader(const std::string& name) const {
   for (const auto& [key, value] : headers) {
@@ -65,16 +77,31 @@ void HttpClient::Close() {
 
 io::Status HttpClient::Request(const std::string& method,
                                const std::string& target,
-                               const std::string& body, ClientResponse* out) {
+                               const std::string& body,
+                               const ClientRequestOptions& options,
+                               ClientResponse* out) {
   if (fd_ < 0) return io::Status::Error("not connected");
+  const bool has_deadline = options.deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options.deadline_ms);
+  int advertise = options.advertise_deadline_ms;
+  if (advertise < 0) advertise = has_deadline ? options.deadline_ms : 0;
+
   std::string wire;
-  wire.reserve(128 + body.size());
+  wire.reserve(160 + body.size());
   wire += method;
   wire.push_back(' ');
   wire += target;
   wire += " HTTP/1.1\r\nHost: dssddi\r\n";
+  if (advertise > 0) {
+    wire += "X-Deadline-Ms: ";
+    wire += std::to_string(advertise);
+    wire += "\r\n";
+  }
   if (!body.empty()) {
-    wire += "Content-Type: application/json\r\nContent-Length: ";
+    wire += "Content-Type: ";
+    wire += options.content_type;
+    wire += "\r\nContent-Length: ";
     wire += std::to_string(body.size());
     wire += "\r\n";
   }
@@ -83,6 +110,10 @@ io::Status HttpClient::Request(const std::string& method,
 
   size_t sent = 0;
   while (sent < wire.size()) {
+    if (has_deadline && RemainingMs(deadline) <= 0) {
+      Close();
+      return io::Status::Error("request deadline exceeded during send");
+    }
     const ssize_t n =
         ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
@@ -95,16 +126,46 @@ io::Status HttpClient::Request(const std::string& method,
     Close();
     return status;
   }
-  return ReadResponse(out);
+  return ReadResponse(deadline, has_deadline, out);
 }
 
-io::Status HttpClient::ReadResponse(ClientResponse* out) {
+io::Status HttpClient::WaitReadable(Clock::time_point deadline) {
+  for (;;) {
+    const int remaining = RemainingMs(deadline);
+    if (remaining <= 0) {
+      Close();
+      return io::Status::Error("request deadline exceeded awaiting response");
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, remaining);
+    if (ready > 0) return io::Status::Ok();
+    if (ready == 0) {
+      Close();
+      return io::Status::Error("request deadline exceeded awaiting response");
+    }
+    if (errno == EINTR) continue;
+    const io::Status status =
+        io::Status::Error(std::string("poll: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+}
+
+io::Status HttpClient::ReadResponse(Clock::time_point deadline,
+                                    bool has_deadline, ClientResponse* out) {
   *out = ClientResponse{};
   // 1. Accumulate until the header terminator.
   size_t header_end = std::string::npos;
   for (;;) {
     header_end = buffer_.find("\r\n\r\n");
     if (header_end != std::string::npos) break;
+    if (has_deadline) {
+      if (const io::Status waited = WaitReadable(deadline); !waited.ok) {
+        return waited;
+      }
+    }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {
@@ -159,6 +220,11 @@ io::Status HttpClient::ReadResponse(ClientResponse* out) {
     content_length = static_cast<size_t>(std::strtoull(length->c_str(), nullptr, 10));
   }
   while (buffer_.size() < content_length) {
+    if (has_deadline) {
+      if (const io::Status waited = WaitReadable(deadline); !waited.ok) {
+        return waited;
+      }
+    }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {

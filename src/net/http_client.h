@@ -1,6 +1,7 @@
 #ifndef DSSDDI_NET_HTTP_CLIENT_H_
 #define DSSDDI_NET_HTTP_CLIENT_H_
 
+#include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,10 +20,30 @@ struct ClientResponse {
   const std::string* FindHeader(const std::string& name) const;
 };
 
+/// Per-exchange knobs for HttpClient::Request.
+struct ClientRequestOptions {
+  /// Content-Type sent with a non-empty body ("application/json" for the
+  /// JSON route, wire::kContentType for binary frames).
+  std::string content_type = "application/json";
+  /// Overall exchange budget in milliseconds — connect-to-last-body-byte,
+  /// not per-read: a server trickling bytes cannot stretch the exchange
+  /// past it the way the fixed per-socket SO_RCVTIMEO alone could.
+  /// 0 = no budget (socket timeouts still apply).
+  int deadline_ms = 0;
+  /// Deadline advertised to the server via X-Deadline-Ms. -1 (default)
+  /// advertises `deadline_ms` when set; 0 suppresses the header; > 0
+  /// overrides it (tests use this to hand the server a tighter budget
+  /// than the client enforces, so the 504 still arrives).
+  int advertise_deadline_ms = -1;
+};
+
 /// Tiny blocking HTTP/1.1 client for tests and load generators: one
 /// connection, keep-alive reuse, fixed-length bodies only (no chunked).
 /// Reads carry a socket timeout so a wedged server fails the exchange
-/// instead of hanging the caller. Not thread-safe; use one per thread.
+/// instead of hanging the caller, and a per-request deadline bounds the
+/// whole exchange (and is propagated to the server as X-Deadline-Ms so
+/// loopback tests exercise real deadline plumbing). Not thread-safe;
+/// use one per thread.
 class HttpClient {
  public:
   HttpClient() = default;
@@ -36,15 +57,25 @@ class HttpClient {
   /// One request/response exchange on the open connection. `body` may be
   /// empty (GET). On success fills `*out`; if the server answered with
   /// `Connection: close` the socket is closed and the next Request needs
-  /// a fresh Connect.
+  /// a fresh Connect. A blown per-request deadline closes the socket too
+  /// (a late response would desynchronize the next exchange).
   io::Status Request(const std::string& method, const std::string& target,
-                     const std::string& body, ClientResponse* out);
+                     const std::string& body, const ClientRequestOptions& options,
+                     ClientResponse* out);
+  io::Status Request(const std::string& method, const std::string& target,
+                     const std::string& body, ClientResponse* out) {
+    return Request(method, target, body, ClientRequestOptions{}, out);
+  }
 
   bool connected() const { return fd_ >= 0; }
   void Close();
 
  private:
-  io::Status ReadResponse(ClientResponse* out);
+  io::Status ReadResponse(std::chrono::steady_clock::time_point deadline,
+                          bool has_deadline, ClientResponse* out);
+  /// Waits until the socket is readable or `deadline` passes; only
+  /// called when a per-request deadline is set.
+  io::Status WaitReadable(std::chrono::steady_clock::time_point deadline);
 
   int fd_ = -1;
   std::string buffer_;  // bytes read past the previous response

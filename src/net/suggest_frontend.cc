@@ -1,5 +1,6 @@
 #include "net/suggest_frontend.h"
 
+#include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -7,9 +8,16 @@
 
 #include "io/inference_bundle.h"
 #include "net/json.h"
+#include "net/wire.h"
 
 namespace dssddi::net {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
 
 HttpResponse JsonError(int status, const std::string& message) {
   HttpResponse response;
@@ -17,6 +25,18 @@ HttpResponse JsonError(int status, const std::string& message) {
   JsonWriter writer;
   writer.BeginObject().Key("error").String(message).EndObject();
   response.body = writer.str();
+  return response;
+}
+
+/// Error in the codec the client spoke: binary requests get binary
+/// error frames (same HTTP status), JSON requests get JSON bodies.
+HttpResponse CodecError(bool binary, int status, const std::string& message) {
+  if (!binary) return JsonError(status, message);
+  HttpResponse response;
+  response.status = status;
+  response.content_type = wire::kContentType;
+  response.body =
+      wire::EncodeError({static_cast<uint32_t>(status), message});
   return response;
 }
 
@@ -31,11 +51,13 @@ void WriteEdges(JsonWriter& writer, const char* key,
 
 std::string SuggestionToJson(const core::Suggestion& suggestion,
                              const serve::ModelSnapshot& snapshot,
-                             int64_t patient_id, bool explain) {
+                             int64_t patient_id, bool explain,
+                             uint64_t trace_id) {
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("patient_id").Int(patient_id);
   writer.Key("model_version").UInt(snapshot.version);
+  writer.Key("trace_id").UInt(trace_id);
   writer.Key("drugs").BeginArray();
   for (const int drug : suggestion.drugs) writer.Int(drug);
   writer.EndArray();
@@ -74,17 +96,65 @@ std::string SuggestionToJson(const core::Suggestion& suggestion,
   return writer.str();
 }
 
+std::string SuggestionToFrame(const core::Suggestion& suggestion,
+                              const serve::ModelSnapshot& snapshot,
+                              uint64_t trace_id) {
+  wire::SuggestResponseFrame frame;
+  frame.model_version = snapshot.version;
+  frame.trace_id = trace_id;
+  frame.drugs.assign(suggestion.drugs.begin(), suggestion.drugs.end());
+  frame.scores = suggestion.scores;
+  return wire::EncodeSuggestResponse(frame);
+}
+
+/// True when `value` names the binary frame media type, ignoring any
+/// parameters ("application/x-dssddi; charset=binary" still counts —
+/// proxies and client libraries append parameters routinely).
+bool IsBinaryContentType(const std::string& value) {
+  size_t end = value.find(';');
+  if (end == std::string::npos) end = value.size();
+  while (end > 0 && (value[end - 1] == ' ' || value[end - 1] == '\t')) --end;
+  size_t begin = 0;
+  while (begin < end && (value[begin] == ' ' || value[begin] == '\t')) ++begin;
+  return AsciiEqualsIgnoreCase(value.substr(begin, end - begin),
+                               wire::kContentType);
+}
+
+/// Strictly-numeric header parse for X-Deadline-Ms / X-Trace-Id; a
+/// malformed value is a client bug worth a 400, not a silent default.
+bool ParseUintHeader(const std::string& value, uint64_t* out) {
+  if (value.empty()) return false;
+  uint64_t parsed = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return false;
+    if (parsed > (UINT64_MAX - (c - '0')) / 10) return false;  // overflow
+    parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = parsed;
+  return true;
+}
+
 }  // namespace
+
+SuggestFrontend::SuggestFrontend(serve::SuggestionService* service,
+                                 const SuggestFrontendOptions& options)
+    : service_(service),
+      options_(options),
+      suggest_metrics_(std::make_shared<RouteMetrics>("/v1/suggest")),
+      healthz_metrics_(std::make_shared<RouteMetrics>("/healthz")),
+      statsz_metrics_(std::make_shared<RouteMetrics>("/statsz")),
+      reload_metrics_(std::make_shared<RouteMetrics>("/admin/reload")) {}
 
 void SuggestFrontend::Handle(const HttpRequest& request,
                              ResponseWriter writer) {
+  const Clock::time_point start = Clock::now();
   const std::string& target = request.target;
   if (target == "/v1/suggest") {
     if (request.method != "POST") {
       writer.Send(JsonError(405, "use POST for /v1/suggest"));
       return;
     }
-    HandleSuggest(request, writer);
+    HandleSuggest(request, writer, start);
     return;
   }
   // HEAD is rejected along with everything else non-GET: the server
@@ -96,6 +166,8 @@ void SuggestFrontend::Handle(const HttpRequest& request,
       return;
     }
     HandleHealth(writer);
+    healthz_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+    healthz_metrics_->latency.Record(MillisSince(start));
     return;
   }
   if (target == "/statsz") {
@@ -104,6 +176,8 @@ void SuggestFrontend::Handle(const HttpRequest& request,
       return;
     }
     HandleStats(writer);
+    statsz_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+    statsz_metrics_->latency.Record(MillisSince(start));
     return;
   }
   if (target == "/admin/reload") {
@@ -112,85 +186,194 @@ void SuggestFrontend::Handle(const HttpRequest& request,
       return;
     }
     HandleReload(request, writer);
+    reload_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+    reload_metrics_->latency.Record(MillisSince(start));
     return;
   }
   writer.Send(JsonError(404, "no route for '" + target + "'"));
 }
 
 void SuggestFrontend::HandleSuggest(const HttpRequest& request,
-                                    ResponseWriter writer) {
-  JsonValue document;
-  std::string parse_error;
-  if (!ParseJson(request.body, &document, &parse_error)) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    writer.Send(JsonError(400, "bad JSON: " + parse_error));
-    return;
-  }
-  if (!document.is_object()) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    writer.Send(JsonError(400, "body must be a JSON object"));
-    return;
-  }
-  const JsonValue* features = document.Find("features");
-  if (features == nullptr || !features->is_array()) {
-    bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    writer.Send(JsonError(400, "'features' must be an array of numbers"));
-    return;
-  }
+                                    ResponseWriter writer,
+                                    Clock::time_point start) {
+  // Content negotiation: the same route speaks JSON (default) or the
+  // binary frame codec, selected per request by Content-Type. The
+  // response always mirrors the request's codec.
+  const std::string* content_type = request.FindHeader("Content-Type");
+  const bool binary = content_type != nullptr && IsBinaryContentType(*content_type);
 
   serve::Request suggest;
-  suggest.features.reserve(features->Items().size());
-  for (const JsonValue& value : features->Items()) {
-    if (!value.is_number()) {
+  int64_t budget_ms = 0;  // 0 = fall through to the route default
+  uint64_t trace_id = 0;
+  serve::RequestPriority priority = serve::RequestPriority::kInteractive;
+
+  if (binary) {
+    wire::SuggestRequestFrame frame;
+    std::string frame_error;
+    if (!wire::DecodeSuggestRequest(request.body, &frame, &frame_error)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      writer.Send(CodecError(binary, 400, "bad frame: " + frame_error));
+      return;
+    }
+    suggest.patient_id = frame.patient_id;
+    suggest.features = std::move(frame.features);
+    suggest.k = frame.k;
+    suggest.explain = frame.explain;
+    budget_ms = frame.deadline_ms;
+    trace_id = frame.trace_id;
+    if (frame.batch_priority) priority = serve::RequestPriority::kBatch;
+  } else {
+    JsonValue document;
+    std::string parse_error;
+    if (!ParseJson(request.body, &document, &parse_error)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      writer.Send(JsonError(400, "bad JSON: " + parse_error));
+      return;
+    }
+    if (!document.is_object()) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      writer.Send(JsonError(400, "body must be a JSON object"));
+      return;
+    }
+    const JsonValue* features = document.Find("features");
+    if (features == nullptr || !features->is_array()) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       writer.Send(JsonError(400, "'features' must be an array of numbers"));
       return;
     }
-    suggest.features.push_back(static_cast<float>(value.AsDouble()));
+    suggest.features.reserve(features->Items().size());
+    for (const JsonValue& value : features->Items()) {
+      if (!value.is_number()) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        writer.Send(JsonError(400, "'features' must be an array of numbers"));
+        return;
+      }
+      suggest.features.push_back(static_cast<float>(value.AsDouble()));
+    }
+    if (const JsonValue* patient_id = document.Find("patient_id")) {
+      suggest.patient_id = patient_id->AsInt(-1);
+    }
+    if (const JsonValue* k = document.Find("k")) {
+      suggest.k = static_cast<int>(k->AsInt(3));
+    }
+    if (const JsonValue* explain = document.Find("explain")) {
+      suggest.explain = explain->AsBool(true);
+    }
   }
-  if (const JsonValue* patient_id = document.Find("patient_id")) {
-    suggest.patient_id = patient_id->AsInt(-1);
+
+  // Deadline / priority / trace headers apply to both codecs (for
+  // binary, a nonzero in-frame field wins over the header twin). The
+  // headers are validated whenever present — a garbage value is a
+  // client bug worth a 400 even when an in-frame field outranks it.
+  if (const std::string* header = request.FindHeader("X-Deadline-Ms")) {
+    uint64_t parsed = 0;
+    if (!ParseUintHeader(*header, &parsed) || parsed == 0 ||
+        parsed > INT32_MAX) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      writer.Send(CodecError(binary, 400,
+                             "X-Deadline-Ms must be a positive integer"));
+      return;
+    }
+    if (budget_ms == 0) budget_ms = static_cast<int64_t>(parsed);
   }
-  if (const JsonValue* k = document.Find("k")) {
-    suggest.k = static_cast<int>(k->AsInt(3));
+  if (const std::string* header = request.FindHeader("X-Trace-Id")) {
+    uint64_t parsed = 0;
+    if (!ParseUintHeader(*header, &parsed)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      writer.Send(CodecError(binary, 400, "X-Trace-Id must be an integer"));
+      return;
+    }
+    if (trace_id == 0) trace_id = parsed;
   }
-  if (const JsonValue* explain = document.Find("explain")) {
-    suggest.explain = explain->AsBool(true);
+  if (const std::string* header = request.FindHeader("X-Priority")) {
+    if (AsciiEqualsIgnoreCase(*header, "batch")) {
+      priority = serve::RequestPriority::kBatch;
+    } else if (!AsciiEqualsIgnoreCase(*header, "interactive")) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      writer.Send(CodecError(binary, 400,
+                             "X-Priority must be interactive or batch"));
+      return;
+    }
+  }
+  if (budget_ms == 0) budget_ms = options_.DefaultBudgetMs(request.target);
+  if (options_.max_budget_ms > 0 && budget_ms > options_.max_budget_ms) {
+    budget_ms = options_.max_budget_ms;
+  }
+  if (trace_id == 0) {
+    trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // The edge: one RequestContext, created here, carried through every
+  // layer. Arrival anchors at dispatch time (not post-parse), so parse
+  // cost already counts against the budget.
+  suggest.context.arrival = start;
+  suggest.context.priority = priority;
+  suggest.context.trace_id = trace_id;
+  if (budget_ms > 0) {
+    suggest.context.deadline = start + std::chrono::milliseconds(budget_ms);
   }
 
   const int64_t patient_id = suggest.patient_id;
   const bool explain = suggest.explain;
   serve::SuggestionService* service = service_;
-  const bool admitted = service_->TrySubmitAsync(
-      std::move(suggest),
-      [writer, service, patient_id, explain](
-          core::Suggestion suggestion,
-          std::shared_ptr<const serve::ModelSnapshot> snapshot,
-          std::exception_ptr error) {
-        if (error) {
-          try {
-            std::rethrow_exception(error);
-          } catch (const std::invalid_argument& e) {
-            writer.Send(JsonError(400, e.what()));
-          } catch (const std::exception& e) {
-            writer.Send(JsonError(500, e.what()));
-          }
-          return;
-        }
-        // Serialize against the snapshot that actually produced the
-        // suggestion: under a concurrent reload the service's current
-        // snapshot may already be a different model with different
-        // drug names and version.
-        if (!snapshot) snapshot = service->snapshot();
-        HttpResponse response;
-        response.body =
-            SuggestionToJson(suggestion, *snapshot, patient_id, explain);
-        writer.Send(std::move(response));
-      });
-  if (!admitted) {
-    HttpResponse shed = JsonError(429, "overloaded, retry later");
-    shed.extra_headers.emplace_back("Retry-After", "1");
-    writer.Send(std::move(shed));
+  std::shared_ptr<RouteMetrics> metrics = suggest_metrics_;
+  const serve::AdmissionController::Decision decision =
+      service_->TrySubmitAsync(
+          std::move(suggest),
+          [writer, service, patient_id, explain, binary, trace_id, metrics,
+           start](core::Suggestion suggestion,
+                  std::shared_ptr<const serve::ModelSnapshot> snapshot,
+                  std::exception_ptr error) {
+            metrics->requests.fetch_add(1, std::memory_order_relaxed);
+            metrics->latency.Record(MillisSince(start));
+            if (error) {
+              try {
+                std::rethrow_exception(error);
+              } catch (const serve::DeadlineExceeded& e) {
+                writer.Send(CodecError(binary, 504, e.what()));
+              } catch (const std::invalid_argument& e) {
+                writer.Send(CodecError(binary, 400, e.what()));
+              } catch (const std::exception& e) {
+                writer.Send(CodecError(binary, 500, e.what()));
+              }
+              return;
+            }
+            // Serialize against the snapshot that actually produced the
+            // suggestion: under a concurrent reload the service's current
+            // snapshot may already be a different model with different
+            // drug names and version.
+            if (!snapshot) snapshot = service->snapshot();
+            HttpResponse response;
+            if (binary) {
+              response.content_type = wire::kContentType;
+              response.body = SuggestionToFrame(suggestion, *snapshot, trace_id);
+            } else {
+              response.body = SuggestionToJson(suggestion, *snapshot,
+                                               patient_id, explain, trace_id);
+            }
+            writer.Send(std::move(response));
+          });
+  switch (decision) {
+    case serve::AdmissionController::Decision::kAdmit:
+      break;
+    case serve::AdmissionController::Decision::kShedLoad: {
+      suggest_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+      suggest_metrics_->latency.Record(MillisSince(start));
+      HttpResponse shed = CodecError(binary, 429, "overloaded, retry later");
+      shed.extra_headers.emplace_back("Retry-After", "1");
+      writer.Send(std::move(shed));
+      break;
+    }
+    case serve::AdmissionController::Decision::kShedDeadline: {
+      // No Retry-After: the client's budget, not our load, was the
+      // problem — retrying with the same budget would shed again.
+      suggest_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+      suggest_metrics_->latency.Record(MillisSince(start));
+      writer.Send(CodecError(
+          binary, 504,
+          "deadline infeasible: remaining budget below observed service time"));
+      break;
+    }
   }
 }
 
@@ -214,13 +397,16 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
   json.Key("service").BeginObject()
       .Key("requests").UInt(stats.requests)
       .Key("completed").UInt(stats.completed)
+      .Key("expired").UInt(stats.expired)
       .Key("in_flight").UInt(stats.in_flight)
       .Key("queue_depth").UInt(stats.queue_depth)
       .Key("batches").UInt(stats.batches)
       .Key("mean_batch_size").Double(stats.mean_batch_size)
       .Key("qps").Double(stats.qps)
       .Key("p50_latency_ms").Double(stats.p50_latency_ms)
+      .Key("p90_latency_ms").Double(stats.p90_latency_ms)
       .Key("p99_latency_ms").Double(stats.p99_latency_ms)
+      .Key("max_latency_ms").Double(stats.max_latency_ms)
       .Key("num_threads").Int(stats.num_threads)
       .Key("gemm_backend").String(stats.gemm_backend)
       .Key("quantization").String(stats.quantization)
@@ -229,6 +415,7 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
   json.Key("admission").BeginObject()
       .Key("admitted").UInt(stats.admitted)
       .Key("shed").UInt(stats.shed)
+      .Key("deadline_shed").UInt(stats.deadline_shed)
       .EndObject();
   json.Key("cache").BeginObject()
       .Key("hits").UInt(stats.cache_hits)
@@ -236,6 +423,25 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
       .Key("hit_rate").Double(stats.cache_hit_rate)
       .Key("coalesced").UInt(stats.coalesced)
       .EndObject();
+  // Handler-observed per-route latency (dispatch to response send) —
+  // distinct from the service's scoring latency: it includes codec and
+  // queueing cost, which is exactly what per-route budgets bound.
+  json.Key("routes").BeginObject();
+  for (const auto* metrics :
+       {suggest_metrics_.get(), healthz_metrics_.get(), statsz_metrics_.get(),
+        reload_metrics_.get()}) {
+    const serve::LatencyTracker::Percentiles latency =
+        metrics->latency.Snapshot();
+    json.Key(metrics->route).BeginObject()
+        .Key("requests").UInt(metrics->requests.load(std::memory_order_relaxed))
+        .Key("default_budget_ms").Int(options_.DefaultBudgetMs(metrics->route))
+        .Key("p50_ms").Double(latency.p50_ms)
+        .Key("p90_ms").Double(latency.p90_ms)
+        .Key("p99_ms").Double(latency.p99_ms)
+        .Key("max_ms").Double(latency.max_ms)
+        .EndObject();
+  }
+  json.EndObject();
   json.Key("model").BeginObject()
       .Key("version").UInt(stats.model_version)
       .Key("reloads").UInt(stats.reloads)

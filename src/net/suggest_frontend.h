@@ -2,39 +2,82 @@
 #define DSSDDI_NET_SUGGEST_FRONTEND_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "net/http_server.h"
+#include "serve/latency_tracker.h"
 #include "serve/service.h"
 
 namespace dssddi::net {
 
+/// Front-end policy knobs, fixed at construction.
+struct SuggestFrontendOptions {
+  struct RouteBudget {
+    std::string route;  // exact target, e.g. "/v1/suggest"
+    int budget_ms = 0;
+  };
+  /// Default latency budgets applied per route when a request arrives
+  /// without an explicit deadline (no X-Deadline-Ms header / zero
+  /// binary deadline field). Only queued routes meaningfully expire —
+  /// /healthz, /statsz and /admin/reload answer inline on the loop
+  /// thread — but the table is keyed by route so new scoring routes get
+  /// budgets without new plumbing. Empty (default) = no default budgets.
+  std::vector<RouteBudget> route_budgets;
+  /// Ceiling clamped onto client-supplied budgets; 0 = no ceiling.
+  int max_budget_ms = 0;
+
+  int DefaultBudgetMs(const std::string& route) const {
+    for (const RouteBudget& entry : route_budgets) {
+      if (entry.route == route) return entry.budget_ms;
+    }
+    return 0;
+  }
+};
+
 /// HTTP API over a SuggestionService. Routes:
 ///
-///   POST /v1/suggest   {"patient_id":7,"features":[...],"k":3,"explain":true}
-///                      -> 200 {"drugs":[...],"scores":[...],...}
-///                      -> 400 malformed JSON / wrong feature width / bad k
-///                      -> 429 shed by the admission controller
+///   POST /v1/suggest   JSON body {"patient_id":7,"features":[...],"k":3,
+///                      "explain":true} — or, when Content-Type is
+///                      application/x-dssddi, one binary request frame
+///                      (see net/wire.h); the response mirrors the
+///                      request's codec.
+///                      -> 200 suggestion (JSON object / binary frame)
+///                      -> 400 malformed body / wrong feature width / bad k
+///                      -> 429 load-shed by the admission controller
+///                      -> 504 deadline-shed or expired before scoring
 ///   GET  /healthz      liveness + model version
-///   GET  /statsz       ServiceStats + admission + HTTP counters as JSON
+///   GET  /statsz       ServiceStats + admission + per-route latency +
+///                      HTTP counters as JSON
 ///   POST /admin/reload {"path":"/models/new.dssb"} -> hot-swaps the bundle
 ///                      -> 409 incompatible bundle, 400 bad body/file
+///
+/// Request-context edge: this is where a serve::RequestContext is born.
+/// Arrival is stamped on dispatch; the deadline comes from the
+/// X-Deadline-Ms header (JSON) or the frame's deadline field (binary),
+/// falling back to the route's default budget; X-Priority / the frame's
+/// priority flag picks the class; X-Trace-Id / the frame's trace id
+/// names the request (server-assigned when absent, echoed in binary
+/// responses). Every layer downstream — admission, batching, scoring —
+/// acts on that one context instead of re-deriving budgets.
 ///
 /// Scoring is fully asynchronous: the handler enqueues into the service
 /// and the completion (on a worker thread) sends through the
 /// ResponseWriter, so event-loop threads never wait on a model pass.
-/// Suggestion scores are serialized with %.9g, which round-trips
-/// binary32 exactly — a client parsing the JSON recovers bit-identical
-/// floats to an in-process `DssddiSystem::Suggest` call.
+/// JSON scores are serialized with %.9g, which round-trips binary32
+/// exactly; binary scores cross as raw binary32 — both routes deliver
+/// floats bit-identical to an in-process `DssddiSystem::Suggest` call.
 ///
 /// `/admin/reload` loads the bundle from local disk on the calling loop
 /// thread (admin traffic is rare; a short accept stall is acceptable)
 /// and swaps it in without draining in-flight requests.
 class SuggestFrontend {
  public:
-  explicit SuggestFrontend(serve::SuggestionService* service)
-      : service_(service) {}
+  explicit SuggestFrontend(serve::SuggestionService* service,
+                           const SuggestFrontendOptions& options = {});
 
   /// Optional: include the server's connection counters in /statsz.
   void AttachServer(const HttpServer* server) { http_ = server; }
@@ -49,19 +92,39 @@ class SuggestFrontend {
     };
   }
 
-  /// Requests rejected before reaching the service (bad JSON, bad route
-  /// bodies); 404/405s are not counted.
+  /// Requests rejected before reaching the service (bad JSON, bad
+  /// frames, bad deadline headers); 404/405s are not counted.
   uint64_t bad_requests() const { return bad_requests_.load(); }
 
+  const SuggestFrontendOptions& options() const { return options_; }
+
  private:
-  void HandleSuggest(const HttpRequest& request, ResponseWriter writer);
+  /// Per-route request count + handler-observed latency (dispatch to
+  /// response send). Held by shared_ptr because suggest completions run
+  /// on service worker threads and may outlive the frontend during
+  /// shutdown — the lambda keeps its metrics alive.
+  struct RouteMetrics {
+    explicit RouteMetrics(const char* name) : route(name), latency(1 << 12) {}
+    const char* route;
+    std::atomic<uint64_t> requests{0};
+    serve::LatencyTracker latency;
+  };
+
+  void HandleSuggest(const HttpRequest& request, ResponseWriter writer,
+                     std::chrono::steady_clock::time_point start);
   void HandleHealth(ResponseWriter writer) const;
   void HandleStats(ResponseWriter writer) const;
   void HandleReload(const HttpRequest& request, ResponseWriter writer);
 
   serve::SuggestionService* service_;
+  SuggestFrontendOptions options_;
   const HttpServer* http_ = nullptr;
   std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::shared_ptr<RouteMetrics> suggest_metrics_;
+  std::shared_ptr<RouteMetrics> healthz_metrics_;
+  std::shared_ptr<RouteMetrics> statsz_metrics_;
+  std::shared_ptr<RouteMetrics> reload_metrics_;
 };
 
 }  // namespace dssddi::net

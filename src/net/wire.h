@@ -1,0 +1,125 @@
+#ifndef DSSDDI_NET_WIRE_H_
+#define DSSDDI_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dssddi::net::wire {
+
+/// Compact binary framing for the suggest API, negotiated per request on
+/// the same port/route as JSON: a POST /v1/suggest whose Content-Type is
+/// `kContentType` carries one request frame and is answered with one
+/// response (or error) frame. Motivation: the JSON codec is the wire-cost
+/// ceiling of the serving stack — every feature float is printed to and
+/// parsed from decimal text. A frame moves the same floats as raw
+/// binary32 bytes, so scores are bit-exact by construction (no decimal
+/// round-trip to reason about) and encode/decode is a memcpy.
+///
+/// Frame layout (all integers little-endian, floats as binary32 bit
+/// patterns, no padding):
+///
+///   magic   u16 = 0x4453 ("DS")
+///   version u8  = 1
+///   type    u8    (FrameType)
+///   length  u32   payload byte count (the length prefix; the frame is
+///                 exactly 8 + length bytes, trailing bytes are rejected)
+///   payload
+///
+/// kSuggestRequest payload:
+///   patient_id  i64     cache identity; negative bypasses the cache
+///   deadline_ms u32     relative latency budget, 0 = none (the edge
+///                       converts it to an absolute RequestContext
+///                       deadline on arrival — the binary twin of the
+///                       JSON route's X-Deadline-Ms header)
+///   k           u16
+///   flags       u8      bit0 = explain, bit1 = batch priority class.
+///                       The response frame never carries an
+///                       explanation, so bit0 exists only to share the
+///                       explained-suggestion cache with JSON traffic
+///                       (the server computes + caches the full
+///                       explanation, answers with ids+scores). Leave
+///                       it clear — the default — for pure scoring;
+///                       setting it pays the subgraph-explanation cost
+///                       on every cache miss for output this codec
+///                       cannot return.
+///   reserved    u8      must be 0
+///   trace_id    u64     0 = server assigns one
+///   num_features u32
+///   features    f32 * num_features
+///
+/// kSuggestResponse payload:
+///   model_version u64
+///   trace_id      u64   echoed (or assigned) by the server
+///   count         u32
+///   drugs         i32 * count
+///   scores        f32 * count   bit-identical to the scoring kernels'
+///                               output — the binary route's contract
+///
+/// kError payload:
+///   status  u32   the HTTP status the error also carries
+///   msg_len u32
+///   message msg_len bytes (UTF-8)
+///
+/// Decoders are strict: wrong magic/version/type, truncated or oversized
+/// buffers, length-prefix mismatches and inconsistent internal counts
+/// all fail with a diagnostic instead of reading garbage.
+inline constexpr char kContentType[] = "application/x-dssddi";
+inline constexpr uint16_t kMagic = 0x4453;
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderBytes = 8;
+
+enum class FrameType : uint8_t {
+  kSuggestRequest = 1,
+  kSuggestResponse = 2,
+  kError = 3,
+};
+
+struct SuggestRequestFrame {
+  int64_t patient_id = -1;
+  uint32_t deadline_ms = 0;  // 0 = no deadline
+  int k = 3;
+  /// Compute + cache the full explained suggestion server-side (shared
+  /// with the JSON route's cache); the explanation itself is never
+  /// serialized into the response frame. Default off: pure scoring.
+  bool explain = false;
+  bool batch_priority = false;
+  uint64_t trace_id = 0;
+  std::vector<float> features;
+};
+
+struct SuggestResponseFrame {
+  uint64_t model_version = 0;
+  uint64_t trace_id = 0;
+  std::vector<int32_t> drugs;
+  std::vector<float> scores;  // bit-exact binary32
+};
+
+struct ErrorFrame {
+  uint32_t status = 500;
+  std::string message;
+};
+
+std::string EncodeSuggestRequest(const SuggestRequestFrame& frame);
+std::string EncodeSuggestResponse(const SuggestResponseFrame& frame);
+std::string EncodeError(const ErrorFrame& frame);
+
+/// Each decoder consumes exactly one complete frame of its type. On any
+/// violation it returns false with a diagnostic in `*error` and leaves
+/// `*out` unspecified.
+bool DecodeSuggestRequest(const std::string& buffer, SuggestRequestFrame* out,
+                          std::string* error);
+bool DecodeSuggestResponse(const std::string& buffer, SuggestResponseFrame* out,
+                           std::string* error);
+bool DecodeError(const std::string& buffer, ErrorFrame* out,
+                 std::string* error);
+
+/// Validates the 8-byte header only (magic, version, known type, length
+/// prefix consistent with buffer size) and reports the frame type — how
+/// a client tells a response frame from an error frame before decoding.
+bool PeekFrameType(const std::string& buffer, FrameType* out,
+                   std::string* error);
+
+}  // namespace dssddi::net::wire
+
+#endif  // DSSDDI_NET_WIRE_H_

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 namespace dssddi::serve {
 
-/// Load-shedding gate in front of the serving pipeline. Two independent
-/// bounds, both observed at admission time:
+/// Load-shedding gate in front of the serving pipeline. Three
+/// independent checks, all observed at admission time:
 ///
 ///  - `max_in_flight`: requests admitted but not yet completed. This is
 ///    the classic token gate — it caps the work (and memory: promises,
@@ -18,9 +19,18 @@ namespace dssddi::serve {
 ///    signal: once queues grow, every queued request is already paying
 ///    latency, so it is strictly better to shed new arrivals (HTTP 429)
 ///    than to let them join a line that can only get longer.
+///  - deadline feasibility: a request whose remaining latency budget
+///    cannot cover even the observed median service time is already
+///    lost — admitting it burns a batch slot to produce an answer the
+///    client will have abandoned. These sheds are counted separately
+///    (`deadline_shed`, HTTP 504) from the queue-based ones because
+///    they indicate *client* budgets out of step with service capacity,
+///    not raw overload.
 ///
-/// Either bound set to 0 disables that check. The controller is a pure
-/// policy + counters object: the caller supplies the current depths, the
+/// Either depth bound set to 0 disables that check; a request without a
+/// deadline (remaining budget = +infinity) never deadline-sheds. The
+/// controller is a pure policy + counters object: the caller supplies
+/// the current depths, remaining budget and the observed p50, the
 /// controller answers admit/shed and keeps cumulative counts. All
 /// methods are lock-free and safe from any thread.
 class AdmissionController {
@@ -30,32 +40,80 @@ class AdmissionController {
     size_t max_in_flight = 0;
     /// Batcher+pool queue-depth ceiling observed at admission; 0 = unbounded.
     size_t max_queue_depth = 0;
+    /// A deadline-carrying request is shed when its remaining budget is
+    /// below `deadline_headroom * observed_p50`. 1.0 sheds requests that
+    /// cannot cover the median service time; larger values shed earlier
+    /// (more headroom demanded), 0 sheds only already-expired requests.
+    double deadline_headroom = 1.0;
+  };
+
+  enum class Decision {
+    kAdmit,
+    kShedLoad,      // in-flight or queue-depth bound hit -> 429
+    kShedDeadline,  // remaining budget can't cover service time -> 504
   };
 
   struct Counters {
     uint64_t admitted = 0;
-    uint64_t shed = 0;
+    uint64_t shed = 0;           // load sheds only
+    uint64_t deadline_shed = 0;  // counted separately by design
   };
 
   AdmissionController() = default;
   explicit AdmissionController(const Options& options) : options_(options) {}
 
-  /// Decides one arrival given the current pipeline state. Updates the
-  /// admitted/shed counters as a side effect.
-  bool Admit(size_t in_flight, size_t queue_depth) {
+  /// Decides one arrival given the current pipeline state. The deadline
+  /// check runs first: a doomed request is not "overload" and must not
+  /// be retried-after like one. `remaining_budget_ms` is the request's
+  /// budget left right now (+infinity when it has no deadline);
+  /// `p50_service_ms` is the caller's rolling estimate (0 = unknown, in
+  /// which case only already-expired requests are deadline-shed).
+  /// Updates the counters as a side effect.
+  ///
+  /// Probing: every kProbeInterval'th estimate-driven shed candidate is
+  /// admitted instead. The p50 estimate is refreshed by completions, so
+  /// shedding every budget-infeasible request after a latency spike
+  /// would freeze a stale-high estimate in place and the 504s would
+  /// never stop; the occasional probe completes, pulls the estimate
+  /// back down, and reopens the gate. Requests whose budget is already
+  /// blown (remaining <= 0) are never probed — they cannot succeed.
+  Decision AdmitWithDeadline(size_t in_flight, size_t queue_depth,
+                             double remaining_budget_ms,
+                             double p50_service_ms) {
+    if (remaining_budget_ms <= 0.0) {
+      deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+      return Decision::kShedDeadline;
+    }
+    if (remaining_budget_ms < options_.deadline_headroom * p50_service_ms) {
+      const uint64_t nth =
+          probe_candidates_.fetch_add(1, std::memory_order_relaxed);
+      if (nth % kProbeInterval != kProbeInterval - 1) {
+        deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+        return Decision::kShedDeadline;
+      }
+      // Probe: fall through to the depth bounds like any admission.
+    }
     if ((options_.max_in_flight > 0 && in_flight >= options_.max_in_flight) ||
         (options_.max_queue_depth > 0 &&
          queue_depth >= options_.max_queue_depth)) {
       shed_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+      return Decision::kShedLoad;
     }
     admitted_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return Decision::kAdmit;
+  }
+
+  /// Depth-bounds-only flavor for callers without request deadlines.
+  bool Admit(size_t in_flight, size_t queue_depth) {
+    return AdmitWithDeadline(in_flight, queue_depth,
+                             std::numeric_limits<double>::infinity(),
+                             0.0) == Decision::kAdmit;
   }
 
   Counters counters() const {
     return {admitted_.load(std::memory_order_relaxed),
-            shed_.load(std::memory_order_relaxed)};
+            shed_.load(std::memory_order_relaxed),
+            deadline_shed_.load(std::memory_order_relaxed)};
   }
 
   const Options& options() const { return options_; }
@@ -64,9 +122,13 @@ class AdmissionController {
   }
 
  private:
+  static constexpr uint64_t kProbeInterval = 16;
+
   Options options_;
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_shed_{0};
+  std::atomic<uint64_t> probe_candidates_{0};
 };
 
 }  // namespace dssddi::serve

@@ -1,0 +1,107 @@
+#ifndef DSSDDI_SERVE_LATENCY_TRACKER_H_
+#define DSSDDI_SERVE_LATENCY_TRACKER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dssddi::serve {
+
+/// Ring-buffer latency sample over the most recent `window` completions
+/// with percentile snapshots. Shared by the service (overall scoring
+/// latency) and the HTTP front-end (per-route latency), and the source
+/// of the cheap cached p50 the admission controller consults on every
+/// arrival — Record refreshes that estimate periodically so the
+/// admission path never sorts anything.
+///
+/// Thread-safety: Record and Snapshot take one mutex; CachedP50Ms is a
+/// single relaxed atomic load, safe (and cheap) from any thread.
+class LatencyTracker {
+ public:
+  struct Percentiles {
+    uint64_t count = 0;  // samples recorded since construction
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;  // max over the current window, not all time
+  };
+
+  explicit LatencyTracker(size_t window) : ring_(std::max<size_t>(window, 16)) {}
+
+  LatencyTracker(const LatencyTracker&) = delete;
+  LatencyTracker& operator=(const LatencyTracker&) = delete;
+
+  void Record(double millis) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_[next_] = millis;
+    next_ = (next_ + 1) % ring_.size();
+    if (count_ < ring_.size()) ++count_;
+    ++recorded_;
+    // Refresh the admission-path p50 estimate every kRefreshEvery
+    // samples, over only the most recent kRefreshSample entries — not
+    // the whole ring. The full window (default 32k) would make every
+    // 64th completion pay an O(window) copy+select inside the mutex all
+    // completions share, and a fresher sample tracks load shifts better
+    // anyway. `scratch_` is reused so the refresh never allocates.
+    if (recorded_ % kRefreshEvery == 0) {
+      const size_t n = std::min(count_, kRefreshSample);
+      scratch_.clear();
+      for (size_t i = 0; i < n; ++i) {
+        // Walk backwards from the most recent sample, wrapping.
+        const size_t index = (next_ + ring_.size() - 1 - i) % ring_.size();
+        scratch_.push_back(ring_[index]);
+      }
+      const size_t rank = (n - 1) / 2;
+      std::nth_element(scratch_.begin(), scratch_.begin() + rank,
+                       scratch_.end());
+      cached_p50_ms_.store(scratch_[rank], std::memory_order_relaxed);
+    }
+  }
+
+  /// Rolling p50 estimate for deadline-aware admission; 0.0 until the
+  /// first refresh (kRefreshEvery samples), during which admission
+  /// treats the service time as unknown and sheds only on expiry.
+  double CachedP50Ms() const {
+    return cached_p50_ms_.load(std::memory_order_relaxed);
+  }
+
+  Percentiles Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Percentiles out;
+    out.count = recorded_;
+    if (count_ == 0) return out;
+    std::vector<double> sample(ring_.begin(), ring_.begin() + count_);
+    out.p50_ms = NearestRank(sample, 0.50);
+    out.p90_ms = NearestRank(sample, 0.90);
+    out.p99_ms = NearestRank(sample, 0.99);
+    out.max_ms = *std::max_element(sample.begin(), sample.end());
+    return out;
+  }
+
+  size_t window() const { return ring_.size(); }
+
+ private:
+  static constexpr uint64_t kRefreshEvery = 64;
+  static constexpr size_t kRefreshSample = 1024;
+
+  static double NearestRank(std::vector<double>& values, double q) {
+    const size_t rank = static_cast<size_t>(q * (values.size() - 1) + 0.5);
+    std::nth_element(values.begin(), values.begin() + rank, values.end());
+    return values[rank];
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;
+  std::vector<double> scratch_;  // refresh workspace, guarded by mutex_
+  size_t next_ = 0;
+  size_t count_ = 0;
+  uint64_t recorded_ = 0;
+  std::atomic<double> cached_p50_ms_{0.0};
+};
+
+}  // namespace dssddi::serve
+
+#endif  // DSSDDI_SERVE_LATENCY_TRACKER_H_

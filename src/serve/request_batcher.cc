@@ -1,13 +1,33 @@
 #include "serve/request_batcher.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace dssddi::serve {
+namespace {
 
-RequestBatcher::RequestBatcher(const Options& options, BatchHandler handler)
-    : options_(options), handler_(std::move(handler)) {
+/// Batch-formation order: most urgent first. Deadline is the primary
+/// key (no-deadline requests, deadline == max, naturally sort last),
+/// priority class breaks deadline ties, arrival keeps the rest FIFO.
+bool MoreUrgent(const PendingRequest& a, const PendingRequest& b) {
+  const auto da = a.request.context.deadline;
+  const auto db = b.request.context.deadline;
+  if (da != db) return da < db;
+  if (a.request.context.priority != b.request.context.priority) {
+    return a.request.context.priority < b.request.context.priority;
+  }
+  return a.enqueue_time < b.enqueue_time;
+}
+
+}  // namespace
+
+RequestBatcher::RequestBatcher(const Options& options, BatchHandler handler,
+                               ExpiredHandler expired_handler)
+    : options_(options),
+      handler_(std::move(handler)),
+      expired_handler_(std::move(expired_handler)) {
   DSSDDI_CHECK(handler_ != nullptr) << "RequestBatcher needs a batch handler";
   if (options_.max_batch_size < 1) options_.max_batch_size = 1;
   if (options_.max_wait_us < 0) options_.max_wait_us = 0;
@@ -40,7 +60,7 @@ void RequestBatcher::Enqueue(Request request, CacheKey key, Completion done) {
 
 RequestBatcher::DispatchCounters RequestBatcher::dispatch_counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return {batches_dispatched_, requests_dispatched_};
+  return {batches_dispatched_, requests_dispatched_, expired_dispatched_};
 }
 
 uint64_t RequestBatcher::batches_dispatched() const {
@@ -68,25 +88,83 @@ void RequestBatcher::DispatchLoop() {
       continue;
     }
     // Hold the batch open until it fills, the oldest request times out,
-    // or shutdown forces a flush.
+    // or shutdown forces a flush. The queue may have been re-ordered by
+    // an earlier deadline sort, so "oldest" is a scan, not front().
     if (options_.max_wait_us > 0) {
+      const auto oldest = std::min_element(
+          queue_.begin(), queue_.end(),
+          [](const PendingRequest& a, const PendingRequest& b) {
+            return a.enqueue_time < b.enqueue_time;
+          });
       const auto deadline =
-          queue_.front().enqueue_time + std::chrono::microseconds(options_.max_wait_us);
+          oldest->enqueue_time + std::chrono::microseconds(options_.max_wait_us);
       wake_.wait_until(lock, deadline, [this, max_batch] {
         return stopping_ || queue_.size() >= max_batch;
       });
     }
-    std::vector<PendingRequest> batch;
+
+    // Expiry sweep: requests whose deadline already passed leave the
+    // queue here — before scoring, without occupying one of the
+    // max_batch slots below — and are completed by the expired handler.
+    std::vector<PendingRequest> expired;
+    const auto now = std::chrono::steady_clock::now();
+    if (expired_handler_) {
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->request.context.ExpiredAt(now)) {
+          expired.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      expired_dispatched_ += expired.size();
+    }
+
+    // Oldest-deadline-first batch formation over the live remainder.
+    // Selection, not a full sort: only the `take` most urgent requests
+    // matter (a batch is one matrix pass; within-batch order is
+    // cosmetic), and this runs under the mutex Enqueue contends on.
     const size_t take = std::min(queue_.size(), max_batch);
+    if (take > 0 && queue_.size() > take) {
+      std::nth_element(queue_.begin(), queue_.begin() + take, queue_.end(),
+                       MoreUrgent);
+    }
+    if (take > 1) {
+      std::sort(queue_.begin(), queue_.begin() + take, MoreUrgent);
+    }
+    // Anti-starvation floor: once the longest-waiting request has been
+    // held past the batch window it claims a slot in this cut
+    // regardless of urgency. Without this, sustained deadline-carrying
+    // traffic could park a no-deadline (or far-deadline) request at the
+    // back of every selection forever; with it, the overdue FIFO head
+    // advances every cut while the other slots stay deadline-ordered.
+    if (take > 0 && queue_.size() > take) {
+      const auto oldest = std::min_element(
+          queue_.begin(), queue_.end(),
+          [](const PendingRequest& a, const PendingRequest& b) {
+            return a.enqueue_time < b.enqueue_time;
+          });
+      const bool overdue =
+          oldest->enqueue_time + std::chrono::microseconds(options_.max_wait_us) <=
+          now;
+      if (overdue && static_cast<size_t>(oldest - queue_.begin()) >= take) {
+        std::iter_swap(queue_.begin() + take - 1, oldest);
+      }
+    }
+    std::vector<PendingRequest> batch;
     batch.reserve(take);
     for (size_t i = 0; i < take; ++i) {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
-    ++batches_dispatched_;
-    requests_dispatched_ += batch.size();
+    if (!batch.empty()) {
+      ++batches_dispatched_;
+      requests_dispatched_ += batch.size();
+    }
+    if (batch.empty() && expired.empty()) continue;
     lock.unlock();
-    handler_(std::move(batch));
+    if (!expired.empty()) expired_handler_(std::move(expired));
+    if (!batch.empty()) handler_(std::move(batch));
     lock.lock();
   }
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/dssddi_system.h"
+#include "serve/request_context.h"
 #include "serve/suggestion_cache.h"
 
 namespace dssddi::serve {
@@ -30,6 +31,9 @@ struct Request {
   /// When false, the (comparatively expensive) Medical Support subgraph
   /// explanation is skipped and only drugs + scores are filled.
   bool explain = true;
+  /// Edge-created deadline/priority/trace metadata, carried through the
+  /// whole pipeline. Default-constructed = no deadline (library callers).
+  RequestContext context;
 };
 
 /// Completion sink for one request. On success `error` is null and
@@ -73,6 +77,17 @@ struct PendingRequest {
 /// waited `max_wait_us`, whichever comes first. The cut batch is handed
 /// to `handler` (which typically posts it onto a ThreadPool).
 ///
+/// Deadline awareness (only when an `expired_handler` is supplied): at
+/// every cut, requests whose RequestContext deadline has already passed
+/// are swept out of the queue — before scoring, without consuming a
+/// batch slot — and handed to `expired_handler` instead; the remaining
+/// live requests are batched oldest-deadline-first (priority, then
+/// arrival, break ties; no-deadline requests sort last), so the work
+/// most likely to still matter on delivery is scored first. One batch
+/// slot per cut is reserved for the longest-waiting request regardless
+/// of urgency, so sustained deadline traffic can delay a no-deadline
+/// request by at most queue_len/max_batch cuts, never starve it.
+///
 /// The destructor stops intake and flushes everything still queued, so
 /// no completion is ever abandoned.
 class RequestBatcher {
@@ -85,8 +100,12 @@ class RequestBatcher {
   };
 
   using BatchHandler = std::function<void(std::vector<PendingRequest>)>;
+  /// Receives the expired sweep of a cut; each pending request must
+  /// still be completed (typically failed with DeadlineExceeded).
+  using ExpiredHandler = std::function<void(std::vector<PendingRequest>)>;
 
-  RequestBatcher(const Options& options, BatchHandler handler);
+  RequestBatcher(const Options& options, BatchHandler handler,
+                 ExpiredHandler expired_handler = nullptr);
   ~RequestBatcher();
 
   RequestBatcher(const RequestBatcher&) = delete;
@@ -99,6 +118,8 @@ class RequestBatcher {
   struct DispatchCounters {
     uint64_t batches = 0;
     uint64_t requests = 0;
+    /// Requests swept to the expired handler instead of a batch slot.
+    uint64_t expired = 0;
   };
 
   /// Both counters from one lock acquisition — a consistent snapshot
@@ -116,6 +137,7 @@ class RequestBatcher {
 
   Options options_;
   BatchHandler handler_;
+  ExpiredHandler expired_handler_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
@@ -123,6 +145,7 @@ class RequestBatcher {
   bool stopping_ = false;
   uint64_t batches_dispatched_ = 0;
   uint64_t requests_dispatched_ = 0;
+  uint64_t expired_dispatched_ = 0;
 
   std::thread dispatcher_;
 };

@@ -1,0 +1,85 @@
+#ifndef DSSDDI_SERVE_REQUEST_CONTEXT_H_
+#define DSSDDI_SERVE_REQUEST_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace dssddi::serve {
+
+/// Why a request is allowed to be dropped: interactive traffic (a
+/// clinician waiting on a screen) outranks best-effort traffic (batch
+/// re-scoring, prefetchers) when deadlines tie.
+enum class RequestPriority : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+inline const char* RequestPriorityName(RequestPriority priority) {
+  return priority == RequestPriority::kBatch ? "batch" : "interactive";
+}
+
+/// Per-request metadata created once at the edge (the HTTP front-end,
+/// or any direct service caller) and carried unchanged through every
+/// layer — admission, batching, scoring — so each layer can act on the
+/// same clock instead of re-deriving budgets:
+///
+///  - `arrival` anchors queueing-time measurements,
+///  - `deadline` is the absolute instant after which the answer is
+///    worthless (time_point::max() = no deadline; the default, so plain
+///    library callers opt in rather than out),
+///  - `priority` breaks ties between equally-urgent requests,
+///  - `trace_id` names the request in logs, stats and wire responses.
+///
+/// All times are steady_clock: deadlines must survive wall-clock jumps.
+struct RequestContext {
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point arrival{};  // epoch for library callers; edge stamps now
+  Clock::time_point deadline = Clock::time_point::max();
+  RequestPriority priority = RequestPriority::kInteractive;
+  uint64_t trace_id = 0;
+
+  /// Edge constructor: stamps arrival now and converts a relative budget
+  /// into the absolute deadline. `budget_ms` <= 0 means no deadline.
+  static RequestContext AtEdge(
+      int64_t budget_ms,
+      RequestPriority priority = RequestPriority::kInteractive,
+      uint64_t trace_id = 0) {
+    RequestContext context;
+    context.arrival = Clock::now();
+    if (budget_ms > 0) {
+      context.deadline = context.arrival + std::chrono::milliseconds(budget_ms);
+    }
+    context.priority = priority;
+    context.trace_id = trace_id;
+    return context;
+  }
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+
+  bool ExpiredAt(Clock::time_point now) const {
+    return has_deadline() && now >= deadline;
+  }
+
+  /// Milliseconds of budget left at `now`; +infinity without a deadline,
+  /// negative once blown.
+  double RemainingMs(Clock::time_point now) const {
+    if (!has_deadline()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(deadline - now).count();
+  }
+};
+
+/// Completion error for a request dropped because its deadline passed
+/// before scoring started. The HTTP front-end maps it to 504; direct
+/// service callers catch it off the future. Distinct from load shedding
+/// (which never invokes the completion at all).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace dssddi::serve
+
+#endif  // DSSDDI_SERVE_REQUEST_CONTEXT_H_

@@ -41,19 +41,13 @@ CacheKey KeyFor(const Request& request, uint64_t generation) {
                   generation};
 }
 
-/// Nearest-rank percentile over an unsorted sample copy.
-double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  const size_t rank = static_cast<size_t>(q * (values.size() - 1) + 0.5);
-  std::nth_element(values.begin(), values.begin() + rank, values.end());
-  return values[rank];
-}
-
 }  // namespace
 
 SuggestionService::SuggestionService(io::InferenceBundle bundle,
                                      const ServiceOptions& options)
-    : options_(options), admission_(options.admission) {
+    : options_(options),
+      admission_(options.admission),
+      latency_(options.latency_window) {
   DSSDDI_CHECK(bundle.num_drugs() > 0) << "serving an empty bundle";
   if (options_.quantization != "auto") {
     tensor::kernels::QuantMode mode;
@@ -64,8 +58,7 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
   }
   snapshot_ = std::make_shared<const ModelSnapshot>(std::move(bundle),
                                                     version_.load());
-  if (options_.latency_window < 16) options_.latency_window = 16;
-  latency_ring_.resize(options_.latency_window, 0.0);
+  options_.latency_window = latency_.window();  // tracker clamps to >= 16
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<SuggestionCache>(options_.cache_capacity,
                                                options_.cache_shards);
@@ -75,11 +68,18 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
   batch_options.max_batch_size = options_.max_batch_size;
   batch_options.max_wait_us = options_.batch_wait_us;
   batcher_ = std::make_unique<RequestBatcher>(
-      batch_options, [this](std::vector<PendingRequest> batch) {
+      batch_options,
+      [this](std::vector<PendingRequest> batch) {
         pool_->Submit([this, shared = std::make_shared<std::vector<PendingRequest>>(
                                  std::move(batch))]() mutable {
           HandleBatch(std::move(*shared));
         });
+      },
+      // Expiry sweep sink: complete each swept request (and its
+      // coalesced waiters) with DeadlineExceeded on the dispatcher
+      // thread — cheap, no scoring, keeps in-flight accounting exact.
+      [this](std::vector<PendingRequest> expired) {
+        for (PendingRequest& pending : expired) ExpireRequest(pending);
       });
 }
 
@@ -102,6 +102,17 @@ void SuggestionService::SubmitAsync(Request request, Completion done) {
     return;
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fail-fast on a deadline that is already blown at submission: even a
+  // cache hit would be delivered late, so don't touch the cache or the
+  // singleflight table for it.
+  if (request.context.ExpiredAt(std::chrono::steady_clock::now())) {
+    PendingRequest pending;
+    pending.request = std::move(request);
+    pending.done = std::move(done);
+    ExpireRequest(pending, /*registered=*/false);
+    return;
+  }
 
   // Cache only fully-explained suggestions so a hit can answer any
   // explain=true request verbatim; explanation-free requests always go
@@ -132,10 +143,15 @@ void SuggestionService::SubmitAsync(Request request, Completion done) {
   batcher_->Enqueue(std::move(request), key, std::move(done));
 }
 
-bool SuggestionService::TrySubmitAsync(Request request, Completion done) {
-  if (!admission_.Admit(InFlight(), QueueDepth())) return false;
+AdmissionController::Decision SuggestionService::TrySubmitAsync(
+    Request request, Completion done) {
+  const double remaining_ms =
+      request.context.RemainingMs(std::chrono::steady_clock::now());
+  const AdmissionController::Decision decision = admission_.AdmitWithDeadline(
+      InFlight(), QueueDepth(), remaining_ms, latency_.CachedP50Ms());
+  if (decision != AdmissionController::Decision::kAdmit) return decision;
   SubmitAsync(std::move(request), std::move(done));
-  return true;
+  return decision;
 }
 
 std::future<core::Suggestion> SuggestionService::Submit(Request request) {
@@ -205,6 +221,23 @@ uint64_t SuggestionService::InFlight() const {
 
 void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
   if (batch.empty()) return;
+  // Last pre-scoring expiry check: the batcher swept at cut time, but
+  // waiting for a worker costs time too — a request that expired in the
+  // pool queue must not have a matrix row built for it.
+  {
+    const auto now = std::chrono::steady_clock::now();
+    size_t live = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].request.context.ExpiredAt(now)) {
+        ExpireRequest(batch[i]);
+      } else {
+        if (live != i) batch[live] = std::move(batch[i]);
+        ++live;
+      }
+    }
+    batch.resize(live);
+    if (batch.empty()) return;
+  }
   // Pin one model generation for the whole batch. A concurrent Reload
   // cannot free it (shared_ptr) and every row of this batch is scored by
   // the same weights.
@@ -282,6 +315,27 @@ void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
   }
 }
 
+void SuggestionService::ExpireRequest(PendingRequest& pending,
+                                      bool registered) {
+  const std::exception_ptr error = std::make_exception_ptr(DeadlineExceeded(
+      "deadline exceeded before scoring (trace " +
+      std::to_string(pending.request.context.trace_id) + ")"));
+  if (registered && cache_ && pending.request.explain &&
+      pending.request.patient_id >= 0) {
+    FailInflight(pending.key, error);
+  }
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  // Expired waits are deliberately NOT recorded as latency: the tracker
+  // feeds the admission gate's p50 service-time estimate, which doomed
+  // requests' queue time would inflate into a shed-everything spiral.
+  try {
+    pending.Fail(error);
+  } catch (...) {
+    DSSDDI_LOG(Warning) << "expiry completion threw; continuing";
+  }
+}
+
 core::Suggestion SuggestionService::BuildSuggestion(
     const ModelSnapshot& snapshot, const tensor::Matrix& scores, int row,
     const Request& request) {
@@ -338,10 +392,7 @@ void SuggestionService::FailInflight(const CacheKey& key,
 }
 
 void SuggestionService::RecordLatency(double millis) {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  latency_ring_[latency_next_] = millis;
-  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-  if (latency_count_ < latency_ring_.size()) ++latency_count_;
+  latency_.Record(millis);
 }
 
 ServiceStats SuggestionService::Stats() const {
@@ -364,6 +415,8 @@ ServiceStats SuggestionService::Stats() const {
   const AdmissionController::Counters admission = admission_.counters();
   stats.admitted = admission.admitted;
   stats.shed = admission.shed;
+  stats.deadline_shed = admission.deadline_shed;
+  stats.expired = expired_.load(std::memory_order_relaxed);
   stats.in_flight = InFlight();
   stats.queue_depth = QueueDepth();
   stats.model_version = snapshot()->version;
@@ -372,13 +425,11 @@ ServiceStats SuggestionService::Stats() const {
   stats.qps = stats.uptime_seconds > 0.0
                   ? static_cast<double>(stats.completed) / stats.uptime_seconds
                   : 0.0;
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    std::vector<double> sample(latency_ring_.begin(),
-                               latency_ring_.begin() + latency_count_);
-    stats.p50_latency_ms = Percentile(sample, 0.50);
-    stats.p99_latency_ms = Percentile(std::move(sample), 0.99);
-  }
+  const LatencyTracker::Percentiles latency = latency_.Snapshot();
+  stats.p50_latency_ms = latency.p50_ms;
+  stats.p90_latency_ms = latency.p90_ms;
+  stats.p99_latency_ms = latency.p99_ms;
+  stats.max_latency_ms = latency.max_ms;
   stats.num_threads = pool_->num_threads();
   stats.gemm_backend = tensor::kernels::ActiveBackendName();
   const std::shared_ptr<const ModelSnapshot> current = snapshot();

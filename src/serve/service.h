@@ -16,7 +16,9 @@
 #include "core/ms_module.h"
 #include "io/inference_bundle.h"
 #include "serve/admission_controller.h"
+#include "serve/latency_tracker.h"
 #include "serve/request_batcher.h"
+#include "serve/request_context.h"
 #include "serve/suggestion_cache.h"
 #include "serve/thread_pool.h"
 #include "util/stopwatch.h"
@@ -59,9 +61,16 @@ struct ServiceStats {
   /// Requests that attached to an identical in-flight query instead of
   /// being scored again (singleflight coalescing).
   uint64_t coalesced = 0;
-  /// Admission gate outcomes (TrySubmitAsync callers only).
+  /// Admission gate outcomes (TrySubmitAsync callers only). Load sheds
+  /// (`shed`, depth bounds -> 429) and deadline sheds (`deadline_shed`,
+  /// remaining budget < observed p50 -> 504) are counted separately.
   uint64_t admitted = 0;
   uint64_t shed = 0;
+  uint64_t deadline_shed = 0;
+  /// Requests dropped after admission because their deadline passed
+  /// before scoring started (batcher/worker expiry sweeps; completed
+  /// with DeadlineExceeded, never scored, never a batch slot).
+  uint64_t expired = 0;
   /// Accepted requests not yet completed / waiting for a worker, at the
   /// instant of the snapshot.
   uint64_t in_flight = 0;
@@ -73,7 +82,9 @@ struct ServiceStats {
   double uptime_seconds = 0.0;
   double qps = 0.0;            // completed / uptime
   double p50_latency_ms = 0.0;
+  double p90_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;  // over the latency window
   int num_threads = 0;
   /// Active GEMM backend ("reference" / "blocked") scoring every batch,
   /// so perf numbers are never attributed to the wrong kernel.
@@ -146,10 +157,22 @@ struct ModelSnapshot {
 /// version-keyed and flushed so a post-reload query can never be
 /// answered from pre-reload results.
 ///
-/// `TrySubmitAsync` additionally runs the AdmissionController token
-/// gate: when in-flight or queue-depth bounds are hit the request is
-/// shed (returns false, nothing enqueued) so overload degrades into
-/// fast rejections instead of unbounded queues.
+/// `TrySubmitAsync` additionally runs the AdmissionController gate:
+/// when in-flight or queue-depth bounds are hit the request is shed
+/// (kShedLoad, nothing enqueued) so overload degrades into fast
+/// rejections instead of unbounded queues, and a deadline-carrying
+/// request whose remaining budget cannot cover the observed p50 service
+/// time is shed as kShedDeadline before it wastes a batch slot.
+///
+/// Deadline propagation past admission: each request's RequestContext
+/// travels with it, the batcher sweeps already-expired requests out
+/// *before* scoring (completing them with DeadlineExceeded, counted in
+/// `expired`) and forms batches oldest-deadline-first, and the scoring
+/// worker re-checks on pickup. A singleflight waiter coalesced onto a
+/// leader inherits the leader's fate: if the leader expires, everyone
+/// riding it fails with DeadlineExceeded too (they asked the identical
+/// question; under deadline pressure re-scoring it for a follower would
+/// be exactly the wasted work expiry exists to avoid).
 ///
 /// Thread-safety: every public method may be called from any number of
 /// threads. Destruction flushes every in-flight request before
@@ -173,10 +196,11 @@ class SuggestionService {
   /// or the rejection exception. Never blocks the caller on scoring.
   void SubmitAsync(Request request, Completion done);
 
-  /// Admission-gated SubmitAsync. Returns false when the admission
-  /// controller sheds the request (done is NOT invoked); the HTTP
-  /// front-end maps that to 429 Too Many Requests.
-  bool TrySubmitAsync(Request request, Completion done);
+  /// Admission-gated SubmitAsync. On kShedLoad / kShedDeadline the
+  /// request is dropped and `done` is NOT invoked; the HTTP front-end
+  /// maps those to 429 Too Many Requests / 504 Gateway Timeout.
+  AdmissionController::Decision TrySubmitAsync(Request request,
+                                               Completion done);
 
   /// Submits all requests, waits, and returns the suggestions in order.
   std::vector<core::Suggestion> SubmitBatch(std::vector<Request> requests);
@@ -208,6 +232,12 @@ class SuggestionService {
   };
 
   void HandleBatch(std::vector<PendingRequest> batch);
+  /// Completes one already-expired request with DeadlineExceeded;
+  /// counts it expired + completed. `registered` says whether the
+  /// request's key was entered in the singleflight table (batcher/worker
+  /// sweeps) — pass false on the pre-registration fail-fast path, whose
+  /// default-constructed key must never be looked up.
+  void ExpireRequest(PendingRequest& pending, bool registered = true);
   core::Suggestion BuildSuggestion(const ModelSnapshot& snapshot,
                                    const tensor::Matrix& scores, int row,
                                    const Request& request);
@@ -231,15 +261,16 @@ class SuggestionService {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> expired_{0};
   util::Stopwatch uptime_;
 
   std::mutex inflight_mutex_;
   std::unordered_map<CacheKey, std::vector<Waiter>, CacheKeyHash> inflight_;
 
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latency_ring_;
-  size_t latency_next_ = 0;
-  size_t latency_count_ = 0;
+  /// Successful-completion latency only: expired requests never feed it,
+  /// so the cached p50 the admission gate consults stays an estimate of
+  /// real service time, not of how long doomed requests sat in queues.
+  LatencyTracker latency_;
 
   // Shutdown order (reverse of declaration): the batcher stops first and
   // flushes its queue into the pool, the pool then drains and joins, and

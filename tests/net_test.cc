@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "net/http_server.h"
 #include "net/json.h"
 #include "net/suggest_frontend.h"
+#include "net/wire.h"
 #include "serve/service.h"
 #include "tensor/kernels/gemm_backend.h"
 #include "test_support.h"
@@ -97,6 +99,152 @@ TEST(JsonTest, ParserRejectsMalformedDocuments) {
   ASSERT_TRUE(net::ParseJson("\"\\u00e9\\ud83d\\ude00\"", &document, &error))
       << error;
   EXPECT_EQ(document.AsString(), "\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+// ---------------------------------------------------------------------
+// Binary wire codec
+// ---------------------------------------------------------------------
+
+namespace wire = net::wire;
+
+TEST(WireTest, RequestFrameRoundTripsBitExactly) {
+  wire::SuggestRequestFrame frame;
+  frame.patient_id = 1234567890123ll;
+  frame.deadline_ms = 250;
+  frame.k = 5;
+  frame.explain = true;
+  frame.batch_priority = true;
+  frame.trace_id = 0xdeadbeefcafef00dull;
+  // Floats whose decimal round-trip is famously delicate; the binary
+  // codec must carry their exact bit patterns regardless.
+  frame.features = {0.1f, 1.0f / 3.0f, 1e-8f, -3.402823e38f,
+                    1.17549435e-38f, -0.0f, 2.0000002f};
+
+  const std::string encoded = wire::EncodeSuggestRequest(frame);
+  EXPECT_EQ(encoded.size(),
+            wire::kHeaderBytes + 28 + 4 * frame.features.size());
+  wire::FrameType type;
+  std::string error;
+  ASSERT_TRUE(wire::PeekFrameType(encoded, &type, &error)) << error;
+  EXPECT_EQ(type, wire::FrameType::kSuggestRequest);
+
+  wire::SuggestRequestFrame decoded;
+  ASSERT_TRUE(wire::DecodeSuggestRequest(encoded, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.patient_id, frame.patient_id);
+  EXPECT_EQ(decoded.deadline_ms, frame.deadline_ms);
+  EXPECT_EQ(decoded.k, frame.k);
+  EXPECT_EQ(decoded.explain, frame.explain);
+  EXPECT_EQ(decoded.batch_priority, frame.batch_priority);
+  EXPECT_EQ(decoded.trace_id, frame.trace_id);
+  ASSERT_EQ(decoded.features.size(), frame.features.size());
+  EXPECT_EQ(std::memcmp(decoded.features.data(), frame.features.data(),
+                        frame.features.size() * sizeof(float)),
+            0);
+}
+
+TEST(WireTest, ResponseAndErrorFramesRoundTrip) {
+  wire::SuggestResponseFrame response;
+  response.model_version = 7;
+  response.trace_id = 99;
+  response.drugs = {5, 0, -1, 2147483647};
+  response.scores = {0.49999997f, -0.0f, 1e-8f, 3.14159274f};
+  const std::string encoded = wire::EncodeSuggestResponse(response);
+
+  wire::SuggestResponseFrame decoded;
+  std::string error;
+  ASSERT_TRUE(wire::DecodeSuggestResponse(encoded, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.model_version, 7u);
+  EXPECT_EQ(decoded.trace_id, 99u);
+  EXPECT_EQ(decoded.drugs, response.drugs);
+  ASSERT_EQ(decoded.scores.size(), response.scores.size());
+  EXPECT_EQ(std::memcmp(decoded.scores.data(), response.scores.data(),
+                        response.scores.size() * sizeof(float)),
+            0);
+
+  wire::ErrorFrame failure{429, "overloaded, retry later"};
+  wire::ErrorFrame failure_decoded;
+  ASSERT_TRUE(wire::DecodeError(wire::EncodeError(failure), &failure_decoded,
+                                &error))
+      << error;
+  EXPECT_EQ(failure_decoded.status, 429u);
+  EXPECT_EQ(failure_decoded.message, "overloaded, retry later");
+  // An empty message is legal (and the smallest possible error frame).
+  ASSERT_TRUE(wire::DecodeError(wire::EncodeError({500, ""}), &failure_decoded,
+                                &error))
+      << error;
+  EXPECT_EQ(failure_decoded.message, "");
+}
+
+TEST(WireTest, CorruptFrameSweepRejectsEveryMutation) {
+  wire::SuggestRequestFrame frame;
+  frame.patient_id = 42;
+  frame.deadline_ms = 100;
+  frame.k = 3;
+  frame.features = {1.0f, -2.5f, 0.25f};
+  const std::string good = wire::EncodeSuggestRequest(frame);
+  wire::SuggestRequestFrame out;
+  std::string error;
+  ASSERT_TRUE(wire::DecodeSuggestRequest(good, &out, &error)) << error;
+
+  // Truncation: every strict prefix — header cut short, payload cut
+  // short, feature array cut mid-float — must fail cleanly.
+  for (size_t n = 0; n < good.size(); ++n) {
+    EXPECT_FALSE(wire::DecodeSuggestRequest(good.substr(0, n), &out, &error))
+        << "prefix of " << n << " bytes decoded";
+  }
+  // Oversized: trailing bytes past the declared payload length.
+  EXPECT_FALSE(wire::DecodeSuggestRequest(good + "x", &out, &error));
+  EXPECT_FALSE(
+      wire::DecodeSuggestRequest(good + std::string(64, '\0'), &out, &error));
+
+  const auto mutate = [&](size_t offset, char value) {
+    std::string bad = good;
+    bad[offset] = value;
+    return bad;
+  };
+  // Bad magic (either byte), bad version, unknown frame type.
+  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(0, 'X'), &out, &error));
+  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(1, 'X'), &out, &error));
+  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(2, 9), &out, &error));
+  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(3, 77), &out, &error));
+  // Right header, wrong frame type for the decoder called.
+  EXPECT_FALSE(wire::DecodeSuggestRequest(
+      wire::EncodeError({400, "nope"}), &out, &error));
+  wire::SuggestResponseFrame response_out;
+  EXPECT_FALSE(wire::DecodeSuggestResponse(good, &response_out, &error));
+  // Length prefix lies about the payload size (both directions).
+  EXPECT_FALSE(wire::DecodeSuggestRequest(
+      mutate(4, static_cast<char>(good.size() - wire::kHeaderBytes - 1)),
+      &out, &error));
+  EXPECT_FALSE(wire::DecodeSuggestRequest(
+      mutate(4, static_cast<char>(good.size() - wire::kHeaderBytes + 1)),
+      &out, &error));
+  // Unknown flag bits and a nonzero reserved byte (offsets: header 8 +
+  // patient 8 + deadline 4 + k 2 = flags at 22, reserved at 23).
+  EXPECT_FALSE(
+      wire::DecodeSuggestRequest(mutate(22, '\x7f'), &out, &error));
+  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(23, 1), &out, &error));
+  // Feature count inconsistent with the bytes actually present
+  // (num_features little-endian at payload offset 24 -> absolute 32).
+  EXPECT_FALSE(wire::DecodeSuggestRequest(
+      mutate(32, static_cast<char>(frame.features.size() + 1)), &out, &error));
+  EXPECT_FALSE(wire::DecodeSuggestRequest(
+      mutate(32, static_cast<char>(frame.features.size() - 1)), &out, &error));
+  // Declared feature count near 2^32 must not provoke a giant resize.
+  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(35, '\x7f'), &out, &error));
+
+  // Response-side truncation sweep: same strictness on the client path.
+  wire::SuggestResponseFrame response;
+  response.drugs = {1, 2, 3};
+  response.scores = {0.5f, 0.25f, 0.125f};
+  const std::string good_response = wire::EncodeSuggestResponse(response);
+  for (size_t n = 0; n < good_response.size(); ++n) {
+    EXPECT_FALSE(wire::DecodeSuggestResponse(good_response.substr(0, n),
+                                             &response_out, &error))
+        << "response prefix of " << n << " bytes decoded";
+  }
+  EXPECT_FALSE(
+      wire::DecodeSuggestResponse(good_response + "y", &response_out, &error));
 }
 
 // ---------------------------------------------------------------------
@@ -680,6 +828,287 @@ TEST_F(NetEndToEndTest, ReloadUnderLoadSwapsWithoutCorruptingResponses) {
   EXPECT_EQ(conflict.status, 409);
   EXPECT_EQ(service.model_version(), 2u);
   server.Stop();
+}
+
+TEST_F(NetEndToEndTest, BinaryRouteBitIdenticalToJsonRouteAndDirectSuggest) {
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 2;
+  serve::SuggestionService service(*bundle_, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+  net::ClientRequestOptions binary_options;
+  binary_options.content_type = net::wire::kContentType;
+
+  const std::vector<int>& patients = dataset_->split.test;
+  const auto& features = dataset_->patient_features;
+  for (size_t i = 0; i < patients.size(); ++i) {
+    const int patient = patients[i];
+    const core::Suggestion expected = system_->Suggest(*dataset_, patient, 3);
+
+    // Binary request on /v1/suggest, negotiated purely by Content-Type.
+    net::wire::SuggestRequestFrame frame;
+    frame.patient_id = patient;
+    frame.k = 3;
+    frame.explain = true;
+    frame.trace_id = 1000 + i;
+    frame.features.assign(features.RowPtr(patient),
+                          features.RowPtr(patient) + features.cols());
+    net::ClientResponse response;
+    ASSERT_TRUE(client.Request("POST", "/v1/suggest",
+                               net::wire::EncodeSuggestRequest(frame),
+                               binary_options, &response)
+                    .ok);
+    ASSERT_EQ(response.status, 200) << response.body;
+    ASSERT_NE(response.FindHeader("Content-Type"), nullptr);
+    EXPECT_EQ(*response.FindHeader("Content-Type"), net::wire::kContentType);
+
+    net::wire::SuggestResponseFrame decoded;
+    std::string error;
+    ASSERT_TRUE(net::wire::DecodeSuggestResponse(response.body, &decoded,
+                                                 &error))
+        << error;
+    EXPECT_EQ(decoded.model_version, 1u);
+    EXPECT_EQ(decoded.trace_id, 1000 + i);  // client trace ids are echoed
+    ASSERT_EQ(decoded.drugs.size(), expected.drugs.size());
+    for (size_t d = 0; d < expected.drugs.size(); ++d) {
+      EXPECT_EQ(decoded.drugs[d], expected.drugs[d]) << "drug " << d;
+    }
+    ASSERT_EQ(decoded.scores.size(), expected.scores.size());
+    EXPECT_EQ(std::memcmp(decoded.scores.data(), expected.scores.data(),
+                          expected.scores.size() * sizeof(float)),
+              0)
+        << "binary scores not bit-identical for patient " << patient;
+
+    // The JSON route must agree bit-for-bit on the same connection.
+    ASSERT_TRUE(client.Request("POST", "/v1/suggest",
+                               SuggestBody(patient, 3, true), &response)
+                    .ok);
+    ASSERT_EQ(response.status, 200);
+    ExpectMatchesSuggestion(response.body, expected);
+  }
+
+  // A Content-Type with media-type parameters still selects the binary
+  // codec (proxies and client libraries append parameters routinely).
+  {
+    net::wire::SuggestRequestFrame frame;
+    frame.patient_id = patients[0];
+    frame.k = 3;
+    frame.features.assign(features.RowPtr(patients[0]),
+                          features.RowPtr(patients[0]) + features.cols());
+    net::ClientRequestOptions with_params = binary_options;
+    with_params.content_type = std::string(net::wire::kContentType) +
+                               "; charset=binary";
+    net::ClientResponse response;
+    ASSERT_TRUE(client.Request("POST", "/v1/suggest",
+                               net::wire::EncodeSuggestRequest(frame),
+                               with_params, &response)
+                    .ok);
+    ASSERT_EQ(response.status, 200) << response.body;
+    net::wire::SuggestResponseFrame decoded;
+    std::string error;
+    EXPECT_TRUE(net::wire::DecodeSuggestResponse(response.body, &decoded,
+                                                 &error))
+        << error;
+  }
+
+  // Malformed frames are a 400 with a binary error frame, not a closed
+  // connection or a JSON body.
+  net::ClientResponse bad_response;
+  ASSERT_TRUE(client.Request("POST", "/v1/suggest", "DSgarbage",
+                             binary_options, &bad_response)
+                  .ok);
+  EXPECT_EQ(bad_response.status, 400);
+  ASSERT_NE(bad_response.FindHeader("Content-Type"), nullptr);
+  EXPECT_EQ(*bad_response.FindHeader("Content-Type"), net::wire::kContentType);
+  net::wire::ErrorFrame bad_frame;
+  std::string error;
+  ASSERT_TRUE(net::wire::DecodeError(bad_response.body, &bad_frame, &error))
+      << error;
+  EXPECT_EQ(bad_frame.status, 400u);
+  EXPECT_EQ(frontend.bad_requests(), 1u);
+  server.Stop();
+}
+
+TEST_F(NetEndToEndTest, DeadlinedRequestsExpirePreScoringAcrossReload) {
+  const std::string other_path =
+      ::testing::TempDir() + "dssddi_net_deadline_reload.dssb";
+  ASSERT_TRUE(io::SaveInferenceBundle(other_path, *other_bundle_).ok);
+
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.max_batch_size = 16;
+  service_options.batch_wait_us = 30000;  // 30ms window: tight budgets expire in it
+  service_options.cache_capacity = 0;     // every request must cross the batcher
+  serve::SuggestionService service(*bundle_, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  frontend.AttachServer(&server);
+  ASSERT_TRUE(server.Start().ok);
+
+  const std::vector<int>& patients = dataset_->split.test;
+
+  // Phase A: every request advertises an 8ms budget but the batch window
+  // is 30ms, so all of them expire inside the batcher — pre-scoring, and
+  // without ever consuming a batch slot (batches stays 0).
+  {
+    net::HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+    net::ClientRequestOptions tight;
+    tight.deadline_ms = 5000;          // client keeps waiting for the 504
+    tight.advertise_deadline_ms = 8;   // ...but hands the server 8ms
+    for (int i = 0; i < 6; ++i) {
+      net::ClientResponse response;
+      ASSERT_TRUE(client.Request("POST", "/v1/suggest",
+                                 SuggestBody(patients[i % patients.size()], 3,
+                                             false),
+                                 tight, &response)
+                      .ok);
+      EXPECT_EQ(response.status, 504) << response.body;
+    }
+    const serve::ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.expired, 6u);
+    EXPECT_EQ(stats.batches, 0u) << "an expired request consumed a batch slot";
+    EXPECT_EQ(stats.completed, 6u);
+  }
+
+  // Phase B: reload under sustained mixed-deadline load. Generous
+  // budgets keep getting exactly one model's bit-exact answer through
+  // the swap; tight budgets keep getting 504s; nobody hangs.
+  std::vector<core::Suggestion> expect_old, expect_new;
+  for (const int patient : patients) {
+    expect_old.push_back(system_->Suggest(*dataset_, patient, 3));
+    expect_new.push_back(other_system_->Suggest(*dataset_, patient, 3));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> served{0};
+  std::atomic<int> timed_out{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {  // generous-budget clients
+    clients.emplace_back([&, t] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok) {
+        failures.fetch_add(100);
+        return;
+      }
+      net::ClientRequestOptions generous;
+      generous.deadline_ms = 10000;
+      for (int i = 0; !stop.load(); ++i) {
+        const size_t index = (t * 7 + i) % patients.size();
+        net::ClientResponse response;
+        if (!client.Request("POST", "/v1/suggest",
+                            SuggestBody(patients[index], 3, true), generous,
+                            &response)
+                 .ok ||
+            response.status != 200 ||
+            (!MatchesSuggestion(response.body, expect_old[index]) &&
+             !MatchesSuggestion(response.body, expect_new[index]))) {
+          failures.fetch_add(1);
+          return;
+        }
+        served.fetch_add(1);
+      }
+    });
+  }
+  clients.emplace_back([&] {  // tight-budget client: only ever 504s
+    net::HttpClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok) {
+      failures.fetch_add(100);
+      return;
+    }
+    net::ClientRequestOptions tight;
+    tight.deadline_ms = 5000;
+    tight.advertise_deadline_ms = 8;
+    for (int i = 0; !stop.load(); ++i) {
+      net::ClientResponse response;
+      if (!client.Request("POST", "/v1/suggest",
+                          SuggestBody(patients[i % patients.size()], 3, false),
+                          tight, &response)
+               .ok ||
+          response.status != 504) {
+        failures.fetch_add(1);
+        return;
+      }
+      timed_out.fetch_add(1);
+    }
+  });
+
+  while (served.load() < 15 && failures.load() == 0) std::this_thread::yield();
+  net::HttpClient admin;
+  ASSERT_TRUE(admin.Connect("127.0.0.1", server.port()).ok);
+  net::ClientResponse reload_response;
+  ASSERT_TRUE(admin.Request("POST", "/admin/reload",
+                            "{\"path\":\"" + other_path +
+                                "\",\"quantize\":\"none\"}",
+                            &reload_response)
+                  .ok);
+  ASSERT_EQ(reload_response.status, 200) << reload_response.body;
+  const int after_swap_target = served.load() + 15;
+  while (served.load() < after_swap_target && failures.load() == 0) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(timed_out.load(), 0);
+  const serve::ServiceStats stats = service.Stats();
+  // Every tight request was dropped by the batcher/worker sweep or the
+  // deadline-aware admission gate — never scored, all answered 504.
+  EXPECT_EQ(stats.expired + stats.deadline_shed,
+            6u + static_cast<uint64_t>(timed_out.load()));
+  EXPECT_GT(stats.expired, 0u);
+  EXPECT_EQ(stats.reloads, 1u);
+  server.Stop();
+}
+
+TEST(HttpClientDeadlineTest, BoundsWholeExchangeWhenServerStalls) {
+  // A listener that accepts into its backlog but never answers: the
+  // fixed SO_RCVTIMEO (5s) alone would stall the exchange for seconds;
+  // the per-request deadline must fail it in ~100ms and close the
+  // socket so the connection cannot desync.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok);
+  net::ClientRequestOptions options;
+  options.deadline_ms = 100;
+  net::ClientResponse response;
+  const auto start = std::chrono::steady_clock::now();
+  const io::Status status =
+      client.Request("GET", "/healthz", "", options, &response);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find("deadline"), std::string::npos)
+      << status.message;
+  EXPECT_LT(elapsed_ms, 3000.0);  // well under the 5s socket timeout
+  EXPECT_FALSE(client.connected());
+  ::close(listen_fd);
 }
 
 }  // namespace

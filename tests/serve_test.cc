@@ -5,7 +5,10 @@
 // DssddiSystem::Suggest directly for the same patients.
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -287,6 +290,188 @@ TEST(RequestBatcherTest, FlushesQueueOnDestruction) {
   EXPECT_EQ(handled.load(), 5);
 }
 
+TEST(RequestBatcherTest, SweepsExpiredAndOrdersBatchOldestDeadlineFirst) {
+  const auto now = std::chrono::steady_clock::now();
+  std::mutex mutex;
+  std::vector<std::vector<int64_t>> batches;      // patient ids per batch
+  std::vector<int64_t> expired_ids;
+  std::atomic<int> completions{0};
+
+  serve::RequestBatcher::Options options;
+  options.max_batch_size = 10;   // never filled: one cut takes everything
+  options.max_wait_us = 50000;   // all four requests land inside the window
+  serve::RequestBatcher batcher(
+      options,
+      [&](std::vector<serve::PendingRequest> batch) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          batches.emplace_back();
+          for (const auto& pending : batch) {
+            batches.back().push_back(pending.request.patient_id);
+          }
+        }
+        for (auto& pending : batch) {
+          pending.Complete({});
+          completions.fetch_add(1);
+        }
+      },
+      [&](std::vector<serve::PendingRequest> expired) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          for (const auto& pending : expired) {
+            expired_ids.push_back(pending.request.patient_id);
+          }
+        }
+        for (auto& pending : expired) {
+          pending.Fail(std::make_exception_ptr(
+              serve::DeadlineExceeded("expired in batcher")));
+          completions.fetch_add(1);
+        }
+      });
+
+  // Enqueue out of deadline order: id 1 has the latest deadline, id 3
+  // the earliest live one, id 9 is already expired on arrival.
+  const auto enqueue = [&](int64_t id,
+                           std::chrono::steady_clock::time_point deadline) {
+    serve::Request request;
+    request.patient_id = id;
+    request.context.deadline = deadline;
+    batcher.Enqueue(std::move(request), {},
+                    [](core::Suggestion,
+                       std::shared_ptr<const serve::ModelSnapshot>,
+                       std::exception_ptr) {});
+  };
+  enqueue(9, now - std::chrono::milliseconds(1));    // expired
+  enqueue(1, now + std::chrono::milliseconds(300));
+  enqueue(2, now + std::chrono::milliseconds(200));
+  enqueue(3, now + std::chrono::milliseconds(100));
+
+  while (completions.load() < 4) std::this_thread::yield();
+
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(expired_ids.size(), 1u);
+  EXPECT_EQ(expired_ids[0], 9);  // swept before scoring, no batch slot
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], (std::vector<int64_t>{3, 2, 1}));  // oldest first
+  const auto counters = batcher.dispatch_counters();
+  EXPECT_EQ(counters.batches, 1u);
+  EXPECT_EQ(counters.requests, 3u);
+  EXPECT_EQ(counters.expired, 1u);
+}
+
+TEST(RequestBatcherTest, NoDeadlineRequestsSortAfterDeadlinesAndKeepFifo) {
+  std::mutex mutex;
+  std::vector<int64_t> order;
+  std::atomic<int> completions{0};
+  serve::RequestBatcher::Options options;
+  options.max_batch_size = 10;
+  options.max_wait_us = 50000;
+  serve::RequestBatcher batcher(
+      options,
+      [&](std::vector<serve::PendingRequest> batch) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          for (const auto& pending : batch) {
+            order.push_back(pending.request.patient_id);
+          }
+        }
+        for (auto& pending : batch) {
+          pending.Complete({});
+          completions.fetch_add(1);
+        }
+      },
+      [](std::vector<serve::PendingRequest>) { FAIL() << "nothing expires"; });
+
+  const auto now = std::chrono::steady_clock::now();
+  const auto enqueue = [&](int64_t id, bool with_deadline) {
+    serve::Request request;
+    request.patient_id = id;
+    if (with_deadline) {
+      request.context.deadline = now + std::chrono::seconds(1);
+    }
+    batcher.Enqueue(std::move(request), {},
+                    [](core::Suggestion,
+                       std::shared_ptr<const serve::ModelSnapshot>,
+                       std::exception_ptr) {});
+  };
+  enqueue(10, /*with_deadline=*/false);
+  enqueue(11, /*with_deadline=*/false);
+  enqueue(12, /*with_deadline=*/true);
+
+  while (completions.load() < 3) std::this_thread::yield();
+  std::lock_guard<std::mutex> lock(mutex);
+  // The deadline-carrying request jumps the line; the no-deadline pair
+  // keeps its arrival order behind it.
+  EXPECT_EQ(order, (std::vector<int64_t>{12, 10, 11}));
+}
+
+TEST(RequestBatcherTest, OverdueRequestClaimsASlotDespiteUrgencyOrder) {
+  // A no-deadline request that has waited past the batch window is the
+  // overdue FIFO head and must claim a slot even though every
+  // deadline-carrying request outranks it on urgency — deadline traffic
+  // can never starve it. The handler stalls the dispatcher on a
+  // sacrificial first batch so the real queue builds (and ages past the
+  // window) deterministically, with no cut racing the enqueues.
+  std::mutex mutex;
+  std::vector<std::vector<int64_t>> batches;
+  std::atomic<int> completions{0};
+  std::atomic<bool> stalled{false};
+  std::atomic<bool> release{false};
+  serve::RequestBatcher::Options options;
+  options.max_batch_size = 2;
+  options.max_wait_us = 30000;
+  serve::RequestBatcher batcher(
+      options,
+      [&](std::vector<serve::PendingRequest> batch) {
+        if (batch.front().request.patient_id == 99) {
+          stalled.store(true);
+          while (!release.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        } else {
+          std::lock_guard<std::mutex> lock(mutex);
+          batches.emplace_back();
+          for (const auto& pending : batch) {
+            batches.back().push_back(pending.request.patient_id);
+          }
+        }
+        for (auto& pending : batch) {
+          pending.Complete({});
+          completions.fetch_add(1);
+        }
+      },
+      [](std::vector<serve::PendingRequest>) { FAIL() << "nothing expires"; });
+
+  const auto enqueue = [&](int64_t id, int deadline_ms) {
+    serve::Request request;
+    request.patient_id = id;
+    if (deadline_ms > 0) {
+      request.context.deadline = std::chrono::steady_clock::now() +
+                                 std::chrono::milliseconds(deadline_ms);
+    }
+    batcher.Enqueue(std::move(request), {},
+                    [](core::Suggestion,
+                       std::shared_ptr<const serve::ModelSnapshot>,
+                       std::exception_ptr) {});
+  };
+  enqueue(99, 0);  // sacrificial: parks the dispatcher in the handler
+  while (!stalled.load()) std::this_thread::yield();
+  enqueue(20, 0);     // no deadline, enqueued first -> overdue FIFO head
+  enqueue(21, 2000);  // both outrank id 20 on urgency...
+  enqueue(22, 1000);
+  // Age the queue past the 30ms window, then let the dispatcher cut.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  release.store(true);
+
+  while (completions.load() < 4) std::this_thread::yield();
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(batches.size(), 2u);
+  // First cut (2 slots): most urgent (22) plus the overdue head (20) —
+  // NOT the two deadline requests. Second cut drains 21.
+  EXPECT_EQ(batches[0], (std::vector<int64_t>{22, 20}));
+  EXPECT_EQ(batches[1], (std::vector<int64_t>{21}));
+}
+
 // ---------------------------------------------------------------------
 // SuggestionService end-to-end: identical to the in-process system.
 // ---------------------------------------------------------------------
@@ -546,6 +731,131 @@ TEST(AdmissionControllerTest, EnforcesBothBoundsAndCounts) {
   EXPECT_TRUE(open.Admit(1u << 20, 1u << 20));
 }
 
+TEST(AdmissionControllerTest, ExactlyAtBoundBehavior) {
+  // The bound is "at most N in flight": depth N-1 admits (bringing the
+  // total to N), depth N sheds. Off-by-one here either leaks a slot or
+  // wastes one forever.
+  serve::AdmissionController::Options options;
+  options.max_in_flight = 4;
+  serve::AdmissionController in_flight_gate(options);
+  EXPECT_TRUE(in_flight_gate.Admit(3, 0));
+  EXPECT_FALSE(in_flight_gate.Admit(4, 0));
+  EXPECT_FALSE(in_flight_gate.Admit(5, 0));
+
+  serve::AdmissionController::Options queue_options;
+  queue_options.max_queue_depth = 2;
+  serve::AdmissionController queue_gate(queue_options);
+  EXPECT_TRUE(queue_gate.Admit(0, 1));
+  EXPECT_FALSE(queue_gate.Admit(0, 2));
+}
+
+TEST(AdmissionControllerTest, BothBoundsZeroPassThroughCountsAdmitted) {
+  serve::AdmissionController open;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(open.Admit(static_cast<size_t>(i) << 20, 1u << 30));
+  }
+  const auto counters = open.counters();
+  EXPECT_EQ(counters.admitted, 100u);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(counters.deadline_shed, 0u);
+}
+
+TEST(AdmissionControllerTest, DeadlineFeasibilityShedsSeparately) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  serve::AdmissionController gate;  // depth bounds open
+  using Decision = serve::AdmissionController::Decision;
+
+  // Already expired: shed regardless of the (unknown) p50.
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, -3.0, 0.0), Decision::kShedDeadline);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 0.0, 0.0), Decision::kShedDeadline);
+  // Budget below observed p50: infeasible.
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 5.0, 10.0), Decision::kShedDeadline);
+  // Budget above p50, and no-deadline requests, pass.
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 20.0, 10.0), Decision::kAdmit);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, kInf, 1e12), Decision::kAdmit);
+  // Unknown p50 (0.0): only expiry sheds.
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 0.001, 0.0), Decision::kAdmit);
+
+  const auto counters = gate.counters();
+  EXPECT_EQ(counters.deadline_shed, 3u);
+  EXPECT_EQ(counters.shed, 0u);  // counted separately from load sheds
+  EXPECT_EQ(counters.admitted, 3u);
+
+  // Headroom factor demands margin beyond the bare p50.
+  serve::AdmissionController::Options cautious;
+  cautious.deadline_headroom = 2.0;
+  serve::AdmissionController cautious_gate(cautious);
+  EXPECT_EQ(cautious_gate.AdmitWithDeadline(0, 0, 15.0, 10.0),
+            Decision::kShedDeadline);
+  EXPECT_EQ(cautious_gate.AdmitWithDeadline(0, 0, 25.0, 10.0),
+            Decision::kAdmit);
+
+  // Deadline check runs before depth bounds: a doomed request is not
+  // counted (or reported) as overload.
+  serve::AdmissionController::Options bounded;
+  bounded.max_in_flight = 1;
+  serve::AdmissionController both_gate(bounded);
+  EXPECT_EQ(both_gate.AdmitWithDeadline(5, 0, 1.0, 10.0),
+            Decision::kShedDeadline);
+  EXPECT_EQ(both_gate.AdmitWithDeadline(5, 0, kInf, 0.0),
+            Decision::kShedLoad);
+}
+
+TEST(AdmissionControllerTest, ProbesEveryNthInfeasibleDeadline) {
+  using Decision = serve::AdmissionController::Decision;
+  // The p50 estimate only refreshes when requests complete; if every
+  // infeasible-budget request were shed, a stale-high estimate would
+  // keep the gate shut forever. Every 16th candidate goes through as a
+  // probe instead.
+  serve::AdmissionController gate;
+  int admitted = 0;
+  int shed = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (gate.AdmitWithDeadline(0, 0, 5.0, 10.0) == Decision::kAdmit) {
+      ++admitted;
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted, 2);  // the 16th and 32nd candidates
+  EXPECT_EQ(shed, 30);
+
+  // Already-expired budgets are never probed — they cannot succeed.
+  serve::AdmissionController expired_gate;
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(expired_gate.AdmitWithDeadline(0, 0, -1.0, 0.0),
+              Decision::kShedDeadline);
+  }
+}
+
+TEST(AdmissionControllerTest, ConcurrentAdmitCompleteCountersConsistent) {
+  // Hammer one gate from many threads with a mix of outcomes; every call
+  // must land in exactly one counter (no torn or lost increments).
+  serve::AdmissionController::Options options;
+  options.max_in_flight = 8;
+  serve::AdmissionController gate(options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gate, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t in_flight = static_cast<size_t>((t + i) % 16);
+        const double remaining =
+            (i % 5 == 0) ? -1.0 : std::numeric_limits<double>::infinity();
+        gate.AdmitWithDeadline(in_flight, 0, remaining, 0.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto counters = gate.counters();
+  EXPECT_EQ(counters.admitted + counters.shed + counters.deadline_shed,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(counters.admitted, 0u);
+  EXPECT_GT(counters.shed, 0u);
+  EXPECT_GT(counters.deadline_shed, 0u);
+}
+
 TEST_F(SuggestionServiceTest, TrySubmitShedsWhenInFlightBoundIsHit) {
   serve::ServiceOptions options;
   options.num_threads = 1;
@@ -555,24 +865,83 @@ TEST_F(SuggestionServiceTest, TrySubmitShedsWhenInFlightBoundIsHit) {
   serve::SuggestionService service(*bundle_, options);
 
   std::promise<core::Suggestion> first_done;
-  ASSERT_TRUE(service.TrySubmitAsync(
-      RequestFor(dataset_->split.test[0], 3),
-      [&first_done](core::Suggestion suggestion,
-                    std::shared_ptr<const serve::ModelSnapshot>,
-                    std::exception_ptr) {
-        first_done.set_value(std::move(suggestion));
-      }));
+  ASSERT_EQ(service.TrySubmitAsync(
+                RequestFor(dataset_->split.test[0], 3),
+                [&first_done](core::Suggestion suggestion,
+                              std::shared_ptr<const serve::ModelSnapshot>,
+                              std::exception_ptr) {
+                  first_done.set_value(std::move(suggestion));
+                }),
+            serve::AdmissionController::Decision::kAdmit);
   // The first request is parked in the batcher window, so the gate must
   // shed the second arrival instead of queuing it.
-  EXPECT_FALSE(service.TrySubmitAsync(
-      RequestFor(dataset_->split.test[1], 3),
-      [](core::Suggestion, std::shared_ptr<const serve::ModelSnapshot>,
-         std::exception_ptr) { FAIL() << "shed request ran"; }));
+  EXPECT_EQ(service.TrySubmitAsync(
+                RequestFor(dataset_->split.test[1], 3),
+                [](core::Suggestion, std::shared_ptr<const serve::ModelSnapshot>,
+                   std::exception_ptr) { FAIL() << "shed request ran"; }),
+            serve::AdmissionController::Decision::kShedLoad);
 
   first_done.get_future().get();
   const serve::ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.admitted, 1u);
   EXPECT_EQ(stats.shed, 1u);
+}
+
+TEST_F(SuggestionServiceTest, ExpiredRequestFailsWithDeadlineExceededUnscored) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;  // force the batcher path
+  serve::SuggestionService service(*bundle_, options);
+
+  serve::Request request = RequestFor(dataset_->split.test[0], 3);
+  request.context.arrival = std::chrono::steady_clock::now();
+  request.context.deadline =
+      request.context.arrival - std::chrono::milliseconds(1);  // already blown
+  std::future<core::Suggestion> future = service.Submit(std::move(request));
+  EXPECT_THROW(future.get(), serve::DeadlineExceeded);
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.batches, 0u);  // dropped before any matrix pass
+
+  // A request with a generous budget on the same service still scores.
+  serve::Request live = RequestFor(dataset_->split.test[0], 3);
+  live.context = serve::RequestContext::AtEdge(/*budget_ms=*/60000);
+  ExpectSameSuggestion(service.Submit(std::move(live)).get(),
+                       system_->Suggest(*dataset_, dataset_->split.test[0], 3));
+  EXPECT_EQ(service.Stats().expired, 1u);
+}
+
+TEST_F(SuggestionServiceTest, TrySubmitDeadlineShedsExpiredBudget) {
+  serve::SuggestionService service(*bundle_, {});
+  serve::Request request = RequestFor(dataset_->split.test[0], 3);
+  request.context.arrival = std::chrono::steady_clock::now();
+  request.context.deadline = request.context.arrival;  // zero budget
+  EXPECT_EQ(service.TrySubmitAsync(
+                std::move(request),
+                [](core::Suggestion, std::shared_ptr<const serve::ModelSnapshot>,
+                   std::exception_ptr) { FAIL() << "shed request ran"; }),
+            serve::AdmissionController::Decision::kShedDeadline);
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_shed, 1u);
+  EXPECT_EQ(stats.expired, 0u);   // never admitted, so never "expired"
+  EXPECT_EQ(stats.requests, 0u);  // and never submitted
+}
+
+TEST_F(SuggestionServiceTest, StatsReportOrderedLatencyPercentiles) {
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  serve::SuggestionService service(*bundle_, options);
+  const std::vector<int>& patients = dataset_->split.test;
+  for (int i = 0; i < 40; ++i) {
+    service.Submit(RequestFor(patients[i % patients.size()], 3)).get();
+  }
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p90_latency_ms);
+  EXPECT_LE(stats.p90_latency_ms, stats.p99_latency_ms);
+  EXPECT_LE(stats.p99_latency_ms, stats.max_latency_ms);
 }
 
 TEST_F(SuggestionServiceTest, ReloadSwapsModelAndFlushesCache) {
