@@ -22,8 +22,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -36,6 +38,8 @@
 #include "net/json.h"
 #include "net/suggest_frontend.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -236,7 +240,13 @@ int main(int argc, char** argv) {
   service_options.max_batch_size = 32;
   service_options.cache_capacity = 4096;
   serve::SuggestionService service(bundle, service_options);
-  net::SuggestFrontend frontend(&service);
+  // Every qps cell runs with trace sampling off: the numbers measure the
+  // serving fast path, and the sampling-off path is contractually free
+  // (zero allocations, zero clock reads). The traced cell further down
+  // turns sampling to 1 to buy the per-stage breakdown instead of qps.
+  net::SuggestFrontendOptions perf_frontend_options;
+  perf_frontend_options.trace_sample_every = 0;
+  net::SuggestFrontend frontend(&service, perf_frontend_options);
   net::HttpServerOptions server_options;
   server_options.port = 0;
   net::HttpServer server(server_options, frontend.AsHandler());
@@ -329,7 +339,7 @@ int main(int argc, char** argv) {
   tight_options.admission.max_in_flight = 4;
   tight_options.admission.max_queue_depth = 8;
   serve::SuggestionService tight_service(bundle, tight_options);
-  net::SuggestFrontend tight_frontend(&tight_service);
+  net::SuggestFrontend tight_frontend(&tight_service, perf_frontend_options);
   net::HttpServer tight_server(server_options, tight_frontend.AsHandler());
   if (const io::Status status = tight_server.Start(); !status.ok) {
     std::printf("error: %s\n", status.message.c_str());
@@ -353,6 +363,57 @@ int main(int argc, char** argv) {
   tight_server.Stop();
 
   // ------------------------------------------------------------------
+  // Traced cell: same workload with head-based sampling at 1 — every
+  // request carries a full per-stage trace. This is the worst-case
+  // tracing overhead configuration, run for attribution ("where does a
+  // request's time go"), not for the qps headline; comparing its qps
+  // against the matching open-admission cell above bounds the cost of
+  // always-on tracing.
+  // ------------------------------------------------------------------
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> stage_snaps;
+  std::shared_ptr<obs::Registry> stage_registry;
+  LoadResult traced_result;
+  {
+    serve::SuggestionService traced_service(bundle, service_options);
+    stage_registry = traced_service.registry();
+    net::SuggestFrontendOptions traced_frontend_options;
+    traced_frontend_options.trace_sample_every = 1;
+    net::SuggestFrontend traced_frontend(&traced_service,
+                                         traced_frontend_options);
+    net::HttpServer traced_server(server_options, traced_frontend.AsHandler());
+    if (const io::Status status = traced_server.Start(); !status.ok) {
+      std::printf("error: %s\n", status.message.c_str());
+      return 1;
+    }
+    std::printf("\nwith every request traced (sampling=1, binary codec):\n");
+    PrintHeaderRow();
+    traced_result = RunLoad(traced_server.port(), frame_bodies, 8,
+                            std::min(num_requests, 1000), frame_options);
+    PrintRow("binary", 8, traced_result);
+    record("traced", "binary", 8, traced_result);
+    grid_errors += traced_result.errors;
+    traced_server.Stop();
+    // Scope exit destroys the service (draining its pool), so every
+    // in-flight trace has finalized into the registry's stage
+    // histograms before the snapshots below; the registry outlives it.
+  }
+  std::printf("\n%14s %9s %9s %9s %9s\n", "stage", "count", "p50 ms", "p99 ms",
+              "mean ms");
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    const char* name = obs::StageName(static_cast<obs::Stage>(s));
+    const obs::HistogramSnapshot snap =
+        stage_registry
+            ->GetHistogram("dssddi_stage_latency_ms", "", {{"stage", name}})
+            ->Snapshot();
+    if (snap.count == 0) continue;
+    std::printf("%14s %9llu %9.3f %9.3f %9.3f\n", name,
+                static_cast<unsigned long long>(snap.count),
+                snap.Quantile(0.50), snap.Quantile(0.99),
+                snap.sum / static_cast<double>(snap.count));
+    stage_snaps.emplace_back(name, snap);
+  }
+
+  // ------------------------------------------------------------------
   // Grid 3: deadline propagation — every request advertises a 2ms
   // budget while the batch window alone is 5ms, so the pipeline should
   // answer 504 (shed at admission once the p50 is known, or expired in
@@ -363,7 +424,8 @@ int main(int argc, char** argv) {
   deadline_service_options.batch_wait_us = 5000;
   serve::SuggestionService deadline_service(std::move(bundle),
                                             deadline_service_options);
-  net::SuggestFrontend deadline_frontend(&deadline_service);
+  net::SuggestFrontend deadline_frontend(&deadline_service,
+                                         perf_frontend_options);
   net::HttpServer deadline_server(server_options,
                                   deadline_frontend.AsHandler());
   if (const io::Status status = deadline_server.Start(); !status.ok) {
@@ -395,6 +457,19 @@ int main(int argc, char** argv) {
               ok ? "PASS: zero errors and binary framing beats JSON on qps"
                  : "FAIL: errors observed or binary framing showed no win");
   json.EndArray();
+  json.Key("stage_breakdown").BeginArray();
+  for (const auto& [stage, snap] : stage_snaps) {
+    json.BeginObject()
+        .Key("stage").String(stage)
+        .Key("count").UInt(snap.count)
+        .Key("p50_ms").Double(snap.Quantile(0.50))
+        .Key("p99_ms").Double(snap.Quantile(0.99))
+        .Key("mean_ms").Double(snap.sum / static_cast<double>(snap.count))
+        .Key("max_ms").Double(snap.max)
+        .EndObject();
+  }
+  json.EndArray();
+  json.Key("traced_qps").Double(traced_result.qps);
   json.Key("binary_vs_json_qps_speedup").Double(qps_speedup);
   json.Key("binary_vs_json_p50_speedup").Double(p50_speedup);
   json.Key("deadline_expired").UInt(deadline_stats.expired);

@@ -17,8 +17,10 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -27,6 +29,8 @@
 #include "data/dataset.h"
 #include "io/inference_bundle.h"
 #include "net/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "tensor/kernels/gemm_backend.h"
 #include "tensor/kernels/qgemm.h"
@@ -97,6 +101,58 @@ RunResult RunConfig(const io::InferenceBundle& bundle,
   result.hit_rate = stats.cache_hit_rate;
   result.coalesced = stats.coalesced;
   return result;
+}
+
+/// Replays `stream` once more with every request traced (the service's
+/// own TraceCollector, no HTTP edge: traces are attached directly to the
+/// RequestContext) and returns the per-stage latency snapshots. The
+/// perf grids above run untraced — this pass buys attribution, not qps.
+std::vector<std::pair<std::string, obs::HistogramSnapshot>>
+RunTracedBreakdown(const io::InferenceBundle& bundle,
+                   const std::vector<StreamQuery>& stream, int threads,
+                   int batch, bool explain) {
+  std::shared_ptr<obs::Registry> registry;
+  {
+    serve::ServiceOptions options;
+    options.num_threads = threads;
+    options.max_batch_size = batch;
+    options.cache_capacity = 0;  // every request pays real scoring
+    serve::SuggestionService service(bundle, options);
+    registry = service.registry();
+    obs::TraceSampler* sampler =
+        service.trace_collector()->SamplerForRoute("bench");
+    sampler->set_every(1);
+
+    constexpr size_t kWindow = 256;
+    std::deque<std::future<core::Suggestion>> in_flight;
+    uint64_t trace_id = 1;
+    for (const StreamQuery& query : stream) {
+      if (in_flight.size() >= kWindow) {
+        in_flight.front().get();
+        in_flight.pop_front();
+      }
+      serve::Request request;
+      request.patient_id = query.patient_id;
+      request.features = *query.features;
+      request.k = 3;
+      request.explain = explain;
+      request.context.trace = service.trace_collector()->MaybeStartTrace(
+          sampler, "bench", trace_id++);
+      in_flight.push_back(service.Submit(std::move(request)));
+    }
+    for (auto& future : in_flight) future.get();
+    // Scope exit drains the pool: every trace has finalized into the
+    // registry's stage histograms, which outlive the service.
+  }
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> out;
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    const char* name = obs::StageName(static_cast<obs::Stage>(s));
+    const obs::HistogramSnapshot snap =
+        registry->GetHistogram("dssddi_stage_latency_ms", "", {{"stage", name}})
+            ->Snapshot();
+    if (snap.count != 0) out.emplace_back(name, snap);
+  }
+  return out;
 }
 
 void PrintRow(const std::string& label, const RunResult& result, double baseline_qps) {
@@ -236,6 +292,22 @@ int main(int argc, char** argv) {
   record(std::to_string(threads) + " threads, batch<=32, int8", false, "int8",
          sq32);
 
+  // Per-stage attribution on the batched scoring config: where a
+  // request's time goes once every request is traced.
+  const auto stage_snaps =
+      RunTracedBreakdown(bundle, stream, threads, 32, false);
+  std::printf("\nper-stage latency, every request traced (%d threads,"
+              " batch<=32, scoring only):\n",
+              threads);
+  std::printf("%14s %9s %9s %9s %9s\n", "stage", "count", "p50 ms", "p99 ms",
+              "mean ms");
+  for (const auto& [stage, snap] : stage_snaps) {
+    std::printf("%14s %9llu %9.3f %9.3f %9.3f\n", stage.c_str(),
+                static_cast<unsigned long long>(snap.count),
+                snap.Quantile(0.50), snap.Quantile(0.99),
+                snap.sum / static_cast<double>(snap.count));
+  }
+
   const double speedup = full.qps / naive.qps;
   const double int8_speedup = sq32.qps / st32.qps;
   std::printf(
@@ -251,6 +323,18 @@ int main(int argc, char** argv) {
       " the repeat-traffic contribution; the int8 rows change only the"
       " kernel arithmetic.\n");
 
+  json.EndArray();
+  json.Key("stage_breakdown").BeginArray();
+  for (const auto& [stage, snap] : stage_snaps) {
+    json.BeginObject()
+        .Key("stage").String(stage)
+        .Key("count").UInt(snap.count)
+        .Key("p50_ms").Double(snap.Quantile(0.50))
+        .Key("p99_ms").Double(snap.Quantile(0.99))
+        .Key("mean_ms").Double(snap.sum / static_cast<double>(snap.count))
+        .Key("max_ms").Double(snap.max)
+        .EndObject();
+  }
   json.EndArray();
   json.Key("batched_vs_naive_speedup").Double(speedup);
   json.Key("int8_vs_float_scoring_speedup").Double(int8_speedup);

@@ -20,6 +20,13 @@
 #
 # CHECK_SANITIZE_ONLY=1 skips the plain pass (for CI jobs that split the
 # two builds across runners instead of paying for both in one job).
+#
+# Opt-in ThreadSanitizer pass: set CHECK_TSAN=1 and a third build dir
+# (<build-dir>-tsan) is built with -fsanitize=thread and the
+# concurrency-heavy suites (serve / net / obs) run under it. TSan
+# cannot be combined with ASan, hence the separate leg; the sharded
+# metrics registry, trace finalization, and the epoll frontend are the
+# code this exists to check. CHECK_TSAN_ONLY=1 skips the plain pass.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,7 +47,7 @@ run_ctest() {
   done
 }
 
-if [[ -z "${CHECK_SANITIZE_ONLY:-}" ]]; then
+if [[ -z "${CHECK_SANITIZE_ONLY:-}" && -z "${CHECK_TSAN_ONLY:-}" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j "$(nproc)"
   run_ctest "$BUILD_DIR" env
@@ -56,4 +63,22 @@ if [[ -n "${CHECK_SANITIZE:-}" ]]; then
   # leak checking would only report those, so keep ASan focused on
   # use-after-free / overflow / races-made-visible.
   run_ctest "$SAN_DIR" env ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1"
+fi
+
+if [[ -n "${CHECK_TSAN:-}" ]]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  echo "== ThreadSanitizer pass (concurrency suites) in ${TSAN_DIR} =="
+  cmake -B "$TSAN_DIR" -S . -DDSSDDI_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$TSAN_DIR" -j "$(nproc)"
+  TSAN_TESTS='^(serve_test|net_test|obs_metrics_test|obs_exposition_test|quantize_serving_test)$'
+  for backend in $GEMM_BACKENDS; do
+    for quantize in $QUANTIZE_MODES; do
+      echo "== tsan ctest (${TSAN_DIR}, DSSDDI_GEMM_BACKEND=${backend}, DSSDDI_QUANTIZE=${quantize}) =="
+      DSSDDI_GEMM_BACKEND="$backend" DSSDDI_QUANTIZE="$quantize" \
+        TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+        ctest --test-dir "$TSAN_DIR" -R "$TSAN_TESTS" \
+        --output-on-failure -j "$(nproc)"
+    done
+  done
 fi

@@ -6,6 +6,7 @@
 #include "core/ms_module.h"
 #include "core/suggestion_model.h"
 #include "io/serialize.h"
+#include "obs/kernel_timing.h"
 #include "tensor/kernels/gemm_backend.h"
 #include "tensor/nn.h"
 #include "util/logging.h"
@@ -110,7 +111,13 @@ tensor::Matrix FrozenMlp::Forward(const tensor::Matrix& x,
   const bool use_int8 = mode == tensor::kernels::QuantMode::kInt8 &&
                         quantized.layers.size() == layers.size() &&
                         !layers.empty();
-  const tensor::kernels::GemmBackend& gemm = tensor::kernels::ActiveBackend();
+  // The timing shim attributes kernel nanoseconds to whatever trace
+  // window the serving layer opened on this thread; without an open
+  // window it is a null-check per layer. The int8 branch below bypasses
+  // GemmBackend entirely, so it carries its own ScopedKernelTimer
+  // (covering the activation-quantization pass too — that work exists
+  // only because the kernel is quantized, so it is kernel time).
+  const obs::TimedGemmBackend gemm(tensor::kernels::ActiveBackend());
   tensor::kernels::QuantizedRows rows;  // reused across quantized layers
   tensor::Matrix h;
   const tensor::Matrix* cur = &x;  // no copy of the input row block
@@ -123,6 +130,7 @@ tensor::Matrix FrozenMlp::Forward(const tensor::Matrix& x,
     if (use_int8 &&
         layer.weight.cols() >= tensor::kernels::kQuantMinColumns) {
       const QuantizedMlp::Layer& q = quantized.layers[li];
+      obs::ScopedKernelTimer kernel_timer;
       tensor::kernels::QuantizeRowsSymmetric(cur->data().data(), cur->rows(),
                                              cur->cols(), &rows);
       tensor::kernels::QGemmBiasAct(

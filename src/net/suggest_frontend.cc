@@ -30,14 +30,35 @@ HttpResponse JsonError(int status, const std::string& message) {
 
 /// Error in the codec the client spoke: binary requests get binary
 /// error frames (same HTTP status), JSON requests get JSON bodies.
-HttpResponse CodecError(bool binary, int status, const std::string& message) {
+/// `trace_id` rides in the binary frame (0 = request failed before a
+/// trace id existed) so rejections stay correlatable with /tracez.
+HttpResponse CodecError(bool binary, int status, const std::string& message,
+                        uint64_t trace_id = 0) {
   if (!binary) return JsonError(status, message);
   HttpResponse response;
   response.status = status;
   response.content_type = wire::kContentType;
   response.body =
-      wire::EncodeError({static_cast<uint32_t>(status), message});
+      wire::EncodeError({static_cast<uint32_t>(status), message, trace_id});
   return response;
+}
+
+/// Server-Timing value from a trace's stamped stages, e.g.
+/// "queue_wait;dur=0.213, gemm;dur=1.871". Only stages with nonzero
+/// time appear; durations are milliseconds per the header's spec.
+std::string ServerTimingValue(const obs::Trace& trace) {
+  std::string out;
+  char buf[64];
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const uint64_t ns = trace.StageNs(stage);
+    if (ns == 0) continue;
+    if (!out.empty()) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%s;dur=%.3f", obs::StageName(stage),
+                  static_cast<double>(ns) / 1e6);
+    out += buf;
+  }
+  return out;
 }
 
 void WriteEdges(JsonWriter& writer, const char* key,
@@ -136,14 +157,38 @@ bool ParseUintHeader(const std::string& value, uint64_t* out) {
 
 }  // namespace
 
+SuggestFrontend::RouteMetrics::RouteMetrics(
+    std::shared_ptr<obs::Registry> owner, const char* name)
+    : route(name),
+      registry(std::move(owner)),
+      requests(registry->GetCounter("dssddi_http_requests_total",
+                                    "HTTP requests handled, by route",
+                                    {{"route", name}})),
+      latency(registry->GetHistogram(
+          "dssddi_request_latency_ms",
+          "Handler-observed latency (dispatch to response send) in "
+          "milliseconds, by route",
+          {{"route", name}})) {}
+
 SuggestFrontend::SuggestFrontend(serve::SuggestionService* service,
                                  const SuggestFrontendOptions& options)
     : service_(service),
       options_(options),
-      suggest_metrics_(std::make_shared<RouteMetrics>("/v1/suggest")),
-      healthz_metrics_(std::make_shared<RouteMetrics>("/healthz")),
-      statsz_metrics_(std::make_shared<RouteMetrics>("/statsz")),
-      reload_metrics_(std::make_shared<RouteMetrics>("/admin/reload")) {}
+      suggest_metrics_(std::make_shared<RouteMetrics>(service->registry(),
+                                                      "/v1/suggest")),
+      healthz_metrics_(
+          std::make_shared<RouteMetrics>(service->registry(), "/healthz")),
+      statsz_metrics_(
+          std::make_shared<RouteMetrics>(service->registry(), "/statsz")),
+      metricsz_metrics_(
+          std::make_shared<RouteMetrics>(service->registry(), "/metricsz")),
+      tracez_metrics_(
+          std::make_shared<RouteMetrics>(service->registry(), "/tracez")),
+      reload_metrics_(std::make_shared<RouteMetrics>(service->registry(),
+                                                     "/admin/reload")) {
+  suggest_sampler_ = service_->trace_collector()->SamplerForRoute("/v1/suggest");
+  suggest_sampler_->set_every(options_.trace_sample_every);
+}
 
 void SuggestFrontend::Handle(const HttpRequest& request,
                              ResponseWriter writer) {
@@ -166,7 +211,7 @@ void SuggestFrontend::Handle(const HttpRequest& request,
       return;
     }
     HandleHealth(writer);
-    healthz_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+    healthz_metrics_->requests->Increment();
     healthz_metrics_->latency.Record(MillisSince(start));
     return;
   }
@@ -176,8 +221,28 @@ void SuggestFrontend::Handle(const HttpRequest& request,
       return;
     }
     HandleStats(writer);
-    statsz_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+    statsz_metrics_->requests->Increment();
     statsz_metrics_->latency.Record(MillisSince(start));
+    return;
+  }
+  if (target == "/metricsz") {
+    if (request.method != "GET") {
+      writer.Send(JsonError(405, "use GET for /metricsz"));
+      return;
+    }
+    HandleMetrics(writer);
+    metricsz_metrics_->requests->Increment();
+    metricsz_metrics_->latency.Record(MillisSince(start));
+    return;
+  }
+  if (target == "/tracez") {
+    if (request.method != "GET") {
+      writer.Send(JsonError(405, "use GET for /tracez"));
+      return;
+    }
+    HandleTracez(writer);
+    tracez_metrics_->requests->Increment();
+    tracez_metrics_->latency.Record(MillisSince(start));
     return;
   }
   if (target == "/admin/reload") {
@@ -186,7 +251,7 @@ void SuggestFrontend::Handle(const HttpRequest& request,
       return;
     }
     HandleReload(request, writer);
-    reload_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+    reload_metrics_->requests->Increment();
     reload_metrics_->latency.Record(MillisSince(start));
     return;
   }
@@ -303,39 +368,71 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Head-based sampling decision, made once the request has a trace id.
+  // An unsampled request (the common case) carries a null trace: every
+  // stamp downstream is a pointer check, and nothing here allocated.
+  // http_parse is stamped out-of-band — the span covers dispatch to
+  // here, i.e. content negotiation + body decode + header validation.
+  std::shared_ptr<obs::Trace> trace =
+      service_->trace_collector()->MaybeStartTrace(suggest_sampler_,
+                                                   "/v1/suggest", trace_id);
+  if (trace) {
+    trace->start = start;
+    trace->AddStageNs(
+        obs::Stage::kHttpParse,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 start)
+                .count()));
+  }
+
   // The edge: one RequestContext, created here, carried through every
   // layer. Arrival anchors at dispatch time (not post-parse), so parse
   // cost already counts against the budget.
   suggest.context.arrival = start;
   suggest.context.priority = priority;
   suggest.context.trace_id = trace_id;
+  suggest.context.trace = trace;
   if (budget_ms > 0) {
     suggest.context.deadline = start + std::chrono::milliseconds(budget_ms);
   }
 
   const int64_t patient_id = suggest.patient_id;
   const bool explain = suggest.explain;
+  const bool server_timing = options_.server_timing;
   serve::SuggestionService* service = service_;
   std::shared_ptr<RouteMetrics> metrics = suggest_metrics_;
   const serve::AdmissionController::Decision decision =
       service_->TrySubmitAsync(
           std::move(suggest),
           [writer, service, patient_id, explain, binary, trace_id, metrics,
-           start](core::Suggestion suggestion,
-                  std::shared_ptr<const serve::ModelSnapshot> snapshot,
-                  std::exception_ptr error) {
-            metrics->requests.fetch_add(1, std::memory_order_relaxed);
+           start, trace, server_timing](
+              core::Suggestion suggestion,
+              std::shared_ptr<const serve::ModelSnapshot> snapshot,
+              std::exception_ptr error) {
+            metrics->requests->Increment();
             metrics->latency.Record(MillisSince(start));
             if (error) {
+              int status = 500;
+              std::string message;
               try {
                 std::rethrow_exception(error);
               } catch (const serve::DeadlineExceeded& e) {
-                writer.Send(CodecError(binary, 504, e.what()));
+                status = 504;
+                message = e.what();
               } catch (const std::invalid_argument& e) {
-                writer.Send(CodecError(binary, 400, e.what()));
+                status = 400;
+                message = e.what();
               } catch (const std::exception& e) {
-                writer.Send(CodecError(binary, 500, e.what()));
+                message = e.what();
               }
+              if (trace) trace->SetStatus(status);
+              obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
+              HttpResponse response =
+                  CodecError(binary, status, message, trace_id);
+              response.extra_headers.emplace_back("X-Trace-Id",
+                                                  std::to_string(trace_id));
+              writer.Send(std::move(response));
               return;
             }
             // Serialize against the snapshot that actually produced the
@@ -343,6 +440,7 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
             // snapshot may already be a different model with different
             // drug names and version.
             if (!snapshot) snapshot = service->snapshot();
+            obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
             HttpResponse response;
             if (binary) {
               response.content_type = wire::kContentType;
@@ -351,27 +449,48 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
               response.body = SuggestionToJson(suggestion, *snapshot,
                                                patient_id, explain, trace_id);
             }
+            response.extra_headers.emplace_back("X-Trace-Id",
+                                                std::to_string(trace_id));
+            serialize_span.Stop();
+            // The header reports the stages stamped so far; serialize is
+            // closed above just so it can be included here.
+            if (server_timing && trace) {
+              std::string timing = ServerTimingValue(*trace);
+              if (!timing.empty()) {
+                response.extra_headers.emplace_back("Server-Timing",
+                                                    std::move(timing));
+              }
+            }
             writer.Send(std::move(response));
           });
   switch (decision) {
     case serve::AdmissionController::Decision::kAdmit:
       break;
     case serve::AdmissionController::Decision::kShedLoad: {
-      suggest_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+      suggest_metrics_->requests->Increment();
       suggest_metrics_->latency.Record(MillisSince(start));
-      HttpResponse shed = CodecError(binary, 429, "overloaded, retry later");
+      if (trace) trace->SetStatus(429);
+      obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
+      HttpResponse shed =
+          CodecError(binary, 429, "overloaded, retry later", trace_id);
       shed.extra_headers.emplace_back("Retry-After", "1");
+      shed.extra_headers.emplace_back("X-Trace-Id", std::to_string(trace_id));
       writer.Send(std::move(shed));
       break;
     }
     case serve::AdmissionController::Decision::kShedDeadline: {
       // No Retry-After: the client's budget, not our load, was the
       // problem — retrying with the same budget would shed again.
-      suggest_metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+      suggest_metrics_->requests->Increment();
       suggest_metrics_->latency.Record(MillisSince(start));
-      writer.Send(CodecError(
+      if (trace) trace->SetStatus(504);
+      obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
+      HttpResponse shed = CodecError(
           binary, 504,
-          "deadline infeasible: remaining budget below observed service time"));
+          "deadline infeasible: remaining budget below observed service time",
+          trace_id);
+      shed.extra_headers.emplace_back("X-Trace-Id", std::to_string(trace_id));
+      writer.Send(std::move(shed));
       break;
     }
   }
@@ -429,11 +548,12 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
   json.Key("routes").BeginObject();
   for (const auto* metrics :
        {suggest_metrics_.get(), healthz_metrics_.get(), statsz_metrics_.get(),
+        metricsz_metrics_.get(), tracez_metrics_.get(),
         reload_metrics_.get()}) {
     const serve::LatencyTracker::Percentiles latency =
         metrics->latency.Snapshot();
     json.Key(metrics->route).BeginObject()
-        .Key("requests").UInt(metrics->requests.load(std::memory_order_relaxed))
+        .Key("requests").UInt(metrics->requests->Value())
         .Key("default_budget_ms").Int(options_.DefaultBudgetMs(metrics->route))
         .Key("p50_ms").Double(latency.p50_ms)
         .Key("p90_ms").Double(latency.p90_ms)
@@ -468,6 +588,74 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
   json.EndObject();
   HttpResponse response;
   response.body = json.str();
+  writer.Send(std::move(response));
+}
+
+void SuggestFrontend::HandleMetrics(ResponseWriter writer) const {
+  // Two sections, one writer: the ServiceStats counters (rendered from
+  // the same atomics Stats()/statsz read, so the views agree by
+  // construction) followed by every registry metric — per-route request
+  // counters and latency histograms, per-stage trace histograms, the
+  // service latency histogram, trace sampling counters.
+  const serve::ServiceStats stats = service_->Stats();
+  obs::PrometheusTextWriter prom;
+  prom.Help("dssddi_service_requests_total", "Requests accepted by Submit")
+      .Type("dssddi_service_requests_total", "counter")
+      .Value("dssddi_service_requests_total", {}, stats.requests);
+  prom.Help("dssddi_service_completed_total", "Completions fired")
+      .Type("dssddi_service_completed_total", "counter")
+      .Value("dssddi_service_completed_total", {}, stats.completed);
+  prom.Help("dssddi_service_expired_total",
+            "Requests dropped post-admission because their deadline passed")
+      .Type("dssddi_service_expired_total", "counter")
+      .Value("dssddi_service_expired_total", {}, stats.expired);
+  prom.Help("dssddi_service_batches_total", "Matrix passes dispatched")
+      .Type("dssddi_service_batches_total", "counter")
+      .Value("dssddi_service_batches_total", {}, stats.batches);
+  prom.Help("dssddi_service_coalesced_total",
+            "Requests that rode an identical in-flight query")
+      .Type("dssddi_service_coalesced_total", "counter")
+      .Value("dssddi_service_coalesced_total", {}, stats.coalesced);
+  prom.Help("dssddi_admission_total", "Admission gate outcomes, by decision")
+      .Type("dssddi_admission_total", "counter")
+      .Value("dssddi_admission_total", {{"decision", "admitted"}},
+             stats.admitted)
+      .Value("dssddi_admission_total", {{"decision", "shed_load"}}, stats.shed)
+      .Value("dssddi_admission_total", {{"decision", "shed_deadline"}},
+             stats.deadline_shed);
+  prom.Help("dssddi_cache_total", "Suggestion cache outcomes")
+      .Type("dssddi_cache_total", "counter")
+      .Value("dssddi_cache_total", {{"outcome", "hit"}}, stats.cache_hits)
+      .Value("dssddi_cache_total", {{"outcome", "miss"}}, stats.cache_misses);
+  prom.Help("dssddi_http_bad_requests_total",
+            "Requests rejected before reaching the service")
+      .Type("dssddi_http_bad_requests_total", "counter")
+      .Value("dssddi_http_bad_requests_total", {}, bad_requests());
+  prom.Help("dssddi_in_flight", "Accepted requests not yet completed")
+      .Type("dssddi_in_flight", "gauge")
+      .Value("dssddi_in_flight", {}, stats.in_flight);
+  prom.Help("dssddi_queue_depth", "Requests queued in batcher + pool")
+      .Type("dssddi_queue_depth", "gauge")
+      .Value("dssddi_queue_depth", {}, stats.queue_depth);
+  prom.Help("dssddi_model_version", "Version of the served model snapshot")
+      .Type("dssddi_model_version", "gauge")
+      .Value("dssddi_model_version", {}, stats.model_version);
+  prom.Help("dssddi_model_reloads_total", "Successful hot reloads")
+      .Type("dssddi_model_reloads_total", "counter")
+      .Value("dssddi_model_reloads_total", {}, stats.reloads);
+  prom.Help("dssddi_uptime_seconds", "Service uptime")
+      .Type("dssddi_uptime_seconds", "gauge")
+      .Value("dssddi_uptime_seconds", {}, stats.uptime_seconds);
+
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = prom.str() + service_->registry()->RenderPrometheusText();
+  writer.Send(std::move(response));
+}
+
+void SuggestFrontend::HandleTracez(ResponseWriter writer) const {
+  HttpResponse response;
+  response.body = service_->trace_collector()->RenderTracezJson();
   writer.Send(std::move(response));
 }
 

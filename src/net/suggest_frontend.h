@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "net/http_server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/latency_tracker.h"
 #include "serve/service.h"
 
@@ -29,6 +31,15 @@ struct SuggestFrontendOptions {
   std::vector<RouteBudget> route_budgets;
   /// Ceiling clamped onto client-supplied budgets; 0 = no ceiling.
   int max_budget_ms = 0;
+  /// Head-based trace sampling for /v1/suggest: every Nth request gets a
+  /// full per-stage trace (stage histograms + /tracez retention). 1
+  /// traces everything, 0 disables tracing — and the disabled path adds
+  /// zero allocations and zero clock reads per request. Per-route
+  /// latency histograms are recorded for every request regardless.
+  uint32_t trace_sample_every = 64;
+  /// Attach a Server-Timing header (stage breakdown in milliseconds) to
+  /// /v1/suggest responses whose request was trace-sampled.
+  bool server_timing = true;
 
   int DefaultBudgetMs(const std::string& route) const {
     for (const RouteBudget& entry : route_budgets) {
@@ -52,6 +63,13 @@ struct SuggestFrontendOptions {
 ///   GET  /healthz      liveness + model version
 ///   GET  /statsz       ServiceStats + admission + per-route latency +
 ///                      HTTP counters as JSON
+///   GET  /metricsz     Prometheus exposition text: every registry metric
+///                      (per-route latency histograms, per-stage trace
+///                      histograms, HTTP counters) plus the ServiceStats
+///                      counters rendered from the same atomics /statsz
+///                      reads — the two views cannot disagree
+///   GET  /tracez       the slow-trace and errored-trace rings as JSON,
+///                      per-stage timings included
 ///   POST /admin/reload {"path":"/models/new.dssb"} -> hot-swaps the bundle
 ///                      -> 409 incompatible bundle, 400 bad body/file
 ///
@@ -99,14 +117,20 @@ class SuggestFrontend {
   const SuggestFrontendOptions& options() const { return options_; }
 
  private:
-  /// Per-route request count + handler-observed latency (dispatch to
-  /// response send). Held by shared_ptr because suggest completions run
-  /// on service worker threads and may outlive the frontend during
+  /// Per-route request counter + handler-observed latency (dispatch to
+  /// response send), both living in the service's metrics registry so
+  /// /metricsz exposes them as dssddi_http_requests_total{route=...} and
+  /// dssddi_request_latency_ms{route=...}. The Counter*/Histogram*
+  /// handles are cached here at construction — the hot path never takes
+  /// the registry's registration mutex. Held by shared_ptr (and holding
+  /// the registry by shared_ptr) because suggest completions run on
+  /// service worker threads and may outlive the frontend during
   /// shutdown — the lambda keeps its metrics alive.
   struct RouteMetrics {
-    explicit RouteMetrics(const char* name) : route(name), latency(1 << 12) {}
+    RouteMetrics(std::shared_ptr<obs::Registry> owner, const char* name);
     const char* route;
-    std::atomic<uint64_t> requests{0};
+    std::shared_ptr<obs::Registry> registry;
+    obs::Counter* requests;
     serve::LatencyTracker latency;
   };
 
@@ -114,6 +138,8 @@ class SuggestFrontend {
                      std::chrono::steady_clock::time_point start);
   void HandleHealth(ResponseWriter writer) const;
   void HandleStats(ResponseWriter writer) const;
+  void HandleMetrics(ResponseWriter writer) const;
+  void HandleTracez(ResponseWriter writer) const;
   void HandleReload(const HttpRequest& request, ResponseWriter writer);
 
   serve::SuggestionService* service_;
@@ -121,9 +147,14 @@ class SuggestFrontend {
   const HttpServer* http_ = nullptr;
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> next_trace_id_{1};
+  /// Cached sampler handle for /v1/suggest (stable for the collector's
+  /// lifetime; consulting it is a relaxed load + fetch_add).
+  obs::TraceSampler* suggest_sampler_ = nullptr;
   std::shared_ptr<RouteMetrics> suggest_metrics_;
   std::shared_ptr<RouteMetrics> healthz_metrics_;
   std::shared_ptr<RouteMetrics> statsz_metrics_;
+  std::shared_ptr<RouteMetrics> metricsz_metrics_;
+  std::shared_ptr<RouteMetrics> tracez_metrics_;
   std::shared_ptr<RouteMetrics> reload_metrics_;
 };
 

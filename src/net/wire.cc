@@ -263,11 +263,12 @@ bool DecodeSuggestResponse(const std::string& buffer, SuggestResponseFrame* out,
 }
 
 std::string EncodeError(const ErrorFrame& frame) {
-  const size_t payload = 4 + 4 + frame.message.size();
+  const size_t payload = 4 + 8 + 4 + frame.message.size();
   std::string out;
   out.reserve(kHeaderBytes + payload);
   PutHeader(out, FrameType::kError, payload);
   PutU32(out, frame.status);
+  PutU64(out, frame.trace_id);
   PutU32(out, static_cast<uint32_t>(frame.message.size()));
   out += frame.message;
   return out;
@@ -278,7 +279,8 @@ bool DecodeError(const std::string& buffer, ErrorFrame* out,
   Reader reader(nullptr, 0);
   if (!OpenFrame(buffer, FrameType::kError, &reader, error)) return false;
   uint32_t msg_len;
-  if (!reader.U32(&out->status) || !reader.U32(&msg_len)) {
+  if (!reader.U32(&out->status) || !reader.U64(&out->trace_id) ||
+      !reader.U32(&msg_len)) {
     return Fail(error, "error frame payload truncated");
   }
   if (reader.remaining() != msg_len) {

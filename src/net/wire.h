@@ -57,9 +57,12 @@ namespace dssddi::net::wire {
 ///                               output — the binary route's contract
 ///
 /// kError payload:
-///   status  u32   the HTTP status the error also carries
-///   msg_len u32
-///   message msg_len bytes (UTF-8)
+///   status   u32   the HTTP status the error also carries
+///   trace_id u64   the failed request's trace id (0 when the request
+///                  never parsed far enough to have one), so a client
+///                  can correlate a binary rejection with /tracez
+///   msg_len  u32
+///   message  msg_len bytes (UTF-8)
 ///
 /// Decoders are strict: wrong magic/version/type, truncated or oversized
 /// buffers, length-prefix mismatches and inconsistent internal counts
@@ -98,6 +101,7 @@ struct SuggestResponseFrame {
 struct ErrorFrame {
   uint32_t status = 500;
   std::string message;
+  uint64_t trace_id = 0;
 };
 
 std::string EncodeSuggestRequest(const SuggestRequestFrame& frame);

@@ -1,0 +1,7 @@
+#include "obs/kernel_timing.h"
+
+namespace dssddi::obs::internal {
+
+thread_local uint64_t* kernel_ns_sink = nullptr;
+
+}  // namespace dssddi::obs::internal

@@ -1,0 +1,114 @@
+#ifndef DSSDDI_OBS_KERNEL_TIMING_H_
+#define DSSDDI_OBS_KERNEL_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "tensor/kernels/gemm_backend.h"
+
+namespace dssddi::obs {
+
+/// Kernel-time attribution for traces. A batch's GEMM cost is shared by
+/// every request in the batch and is spent deep inside the tensor layer,
+/// which knows nothing about requests; threading a trace pointer down
+/// through Matrix/FrozenMlp would contaminate every dense-math signature.
+/// Instead the serving layer opens a thread-local accumulation *window*
+/// around the scoring call, the kernel layer adds elapsed nanoseconds to
+/// whatever window is open on its thread, and the serving layer reads the
+/// window total back and stamps it onto the batch's traces. This works
+/// because HandleBatch runs PredictScores synchronously on one worker
+/// thread; kernels that one day go multi-threaded must accumulate on the
+/// window-owning thread.
+///
+/// When no window is open (the overwhelmingly common case — only sampled
+/// batches open one), ScopedKernelTimer is a null-pointer check: no clock
+/// reads, no atomics, no allocation.
+
+namespace internal {
+/// Sink for the open window on this thread, or nullptr.
+extern thread_local uint64_t* kernel_ns_sink;
+}  // namespace internal
+
+/// Opens an accumulation window on the current thread for its lifetime.
+/// Nests by saving/restoring the previous sink (the inner window simply
+/// shadows the outer one, which matches the attribution a nested scope
+/// would want).
+class KernelTimingWindow {
+ public:
+  KernelTimingWindow() : previous_(internal::kernel_ns_sink) {
+    internal::kernel_ns_sink = &ns_;
+  }
+  ~KernelTimingWindow() { internal::kernel_ns_sink = previous_; }
+  KernelTimingWindow(const KernelTimingWindow&) = delete;
+  KernelTimingWindow& operator=(const KernelTimingWindow&) = delete;
+
+  uint64_t ns() const { return ns_; }
+
+ private:
+  uint64_t ns_ = 0;
+  uint64_t* previous_;
+};
+
+/// Times one kernel invocation into the open window, if any.
+class ScopedKernelTimer {
+ public:
+  ScopedKernelTimer() : sink_(internal::kernel_ns_sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedKernelTimer() {
+    if (sink_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    *sink_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+
+ private:
+  uint64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// GemmBackend decorator stamping every call into the thread's open
+/// window. Wraps any backend (reference, blocked, future ones), so the
+/// same shim covers every float GEMM path; the int8 path, which bypasses
+/// GemmBackend entirely, uses ScopedKernelTimer directly at its call
+/// site. Constructed on the stack around a scoring call — it holds a
+/// reference, not ownership.
+class TimedGemmBackend final : public tensor::kernels::GemmBackend {
+ public:
+  explicit TimedGemmBackend(const tensor::kernels::GemmBackend& inner)
+      : inner_(inner) {}
+
+  const char* name() const override { return inner_.name(); }
+
+  void Gemm(int m, int k, int n, const float* a, const float* b,
+            float* c) const override {
+    ScopedKernelTimer timer;
+    inner_.Gemm(m, k, n, a, b, c);
+  }
+  void GemmAT(int m, int k, int n, const float* a, const float* b,
+              float* c) const override {
+    ScopedKernelTimer timer;
+    inner_.GemmAT(m, k, n, a, b, c);
+  }
+  void GemmBT(int m, int k, int n, const float* a, const float* b,
+              float* c) const override {
+    ScopedKernelTimer timer;
+    inner_.GemmBT(m, k, n, a, b, c);
+  }
+  void GemmBiasAct(int m, int k, int n, const float* a, const float* b,
+                   const float* bias, float* c,
+                   tensor::kernels::EpilogueActivation activation)
+      const override {
+    ScopedKernelTimer timer;
+    inner_.GemmBiasAct(m, k, n, a, b, bias, c, activation);
+  }
+
+ private:
+  const tensor::kernels::GemmBackend& inner_;
+};
+
+}  // namespace dssddi::obs
+
+#endif  // DSSDDI_OBS_KERNEL_TIMING_H_

@@ -1,24 +1,29 @@
 #ifndef DSSDDI_SERVE_LATENCY_TRACKER_H_
 #define DSSDDI_SERVE_LATENCY_TRACKER_H_
 
-#include <algorithm>
 #include <atomic>
-#include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "obs/metrics.h"
 
 namespace dssddi::serve {
 
-/// Ring-buffer latency sample over the most recent `window` completions
-/// with percentile snapshots. Shared by the service (overall scoring
-/// latency) and the HTTP front-end (per-route latency), and the source
-/// of the cheap cached p50 the admission controller consults on every
-/// arrival — Record refreshes that estimate periodically so the
-/// admission path never sorts anything.
+/// Thin adapter binding a latency feed to one obs::Histogram. The
+/// histogram (owned by the service's metrics registry, so /metricsz and
+/// /statsz read the very same buckets) replaces the ring-buffer
+/// reservoir this class used to be: recording is lock-free and
+/// windowless, and percentiles come from the log-linear buckets instead
+/// of a sorted sample.
 ///
-/// Thread-safety: Record and Snapshot take one mutex; CachedP50Ms is a
-/// single relaxed atomic load, safe (and cheap) from any thread.
+/// What survives unchanged is the admission contract: CachedP50Ms is a
+/// single relaxed atomic load on the admission path, refreshed every
+/// kRefreshEvery records from a histogram snapshot, and stays 0.0 until
+/// the first refresh — during which AdmitWithDeadline treats service
+/// time as unknown and sheds only on expiry, exactly as before.
+///
+/// Thread-safety: every method is safe from any thread. Record is a few
+/// relaxed atomics (plus a snapshot+quantile walk on every
+/// kRefreshEvery-th call); Snapshot merges the histogram shards.
 class LatencyTracker {
  public:
   struct Percentiles {
@@ -26,38 +31,26 @@ class LatencyTracker {
     double p50_ms = 0.0;
     double p90_ms = 0.0;
     double p99_ms = 0.0;
-    double max_ms = 0.0;  // max over the current window, not all time
+    double max_ms = 0.0;  // largest sample recorded since construction
   };
 
-  explicit LatencyTracker(size_t window) : ring_(std::max<size_t>(window, 16)) {}
+  /// `histogram` must outlive the tracker (the registry that owns it is
+  /// kept alive by the same service that owns this tracker).
+  explicit LatencyTracker(obs::Histogram* histogram) : histogram_(histogram) {}
 
   LatencyTracker(const LatencyTracker&) = delete;
   LatencyTracker& operator=(const LatencyTracker&) = delete;
 
   void Record(double millis) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ring_[next_] = millis;
-    next_ = (next_ + 1) % ring_.size();
-    if (count_ < ring_.size()) ++count_;
-    ++recorded_;
+    histogram_->Record(millis);
     // Refresh the admission-path p50 estimate every kRefreshEvery
-    // samples, over only the most recent kRefreshSample entries — not
-    // the whole ring. The full window (default 32k) would make every
-    // 64th completion pay an O(window) copy+select inside the mutex all
-    // completions share, and a fresher sample tracks load shifts better
-    // anyway. `scratch_` is reused so the refresh never allocates.
-    if (recorded_ % kRefreshEvery == 0) {
-      const size_t n = std::min(count_, kRefreshSample);
-      scratch_.clear();
-      for (size_t i = 0; i < n; ++i) {
-        // Walk backwards from the most recent sample, wrapping.
-        const size_t index = (next_ + ring_.size() - 1 - i) % ring_.size();
-        scratch_.push_back(ring_[index]);
-      }
-      const size_t rank = (n - 1) / 2;
-      std::nth_element(scratch_.begin(), scratch_.begin() + rank,
-                       scratch_.end());
-      cached_p50_ms_.store(scratch_[rank], std::memory_order_relaxed);
+    // samples. The refresh is a shard merge + bucket walk — O(shards x
+    // buckets) of relaxed loads, no locks, no allocation — cheap enough
+    // that one completion in 64 paying it is noise.
+    if (recorded_.fetch_add(1, std::memory_order_relaxed) % kRefreshEvery ==
+        kRefreshEvery - 1) {
+      cached_p50_ms_.store(histogram_->Snapshot().Quantile(0.50),
+                           std::memory_order_relaxed);
     }
   }
 
@@ -69,36 +62,24 @@ class LatencyTracker {
   }
 
   Percentiles Snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const obs::HistogramSnapshot snap = histogram_->Snapshot();
     Percentiles out;
-    out.count = recorded_;
-    if (count_ == 0) return out;
-    std::vector<double> sample(ring_.begin(), ring_.begin() + count_);
-    out.p50_ms = NearestRank(sample, 0.50);
-    out.p90_ms = NearestRank(sample, 0.90);
-    out.p99_ms = NearestRank(sample, 0.99);
-    out.max_ms = *std::max_element(sample.begin(), sample.end());
+    out.count = snap.count;
+    if (snap.count == 0) return out;
+    out.p50_ms = snap.Quantile(0.50);
+    out.p90_ms = snap.Quantile(0.90);
+    out.p99_ms = snap.Quantile(0.99);
+    out.max_ms = snap.max;
     return out;
   }
 
-  size_t window() const { return ring_.size(); }
+  obs::Histogram* histogram() const { return histogram_; }
 
  private:
   static constexpr uint64_t kRefreshEvery = 64;
-  static constexpr size_t kRefreshSample = 1024;
 
-  static double NearestRank(std::vector<double>& values, double q) {
-    const size_t rank = static_cast<size_t>(q * (values.size() - 1) + 0.5);
-    std::nth_element(values.begin(), values.begin() + rank, values.end());
-    return values[rank];
-  }
-
-  mutable std::mutex mutex_;
-  std::vector<double> ring_;
-  std::vector<double> scratch_;  // refresh workspace, guarded by mutex_
-  size_t next_ = 0;
-  size_t count_ = 0;
-  uint64_t recorded_ = 0;
+  obs::Histogram* histogram_;
+  std::atomic<uint64_t> recorded_{0};
   std::atomic<double> cached_p50_ms_{0.0};
 };
 

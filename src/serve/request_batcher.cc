@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dssddi::serve {
@@ -118,12 +119,31 @@ void RequestBatcher::DispatchLoop() {
         }
       }
       expired_dispatched_ += expired.size();
+      // Stamp the sweep's cost on the sampled requests it removed: for a
+      // 504 the sweep IS the stage that decided the request's fate. The
+      // clock is read only when a sampled request was actually swept.
+      bool any_traced = false;
+      for (const PendingRequest& pending : expired) {
+        if (pending.request.context.trace) any_traced = true;
+      }
+      if (any_traced) {
+        const auto sweep_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - now)
+                .count());
+        for (const PendingRequest& pending : expired) {
+          if (obs::Trace* trace = pending.request.context.trace.get()) {
+            trace->AddStageNs(obs::Stage::kExpirySweep, sweep_ns);
+          }
+        }
+      }
     }
 
     // Oldest-deadline-first batch formation over the live remainder.
     // Selection, not a full sort: only the `take` most urgent requests
     // matter (a batch is one matrix pass; within-batch order is
     // cosmetic), and this runs under the mutex Enqueue contends on.
+    const auto formation_start = std::chrono::steady_clock::now();
     const size_t take = std::min(queue_.size(), max_batch);
     if (take > 0 && queue_.size() > take) {
       std::nth_element(queue_.begin(), queue_.begin() + take, queue_.end(),
@@ -160,6 +180,24 @@ void RequestBatcher::DispatchLoop() {
     if (!batch.empty()) {
       ++batches_dispatched_;
       requests_dispatched_ += batch.size();
+      // Formation (urgency selection + assembly) is batch-wide work, so
+      // every sampled member gets the cut's full cost, mirroring the
+      // gemm attribution. Second clock read only when someone is sampled.
+      bool any_traced = false;
+      for (const PendingRequest& pending : batch) {
+        if (pending.request.context.trace) any_traced = true;
+      }
+      if (any_traced) {
+        const auto form_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - formation_start)
+                .count());
+        for (const PendingRequest& pending : batch) {
+          if (obs::Trace* trace = pending.request.context.trace.get()) {
+            trace->AddStageNs(obs::Stage::kBatchForm, form_ns);
+          }
+        }
+      }
     }
     if (batch.empty() && expired.empty()) continue;
     lock.unlock();

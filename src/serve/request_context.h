@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+
+#include "obs/trace.h"
 
 namespace dssddi::serve {
 
@@ -30,7 +33,10 @@ inline const char* RequestPriorityName(RequestPriority priority) {
 ///    worthless (time_point::max() = no deadline; the default, so plain
 ///    library callers opt in rather than out),
 ///  - `priority` breaks ties between equally-urgent requests,
-///  - `trace_id` names the request in logs, stats and wire responses.
+///  - `trace_id` names the request in logs, stats and wire responses,
+///  - `trace`, when the edge's sampler selected this request, collects
+///    per-stage timings as the layers stamp it (null — the common case —
+///    makes every stamp a no-op; see obs/trace.h).
 ///
 /// All times are steady_clock: deadlines must survive wall-clock jumps.
 struct RequestContext {
@@ -40,6 +46,7 @@ struct RequestContext {
   Clock::time_point deadline = Clock::time_point::max();
   RequestPriority priority = RequestPriority::kInteractive;
   uint64_t trace_id = 0;
+  std::shared_ptr<obs::Trace> trace;
 
   /// Edge constructor: stamps arrival now and converts a relative budget
   /// into the absolute deadline. `budget_ms` <= 0 means no deadline.

@@ -9,6 +9,8 @@
 
 #include "core/suggestion_model.h"
 #include "io/binary.h"
+#include "obs/kernel_timing.h"
+#include "obs/trace.h"
 #include "tensor/kernels/gemm_backend.h"
 #include "util/logging.h"
 
@@ -47,7 +49,13 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
                                      const ServiceOptions& options)
     : options_(options),
       admission_(options.admission),
-      latency_(options.latency_window) {
+      registry_(std::make_shared<obs::Registry>()),
+      collector_(std::make_shared<obs::TraceCollector>(
+          registry_, options.trace_ring_capacity)),
+      latency_(registry_->GetHistogram(
+          "dssddi_service_latency_ms",
+          "Successful-completion latency (submit to completion) in "
+          "milliseconds; feeds the admission gate's p50")) {
   DSSDDI_CHECK(bundle.num_drugs() > 0) << "serving an empty bundle";
   if (options_.quantization != "auto") {
     tensor::kernels::QuantMode mode;
@@ -58,7 +66,6 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
   }
   snapshot_ = std::make_shared<const ModelSnapshot>(std::move(bundle),
                                                     version_.load());
-  options_.latency_window = latency_.window();  // tracker clamps to >= 16
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<SuggestionCache>(options_.cache_capacity,
                                                options_.cache_shards);
@@ -145,10 +152,12 @@ void SuggestionService::SubmitAsync(Request request, Completion done) {
 
 AdmissionController::Decision SuggestionService::TrySubmitAsync(
     Request request, Completion done) {
+  obs::TraceSpan admission_span(request.context.trace, obs::Stage::kAdmission);
   const double remaining_ms =
       request.context.RemainingMs(std::chrono::steady_clock::now());
   const AdmissionController::Decision decision = admission_.AdmitWithDeadline(
       InFlight(), QueueDepth(), remaining_ms, latency_.CachedP50Ms());
+  admission_span.Stop();
   if (decision != AdmissionController::Decision::kAdmit) return decision;
   SubmitAsync(std::move(request), std::move(done));
   return decision;
@@ -224,11 +233,11 @@ void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
   // Last pre-scoring expiry check: the batcher swept at cut time, but
   // waiting for a worker costs time too — a request that expired in the
   // pool queue must not have a matrix row built for it.
+  const auto pickup = std::chrono::steady_clock::now();
   {
-    const auto now = std::chrono::steady_clock::now();
     size_t live = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
-      if (batch[i].request.context.ExpiredAt(now)) {
+      if (batch[i].request.context.ExpiredAt(pickup)) {
         ExpireRequest(batch[i]);
       } else {
         if (live != i) batch[live] = std::move(batch[i]);
@@ -237,6 +246,21 @@ void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
     }
     batch.resize(live);
     if (batch.empty()) return;
+  }
+  // Stamp queue_wait (enqueue to worker pickup) on sampled requests and
+  // learn whether this batch needs kernel-time attribution at all — the
+  // untraced batch must not pay for a timing window.
+  bool any_traced = false;
+  for (const PendingRequest& pending : batch) {
+    if (obs::Trace* trace = pending.request.context.trace.get()) {
+      any_traced = true;
+      trace->AddStageNs(
+          obs::Stage::kQueueWait,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  pickup - pending.enqueue_time)
+                  .count()));
+    }
   }
   // Pin one model generation for the whole batch. A concurrent Reload
   // cannot free it (shared_ptr) and every row of this batch is scored by
@@ -258,12 +282,32 @@ void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
       const auto& features = batch[i].request.features;
       std::copy(features.begin(), features.end(), x.RowPtr(i));
     }
-    const tensor::Matrix scores = snapshot->bundle.PredictScores(x);
+    tensor::Matrix scores;
+    if (any_traced) {
+      // Kernel time is spent once for the whole batch, so each sampled
+      // member is stamped with the full batch's GEMM nanoseconds — the
+      // cost the request actually waited behind, not a per-row share.
+      obs::KernelTimingWindow kernel_window;
+      scores = snapshot->bundle.PredictScores(x);
+      const uint64_t kernel_ns = kernel_window.ns();
+      if (kernel_ns > 0) {
+        for (const PendingRequest& pending : batch) {
+          if (obs::Trace* trace = pending.request.context.trace.get()) {
+            trace->AddStageNs(obs::Stage::kGemm, kernel_ns);
+          }
+        }
+      }
+    } else {
+      scores = snapshot->bundle.PredictScores(x);
+    }
 
     for (int i = 0; i < total; ++i) {
       PendingRequest& pending = batch[i];
+      obs::TraceSpan epilogue_span(pending.request.context.trace,
+                                   obs::Stage::kEpilogue);
       core::Suggestion suggestion =
           BuildSuggestion(*snapshot, scores, i, pending.request);
+      epilogue_span.Stop();
       if (cache_ && pending.request.explain && pending.request.patient_id >= 0) {
         // Cache only when the submit-time key generation matches the
         // snapshot that scored the row. After a racing Reload they can
@@ -317,6 +361,9 @@ void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
 
 void SuggestionService::ExpireRequest(PendingRequest& pending,
                                       bool registered) {
+  if (pending.request.context.trace) {
+    pending.request.context.trace->SetStatus(504);
+  }
   const std::exception_ptr error = std::make_exception_ptr(DeadlineExceeded(
       "deadline exceeded before scoring (trace " +
       std::to_string(pending.request.context.trace_id) + ")"));

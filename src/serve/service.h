@@ -15,6 +15,8 @@
 #include "core/dssddi_system.h"
 #include "core/ms_module.h"
 #include "io/inference_bundle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/admission_controller.h"
 #include "serve/latency_tracker.h"
 #include "serve/request_batcher.h"
@@ -36,8 +38,9 @@ struct ServiceOptions {
   /// with it in-flight coalescing, which rides on the same keys).
   size_t cache_capacity = 4096;
   int cache_shards = 8;
-  /// Ring-buffer size for latency percentiles (most recent completions).
-  size_t latency_window = 1 << 15;
+  /// How many slowest traces (and how many recent errored traces) the
+  /// /tracez ring retains.
+  size_t trace_ring_capacity = 32;
   /// Load-shedding bounds applied by TrySubmitAsync (both 0 = admit
   /// everything; Submit/SubmitAsync always bypass admission).
   AdmissionController::Options admission;
@@ -225,6 +228,16 @@ class SuggestionService {
   /// Requests waiting in the batcher plus batches waiting for a worker.
   size_t QueueDepth() const;
 
+  /// The service's metrics registry: every histogram /statsz reads is in
+  /// here, so a /metricsz render and a Stats() call can never disagree.
+  /// Shared so exposition layers (and trace finalizers) may outlive the
+  /// service.
+  const std::shared_ptr<obs::Registry>& registry() const { return registry_; }
+  /// Trace sampling/retention for this service's pipeline.
+  const std::shared_ptr<obs::TraceCollector>& trace_collector() const {
+    return collector_;
+  }
+
  private:
   struct Waiter {
     Completion done;
@@ -251,6 +264,13 @@ class SuggestionService {
 
   ServiceOptions options_;
   AdmissionController admission_;
+
+  /// Declared before every component that records into them (and before
+  /// the pool/batcher whose destructors flush completions), so they are
+  /// constructed first and destroyed last: a completion firing during
+  /// shutdown can still stamp its trace and record its latency.
+  std::shared_ptr<obs::Registry> registry_;
+  std::shared_ptr<obs::TraceCollector> collector_;
 
   /// Swapped only by Reload; read via std::atomic_load everywhere.
   std::shared_ptr<const ModelSnapshot> snapshot_;

@@ -1,0 +1,427 @@
+// Tests for the obs metrics core: the log-linear bucket map against a
+// linear-scan oracle, exact counting under concurrent writers, quantile
+// estimates against a sorted scalar oracle, bit-identical snapshot
+// merging, and — the property the serving hot path rides on — zero
+// allocations on the sampling-off tracing path, asserted with a global
+// operator-new counting hook (this file is its own test binary, so the
+// override is visible to nothing else).
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/latency_tracker.h"
+
+// ---------------------------------------------------------------------
+// Allocation-counting global operator new/delete. Histogram shards are
+// alignas(64), so the aligned variants matter: without them an aligned
+// allocation on the traced path would slip past the counter.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dssddi {
+namespace {
+
+// Deterministic 64-bit LCG (tests avoid <random> engine/libc differences
+// across toolchains; same constants as MMIX).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_;
+  }
+  /// Uniform double in [0, 1).
+  double NextUnit() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;  // 2^53
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// ---------------------------------------------------------------------
+// Bucket layout
+// ---------------------------------------------------------------------
+
+TEST(BucketTest, BoundsStrictlyIncreasingAndCoverDeclaredRange) {
+  for (int b = 1; b < obs::kNumBuckets; ++b) {
+    EXPECT_GT(obs::BucketUpperBound(b), obs::BucketUpperBound(b - 1))
+        << "bucket " << b;
+  }
+  EXPECT_DOUBLE_EQ(obs::BucketUpperBound(0),
+                   std::ldexp(1.0, obs::kBucketMinExp));
+  // The last finite bound is the top of the declared range; the overflow
+  // bucket is unbounded.
+  EXPECT_DOUBLE_EQ(obs::BucketUpperBound(obs::kNumBuckets - 2),
+                   std::ldexp(1.0, obs::kBucketMaxExp));
+  EXPECT_TRUE(std::isinf(obs::BucketUpperBound(obs::kNumBuckets - 1)));
+}
+
+/// Oracle: the smallest bucket whose inclusive upper bound admits the
+/// value, found by linear scan over the bounds.
+int OracleBucketIndex(double value) {
+  if (std::isnan(value)) return 0;
+  for (int b = 0; b < obs::kNumBuckets - 1; ++b) {
+    if (value <= obs::BucketUpperBound(b)) return b;
+  }
+  return obs::kNumBuckets - 1;
+}
+
+TEST(BucketTest, ArithmeticIndexMatchesLinearScanOracle) {
+  // Every bound, exactly and one ulp to either side: the fast path's
+  // frexp arithmetic is most fragile exactly at bucket edges.
+  for (int b = 0; b < obs::kNumBuckets - 1; ++b) {
+    const double bound = obs::BucketUpperBound(b);
+    for (const double v :
+         {bound, std::nextafter(bound, 0.0),
+          std::nextafter(bound, std::numeric_limits<double>::infinity())}) {
+      EXPECT_EQ(obs::BucketIndex(v), OracleBucketIndex(v)) << "value " << v;
+    }
+  }
+  // Degenerate inputs all land in bucket 0 (or overflow for +inf).
+  EXPECT_EQ(obs::BucketIndex(0.0), 0);
+  EXPECT_EQ(obs::BucketIndex(-1.0), 0);
+  EXPECT_EQ(obs::BucketIndex(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(obs::BucketIndex(-std::numeric_limits<double>::infinity()), 0);
+  EXPECT_EQ(obs::BucketIndex(std::numeric_limits<double>::infinity()),
+            obs::kNumBuckets - 1);
+  EXPECT_EQ(obs::BucketIndex(1e300), obs::kNumBuckets - 1);
+  EXPECT_EQ(obs::BucketIndex(5e-324), 0);
+
+  // Log-uniform sweep across (and past) the whole range.
+  Lcg rng(0x0b5eb0b5u);
+  for (int i = 0; i < 20000; ++i) {
+    const double exponent = -14.0 + 33.0 * rng.NextUnit();  // 2^-14 .. 2^19
+    const double value = std::pow(2.0, exponent);
+    EXPECT_EQ(obs::BucketIndex(value), OracleBucketIndex(value))
+        << "value " << value;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency exactness
+// ---------------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountAndSumExactly) {
+  obs::Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;  // multiple of 4: per-thread sum exact
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      // Dyadic values: every partial sum is exact in double, so the
+      // sharded CAS-adds must reproduce the closed-form total to the bit.
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(0.5 + static_cast<double>(i % 4));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const obs::HistogramSnapshot snap = histogram.Snapshot();
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(snap.count, total);
+  EXPECT_EQ(histogram.Count(), total);
+  // Sum of {0.5, 1.5, 2.5, 3.5} per 4 records = 8.0.
+  EXPECT_EQ(snap.sum, static_cast<double>(total) / 4 * 8.0);
+  EXPECT_EQ(snap.max, 3.5);
+  uint64_t bucket_total = 0;
+  for (const uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, total);
+}
+
+// ---------------------------------------------------------------------
+// Quantiles vs a sorted scalar oracle
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, QuantileLandsInTheOracleSamplesBucket) {
+  // The histogram cannot beat its bucket resolution, but it must agree
+  // with the scalar nearest-rank oracle at bucket granularity: the
+  // estimate for q must fall in the same bucket as sorted[ceil(q*n)-1].
+  obs::Histogram histogram;
+  std::vector<double> samples;
+  Lcg rng(0x9e3779b9u);
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over 2^-12..2^17: exercises underflow, the whole
+    // linear range, and the overflow bucket.
+    const double value = std::pow(2.0, -12.0 + 29.0 * rng.NextUnit());
+    samples.push_back(value);
+    histogram.Record(value);
+  }
+  std::sort(samples.begin(), samples.end());
+  const obs::HistogramSnapshot snap = histogram.Snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(q * static_cast<double>(samples.size()))));
+    const double oracle = samples[rank - 1];
+    const double estimate = snap.Quantile(q);
+    EXPECT_EQ(obs::BucketIndex(estimate), obs::BucketIndex(oracle))
+        << "q=" << q << " estimate=" << estimate << " oracle=" << oracle;
+    EXPECT_LE(estimate, snap.max) << "q=" << q;
+  }
+  // The tracked max is the true max.
+  EXPECT_EQ(snap.max, samples.back());
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  obs::Histogram empty;
+  EXPECT_EQ(empty.Snapshot().Quantile(0.5), 0.0);
+
+  // All mass in the overflow bucket: no finite upper bound to
+  // interpolate toward, so every quantile reports the observed max.
+  obs::Histogram overflow;
+  overflow.Record(100000.0);
+  overflow.Record(200000.0);
+  const obs::HistogramSnapshot snap = overflow.Snapshot();
+  EXPECT_EQ(snap.Quantile(0.5), 200000.0);
+  EXPECT_EQ(snap.Quantile(1.0), 200000.0);
+
+  // Non-finite records count in the buckets but never poison sum/max;
+  // finite negatives land in bucket 0 and (per Prometheus convention)
+  // still contribute to the sum.
+  obs::Histogram junk;
+  junk.Record(std::numeric_limits<double>::quiet_NaN());
+  junk.Record(-3.0);
+  junk.Record(std::numeric_limits<double>::infinity());
+  const obs::HistogramSnapshot junk_snap = junk.Snapshot();
+  EXPECT_EQ(junk_snap.count, 3u);
+  EXPECT_EQ(junk_snap.sum, -3.0);
+  EXPECT_EQ(junk_snap.max, 0.0);
+  EXPECT_EQ(junk_snap.buckets[0], 2u);  // NaN + negative
+  EXPECT_EQ(junk_snap.buckets[obs::kNumBuckets - 1], 1u);  // +inf
+}
+
+// ---------------------------------------------------------------------
+// Snapshot merging
+// ---------------------------------------------------------------------
+
+void ExpectSnapshotsIdentical(const obs::HistogramSnapshot& a,
+                              const obs::HistogramSnapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);  // bit-identical: test data is dyadic
+  EXPECT_EQ(a.max, b.max);
+  for (int i = 0; i < obs::kNumBuckets; ++i) {
+    EXPECT_EQ(a.buckets[static_cast<size_t>(i)],
+              b.buckets[static_cast<size_t>(i)])
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, SnapshotMergeIsAssociativeAndCommutative) {
+  // Dyadic values keep every double sum exact, so associativity must
+  // hold to the bit — the property that makes per-shard / per-process
+  // snapshot aggregation order-independent.
+  obs::Histogram ha, hb, hc;
+  for (int i = 0; i < 100; ++i) ha.Record(0.25 * (i % 7 + 1));
+  for (int i = 0; i < 150; ++i) hb.Record(2.0 * (i % 5 + 1));
+  for (int i = 0; i < 80; ++i) hc.Record(128.0 + 0.5 * (i % 9));
+  const obs::HistogramSnapshot a = ha.Snapshot();
+  const obs::HistogramSnapshot b = hb.Snapshot();
+  const obs::HistogramSnapshot c = hc.Snapshot();
+
+  obs::HistogramSnapshot ab = a;
+  ab.Merge(b);
+  obs::HistogramSnapshot ab_c = ab;
+  ab_c.Merge(c);
+
+  obs::HistogramSnapshot bc = b;
+  bc.Merge(c);
+  obs::HistogramSnapshot a_bc = a;
+  a_bc.Merge(bc);
+
+  obs::HistogramSnapshot ba = b;
+  ba.Merge(a);
+
+  ExpectSnapshotsIdentical(ab_c, a_bc);
+  ExpectSnapshotsIdentical(ab, ba);
+  EXPECT_EQ(ab_c.count, a.count + b.count + c.count);
+}
+
+// ---------------------------------------------------------------------
+// Registry identity
+// ---------------------------------------------------------------------
+
+TEST(RegistryTest, GetOrCreateReturnsStableHandlesByNameAndLabels) {
+  obs::Registry registry;
+  obs::Counter* a =
+      registry.GetCounter("requests_total", "help", {{"route", "/a"}});
+  obs::Counter* a_again =
+      registry.GetCounter("requests_total", "ignored", {{"route", "/a"}});
+  obs::Counter* b =
+      registry.GetCounter("requests_total", "help", {{"route", "/b"}});
+  EXPECT_EQ(a, a_again);
+  EXPECT_NE(a, b);
+  a->Add(3);
+  EXPECT_EQ(a_again->Value(), 3u);
+  EXPECT_EQ(b->Value(), 0u);
+
+  obs::Histogram* h = registry.GetHistogram("latency_ms", "help");
+  EXPECT_EQ(h, registry.GetHistogram("latency_ms", "help"));
+}
+
+// ---------------------------------------------------------------------
+// Sampling + the zero-allocation contract
+// ---------------------------------------------------------------------
+
+TEST(TraceTest, SamplerTracesExactlyOneInN) {
+  obs::TraceSampler sampler;
+  sampler.set_every(4);
+  int sampled = 0;
+  for (int i = 0; i < 1000; ++i) sampled += sampler.Sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 250);
+
+  sampler.set_every(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(sampler.Sample());
+  sampler.set_every(0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(sampler.Sample());
+}
+
+TEST(TraceTest, StageNamesAreStableAndDistinct) {
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    for (int t = s + 1; t < obs::kNumStages; ++t) {
+      EXPECT_STRNE(obs::StageName(static_cast<obs::Stage>(s)),
+                   obs::StageName(static_cast<obs::Stage>(t)));
+    }
+  }
+  EXPECT_STREQ(obs::StageName(obs::Stage::kGemm), "gemm");
+  EXPECT_STREQ(obs::StageName(obs::Stage::kStageCount), "unknown");
+}
+
+TEST(TraceTest, SamplingOffPathAllocatesNothing) {
+  auto registry = std::make_shared<obs::Registry>();
+  auto collector = std::make_shared<obs::TraceCollector>(registry, 8);
+  obs::TraceSampler* sampler = collector->SamplerForRoute("/v1/suggest");
+  sampler->set_every(0);
+  obs::Histogram* histogram = registry->GetHistogram("latency_ms", "help");
+  obs::Counter* counter = registry->GetCounter("requests_total", "help");
+
+  // Warm thread-local shard assignment outside the measured window.
+  histogram->Record(1.0);
+  counter->Increment();
+  (void)collector->MaybeStartTrace(sampler, "/v1/suggest", 1);
+
+  const uint64_t before = AllocationCount();
+  for (uint64_t i = 0; i < 1000; ++i) {
+    // Exactly what the serving hot path does per unsampled request:
+    // sampling decision, null-trace spans through every layer, metric
+    // writes.
+    std::shared_ptr<obs::Trace> trace =
+        collector->MaybeStartTrace(sampler, "/v1/suggest", i);
+    obs::TraceSpan parse_span(trace, obs::Stage::kHttpParse);
+    parse_span.Stop();
+    {
+      obs::TraceSpan admission_span(trace, obs::Stage::kAdmission);
+    }
+    if (trace) trace->AddStageNs(obs::Stage::kGemm, 1);
+    counter->Increment();
+    histogram->Record(0.25);
+  }
+  const uint64_t after = AllocationCount();
+  EXPECT_EQ(after - before, 0u)
+      << "sampling-off path allocated " << (after - before) << " times";
+
+  // Sanity: the hook is actually live in this binary. A vector's buffer
+  // goes through the replaceable operator new (a plain new-expression
+  // could legally be elided).
+  std::vector<int> sanity(100, 1);
+  EXPECT_GT(AllocationCount(), after);
+  EXPECT_EQ(sanity[0], 1);
+}
+
+// ---------------------------------------------------------------------
+// LatencyTracker adapter
+// ---------------------------------------------------------------------
+
+TEST(LatencyTrackerTest, FeedsHistogramAndRefreshesCachedP50) {
+  obs::Registry registry;
+  serve::LatencyTracker tracker(
+      registry.GetHistogram("dssddi_service_latency_ms", "help"));
+  EXPECT_EQ(tracker.CachedP50Ms(), 0.0);
+  // 128 records of 8.0 cross the refresh interval at least twice; the
+  // cached p50 must land in 8.0's bucket.
+  for (int i = 0; i < 128; ++i) tracker.Record(8.0);
+  EXPECT_EQ(obs::BucketIndex(tracker.CachedP50Ms()), obs::BucketIndex(8.0));
+
+  const serve::LatencyTracker::Percentiles p = tracker.Snapshot();
+  EXPECT_EQ(p.count, 128u);
+  EXPECT_EQ(p.max_ms, 8.0);
+  EXPECT_EQ(obs::BucketIndex(p.p50_ms), obs::BucketIndex(8.0));
+  EXPECT_EQ(obs::BucketIndex(p.p99_ms), obs::BucketIndex(8.0));
+}
+
+}  // namespace
+}  // namespace dssddi
