@@ -240,12 +240,13 @@ int main(int argc, char** argv) {
   service_options.max_batch_size = 32;
   service_options.cache_capacity = 4096;
   serve::SuggestionService service(bundle, service_options);
-  // Every qps cell runs with trace sampling off: the numbers measure the
-  // serving fast path, and the sampling-off path is contractually free
-  // (zero allocations, zero clock reads). The traced cell further down
+  // Every qps cell runs the full default observability stack: flight
+  // recorder on every completion, an exemplar written per latency
+  // record, the SLO engine ticking in the background, and head-based
+  // trace sampling at its default rate. The headline numbers are what a
+  // production deployment would see — the traced cell further down
   // turns sampling to 1 to buy the per-stage breakdown instead of qps.
   net::SuggestFrontendOptions perf_frontend_options;
-  perf_frontend_options.trace_sample_every = 0;
   net::SuggestFrontend frontend(&service, perf_frontend_options);
   net::HttpServerOptions server_options;
   server_options.port = 0;
@@ -294,6 +295,7 @@ int main(int argc, char** argv) {
   double p50_ratio_product = 1.0;
   int grid_cells = 0;
   uint64_t grid_errors = 0;
+  LoadResult single_conn_json, single_conn_binary;
   for (const int connections : {1, 8, 32}) {
     // JSON first, binary second, same cell size; the warm cache carries
     // over, which favors neither codec (same keys, same hits).
@@ -307,6 +309,10 @@ int main(int argc, char** argv) {
                 frame_options);
     PrintRow("binary", connections, frame_result);
     record("open_admission", "binary", connections, frame_result);
+    if (connections == 1) {
+      single_conn_json = json_result;
+      single_conn_binary = frame_result;
+    }
     grid_errors += json_result.errors + frame_result.errors;
     if (json_result.qps > 0 && frame_result.qps > 0) {
       qps_ratio_product *= frame_result.qps / json_result.qps;
@@ -451,11 +457,74 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(deadline_stats.batches));
   deadline_server.Stop();
 
-  const bool ok = grid_errors == 0 && tight_result.errors == 0 &&
-                  doomed.errors == 0 && qps_speedup > 1.0;
+  bool ok = grid_errors == 0 && tight_result.errors == 0 &&
+            doomed.errors == 0 && qps_speedup > 1.0;
+
+  // Regression gate against the committed baseline: the run just
+  // finished had the flight recorder, per-record exemplars, the SLO
+  // engine and default trace sampling all on, so holding the committed
+  // single-connection qps is the proof that observability rides free.
+  // BENCH_NET_BASELINE overrides the baseline path; the min ratio
+  // (default 0.9, headroom for machine noise) via BENCH_NET_MIN_RATIO.
+  double baseline_json_qps = 0.0, baseline_binary_qps = 0.0;
+  double baseline_json_ratio = 0.0, baseline_binary_ratio = 0.0;
+  const char* baseline_override = std::getenv("BENCH_NET_BASELINE");
+  const std::string baseline_path =
+      (baseline_override != nullptr && *baseline_override != '\0')
+          ? baseline_override : "BENCH_net.json";
+  {
+    std::string baseline_text;
+    net::JsonValue baseline;
+    std::string parse_error;
+    if (io::ReadFileToString(baseline_path, &baseline_text).ok &&
+        net::ParseJson(baseline_text, &baseline, &parse_error)) {
+      if (const net::JsonValue* rows = baseline.Find("rows")) {
+        for (const net::JsonValue& row : rows->Items()) {
+          const net::JsonValue* grid = row.Find("grid");
+          const net::JsonValue* codec = row.Find("codec");
+          const net::JsonValue* connections = row.Find("connections");
+          const net::JsonValue* qps = row.Find("qps");
+          if (grid == nullptr || codec == nullptr || connections == nullptr ||
+              qps == nullptr || grid->AsString() != "open_admission" ||
+              connections->AsInt() != 1) {
+            continue;
+          }
+          (codec->AsString() == "binary" ? baseline_binary_qps
+                                         : baseline_json_qps) = qps->AsDouble();
+        }
+      }
+    }
+    if (baseline_json_qps > 0.0 && baseline_binary_qps > 0.0) {
+      const char* ratio_env = std::getenv("BENCH_NET_MIN_RATIO");
+      const double min_ratio =
+          (ratio_env != nullptr && *ratio_env != '\0') ? atof(ratio_env) : 0.9;
+      baseline_json_ratio = single_conn_json.qps / baseline_json_qps;
+      baseline_binary_ratio = single_conn_binary.qps / baseline_binary_qps;
+      // The committed baseline comes from full-length runs; short cells
+      // are dominated by warm-up, so the gate is advisory below the
+      // default request count.
+      const bool gated = num_requests >= 2000;
+      const bool holds = baseline_json_ratio >= min_ratio &&
+                         baseline_binary_ratio >= min_ratio;
+      std::printf("baseline (%s, 1 conn): json %.0f -> %.0f qps (%.2fx),"
+                  " binary %.0f -> %.0f qps (%.2fx) — %s (min ratio %.2f%s)\n",
+                  baseline_path.c_str(), baseline_json_qps,
+                  single_conn_json.qps, baseline_json_ratio,
+                  baseline_binary_qps, single_conn_binary.qps,
+                  baseline_binary_ratio,
+                  holds ? "holds" : "REGRESSED", min_ratio,
+                  gated ? "" : ", advisory at this cell size");
+      if (!holds && gated) ok = false;
+    } else {
+      std::printf("baseline: no committed BENCH_net.json found at %s —"
+                  " qps gate skipped\n", baseline_path.c_str());
+    }
+  }
   std::printf("%s\n",
-              ok ? "PASS: zero errors and binary framing beats JSON on qps"
-                 : "FAIL: errors observed or binary framing showed no win");
+              ok ? "PASS: zero errors, binary framing beats JSON on qps, and"
+                   " the baseline holds with observability on"
+                 : "FAIL: errors observed, no binary win, or qps regressed"
+                   " against the committed baseline");
   json.EndArray();
   json.Key("stage_breakdown").BeginArray();
   for (const auto& [stage, snap] : stage_snaps) {
@@ -474,6 +543,12 @@ int main(int argc, char** argv) {
   json.Key("binary_vs_json_p50_speedup").Double(p50_speedup);
   json.Key("deadline_expired").UInt(deadline_stats.expired);
   json.Key("deadline_shed").UInt(deadline_stats.deadline_shed);
+  if (baseline_json_qps > 0.0 && baseline_binary_qps > 0.0) {
+    json.Key("baseline_json_qps").Double(baseline_json_qps);
+    json.Key("baseline_binary_qps").Double(baseline_binary_qps);
+    json.Key("baseline_qps_ratio_json").Double(baseline_json_ratio);
+    json.Key("baseline_qps_ratio_binary").Double(baseline_binary_ratio);
+  }
   json.Key("pass").Bool(ok);
   json.EndObject();
   bench::WriteBenchJson("net", json.str());

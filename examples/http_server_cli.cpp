@@ -106,6 +106,9 @@ int main(int argc, char** argv) {
   server_options.host = host;
   server_options.port = port;
   server_options.num_loops = loops;
+  // Connection-level faults (parse errors, overload closes) land in the
+  // same /logz ring as request events.
+  server_options.recorder = service.flight_recorder();
   net::HttpServer server(server_options, frontend.AsHandler());
   frontend.AttachServer(&server);
   if (const io::Status status = server.Start(); !status.ok) {
@@ -125,12 +128,21 @@ int main(int argc, char** argv) {
       deadline_ms, width);
   std::printf("try:  curl http://%s:%d/healthz\n", host.c_str(), server.port());
   std::printf("      curl http://%s:%d/statsz\n", host.c_str(), server.port());
+  std::printf("      curl 'http://%s:%d/metricsz?format=openmetrics'\n",
+              host.c_str(), server.port());
+  std::printf("      curl 'http://%s:%d/logz?severity=warning'\n", host.c_str(),
+              server.port());
+  std::printf("      curl http://%s:%d/sloz\n", host.c_str(), server.port());
   std::printf(
       "      curl -d '{\"patient_id\":1,\"features\":[%d zeros],\"k\":3}'"
       " http://%s:%d/v1/suggest\n",
       width, host.c_str(), server.port());
   std::printf("      curl -d '{\"path\":\"%s\"}' http://%s:%d/admin/reload\n",
               model_path.c_str(), host.c_str(), server.port());
+  // Supervisors and scrape scripts tail this banner for the bound port;
+  // with stdout redirected to a file it would otherwise sit in the
+  // block buffer until shutdown.
+  std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

@@ -47,6 +47,24 @@ run_ctest() {
   done
 }
 
+# Metric-naming lint: every metric family literal in src/ must follow
+# the dssddi_ convention with a unit/kind suffix the exposition formats
+# understand. Catches a typo'd family name at review time instead of on
+# a dashboard weeks later.
+lint_metric_names() {
+  local bad
+  bad=$(grep -rhoE '"dssddi_[A-Za-z0-9_]*"' src/ \
+        | sort -u | tr -d '"' \
+        | grep -vE '^dssddi_[a-z0-9]+(_[a-z0-9]+)*(_total|_ms|_bytes|_seconds|_info)?$' || true)
+  if [[ -n "$bad" ]]; then
+    echo "metric names violating ^dssddi_[a-z0-9_]+(_total|_ms|_bytes|_seconds|_info)?\$:" >&2
+    echo "$bad" >&2
+    return 1
+  fi
+}
+echo "== metric-naming lint (src/) =="
+lint_metric_names
+
 if [[ -z "${CHECK_SANITIZE_ONLY:-}" && -z "${CHECK_TSAN_ONLY:-}" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -71,7 +89,7 @@ if [[ -n "${CHECK_TSAN:-}" ]]; then
   cmake -B "$TSAN_DIR" -S . -DDSSDDI_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$TSAN_DIR" -j "$(nproc)"
-  TSAN_TESTS='^(serve_test|net_test|obs_metrics_test|obs_exposition_test|quantize_serving_test)$'
+  TSAN_TESTS='^(serve_test|net_test|obs_metrics_test|obs_exposition_test|obs_log_test|obs_slo_test|quantize_serving_test)$'
   for backend in $GEMM_BACKENDS; do
     for quantize in $QUANTIZE_MODES; do
       echo "== tsan ctest (${TSAN_DIR}, DSSDDI_GEMM_BACKEND=${backend}, DSSDDI_QUANTIZE=${quantize}) =="

@@ -206,6 +206,12 @@ void HttpServer::HandleAccept(size_t loop_index) {
     if (active_.load(std::memory_order_relaxed) >=
         static_cast<uint64_t>(options_.max_connections)) {
       overload_closed_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.recorder) {
+        options_.recorder->Record(
+            obs::LogSeverity::kWarning, obs::LogReason::kOverloadClosed,
+            "http", 503, 0, 0.0, nullptr,
+            "accept shed: connection cap reached");
+      }
       // Best-effort courtesy 503; the fresh socket buffer makes a short
       // write all but guaranteed.
       [[maybe_unused]] const ssize_t n =
@@ -304,6 +310,12 @@ bool HttpServer::ProcessConnection(size_t loop_index, Connection* conn) {
     if (result == HttpParser::Result::kNeedMore) break;
     if (result == HttpParser::Result::kError) {
       parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.recorder) {
+        options_.recorder->Record(
+            obs::LogSeverity::kError, obs::LogReason::kParseError, "http",
+            conn->parser.error_status(), 0, 0.0, nullptr,
+            "request parse failed; connection closing");
+      }
       HttpResponse error;
       error.status = conn->parser.error_status();
       // The reason can embed raw client bytes (method, version token);

@@ -13,6 +13,7 @@
 #include "io/binary.h"
 #include "net/event_loop.h"
 #include "net/http.h"
+#include "obs/log.h"
 
 namespace dssddi::net {
 
@@ -30,6 +31,10 @@ struct HttpServerOptions {
   /// admission controller's per-request 429).
   int max_connections = 1024;
   HttpParser::Limits limits;
+  /// Optional flight recorder: connection-level error paths (parse
+  /// failures, overload closes) record wide events into it, so /logz
+  /// sees faults that never reach the request handler. Null = off.
+  std::shared_ptr<obs::FlightRecorder> recorder;
 };
 
 class HttpServer;

@@ -274,6 +274,11 @@ class JsonParser {
 };
 
 bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  // Reset the output first: the element parsers append to items_/members_,
+  // so parsing into a reused JsonValue would otherwise accumulate the
+  // previous document's children ahead of the new ones (and Find, which
+  // returns the first match, would keep answering from the stale parse).
+  *out = JsonValue();
   return JsonParser(text).Parse(out, error);
 }
 

@@ -1,6 +1,7 @@
 #include "net/suggest_frontend.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +10,16 @@
 #include "io/inference_bundle.h"
 #include "net/json.h"
 #include "net/wire.h"
+#include "tensor/kernels/gemm_backend.h"
+
+// Build identity for dssddi_build_info; CMake passes the real values,
+// these fallbacks keep non-CMake builds (and tooling) compiling.
+#ifndef DSSDDI_VERSION
+#define DSSDDI_VERSION "dev"
+#endif
+#ifndef DSSDDI_GIT_SHA
+#define DSSDDI_GIT_SHA "unknown"
+#endif
 
 namespace dssddi::net {
 namespace {
@@ -141,6 +152,31 @@ bool IsBinaryContentType(const std::string& value) {
                                wire::kContentType);
 }
 
+double UnixSecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Value of `key` in a raw query string ("a=1&b=2"), empty when absent.
+/// No percent-decoding: every value this API accepts (severities, trace
+/// ids, routes, format names) is literal-safe, and '/' needs no escape
+/// in a query per RFC 3986.
+std::string QueryParam(const std::string& query, const char* key) {
+  const size_t key_len = std::strlen(key);
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    if (end - pos > key_len && query.compare(pos, key_len, key) == 0 &&
+        query[pos + key_len] == '=') {
+      return query.substr(pos + key_len + 1, end - pos - key_len - 1);
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
 /// Strictly-numeric header parse for X-Deadline-Ms / X-Trace-Id; a
 /// malformed value is a client bug worth a 400, not a silent default.
 bool ParseUintHeader(const std::string& value, uint64_t* out) {
@@ -164,6 +200,18 @@ SuggestFrontend::RouteMetrics::RouteMetrics(
       requests(registry->GetCounter("dssddi_http_requests_total",
                                     "HTTP requests handled, by route",
                                     {{"route", name}})),
+      responses_2xx(registry->GetCounter(
+          "dssddi_http_responses_total",
+          "HTTP responses by route and status class",
+          {{"route", name}, {"class", "2xx"}})),
+      responses_4xx(registry->GetCounter(
+          "dssddi_http_responses_total",
+          "HTTP responses by route and status class",
+          {{"route", name}, {"class", "4xx"}})),
+      responses_5xx(registry->GetCounter(
+          "dssddi_http_responses_total",
+          "HTTP responses by route and status class",
+          {{"route", name}, {"class", "5xx"}})),
       latency(registry->GetHistogram(
           "dssddi_request_latency_ms",
           "Handler-observed latency (dispatch to response send) in "
@@ -174,6 +222,7 @@ SuggestFrontend::SuggestFrontend(serve::SuggestionService* service,
                                  const SuggestFrontendOptions& options)
     : service_(service),
       options_(options),
+      recorder_(service->flight_recorder()),
       suggest_metrics_(std::make_shared<RouteMetrics>(service->registry(),
                                                       "/v1/suggest")),
       healthz_metrics_(
@@ -184,17 +233,48 @@ SuggestFrontend::SuggestFrontend(serve::SuggestionService* service,
           std::make_shared<RouteMetrics>(service->registry(), "/metricsz")),
       tracez_metrics_(
           std::make_shared<RouteMetrics>(service->registry(), "/tracez")),
+      logz_metrics_(
+          std::make_shared<RouteMetrics>(service->registry(), "/logz")),
+      sloz_metrics_(
+          std::make_shared<RouteMetrics>(service->registry(), "/sloz")),
       reload_metrics_(std::make_shared<RouteMetrics>(service->registry(),
                                                      "/admin/reload")) {
   suggest_sampler_ = service_->trace_collector()->SamplerForRoute("/v1/suggest");
   suggest_sampler_->set_every(options_.trace_sample_every);
+  // Build/runtime identity as an info-style gauge: the value is always 1,
+  // the labels carry the facts — so dashboards and alert annotations can
+  // join any series against what was running when it was scraped.
+  service_->registry()
+      ->GetGauge("dssddi_build_info",
+                 "Build and runtime identity (constant 1; see labels)",
+                 {{"version", DSSDDI_VERSION},
+                  {"gemm_backend", tensor::kernels::ActiveBackendName()},
+                  {"quantize", service_->snapshot()->quantization_name()},
+                  {"git_sha", DSSDDI_GIT_SHA}})
+      ->Set(1.0);
+}
+
+void SuggestFrontend::RecordRejection(RouteMetrics& metrics,
+                                      const char* detail) {
+  bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics.responses_4xx->Increment();
+  recorder_->Record(obs::LogSeverity::kWarning, obs::LogReason::kBadRequest,
+                    metrics.route, 400, 0, 0.0, nullptr, detail);
 }
 
 void SuggestFrontend::Handle(const HttpRequest& request,
                              ResponseWriter writer) {
   const Clock::time_point start = Clock::now();
-  const std::string& target = request.target;
-  if (target == "/v1/suggest") {
+  // Split the target at '?': routes match on the path, observability
+  // endpoints (/metricsz format, /logz filters) read the query.
+  const size_t question = request.target.find('?');
+  const std::string path = question == std::string::npos
+                               ? request.target
+                               : request.target.substr(0, question);
+  const std::string query = question == std::string::npos
+                                ? std::string()
+                                : request.target.substr(question + 1);
+  if (path == "/v1/suggest") {
     if (request.method != "POST") {
       writer.Send(JsonError(405, "use POST for /v1/suggest"));
       return;
@@ -205,57 +285,92 @@ void SuggestFrontend::Handle(const HttpRequest& request,
   // HEAD is rejected along with everything else non-GET: the server
   // always writes the body it declares, and silently serving HEAD with
   // a body would desync keep-alive clients.
-  if (target == "/healthz") {
+  if (path == "/healthz") {
     if (request.method != "GET") {
       writer.Send(JsonError(405, "use GET for /healthz"));
       return;
     }
     HandleHealth(writer);
     healthz_metrics_->requests->Increment();
+    healthz_metrics_->CountResponse(200);
     healthz_metrics_->latency.Record(MillisSince(start));
     return;
   }
-  if (target == "/statsz") {
+  if (path == "/statsz") {
     if (request.method != "GET") {
       writer.Send(JsonError(405, "use GET for /statsz"));
       return;
     }
     HandleStats(writer);
     statsz_metrics_->requests->Increment();
+    statsz_metrics_->CountResponse(200);
     statsz_metrics_->latency.Record(MillisSince(start));
     return;
   }
-  if (target == "/metricsz") {
+  if (path == "/metricsz") {
     if (request.method != "GET") {
       writer.Send(JsonError(405, "use GET for /metricsz"));
       return;
     }
-    HandleMetrics(writer);
+    const std::string format = QueryParam(query, "format");
+    if (!format.empty() && format != "openmetrics" && format != "prometheus") {
+      RecordRejection(*metricsz_metrics_,
+                      "unknown /metricsz format (want openmetrics)");
+      writer.Send(JsonError(400, "unknown format '" + format +
+                                     "' (want openmetrics or prometheus)"));
+      return;
+    }
+    HandleMetrics(writer, format == "openmetrics");
     metricsz_metrics_->requests->Increment();
+    metricsz_metrics_->CountResponse(200);
     metricsz_metrics_->latency.Record(MillisSince(start));
     return;
   }
-  if (target == "/tracez") {
+  if (path == "/tracez") {
     if (request.method != "GET") {
       writer.Send(JsonError(405, "use GET for /tracez"));
       return;
     }
     HandleTracez(writer);
     tracez_metrics_->requests->Increment();
+    tracez_metrics_->CountResponse(200);
     tracez_metrics_->latency.Record(MillisSince(start));
     return;
   }
-  if (target == "/admin/reload") {
+  if (path == "/logz") {
+    if (request.method != "GET") {
+      writer.Send(JsonError(405, "use GET for /logz"));
+      return;
+    }
+    const int status = HandleLogz(query, writer);
+    logz_metrics_->requests->Increment();
+    logz_metrics_->CountResponse(status);
+    logz_metrics_->latency.Record(MillisSince(start));
+    return;
+  }
+  if (path == "/sloz") {
+    if (request.method != "GET") {
+      writer.Send(JsonError(405, "use GET for /sloz"));
+      return;
+    }
+    const int status = HandleSloz(writer);
+    sloz_metrics_->requests->Increment();
+    sloz_metrics_->CountResponse(status);
+    sloz_metrics_->latency.Record(MillisSince(start));
+    return;
+  }
+  if (path == "/admin/reload") {
     if (request.method != "POST") {
       writer.Send(JsonError(405, "use POST for /admin/reload"));
       return;
     }
-    HandleReload(request, writer);
+    const int status = HandleReload(request, writer);
     reload_metrics_->requests->Increment();
+    reload_metrics_->CountResponse(status);
     reload_metrics_->latency.Record(MillisSince(start));
     return;
   }
-  writer.Send(JsonError(404, "no route for '" + target + "'"));
+  writer.Send(JsonError(404, "no route for '" + path + "'"));
 }
 
 void SuggestFrontend::HandleSuggest(const HttpRequest& request,
@@ -276,7 +391,7 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     wire::SuggestRequestFrame frame;
     std::string frame_error;
     if (!wire::DecodeSuggestRequest(request.body, &frame, &frame_error)) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      RecordRejection(*suggest_metrics_, "binary frame decode failed");
       writer.Send(CodecError(binary, 400, "bad frame: " + frame_error));
       return;
     }
@@ -291,25 +406,25 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     JsonValue document;
     std::string parse_error;
     if (!ParseJson(request.body, &document, &parse_error)) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      RecordRejection(*suggest_metrics_, "request body is not valid JSON");
       writer.Send(JsonError(400, "bad JSON: " + parse_error));
       return;
     }
     if (!document.is_object()) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      RecordRejection(*suggest_metrics_, "request body is not a JSON object");
       writer.Send(JsonError(400, "body must be a JSON object"));
       return;
     }
     const JsonValue* features = document.Find("features");
     if (features == nullptr || !features->is_array()) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      RecordRejection(*suggest_metrics_, "'features' missing or not an array");
       writer.Send(JsonError(400, "'features' must be an array of numbers"));
       return;
     }
     suggest.features.reserve(features->Items().size());
     for (const JsonValue& value : features->Items()) {
       if (!value.is_number()) {
-        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        RecordRejection(*suggest_metrics_, "non-numeric 'features' element");
         writer.Send(JsonError(400, "'features' must be an array of numbers"));
         return;
       }
@@ -334,7 +449,7 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     uint64_t parsed = 0;
     if (!ParseUintHeader(*header, &parsed) || parsed == 0 ||
         parsed > INT32_MAX) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      RecordRejection(*suggest_metrics_, "malformed X-Deadline-Ms header");
       writer.Send(CodecError(binary, 400,
                              "X-Deadline-Ms must be a positive integer"));
       return;
@@ -344,7 +459,7 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
   if (const std::string* header = request.FindHeader("X-Trace-Id")) {
     uint64_t parsed = 0;
     if (!ParseUintHeader(*header, &parsed)) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      RecordRejection(*suggest_metrics_, "malformed X-Trace-Id header");
       writer.Send(CodecError(binary, 400, "X-Trace-Id must be an integer"));
       return;
     }
@@ -354,7 +469,7 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     if (AsciiEqualsIgnoreCase(*header, "batch")) {
       priority = serve::RequestPriority::kBatch;
     } else if (!AsciiEqualsIgnoreCase(*header, "interactive")) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      RecordRejection(*suggest_metrics_, "unknown X-Priority header value");
       writer.Send(CodecError(binary, 400,
                              "X-Priority must be interactive or batch"));
       return;
@@ -402,16 +517,21 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
   const bool server_timing = options_.server_timing;
   serve::SuggestionService* service = service_;
   std::shared_ptr<RouteMetrics> metrics = suggest_metrics_;
+  std::shared_ptr<obs::FlightRecorder> recorder = recorder_;
   const serve::AdmissionController::Decision decision =
       service_->TrySubmitAsync(
           std::move(suggest),
           [writer, service, patient_id, explain, binary, trace_id, metrics,
-           start, trace, server_timing](
+           recorder, start, trace, server_timing](
               core::Suggestion suggestion,
               std::shared_ptr<const serve::ModelSnapshot> snapshot,
               std::exception_ptr error) {
             metrics->requests->Increment();
-            metrics->latency.Record(MillisSince(start));
+            // One latency record per completion, exemplar attached: the
+            // bucket this request lands in remembers its trace id, so an
+            // OpenMetrics scrape links tail buckets to /tracez//logz.
+            const double total_ms = MillisSince(start);
+            metrics->latency.Record(total_ms, trace_id, UnixSecondsNow());
             if (error) {
               int status = 500;
               std::string message;
@@ -427,6 +547,14 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
                 message = e.what();
               }
               if (trace) trace->SetStatus(status);
+              metrics->CountResponse(status);
+              recorder->Record(
+                  status >= 500 ? obs::LogSeverity::kError
+                                : obs::LogSeverity::kWarning,
+                  status == 504   ? obs::LogReason::kExpired
+                  : status == 400 ? obs::LogReason::kBadRequest
+                                  : obs::LogReason::kScoringError,
+                  "/v1/suggest", status, trace_id, total_ms, trace.get());
               obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
               HttpResponse response =
                   CodecError(binary, status, message, trace_id);
@@ -435,6 +563,10 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
               writer.Send(std::move(response));
               return;
             }
+            metrics->CountResponse(200);
+            recorder->Record(obs::LogSeverity::kInfo, obs::LogReason::kNone,
+                             "/v1/suggest", 200, trace_id, total_ms,
+                             trace.get());
             // Serialize against the snapshot that actually produced the
             // suggestion: under a concurrent reload the service's current
             // snapshot may already be a different model with different
@@ -469,6 +601,10 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     case serve::AdmissionController::Decision::kShedLoad: {
       suggest_metrics_->requests->Increment();
       suggest_metrics_->latency.Record(MillisSince(start));
+      suggest_metrics_->CountResponse(429);
+      recorder_->Record(obs::LogSeverity::kWarning, obs::LogReason::kShedLoad,
+                        "/v1/suggest", 429, trace_id, MillisSince(start),
+                        trace.get());
       if (trace) trace->SetStatus(429);
       obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
       HttpResponse shed =
@@ -483,6 +619,10 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
       // problem — retrying with the same budget would shed again.
       suggest_metrics_->requests->Increment();
       suggest_metrics_->latency.Record(MillisSince(start));
+      suggest_metrics_->CountResponse(504);
+      recorder_->Record(obs::LogSeverity::kWarning,
+                        obs::LogReason::kShedDeadline, "/v1/suggest", 504,
+                        trace_id, MillisSince(start), trace.get());
       if (trace) trace->SetStatus(504);
       obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
       HttpResponse shed = CodecError(
@@ -535,6 +675,8 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
       .Key("admitted").UInt(stats.admitted)
       .Key("shed").UInt(stats.shed)
       .Key("deadline_shed").UInt(stats.deadline_shed)
+      .Key("degraded_shed").UInt(stats.degraded_shed)
+      .Key("slo_degraded").Bool(stats.slo_degraded)
       .EndObject();
   json.Key("cache").BeginObject()
       .Key("hits").UInt(stats.cache_hits)
@@ -591,66 +733,122 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
   writer.Send(std::move(response));
 }
 
-void SuggestFrontend::HandleMetrics(ResponseWriter writer) const {
+void SuggestFrontend::HandleMetrics(ResponseWriter writer,
+                                    bool openmetrics) const {
   // Two sections, one writer: the ServiceStats counters (rendered from
   // the same atomics Stats()/statsz read, so the views agree by
   // construction) followed by every registry metric — per-route request
   // counters and latency histograms, per-stage trace histograms, the
-  // service latency histogram, trace sampling counters.
+  // service latency histogram, trace sampling counters. FamilyHeader
+  // applies the dialect's naming rules, so the same calls emit valid
+  // 0.0.4 and valid OpenMetrics 1.0.
   const serve::ServiceStats stats = service_->Stats();
-  obs::PrometheusTextWriter prom;
-  prom.Help("dssddi_service_requests_total", "Requests accepted by Submit")
-      .Type("dssddi_service_requests_total", "counter")
+  obs::PrometheusTextWriter prom(openmetrics
+                                     ? obs::ExpositionFormat::kOpenMetrics100
+                                     : obs::ExpositionFormat::kPrometheus004);
+  prom.FamilyHeader("dssddi_service_requests_total", "counter",
+                    "Requests accepted by Submit")
       .Value("dssddi_service_requests_total", {}, stats.requests);
-  prom.Help("dssddi_service_completed_total", "Completions fired")
-      .Type("dssddi_service_completed_total", "counter")
+  prom.FamilyHeader("dssddi_service_completed_total", "counter",
+                    "Completions fired")
       .Value("dssddi_service_completed_total", {}, stats.completed);
-  prom.Help("dssddi_service_expired_total",
-            "Requests dropped post-admission because their deadline passed")
-      .Type("dssddi_service_expired_total", "counter")
+  prom.FamilyHeader(
+          "dssddi_service_expired_total", "counter",
+          "Requests dropped post-admission because their deadline passed")
       .Value("dssddi_service_expired_total", {}, stats.expired);
-  prom.Help("dssddi_service_batches_total", "Matrix passes dispatched")
-      .Type("dssddi_service_batches_total", "counter")
+  prom.FamilyHeader("dssddi_service_batches_total", "counter",
+                    "Matrix passes dispatched")
       .Value("dssddi_service_batches_total", {}, stats.batches);
-  prom.Help("dssddi_service_coalesced_total",
-            "Requests that rode an identical in-flight query")
-      .Type("dssddi_service_coalesced_total", "counter")
+  prom.FamilyHeader("dssddi_service_coalesced_total", "counter",
+                    "Requests that rode an identical in-flight query")
       .Value("dssddi_service_coalesced_total", {}, stats.coalesced);
-  prom.Help("dssddi_admission_total", "Admission gate outcomes, by decision")
-      .Type("dssddi_admission_total", "counter")
+  prom.FamilyHeader("dssddi_admission_total", "counter",
+                    "Admission gate outcomes, by decision")
       .Value("dssddi_admission_total", {{"decision", "admitted"}},
              stats.admitted)
       .Value("dssddi_admission_total", {{"decision", "shed_load"}}, stats.shed)
       .Value("dssddi_admission_total", {{"decision", "shed_deadline"}},
-             stats.deadline_shed);
-  prom.Help("dssddi_cache_total", "Suggestion cache outcomes")
-      .Type("dssddi_cache_total", "counter")
+             stats.deadline_shed)
+      .Value("dssddi_admission_total", {{"decision", "shed_degraded"}},
+             stats.degraded_shed);
+  prom.FamilyHeader("dssddi_cache_total", "counter",
+                    "Suggestion cache outcomes")
       .Value("dssddi_cache_total", {{"outcome", "hit"}}, stats.cache_hits)
       .Value("dssddi_cache_total", {{"outcome", "miss"}}, stats.cache_misses);
-  prom.Help("dssddi_http_bad_requests_total",
-            "Requests rejected before reaching the service")
-      .Type("dssddi_http_bad_requests_total", "counter")
+  prom.FamilyHeader("dssddi_http_bad_requests_total", "counter",
+                    "Requests rejected before reaching the service")
       .Value("dssddi_http_bad_requests_total", {}, bad_requests());
-  prom.Help("dssddi_in_flight", "Accepted requests not yet completed")
-      .Type("dssddi_in_flight", "gauge")
+  prom.FamilyHeader("dssddi_in_flight", "gauge",
+                    "Accepted requests not yet completed")
       .Value("dssddi_in_flight", {}, stats.in_flight);
-  prom.Help("dssddi_queue_depth", "Requests queued in batcher + pool")
-      .Type("dssddi_queue_depth", "gauge")
+  prom.FamilyHeader("dssddi_queue_depth", "gauge",
+                    "Requests queued in batcher + pool")
       .Value("dssddi_queue_depth", {}, stats.queue_depth);
-  prom.Help("dssddi_model_version", "Version of the served model snapshot")
-      .Type("dssddi_model_version", "gauge")
+  prom.FamilyHeader("dssddi_model_version", "gauge",
+                    "Version of the served model snapshot")
       .Value("dssddi_model_version", {}, stats.model_version);
-  prom.Help("dssddi_model_reloads_total", "Successful hot reloads")
-      .Type("dssddi_model_reloads_total", "counter")
+  prom.FamilyHeader("dssddi_model_reloads_total", "counter",
+                    "Successful hot reloads")
       .Value("dssddi_model_reloads_total", {}, stats.reloads);
-  prom.Help("dssddi_uptime_seconds", "Service uptime")
-      .Type("dssddi_uptime_seconds", "gauge")
+  prom.FamilyHeader("dssddi_uptime_seconds", "gauge", "Service uptime")
       .Value("dssddi_uptime_seconds", {}, stats.uptime_seconds);
 
   HttpResponse response;
-  response.content_type = "text/plain; version=0.0.4";
-  response.body = prom.str() + service_->registry()->RenderPrometheusText();
+  if (openmetrics) {
+    response.content_type =
+        "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    response.body =
+        prom.str() + service_->registry()->RenderOpenMetricsText() + "# EOF\n";
+  } else {
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = prom.str() + service_->registry()->RenderPrometheusText();
+  }
   writer.Send(std::move(response));
+}
+
+int SuggestFrontend::HandleLogz(const std::string& query,
+                                ResponseWriter writer) {
+  // Rejections here skip RecordRejection: the caller counts the response
+  // class from the returned status, so the helper's 4xx bump would
+  // double-count.
+  obs::LogSeverity min_severity = obs::LogSeverity::kInfo;
+  const std::string severity = QueryParam(query, "severity");
+  if (!severity.empty() && !obs::ParseLogSeverity(severity, &min_severity)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    recorder_->Record(obs::LogSeverity::kWarning, obs::LogReason::kBadRequest,
+                      "/logz", 400, 0, 0.0, nullptr,
+                      "unknown /logz severity filter");
+    writer.Send(JsonError(400, "severity must be info, warning or error"));
+    return 400;
+  }
+  uint64_t trace_filter = 0;
+  const std::string trace = QueryParam(query, "trace");
+  if (!trace.empty() && !ParseUintHeader(trace, &trace_filter)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    recorder_->Record(obs::LogSeverity::kWarning, obs::LogReason::kBadRequest,
+                      "/logz", 400, 0, 0.0, nullptr,
+                      "non-numeric /logz trace filter");
+    writer.Send(JsonError(400, "trace must be a trace id"));
+    return 400;
+  }
+  HttpResponse response;
+  response.content_type = "application/x-ndjson";
+  response.body = recorder_->RenderLogzJson(min_severity, trace_filter,
+                                            QueryParam(query, "route"));
+  writer.Send(std::move(response));
+  return 200;
+}
+
+int SuggestFrontend::HandleSloz(ResponseWriter writer) const {
+  const obs::SloEngine* slo = service_->slo_engine();
+  if (slo == nullptr) {
+    writer.Send(JsonError(404, "SLO engine disabled (ServiceOptions::slo_enabled)"));
+    return 404;
+  }
+  HttpResponse response;
+  response.body = slo->RenderSlozJson();
+  writer.Send(std::move(response));
+  return 200;
 }
 
 void SuggestFrontend::HandleTracez(ResponseWriter writer) const {
@@ -659,21 +857,27 @@ void SuggestFrontend::HandleTracez(ResponseWriter writer) const {
   writer.Send(std::move(response));
 }
 
-void SuggestFrontend::HandleReload(const HttpRequest& request,
-                                   ResponseWriter writer) {
+int SuggestFrontend::HandleReload(const HttpRequest& request,
+                                  ResponseWriter writer) {
   JsonValue document;
   std::string parse_error;
   if (!ParseJson(request.body, &document, &parse_error) ||
       !document.is_object()) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    recorder_->Record(obs::LogSeverity::kWarning, obs::LogReason::kBadRequest,
+                      "/admin/reload", 400, 0, 0.0, nullptr,
+                      "reload body is not a JSON object");
     writer.Send(JsonError(400, "bad JSON: " + parse_error));
-    return;
+    return 400;
   }
   const JsonValue* path = document.Find("path");
   if (path == nullptr || !path->is_string() || path->AsString().empty()) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    recorder_->Record(obs::LogSeverity::kWarning, obs::LogReason::kBadRequest,
+                      "/admin/reload", 400, 0, 0.0, nullptr,
+                      "reload 'path' missing or empty");
     writer.Send(JsonError(400, "'path' must name a bundle file"));
-    return;
+    return 400;
   }
 
   // Optional "quantize": "auto" (default) follows the process-wide
@@ -686,8 +890,11 @@ void SuggestFrontend::HandleReload(const HttpRequest& request,
         (quantize->AsString() != "auto" &&
          !tensor::kernels::ParseQuantMode(quantize->AsString(), &mode))) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      recorder_->Record(obs::LogSeverity::kWarning,
+                        obs::LogReason::kBadRequest, "/admin/reload", 400, 0,
+                        0.0, nullptr, "unknown reload 'quantize' value");
       writer.Send(JsonError(400, "'quantize' must be auto, none or int8"));
-      return;
+      return 400;
     }
     if (quantize->AsString() != "auto") quantization = static_cast<int>(mode);
   }
@@ -695,16 +902,22 @@ void SuggestFrontend::HandleReload(const HttpRequest& request,
   io::InferenceBundle bundle;
   if (const io::Status loaded = io::LoadInferenceBundle(path->AsString(), &bundle);
       !loaded.ok) {
+    recorder_->Record(obs::LogSeverity::kError, obs::LogReason::kReloadError,
+                      "/admin/reload", 400, 0, 0.0, nullptr,
+                      "bundle load failed");
     writer.Send(JsonError(400, "cannot load bundle: " + loaded.message));
-    return;
+    return 400;
   }
   bundle.quantization = quantization;
   const int num_drugs = bundle.num_drugs();
   const std::string display_name = bundle.display_name;
   if (const io::Status swapped = service_->Reload(std::move(bundle));
       !swapped.ok) {
+    recorder_->Record(obs::LogSeverity::kError, obs::LogReason::kReloadError,
+                      "/admin/reload", 409, 0, 0.0, nullptr,
+                      "incompatible bundle rejected by Reload");
     writer.Send(JsonError(409, swapped.message));
-    return;
+    return 409;
   }
   HttpResponse response;
   JsonWriter json;
@@ -716,6 +929,7 @@ void SuggestFrontend::HandleReload(const HttpRequest& request,
       .EndObject();
   response.body = json.str();
   writer.Send(std::move(response));
+  return 200;
 }
 
 }  // namespace dssddi::net

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/http_server.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/latency_tracker.h"
@@ -70,6 +71,17 @@ struct SuggestFrontendOptions {
 ///                      reads — the two views cannot disagree
 ///   GET  /tracez       the slow-trace and errored-trace rings as JSON,
 ///                      per-stage timings included
+///   GET  /logz         the flight recorder's wide events as NDJSON,
+///                      oldest first; ?severity=info|warning|error sets
+///                      a minimum severity, ?trace=<id> keeps one trace,
+///                      ?route=<route> keeps one route
+///   GET  /sloz         SLO engine state: per-objective fast/slow burn
+///                      rates, windowed counts, degraded flag
+///
+/// `/metricsz?format=openmetrics` switches the exposition to OpenMetrics
+/// 1.0: counter families drop `_total` in HELP/TYPE, histogram buckets
+/// carry `# {trace_id="..."} ...` exemplars linking tail latency to
+/// /tracez//logz entries, and the payload ends with `# EOF`.
 ///   POST /admin/reload {"path":"/models/new.dssb"} -> hot-swaps the bundle
 ///                      -> 409 incompatible bundle, 400 bad body/file
 ///
@@ -131,20 +143,43 @@ class SuggestFrontend {
     const char* route;
     std::shared_ptr<obs::Registry> registry;
     obs::Counter* requests;
+    /// Response status classes, feeding the availability SLO — same
+    /// family (name + labels) the SloEngine resolves, so registration
+    /// order between engine and frontend does not matter.
+    obs::Counter* responses_2xx;
+    obs::Counter* responses_4xx;
+    obs::Counter* responses_5xx;
     serve::LatencyTracker latency;
+
+    void CountResponse(int status) {
+      (status >= 500       ? responses_5xx
+       : status >= 400     ? responses_4xx
+                           : responses_2xx)
+          ->Increment();
+    }
   };
 
   void HandleSuggest(const HttpRequest& request, ResponseWriter writer,
                      std::chrono::steady_clock::time_point start);
   void HandleHealth(ResponseWriter writer) const;
   void HandleStats(ResponseWriter writer) const;
-  void HandleMetrics(ResponseWriter writer) const;
+  void HandleMetrics(ResponseWriter writer, bool openmetrics) const;
   void HandleTracez(ResponseWriter writer) const;
-  void HandleReload(const HttpRequest& request, ResponseWriter writer);
+  /// Return the status they answered with, so the caller counts the
+  /// response class without re-deriving it.
+  int HandleLogz(const std::string& query, ResponseWriter writer);
+  int HandleSloz(ResponseWriter writer) const;
+  int HandleReload(const HttpRequest& request, ResponseWriter writer);
+  /// Counts one pre-service rejection: bad_requests_, the route's 4xx
+  /// class, and a kBadRequest flight-recorder event. `detail` must be a
+  /// string literal (recorder contract).
+  void RecordRejection(RouteMetrics& metrics, const char* detail);
 
   serve::SuggestionService* service_;
   SuggestFrontendOptions options_;
   const HttpServer* http_ = nullptr;
+  /// The service's flight recorder (shared; see SuggestionService).
+  std::shared_ptr<obs::FlightRecorder> recorder_;
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> next_trace_id_{1};
   /// Cached sampler handle for /v1/suggest (stable for the collector's
@@ -155,6 +190,8 @@ class SuggestFrontend {
   std::shared_ptr<RouteMetrics> statsz_metrics_;
   std::shared_ptr<RouteMetrics> metricsz_metrics_;
   std::shared_ptr<RouteMetrics> tracez_metrics_;
+  std::shared_ptr<RouteMetrics> logz_metrics_;
+  std::shared_ptr<RouteMetrics> sloz_metrics_;
   std::shared_ptr<RouteMetrics> reload_metrics_;
 };
 

@@ -120,6 +120,56 @@ void Histogram::Record(double value) {
   }
 }
 
+void Histogram::Record(double value, uint64_t exemplar_trace_id,
+                       double unix_seconds) {
+  const int bucket = BucketIndex(value);
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.buckets[static_cast<size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(value)) {
+    AtomicAddDouble(shard.sum, value);
+    AtomicMaxDouble(shard.max, value);
+  }
+  if (exemplar_trace_id == 0) return;
+  // Last-write-wins exemplar under a try-lock: a writer that loses the
+  // race simply drops its exemplar (another observation from the same
+  // bucket just won; either is a valid exemplar). The seq odd/even dance
+  // lets readers detect a mid-update slot without blocking the writer.
+  ExemplarSlot& slot = exemplars_[static_cast<size_t>(bucket)];
+  if (slot.busy.exchange(true, std::memory_order_acquire)) return;
+  slot.seq.fetch_add(1, std::memory_order_release);  // now odd
+  slot.trace_id.store(exemplar_trace_id, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.timestamp.store(unix_seconds, std::memory_order_relaxed);
+  slot.seq.fetch_add(1, std::memory_order_release);  // even again
+  slot.busy.store(false, std::memory_order_release);
+}
+
+Exemplar Histogram::ExemplarAt(int bucket) const {
+  Exemplar out;
+  if (bucket < 0 || bucket >= kNumBuckets) return out;
+  const ExemplarSlot& slot = exemplars_[static_cast<size_t>(bucket)];
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint32_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1u) != 0) {
+      if (before == 0) return out;  // never written
+      continue;                     // writer mid-update, retry
+    }
+    const uint64_t trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    const double value = slot.value.load(std::memory_order_relaxed);
+    const double timestamp = slot.timestamp.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+    out.trace_id = trace_id;
+    out.value = value;
+    out.timestamp = timestamp;
+    out.valid = true;
+    return out;
+  }
+  return out;  // persistent contention: report no exemplar this render
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   for (const auto& shard : shards_) {
@@ -239,16 +289,18 @@ Histogram* Registry::GetHistogram(const std::string& name,
       ->histogram.get();
 }
 
-std::string Registry::RenderPrometheusText() const {
-  PrometheusTextWriter writer;
+std::string Registry::RenderText(ExpositionFormat format) const {
+  PrometheusTextWriter writer(format);
+  const bool openmetrics = format == ExpositionFormat::kOpenMetrics100;
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& family : families_) {
-    writer.Help(family->name, family->help);
+    const char* type = "gauge";
     switch (family->kind) {
-      case Kind::kCounter: writer.Type(family->name, "counter"); break;
-      case Kind::kGauge: writer.Type(family->name, "gauge"); break;
-      case Kind::kHistogram: writer.Type(family->name, "histogram"); break;
+      case Kind::kCounter: type = "counter"; break;
+      case Kind::kGauge: type = "gauge"; break;
+      case Kind::kHistogram: type = "histogram"; break;
     }
+    writer.FamilyHeader(family->name, type, family->help);
     for (const auto& metric : family->metrics) {
       switch (metric->kind) {
         case Kind::kCounter:
@@ -259,12 +311,30 @@ std::string Registry::RenderPrometheusText() const {
           break;
         case Kind::kHistogram:
           writer.HistogramSeries(family->name, metric->labels,
-                                 metric->histogram->Snapshot());
+                                 metric->histogram->Snapshot(),
+                                 openmetrics ? metric->histogram.get()
+                                             : nullptr);
           break;
       }
     }
   }
   return writer.str();
+}
+
+std::string Registry::RenderPrometheusText() const {
+  return RenderText(PrometheusTextWriter::Format::kPrometheus004);
+}
+
+std::string Registry::RenderOpenMetricsText() const {
+  return RenderText(PrometheusTextWriter::Format::kOpenMetrics100);
+}
+
+std::vector<std::string> Registry::FamilyNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& family : families_) names.push_back(family->name);
+  return names;
 }
 
 // ---------------------------------------------------------------------
@@ -302,6 +372,21 @@ PrometheusTextWriter& PrometheusTextWriter::Type(const std::string& name,
   out_ += ' ';
   out_ += type;
   out_ += '\n';
+  return *this;
+}
+
+PrometheusTextWriter& PrometheusTextWriter::FamilyHeader(
+    const std::string& name, const std::string& type,
+    const std::string& help) {
+  // OpenMetrics names a counter family WITHOUT the `_total` suffix its
+  // sample lines carry; the 0.0.4 dialect uses the full name everywhere.
+  std::string family = name;
+  if (format_ == Format::kOpenMetrics100 && type == "counter" &&
+      family.size() > 6 && family.compare(family.size() - 6, 6, "_total") == 0) {
+    family.resize(family.size() - 6);
+  }
+  Help(family, help);
+  Type(family, type);
   return *this;
 }
 
@@ -353,13 +438,24 @@ PrometheusTextWriter& PrometheusTextWriter::Value(const std::string& name,
 
 PrometheusTextWriter& PrometheusTextWriter::HistogramSeries(
     const std::string& name, const Labels& labels,
-    const HistogramSnapshot& snapshot) {
+    const HistogramSnapshot& snapshot, const Histogram* exemplar_source) {
   uint64_t cumulative = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
     cumulative += snapshot.buckets[static_cast<size_t>(b)];
     SeriesHeader(name + "_bucket", labels, "le",
                  FormatDouble(BucketUpperBound(b)));
     out_ += std::to_string(cumulative);
+    if (format_ == Format::kOpenMetrics100 && exemplar_source != nullptr) {
+      const Exemplar exemplar = exemplar_source->ExemplarAt(b);
+      if (exemplar.valid) {
+        out_ += " # {trace_id=\"";
+        out_ += std::to_string(exemplar.trace_id);
+        out_ += "\"} ";
+        out_ += FormatDouble(exemplar.value);
+        out_ += ' ';
+        out_ += FormatDouble(exemplar.timestamp);
+      }
+    }
     out_ += '\n';
   }
   SeriesHeader(name + "_sum", labels);

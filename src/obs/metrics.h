@@ -105,6 +105,17 @@ class Gauge {
 // Histogram
 // ---------------------------------------------------------------------
 
+/// One bucket's exemplar: the most recent observation that landed in the
+/// bucket while carrying a trace id, so a tail bucket in /metricsz points
+/// at the /tracez//logz entry that caused it (OpenMetrics 1.0 exemplars).
+/// `timestamp` is unix seconds; `valid` is false until the first write.
+struct Exemplar {
+  uint64_t trace_id = 0;
+  double value = 0.0;
+  double timestamp = 0.0;
+  bool valid = false;
+};
+
 /// Point-in-time histogram state: per-bucket counts (NOT cumulative),
 /// total count, value sum, and the largest value observed. Plain data —
 /// snapshots merge associatively and commutatively, so per-shard,
@@ -128,7 +139,10 @@ struct HistogramSnapshot {
 
 /// Mergeable log-linear histogram with per-thread-sharded lock-free
 /// recording. Record(value) costs one bucket-index computation plus
-/// four relaxed atomic ops on the caller's shard.
+/// four relaxed atomic ops on the caller's shard; the exemplar overload
+/// adds one try-lock exchange and a handful of relaxed stores (and
+/// drops the exemplar, never blocks, when another writer holds the
+/// bucket's slot — last-write-wins tolerates losing a race).
 class Histogram {
  public:
   Histogram() = default;
@@ -136,8 +150,16 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
   void Record(double value);
+  /// Record plus an exemplar for the containing bucket: the observed
+  /// value, the request's trace id, and a unix-seconds timestamp.
+  /// trace_id == 0 (no trace identity) records the value only. Never
+  /// allocates, never blocks.
+  void Record(double value, uint64_t exemplar_trace_id, double unix_seconds);
   HistogramSnapshot Snapshot() const;
   uint64_t Count() const;
+  /// Consistent copy of one bucket's exemplar slot (valid=false when the
+  /// bucket never saw an exemplar or a writer was mid-update).
+  Exemplar ExemplarAt(int bucket) const;
 
  private:
   struct alignas(64) Shard {
@@ -146,7 +168,19 @@ class Histogram {
     std::atomic<double> max{0.0};
     std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
   };
+  /// Seqlock-guarded exemplar slot: writers take the try-lock (skip on
+  /// contention), bump seq to odd, store fields relaxed, bump seq to
+  /// even. Readers accept only even, unchanged, nonzero seqs. All-atomic
+  /// so concurrent access is defined (and TSan-clean) without a mutex.
+  struct ExemplarSlot {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<bool> busy{false};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+    std::atomic<double> timestamp{0.0};
+  };
   std::array<Shard, kWriteShards> shards_;
+  std::array<ExemplarSlot, kNumBuckets> exemplars_;
 };
 
 // ---------------------------------------------------------------------
@@ -156,6 +190,12 @@ class Histogram {
 /// Prometheus-style label set, in render order. Values may contain any
 /// bytes; rendering escapes backslash, quote and newline.
 using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Exposition dialect. 0.0.4 is the classic Prometheus text format the
+/// existing /metricsz serves; OpenMetrics 1.0 strips `_total` from
+/// counter family names in HELP/TYPE lines, emits histogram bucket
+/// exemplars, and requires the final payload to end in `# EOF`.
+enum class ExpositionFormat { kPrometheus004, kOpenMetrics100 };
 
 /// Named metric registry: get-or-create by (name, labels), stable
 /// pointers for the process lifetime of the registry, and Prometheus
@@ -186,6 +226,18 @@ class Registry {
   /// `_count`.
   std::string RenderPrometheusText() const;
 
+  /// OpenMetrics 1.0 text for every registered metric. Differences from
+  /// the 0.0.4 render: counter families drop the `_total` suffix in
+  /// HELP/TYPE (samples keep it, per the spec), histogram buckets carry
+  /// `# {trace_id="..."} value timestamp` exemplars when a bucket has
+  /// one, and the body does NOT end in `# EOF` — the route handler
+  /// appends the terminator once, after concatenating sections.
+  std::string RenderOpenMetricsText() const;
+
+  /// Registered family names in registration order (for the naming lint
+  /// and self-description endpoints).
+  std::vector<std::string> FamilyNames() const;
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
 
@@ -206,6 +258,7 @@ class Registry {
 
   Metric* GetOrCreate(Kind kind, const std::string& name,
                       const std::string& help, Labels labels);
+  std::string RenderText(ExpositionFormat format) const;
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Family>> families_;  // registration order
@@ -222,26 +275,46 @@ std::string EscapeLabelValue(const std::string& value);
 /// Append-style Prometheus text writer, used by Registry::Render and by
 /// callers exposing values that live outside the registry (the service
 /// stats atomics /statsz already reports — rendering them through the
-/// same writer keeps the two views in lockstep).
+/// same writer keeps the two views in lockstep). The writer speaks two
+/// dialects: classic 0.0.4 (default, unchanged output) and OpenMetrics
+/// 1.0, where counter families drop the `_total` suffix in HELP/TYPE
+/// lines and histogram buckets may carry exemplars.
 class PrometheusTextWriter {
  public:
+  using Format = ExpositionFormat;
+
+  PrometheusTextWriter() = default;
+  explicit PrometheusTextWriter(Format format) : format_(format) {}
+
   PrometheusTextWriter& Help(const std::string& name, const std::string& text);
   /// `type` is "counter", "gauge" or "histogram".
   PrometheusTextWriter& Type(const std::string& name, const std::string& type);
+  /// HELP + TYPE for one family, with the dialect's name rules applied
+  /// (OpenMetrics strips a counter's `_total` from the family name;
+  /// sample lines keep it). Prefer this over separate Help/Type calls
+  /// when the output may be OpenMetrics.
+  PrometheusTextWriter& FamilyHeader(const std::string& name,
+                                     const std::string& type,
+                                     const std::string& help);
   PrometheusTextWriter& Value(const std::string& name, const Labels& labels,
                               double value);
   PrometheusTextWriter& Value(const std::string& name, const Labels& labels,
                               uint64_t value);
-  /// Cumulative `_bucket`/`_sum`/`_count` series for one histogram.
-  PrometheusTextWriter& HistogramSeries(const std::string& name,
-                                        const Labels& labels,
-                                        const HistogramSnapshot& snapshot);
+  /// Cumulative `_bucket`/`_sum`/`_count` series for one histogram. In
+  /// OpenMetrics format, a non-null `exemplar_source` contributes
+  /// `# {trace_id="..."} value timestamp` exemplars on bucket lines.
+  PrometheusTextWriter& HistogramSeries(
+      const std::string& name, const Labels& labels,
+      const HistogramSnapshot& snapshot,
+      const Histogram* exemplar_source = nullptr);
+  Format format() const { return format_; }
   const std::string& str() const { return out_; }
 
  private:
   void SeriesHeader(const std::string& name, const Labels& labels,
                     const std::string& extra_label_name = "",
                     const std::string& extra_label_value = "");
+  Format format_ = Format::kPrometheus004;
   std::string out_;
 };
 

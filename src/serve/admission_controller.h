@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "serve/request_context.h"
+
 namespace dssddi::serve {
 
 /// Load-shedding gate in front of the serving pipeline. Three
@@ -45,6 +47,14 @@ class AdmissionController {
     /// cannot cover the median service time; larger values shed earlier
     /// (more headroom demanded), 0 sheds only already-expired requests.
     double deadline_headroom = 1.0;
+    /// Multiplier applied to `deadline_headroom` while the SLO engine
+    /// holds the gate in degraded mode: requests must show more slack to
+    /// be admitted, so marginal ones are rejected before they queue.
+    double degraded_headroom_multiplier = 2.0;
+    /// While degraded, shed kBatch-priority arrivals outright (429):
+    /// graceful degradation drops the traffic class that asked to be
+    /// dropped first, keeping interactive p99 inside its objective.
+    bool degraded_shed_batch = true;
   };
 
   enum class Decision {
@@ -57,6 +67,9 @@ class AdmissionController {
     uint64_t admitted = 0;
     uint64_t shed = 0;           // load sheds only
     uint64_t deadline_shed = 0;  // counted separately by design
+    /// kBatch arrivals shed because the gate was degraded (a subset of
+    /// `shed`): the measured cost of graceful degradation.
+    uint64_t degraded_shed = 0;
   };
 
   AdmissionController() = default;
@@ -79,12 +92,29 @@ class AdmissionController {
   /// blown (remaining <= 0) are never probed — they cannot succeed.
   Decision AdmitWithDeadline(size_t in_flight, size_t queue_depth,
                              double remaining_budget_ms,
-                             double p50_service_ms) {
+                             double p50_service_ms,
+                             RequestPriority priority =
+                                 RequestPriority::kInteractive) {
     if (remaining_budget_ms <= 0.0) {
       deadline_shed_.fetch_add(1, std::memory_order_relaxed);
       return Decision::kShedDeadline;
     }
-    if (remaining_budget_ms < options_.deadline_headroom * p50_service_ms) {
+    // Degraded mode (set by the SLO engine when a fast burn crosses its
+    // threshold): drop the low-priority class first, and demand extra
+    // deadline slack from everyone else. Both levers act before the
+    // depth bounds — degradation is about protecting the objective, not
+    // about queue capacity.
+    const bool degraded = degraded_.load(std::memory_order_relaxed);
+    if (degraded && options_.degraded_shed_batch &&
+        priority == RequestPriority::kBatch) {
+      degraded_shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Decision::kShedLoad;
+    }
+    const double headroom =
+        degraded ? options_.deadline_headroom * options_.degraded_headroom_multiplier
+                 : options_.deadline_headroom;
+    if (remaining_budget_ms < headroom * p50_service_ms) {
       const uint64_t nth =
           probe_candidates_.fetch_add(1, std::memory_order_relaxed);
       if (nth % kProbeInterval != kProbeInterval - 1) {
@@ -113,8 +143,16 @@ class AdmissionController {
   Counters counters() const {
     return {admitted_.load(std::memory_order_relaxed),
             shed_.load(std::memory_order_relaxed),
-            deadline_shed_.load(std::memory_order_relaxed)};
+            deadline_shed_.load(std::memory_order_relaxed),
+            degraded_shed_.load(std::memory_order_relaxed)};
   }
+
+  /// Degraded-mode input, driven by the SLO engine's burn-rate state
+  /// machine (obs::SloEngine). Safe from any thread.
+  void set_degraded(bool degraded) {
+    degraded_.store(degraded, std::memory_order_relaxed);
+  }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   const Options& options() const { return options_; }
   bool enabled() const {
@@ -125,9 +163,11 @@ class AdmissionController {
   static constexpr uint64_t kProbeInterval = 16;
 
   Options options_;
+  std::atomic<bool> degraded_{false};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> deadline_shed_{0};
+  std::atomic<uint64_t> degraded_shed_{0};
   std::atomic<uint64_t> probe_candidates_{0};
 };
 

@@ -41,8 +41,14 @@ class LatencyTracker {
   LatencyTracker(const LatencyTracker&) = delete;
   LatencyTracker& operator=(const LatencyTracker&) = delete;
 
-  void Record(double millis) {
-    histogram_->Record(millis);
+  void Record(double millis) { Record(millis, 0, 0.0); }
+
+  /// Record with an exemplar (trace id + unix timestamp) attached to the
+  /// containing histogram bucket, so /metricsz?format=openmetrics links
+  /// a tail bucket to its /tracez//logz entry. trace_id == 0 records the
+  /// value only.
+  void Record(double millis, uint64_t trace_id, double unix_seconds) {
+    histogram_->Record(millis, trace_id, unix_seconds);
     // Refresh the admission-path p50 estimate every kRefreshEvery
     // samples. The refresh is a shard merge + bucket walk — O(shards x
     // buckets) of relaxed loads, no locks, no allocation — cheap enough

@@ -52,6 +52,7 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
       registry_(std::make_shared<obs::Registry>()),
       collector_(std::make_shared<obs::TraceCollector>(
           registry_, options.trace_ring_capacity)),
+      recorder_(std::make_shared<obs::FlightRecorder>(options.flight_recorder)),
       latency_(registry_->GetHistogram(
           "dssddi_service_latency_ms",
           "Successful-completion latency (submit to completion) in "
@@ -88,6 +89,20 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
       [this](std::vector<PendingRequest> expired) {
         for (PendingRequest& pending : expired) ExpireRequest(pending);
       });
+  if (options_.slo_enabled) {
+    obs::SloEngineOptions slo_options = options_.slo;
+    if (slo_options.objectives.empty()) {
+      slo_options.objectives =
+          obs::DefaultSuggestObjectives(options_.slo_default_p99_ms);
+    }
+    // The engine closes the loop: burn-rate transitions flip the
+    // admission gate's degraded bit, so overload visible in the SLO
+    // windows tightens admission before the objective is blown for good.
+    slo_ = std::make_unique<obs::SloEngine>(
+        registry_, std::move(slo_options),
+        [this](bool degraded) { admission_.set_degraded(degraded); },
+        recorder_);
+  }
 }
 
 std::shared_ptr<const ModelSnapshot> SuggestionService::snapshot() const {
@@ -156,7 +171,8 @@ AdmissionController::Decision SuggestionService::TrySubmitAsync(
   const double remaining_ms =
       request.context.RemainingMs(std::chrono::steady_clock::now());
   const AdmissionController::Decision decision = admission_.AdmitWithDeadline(
-      InFlight(), QueueDepth(), remaining_ms, latency_.CachedP50Ms());
+      InFlight(), QueueDepth(), remaining_ms, latency_.CachedP50Ms(),
+      request.context.priority);
   admission_span.Stop();
   if (decision != AdmissionController::Decision::kAdmit) return decision;
   SubmitAsync(std::move(request), std::move(done));
@@ -344,6 +360,9 @@ void SuggestionService::HandleBatch(std::vector<PendingRequest> batch) {
     const std::exception_ptr error = std::current_exception();
     DSSDDI_LOG(Warning) << "batch of " << total << " failed after "
                         << finished << " completions; failing the rest";
+    recorder_->Record(obs::LogSeverity::kError, obs::LogReason::kScoringError,
+                      "service", 500, 0, 0.0, nullptr,
+                      "batch scoring threw; failing remaining requests");
     for (int i = finished; i < total; ++i) {
       PendingRequest& pending = batch[i];
       if (cache_ && pending.request.explain && pending.request.patient_id >= 0) {
@@ -373,6 +392,16 @@ void SuggestionService::ExpireRequest(PendingRequest& pending,
   }
   expired_.fetch_add(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
+  // Library callers leave `arrival` at the epoch default; report 0
+  // rather than a nonsense duration for those.
+  const double waited_ms =
+      pending.request.context.arrival == RequestContext::Clock::time_point{}
+          ? 0.0
+          : MillisSince(pending.request.context.arrival);
+  recorder_->Record(obs::LogSeverity::kWarning, obs::LogReason::kExpired,
+                    "service", 504, pending.request.context.trace_id,
+                    waited_ms, pending.request.context.trace.get(),
+                    "deadline passed after admission, before scoring");
   // Expired waits are deliberately NOT recorded as latency: the tracker
   // feeds the admission gate's p50 service-time estimate, which doomed
   // requests' queue time would inflate into a shed-everything spiral.
@@ -463,6 +492,8 @@ ServiceStats SuggestionService::Stats() const {
   stats.admitted = admission.admitted;
   stats.shed = admission.shed;
   stats.deadline_shed = admission.deadline_shed;
+  stats.degraded_shed = admission.degraded_shed;
+  stats.slo_degraded = admission_.degraded();
   stats.expired = expired_.load(std::memory_order_relaxed);
   stats.in_flight = InFlight();
   stats.queue_depth = QueueDepth();

@@ -15,7 +15,9 @@
 #include "core/dssddi_system.h"
 #include "core/ms_module.h"
 #include "io/inference_bundle.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "serve/admission_controller.h"
 #include "serve/latency_tracker.h"
@@ -50,6 +52,18 @@ struct ServiceOptions {
   /// path. Reload decides per incoming bundle (see /admin/reload's
   /// "quantize" field), so the mode can be flipped live.
   std::string quantization = "auto";
+  /// Flight-recorder ring (wide events at completion + every error
+  /// path), served at /logz. Always on — recording is lock-free and
+  /// allocation-free, so there is nothing to turn off.
+  obs::FlightRecorderOptions flight_recorder;
+  /// SLO engine: burn-rate evaluation of declarative objectives, with a
+  /// degraded output wired into the admission controller. Empty
+  /// `slo.objectives` uses DefaultSuggestObjectives(slo_default_p99_ms).
+  /// `slo_enabled = false` skips the engine entirely (no thread, the
+  /// gate never degrades).
+  bool slo_enabled = true;
+  double slo_default_p99_ms = 250.0;
+  obs::SloEngineOptions slo;
 };
 
 /// Point-in-time service health snapshot.
@@ -70,6 +84,10 @@ struct ServiceStats {
   uint64_t admitted = 0;
   uint64_t shed = 0;
   uint64_t deadline_shed = 0;
+  /// kBatch arrivals shed because the SLO engine held the gate degraded
+  /// (subset of `shed`), plus the gate's current degraded state.
+  uint64_t degraded_shed = 0;
+  bool slo_degraded = false;
   /// Requests dropped after admission because their deadline passed
   /// before scoring started (batcher/worker expiry sweeps; completed
   /// with DeadlineExceeded, never scored, never a batch slot).
@@ -237,6 +255,14 @@ class SuggestionService {
   const std::shared_ptr<obs::TraceCollector>& trace_collector() const {
     return collector_;
   }
+  /// The flight recorder backing /logz (never null). Shared so the HTTP
+  /// layer can record its own parse/overload events into the same ring.
+  const std::shared_ptr<obs::FlightRecorder>& flight_recorder() const {
+    return recorder_;
+  }
+  /// The SLO engine behind /sloz; null when `slo_enabled` was false.
+  obs::SloEngine* slo_engine() const { return slo_.get(); }
+  const AdmissionController& admission() const { return admission_; }
 
  private:
   struct Waiter {
@@ -271,6 +297,7 @@ class SuggestionService {
   /// shutdown can still stamp its trace and record its latency.
   std::shared_ptr<obs::Registry> registry_;
   std::shared_ptr<obs::TraceCollector> collector_;
+  std::shared_ptr<obs::FlightRecorder> recorder_;
 
   /// Swapped only by Reload; read via std::atomic_load everywhere.
   std::shared_ptr<const ModelSnapshot> snapshot_;
@@ -298,6 +325,11 @@ class SuggestionService {
   std::unique_ptr<SuggestionCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<RequestBatcher> batcher_;
+
+  /// Declared last so its evaluator thread stops before anything it
+  /// observes (registry histograms, the admission gate, the recorder)
+  /// is torn down. Null when slo_enabled is false.
+  std::unique_ptr<obs::SloEngine> slo_;
 };
 
 }  // namespace dssddi::serve

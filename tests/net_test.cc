@@ -101,6 +101,27 @@ TEST(JsonTest, ParserRejectsMalformedDocuments) {
   EXPECT_EQ(document.AsString(), "\xc3\xa9\xf0\x9f\x98\x80");
 }
 
+TEST(JsonTest, ReparsingIntoAReusedValueDropsTheOldDocument) {
+  // Poll loops parse into the same JsonValue each iteration; a parse
+  // that appended instead of replaced would leave Find() answering from
+  // the stale document forever.
+  net::JsonValue document;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson("{\"flag\":false,\"items\":[1,2]}", &document,
+                             &error))
+      << error;
+  EXPECT_FALSE(document.Find("flag")->AsBool());
+  ASSERT_TRUE(net::ParseJson("{\"flag\":true,\"items\":[3]}", &document,
+                             &error))
+      << error;
+  EXPECT_TRUE(document.Find("flag")->AsBool());
+  ASSERT_EQ(document.Find("items")->Items().size(), 1u);
+  EXPECT_EQ(document.Find("items")->Items()[0].AsInt(), 3);
+  ASSERT_EQ(document.Members().size(), 2u);
+  // A failed re-parse must not leave a half-written hybrid either.
+  EXPECT_FALSE(net::ParseJson("{\"flag\":", &document, &error));
+}
+
 // ---------------------------------------------------------------------
 // Binary wire codec
 // ---------------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include <cstring>
 #include <limits>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -272,6 +273,236 @@ void CheckHistogramsConsistent(const PromExposition& exposition) {
       EXPECT_TRUE(found) << family << "{" << key << "} has no _count";
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// In-test OpenMetrics 1.0 parser. Strict like the 0.0.4 one above, plus
+// the OpenMetrics-specific rules: counter families are announced WITHOUT
+// the `_total` suffix their samples carry, bucket lines may carry
+// ` # {trace_id="..."} value timestamp` exemplars (and only bucket
+// lines), and the payload ends with exactly one `# EOF` line.
+// ---------------------------------------------------------------------
+
+struct OmExemplar {
+  bool valid = false;
+  uint64_t trace_id = 0;
+  double value = 0.0;
+  double timestamp = 0.0;
+};
+
+struct OmSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+  OmExemplar exemplar;
+};
+
+struct OmExposition {
+  std::vector<OmSample> samples;
+  std::map<std::string, std::string> types;
+  std::map<std::string, std::string> help;
+};
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+double ParseStrictDouble(const std::string& text, const std::string& line) {
+  if (text == "+Inf") return std::numeric_limits<double>::infinity();
+  if (text == "-Inf") return -std::numeric_limits<double>::infinity();
+  if (text == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  EXPECT_TRUE(end != text.c_str() && *end == '\0')
+      << "bad number '" << text << "' in: " << line;
+  return value;
+}
+
+OmExposition ParseOpenMetrics(const std::string& text) {
+  OmExposition out;
+  bool saw_eof = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      ADD_FAILURE() << "exposition must end with a newline";
+      break;
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (saw_eof) {
+      ADD_FAILURE() << "content after # EOF: " << line;
+      break;
+    }
+    if (line.empty()) continue;
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line[0] == '#') {
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const bool is_help = line[2] == 'H';
+        const size_t name_end = line.find(' ', 7);
+        if (name_end == std::string::npos) {
+          ADD_FAILURE() << "comment without payload: " << line;
+          continue;
+        }
+        const std::string name = line.substr(7, name_end - 7);
+        EXPECT_TRUE(ValidMetricName(name)) << line;
+        auto& table = is_help ? out.help : out.types;
+        EXPECT_EQ(table.count(name), 0u)
+            << "duplicate " << (is_help ? "HELP" : "TYPE") << " for " << name;
+        table[name] = line.substr(name_end + 1);
+        if (!is_help) {
+          // OpenMetrics counter families must not be announced with the
+          // sample suffix — `X_total` samples belong to family `X`.
+          EXPECT_FALSE(table[name] == "counter" && EndsWith(name, "_total"))
+              << "counter family announced with _total: " << line;
+        }
+      } else {
+        ADD_FAILURE() << "unrecognized comment line: " << line;
+      }
+      continue;
+    }
+
+    OmSample sample;
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    sample.name = line.substr(0, i);
+    if (!ValidMetricName(sample.name)) {
+      ADD_FAILURE() << "bad metric name in: " << line;
+      continue;
+    }
+    bool malformed = false;
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      if (close == std::string::npos) {
+        ADD_FAILURE() << "unterminated label set: " << line;
+        continue;
+      }
+      // Label syntax is shared with 0.0.4; lean on the strict parser
+      // above for escaping and reuse only the split here.
+      std::string labels_text = line.substr(i + 1, close - i - 1);
+      size_t j = 0;
+      while (j < labels_text.size() && !malformed) {
+        const size_t eq = labels_text.find('=', j);
+        if (eq == std::string::npos || eq + 1 >= labels_text.size() ||
+            labels_text[eq + 1] != '"') {
+          ADD_FAILURE() << "malformed label in: " << line;
+          malformed = true;
+          break;
+        }
+        const std::string key = labels_text.substr(j, eq - j);
+        EXPECT_TRUE(ValidMetricName(key)) << "bad label name in: " << line;
+        std::string value;
+        size_t k = eq + 2;
+        bool closed = false;
+        while (k < labels_text.size()) {
+          const char c = labels_text[k];
+          if (c == '"') { closed = true; ++k; break; }
+          if (c == '\\' && k + 1 < labels_text.size()) {
+            const char esc = labels_text[k + 1];
+            if (esc == '\\') value += '\\';
+            else if (esc == '"') value += '"';
+            else if (esc == 'n') value += '\n';
+            else ADD_FAILURE() << "bad escape in: " << line;
+            k += 2;
+            continue;
+          }
+          value += c;
+          ++k;
+        }
+        if (!closed) {
+          ADD_FAILURE() << "unterminated label value: " << line;
+          malformed = true;
+          break;
+        }
+        sample.labels[key] = value;
+        j = k;
+        if (j < labels_text.size() && labels_text[j] == ',') ++j;
+      }
+      if (malformed) continue;
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      ADD_FAILURE() << "sample without value: " << line;
+      continue;
+    }
+    std::string rest = line.substr(i + 1);
+
+    // Optional exemplar: "<value> # {trace_id=\"...\"} <value> <timestamp>".
+    const size_t hash = rest.find(" # ");
+    if (hash != std::string::npos) {
+      const std::string exemplar_text = rest.substr(hash + 3);
+      rest.resize(hash);
+      EXPECT_TRUE(EndsWith(sample.name, "_bucket"))
+          << "exemplar on a non-bucket line: " << line;
+      const char* prefix = "{trace_id=\"";
+      const size_t id_begin = std::strlen(prefix);
+      if (exemplar_text.rfind(prefix, 0) != 0) {
+        ADD_FAILURE() << "bad exemplar label set: " << line;
+        continue;
+      }
+      const size_t id_end = exemplar_text.find('"', id_begin);
+      if (id_end == std::string::npos || id_end == id_begin ||
+          exemplar_text.compare(id_end, 2, "\"}") != 0 ||
+          id_end + 2 >= exemplar_text.size() ||
+          exemplar_text[id_end + 2] != ' ') {
+        ADD_FAILURE() << "malformed exemplar: " << line;
+        continue;
+      }
+      const std::string id_text =
+          exemplar_text.substr(id_begin, id_end - id_begin);
+      for (char c : id_text) {
+        EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c))) << line;
+      }
+      sample.exemplar.trace_id = std::strtoull(id_text.c_str(), nullptr, 10);
+      const std::string tail = exemplar_text.substr(id_end + 3);
+      const size_t space = tail.find(' ');
+      if (space == std::string::npos) {
+        ADD_FAILURE() << "exemplar without timestamp: " << line;
+        continue;
+      }
+      sample.exemplar.value = ParseStrictDouble(tail.substr(0, space), line);
+      sample.exemplar.timestamp =
+          ParseStrictDouble(tail.substr(space + 1), line);
+      EXPECT_GT(sample.exemplar.timestamp, 0.0) << line;
+      sample.exemplar.valid = true;
+    }
+    sample.value = ParseStrictDouble(rest, line);
+    out.samples.push_back(std::move(sample));
+  }
+  EXPECT_TRUE(saw_eof) << "exposition did not end with # EOF";
+
+  // Family bookkeeping: every sample maps to an announced family, and
+  // counter samples carry the `_total` suffix their family dropped.
+  for (const OmSample& s : out.samples) {
+    std::string family = s.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      if (EndsWith(family, suffix)) {
+        const std::string base =
+            family.substr(0, family.size() - std::strlen(suffix));
+        if (out.types.count(base) != 0 && out.types.at(base) == "histogram") {
+          family = base;
+          break;
+        }
+      }
+    }
+    if (EndsWith(family, "_total")) {
+      const std::string base = family.substr(0, family.size() - 6);
+      if (out.types.count(base) != 0 && out.types.at(base) == "counter") {
+        family = base;
+      }
+    }
+    EXPECT_EQ(out.types.count(family), 1u) << "no # TYPE for " << s.name;
+    EXPECT_EQ(out.help.count(family), 1u) << "no # HELP for " << s.name;
+    if (out.types.count(family) != 0 && out.types.at(family) == "counter") {
+      EXPECT_TRUE(EndsWith(s.name, "_total"))
+          << "counter sample without _total: " << s.name;
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------
@@ -751,6 +982,501 @@ TEST_F(ObsEndToEndTest, TracezShowsPerStageTimingsForATracedRequest) {
   // of stages this single-request test doesn't share; sanity-bound it.
   EXPECT_LT(stage_total,
             record->Find("total_ms")->AsDouble() * 4.0 + 1.0);
+
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// OpenMetrics, exemplars, /logz, /sloz, and the SLO->admission loop
+// ---------------------------------------------------------------------
+
+/// Splits NDJSON into parsed lines, failing on any non-object line.
+std::vector<net::JsonValue> ParseNdjson(const std::string& body) {
+  std::vector<net::JsonValue> lines;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    const size_t eol = body.find('\n', pos);
+    EXPECT_NE(eol, std::string::npos) << "NDJSON must end with a newline";
+    if (eol == std::string::npos) break;
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    net::JsonValue value;
+    std::string error;
+    EXPECT_TRUE(net::ParseJson(line, &value, &error)) << error << ": " << line;
+    lines.push_back(std::move(value));
+  }
+  return lines;
+}
+
+TEST_F(ObsEndToEndTest, OpenMetricsExposesExemplarsThatRoundTripToLogz) {
+  serve::SuggestionService service(*bundle_, {});
+  net::SuggestFrontendOptions options;
+  options.trace_sample_every = 1;
+  net::SuggestFrontend frontend(&service, options);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+  const int patient = dataset_->split.test[0];
+
+  // A couple of server-assigned-id requests, then one with a known id:
+  // exemplars are last-write-wins per bucket, so the known id owns its
+  // latency bucket when the scrape happens.
+  for (int i = 0; i < 2; ++i) {
+    net::ClientResponse response;
+    ASSERT_TRUE(
+        client.Request("POST", "/v1/suggest", SuggestBody(patient, 3),
+                       &response)
+            .ok);
+    ASSERT_EQ(response.status, 200);
+  }
+  wire::SuggestRequestFrame frame;
+  frame.patient_id = patient;
+  frame.k = 3;
+  frame.trace_id = 777777;
+  frame.features = PatientFeatures(patient);
+  net::ClientRequestOptions request_options;
+  request_options.content_type = wire::kContentType;
+  net::ClientResponse response;
+  ASSERT_TRUE(client
+                  .Request("POST", "/v1/suggest",
+                           wire::EncodeSuggestRequest(frame), request_options,
+                           &response)
+                  .ok);
+  ASSERT_EQ(response.status, 200);
+
+  net::ClientResponse scrape;
+  ASSERT_TRUE(
+      client.Request("GET", "/metricsz?format=openmetrics", "", &scrape).ok);
+  ASSERT_EQ(scrape.status, 200);
+  const std::string* content_type = scrape.FindHeader("Content-Type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_EQ(*content_type,
+            "application/openmetrics-text; version=1.0.0; charset=utf-8");
+
+  const OmExposition om = ParseOpenMetrics(scrape.body);
+  // Counter families announced without _total; samples keep it.
+  EXPECT_EQ(om.types.at("dssddi_service_requests"), "counter");
+  EXPECT_EQ(om.types.count("dssddi_service_requests_total"), 0u);
+  EXPECT_EQ(om.types.at("dssddi_http_requests"), "counter");
+  EXPECT_EQ(om.types.at("dssddi_request_latency_ms"), "histogram");
+  // Histogram consistency holds in this dialect too (the shared suffix
+  // grammar means the 0.0.4 checker applies directly).
+  PromExposition bridged;
+  bridged.types = om.types;
+  bridged.help = om.help;
+  for (const OmSample& s : om.samples) {
+    bridged.samples.push_back({s.name, s.labels, s.value});
+  }
+  CheckHistogramsConsistent(bridged);
+
+  // Exemplars: the suggest latency series carries at least one, the
+  // known trace id is among them, and every exemplar id resolves through
+  // /logz?trace= to the wide event the same completion recorded.
+  std::vector<OmExemplar> exemplars;
+  bool found_known_id = false;
+  for (const OmSample& s : om.samples) {
+    if (s.name != "dssddi_request_latency_ms_bucket" ||
+        s.labels.count("route") == 0 ||
+        s.labels.at("route") != "/v1/suggest" || !s.exemplar.valid) {
+      continue;
+    }
+    exemplars.push_back(s.exemplar);
+    if (s.exemplar.trace_id == 777777) found_known_id = true;
+  }
+  ASSERT_FALSE(exemplars.empty());
+  EXPECT_TRUE(found_known_id);
+  for (const OmExemplar& exemplar : exemplars) {
+    net::ClientResponse logz;
+    ASSERT_TRUE(client
+                    .Request("GET",
+                             "/logz?trace=" +
+                                 std::to_string(exemplar.trace_id),
+                             "", &logz)
+                    .ok);
+    ASSERT_EQ(logz.status, 200);
+    const std::string* logz_type = logz.FindHeader("Content-Type");
+    ASSERT_NE(logz_type, nullptr);
+    EXPECT_EQ(*logz_type, "application/x-ndjson");
+    std::vector<net::JsonValue> events = ParseNdjson(logz.body);
+    ASSERT_FALSE(events.empty())
+        << "exemplar trace " << exemplar.trace_id << " missing from /logz";
+    for (const net::JsonValue& event : events) {
+      EXPECT_EQ(static_cast<uint64_t>(event.Find("trace_id")->AsInt()),
+                exemplar.trace_id);
+      EXPECT_EQ(event.Find("route")->AsString(), "/v1/suggest");
+    }
+  }
+
+  // The 0.0.4 dialect is unchanged by the exemplar machinery: no
+  // exemplar syntax, no EOF terminator, full counter names announced.
+  net::ClientResponse legacy;
+  ASSERT_TRUE(client.Request("GET", "/metricsz", "", &legacy).ok);
+  ASSERT_EQ(legacy.status, 200);
+  EXPECT_EQ(legacy.body.find(" # {"), std::string::npos);
+  EXPECT_EQ(legacy.body.find("# EOF"), std::string::npos);
+  const PromExposition legacy_exposition = ParsePrometheus(legacy.body);
+  EXPECT_EQ(legacy_exposition.types.at("dssddi_service_requests_total"),
+            "counter");
+
+  server.Stop();
+}
+
+TEST_F(ObsEndToEndTest, BuildInfoGaugeCarriesRuntimeIdentity) {
+  serve::SuggestionService service(*bundle_, {});
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+
+  net::ClientResponse scrape;
+  ASSERT_TRUE(client.Request("GET", "/metricsz", "", &scrape).ok);
+  ASSERT_EQ(scrape.status, 200);
+  const PromExposition exposition = ParsePrometheus(scrape.body);
+  const PromSample* info = nullptr;
+  for (const PromSample& s : exposition.samples) {
+    if (s.name == "dssddi_build_info") info = &s;
+  }
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->value, 1.0);
+  for (const char* key : {"version", "gemm_backend", "quantize", "git_sha"}) {
+    ASSERT_EQ(info->labels.count(key), 1u) << key;
+    EXPECT_FALSE(info->labels.at(key).empty()) << key;
+  }
+  EXPECT_EQ(info->labels.at("gemm_backend"),
+            tensor::kernels::ActiveBackendName());
+
+  server.Stop();
+}
+
+TEST_F(ObsEndToEndTest, ServerTimingIsStrictlyFormattedAndSampledOnly) {
+  serve::SuggestionService service(*bundle_, {});
+  const int patient = dataset_->split.test[0];
+
+  {
+    net::SuggestFrontendOptions options;
+    options.trace_sample_every = 1;
+    options.server_timing = true;
+    net::SuggestFrontend frontend(&service, options);
+    net::HttpServerOptions server_options;
+    server_options.port = 0;
+    net::HttpServer server(server_options, frontend.AsHandler());
+    ASSERT_TRUE(server.Start().ok);
+    net::HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+    net::ClientResponse response;
+    ASSERT_TRUE(
+        client.Request("POST", "/v1/suggest", SuggestBody(patient, 3),
+                       &response)
+            .ok);
+    ASSERT_EQ(response.status, 200);
+    const std::string* timing = response.FindHeader("Server-Timing");
+    ASSERT_NE(timing, nullptr);
+
+    // Strict grammar: comma-space-joined entries, each a known stage
+    // name followed by ";dur=" and a nonnegative millisecond float, no
+    // stage repeated (the header is one trace's breakdown).
+    std::set<std::string> known_stages;
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      known_stages.insert(obs::StageName(static_cast<obs::Stage>(s)));
+    }
+    std::set<std::string> seen;
+    size_t pos = 0;
+    const std::string& value = *timing;
+    ASSERT_FALSE(value.empty());
+    while (pos < value.size()) {
+      size_t end = value.find(", ", pos);
+      if (end == std::string::npos) end = value.size();
+      const std::string entry = value.substr(pos, end - pos);
+      pos = end == value.size() ? end : end + 2;
+      const size_t sep = entry.find(";dur=");
+      ASSERT_NE(sep, std::string::npos) << entry;
+      const std::string stage = entry.substr(0, sep);
+      EXPECT_EQ(known_stages.count(stage), 1u) << stage;
+      EXPECT_TRUE(seen.insert(stage).second)
+          << stage << " repeated in: " << value;
+      const std::string dur = entry.substr(sep + 5);
+      char* parse_end = nullptr;
+      const double ms = std::strtod(dur.c_str(), &parse_end);
+      EXPECT_TRUE(parse_end != dur.c_str() && *parse_end == '\0') << entry;
+      EXPECT_GE(ms, 0.0) << entry;
+    }
+    // The stages a fresh (uncached) scoring request always spends
+    // measurable time in.
+    for (const char* stage : {"gemm", "serialize"}) {
+      EXPECT_EQ(seen.count(stage), 1u) << stage;
+    }
+    server.Stop();
+  }
+
+  // Sampling off: no trace, so no Server-Timing header even with the
+  // option enabled — unsampled responses must stay byte-identical to
+  // the pre-observability wire format.
+  {
+    net::SuggestFrontendOptions options;
+    options.trace_sample_every = 0;
+    options.server_timing = true;
+    net::SuggestFrontend frontend(&service, options);
+    net::HttpServerOptions server_options;
+    server_options.port = 0;
+    net::HttpServer server(server_options, frontend.AsHandler());
+    ASSERT_TRUE(server.Start().ok);
+    net::HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+    net::ClientResponse response;
+    ASSERT_TRUE(
+        client.Request("POST", "/v1/suggest", SuggestBody(patient, 3),
+                       &response)
+            .ok);
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(response.FindHeader("Server-Timing"), nullptr);
+    server.Stop();
+  }
+}
+
+TEST_F(ObsEndToEndTest, LogzServesFilteredWideEventsAndRejectsJunk) {
+  serve::SuggestionService service(*bundle_, {});
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+  const int patient = dataset_->split.test[0];
+
+  // One completion, one rejection: /logz must show both event shapes.
+  net::ClientResponse ok_response;
+  ASSERT_TRUE(
+      client.Request("POST", "/v1/suggest", SuggestBody(patient, 3),
+                     &ok_response)
+          .ok);
+  ASSERT_EQ(ok_response.status, 200);
+  const std::string* trace_id = ok_response.FindHeader("X-Trace-Id");
+  ASSERT_NE(trace_id, nullptr);
+  net::ClientResponse bad_response;
+  ASSERT_TRUE(
+      client.Request("POST", "/v1/suggest", "this is not json",
+                     &bad_response)
+          .ok);
+  ASSERT_EQ(bad_response.status, 400);
+
+  net::ClientResponse all;
+  ASSERT_TRUE(client.Request("GET", "/logz", "", &all).ok);
+  ASSERT_EQ(all.status, 200);
+  std::vector<net::JsonValue> events = ParseNdjson(all.body);
+  ASSERT_GE(events.size(), 2u);
+  bool saw_completion = false;
+  bool saw_rejection = false;
+  for (const net::JsonValue& event : events) {
+    if (event.Find("severity")->AsString() == "info" &&
+        event.Find("status")->AsInt() == 200 &&
+        std::to_string(event.Find("trace_id")->AsInt()) == *trace_id) {
+      saw_completion = true;
+      EXPECT_GT(event.Find("total_ms")->AsDouble(), 0.0);
+    }
+    if (event.Find("reason")->AsString() == "bad_request") {
+      saw_rejection = true;
+      EXPECT_EQ(event.Find("severity")->AsString(), "warning");
+      EXPECT_EQ(event.Find("status")->AsInt(), 400);
+      EXPECT_EQ(event.Find("detail")->AsString(),
+                "request body is not valid JSON");
+    }
+  }
+  EXPECT_TRUE(saw_completion);
+  EXPECT_TRUE(saw_rejection);
+
+  // Severity filter: warnings-and-up excludes the info completion.
+  net::ClientResponse warnings;
+  ASSERT_TRUE(client.Request("GET", "/logz?severity=warning", "", &warnings)
+                  .ok);
+  ASSERT_EQ(warnings.status, 200);
+  for (const net::JsonValue& event : ParseNdjson(warnings.body)) {
+    EXPECT_NE(event.Find("severity")->AsString(), "info");
+  }
+
+  // Trace filter: exactly the completion's events.
+  net::ClientResponse one;
+  ASSERT_TRUE(
+      client.Request("GET", "/logz?trace=" + *trace_id, "", &one).ok);
+  ASSERT_EQ(one.status, 200);
+  std::vector<net::JsonValue> one_events = ParseNdjson(one.body);
+  ASSERT_FALSE(one_events.empty());
+  for (const net::JsonValue& event : one_events) {
+    EXPECT_EQ(std::to_string(event.Find("trace_id")->AsInt()), *trace_id);
+  }
+
+  // Route filter: a query value with a slash needs no escaping.
+  net::ClientResponse routed;
+  ASSERT_TRUE(
+      client.Request("GET", "/logz?route=/v1/suggest", "", &routed).ok);
+  ASSERT_EQ(routed.status, 200);
+  std::vector<net::JsonValue> routed_events = ParseNdjson(routed.body);
+  ASSERT_FALSE(routed_events.empty());
+  for (const net::JsonValue& event : routed_events) {
+    EXPECT_EQ(event.Find("route")->AsString(), "/v1/suggest");
+  }
+
+  // Junk parameters are 400s, not silent full dumps.
+  net::ClientResponse junk_severity;
+  ASSERT_TRUE(client.Request("GET", "/logz?severity=loud", "", &junk_severity)
+                  .ok);
+  EXPECT_EQ(junk_severity.status, 400);
+  net::ClientResponse junk_trace;
+  ASSERT_TRUE(
+      client.Request("GET", "/logz?trace=banana", "", &junk_trace).ok);
+  EXPECT_EQ(junk_trace.status, 400);
+
+  // Unknown /metricsz formats are rejected the same way; the accepted
+  // names answer 200.
+  net::ClientResponse bad_format;
+  ASSERT_TRUE(
+      client.Request("GET", "/metricsz?format=xml", "", &bad_format).ok);
+  EXPECT_EQ(bad_format.status, 400);
+  net::ClientResponse prom_format;
+  ASSERT_TRUE(client.Request("GET", "/metricsz?format=prometheus", "",
+                             &prom_format)
+                  .ok);
+  EXPECT_EQ(prom_format.status, 200);
+
+  server.Stop();
+}
+
+TEST_F(ObsEndToEndTest, SloOverloadDegradesAdmissionThenRecovers) {
+  // An objective no real request can meet (good = under ~a microsecond)
+  // stands in for injected overload: every completion is "bad", the fast
+  // window burns at ~100x budget, and the engine must close the loop —
+  // batch traffic shed at the gate, /sloz degraded — then reopen once
+  // the window clears. Short windows and a fast tick keep the whole
+  // cycle inside a few seconds.
+  serve::ServiceOptions service_options;
+  obs::SloObjective objective;
+  objective.name = "suggest-latency-instant";
+  objective.kind = obs::SloObjective::Kind::kLatency;
+  objective.threshold_ms = 0.0001;
+  objective.target = 0.99;
+  service_options.slo.objectives = {objective};
+  service_options.slo.fast_window = std::chrono::seconds(2);
+  service_options.slo.slow_window = std::chrono::seconds(4);
+  service_options.slo.tick_period = std::chrono::milliseconds(20);
+  serve::SuggestionService service(*bundle_, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+  const int patient = dataset_->split.test[0];
+  const std::string body = SuggestBody(patient, 3);
+  const std::string batch_request =
+      "POST /v1/suggest HTTP/1.1\r\n"
+      "Host: t\r\n"
+      "Content-Type: application/json\r\n"
+      "X-Priority: batch\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n"
+      "Connection: close\r\n\r\n" + body;
+
+  // Healthy gate: batch traffic passes.
+  EXPECT_EQ(RawHttpExchange(server.port(), batch_request).compare(
+                0, 12, "HTTP/1.1 200"),
+            0);
+
+  // Inject the "overload": a burst of interactive completions, all bad
+  // under the objective.
+  for (int i = 0; i < 6; ++i) {
+    net::ClientResponse response;
+    ASSERT_TRUE(
+        client.Request("POST", "/v1/suggest", body, &response).ok);
+    ASSERT_EQ(response.status, 200);
+  }
+
+  // /sloz must report the burn crossing the enter threshold and the
+  // engine going degraded.
+  bool degraded = false;
+  net::JsonValue sloz;
+  std::string last_body;
+  // Generous budget: the loop exits on the first degraded tick, so the
+  // bound only matters when ctest -j starves the 20 ms tick thread.
+  for (int attempt = 0; attempt < 600 && !degraded; ++attempt) {
+    net::ClientResponse response;
+    ASSERT_TRUE(client.Request("GET", "/sloz", "", &response).ok);
+    ASSERT_EQ(response.status, 200);
+    last_body = response.body;
+    std::string error;
+    ASSERT_TRUE(net::ParseJson(response.body, &sloz, &error)) << error;
+    degraded = sloz.Find("degraded")->AsBool();
+    if (!degraded) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_TRUE(degraded) << "SLO engine never entered degraded mode: "
+                        << last_body;
+  const net::JsonValue* objectives = sloz.Find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  ASSERT_EQ(objectives->Items().size(), 1u);
+  EXPECT_GE(objectives->Items()[0].Find("fast_burn")->AsDouble(),
+            sloz.Find("fast_burn_enter")->AsDouble());
+  EXPECT_GE(objectives->Items()[0].Find("fast_window_bad")->AsInt(), 6);
+
+  // Degraded gate: batch arrivals shed (429) while interactive traffic
+  // still lands — the low-priority class absorbs the degradation.
+  const std::string degraded_reply =
+      RawHttpExchange(server.port(), batch_request);
+  EXPECT_EQ(degraded_reply.compare(0, 12, "HTTP/1.1 429"), 0)
+      << degraded_reply;
+  net::ClientResponse interactive;
+  ASSERT_TRUE(client.Request("POST", "/v1/suggest", body, &interactive).ok);
+  EXPECT_EQ(interactive.status, 200);
+
+  // The shed is attributed on every surface: /statsz and /metricsz.
+  net::ClientResponse statsz;
+  ASSERT_TRUE(client.Request("GET", "/statsz", "", &statsz).ok);
+  ASSERT_EQ(statsz.status, 200);
+  net::JsonValue stats;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson(statsz.body, &stats, &error)) << error;
+  const net::JsonValue* admission = stats.Find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_GE(admission->Find("degraded_shed")->AsInt(), 1);
+  EXPECT_TRUE(admission->Find("slo_degraded")->AsBool());
+  net::ClientResponse metricsz;
+  ASSERT_TRUE(client.Request("GET", "/metricsz", "", &metricsz).ok);
+  const PromExposition exposition = ParsePrometheus(metricsz.body);
+  const PromSample* shed_degraded = exposition.Find(
+      "dssddi_admission_total", {{"decision", "shed_degraded"}});
+  ASSERT_NE(shed_degraded, nullptr);
+  EXPECT_GE(shed_degraded->value, 1.0);
+  const PromSample* gauge = exposition.Find("dssddi_slo_degraded", {});
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, 1.0);
+
+  // No more interactive traffic: the bad events age out of the fast
+  // window and the engine must exit on its own.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 900 && !recovered; ++attempt) {
+    net::ClientResponse response;
+    ASSERT_TRUE(client.Request("GET", "/sloz", "", &response).ok);
+    ASSERT_EQ(response.status, 200);
+    ASSERT_TRUE(net::ParseJson(response.body, &sloz, &error)) << error;
+    recovered = !sloz.Find("degraded")->AsBool();
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_TRUE(recovered) << "SLO engine never exited degraded mode";
+  EXPECT_GE(sloz.Find("transitions")->AsInt(), 2);
+
+  // The gate reopened for the batch class.
+  EXPECT_EQ(RawHttpExchange(server.port(), batch_request).compare(
+                0, 12, "HTTP/1.1 200"),
+            0);
+  EXPECT_FALSE(service.Stats().slo_degraded);
 
   server.Stop();
 }

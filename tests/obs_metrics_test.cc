@@ -266,6 +266,82 @@ TEST(HistogramTest, QuantileEdgeCases) {
 }
 
 // ---------------------------------------------------------------------
+// Exemplars
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, ExemplarRoundTripsPerBucket) {
+  obs::Histogram histogram;
+  // No exemplar anywhere before the first traced record.
+  for (int b = 0; b < obs::kNumBuckets; ++b) {
+    EXPECT_FALSE(histogram.ExemplarAt(b).valid) << "bucket " << b;
+  }
+
+  histogram.Record(8.0, /*exemplar_trace_id=*/42, /*unix_seconds=*/1700.5);
+  const int bucket = obs::BucketIndex(8.0);
+  obs::Exemplar exemplar = histogram.ExemplarAt(bucket);
+  ASSERT_TRUE(exemplar.valid);
+  EXPECT_EQ(exemplar.trace_id, 42u);
+  EXPECT_EQ(exemplar.value, 8.0);
+  EXPECT_EQ(exemplar.timestamp, 1700.5);
+  // Other buckets stay empty.
+  EXPECT_FALSE(histogram.ExemplarAt(bucket + 1).valid);
+
+  // Last write wins within a bucket.
+  histogram.Record(8.0, 43, 1701.0);
+  exemplar = histogram.ExemplarAt(bucket);
+  ASSERT_TRUE(exemplar.valid);
+  EXPECT_EQ(exemplar.trace_id, 43u);
+
+  // trace_id == 0 records the value but never touches the exemplar.
+  histogram.Record(2.0, 0, 1702.0);
+  EXPECT_FALSE(histogram.ExemplarAt(obs::BucketIndex(2.0)).valid);
+  EXPECT_EQ(histogram.Count(), 3u);
+}
+
+TEST(HistogramTest, ConcurrentExemplarWritesStayConsistent) {
+  // Hammer one bucket from many threads; every read must observe either
+  // no exemplar or an internally consistent (trace_id, value, timestamp)
+  // triple — trace_id t always rides with timestamp 1000+t.
+  obs::Histogram histogram;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::thread reader([&] {
+    const int bucket = obs::BucketIndex(4.0);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::Exemplar e = histogram.ExemplarAt(bucket);
+      if (e.valid &&
+          e.timestamp != 1000.0 + static_cast<double>(e.trace_id)) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 1; t <= 4; ++t) {
+    writers.emplace_back([&histogram, t] {
+      for (int i = 0; i < 20000; ++i) {
+        const uint64_t id = static_cast<uint64_t>(t) * 100000 + i;
+        histogram.Record(4.0, id, 1000.0 + static_cast<double>(id));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  ASSERT_TRUE(histogram.ExemplarAt(obs::BucketIndex(4.0)).valid);
+}
+
+TEST(HistogramTest, ExemplarRecordAllocatesNothing) {
+  obs::Histogram histogram;
+  histogram.Record(1.0, 7, 100.0);  // warm shard assignment + slot
+  const uint64_t before = AllocationCount();
+  for (uint64_t i = 0; i < 1000; ++i) {
+    histogram.Record(1.0, i + 1, 100.0 + static_cast<double>(i));
+  }
+  EXPECT_EQ(AllocationCount() - before, 0u);
+}
+
+// ---------------------------------------------------------------------
 // Snapshot merging
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,277 @@
+// Deterministic SLO engine tests: the evaluator thread is disabled and
+// Tick is driven with synthetic timestamps, so window arithmetic, burn
+// rates, the enter/exit hysteresis, and the degraded callback are all
+// asserted exactly — no sleeps, no clock races. The availability
+// objective's badness definition (5xx only; 429 sheds are 4xx) is pinned
+// here because it is what prevents a degraded-mode feedback loop: the
+// shedding the engine causes must not keep the engine degraded.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace dssddi {
+namespace {
+
+using obs::SloEngine;
+using obs::SloEngineOptions;
+using obs::SloObjective;
+using obs::SloStatus;
+using std::chrono::seconds;
+using std::chrono::steady_clock;
+
+/// Shared fixture state: a registry pre-wired with the exact families
+/// the engine resolves (same name + help + labels, so get-or-create
+/// lands on the same instances the frontend would use).
+struct SloHarness {
+  std::shared_ptr<obs::Registry> registry =
+      std::make_shared<obs::Registry>();
+  obs::Histogram* latency = registry->GetHistogram(
+      "dssddi_request_latency_ms",
+      "Handler-observed latency (dispatch to response send) in "
+      "milliseconds, by route",
+      {{"route", "/v1/suggest"}});
+  obs::Counter* ok_2xx = registry->GetCounter(
+      "dssddi_http_responses_total", "HTTP responses by route and status class",
+      {{"route", "/v1/suggest"}, {"class", "2xx"}});
+  obs::Counter* client_4xx = registry->GetCounter(
+      "dssddi_http_responses_total", "HTTP responses by route and status class",
+      {{"route", "/v1/suggest"}, {"class", "4xx"}});
+  obs::Counter* server_5xx = registry->GetCounter(
+      "dssddi_http_responses_total", "HTTP responses by route and status class",
+      {{"route", "/v1/suggest"}, {"class", "5xx"}});
+
+  std::vector<bool> callback_log;
+
+  std::unique_ptr<SloEngine> MakeEngine(SloEngineOptions options) {
+    options.start_thread = false;
+    return std::make_unique<SloEngine>(
+        registry, std::move(options),
+        [this](bool degraded) { callback_log.push_back(degraded); });
+  }
+};
+
+SloObjective LatencyObjective(double threshold_ms, double target) {
+  SloObjective objective;
+  objective.name = "suggest-latency";
+  objective.kind = SloObjective::Kind::kLatency;
+  objective.threshold_ms = threshold_ms;
+  objective.target = target;
+  return objective;
+}
+
+SloObjective AvailabilityObjective(double target) {
+  SloObjective objective;
+  objective.name = "suggest-availability";
+  objective.kind = SloObjective::Kind::kAvailability;
+  objective.target = target;
+  return objective;
+}
+
+TEST(SloEngineTest, BurnRateIsWindowedBadFractionOverBudget) {
+  SloHarness harness;
+  SloEngineOptions options;
+  // Target 0.9 -> budget 0.1; a 50% bad window must read burn 5.0.
+  options.objectives = {LatencyObjective(10.0, 0.9)};
+  std::unique_ptr<SloEngine> engine = harness.MakeEngine(options);
+
+  for (int i = 0; i < 50; ++i) harness.latency->Record(1.0);     // good
+  for (int i = 0; i < 50; ++i) harness.latency->Record(100.0);   // bad
+  engine->Tick(steady_clock::now() + seconds(60));
+
+  const std::vector<SloStatus> status = engine->Status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].fast_window_total, 100u);
+  EXPECT_EQ(status[0].fast_window_bad, 50u);
+  EXPECT_DOUBLE_EQ(status[0].fast_burn, 5.0);
+  EXPECT_DOUBLE_EQ(status[0].slow_burn, 5.0);
+  EXPECT_EQ(status[0].good, 50u);
+  EXPECT_EQ(status[0].total, 100u);
+  // The configured threshold snapped to its containing bucket's upper
+  // bound: at least as permissive as asked, within one bucket's width.
+  EXPECT_EQ(status[0].threshold_ms,
+            obs::BucketUpperBound(obs::BucketIndex(10.0)));
+  EXPECT_GE(status[0].threshold_ms, 10.0);
+  EXPECT_FALSE(engine->degraded());  // burn 5.0 < enter threshold 14.4
+}
+
+TEST(SloEngineTest, EntersDegradedHoldsThenExitsAfterTheWindowClears) {
+  SloHarness harness;
+  SloEngineOptions options;
+  options.objectives = {AvailabilityObjective(0.999)};
+  options.fast_window = seconds(300);
+  std::unique_ptr<SloEngine> engine = harness.MakeEngine(options);
+  const steady_clock::time_point t0 = steady_clock::now();
+
+  // 10% 5xx against a 0.1% budget: burn 100 >= 14.4 -> enter.
+  harness.ok_2xx->Add(90);
+  harness.server_5xx->Add(10);
+  engine->Tick(t0 + seconds(60));
+  EXPECT_TRUE(engine->degraded());
+  EXPECT_EQ(engine->transitions(), 1u);
+  ASSERT_EQ(harness.callback_log.size(), 1u);
+  EXPECT_TRUE(harness.callback_log[0]);
+  EXPECT_EQ(harness.registry
+                ->GetGauge("dssddi_slo_degraded",
+                           "1 while the SLO engine holds the pipeline in "
+                           "degraded mode")
+                ->Value(),
+            1.0);
+
+  // Recovery traffic arrives, but the bad events are still inside the
+  // fast window: hysteresis holds the gate degraded.
+  harness.ok_2xx->Add(1000);
+  engine->Tick(t0 + seconds(120));
+  EXPECT_TRUE(engine->degraded());
+  EXPECT_EQ(engine->transitions(), 1u);
+
+  // Once the window anchor moves past the bad burst, fast burn reads 0
+  // (< exit threshold 1.0) and the engine exits.
+  engine->Tick(t0 + seconds(60) + options.fast_window + seconds(1));
+  EXPECT_FALSE(engine->degraded());
+  EXPECT_EQ(engine->transitions(), 2u);
+  ASSERT_EQ(harness.callback_log.size(), 2u);
+  EXPECT_FALSE(harness.callback_log[1]);
+  EXPECT_EQ(harness.registry
+                ->GetGauge("dssddi_slo_degraded", "")
+                ->Value(),
+            0.0);
+  EXPECT_EQ(harness.registry
+                ->GetCounter("dssddi_slo_transitions_total", "",
+                             {{"state", "degraded"}})
+                ->Value(),
+            1u);
+  EXPECT_EQ(harness.registry
+                ->GetCounter("dssddi_slo_transitions_total", "",
+                             {{"state", "ok"}})
+                ->Value(),
+            1u);
+}
+
+TEST(SloEngineTest, SheddingIs4xxAndDoesNotBurnAvailabilityBudget) {
+  SloHarness harness;
+  SloEngineOptions options;
+  options.objectives = {AvailabilityObjective(0.999)};
+  std::unique_ptr<SloEngine> engine = harness.MakeEngine(options);
+
+  // A degraded gate sheds with 429s. If those burned the budget the
+  // engine could never exit — assert they read as good events.
+  harness.ok_2xx->Add(10);
+  harness.client_4xx->Add(990);
+  engine->Tick(steady_clock::now() + seconds(60));
+
+  const std::vector<SloStatus> status = engine->Status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].fast_window_total, 1000u);
+  EXPECT_EQ(status[0].fast_window_bad, 0u);
+  EXPECT_DOUBLE_EQ(status[0].fast_burn, 0.0);
+  EXPECT_FALSE(engine->degraded());
+}
+
+TEST(SloEngineTest, EmptyWindowReadsZeroBurnNotNan) {
+  SloHarness harness;
+  SloEngineOptions options;
+  options.objectives = {LatencyObjective(250.0, 0.99),
+                        AvailabilityObjective(0.999)};
+  std::unique_ptr<SloEngine> engine = harness.MakeEngine(options);
+  engine->Tick(steady_clock::now() + seconds(60));
+  for (const SloStatus& status : engine->Status()) {
+    EXPECT_EQ(status.fast_window_total, 0u);
+    EXPECT_DOUBLE_EQ(status.fast_burn, 0.0);
+    EXPECT_DOUBLE_EQ(status.slow_burn, 0.0);
+  }
+  EXPECT_FALSE(engine->degraded());
+}
+
+TEST(SloEngineTest, TransitionsLandInTheFlightRecorder) {
+  SloHarness harness;
+  auto recorder = std::make_shared<obs::FlightRecorder>();
+  SloEngineOptions options;
+  options.objectives = {AvailabilityObjective(0.999)};
+  options.fast_window = seconds(300);
+  options.start_thread = false;
+  SloEngine engine(harness.registry, options, nullptr, recorder);
+  const steady_clock::time_point t0 = steady_clock::now();
+
+  harness.server_5xx->Add(100);
+  engine.Tick(t0 + seconds(60));
+  engine.Tick(t0 + seconds(60) + options.fast_window + seconds(1));
+  EXPECT_EQ(engine.transitions(), 2u);
+
+  const std::vector<obs::LogEvent> events = recorder->SnapshotForTest();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].severity, obs::LogSeverity::kWarning);
+  EXPECT_EQ(events[0].reason, obs::LogReason::kSloTransition);
+  EXPECT_STREQ(events[0].route, "slo");
+  EXPECT_EQ(events[1].severity, obs::LogSeverity::kInfo);
+  EXPECT_EQ(events[1].reason, obs::LogReason::kSloTransition);
+}
+
+TEST(SloEngineTest, SlozJsonRoundTripsEngineState) {
+  SloHarness harness;
+  SloEngineOptions options;
+  options.objectives = {LatencyObjective(250.0, 0.99),
+                        AvailabilityObjective(0.999)};
+  options.fast_window = seconds(300);
+  options.slow_window = seconds(3600);
+  std::unique_ptr<SloEngine> engine = harness.MakeEngine(options);
+
+  harness.latency->Record(1.0);
+  harness.ok_2xx->Add(90);
+  harness.server_5xx->Add(10);
+  engine->Tick(steady_clock::now() + seconds(60));
+
+  net::JsonValue document;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson(engine->RenderSlozJson(), &document, &error))
+      << error;
+  EXPECT_TRUE(document.Find("degraded")->AsBool());
+  EXPECT_EQ(document.Find("fast_window_seconds")->AsInt(), 300);
+  EXPECT_EQ(document.Find("slow_window_seconds")->AsInt(), 3600);
+  EXPECT_DOUBLE_EQ(document.Find("fast_burn_enter")->AsDouble(), 14.4);
+  EXPECT_DOUBLE_EQ(document.Find("fast_burn_exit")->AsDouble(), 1.0);
+  EXPECT_EQ(document.Find("transitions")->AsInt(), 1);
+
+  const net::JsonValue* objectives = document.Find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  ASSERT_EQ(objectives->Items().size(), 2u);
+  const net::JsonValue& latency = objectives->Items()[0];
+  EXPECT_EQ(latency.Find("name")->AsString(), "suggest-latency");
+  EXPECT_EQ(latency.Find("kind")->AsString(), "latency");
+  EXPECT_EQ(latency.Find("route")->AsString(), "/v1/suggest");
+  ASSERT_NE(latency.Find("threshold_ms"), nullptr);
+  EXPECT_GE(latency.Find("threshold_ms")->AsDouble(), 250.0);
+  EXPECT_DOUBLE_EQ(latency.Find("fast_burn")->AsDouble(), 0.0);
+  const net::JsonValue& availability = objectives->Items()[1];
+  EXPECT_EQ(availability.Find("kind")->AsString(), "availability");
+  EXPECT_EQ(availability.Find("threshold_ms"), nullptr);
+  EXPECT_DOUBLE_EQ(availability.Find("fast_burn")->AsDouble(), 100.0);
+  EXPECT_EQ(availability.Find("fast_window_bad")->AsInt(), 10);
+  EXPECT_EQ(availability.Find("fast_window_total")->AsInt(), 100);
+  EXPECT_EQ(availability.Find("good")->AsInt(), 90);
+  EXPECT_EQ(availability.Find("total")->AsInt(), 100);
+}
+
+TEST(SloEngineTest, DefaultSuggestObjectivesCoverLatencyAndAvailability) {
+  const std::vector<SloObjective> objectives =
+      obs::DefaultSuggestObjectives(250.0);
+  ASSERT_EQ(objectives.size(), 2u);
+  EXPECT_EQ(objectives[0].kind, SloObjective::Kind::kLatency);
+  EXPECT_DOUBLE_EQ(objectives[0].threshold_ms, 250.0);
+  EXPECT_DOUBLE_EQ(objectives[0].target, 0.99);
+  EXPECT_EQ(objectives[1].kind, SloObjective::Kind::kAvailability);
+  EXPECT_DOUBLE_EQ(objectives[1].target, 0.999);
+  for (const SloObjective& objective : objectives) {
+    EXPECT_EQ(objective.route, "/v1/suggest");
+  }
+}
+
+}  // namespace
+}  // namespace dssddi

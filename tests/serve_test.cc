@@ -16,7 +16,9 @@
 #include "core/dssddi_system.h"
 #include "gtest/gtest.h"
 #include "io/inference_bundle.h"
+#include "obs/metrics.h"
 #include "serve/admission_controller.h"
+#include "serve/latency_tracker.h"
 #include "serve/request_batcher.h"
 #include "serve/service.h"
 #include "serve/suggestion_cache.h"
@@ -826,6 +828,91 @@ TEST(AdmissionControllerTest, ProbesEveryNthInfeasibleDeadline) {
     EXPECT_EQ(expired_gate.AdmitWithDeadline(0, 0, -1.0, 0.0),
               Decision::kShedDeadline);
   }
+}
+
+TEST(AdmissionControllerTest, DegradedModeShedsBatchAndTightensHeadroom) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  using Decision = serve::AdmissionController::Decision;
+  using Priority = serve::RequestPriority;
+  serve::AdmissionController gate;  // depth bounds open
+
+  // Healthy gate: both classes pass.
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, kInf, 0.0, Priority::kBatch),
+            Decision::kAdmit);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 30.0, 10.0, Priority::kInteractive),
+            Decision::kAdmit);
+
+  gate.set_degraded(true);
+  EXPECT_TRUE(gate.degraded());
+  // Batch arrivals are shed outright (429), even with infinite budget
+  // and empty queues — graceful degradation drops the class that asked
+  // to be dropped first.
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, kInf, 0.0, Priority::kBatch),
+            Decision::kShedLoad);
+  // Interactive arrivals must show the multiplied headroom: the default
+  // 1.0 x 2.0 means a 15 ms budget over a 10 ms p50 — fine when healthy
+  // (see above with 30) — now sheds, while 25 ms still clears.
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 15.0, 10.0, Priority::kInteractive),
+            Decision::kShedDeadline);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 25.0, 10.0, Priority::kInteractive),
+            Decision::kAdmit);
+
+  // Degraded sheds count in both `degraded_shed` and `shed`: /metricsz
+  // totals stay consistent and the degraded cost stays attributable.
+  auto counters = gate.counters();
+  EXPECT_EQ(counters.degraded_shed, 1u);
+  EXPECT_EQ(counters.shed, 1u);
+  EXPECT_EQ(counters.deadline_shed, 1u);
+
+  // Exit restores both classes.
+  gate.set_degraded(false);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, kInf, 0.0, Priority::kBatch),
+            Decision::kAdmit);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 15.0, 10.0, Priority::kInteractive),
+            Decision::kAdmit);
+
+  // Opting out of the batch shed leaves only the headroom lever.
+  serve::AdmissionController::Options keep_batch;
+  keep_batch.degraded_shed_batch = false;
+  serve::AdmissionController no_shed_gate(keep_batch);
+  no_shed_gate.set_degraded(true);
+  EXPECT_EQ(no_shed_gate.AdmitWithDeadline(0, 0, kInf, 0.0, Priority::kBatch),
+            Decision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, ColdStartTrackerP50AdmitsDeadlineRequests) {
+  // Regression: a fresh LatencyTracker reports p50 = 0.0 until its first
+  // refresh (64 records). Fed into AdmitWithDeadline that must read as
+  // "service time unknown" — admit any request with budget remaining —
+  // not as "service is instant" nor as a shed. A bug here blackholes
+  // every deadline-carrying request on a cold server.
+  obs::Registry registry;
+  serve::LatencyTracker tracker(
+      registry.GetHistogram("dssddi_request_latency_ms", "latency",
+                            {{"route", "/v1/suggest"}}));
+  EXPECT_EQ(tracker.CachedP50Ms(), 0.0);
+
+  using Decision = serve::AdmissionController::Decision;
+  serve::AdmissionController gate;
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 1.0, tracker.CachedP50Ms()),
+            Decision::kAdmit);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 250.0, tracker.CachedP50Ms()),
+            Decision::kAdmit);
+  // Expired budgets still shed during cold start.
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 0.0, tracker.CachedP50Ms()),
+            Decision::kShedDeadline);
+
+  // Below the refresh threshold the estimate stays 0.0 even with slow
+  // samples recorded; past it, the estimate turns on and tight budgets
+  // start shedding.
+  for (int i = 0; i < 63; ++i) tracker.Record(100.0);
+  EXPECT_EQ(tracker.CachedP50Ms(), 0.0);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 1.0, tracker.CachedP50Ms()),
+            Decision::kAdmit);
+  tracker.Record(100.0);  // 64th: refresh fires
+  EXPECT_GT(tracker.CachedP50Ms(), 50.0);
+  EXPECT_EQ(gate.AdmitWithDeadline(0, 0, 1.0, tracker.CachedP50Ms()),
+            Decision::kShedDeadline);
 }
 
 TEST(AdmissionControllerTest, ConcurrentAdmitCompleteCountersConsistent) {
