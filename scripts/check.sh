@@ -65,10 +65,27 @@ lint_metric_names() {
 echo "== metric-naming lint (src/) =="
 lint_metric_names
 
+# v3 -> v4 conversion gate: write a synthetic v3 bundle, convert it to
+# the flat mmap format, and insist the zero-copy reload verifies its
+# section checksums and scores bit-identically to the source in both
+# float and int8 modes. This is the offline integrity pass the O(pages)
+# v4 loader intentionally skips at serve time.
+run_convert_selftest() {
+  local dir="$1"
+  echo "== bundle v3 -> v4 conversion selftest (${dir}) =="
+  local tmp
+  tmp=$(mktemp -d)
+  "$dir"/examples/bundle_convert --synthetic "$tmp/model_v3.dssb"
+  "$dir"/examples/bundle_convert "$tmp/model_v3.dssb" "$tmp/model_v4.dssb" \
+    --selftest
+  rm -rf "$tmp"
+}
+
 if [[ -z "${CHECK_SANITIZE_ONLY:-}" && -z "${CHECK_TSAN_ONLY:-}" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j "$(nproc)"
   run_ctest "$BUILD_DIR" env
+  run_convert_selftest "$BUILD_DIR"
 fi
 
 if [[ -n "${CHECK_SANITIZE:-}" ]]; then
@@ -81,6 +98,8 @@ if [[ -n "${CHECK_SANITIZE:-}" ]]; then
   # leak checking would only report those, so keep ASan focused on
   # use-after-free / overflow / races-made-visible.
   run_ctest "$SAN_DIR" env ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1"
+  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+    run_convert_selftest "$SAN_DIR"
 fi
 
 if [[ -n "${CHECK_TSAN:-}" ]]; then
@@ -89,7 +108,9 @@ if [[ -n "${CHECK_TSAN:-}" ]]; then
   cmake -B "$TSAN_DIR" -S . -DDSSDDI_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$TSAN_DIR" -j "$(nproc)"
-  TSAN_TESTS='^(serve_test|net_test|obs_metrics_test|obs_exposition_test|obs_log_test|obs_slo_test|quantize_serving_test)$'
+  # io_test rides along for the mmap lifecycle: concurrent suites swap
+  # mapped bundles under load, so the map/unmap paths get TSan coverage.
+  TSAN_TESTS='^(serve_test|net_test|obs_metrics_test|obs_exposition_test|obs_log_test|obs_slo_test|quantize_serving_test|io_test)$'
   for backend in $GEMM_BACKENDS; do
     for quantize in $QUANTIZE_MODES; do
       echo "== tsan ctest (${TSAN_DIR}, DSSDDI_GEMM_BACKEND=${backend}, DSSDDI_QUANTIZE=${quantize}) =="

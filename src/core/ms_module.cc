@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "algo/bfs.h"
 #include "algo/densest.h"
@@ -19,11 +20,17 @@ std::string ExplainerKindName(ExplainerKind kind) {
 
 MsModule::MsModule(const graph::SignedGraph& ddi, double alpha,
                    ExplainerKind explainer)
+    : MsModule(ddi, ddi.InteractionSkeleton(), alpha, explainer) {}
+
+MsModule::MsModule(const graph::SignedGraph& ddi, graph::Graph skeleton,
+                   double alpha, ExplainerKind explainer)
     : ddi_(ddi),
-      skeleton_(ddi.InteractionSkeleton()),
+      skeleton_(std::move(skeleton)),
       alpha_(alpha),
       explainer_(explainer) {
   DSSDDI_CHECK(alpha > 0.0 && alpha < 1.0) << "alpha must lie in (0, 1)";
+  DSSDDI_CHECK(skeleton_.num_vertices() == ddi.num_vertices())
+      << "skeleton vertex count disagrees with the DDI graph";
 }
 
 Explanation MsModule::Explain(const std::vector<int>& suggested_drugs) const {

@@ -59,6 +59,14 @@ class MsModule {
   explicit MsModule(const graph::SignedGraph& ddi, double alpha = 0.5,
                     ExplainerKind explainer = ExplainerKind::kClosestTrussCommunity);
 
+  /// Same, with a prebuilt interaction skeleton instead of deriving it
+  /// from `ddi` — the bundle-v4 path hands over a zero-copy CSR view of
+  /// the file's graph section (which must equal ddi.InteractionSkeleton()
+  /// and outlive this module; the loader validates the former, the
+  /// serving snapshot guarantees the latter).
+  MsModule(const graph::SignedGraph& ddi, graph::Graph skeleton, double alpha,
+           ExplainerKind explainer);
+
   /// Full explanation for a suggested drug set.
   Explanation Explain(const std::vector<int>& suggested_drugs) const;
 

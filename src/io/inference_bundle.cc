@@ -1,10 +1,13 @@
 #include "io/inference_bundle.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "core/ms_module.h"
 #include "core/suggestion_model.h"
+#include "io/bundle_v4.h"
 #include "io/serialize.h"
 #include "obs/kernel_timing.h"
 #include "tensor/kernels/gemm_backend.h"
@@ -131,15 +134,15 @@ tensor::Matrix FrozenMlp::Forward(const tensor::Matrix& x,
         layer.weight.cols() >= tensor::kernels::kQuantMinColumns) {
       const QuantizedMlp::Layer& q = quantized.layers[li];
       obs::ScopedKernelTimer kernel_timer;
-      tensor::kernels::QuantizeRowsSymmetric(cur->data().data(), cur->rows(),
+      tensor::kernels::QuantizeRowsSymmetric(cur->ReadPtr(), cur->rows(),
                                              cur->cols(), &rows);
       tensor::kernels::QGemmBiasAct(
-          rows, q.weights, q.bias.data().data(), next.data().data(),
+          rows, q.weights, q.bias.ReadPtr(), next.data().data(),
           static_cast<tensor::kernels::EpilogueActivation>(q.activation));
     } else {
       gemm.GemmBiasAct(
-          cur->rows(), cur->cols(), layer.weight.cols(), cur->data().data(),
-          layer.weight.data().data(), layer.bias.data().data(),
+          cur->rows(), cur->cols(), layer.weight.cols(), cur->ReadPtr(),
+          layer.weight.ReadPtr(), layer.bias.ReadPtr(),
           next.data().data(),
           static_cast<tensor::kernels::EpilogueActivation>(layer.activation));
     }
@@ -210,8 +213,15 @@ core::Suggestion InferenceBundle::Suggest(const tensor::Matrix& x, int k) const 
   suggestion.drugs = core::TopKDrugs(scores, 0, k);
   suggestion.scores.reserve(suggestion.drugs.size());
   for (int d : suggestion.drugs) suggestion.scores.push_back(scores.At(0, d));
-  const core::MsModule ms(ddi, ms_alpha,
-                          static_cast<core::ExplainerKind>(ms_explainer));
+  // A v4 bundle carries its interaction skeleton as a CSR view, so the
+  // explainer never re-sorts the DDI edges; heap bundles derive it here
+  // exactly as before.
+  const core::MsModule ms =
+      has_ms_skeleton
+          ? core::MsModule(ddi, ms_skeleton, ms_alpha,
+                           static_cast<core::ExplainerKind>(ms_explainer))
+          : core::MsModule(ddi, ms_alpha,
+                           static_cast<core::ExplainerKind>(ms_explainer));
   suggestion.explanation = ms.Explain(suggestion.drugs);
   return suggestion;
 }
@@ -268,7 +278,12 @@ Status SaveInferenceBundle(const std::string& path, const InferenceBundle& bundl
   return WriteFramedFile(path, kFormatInferenceBundle, kBundleVersion, writer.buffer());
 }
 
-Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
+namespace {
+
+// The historical framed-file loader: deserializes every byte onto the
+// heap through BinaryReader. Kept as the v3 path of the magic dispatch
+// in LoadInferenceBundle below.
+Status LoadInferenceBundleV3(const std::string& path, InferenceBundle* bundle) {
   std::string payload;
   uint32_t version = 0;
   if (Status status = ReadFramedFile(path, kFormatInferenceBundle, kBundleVersion,
@@ -303,22 +318,54 @@ Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
        !ReadQuantizedMlp(reader, &bundle->decoder.quantized))) {
     return Status::Error("malformed quantized section: " + path);
   }
-  if (!reader.ok() || reader.remaining() != 0 || bundle->ms_explainer > 1) {
+  if (!reader.ok() || reader.remaining() != 0) {
+    return Status::Error("malformed bundle payload: " + path);
+  }
+  if (Status status = ValidateLoadedBundle(*bundle, path, has_quantized);
+      !status.ok) {
+    return status;
+  }
+  bundle->EnsureQuantized();
+  return Status::Ok();
+}
+
+// First 4 bytes of the file as a little-endian u32; 0 (matching no
+// format) when the file is missing or shorter — the v3 loader then
+// reports its canonical error for those cases, keeping failure messages
+// stable across the dispatch.
+uint32_t PeekFileMagic(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  unsigned char bytes[4];
+  const size_t got = std::fread(bytes, 1, sizeof bytes, f);
+  std::fclose(f);
+  if (got != sizeof bytes) return 0;
+  return static_cast<uint32_t>(bytes[0]) | (static_cast<uint32_t>(bytes[1]) << 8) |
+         (static_cast<uint32_t>(bytes[2]) << 16) |
+         (static_cast<uint32_t>(bytes[3]) << 24);
+}
+
+}  // namespace
+
+Status ValidateLoadedBundle(const InferenceBundle& bundle,
+                            const std::string& path, bool has_quantized) {
+  if (bundle.ms_explainer < 0 || bundle.ms_explainer > 1) {
     return Status::Error("malformed bundle payload: " + path);
   }
   // Cross-field consistency so a loaded bundle cannot index out of range.
-  if (bundle->ddi.num_vertices() != bundle->num_drugs() ||
-      bundle->cluster_treatment.cols() != bundle->num_drugs() ||
-      bundle->final_drug_reps.cols() != bundle->hidden_dim ||
-      (!bundle->drug_names.empty() &&
-       static_cast<int>(bundle->drug_names.size()) != bundle->num_drugs())) {
+  if (bundle.ddi.num_vertices() != bundle.num_drugs() ||
+      bundle.cluster_treatment.cols() != bundle.num_drugs() ||
+      bundle.final_drug_reps.cols() != bundle.hidden_dim ||
+      (!bundle.drug_names.empty() &&
+       static_cast<int>(bundle.drug_names.size()) != bundle.num_drugs())) {
     return Status::Error("inconsistent bundle dimensions: " + path);
   }
-  // The per-section length prefixes above catch byte-level corruption;
-  // these shape checks catch semantically impossible bundles that would
-  // otherwise abort (layer-width CHECK) or read out of bounds (a decoder
-  // emitting zero columns) at scoring time. Untrusted files must fail
-  // here, at load, with a Status.
+  // The byte-level checks in each loader (section length prefixes on v3,
+  // extent/alignment validation on v4) catch corruption; these shape
+  // checks catch semantically impossible bundles that would otherwise
+  // abort (layer-width CHECK) or read out of bounds (a decoder emitting
+  // zero columns) at scoring time. Untrusted files must fail here, at
+  // load, with a Status.
   const auto chain_ok = [](const FrozenMlp& mlp, int in_width, int out_width) {
     int width = in_width;
     for (const auto& layer : mlp.layers) {
@@ -327,15 +374,15 @@ Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
     }
     return out_width < 0 || width == out_width;
   };
-  const int feature_width = bundle->cluster_centroids.cols();
-  const int interaction_dim = bundle->mlp_decoder ? bundle->hidden_dim : 1;
-  if (!chain_ok(bundle->patient_fc, feature_width, bundle->hidden_dim) ||
-      !chain_ok(bundle->decoder, interaction_dim + 1, 1)) {
+  const int feature_width = bundle.cluster_centroids.cols();
+  const int interaction_dim = bundle.mlp_decoder ? bundle.hidden_dim : 1;
+  if (!chain_ok(bundle.patient_fc, feature_width, bundle.hidden_dim) ||
+      !chain_ok(bundle.decoder, interaction_dim + 1, 1)) {
     return Status::Error("inconsistent bundle layer shapes: " + path);
   }
   // A shipped quantized section must describe exactly the float layers
-  // it rides with; on any disagreement (or for pre-v3 files) rebuild
-  // from the float weights — same deterministic bits either way.
+  // it rides with; on any disagreement (or for pre-v3 files) the caller
+  // rebuilds from the float weights — same deterministic bits either way.
   const auto quantized_matches = [](const FrozenMlp& mlp) {
     if (mlp.quantized.layers.size() != mlp.layers.size()) return false;
     for (size_t i = 0; i < mlp.layers.size(); ++i) {
@@ -348,11 +395,33 @@ Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
     }
     return true;
   };
-  if (has_quantized && (!quantized_matches(bundle->patient_fc) ||
-                        !quantized_matches(bundle->decoder))) {
+  if (has_quantized && (!quantized_matches(bundle.patient_fc) ||
+                        !quantized_matches(bundle.decoder))) {
     return Status::Error("quantized section disagrees with float layers: " + path);
   }
-  bundle->EnsureQuantized();
+  return Status::Ok();
+}
+
+Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle) {
+  const auto start = std::chrono::steady_clock::now();
+  // A reused destination (e.g. /admin/reload) must not keep a previous
+  // model's state — stale views or a stale mapping would be worse than
+  // stale floats. Only the runtime quantization override survives.
+  InferenceBundle fresh;
+  fresh.quantization = bundle->quantization;
+  *bundle = std::move(fresh);
+
+  const bool is_v4 = PeekFileMagic(path) == kBundleV4Magic;
+  if (Status status = is_v4 ? LoadInferenceBundleV4(path, bundle)
+                            : LoadInferenceBundleV3(path, bundle);
+      !status.ok) {
+    return status;
+  }
+  bundle->format_version = is_v4 ? 4 : 3;
+  bundle->load_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
   return Status::Ok();
 }
 

@@ -1,6 +1,7 @@
 #ifndef DSSDDI_IO_INFERENCE_BUNDLE_H_
 #define DSSDDI_IO_INFERENCE_BUNDLE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "data/dataset.h"
 #include "graph/signed_graph.h"
 #include "io/binary.h"
+#include "io/mmap_file.h"
 #include "io/quantized_mlp.h"
 #include "tensor/kernels/qgemm.h"
 #include "tensor/matrix.h"
@@ -85,7 +87,32 @@ struct InferenceBundle {
   /// /admin/reload "quantize" field.
   int quantization = kQuantizeAuto;
 
+  /// Non-null iff this bundle was loaded zero-copy from a v4 file: the
+  /// matrices / quantized weights / skeleton above are then views into
+  /// this mapping. Shared so every copy of the bundle (and the serving
+  /// ModelSnapshot holding it) keeps the pages alive; the file is
+  /// unmapped when the last snapshot referencing it drains.
+  std::shared_ptr<MmapFile> mapping;
+  /// File format the bundle was loaded from (3 = framed heap bundle,
+  /// 4 = flat mmap bundle); 0 for bundles assembled in process.
+  uint32_t format_version = 0;
+  /// Wall-clock cost of the load that produced this bundle, stamped by
+  /// LoadInferenceBundle and surfaced via /statsz and the bundle gauges.
+  double load_ms = 0.0;
+  /// Pre-built interaction skeleton (a CSR view into `mapping` on the
+  /// v4 path) so serving never re-sorts the DDI edges; when absent,
+  /// Skeleton() derives it from `ddi` as before.
+  graph::Graph ms_skeleton;
+  bool has_ms_skeleton = false;
+
   int num_drugs() const { return final_drug_reps.rows(); }
+  size_t bytes_mapped() const { return mapping ? mapping->size() : 0; }
+
+  /// The interaction skeleton the Medical Support module should run on:
+  /// the stored/mapped one when present, else freshly derived.
+  graph::Graph Skeleton() const {
+    return has_ms_skeleton ? ms_skeleton : ddi.InteractionSkeleton();
+  }
 
   /// The concrete mode this bundle scores with right now.
   tensor::kernels::QuantMode EffectiveQuantMode() const;
@@ -110,7 +137,20 @@ InferenceBundle ExtractInferenceBundle(const core::DssddiSystem& system,
                                        const data::SuggestionDataset& dataset);
 
 Status SaveInferenceBundle(const std::string& path, const InferenceBundle& bundle);
+
+/// Loads a bundle from either format, dispatching on the file magic:
+/// v3 framed files deserialize onto the heap as always; v4 flat files
+/// (see io/bundle_v4.h) map the file and build zero-copy views. Both
+/// paths run the same semantic validation and stamp format_version /
+/// load_ms on success.
 Status LoadInferenceBundle(const std::string& path, InferenceBundle* bundle);
+
+/// Shared semantic validation run by both loaders after parsing:
+/// cross-field dimension consistency, MLP layer-shape chains, and (when
+/// a quantized companion was shipped) float/quantized agreement. Never
+/// touches tensor payload bytes, so the v4 path stays O(pages touched).
+Status ValidateLoadedBundle(const InferenceBundle& bundle,
+                            const std::string& path, bool has_quantized);
 
 }  // namespace dssddi::io
 

@@ -18,7 +18,7 @@ void WriteLayer(BinaryWriter& writer, const QuantizedMlp::Layer& layer) {
   const auto& w = layer.weights;
   writer.WriteU32(static_cast<uint32_t>(w.k));
   writer.WriteU32(static_cast<uint32_t>(w.n));
-  writer.WriteFloatArray(w.scales.data(), static_cast<size_t>(w.n));
+  writer.WriteFloatArray(w.scale_data(), static_cast<size_t>(w.n));
   // Unpadded column-major int8 payload: k bytes per column. The kernel's
   // packed tile layout (and its zero-point correction table) is an
   // in-memory concern, rebuilt on load — so the file format survives
@@ -97,11 +97,11 @@ tensor::Matrix QuantizedMlp::Forward(const tensor::Matrix& x) const {
     DSSDDI_CHECK(cur->cols() == layer.weights.k)
         << "quantized layer expects " << layer.weights.k << " features, got "
         << cur->cols();
-    tensor::kernels::QuantizeRowsSymmetric(cur->data().data(), cur->rows(),
+    tensor::kernels::QuantizeRowsSymmetric(cur->ReadPtr(), cur->rows(),
                                            cur->cols(), &rows);
     tensor::Matrix next(cur->rows(), layer.weights.n);
     tensor::kernels::QGemmBiasAct(
-        rows, layer.weights, layer.bias.data().data(), next.data().data(),
+        rows, layer.weights, layer.bias.ReadPtr(), next.data().data(),
         static_cast<tensor::kernels::EpilogueActivation>(layer.activation));
     h = std::move(next);
     cur = &h;
@@ -116,7 +116,7 @@ QuantizedMlp QuantizeMlp(const FrozenMlp& mlp) {
   for (const auto& layer : mlp.layers) {
     QuantizedMlp::Layer out;
     out.weights = tensor::kernels::QuantizeWeightsPerColumn(
-        layer.weight.data().data(), layer.weight.rows(), layer.weight.cols());
+        layer.weight.ReadPtr(), layer.weight.rows(), layer.weight.cols());
     out.bias = layer.bias;
     out.activation = layer.activation;
     out.max_abs_error = out.weights.max_abs_error;

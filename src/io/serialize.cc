@@ -41,7 +41,7 @@ Status LoadFramed(const std::string& path, uint32_t format_id, LoadBody body) {
 void WriteMatrix(BinaryWriter& writer, const tensor::Matrix& matrix) {
   writer.WriteU32(static_cast<uint32_t>(matrix.rows()));
   writer.WriteU32(static_cast<uint32_t>(matrix.cols()));
-  writer.WriteFloatArray(matrix.data().data(), matrix.data().size());
+  writer.WriteFloatArray(matrix.ReadPtr(), static_cast<size_t>(matrix.size()));
 }
 
 bool ReadMatrix(BinaryReader& reader, tensor::Matrix* matrix) {

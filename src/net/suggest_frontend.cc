@@ -708,7 +708,10 @@ void SuggestFrontend::HandleStats(ResponseWriter writer) const {
       .Key("version").UInt(stats.model_version)
       .Key("reloads").UInt(stats.reloads)
       .Key("display_name").String(service_->snapshot()->bundle.display_name)
-      .Key("quantization").String(stats.quantization);
+      .Key("quantization").String(stats.quantization)
+      .Key("format").String(stats.bundle_format)
+      .Key("load_ms").Double(stats.bundle_load_ms)
+      .Key("bytes_mapped").UInt(stats.bundle_bytes_mapped);
   // Per-layer weight-quantization error (patient encoder layers first,
   // then decoder layers); empty on the float path.
   json.Key("quant_layer_max_abs_error").BeginArray();
@@ -905,7 +908,20 @@ int SuggestFrontend::HandleReload(const HttpRequest& request,
     recorder_->Record(obs::LogSeverity::kError, obs::LogReason::kReloadError,
                       "/admin/reload", 400, 0, 0.0, nullptr,
                       "bundle load failed");
-    writer.Send(JsonError(400, "cannot load bundle: " + loaded.message));
+    // Structured failure body: the loader's own diagnosis, the path as
+    // given, and the (untouched) served version, so an operator can see
+    // what failed and what is still running from the response alone.
+    HttpResponse response;
+    response.status = 400;
+    JsonWriter error;
+    error.BeginObject()
+        .Key("error").String("cannot load bundle")
+        .Key("detail").String(loaded.message)
+        .Key("path").String(path->AsString())
+        .Key("model_version").UInt(service_->model_version())
+        .EndObject();
+    response.body = error.str();
+    writer.Send(std::move(response));
     return 400;
   }
   bundle.quantization = quantization;
@@ -921,11 +937,16 @@ int SuggestFrontend::HandleReload(const HttpRequest& request,
   }
   HttpResponse response;
   JsonWriter json;
+  const std::shared_ptr<const serve::ModelSnapshot> installed =
+      service_->snapshot();
   json.BeginObject()
       .Key("model_version").UInt(service_->model_version())
       .Key("display_name").String(display_name)
       .Key("num_drugs").Int(num_drugs)
-      .Key("quantization").String(service_->snapshot()->quantization_name())
+      .Key("quantization").String(installed->quantization_name())
+      .Key("format").String(installed->format_name())
+      .Key("load_ms").Double(installed->bundle.load_ms)
+      .Key("bytes_mapped").UInt(installed->bundle.bytes_mapped())
       .EndObject();
   response.body = json.str();
   writer.Send(std::move(response));

@@ -51,6 +51,7 @@ const char* LogReasonName(LogReason reason) {
     case LogReason::kScoringError: return "scoring_error";
     case LogReason::kReloadError: return "reload_error";
     case LogReason::kSloTransition: return "slo_transition";
+    case LogReason::kReload: return "reload";
   }
   return "unknown";
 }

@@ -52,6 +52,7 @@ enum class LogReason : int {
   kScoringError,   // batch scoring threw -> 500
   kReloadError,    // /admin/reload failed
   kSloTransition,  // SLO engine entered/exited degraded mode
+  kReload,         // model snapshot swapped successfully
 };
 
 const char* LogReasonName(LogReason reason);

@@ -67,6 +67,19 @@ SuggestionService::SuggestionService(io::InferenceBundle bundle,
   }
   snapshot_ = std::make_shared<const ModelSnapshot>(std::move(bundle),
                                                     version_.load());
+  bundle_load_ms_gauge_ = registry_->GetGauge(
+      "dssddi_bundle_load_ms",
+      "Wall-clock load cost of the currently served bundle in milliseconds "
+      "(0 for in-process bundles)");
+  bundle_bytes_mapped_gauge_ = registry_->GetGauge(
+      "dssddi_bundle_bytes_mapped",
+      "Bytes the served bundle holds mmap'd (v4 zero-copy bundles only; "
+      "0 on the heap paths)");
+  bundle_generation_gauge_ = registry_->GetGauge(
+      "dssddi_bundle_generation",
+      "Model snapshot version currently being served; advances by one per "
+      "successful reload");
+  PublishBundleGauges(*snapshot_);
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<SuggestionCache>(options_.cache_capacity,
                                                options_.cache_shards);
@@ -231,7 +244,25 @@ io::Status SuggestionService::Reload(io::InferenceBundle bundle) {
   std::atomic_store(&snapshot_, std::static_pointer_cast<const ModelSnapshot>(next));
   if (cache_) cache_->BumpGeneration();
   reloads_.fetch_add(1, std::memory_order_relaxed);
+  PublishBundleGauges(*next);
+  // Reloads are rare, load-bearing events — exactly what the flight
+  // recorder exists for. total_ms carries the bundle's load cost so a
+  // /logz reader sees what the swap actually paid.
+  recorder_->Record(obs::LogSeverity::kInfo, obs::LogReason::kReload,
+                    "reload", 200, 0, next->bundle.load_ms, nullptr,
+                    next->bundle.format_version == 4
+                        ? "installed v4 mmap bundle"
+                        : (next->bundle.format_version == 3
+                               ? "installed v3 heap bundle"
+                               : "installed in-process bundle"));
   return io::Status::Ok();
+}
+
+void SuggestionService::PublishBundleGauges(const ModelSnapshot& snapshot) {
+  bundle_load_ms_gauge_->Set(snapshot.bundle.load_ms);
+  bundle_bytes_mapped_gauge_->Set(
+      static_cast<double>(snapshot.bundle.bytes_mapped()));
+  bundle_generation_gauge_->Set(static_cast<double>(snapshot.version));
 }
 
 size_t SuggestionService::QueueDepth() const {
@@ -521,6 +552,9 @@ ServiceStats SuggestionService::Stats() const {
     append_errors(current->bundle.patient_fc.quantized);
     append_errors(current->bundle.decoder.quantized);
   }
+  stats.bundle_format = current->format_name();
+  stats.bundle_load_ms = current->bundle.load_ms;
+  stats.bundle_bytes_mapped = current->bundle.bytes_mapped();
   return stats;
 }
 

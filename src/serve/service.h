@@ -118,6 +118,14 @@ struct ServiceStats {
   /// (patient encoder layers first, then decoder layers). Empty when
   /// serving the float path.
   std::vector<double> quant_layer_max_abs_error;
+  /// Provenance of the served bundle: "v4" (flat mmap file), "v3"
+  /// (framed heap file) or "memory" (assembled in process, never loaded
+  /// from disk).
+  std::string bundle_format;
+  /// Wall-clock cost of the load that produced the served bundle, and
+  /// the bytes it holds mapped (0 on the heap paths).
+  double bundle_load_ms = 0.0;
+  uint64_t bundle_bytes_mapped = 0;
 };
 
 /// One immutable, shareable model generation: the frozen bundle plus the
@@ -131,8 +139,17 @@ struct ModelSnapshot {
 
   ModelSnapshot(io::InferenceBundle b, uint64_t v)
       : bundle(std::move(b)),
-        ms(bundle.ddi, bundle.ms_alpha,
-           static_cast<core::ExplainerKind>(bundle.ms_explainer)),
+        // A v4 bundle carries its interaction skeleton as a CSR view
+        // into the mapping (pinned by bundle.mapping, which this
+        // snapshot owns), so the explainer is built without re-sorting
+        // the DDI edges; heap bundles derive it exactly as before.
+        ms(bundle.has_ms_skeleton
+               ? core::MsModule(
+                     bundle.ddi, bundle.ms_skeleton, bundle.ms_alpha,
+                     static_cast<core::ExplainerKind>(bundle.ms_explainer))
+               : core::MsModule(
+                     bundle.ddi, bundle.ms_alpha,
+                     static_cast<core::ExplainerKind>(bundle.ms_explainer))),
         version(v) {
     // Pin the quantization mode for this model generation: an "auto"
     // bundle resolves the process-wide mode exactly once, here, so a
@@ -153,6 +170,14 @@ struct ModelSnapshot {
   }
   const char* quantization_name() const {
     return tensor::kernels::QuantModeName(quant_mode());
+  }
+  /// "v4" / "v3" for disk-loaded bundles, "memory" for in-process ones.
+  const char* format_name() const {
+    switch (bundle.format_version) {
+      case 4: return "v4";
+      case 3: return "v3";
+      default: return "memory";
+    }
   }
 };
 
@@ -287,6 +312,10 @@ class SuggestionService {
   void FailInflight(const CacheKey& key, const std::exception_ptr& error);
   void RecordLatency(double millis);
   uint64_t InFlight() const;
+  /// Stamps the bundle-provenance gauges (load_ms, bytes mapped, model
+  /// generation) from a freshly installed snapshot — constructor and
+  /// every successful Reload.
+  void PublishBundleGauges(const ModelSnapshot& snapshot);
 
   ServiceOptions options_;
   AdmissionController admission_;
@@ -298,6 +327,12 @@ class SuggestionService {
   std::shared_ptr<obs::Registry> registry_;
   std::shared_ptr<obs::TraceCollector> collector_;
   std::shared_ptr<obs::FlightRecorder> recorder_;
+
+  /// Bundle-provenance gauges, registered once at construction; pointers
+  /// are stable for the registry's lifetime.
+  obs::Gauge* bundle_load_ms_gauge_ = nullptr;
+  obs::Gauge* bundle_bytes_mapped_gauge_ = nullptr;
+  obs::Gauge* bundle_generation_gauge_ = nullptr;
 
   /// Swapped only by Reload; read via std::atomic_load everywhere.
   std::shared_ptr<const ModelSnapshot> snapshot_;

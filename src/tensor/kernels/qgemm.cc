@@ -231,7 +231,7 @@ QuantizedWeights BuildQuantizedWeights(int k, int n, const signed char* columns,
 void UnpackQuantizedWeights(const QuantizedWeights& w, signed char* columns) {
   const size_t tile_bytes = static_cast<size_t>(w.k_padded) * kQuantColTile;
   for (int j = 0; j < w.n; ++j) {
-    const signed char* tile = w.data.data() + (j / kQuantColTile) * tile_bytes;
+    const signed char* tile = w.packed_data() + (j / kQuantColTile) * tile_bytes;
     const int col_in_tile = j % kQuantColTile;
     for (int p = 0; p < w.k; ++p) {
       columns[static_cast<size_t>(j) * w.k + p] =
@@ -282,8 +282,8 @@ void QGemmBiasAct(const QuantizedRows& a, const QuantizedWeights& w,
   DSSDDI_CHECK(a.k == w.k)
       << "qgemm contraction mismatch: " << a.k << " vs " << w.k;
   if (a.m == 0 || w.n == 0) return;
-  Kernel().gemm(a.data.data(), a.scales.data(), w.data.data(), w.scales.data(),
-                w.col_corrections.data(), a.m, w.n, w.n_padded, a.k_padded, c);
+  Kernel().gemm(a.data.data(), a.scales.data(), w.packed_data(), w.scale_data(),
+                w.correction_data(), a.m, w.n, w.n_padded, a.k_padded, c);
   EpilogueInPlace(c, a.m, w.n, bias, activation);
 }
 
@@ -293,8 +293,8 @@ void QGemmBiasActPortable(const QuantizedRows& a, const QuantizedWeights& w,
   DSSDDI_CHECK(a.k == w.k)
       << "qgemm contraction mismatch: " << a.k << " vs " << w.k;
   if (a.m == 0 || w.n == 0) return;
-  internal::QGemmScaledScalar(a.data.data(), a.scales.data(), w.data.data(),
-                              w.scales.data(), w.col_corrections.data(), a.m,
+  internal::QGemmScaledScalar(a.data.data(), a.scales.data(), w.packed_data(),
+                              w.scale_data(), w.correction_data(), a.m,
                               w.n, w.n_padded, a.k_padded, c);
   EpilogueInPlace(c, a.m, w.n, bias, activation);
 }

@@ -95,6 +95,31 @@ struct QuantizedWeights {
   /// the quantization error they are serving with.
   float max_abs_error = 0.0f;
 
+  /// View mode (bundle v4): non-null pointers into externally owned
+  /// memory — the mmap'd file stores the packed tile layout directly,
+  /// so serving int8 weights needs no repack and no copy. The owning
+  /// vectors stay empty; the kernels read through the accessors below.
+  /// The mapped memory must outlive this struct (the serving snapshot
+  /// pins the mapping). All sizes remain derivable from k/n.
+  const signed char* data_view = nullptr;
+  const float* scales_view = nullptr;
+  const int32_t* corrections_view = nullptr;
+
+  const signed char* packed_data() const {
+    return data_view != nullptr ? data_view : data.data();
+  }
+  const float* scale_data() const {
+    return scales_view != nullptr ? scales_view : scales.data();
+  }
+  const int32_t* correction_data() const {
+    return corrections_view != nullptr ? corrections_view
+                                       : col_corrections.data();
+  }
+  /// Packed payload size in bytes: n_padded/8 tiles of k_padded*8 bytes.
+  size_t packed_size() const {
+    return static_cast<size_t>(n_padded) * k_padded;
+  }
+
   bool empty() const { return n == 0; }
   int num_groups() const { return k_padded / kQuantGroup; }
 };

@@ -24,6 +24,52 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
   }
 }
 
+// Copying a view yields an owning deep copy: an accidental copy of a
+// mapped weight matrix becomes safe-but-heap instead of an alias whose
+// lifetime nobody tracks. Owning copies behave exactly as before.
+Matrix::Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+  if (other.view_ != nullptr) {
+    data_.assign(other.view_, other.view_ + other.size());
+  } else {
+    data_ = other.data_;
+  }
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  view_ = nullptr;
+  if (other.view_ != nullptr) {
+    data_.assign(other.view_, other.view_ + other.size());
+  } else {
+    data_ = other.data_;
+  }
+  return *this;
+}
+
+Matrix Matrix::FromView(int rows, int cols, const float* data) {
+  DSSDDI_CHECK(rows >= 0 && cols >= 0) << "negative matrix dimension";
+  DSSDDI_CHECK(data != nullptr || rows * cols == 0) << "null view data";
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.view_ = data;
+  return m;
+}
+
+void Matrix::Materialize() {
+  if (view_ == nullptr) return;
+  data_.assign(view_, view_ + size());
+  view_ = nullptr;
+}
+
+const AlignedFloatVector& Matrix::data() const {
+  DSSDDI_CHECK(view_ == nullptr)
+      << "const data() on a view matrix — use ReadPtr()/RowPtr()";
+  return data_;
+}
+
 Matrix Matrix::Identity(int n) {
   Matrix m(n, n, 0.0f);
   for (int i = 0; i < n; ++i) m.At(i, i) = 1.0f;
@@ -54,24 +100,24 @@ Matrix Matrix::MatMul(const Matrix& other) const {
       << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
       << other.rows_ << "x" << other.cols_;
   Matrix out(rows_, other.cols_);
-  kernels::ActiveBackend().Gemm(rows_, cols_, other.cols_, data_.data(),
-                                other.data_.data(), out.data_.data());
+  kernels::ActiveBackend().Gemm(rows_, cols_, other.cols_, ReadPtr(),
+                                other.ReadPtr(), out.data_.data());
   return out;
 }
 
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
   DSSDDI_CHECK(rows_ == other.rows_) << "A^T*B shape mismatch";
   Matrix out(cols_, other.cols_);
-  kernels::ActiveBackend().GemmAT(cols_, rows_, other.cols_, data_.data(),
-                                  other.data_.data(), out.data_.data());
+  kernels::ActiveBackend().GemmAT(cols_, rows_, other.cols_, ReadPtr(),
+                                  other.ReadPtr(), out.data_.data());
   return out;
 }
 
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   DSSDDI_CHECK(cols_ == other.cols_) << "A*B^T shape mismatch";
   Matrix out(rows_, other.rows_);
-  kernels::ActiveBackend().GemmBT(rows_, cols_, other.rows_, data_.data(),
-                                  other.data_.data(), out.data_.data());
+  kernels::ActiveBackend().GemmBT(rows_, cols_, other.rows_, ReadPtr(),
+                                  other.ReadPtr(), out.data_.data());
   return out;
 }
 
@@ -86,21 +132,24 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::Add(const Matrix& other) const {
   DSSDDI_CHECK(SameShape(other)) << "add shape mismatch";
   Matrix out = *this;
-  for (int i = 0; i < out.size(); ++i) out.data_[i] += other.data_[i];
+  const float* rhs = other.ReadPtr();
+  for (int i = 0; i < out.size(); ++i) out.data_[i] += rhs[i];
   return out;
 }
 
 Matrix Matrix::Sub(const Matrix& other) const {
   DSSDDI_CHECK(SameShape(other)) << "sub shape mismatch";
   Matrix out = *this;
-  for (int i = 0; i < out.size(); ++i) out.data_[i] -= other.data_[i];
+  const float* rhs = other.ReadPtr();
+  for (int i = 0; i < out.size(); ++i) out.data_[i] -= rhs[i];
   return out;
 }
 
 Matrix Matrix::Hadamard(const Matrix& other) const {
   DSSDDI_CHECK(SameShape(other)) << "hadamard shape mismatch";
   Matrix out = *this;
-  for (int i = 0; i < out.size(); ++i) out.data_[i] *= other.data_[i];
+  const float* rhs = other.ReadPtr();
+  for (int i = 0; i < out.size(); ++i) out.data_[i] *= rhs[i];
   return out;
 }
 
@@ -113,9 +162,10 @@ Matrix Matrix::Scale(float factor) const {
 Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
   DSSDDI_CHECK(row.rows_ == 1 && row.cols_ == cols_) << "broadcast shape mismatch";
   Matrix out = *this;
+  const float* row_values = row.ReadPtr();
   for (int i = 0; i < rows_; ++i) {
     float* out_row = out.RowPtr(i);
-    for (int j = 0; j < cols_; ++j) out_row[j] += row.data_[j];
+    for (int j = 0; j < cols_; ++j) out_row[j] += row_values[j];
   }
   return out;
 }
@@ -133,18 +183,25 @@ Matrix Matrix::GatherRows(const std::vector<int>& indices) const {
 
 void Matrix::AddInPlace(const Matrix& other) {
   DSSDDI_CHECK(SameShape(other)) << "add-in-place shape mismatch";
-  for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  float* dst = MutPtr();
+  const float* rhs = other.ReadPtr();
+  for (int i = 0; i < size(); ++i) dst[i] += rhs[i];
 }
 
 void Matrix::ScaleInPlace(float factor) {
-  for (float& v : data_) v *= factor;
+  float* dst = MutPtr();
+  for (int i = 0; i < size(); ++i) dst[i] *= factor;
 }
 
-void Matrix::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+void Matrix::Fill(float value) {
+  float* dst = MutPtr();
+  std::fill(dst, dst + size(), value);
+}
 
 float Matrix::SumAll() const {
   double acc = 0.0;
-  for (float v : data_) acc += v;
+  const float* values = ReadPtr();
+  for (int i = 0; i < size(); ++i) acc += values[i];
   return static_cast<float>(acc);
 }
 
@@ -155,12 +212,14 @@ float Matrix::MeanAll() const {
 
 float Matrix::MaxAll() const {
   DSSDDI_CHECK(size() > 0) << "max of empty matrix";
-  return *std::max_element(data_.begin(), data_.end());
+  const float* values = ReadPtr();
+  return *std::max_element(values, values + size());
 }
 
 float Matrix::FrobeniusNorm() const {
   double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  const float* values = ReadPtr();
+  for (int i = 0; i < size(); ++i) acc += static_cast<double>(values[i]) * values[i];
   return static_cast<float>(std::sqrt(acc));
 }
 

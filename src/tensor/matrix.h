@@ -16,12 +16,28 @@ namespace dssddi::tensor {
 /// vector; a 1x1 matrix doubles as a scalar. Storage is 32-byte aligned
 /// (see tensor/aligned.h) so the SIMD GEMM / int8 kernels always see a
 /// vector-aligned base pointer.
+///
+/// A matrix is either *owning* (heap vector, the default and the only
+/// mode training ever sees) or a *view* over external read-only memory
+/// (FromView) — the zero-copy mode bundle format v4 uses to serve
+/// weights straight out of an mmap'd file. Reads on a view go through
+/// the external pointer; the first mutating access detaches a private
+/// heap copy (copy-on-write), so a view can never write through to the
+/// mapped pages. Copying a view yields an owning deep copy; moving
+/// carries the view. The viewed memory must outlive the view — the
+/// serving layer guarantees this by pinning the mapping in the same
+/// snapshot that holds the matrices.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols, float fill = 0.0f);
   /// Builds from nested initializer lists, e.g. Matrix({{1, 2}, {3, 4}}).
   Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
 
   static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0f); }
   static Matrix Ones(int rows, int cols) { return Matrix(rows, cols, 1.0f); }
@@ -30,18 +46,32 @@ class Matrix {
   static Matrix Scalar(float value);
   /// 1xN row vector from `values`.
   static Matrix Row(const std::vector<float>& values);
+  /// Non-owning view over `rows * cols` row-major floats at `data`
+  /// (which must stay valid and unmodified for the view's lifetime).
+  static Matrix FromView(int rows, int cols, const float* data);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int size() const { return rows_ * cols_; }
   bool empty() const { return size() == 0; }
+  bool is_view() const { return view_ != nullptr; }
 
-  float& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
-  float At(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }
-  float* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
-  const float* RowPtr(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
-  AlignedFloatVector& data() { return data_; }
-  const AlignedFloatVector& data() const { return data_; }
+  float& At(int r, int c) { return MutPtr()[static_cast<size_t>(r) * cols_ + c]; }
+  float At(int r, int c) const { return ReadPtr()[static_cast<size_t>(r) * cols_ + c]; }
+  float* RowPtr(int r) { return MutPtr() + static_cast<size_t>(r) * cols_; }
+  const float* RowPtr(int r) const { return ReadPtr() + static_cast<size_t>(r) * cols_; }
+  /// Base pointer for reads, valid in both modes. The hot scoring paths
+  /// use this (not data()) so a view never materializes.
+  const float* ReadPtr() const { return view_ != nullptr ? view_ : data_.data(); }
+  /// Owning storage. The non-const form detaches a view first; the
+  /// const form aborts on a view (callers that can see v4 matrices must
+  /// use ReadPtr/RowPtr instead — an empty vector here would silently
+  /// serialize or score zero weights).
+  AlignedFloatVector& data() {
+    Materialize();
+    return data_;
+  }
+  const AlignedFloatVector& data() const;
 
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
@@ -89,9 +119,20 @@ class Matrix {
   std::string DebugString(int max_rows = 6, int max_cols = 8) const;
 
  private:
+  /// Cold path of MutPtr: copies the viewed floats into owning storage
+  /// and drops the external pointer. No-op on an owning matrix.
+  void Materialize();
+  float* MutPtr() {
+    if (view_ != nullptr) Materialize();
+    return data_.data();
+  }
+
   int rows_;
   int cols_;
   AlignedFloatVector data_;
+  /// Non-null iff this matrix is a view; then data_ is empty until a
+  /// mutating access materializes.
+  const float* view_ = nullptr;
 };
 
 }  // namespace dssddi::tensor

@@ -4,14 +4,18 @@
 // scores). Includes failure injection: truncation, bit flips, wrong
 // artifact kind, and inconsistent dimensions must all be rejected.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <tuple>
 
 #include "core/dssddi_system.h"
 #include "gtest/gtest.h"
 #include "io/binary.h"
+#include "io/bundle_v4.h"
 #include "io/inference_bundle.h"
+#include "io/mmap_file.h"
 #include "io/serialize.h"
 #include "test_support.h"
 #include "util/rng.h"
@@ -646,6 +650,338 @@ TEST(FrozenMlpTest, ForwardMatchesHandComputation) {
   const tensor::Matrix y = mlp.Forward(x);
   EXPECT_FLOAT_EQ(y.At(0, 0), 4.0f);   // 2*1 + 1*3 - 1 = 4
   EXPECT_FLOAT_EQ(y.At(1, 0), 0.0f);   // relu(-1) = 0
+}
+
+// ---------------------------------------------------------------------
+// MmapFile
+// ---------------------------------------------------------------------
+
+TEST(MmapFileTest, MapsARealFileAndReadsItsBytes) {
+  const std::string path = TempPath("mmap_plain.bin");
+  ASSERT_TRUE(io::WriteStringToFile(path, "mapped contents").ok);
+  io::MmapFile mapping;
+  ASSERT_TRUE(io::MmapFile::Open(path, &mapping).ok);
+  ASSERT_EQ(mapping.size(), 15u);
+  EXPECT_EQ(std::memcmp(mapping.data(), "mapped contents", 15), 0);
+}
+
+TEST(MmapFileTest, PrefaultedMappingReadsTheSameBytes) {
+  const std::string path = TempPath("mmap_prefault.bin");
+  ASSERT_TRUE(io::WriteStringToFile(path, "prefault me").ok);
+  io::MmapFile mapping;
+  ASSERT_TRUE(io::MmapFile::Open(path, &mapping, /*prefault=*/true).ok);
+  ASSERT_EQ(mapping.size(), 11u);
+  EXPECT_EQ(std::memcmp(mapping.data(), "prefault me", 11), 0);
+}
+
+TEST(MmapFileTest, MissingEmptyAndDirectoryPathsFailCleanly) {
+  io::MmapFile mapping;
+  EXPECT_FALSE(io::MmapFile::Open(TempPath("no_such_mmap.bin"), &mapping).ok);
+
+  const std::string empty_path = TempPath("mmap_empty.bin");
+  ASSERT_TRUE(io::WriteStringToFile(empty_path, "").ok);
+  EXPECT_FALSE(io::MmapFile::Open(empty_path, &mapping).ok);
+
+  EXPECT_FALSE(io::MmapFile::Open(::testing::TempDir(), &mapping).ok);
+}
+
+// ---------------------------------------------------------------------
+// Bundle format v4 (zero-copy mmap)
+// ---------------------------------------------------------------------
+
+// Section-table walker for corruption tests: returns the file offset of
+// the first section of `type` (0 if absent). Layout constants match the
+// format doc in io/bundle_v4.h.
+size_t FindV4Section(const std::string& raw, uint32_t type,
+                     uint64_t* length = nullptr) {
+  uint32_t count = 0;
+  std::memcpy(&count, raw.data() + 24, sizeof(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t entry = 32 + 32 * static_cast<size_t>(i);
+    uint32_t entry_type = 0;
+    std::memcpy(&entry_type, raw.data() + entry, sizeof(entry_type));
+    if (entry_type != type) continue;
+    uint64_t offset = 0;
+    std::memcpy(&offset, raw.data() + entry + 8, sizeof(offset));
+    if (length != nullptr) {
+      std::memcpy(length, raw.data() + entry + 16, sizeof(*length));
+    }
+    return static_cast<size_t>(offset);
+  }
+  return 0;
+}
+
+class BundleV4Test : public InferenceBundleTest {
+ protected:
+  // Saves the suite bundle once as v4 (with int8 companions) and reads
+  // the raw bytes back for the corruption tests.
+  static void SetUpTestSuite() {
+    InferenceBundleTest::SetUpTestSuite();
+    bundle_ = new io::InferenceBundle(
+        io::ExtractInferenceBundle(*system_, *dataset_));
+    v4_path_ = new std::string(TempPath("model_v4.dssb"));
+    ASSERT_TRUE(io::SaveInferenceBundleV4(*v4_path_, *bundle_).ok);
+    raw_ = new std::string();
+    ASSERT_TRUE(io::ReadFileToString(*v4_path_, raw_).ok);
+  }
+  static void TearDownTestSuite() {
+    delete raw_;
+    delete v4_path_;
+    delete bundle_;
+    raw_ = nullptr;
+    v4_path_ = nullptr;
+    bundle_ = nullptr;
+    InferenceBundleTest::TearDownTestSuite();
+  }
+
+  // Writes `raw` with bytes [at, at+len) replaced and expects the loader
+  // to reject it with the canonical malformed-v4 message.
+  static void ExpectMutationRejected(size_t at, const void* bytes, size_t len,
+                                     const char* label) {
+    std::string mutated = *raw_;
+    ASSERT_LE(at + len, mutated.size()) << label;
+    std::memcpy(mutated.data() + at, bytes, len);
+    const std::string path = TempPath("v4_mutated.dssb");
+    ASSERT_TRUE(io::WriteStringToFile(path, mutated).ok);
+    io::InferenceBundle loaded;
+    const io::Status status = io::LoadInferenceBundle(path, &loaded);
+    EXPECT_FALSE(status.ok) << label;
+    EXPECT_NE(status.message.find("malformed v4 bundle"), std::string::npos)
+        << label << ": " << status.message;
+  }
+
+  static void ExpectU32MutationRejected(size_t at, uint32_t value,
+                                        const char* label) {
+    ExpectMutationRejected(at, &value, sizeof(value), label);
+  }
+  static void ExpectU64MutationRejected(size_t at, uint64_t value,
+                                        const char* label) {
+    ExpectMutationRejected(at, &value, sizeof(value), label);
+  }
+
+  static io::InferenceBundle* bundle_;
+  static std::string* v4_path_;
+  static std::string* raw_;
+};
+
+io::InferenceBundle* BundleV4Test::bundle_ = nullptr;
+std::string* BundleV4Test::v4_path_ = nullptr;
+std::string* BundleV4Test::raw_ = nullptr;
+
+TEST_F(BundleV4Test, RoundTripIsZeroCopyAndBitExact) {
+  io::InferenceBundle loaded;
+  loaded.quantization = static_cast<int>(tensor::kernels::QuantMode::kNone);
+  ASSERT_TRUE(io::LoadInferenceBundle(*v4_path_, &loaded).ok);
+  EXPECT_EQ(loaded.format_version, 4u);
+  EXPECT_GT(loaded.bytes_mapped(), 0u);
+  EXPECT_GE(loaded.load_ms, 0.0);
+  EXPECT_TRUE(loaded.has_ms_skeleton);
+  EXPECT_TRUE(loaded.ms_skeleton.is_view());
+  EXPECT_EQ(loaded.display_name, bundle_->display_name);
+  EXPECT_EQ(loaded.hidden_dim, bundle_->hidden_dim);
+  EXPECT_EQ(loaded.ms_explainer, bundle_->ms_explainer);
+  EXPECT_EQ(loaded.drug_names, bundle_->drug_names);
+
+  // The tensors must be views into the mapping, not copies.
+  const unsigned char* base = loaded.mapping->data();
+  const unsigned char* end = base + loaded.bytes_mapped();
+  const float* w = loaded.patient_fc.layers.front().weight.ReadPtr();
+  EXPECT_TRUE(reinterpret_cast<const unsigned char*>(w) >= base &&
+              reinterpret_cast<const unsigned char*>(w) < end);
+
+  const tensor::Matrix x =
+      dataset_->patient_features.GatherRows(dataset_->split.test);
+  io::InferenceBundle float_ref = *bundle_;
+  float_ref.quantization = static_cast<int>(tensor::kernels::QuantMode::kNone);
+  const tensor::Matrix before = float_ref.PredictScores(x);
+  const tensor::Matrix after = loaded.PredictScores(x);
+  EXPECT_EQ(before.data(), after.data());  // bit-exact across the file
+
+  EXPECT_TRUE(io::VerifyBundleV4Checksums(*v4_path_).ok);
+}
+
+TEST_F(BundleV4Test, V4ScoresBitIdenticalToV3AcrossQuantModes) {
+  const std::string v3_path = TempPath("model_v3_vs_v4.dssb");
+  ASSERT_TRUE(io::SaveInferenceBundle(v3_path, *bundle_).ok);
+  const tensor::Matrix x =
+      dataset_->patient_features.GatherRows(dataset_->split.test);
+  const int patient = dataset_->split.test.front();
+
+  for (const auto mode : {tensor::kernels::QuantMode::kNone,
+                          tensor::kernels::QuantMode::kInt8}) {
+    io::InferenceBundle v3;
+    io::InferenceBundle v4;
+    v3.quantization = static_cast<int>(mode);
+    v4.quantization = static_cast<int>(mode);
+    ASSERT_TRUE(io::LoadInferenceBundle(v3_path, &v3).ok);
+    ASSERT_TRUE(io::LoadInferenceBundle(*v4_path_, &v4).ok);
+    EXPECT_EQ(v3.format_version, 3u);
+    EXPECT_EQ(v4.format_version, 4u);
+
+    const tensor::Matrix heap = v3.PredictScores(x);
+    const tensor::Matrix mapped = v4.PredictScores(x);
+    EXPECT_EQ(heap.data(), mapped.data())
+        << "mode " << static_cast<int>(mode);
+
+    const auto v3_suggest = v3.Suggest(
+        dataset_->patient_features.GatherRows({patient}), 3);
+    const auto v4_suggest = v4.Suggest(
+        dataset_->patient_features.GatherRows({patient}), 3);
+    EXPECT_EQ(v3_suggest.drugs, v4_suggest.drugs);
+    EXPECT_EQ(v3_suggest.explanation.subgraph_drugs,
+              v4_suggest.explanation.subgraph_drugs);
+    EXPECT_DOUBLE_EQ(v3_suggest.explanation.suggestion_satisfaction,
+                     v4_suggest.explanation.suggestion_satisfaction);
+  }
+}
+
+TEST_F(BundleV4Test, MappedQuantizedTilesMatchTheHeapPacking) {
+  io::InferenceBundle loaded;
+  ASSERT_TRUE(io::LoadInferenceBundle(*v4_path_, &loaded).ok);
+  ASSERT_EQ(loaded.patient_fc.quantized.layers.size(),
+            bundle_->patient_fc.quantized.layers.size());
+  for (size_t i = 0; i < bundle_->patient_fc.quantized.layers.size(); ++i) {
+    const auto& saved = bundle_->patient_fc.quantized.layers[i].weights;
+    const auto& got = loaded.patient_fc.quantized.layers[i].weights;
+    ASSERT_EQ(saved.packed_size(), got.packed_size()) << "layer " << i;
+    EXPECT_EQ(std::memcmp(saved.packed_data(), got.packed_data(),
+                          saved.packed_size()),
+              0)
+        << "layer " << i;
+    EXPECT_EQ(std::memcmp(saved.scale_data(), got.scale_data(),
+                          static_cast<size_t>(saved.n_padded) * sizeof(float)),
+              0)
+        << "layer " << i;
+  }
+}
+
+TEST_F(BundleV4Test, MappedSkeletonEqualsInteractionSkeleton) {
+  io::InferenceBundle loaded;
+  ASSERT_TRUE(io::LoadInferenceBundle(*v4_path_, &loaded).ok);
+  ASSERT_TRUE(loaded.has_ms_skeleton);
+  const graph::Graph expected = loaded.ddi.InteractionSkeleton();
+  ASSERT_EQ(loaded.ms_skeleton.num_vertices(), expected.num_vertices());
+  ASSERT_EQ(loaded.ms_skeleton.num_edges(), expected.num_edges());
+  for (int e = 0; e < expected.num_edges(); ++e) {
+    EXPECT_EQ(loaded.ms_skeleton.Edge(e), expected.Edge(e)) << "edge " << e;
+  }
+}
+
+TEST_F(BundleV4Test, QuantlessV4FileRebuildsInt8FromMappedFloats) {
+  io::InferenceBundle stripped = *bundle_;
+  stripped.patient_fc.quantized.layers.clear();
+  stripped.decoder.quantized.layers.clear();
+  const std::string path = TempPath("model_v4_noquant.dssb");
+  ASSERT_TRUE(io::SaveInferenceBundleV4(path, stripped).ok);
+
+  io::InferenceBundle loaded;
+  loaded.quantization = static_cast<int>(tensor::kernels::QuantMode::kInt8);
+  ASSERT_TRUE(io::LoadInferenceBundle(path, &loaded).ok);
+  EXPECT_FALSE(loaded.patient_fc.quantized.layers.empty());
+
+  io::InferenceBundle shipped;
+  shipped.quantization = static_cast<int>(tensor::kernels::QuantMode::kInt8);
+  ASSERT_TRUE(io::LoadInferenceBundle(*v4_path_, &shipped).ok);
+  const tensor::Matrix x =
+      dataset_->patient_features.GatherRows(dataset_->split.test);
+  const tensor::Matrix rebuilt = loaded.PredictScores(x);
+  const tensor::Matrix from_section = shipped.PredictScores(x);
+  EXPECT_EQ(rebuilt.data(), from_section.data());
+}
+
+TEST_F(BundleV4Test, ReloadingV3IntoAV4BundleDropsTheMapping) {
+  const std::string v3_path = TempPath("model_v3_after_v4.dssb");
+  ASSERT_TRUE(io::SaveInferenceBundle(v3_path, *bundle_).ok);
+
+  io::InferenceBundle reused;
+  ASSERT_TRUE(io::LoadInferenceBundle(*v4_path_, &reused).ok);
+  ASSERT_NE(reused.mapping, nullptr);
+  ASSERT_TRUE(io::LoadInferenceBundle(v3_path, &reused).ok);
+  EXPECT_EQ(reused.format_version, 3u);
+  EXPECT_EQ(reused.mapping, nullptr);
+  EXPECT_EQ(reused.bytes_mapped(), 0u);
+  EXPECT_FALSE(reused.has_ms_skeleton);
+  // The heap-loaded weights must actually work once the mapping is gone.
+  const tensor::Matrix x =
+      dataset_->patient_features.GatherRows(dataset_->split.test);
+  EXPECT_EQ(reused.PredictScores(x).rows(),
+            static_cast<int>(dataset_->split.test.size()));
+}
+
+TEST_F(BundleV4Test, EveryTruncatedPrefixOfAV4FileIsRejected) {
+  const std::string cut_path = TempPath("v4_truncate_cut.dssb");
+  for (int tenths = 0; tenths < 10; ++tenths) {
+    const size_t cut = raw_->size() * static_cast<size_t>(tenths) / 10;
+    ASSERT_TRUE(io::WriteStringToFile(cut_path, raw_->substr(0, cut)).ok);
+    io::InferenceBundle loaded;
+    EXPECT_FALSE(io::LoadInferenceBundle(cut_path, &loaded).ok)
+        << "accepted a v4 bundle truncated to " << cut << " of "
+        << raw_->size() << " bytes";
+  }
+}
+
+TEST_F(BundleV4Test, HeaderAndSectionTableFuzzFailsCleanly) {
+  // Each mutation targets one documented header/table field (offsets per
+  // the format comment in io/bundle_v4.h) and must produce a clean
+  // Status — never a crash or a silently wrong bundle.
+  ExpectU32MutationRejected(4, 999, "unsupported header version");
+  ExpectU32MutationRejected(8, 7, "wrong format id");
+  ExpectU32MutationRejected(12, 3, "unsupported bundle version");
+  ExpectU64MutationRejected(16, raw_->size() + 4096, "file size too large");
+  ExpectU64MutationRejected(16, 64, "file size too small");
+  ExpectU32MutationRejected(24, 0, "zero sections");
+  ExpectU32MutationRejected(24, 1u << 20, "implausible section count");
+  // Section-table entry 0 lives at offset 32.
+  ExpectU32MutationRejected(32, 0xffff, "unknown section type");
+  ExpectU64MutationRejected(32 + 8, 4096 + 8, "misaligned section offset");
+  ExpectU64MutationRejected(32 + 16, raw_->size() * 2,
+                            "section extends past end of file");
+  // Duplicate: make entry 1 the same type as entry 0.
+  uint32_t type0 = 0;
+  std::memcpy(&type0, raw_->data() + 32, sizeof(type0));
+  ExpectU32MutationRejected(32 + 32, type0, "duplicate section");
+  // Overlap: point entry 1 at entry 0's pages.
+  uint64_t offset0 = 0;
+  std::memcpy(&offset0, raw_->data() + 32 + 8, sizeof(offset0));
+  ExpectU64MutationRejected(32 + 32 + 8, offset0, "overlapping sections");
+}
+
+TEST_F(BundleV4Test, GarbageAfterV4MagicIsRejected) {
+  util::Rng rng(77);
+  std::string garbage(8192, '\0');
+  for (char& c : garbage) {
+    c = static_cast<char>(rng.UniformInt(0, 255));
+  }
+  std::memcpy(garbage.data(), &io::kBundleV4Magic, sizeof(io::kBundleV4Magic));
+  const std::string path = TempPath("v4_garbage.dssb");
+  ASSERT_TRUE(io::WriteStringToFile(path, garbage).ok);
+  io::InferenceBundle loaded;
+  const io::Status status = io::LoadInferenceBundle(path, &loaded);
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find("malformed v4 bundle"), std::string::npos)
+      << status.message;
+}
+
+TEST_F(BundleV4Test, ChecksumVerifierCatchesPayloadBitRot) {
+  // The loader stays O(pages) by design — it does NOT hash payloads — so
+  // a single flipped weight byte must be caught by the offline verifier
+  // that tooling (bundle_convert --selftest, check.sh) runs instead.
+  uint64_t length = 0;
+  const size_t drug_reps =
+      FindV4Section(*raw_, io::kSectionDrugReps, &length);
+  ASSERT_GT(drug_reps, 0u);
+  ASSERT_GT(length, 40u);
+  std::string mutated = *raw_;
+  mutated[drug_reps + 40] = static_cast<char>(mutated[drug_reps + 40] ^ 0x10);
+  const std::string path = TempPath("v4_bitrot.dssb");
+  ASSERT_TRUE(io::WriteStringToFile(path, mutated).ok);
+
+  const io::Status status = io::VerifyBundleV4Checksums(path);
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find("section checksum mismatch"),
+            std::string::npos)
+      << status.message;
+  EXPECT_TRUE(io::VerifyBundleV4Checksums(*v4_path_).ok);
 }
 
 }  // namespace

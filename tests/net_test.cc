@@ -19,6 +19,7 @@
 
 #include "core/dssddi_system.h"
 #include "gtest/gtest.h"
+#include "io/bundle_v4.h"
 #include "io/inference_bundle.h"
 #include "net/http.h"
 #include "net/http_client.h"
@@ -1088,6 +1089,316 @@ TEST_F(NetEndToEndTest, DeadlinedRequestsExpirePreScoringAcrossReload) {
             6u + static_cast<uint64_t>(timed_out.load()));
   EXPECT_GT(stats.expired, 0u);
   EXPECT_EQ(stats.reloads, 1u);
+  server.Stop();
+}
+
+TEST_F(NetEndToEndTest, V4MmapBundleServesByteIdenticalResponsesToV3) {
+  // The file format must be invisible on the wire: the same model saved
+  // as v3 (heap) and v4 (mmap) has to produce byte-identical /v1/suggest
+  // responses — JSON and binary — in both float and int8 modes.
+  const std::string v3_path = ::testing::TempDir() + "dssddi_net_fmt_v3.dssb";
+  const std::string v4_path = ::testing::TempDir() + "dssddi_net_fmt_v4.dssb";
+  ASSERT_TRUE(io::SaveInferenceBundle(v3_path, *bundle_).ok);
+  ASSERT_TRUE(io::SaveInferenceBundleV4(v4_path, *bundle_).ok);
+
+  for (const auto mode : {tensor::kernels::QuantMode::kNone,
+                          tensor::kernels::QuantMode::kInt8}) {
+    io::InferenceBundle heap;
+    io::InferenceBundle mapped;
+    heap.quantization = static_cast<int>(mode);
+    mapped.quantization = static_cast<int>(mode);
+    ASSERT_TRUE(io::LoadInferenceBundle(v3_path, &heap).ok);
+    ASSERT_TRUE(io::LoadInferenceBundle(v4_path, &mapped).ok);
+    ASSERT_EQ(mapped.format_version, 4u);
+    ASSERT_GT(mapped.bytes_mapped(), 0u);
+
+    serve::ServiceOptions service_options;
+    service_options.num_threads = 2;
+    serve::SuggestionService heap_service(heap, service_options);
+    serve::SuggestionService mapped_service(mapped, service_options);
+    net::SuggestFrontend heap_frontend(&heap_service);
+    net::SuggestFrontend mapped_frontend(&mapped_service);
+    net::HttpServerOptions server_options;
+    server_options.port = 0;
+    net::HttpServer heap_server(server_options, heap_frontend.AsHandler());
+    net::HttpServer mapped_server(server_options, mapped_frontend.AsHandler());
+    ASSERT_TRUE(heap_server.Start().ok);
+    ASSERT_TRUE(mapped_server.Start().ok);
+
+    net::HttpClient heap_client;
+    net::HttpClient mapped_client;
+    ASSERT_TRUE(heap_client.Connect("127.0.0.1", heap_server.port()).ok);
+    ASSERT_TRUE(mapped_client.Connect("127.0.0.1", mapped_server.port()).ok);
+    net::ClientRequestOptions binary_options;
+    binary_options.content_type = net::wire::kContentType;
+
+    const auto& features = dataset_->patient_features;
+    for (const int patient : dataset_->split.test) {
+      // JSON route. The two frontends are fresh and see the same request
+      // sequence, so server-assigned trace ids line up and the whole
+      // body can be compared byte for byte.
+      const std::string body = SuggestBody(patient, 3, true);
+      net::ClientResponse from_heap;
+      net::ClientResponse from_mapped;
+      ASSERT_TRUE(
+          heap_client.Request("POST", "/v1/suggest", body, &from_heap).ok);
+      ASSERT_TRUE(
+          mapped_client.Request("POST", "/v1/suggest", body, &from_mapped)
+              .ok);
+      ASSERT_EQ(from_heap.status, 200) << from_heap.body;
+      ASSERT_EQ(from_mapped.status, 200) << from_mapped.body;
+      EXPECT_EQ(from_heap.body, from_mapped.body)
+          << "JSON bodies diverge for patient " << patient << " in mode "
+          << static_cast<int>(mode);
+
+      // Binary route with an explicit trace id.
+      net::wire::SuggestRequestFrame frame;
+      frame.patient_id = patient;
+      frame.k = 3;
+      frame.explain = true;
+      frame.trace_id = 5000 + static_cast<uint64_t>(patient);
+      frame.features.assign(features.RowPtr(patient),
+                            features.RowPtr(patient) + features.cols());
+      const std::string encoded = net::wire::EncodeSuggestRequest(frame);
+      ASSERT_TRUE(heap_client.Request("POST", "/v1/suggest", encoded,
+                                      binary_options, &from_heap)
+                      .ok);
+      ASSERT_TRUE(mapped_client.Request("POST", "/v1/suggest", encoded,
+                                        binary_options, &from_mapped)
+                      .ok);
+      ASSERT_EQ(from_heap.status, 200);
+      ASSERT_EQ(from_mapped.status, 200);
+      EXPECT_EQ(from_heap.body, from_mapped.body)
+          << "binary frames diverge for patient " << patient << " in mode "
+          << static_cast<int>(mode);
+    }
+    heap_server.Stop();
+    mapped_server.Stop();
+  }
+}
+
+TEST_F(NetEndToEndTest, ReloadMissingPathReturnsStructuredErrorAndKeepsModel) {
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 1;
+  serve::SuggestionService service(*bundle_, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok);
+  const int patient = dataset_->split.test.front();
+  const core::Suggestion expected = system_->Suggest(*dataset_, patient, 3);
+
+  const std::string missing =
+      ::testing::TempDir() + "dssddi_reload_absent.dssb";
+  net::ClientResponse response;
+  ASSERT_TRUE(client.Request("POST", "/admin/reload",
+                             "{\"path\":\"" + missing + "\"}", &response)
+                  .ok);
+  EXPECT_EQ(response.status, 400);
+  net::JsonValue document;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson(response.body, &document, &error))
+      << response.body;
+  ASSERT_NE(document.Find("error"), nullptr);
+  EXPECT_EQ(document.Find("error")->AsString(), "cannot load bundle");
+  // "detail" is the loader's own Status message and names the file.
+  ASSERT_NE(document.Find("detail"), nullptr);
+  EXPECT_NE(document.Find("detail")->AsString().find(missing),
+            std::string::npos)
+      << document.Find("detail")->AsString();
+  ASSERT_NE(document.Find("path"), nullptr);
+  EXPECT_EQ(document.Find("path")->AsString(), missing);
+  ASSERT_NE(document.Find("model_version"), nullptr);
+  EXPECT_EQ(document.Find("model_version")->AsInt(), 1);
+
+  // The snapshot is untouched: same version, same answers, no reload
+  // counted, format still the in-process one.
+  EXPECT_EQ(service.model_version(), 1u);
+  EXPECT_EQ(service.Stats().reloads, 0u);
+  EXPECT_EQ(service.Stats().bundle_format, "memory");
+  ASSERT_TRUE(client.Request("POST", "/v1/suggest",
+                             SuggestBody(patient, 3, true), &response)
+                  .ok);
+  ASSERT_EQ(response.status, 200);
+  ExpectMatchesSuggestion(response.body, expected);
+  server.Stop();
+}
+
+TEST_F(NetEndToEndTest, ReloadUnderLoadFlipsFormatsAndQuantModesCleanly) {
+  // Hot-swap sequence under sustained load: in-process float ->
+  // v4/other/float -> v4/original/int8 -> v3/original/float. Every
+  // response must carry exactly the answer of the generation it claims
+  // (zero wrong-generation responses) and nothing may 5xx.
+  const std::string v4_other =
+      ::testing::TempDir() + "dssddi_flip_v4_other.dssb";
+  const std::string v4_orig =
+      ::testing::TempDir() + "dssddi_flip_v4_orig.dssb";
+  const std::string v3_orig =
+      ::testing::TempDir() + "dssddi_flip_v3_orig.dssb";
+  ASSERT_TRUE(io::SaveInferenceBundleV4(v4_other, *other_bundle_).ok);
+  ASSERT_TRUE(io::SaveInferenceBundleV4(v4_orig, *bundle_).ok);
+  ASSERT_TRUE(io::SaveInferenceBundle(v3_orig, *bundle_).ok);
+
+  const std::vector<int>& patients = dataset_->split.test;
+  // Generation expectations: 1 = original float, 2 = other float,
+  // 3 = original int8 (computed through the mapped bundle; int8 scoring
+  // is batch-invariant so direct Suggest matches the service batcher),
+  // 4 = original float again.
+  std::vector<core::Suggestion> expect_orig;
+  std::vector<core::Suggestion> expect_other;
+  std::vector<core::Suggestion> expect_int8;
+  io::InferenceBundle int8_bundle;
+  int8_bundle.quantization = static_cast<int>(tensor::kernels::QuantMode::kInt8);
+  ASSERT_TRUE(io::LoadInferenceBundle(v4_orig, &int8_bundle).ok);
+  for (const int patient : patients) {
+    expect_orig.push_back(system_->Suggest(*dataset_, patient, 3));
+    expect_other.push_back(other_system_->Suggest(*dataset_, patient, 3));
+    expect_int8.push_back(int8_bundle.Suggest(
+        dataset_->patient_features.GatherRows({patient}), 3));
+  }
+
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.max_batch_size = 4;
+  serve::SuggestionService service(*bundle_, service_options);
+  net::SuggestFrontend frontend(&service);
+  net::HttpServerOptions server_options;
+  server_options.port = 0;
+  net::HttpServer server(server_options, frontend.AsHandler());
+  ASSERT_TRUE(server.Start().ok);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> served{0};
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok) {
+        failures.fetch_add(100);
+        return;
+      }
+      for (int i = 0; !stop.load(); ++i) {
+        const size_t index = (t * 5 + i) % patients.size();
+        net::ClientResponse response;
+        if (!client.Request("POST", "/v1/suggest",
+                            SuggestBody(patients[index], 3, true), &response)
+                 .ok ||
+            response.status != 200) {
+          failures.fetch_add(1);
+          return;
+        }
+        // The body names its generation; it must match that generation's
+        // answer exactly — a version-5 claim or a blend is a failure.
+        net::JsonValue document;
+        std::string error;
+        bool ok = net::ParseJson(response.body, &document, &error) &&
+                  document.Find("model_version") != nullptr;
+        if (ok) {
+          switch (document.Find("model_version")->AsInt()) {
+            case 1:
+            case 4:
+              ok = MatchesSuggestion(response.body, expect_orig[index]);
+              break;
+            case 2:
+              ok = MatchesSuggestion(response.body, expect_other[index]);
+              break;
+            case 3:
+              ok = MatchesSuggestion(response.body, expect_int8[index]);
+              break;
+            default:
+              ok = false;
+          }
+        }
+        if (!ok) {
+          failures.fetch_add(1);
+          return;
+        }
+        served.fetch_add(1);
+      }
+    });
+  }
+
+  struct Swap {
+    const std::string* path;
+    const char* quantize;
+    int version;
+    const char* format;
+    bool mapped;
+  };
+  const Swap swaps[] = {
+      {&v4_other, "none", 2, "v4", true},
+      {&v4_orig, "int8", 3, "v4", true},
+      {&v3_orig, "none", 4, "v3", false},
+  };
+
+  net::HttpClient admin;
+  ASSERT_TRUE(admin.Connect("127.0.0.1", server.port()).ok);
+  for (const Swap& swap : swaps) {
+    const int target = served.load() + 15;
+    while (served.load() < target && failures.load() == 0) {
+      std::this_thread::yield();
+    }
+    net::ClientResponse reload_response;
+    ASSERT_TRUE(admin.Request("POST", "/admin/reload",
+                              "{\"path\":\"" + *swap.path +
+                                  "\",\"quantize\":\"" + swap.quantize +
+                                  "\"}",
+                              &reload_response)
+                    .ok);
+    ASSERT_EQ(reload_response.status, 200) << reload_response.body;
+    net::JsonValue reload_json;
+    std::string error;
+    ASSERT_TRUE(net::ParseJson(reload_response.body, &reload_json, &error));
+    EXPECT_EQ(reload_json.Find("model_version")->AsInt(), swap.version);
+    ASSERT_NE(reload_json.Find("format"), nullptr) << reload_response.body;
+    EXPECT_EQ(reload_json.Find("format")->AsString(), swap.format);
+    ASSERT_NE(reload_json.Find("bytes_mapped"), nullptr);
+    if (swap.mapped) {
+      EXPECT_GT(reload_json.Find("bytes_mapped")->AsInt(), 0);
+      EXPECT_GE(reload_json.Find("load_ms")->AsDouble(), 0.0);
+    } else {
+      EXPECT_EQ(reload_json.Find("bytes_mapped")->AsInt(), 0);
+    }
+  }
+
+  const int final_target = served.load() + 15;
+  while (served.load() < final_target && failures.load() == 0) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Settled state: v3 float of the original model, three reloads, and
+  // /statsz reports the installed format.
+  net::ClientResponse stats_response;
+  ASSERT_TRUE(admin.Request("GET", "/statsz", "", &stats_response).ok);
+  ASSERT_EQ(stats_response.status, 200);
+  net::JsonValue stats_json;
+  std::string error;
+  ASSERT_TRUE(net::ParseJson(stats_response.body, &stats_json, &error));
+  const net::JsonValue* model = stats_json.Find("model");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->Find("format")->AsString(), "v3");
+  EXPECT_EQ(model->Find("reloads")->AsInt(), 3);
+  EXPECT_EQ(service.Stats().reloads, 3u);
+  net::HttpClient check;
+  ASSERT_TRUE(check.Connect("127.0.0.1", server.port()).ok);
+  for (size_t index = 0; index < patients.size(); ++index) {
+    net::ClientResponse response;
+    ASSERT_TRUE(check.Request("POST", "/v1/suggest",
+                              SuggestBody(patients[index], 3, true),
+                              &response)
+                    .ok);
+    ASSERT_EQ(response.status, 200);
+    ExpectMatchesSuggestion(response.body, expect_orig[index]);
+  }
   server.Stop();
 }
 
