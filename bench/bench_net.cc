@@ -36,6 +36,7 @@
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/json.h"
+#include "net/router.h"
 #include "net/suggest_frontend.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
@@ -161,6 +162,7 @@ void PrintHeaderRow() {
 int main(int argc, char** argv) {
   int num_requests = 2000;
   int unique_patients = 64;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
       num_requests = std::atoi(argv[++i]);
@@ -168,8 +170,11 @@ int main(int argc, char** argv) {
       unique_patients = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--quick")) {
       num_requests = 600;
+    } else if (!std::strcmp(argv[i], "--chaos")) {
+      chaos = true;
     } else {
-      std::printf("usage: %s [--requests N] [--unique U] [--quick]\n", argv[0]);
+      std::printf("usage: %s [--requests N] [--unique U] [--quick] [--chaos]\n",
+                  argv[0]);
       return 1;
     }
   }
@@ -420,6 +425,103 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------
+  // Chaos grid (--chaos): two replicas behind the router, one of them
+  // stalling 10% of its socket ops for 50-200 ms. The same closed-loop
+  // load runs twice — hedging off, hedging on — and the headline is the
+  // p99 ratio: a hedge fired at the observed p90 should cut the stall
+  // out of the tail (gate: hedged p99 <= 0.7x unhedged). The load is a
+  // single serial connection on purpose: each replica runs one event
+  // loop, so under concurrency a stalled op also queues the *other*
+  // in-flight requests on that replica and the tail measures queueing
+  // (which hedging cannot fix) instead of the stall itself.
+  // ------------------------------------------------------------------
+  double chaos_p99_ratio = 0.0;
+  uint64_t chaos_errors = 0;
+  if (chaos) {
+    struct ChaosReplica {
+      std::unique_ptr<serve::SuggestionService> service;
+      std::shared_ptr<net::fault::FaultInjector> injector;
+      std::unique_ptr<net::SuggestFrontend> frontend;
+      std::unique_ptr<net::HttpServer> server;
+    };
+    const auto start_replica = [&](const char* spec) {
+      auto replica = std::make_unique<ChaosReplica>();
+      replica->service =
+          std::make_unique<serve::SuggestionService>(bundle, service_options);
+      replica->injector = std::make_shared<net::fault::FaultInjector>();
+      if (spec != nullptr && *spec != '\0') {
+        const io::Status installed = replica->injector->Install(spec);
+        if (!installed.ok) {
+          std::printf("error: fault spec: %s\n", installed.message.c_str());
+          std::exit(1);
+        }
+      }
+      net::SuggestFrontendOptions frontend_options = perf_frontend_options;
+      frontend_options.fault_injector = replica->injector;
+      replica->frontend = std::make_unique<net::SuggestFrontend>(
+          replica->service.get(), frontend_options);
+      net::HttpServerOptions replica_options = server_options;
+      replica_options.fault = replica->injector;
+      replica->server = std::make_unique<net::HttpServer>(
+          replica_options, replica->frontend->AsHandler());
+      replica->frontend->AttachServer(replica->server.get());
+      if (const io::Status status = replica->server->Start(); !status.ok) {
+        std::printf("error: %s\n", status.message.c_str());
+        std::exit(1);
+      }
+      return replica;
+    };
+
+    const int chaos_requests = std::min(num_requests, 300);
+    std::printf("\nchaos grid: 2 replicas, 10%% ops stalled 50-200 ms on one"
+                " of them; hedging off vs on (%d requests, 1 conn):\n",
+                chaos_requests);
+    PrintHeaderRow();
+    LoadResult chaos_results[2];
+    for (const bool hedging : {false, true}) {
+      auto slow = start_replica("seed=5;stall=0.10:50-200");
+      auto healthy = start_replica(nullptr);
+      std::vector<net::ReplicaClientOptions> endpoints(2);
+      endpoints[0].port = slow->server->port();
+      endpoints[1].port = healthy->server->port();
+      net::RouterOptions router_options;
+      router_options.hedging = hedging;
+      router_options.hedge_min_delay_ms = 10;
+      auto registry = std::make_shared<obs::Registry>();
+      net::Router router(endpoints, router_options, registry, nullptr);
+      net::RouterFrontendOptions router_frontend_options;
+      router_frontend_options.default_deadline_ms = 5000;
+      net::RouterFrontend router_frontend(&router, router_frontend_options);
+      net::HttpServer router_server(server_options,
+                                    router_frontend.AsHandler());
+      router_frontend.AttachServer(&router_server);
+      if (const io::Status status = router_server.Start(); !status.ok) {
+        std::printf("error: %s\n", status.message.c_str());
+        return 1;
+      }
+      const LoadResult result = RunLoad(router_server.port(), json_bodies, 1,
+                                        chaos_requests, json_options);
+      chaos_results[hedging ? 1 : 0] = result;
+      PrintRow(hedging ? "hedged" : "direct", 1, result);
+      record("chaos", hedging ? "hedged" : "unhedged", 1, result);
+      chaos_errors += result.errors;
+      router_server.Stop();
+      healthy->server->Stop();
+      slow->server->Stop();
+    }
+    if (chaos_results[0].p99_ms > 0.0) {
+      chaos_p99_ratio = chaos_results[1].p99_ms / chaos_results[0].p99_ms;
+    }
+    std::printf("\nchaos p99: %.1f ms unhedged -> %.1f ms hedged (%.2fx)"
+                " — %s\n",
+                chaos_results[0].p99_ms, chaos_results[1].p99_ms,
+                chaos_p99_ratio,
+                chaos_p99_ratio > 0.0 && chaos_p99_ratio <= 0.7
+                    ? "hedging pays for itself"
+                    : "RATIO ABOVE 0.7");
+  }
+
+  // ------------------------------------------------------------------
   // Grid 3: deadline propagation — every request advertises a 2ms
   // budget while the batch window alone is 5ms, so the pipeline should
   // answer 504 (shed at admission once the p50 is known, or expired in
@@ -459,6 +561,10 @@ int main(int argc, char** argv) {
 
   bool ok = grid_errors == 0 && tight_result.errors == 0 &&
             doomed.errors == 0 && qps_speedup > 1.0;
+  if (chaos) {
+    ok = ok && chaos_errors == 0 && chaos_p99_ratio > 0.0 &&
+         chaos_p99_ratio <= 0.7;
+  }
 
   // Regression gate against the committed baseline: the run just
   // finished had the flight recorder, per-record exemplars, the SLO
@@ -543,6 +649,7 @@ int main(int argc, char** argv) {
   json.Key("binary_vs_json_p50_speedup").Double(p50_speedup);
   json.Key("deadline_expired").UInt(deadline_stats.expired);
   json.Key("deadline_shed").UInt(deadline_stats.deadline_shed);
+  if (chaos) json.Key("chaos_hedged_p99_ratio").Double(chaos_p99_ratio);
   if (baseline_json_qps > 0.0 && baseline_binary_qps > 0.0) {
     json.Key("baseline_json_qps").Double(baseline_json_qps);
     json.Key("baseline_binary_qps").Double(baseline_binary_qps);

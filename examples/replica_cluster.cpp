@@ -1,0 +1,262 @@
+// Fault-tolerant replicated serving, end to end: N in-process replicas
+// (each its own SuggestionService + HTTP server + deterministic fault
+// injector) behind a routing front-end with retries, hedging, circuit
+// breakers and stale-serve. While running, poke it with curl:
+//
+//   curl localhost:8090/readyz
+//   curl -d '{"features":[...],"k":3}' localhost:8090/v1/suggest
+//   curl -d '{"replica":0,"spec":"seed=7;reset=0.3"}' localhost:8090/admin/fault
+//   curl -d '{"index":1,"action":"stop"}' localhost:8090/admin/replica
+//
+//   ./examples/replica_cluster [options]
+//     --model PATH       bundle path (default /tmp/dssddi_model.dssb)
+//     --host H           bind address (default 127.0.0.1)
+//     --port P           router port, 0 = ephemeral (default 8090)
+//     --replicas N       replica count (default 3)
+//     --threads T        scoring threads per replica (default 2)
+//     --max-tries N      router tries per request (default 3)
+//     --per-try-ms D     per-try budget (default 1000)
+//     --deadline-ms D    default request deadline (default 1000)
+//     --no-hedging       disable hedged duplicate tries
+//     --duration S       seconds to serve; 0 = until SIGINT (default 0)
+//
+// Replica fault specs can also be seeded from the environment:
+// DSSDDI_FAULT_SPEC applies to every replica at boot (see net/fault.h
+// for the grammar).
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "example_bundle.h"
+#include "net/fault.h"
+#include "net/http_server.h"
+#include "net/router.h"
+#include "net/suggest_frontend.h"
+#include "serve/service.h"
+#include "util/stopwatch.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dssddi;
+
+  std::string model_path = "/tmp/dssddi_model.dssb";
+  std::string host = "127.0.0.1";
+  int port = 8090;
+  int replicas = 3;
+  int threads = 2;
+  int max_tries = 3;
+  int per_try_ms = 1000;
+  int deadline_ms = 1000;
+  bool hedging = true;
+  int duration = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--model") && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+      host = argv[++i];
+    } else if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--replicas") && i + 1 < argc) {
+      replicas = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--max-tries") && i + 1 < argc) {
+      max_tries = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--per-try-ms") && i + 1 < argc) {
+      per_try_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--deadline-ms") && i + 1 < argc) {
+      deadline_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--no-hedging")) {
+      hedging = false;
+    } else if (!std::strcmp(argv[i], "--duration") && i + 1 < argc) {
+      duration = std::atoi(argv[++i]);
+    } else {
+      std::printf(
+          "usage: %s [--model PATH] [--host H] [--port P] [--replicas N]"
+          " [--threads T] [--max-tries N] [--per-try-ms D] [--deadline-ms D]"
+          " [--no-hedging] [--duration S]\n",
+          argv[0]);
+      return 1;
+    }
+  }
+  if (replicas < 1) replicas = 1;
+
+  // One replica: service + frontend + injector, plus an HTTP server that
+  // /admin/replica can tear down and re-bind to the same port.
+  struct Replica {
+    std::unique_ptr<serve::SuggestionService> service;
+    std::shared_ptr<net::fault::FaultInjector> injector;
+    std::unique_ptr<net::SuggestFrontend> frontend;
+    std::unique_ptr<net::HttpServer> server;
+    std::string host;
+    int port = 0;
+
+    io::Status StartServer() {
+      net::HttpServerOptions options;
+      options.host = host;
+      options.port = port;
+      options.num_loops = 1;
+      options.recorder = service->flight_recorder();
+      options.fault = injector;
+      server = std::make_unique<net::HttpServer>(options, frontend->AsHandler());
+      const io::Status status = server->Start();
+      if (!status.ok) {
+        server.reset();
+        return status;
+      }
+      port = server->port();
+      frontend->AttachServer(server.get());
+      return io::Status::Ok();
+    }
+
+    void StopServer() {
+      if (server != nullptr) {
+        server->Stop();
+        server.reset();
+      }
+    }
+  };
+
+  io::Status env_status;
+  const net::fault::FaultSpec* env_spec = nullptr;
+  net::fault::FaultSpec env_parsed;
+  if (const char* env = std::getenv("DSSDDI_FAULT_SPEC");
+      env != nullptr && env[0] != '\0') {
+    env_status = net::fault::FaultSpec::Parse(env, &env_parsed);
+    if (!env_status.ok) {
+      std::printf("error: DSSDDI_FAULT_SPEC: %s\n", env_status.message.c_str());
+      return 1;
+    }
+    env_spec = &env_parsed;
+  }
+
+  std::vector<std::unique_ptr<Replica>> cluster;
+  std::vector<net::ReplicaClientOptions> endpoints;
+  int feature_width = 0;
+  for (int i = 0; i < replicas; ++i) {
+    auto replica = std::make_unique<Replica>();
+    replica->host = host;
+    replica->port = 0;  // ephemeral on first bind, pinned thereafter
+
+    serve::ServiceOptions service_options;
+    service_options.num_threads = threads;
+    io::InferenceBundle bundle = examples::LoadOrTrainBundle(model_path);
+    feature_width = bundle.cluster_centroids.cols();
+    replica->service = std::make_unique<serve::SuggestionService>(
+        std::move(bundle), service_options);
+
+    replica->injector = std::make_shared<net::fault::FaultInjector>();
+    if (env_spec != nullptr) replica->injector->Install(*env_spec);
+
+    net::SuggestFrontendOptions frontend_options;
+    frontend_options.fault_injector = replica->injector;
+    replica->frontend = std::make_unique<net::SuggestFrontend>(
+        replica->service.get(), frontend_options);
+
+    if (const io::Status status = replica->StartServer(); !status.ok) {
+      std::printf("error: replica %d: %s\n", i, status.message.c_str());
+      return 1;
+    }
+
+    net::ReplicaClientOptions endpoint;
+    endpoint.host = host;
+    endpoint.port = replica->port;
+    endpoints.push_back(endpoint);
+    cluster.push_back(std::move(replica));
+  }
+
+  auto registry = std::make_shared<obs::Registry>();
+  auto recorder = std::make_shared<obs::FlightRecorder>();
+  net::RouterOptions router_options;
+  router_options.max_tries = max_tries;
+  router_options.per_try_timeout_ms = per_try_ms;
+  router_options.hedging = hedging;
+  net::Router router(endpoints, router_options, registry, recorder);
+
+  net::RouterFrontendOptions frontend_options;
+  frontend_options.default_deadline_ms = deadline_ms;
+  net::RouterFrontend frontend(&router, frontend_options);
+  frontend.set_replica_admin([&cluster](size_t index, bool up) {
+    Replica* replica = cluster[index].get();
+    if (up) {
+      if (replica->server != nullptr) return true;  // already running
+      return replica->StartServer().ok;
+    }
+    if (replica->server == nullptr) return true;  // already stopped
+    replica->StopServer();
+    return true;
+  });
+  frontend.set_fault_admin(
+      [&cluster](int index, const std::string& spec) -> io::Status {
+        if (index < 0 || index >= static_cast<int>(cluster.size())) {
+          return io::Status::Error("replica index out of range");
+        }
+        if (spec.empty()) {
+          cluster[static_cast<size_t>(index)]->injector->Clear();
+          return io::Status::Ok();
+        }
+        return cluster[static_cast<size_t>(index)]->injector->Install(spec);
+      },
+      [&cluster]() {
+        std::string out = "{\"replicas\":[";
+        for (size_t i = 0; i < cluster.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          out += cluster[i]->injector->DescribeJson();
+        }
+        out += "]}";
+        return out;
+      });
+
+  net::HttpServerOptions router_server_options;
+  router_server_options.host = host;
+  router_server_options.port = port;
+  router_server_options.num_loops = 1;
+  router_server_options.recorder = recorder;
+  net::HttpServer router_server(router_server_options, frontend.AsHandler());
+  frontend.AttachServer(&router_server);
+  if (const io::Status status = router_server.Start(); !status.ok) {
+    std::printf("error: router: %s\n", status.message.c_str());
+    return 1;
+  }
+
+  std::printf("router on http://%s:%d (%d replicas, %d tries, %d ms/try,"
+              " hedging %s, feature width %d)\n",
+              host.c_str(), router_server.port(), replicas, max_tries,
+              per_try_ms, hedging ? "on" : "off", feature_width);
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    std::printf("replica %zu on http://%s:%d\n", i, host.c_str(),
+                cluster[i]->port);
+  }
+  std::printf("try:  curl http://%s:%d/readyz\n", host.c_str(),
+              router_server.port());
+  std::printf("      curl -d '{\"replica\":0,\"spec\":\"seed=7;reset=0.3\"}'"
+              " http://%s:%d/admin/fault\n",
+              host.c_str(), router_server.port());
+  std::printf("      curl -d '{\"index\":1,\"action\":\"stop\"}'"
+              " http://%s:%d/admin/replica\n",
+              host.c_str(), router_server.port());
+  // Supervisors and scrape scripts tail this banner for bound ports.
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  util::Stopwatch clock;
+  while (!g_stop && (duration == 0 || clock.ElapsedSeconds() < duration)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  router_server.Stop();
+  for (auto& replica : cluster) replica->StopServer();
+  std::printf("\ncluster stopped: %d available of %d replicas at shutdown\n",
+              router.AvailableReplicas(), replicas);
+  return 0;
+}

@@ -23,10 +23,19 @@
 #
 # Opt-in ThreadSanitizer pass: set CHECK_TSAN=1 and a third build dir
 # (<build-dir>-tsan) is built with -fsanitize=thread and the
-# concurrency-heavy suites (serve / net / obs) run under it. TSan
-# cannot be combined with ASan, hence the separate leg; the sharded
+# concurrency-heavy suites (serve / net / obs / chaos) run under it.
+# TSan cannot be combined with ASan, hence the separate leg; the sharded
 # metrics registry, trace finalization, and the epoll frontend are the
 # code this exists to check. CHECK_TSAN_ONLY=1 skips the plain pass.
+#
+# Opt-in chaos pass: set CHECK_CHAOS=1 and the chaos suite reruns under
+# three fixed fault seeds (DSSDDI_CHAOS_SEED), then the replica-cluster
+# smoke script boots a real 3-replica cluster, kills a replica mid-load,
+# and asserts /readyz flips and recovers with zero 5xx on /v1/suggest.
+# Set CHECK_CHAOS_SANITIZE to a -fsanitize list to run this leg (seed
+# matrix AND the process-level drill) against an instrumented build
+# without paying for the full CHECK_SANITIZE suite. CHECK_CHAOS_ONLY=1
+# skips the plain pass.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -81,11 +90,33 @@ run_convert_selftest() {
   rm -rf "$tmp"
 }
 
-if [[ -z "${CHECK_SANITIZE_ONLY:-}" && -z "${CHECK_TSAN_ONLY:-}" ]]; then
+if [[ -z "${CHECK_SANITIZE_ONLY:-}" && -z "${CHECK_TSAN_ONLY:-}" && -z "${CHECK_CHAOS_ONLY:-}" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j "$(nproc)"
   run_ctest "$BUILD_DIR" env
   run_convert_selftest "$BUILD_DIR"
+fi
+
+if [[ -n "${CHECK_CHAOS:-}" ]]; then
+  CHAOS_DIR="$BUILD_DIR"
+  if [[ -n "${CHECK_CHAOS_SANITIZE:-}" ]]; then
+    CHAOS_DIR="${BUILD_DIR}-chaos-sanitize"
+    echo "== chaos pass (-fsanitize=${CHECK_CHAOS_SANITIZE}) in ${CHAOS_DIR} =="
+    cmake -B "$CHAOS_DIR" -S . -DDSSDDI_SANITIZE="$CHECK_CHAOS_SANITIZE" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    export ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1"
+  else
+    cmake -B "$CHAOS_DIR" -S .
+  fi
+  cmake --build "$CHAOS_DIR" -j "$(nproc)" --target chaos_test replica_cluster
+  # Fixed seeds, not random: a failure reproduces with the seed in hand.
+  for seed in 11 23 47; do
+    echo "== chaos suite (DSSDDI_CHAOS_SEED=${seed}) =="
+    DSSDDI_CHAOS_SEED="$seed" \
+      ctest --test-dir "$CHAOS_DIR" -R '^chaos_test$' --output-on-failure
+  done
+  echo "== replica-cluster kill/recover drill =="
+  scripts/cluster_smoke.sh "$CHAOS_DIR"
 fi
 
 if [[ -n "${CHECK_SANITIZE:-}" ]]; then
@@ -110,7 +141,7 @@ if [[ -n "${CHECK_TSAN:-}" ]]; then
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   # io_test rides along for the mmap lifecycle: concurrent suites swap
   # mapped bundles under load, so the map/unmap paths get TSan coverage.
-  TSAN_TESTS='^(serve_test|net_test|obs_metrics_test|obs_exposition_test|obs_log_test|obs_slo_test|quantize_serving_test|io_test)$'
+  TSAN_TESTS='^(serve_test|net_test|chaos_test|obs_metrics_test|obs_exposition_test|obs_log_test|obs_slo_test|quantize_serving_test|io_test)$'
   for backend in $GEMM_BACKENDS; do
     for quantize in $QUANTIZE_MODES; do
       echo "== tsan ctest (${TSAN_DIR}, DSSDDI_GEMM_BACKEND=${backend}, DSSDDI_QUANTIZE=${quantize}) =="

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Process-level kill/recover drill for the replicated serving stack.
+# Usage: scripts/cluster_smoke.sh [build-dir]   (default: build)
+#
+# Boots examples/replica_cluster (3 replicas behind the router on an
+# ephemeral port), drives /v1/suggest load, stops a replica through
+# /admin/replica mid-load, and asserts:
+#
+#   1. every /v1/suggest request answers 200 throughout the drill
+#      (retries + breakers absorb the dead replica),
+#   2. /readyz reports the outage (available drops below the replica
+#      count) and recovers to all-available after the restart,
+#   3. the router's own metrics confirm zero 5xx on /v1/suggest.
+#
+# The chaos_test suite proves the same properties in-process; this
+# script proves them against the real binary with real sockets and a
+# real process watching its banner — i.e. what an operator would do.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+CLUSTER_BIN="$BUILD_DIR/examples/replica_cluster"
+[[ -x "$CLUSTER_BIN" ]] || { echo "error: $CLUSTER_BIN not built" >&2; exit 1; }
+
+WORK_DIR=$(mktemp -d)
+CLUSTER_PID=""
+cleanup() {
+  if [[ -n "$CLUSTER_PID" ]] && kill -0 "$CLUSTER_PID" 2>/dev/null; then
+    kill "$CLUSTER_PID" 2>/dev/null || true
+    wait "$CLUSTER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+LOG="$WORK_DIR/cluster.log"
+# setsid: the drill must be able to kill the cluster by pid without the
+# signal ever reaching this script's process group.
+setsid "$CLUSTER_BIN" --model "$WORK_DIR/model.dssb" --port 0 --replicas 3 \
+  --threads 1 --duration 300 >"$LOG" 2>&1 &
+CLUSTER_PID=$!
+
+# The banner is fflush'd once all ports are bound; first boot trains a
+# small bundle, so give it a while.
+PORT="" WIDTH=""
+for _ in $(seq 1 120); do
+  if grep -q '^router on ' "$LOG" 2>/dev/null; then
+    PORT=$(sed -nE 's|^router on http://[^:]+:([0-9]+).*|\1|p' "$LOG")
+    WIDTH=$(sed -nE 's|^router on .*feature width ([0-9]+).*|\1|p' "$LOG")
+    break
+  fi
+  kill -0 "$CLUSTER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
+  sleep 1
+done
+[[ -n "$PORT" && -n "$WIDTH" ]] || { echo "error: no banner" >&2; cat "$LOG" >&2; exit 1; }
+BASE="http://127.0.0.1:$PORT"
+echo "cluster up: router $BASE, feature width $WIDTH (pid $CLUSTER_PID)"
+
+BODY="$WORK_DIR/body.json"
+{
+  printf '{"features":['
+  for ((i = 0; i < WIDTH; ++i)); do
+    ((i > 0)) && printf ','
+    printf '0.1'
+  done
+  printf '],"k":3}'
+} >"$BODY"
+
+FAILS=0
+drive() {  # drive N — N suggest requests; counts non-200s in FAILS
+  local n="$1" code
+  for ((r = 0; r < n; ++r)); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 \
+           -d @"$BODY" "$BASE/v1/suggest" || echo 000)
+    if [[ "$code" != 200 ]]; then
+      FAILS=$((FAILS + 1))
+      echo "  non-200 on /v1/suggest: $code" >&2
+    fi
+  done
+}
+
+available() {  # parse "available":N out of /readyz (any status code)
+  curl -s --max-time 5 "$BASE/readyz" \
+    | sed -nE 's/.*"available":([0-9]+).*/\1/p'
+}
+
+echo "== phase 1: healthy baseline =="
+[[ "$(available)" == 3 ]] || { echo "error: expected 3 available" >&2; exit 1; }
+drive 20
+
+echo "== phase 2: stop replica 1 mid-load =="
+drive 5
+curl -s --max-time 5 -d '{"index":1,"action":"stop"}' "$BASE/admin/replica" \
+  >/dev/null
+drive 20   # breakers need a few failures to open; retries keep these 200
+READY_DEGRADED=$(available)
+echo "  /readyz available=$READY_DEGRADED after kill"
+if [[ -z "$READY_DEGRADED" || "$READY_DEGRADED" -ge 3 ]]; then
+  echo "error: /readyz never flipped (available=$READY_DEGRADED)" >&2
+  exit 1
+fi
+
+echo "== phase 3: restart replica 1, wait for recovery =="
+curl -s --max-time 5 -d '{"index":1,"action":"start"}' "$BASE/admin/replica" \
+  >/dev/null
+RECOVERED=""
+for _ in $(seq 1 60); do
+  drive 5   # half-open probes only fire when traffic flows
+  if [[ "$(available)" == 3 ]]; then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.5
+done
+[[ -n "$RECOVERED" ]] || { echo "error: /readyz never recovered" >&2; exit 1; }
+echo "  /readyz recovered to available=3"
+
+echo "== phase 4: zero-5xx assertion =="
+METRICS="$WORK_DIR/metrics.txt"
+curl -s --max-time 5 "$BASE/metricsz" >"$METRICS"
+FIVEXX=$(sed -nE \
+  's/^dssddi_http_responses_total\{route="\/v1\/suggest",class="5xx"\} ([0-9]+).*/\1/p' \
+  "$METRICS")
+if [[ -z "$FIVEXX" ]]; then
+  echo "error: 5xx family missing from /metricsz" >&2
+  grep '^dssddi_http_responses_total' "$METRICS" >&2 || true
+  exit 1
+fi
+if [[ "$FIVEXX" != 0 || "$FAILS" != 0 ]]; then
+  echo "error: 5xx=$FIVEXX client-side failures=$FAILS" >&2
+  exit 1
+fi
+
+echo "cluster smoke: PASS (readyz flipped to $READY_DEGRADED and recovered," \
+     "0 of the drill's suggest requests failed, 5xx=0)"

@@ -1,0 +1,249 @@
+#include "net/fault.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "net/json.h"
+
+namespace dssddi::net::fault {
+namespace {
+
+/// splitmix64 step: the decision stream is hash(seed, ticket) so every
+/// (seed, op-index) pair lands on the same action forever.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [0, 1) from one 64-bit word (53 mantissa bits).
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool ParseProbability(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (!(value >= 0.0) || !(value <= 1.0)) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+std::string StripSpace(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t')) --end;
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+io::Status FaultSpec::Parse(const std::string& text, FaultSpec* out) {
+  FaultSpec spec;
+  spec.source = text;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t next = text.find(';', pos);
+    if (next == std::string::npos) next = text.size();
+    const std::string clause = StripSpace(text.substr(pos, next - pos));
+    pos = next + 1;
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return io::Status::Error("fault spec clause '" + clause +
+                               "' is not key=value");
+    }
+    const std::string key = StripSpace(clause.substr(0, eq));
+    const std::string value = StripSpace(clause.substr(eq + 1));
+    if (key == "seed") {
+      if (!ParseUint(value, &spec.seed)) {
+        return io::Status::Error("fault spec: bad seed '" + value + "'");
+      }
+    } else if (key == "reset") {
+      if (!ParseProbability(value, &spec.reset)) {
+        return io::Status::Error("fault spec: reset wants a probability in "
+                                 "[0,1], got '" + value + "'");
+      }
+    } else if (key == "truncate") {
+      if (!ParseProbability(value, &spec.truncate)) {
+        return io::Status::Error("fault spec: truncate wants a probability in "
+                                 "[0,1], got '" + value + "'");
+      }
+    } else if (key == "corrupt") {
+      if (!ParseProbability(value, &spec.corrupt)) {
+        return io::Status::Error("fault spec: corrupt wants a probability in "
+                                 "[0,1], got '" + value + "'");
+      }
+    } else if (key == "blackout") {
+      if (value == "1" || value == "true") {
+        spec.blackout = true;
+      } else if (value == "0" || value == "false") {
+        spec.blackout = false;
+      } else {
+        return io::Status::Error("fault spec: blackout wants 0/1, got '" +
+                                 value + "'");
+      }
+    } else if (key == "stall") {
+      // P or P:MIN-MAX or P:MS
+      const size_t colon = value.find(':');
+      const std::string prob = value.substr(0, colon);
+      if (!ParseProbability(prob, &spec.stall)) {
+        return io::Status::Error("fault spec: stall wants a probability in "
+                                 "[0,1], got '" + prob + "'");
+      }
+      if (colon != std::string::npos) {
+        const std::string range = value.substr(colon + 1);
+        const size_t dash = range.find('-');
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        if (dash == std::string::npos) {
+          if (!ParseUint(range, &lo)) {
+            return io::Status::Error("fault spec: bad stall duration '" +
+                                     range + "'");
+          }
+          hi = lo;
+        } else if (!ParseUint(range.substr(0, dash), &lo) ||
+                   !ParseUint(range.substr(dash + 1), &hi) || hi < lo) {
+          return io::Status::Error("fault spec: bad stall range '" + range +
+                                   "'");
+        }
+        if (hi > 60000) {
+          return io::Status::Error("fault spec: stall above 60000 ms refused");
+        }
+        spec.stall_min_ms = static_cast<int>(lo);
+        spec.stall_max_ms = static_cast<int>(hi);
+      }
+    } else {
+      return io::Status::Error("fault spec: unknown key '" + key + "'");
+    }
+  }
+  *out = std::move(spec);
+  return io::Status::Ok();
+}
+
+io::Status FaultInjector::Install(const std::string& text) {
+  FaultSpec spec;
+  if (const io::Status parsed = FaultSpec::Parse(text, &spec); !parsed.ok) {
+    return parsed;
+  }
+  Install(std::move(spec));
+  return io::Status::Ok();
+}
+
+void FaultInjector::Install(FaultSpec spec) {
+  const bool armed = !spec.inert();
+  std::atomic_store_explicit(
+      &spec_, std::shared_ptr<const FaultSpec>(
+                  std::make_shared<FaultSpec>(std::move(spec))),
+      std::memory_order_release);
+  ticket_.store(0, std::memory_order_relaxed);
+  active_.store(armed, std::memory_order_release);
+}
+
+void FaultInjector::Clear() { Install(FaultSpec{}); }
+
+std::shared_ptr<const FaultSpec> FaultInjector::spec() const {
+  auto spec = std::atomic_load_explicit(&spec_, std::memory_order_acquire);
+  if (!spec) spec = std::make_shared<const FaultSpec>();
+  return spec;
+}
+
+FaultAction FaultInjector::Decide(FaultOp op) {
+  const auto spec =
+      std::atomic_load_explicit(&spec_, std::memory_order_acquire);
+  if (!spec || spec->inert()) return {};
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  if (spec->blackout) {
+    blackouts_.fetch_add(1, std::memory_order_relaxed);
+    return {FaultAction::Kind::kBlackout, 0};
+  }
+  const uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+  // Independent uniform draws per fault class, all derived from
+  // (seed, ticket) — the stream replays exactly under the same seed.
+  uint64_t state = Mix(spec->seed ^ Mix(ticket));
+  const double u_reset = ToUnit(state = Mix(state));
+  const double u_stall = ToUnit(state = Mix(state));
+  const double u_trunc = ToUnit(state = Mix(state));
+  const double u_corrupt = ToUnit(state = Mix(state));
+  const uint64_t stall_draw = state = Mix(state);
+
+  if (op == FaultOp::kWrite) {
+    if (spec->truncate > 0.0 && u_trunc < spec->truncate) {
+      truncates_.fetch_add(1, std::memory_order_relaxed);
+      return {FaultAction::Kind::kTruncate, 0};
+    }
+    if (spec->corrupt > 0.0 && u_corrupt < spec->corrupt) {
+      corrupts_.fetch_add(1, std::memory_order_relaxed);
+      return {FaultAction::Kind::kCorrupt, 0};
+    }
+  }
+  if (op != FaultOp::kAccept && spec->reset > 0.0 && u_reset < spec->reset) {
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    return {FaultAction::Kind::kReset, 0};
+  }
+  if (spec->stall > 0.0 && u_stall < spec->stall) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    const int span = spec->stall_max_ms - spec->stall_min_ms + 1;
+    const int ms = spec->stall_min_ms +
+                   static_cast<int>(stall_draw % static_cast<uint64_t>(span));
+    return {FaultAction::Kind::kStall, ms};
+  }
+  return {};
+}
+
+FaultCounters FaultInjector::counters() const {
+  FaultCounters counters;
+  counters.decisions = decisions_.load(std::memory_order_relaxed);
+  counters.resets = resets_.load(std::memory_order_relaxed);
+  counters.stalls = stalls_.load(std::memory_order_relaxed);
+  counters.truncates = truncates_.load(std::memory_order_relaxed);
+  counters.corrupts = corrupts_.load(std::memory_order_relaxed);
+  counters.blackouts = blackouts_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::string FaultInjector::DescribeJson() const {
+  const auto current = spec();
+  const FaultCounters counts = counters();
+  JsonWriter w;
+  w.BeginObject()
+      .Key("active").Bool(active())
+      .Key("spec").String(current->source)
+      .Key("seed").UInt(current->seed)
+      .Key("counters").BeginObject()
+      .Key("decisions").UInt(counts.decisions)
+      .Key("resets").UInt(counts.resets)
+      .Key("stalls").UInt(counts.stalls)
+      .Key("truncates").UInt(counts.truncates)
+      .Key("corrupts").UInt(counts.corrupts)
+      .Key("blackouts").UInt(counts.blackouts)
+      .EndObject()
+      .EndObject();
+  return w.str();
+}
+
+std::shared_ptr<FaultInjector> InjectorFromEnv(io::Status* status) {
+  auto injector = std::make_shared<FaultInjector>();
+  if (status != nullptr) *status = io::Status::Ok();
+  const char* spec = std::getenv("DSSDDI_FAULT_SPEC");
+  if (spec != nullptr && spec[0] != '\0') {
+    const io::Status installed = injector->Install(spec);
+    if (status != nullptr) *status = installed;
+  }
+  return injector;
+}
+
+}  // namespace dssddi::net::fault

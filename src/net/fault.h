@@ -1,0 +1,141 @@
+#ifndef DSSDDI_NET_FAULT_H_
+#define DSSDDI_NET_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/binary.h"
+
+namespace dssddi::net::fault {
+
+/// Deterministic, seeded fault injection for the socket layer.
+///
+/// A FaultInjector sits (optionally) on HttpServer and HttpClient socket
+/// paths and decides, per socket operation, whether to inject a fault:
+/// connection resets, accept/read/write stalls, truncated or corrupted
+/// writes, or a full blackout of the endpoint. Decisions are a pure
+/// function of (seed, operation ticket): the ticket is a process-order
+/// counter, so a single-threaded driver replays the exact same fault
+/// schedule for the same seed, and a concurrent driver still gets the
+/// same *distribution* with a reproducible total count.
+///
+/// Spec grammar (semicolon-separated clauses, whitespace ignored):
+///
+///   seed=N                 decision stream seed (default 1)
+///   reset=P                P(connection reset) per read/write op
+///   stall=P:MIN-MS         P(stall) per accept/read/write op; the stall
+///   stall=P:MIN-MAX        duration is MIN..MAX ms (uniform, seeded)
+///   truncate=P             P(short write then reset) per write op
+///   corrupt=P              P(one flipped payload byte) per write op
+///   blackout=1             endpoint fully dead: every accept/read/write
+///                          is aborted (0 turns it back off)
+///
+/// Example: "seed=7;reset=0.05;stall=0.10:50-200;blackout=0".
+///
+/// The empty spec (or Clear()) disarms the injector. The armed check is
+/// one inline relaxed atomic load on a (usually null) pointer — serving
+/// paths pay nothing when chaos is off.
+struct FaultSpec {
+  uint64_t seed = 1;
+  double reset = 0.0;
+  double stall = 0.0;
+  int stall_min_ms = 50;
+  int stall_max_ms = 200;
+  double truncate = 0.0;
+  double corrupt = 0.0;
+  bool blackout = false;
+  /// The spec text as installed (canonical echo for /admin/fault).
+  std::string source;
+
+  /// Parses the grammar above. Empty text parses to a disarmed spec.
+  static io::Status Parse(const std::string& text, FaultSpec* out);
+  /// True when every probability is zero and blackout is off.
+  bool inert() const {
+    return reset <= 0.0 && stall <= 0.0 && truncate <= 0.0 &&
+           corrupt <= 0.0 && !blackout;
+  }
+};
+
+/// Which socket operation is asking for a decision.
+enum class FaultOp : int { kAccept = 0, kRead = 1, kWrite = 2 };
+
+/// One decision. `stall_ms` is meaningful only for kStall.
+struct FaultAction {
+  enum class Kind : int {
+    kNone = 0,
+    kReset,     // abort the connection (RST where the caller can)
+    kStall,     // sleep stall_ms, then proceed
+    kTruncate,  // write only part of the pending bytes, then abort
+    kCorrupt,   // flip one payload byte, then proceed
+    kBlackout,  // endpoint dead: abort without touching the socket
+  };
+  Kind kind = Kind::kNone;
+  int stall_ms = 0;
+};
+
+/// Injection totals since construction (monotonic).
+struct FaultCounters {
+  uint64_t decisions = 0;  // ops that consulted an armed spec
+  uint64_t resets = 0;
+  uint64_t stalls = 0;
+  uint64_t truncates = 0;
+  uint64_t corrupts = 0;
+  uint64_t blackouts = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Parses and installs `text` atomically; empty text disarms. The op
+  /// ticket restarts at zero on every install so a replay is a replay.
+  io::Status Install(const std::string& text);
+  void Install(FaultSpec spec);
+  void Clear();
+
+  /// One relaxed load; false whenever the installed spec is inert.
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Draws the decision for one socket operation. Call only when
+  /// active() (Probe below does the guard).
+  FaultAction Decide(FaultOp op);
+
+  /// Snapshot of the installed spec (never null; default when disarmed).
+  std::shared_ptr<const FaultSpec> spec() const;
+  FaultCounters counters() const;
+  /// {"spec":...,"active":...,"counters":{...}} for /admin/fault.
+  std::string DescribeJson() const;
+
+ private:
+  std::atomic<bool> active_{false};
+  std::shared_ptr<const FaultSpec> spec_;  // guarded by atomic_load/store
+  std::atomic<uint64_t> ticket_{0};
+  std::atomic<uint64_t> decisions_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> truncates_{0};
+  std::atomic<uint64_t> corrupts_{0};
+  std::atomic<uint64_t> blackouts_{0};
+};
+
+/// The zero-overhead guard every socket call site uses: one pointer
+/// compare plus one relaxed load when an injector is attached, a single
+/// branch when none is.
+inline FaultAction Probe(FaultInjector* injector, FaultOp op) {
+  if (injector == nullptr || !injector->active()) return {};
+  return injector->Decide(op);
+}
+
+/// Fresh injector pre-armed from DSSDDI_FAULT_SPEC when the variable is
+/// set and parseable (a bad spec aborts startup loudly rather than
+/// silently running without the faults the operator asked for).
+/// Always returns an injector so /admin/fault can arm it later.
+std::shared_ptr<FaultInjector> InjectorFromEnv(io::Status* status = nullptr);
+
+}  // namespace dssddi::net::fault
+
+#endif  // DSSDDI_NET_FAULT_H_

@@ -10,9 +10,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 namespace dssddi::net {
 namespace {
@@ -108,11 +110,27 @@ io::Status HttpClient::Request(const std::string& method,
   wire += "\r\n";
   wire += body;
 
+  const fault::FaultAction send_fault =
+      fault::Probe(fault_, fault::FaultOp::kWrite);
+  if (send_fault.kind == fault::FaultAction::Kind::kReset ||
+      send_fault.kind == fault::FaultAction::Kind::kBlackout) {
+    Close();
+    return io::Status::Error("injected fault: connection reset during send");
+  }
+  if (send_fault.kind == fault::FaultAction::Kind::kStall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(send_fault.stall_ms));
+  }
+
   size_t sent = 0;
   while (sent < wire.size()) {
     if (has_deadline && RemainingMs(deadline) <= 0) {
       Close();
       return io::Status::Error("request deadline exceeded during send");
+    }
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      Close();
+      return io::Status::Error("request cancelled");
     }
     const ssize_t n =
         ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
@@ -126,22 +144,33 @@ io::Status HttpClient::Request(const std::string& method,
     Close();
     return status;
   }
-  return ReadResponse(deadline, has_deadline, out);
+  return ReadResponse(deadline, has_deadline, options.cancel, out);
 }
 
-io::Status HttpClient::WaitReadable(Clock::time_point deadline) {
+io::Status HttpClient::WaitReadable(Clock::time_point deadline,
+                                    bool has_deadline,
+                                    const std::atomic<bool>* cancel) {
   for (;;) {
-    const int remaining = RemainingMs(deadline);
-    if (remaining <= 0) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       Close();
-      return io::Status::Error("request deadline exceeded awaiting response");
+      return io::Status::Error("request cancelled");
+    }
+    int wait_ms = 20;  // cancellation granularity
+    if (has_deadline) {
+      const int remaining = RemainingMs(deadline);
+      if (remaining <= 0) {
+        Close();
+        return io::Status::Error("request deadline exceeded awaiting response");
+      }
+      wait_ms = cancel != nullptr ? std::min(remaining, 20) : remaining;
     }
     struct pollfd pfd {};
     pfd.fd = fd_;
     pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, remaining);
+    const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready > 0) return io::Status::Ok();
     if (ready == 0) {
+      if (!has_deadline || RemainingMs(deadline) > 0) continue;
       Close();
       return io::Status::Error("request deadline exceeded awaiting response");
     }
@@ -154,15 +183,28 @@ io::Status HttpClient::WaitReadable(Clock::time_point deadline) {
 }
 
 io::Status HttpClient::ReadResponse(Clock::time_point deadline,
-                                    bool has_deadline, ClientResponse* out) {
+                                    bool has_deadline,
+                                    const std::atomic<bool>* cancel,
+                                    ClientResponse* out) {
   *out = ClientResponse{};
+  const fault::FaultAction read_fault =
+      fault::Probe(fault_, fault::FaultOp::kRead);
+  if (read_fault.kind == fault::FaultAction::Kind::kReset ||
+      read_fault.kind == fault::FaultAction::Kind::kBlackout) {
+    Close();
+    return io::Status::Error("injected fault: connection reset during read");
+  }
+  if (read_fault.kind == fault::FaultAction::Kind::kStall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(read_fault.stall_ms));
+  }
   // 1. Accumulate until the header terminator.
   size_t header_end = std::string::npos;
   for (;;) {
     header_end = buffer_.find("\r\n\r\n");
     if (header_end != std::string::npos) break;
-    if (has_deadline) {
-      if (const io::Status waited = WaitReadable(deadline); !waited.ok) {
+    if (has_deadline || cancel != nullptr) {
+      if (const io::Status waited = WaitReadable(deadline, has_deadline, cancel);
+          !waited.ok) {
         return waited;
       }
     }
@@ -220,8 +262,9 @@ io::Status HttpClient::ReadResponse(Clock::time_point deadline,
     content_length = static_cast<size_t>(std::strtoull(length->c_str(), nullptr, 10));
   }
   while (buffer_.size() < content_length) {
-    if (has_deadline) {
-      if (const io::Status waited = WaitReadable(deadline); !waited.ok) {
+    if (has_deadline || cancel != nullptr) {
+      if (const io::Status waited = WaitReadable(deadline, has_deadline, cancel);
+          !waited.ok) {
         return waited;
       }
     }

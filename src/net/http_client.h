@@ -1,12 +1,14 @@
 #ifndef DSSDDI_NET_HTTP_CLIENT_H_
 #define DSSDDI_NET_HTTP_CLIENT_H_
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "io/binary.h"
+#include "net/fault.h"
 
 namespace dssddi::net {
 
@@ -35,6 +37,11 @@ struct ClientRequestOptions {
   /// overrides it (tests use this to hand the server a tighter budget
   /// than the client enforces, so the 504 still arrives).
   int advertise_deadline_ms = -1;
+  /// Optional cooperative cancellation: when non-null, the exchange
+  /// polls the flag (at most every 20 ms) and aborts with "request
+  /// cancelled" once it reads true — how a hedged try that lost the
+  /// race stops consuming its replica. The flag must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Tiny blocking HTTP/1.1 client for tests and load generators: one
@@ -70,15 +77,26 @@ class HttpClient {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// Optional fault injector consulted before sends and receives
+  /// (chaos testing of client-side robustness). Must outlive the
+  /// client. Null (default) costs one branch per exchange.
+  void set_fault(fault::FaultInjector* injector) { fault_ = injector; }
+
  private:
   io::Status ReadResponse(std::chrono::steady_clock::time_point deadline,
-                          bool has_deadline, ClientResponse* out);
-  /// Waits until the socket is readable or `deadline` passes; only
-  /// called when a per-request deadline is set.
-  io::Status WaitReadable(std::chrono::steady_clock::time_point deadline);
+                          bool has_deadline,
+                          const std::atomic<bool>* cancel,
+                          ClientResponse* out);
+  /// Waits until the socket is readable, `deadline` passes (when
+  /// `has_deadline`), or `cancel` reads true; called whenever either
+  /// bound exists.
+  io::Status WaitReadable(std::chrono::steady_clock::time_point deadline,
+                          bool has_deadline,
+                          const std::atomic<bool>* cancel);
 
   int fd_ = -1;
   std::string buffer_;  // bytes read past the previous response
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace dssddi::net

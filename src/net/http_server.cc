@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "net/json.h"
@@ -161,6 +163,33 @@ io::Status HttpServer::Start() {
 void HttpServer::Stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  draining_.store(true, std::memory_order_relaxed);
+  if (options_.drain_timeout_ms > 0) {
+    // Phase 1: stop accepting. Listener teardown must run on the loop
+    // threads (epoll registration is loop-owned); existing connections
+    // keep being served.
+    for (auto& loop_ptr : loops_) {
+      Loop* loop = loop_ptr.get();
+      loop->events->Post([loop] {
+        if (loop->listen_fd >= 0) {
+          loop->events->Remove(loop->listen_fd);
+          ::close(loop->listen_fd);
+          loop->listen_fd = -1;
+        }
+      });
+    }
+    // Phase 2: wait (bounded) until every dispatched request has been
+    // answered and every answer has left the socket buffers. A peer
+    // that stops reading cannot stretch this past the deadline.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.drain_timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline &&
+           (in_flight_.load(std::memory_order_relaxed) > 0 ||
+            pending_out_.load(std::memory_order_relaxed) > 0)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   for (auto& loop : loops_) loop->events->Stop();
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) loop->thread.join();
@@ -203,6 +232,21 @@ void HttpServer::HandleAccept(size_t loop_index) {
       return;
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    const fault::FaultAction accept_fault =
+        fault::Probe(options_.fault.get(), fault::FaultOp::kAccept);
+    if (accept_fault.kind == fault::FaultAction::Kind::kBlackout ||
+        accept_fault.kind == fault::FaultAction::Kind::kReset) {
+      // Blacked-out replica / injected accept reset: RST the peer so
+      // clients observe a dead endpoint, not a polite close.
+      struct linger rst {1, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &rst, sizeof(rst));
+      ::close(fd);
+      continue;
+    }
+    if (accept_fault.kind == fault::FaultAction::Kind::kStall) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(accept_fault.stall_ms));
+    }
     if (active_.load(std::memory_order_relaxed) >=
         static_cast<uint64_t>(options_.max_connections)) {
       overload_closed_.fetch_add(1, std::memory_order_relaxed);
@@ -273,6 +317,19 @@ void HttpServer::HandleIo(size_t loop_index, uint64_t conn_id, uint32_t events) 
 }
 
 bool HttpServer::ReadInput(size_t loop_index, Connection* conn) {
+  const fault::FaultAction read_fault =
+      fault::Probe(options_.fault.get(), fault::FaultOp::kRead);
+  if (read_fault.kind == fault::FaultAction::Kind::kBlackout ||
+      read_fault.kind == fault::FaultAction::Kind::kReset) {
+    AbortConnection(loop_index, conn->id);
+    return false;
+  }
+  if (read_fault.kind == fault::FaultAction::Kind::kStall) {
+    // Stalls the loop thread on purpose: a wedged replica is slow for
+    // every connection it owns, which is exactly the tail chaos tests
+    // need to produce.
+    std::this_thread::sleep_for(std::chrono::milliseconds(read_fault.stall_ms));
+  }
   // Pipelining / slowloris guard: a connection may buffer at most one
   // maximal request plus a read chunk before we stop trusting it.
   const size_t input_cap = options_.limits.max_request_line +
@@ -332,6 +389,7 @@ bool HttpServer::ProcessConnection(size_t loop_index, Connection* conn) {
     HttpRequest request = conn->parser.TakeRequest();
     conn->parser.Reset();
     conn->awaiting_response = true;
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     conn->keep_alive = request.keep_alive;
 
     ResponseWriter writer;
@@ -351,6 +409,42 @@ bool HttpServer::ProcessConnection(size_t loop_index, Connection* conn) {
 }
 
 bool HttpServer::FlushOutput(size_t loop_index, Connection* conn) {
+  if (conn->out_offset < conn->out.size()) {
+    const fault::FaultAction write_fault =
+        fault::Probe(options_.fault.get(), fault::FaultOp::kWrite);
+    switch (write_fault.kind) {
+      case fault::FaultAction::Kind::kBlackout:
+      case fault::FaultAction::Kind::kReset:
+        AbortConnection(loop_index, conn->id);
+        return false;
+      case fault::FaultAction::Kind::kTruncate: {
+        // Deliver a prefix of the pending bytes, then RST: the peer
+        // sees a frame cut mid-payload.
+        const size_t remaining = conn->out.size() - conn->out_offset;
+        const size_t part = remaining / 2;
+        if (part > 0) {
+          [[maybe_unused]] const ssize_t n =
+              ::send(conn->fd, conn->out.data() + conn->out_offset, part,
+                     MSG_NOSIGNAL | MSG_DONTWAIT);
+        }
+        AbortConnection(loop_index, conn->id);
+        return false;
+      }
+      case fault::FaultAction::Kind::kCorrupt:
+        // Flip one bit mid-way through the unsent bytes — lands in the
+        // response body for anything but tiny heads, so binary-frame
+        // clients must detect it by strict decode.
+        conn->out[conn->out_offset +
+                  (conn->out.size() - conn->out_offset) / 2] ^= 0x20;
+        break;
+      case fault::FaultAction::Kind::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(write_fault.stall_ms));
+        break;
+      case fault::FaultAction::Kind::kNone:
+        break;
+    }
+  }
   while (conn->out_offset < conn->out.size()) {
     const ssize_t n =
         ::send(conn->fd, conn->out.data() + conn->out_offset,
@@ -365,6 +459,7 @@ bool HttpServer::FlushOutput(size_t loop_index, Connection* conn) {
         loops_[loop_index]->events->Modify(conn->fd,
                                            EPOLLIN | EPOLLRDHUP | EPOLLOUT);
       }
+      SyncPendingOut(conn);
       return true;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -373,6 +468,7 @@ bool HttpServer::FlushOutput(size_t loop_index, Connection* conn) {
   }
   conn->out.clear();
   conn->out_offset = 0;
+  SyncPendingOut(conn);
   if (conn->want_write) {
     conn->want_write = false;
     loops_[loop_index]->events->Modify(conn->fd, EPOLLIN | EPOLLRDHUP);
@@ -395,7 +491,12 @@ void HttpServer::CompleteRequest(size_t loop_index, uint64_t conn_id,
   responses_.fetch_add(1, std::memory_order_relaxed);
   const bool keep = conn->keep_alive && !response.close;
   conn->out += SerializeResponse(response, conn->keep_alive);
+  // Count the unflushed bytes before releasing in_flight_ so the drain
+  // loop never observes both gauges at zero with a response still
+  // buffered.
+  SyncPendingOut(conn);
   conn->awaiting_response = false;
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   if (!keep) conn->close_after_flush = true;
   if (!FlushOutput(loop_index, conn)) return;
   if (!conn->close_after_flush) {
@@ -407,10 +508,39 @@ void HttpServer::CloseConnection(size_t loop_index, uint64_t conn_id) {
   Loop& loop = *loops_[loop_index];
   auto it = loop.conns.find(conn_id);
   if (it == loop.conns.end()) return;
-  loop.events->Remove(it->second->fd);
-  ::close(it->second->fd);
+  Connection* conn = it->second.get();
+  if (conn->awaiting_response) {
+    // The connection died while its request was scoring; the late
+    // ResponseWriter::Send will find the id gone and drop the response.
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (conn->counted_pending) {
+    pending_out_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  loop.events->Remove(conn->fd);
+  ::close(conn->fd);
   loop.conns.erase(it);
   active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void HttpServer::SyncPendingOut(Connection* conn) {
+  const bool pending = conn->out_offset < conn->out.size();
+  if (pending == conn->counted_pending) return;
+  conn->counted_pending = pending;
+  if (pending) {
+    pending_out_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    pending_out_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::AbortConnection(size_t loop_index, uint64_t conn_id) {
+  Loop& loop = *loops_[loop_index];
+  auto it = loop.conns.find(conn_id);
+  if (it == loop.conns.end()) return;
+  struct linger rst {1, 0};
+  ::setsockopt(it->second->fd, SOL_SOCKET, SO_LINGER, &rst, sizeof(rst));
+  CloseConnection(loop_index, conn_id);
 }
 
 }  // namespace dssddi::net

@@ -12,6 +12,7 @@
 
 #include "io/binary.h"
 #include "net/event_loop.h"
+#include "net/fault.h"
 #include "net/http.h"
 #include "obs/log.h"
 
@@ -35,6 +36,14 @@ struct HttpServerOptions {
   /// failures, overload closes) record wide events into it, so /logz
   /// sees faults that never reach the request handler. Null = off.
   std::shared_ptr<obs::FlightRecorder> recorder;
+  /// Optional fault injector (chaos testing): consulted on every
+  /// accept / read / write when armed. Null (default) costs one branch.
+  std::shared_ptr<fault::FaultInjector> fault;
+  /// Stop() first closes the listeners and waits up to this long for
+  /// dispatched requests to be answered and flushed before tearing the
+  /// loops down, so a restart under load drops no in-flight responses.
+  /// 0 restores the old stop-immediately behavior.
+  int drain_timeout_ms = 2000;
 };
 
 class HttpServer;
@@ -79,10 +88,16 @@ class HttpServer {
 
   /// Binds, registers acceptors, and spawns the loop threads.
   io::Status Start();
-  /// Stops the loops, joins their threads, closes every socket.
-  /// Idempotent; called by the destructor. In-flight ResponseWriters
-  /// degrade to no-ops.
+  /// Graceful stop: closes the listeners, drains dispatched requests
+  /// and unflushed responses for up to options.drain_timeout_ms, then
+  /// stops the loops, joins their threads and closes every socket.
+  /// Idempotent; called by the destructor. ResponseWriters completing
+  /// during the drain are delivered; after it they degrade to no-ops.
   void Stop();
+
+  /// True once Stop has begun (the /readyz signal: alive but no longer
+  /// accepting work).
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
 
   /// Actual bound port (useful with options.port == 0).
   int port() const { return port_; }
@@ -113,6 +128,7 @@ class HttpServer {
     bool close_after_flush = false;
     bool want_write = false;  // EPOLLOUT armed
     bool eof = false;         // peer closed its write side
+    bool counted_pending = false;  // contributes to pending_out_
 
     explicit Connection(const HttpParser::Limits& limits) : parser(limits) {}
   };
@@ -135,6 +151,12 @@ class HttpServer {
   void CompleteRequest(size_t loop_index, uint64_t conn_id,
                        HttpResponse response);
   void CloseConnection(size_t loop_index, uint64_t conn_id);
+  /// Keeps pending_out_ equal to the number of connections holding
+  /// unflushed bytes (the drain loop's second condition).
+  void SyncPendingOut(Connection* conn);
+  /// Sends an RST (SO_LINGER 0) instead of a FIN — injected "resets"
+  /// should look like resets to the peer.
+  void AbortConnection(size_t loop_index, uint64_t conn_id);
 
   friend class ResponseWriter;
 
@@ -154,6 +176,12 @@ class HttpServer {
   std::atomic<uint64_t> responses_{0};
   std::atomic<uint64_t> parse_errors_{0};
   std::atomic<uint64_t> overload_closed_{0};
+  std::atomic<bool> draining_{false};
+  /// Requests dispatched to the handler and not yet answered (or their
+  /// connection closed); what the graceful drain waits on.
+  std::atomic<uint64_t> in_flight_{0};
+  /// Connections with serialized-but-unsent response bytes.
+  std::atomic<uint64_t> pending_out_{0};
 };
 
 }  // namespace dssddi::net

@@ -1,0 +1,208 @@
+#include "net/replica_client.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dssddi::net {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half_open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {
+  if (options_.window < 1) options_.window = 1;
+  if (options_.min_volume < 1) options_.min_volume = 1;
+  if (options_.min_volume > options_.window) {
+    options_.min_volume = options_.window;
+  }
+  if (options_.half_open_successes < 1) options_.half_open_successes = 1;
+  outcomes_.assign(static_cast<size_t>(options_.window), 0);
+}
+
+void CircuitBreaker::set_transition_hook(TransitionHook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hook_ = std::move(hook);
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState to) {
+  if (state_ == to) return;
+  const BreakerState from = state_;
+  state_ = to;
+  if (to == BreakerState::kOpen) {
+    opened_at_ = std::chrono::steady_clock::now();
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+  } else if (to == BreakerState::kHalfOpen) {
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+  } else {  // kClosed: forgive history
+    std::fill(outcomes_.begin(), outcomes_.end(), 0);
+    outcome_pos_ = 0;
+    outcome_count_ = 0;
+    failures_ = 0;
+  }
+  if (hook_) hook_(from, to);
+}
+
+void CircuitBreaker::PushOutcomeLocked(bool failure) {
+  failures_ -= outcomes_[outcome_pos_];
+  outcomes_[outcome_pos_] = failure ? 1 : 0;
+  failures_ += outcomes_[outcome_pos_];
+  outcome_pos_ = (outcome_pos_ + 1) % outcomes_.size();
+  if (outcome_count_ < outcomes_.size()) ++outcome_count_;
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - opened_at_ <
+          std::chrono::milliseconds(options_.open_cooldown_ms)) {
+        return false;
+      }
+      TransitionLocked(BreakerState::kHalfOpen);
+      ++probes_in_flight_;
+      return true;
+    }
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ > 0) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    if (++probe_successes_ >= options_.half_open_successes) {
+      TransitionLocked(BreakerState::kClosed);
+    }
+    return;
+  }
+  if (state_ == BreakerState::kClosed) PushOutcomeLocked(false);
+  // kOpen: a straggler finishing after the trip; ignore.
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    TransitionLocked(BreakerState::kOpen);
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;
+  PushOutcomeLocked(true);
+  if (outcome_count_ >= static_cast<size_t>(options_.min_volume) &&
+      static_cast<double>(failures_) >=
+          options_.failure_threshold * static_cast<double>(outcome_count_)) {
+    TransitionLocked(BreakerState::kOpen);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+// ---------------------------------------------------------------------
+// ReplicaClient
+// ---------------------------------------------------------------------
+
+ReplicaClient::ReplicaClient(const ReplicaClientOptions& options)
+    : options_(options),
+      name_(options.host + ":" + std::to_string(options.port)),
+      breaker_(options.breaker) {
+  if (options_.max_pool < 1) options_.max_pool = 1;
+}
+
+std::unique_ptr<HttpClient> ReplicaClient::Acquire(io::Status* status,
+                                                   bool* from_pool) {
+  *from_pool = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!pool_.empty()) {
+      auto client = std::move(pool_.back());
+      pool_.pop_back();
+      *status = io::Status::Ok();
+      *from_pool = true;
+      return client;
+    }
+  }
+  auto client = std::make_unique<HttpClient>();
+  *status = client->Connect(options_.host, options_.port,
+                            options_.connect_timeout_ms);
+  if (!status->ok) return nullptr;
+  return client;
+}
+
+void ReplicaClient::Release(std::unique_ptr<HttpClient> client,
+                            bool reusable) {
+  if (!reusable || client == nullptr || !client->connected()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_.size() < options_.max_pool) pool_.push_back(std::move(client));
+}
+
+size_t ReplicaClient::pooled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.size();
+}
+
+io::Status ReplicaClient::Exchange(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body,
+                                   const ClientRequestOptions& options,
+                                   ClientResponse* out) {
+  io::Status status;
+  bool from_pool = false;
+  std::unique_ptr<HttpClient> client = Acquire(&status, &from_pool);
+  if (client == nullptr) {
+    breaker_.RecordFailure();
+    return io::Status::Error("connect " + name_ + ": " + status.message);
+  }
+  status = client->Request(method, target, body, options, out);
+  if (!status.ok && from_pool &&
+      status.message.find("deadline") == std::string::npos &&
+      status.message.find("cancelled") == std::string::npos) {
+    // An idle pooled connection may have been reaped by the server
+    // between exchanges; redo the try once on a fresh socket before
+    // charging the replica with a failure. Deadline/cancel aborts are
+    // excluded — redoing those would double the per-try budget.
+    auto fresh = std::make_unique<HttpClient>();
+    const io::Status connected = fresh->Connect(options_.host, options_.port,
+                                                options_.connect_timeout_ms);
+    if (connected.ok) {
+      status = fresh->Request(method, target, body, options, out);
+      client = std::move(fresh);
+    }
+  }
+  if (!status.ok) {
+    breaker_.RecordFailure();
+    return io::Status::Error(name_ + ": " + status.message);
+  }
+  // Any parsed response means the replica is alive; only 5xx counts
+  // against it (429/504 are policy answers, not replica faults).
+  if (out->status >= 500) {
+    breaker_.RecordFailure();
+  } else {
+    breaker_.RecordSuccess();
+  }
+  Release(std::move(client), out->keep_alive);
+  return io::Status::Ok();
+}
+
+}  // namespace dssddi::net

@@ -1,0 +1,140 @@
+#ifndef DSSDDI_NET_REPLICA_CLIENT_H_
+#define DSSDDI_NET_REPLICA_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/binary.h"
+#include "net/http_client.h"
+
+namespace dssddi::net {
+
+// ---------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------
+
+/// Breaker state machine: kClosed (traffic flows, outcomes feed a
+/// rolling window) → kOpen (failure rate crossed the threshold; no
+/// traffic for a cooldown) → kHalfOpen (one probe allowed through) →
+/// back to kClosed on probe success or kOpen on probe failure.
+enum class BreakerState : int { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+const char* BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Rolling outcome window (last N tries) the failure rate is judged
+  /// over; small so a replica going dark trips within a handful of
+  /// requests.
+  int window = 16;
+  /// Outcomes required in the window before the rate can trip the
+  /// breaker — one unlucky first request must not open it.
+  int min_volume = 6;
+  /// Open when failures / window_count reaches this.
+  double failure_threshold = 0.5;
+  /// How long an open breaker refuses traffic before letting one
+  /// half-open probe through.
+  int open_cooldown_ms = 1000;
+  /// Consecutive probe successes required to close again.
+  int half_open_successes = 1;
+};
+
+/// Per-replica circuit breaker. Thread-safe; every transition invokes
+/// the hook (under the lock — keep hooks cheap: gauge set, counter
+/// bump, flight-recorder record).
+class CircuitBreaker {
+ public:
+  using TransitionHook =
+      std::function<void(BreakerState from, BreakerState to)>;
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options = {});
+
+  void set_transition_hook(TransitionHook hook);
+
+  /// True when a try may be sent now. An open breaker past its cooldown
+  /// transitions to half-open and admits the caller as the probe; a
+  /// half-open breaker admits only while a probe slot is free.
+  bool AllowRequest();
+  /// Report the outcome of an admitted try.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+
+ private:
+  void TransitionLocked(BreakerState to);
+  void PushOutcomeLocked(bool failure);
+
+  mutable std::mutex mutex_;
+  CircuitBreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  TransitionHook hook_;
+  std::vector<uint8_t> outcomes_;  // ring: 1 = failure
+  size_t outcome_pos_ = 0;
+  size_t outcome_count_ = 0;
+  size_t failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  int probes_in_flight_ = 0;
+  int probe_successes_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Replica client
+// ---------------------------------------------------------------------
+
+struct ReplicaClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Connect + per-socket recv/send timeout handed to HttpClient.
+  int connect_timeout_ms = 2000;
+  /// Idle keep-alive connections retained for reuse.
+  size_t max_pool = 4;
+  CircuitBreakerOptions breaker;
+};
+
+/// One replica endpoint: a keep-alive connection pool over HttpClient
+/// plus the replica's circuit breaker. Thread-safe — concurrent tries
+/// each check a connection out of the pool (or dial a fresh one), so a
+/// hedged duplicate never shares a socket with its primary.
+///
+/// Outcome accounting: transport errors and 5xx responses count as
+/// breaker failures; any parseable response below 500 (including 429
+/// shed — the replica is alive and answering) counts as success.
+/// Callers gate on breaker().AllowRequest() *before* Exchange; Exchange
+/// itself always records the outcome of the try it ran.
+class ReplicaClient {
+ public:
+  explicit ReplicaClient(const ReplicaClientOptions& options);
+
+  /// "host:port" — the `replica` label on every metric.
+  const std::string& name() const { return name_; }
+
+  io::Status Exchange(const std::string& method, const std::string& target,
+                      const std::string& body,
+                      const ClientRequestOptions& options,
+                      ClientResponse* out);
+
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+  /// Idle pooled connections (tests).
+  size_t pooled() const;
+
+ private:
+  std::unique_ptr<HttpClient> Acquire(io::Status* status, bool* from_pool);
+  void Release(std::unique_ptr<HttpClient> client, bool reusable);
+
+  ReplicaClientOptions options_;
+  std::string name_;
+  CircuitBreaker breaker_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<HttpClient>> pool_;
+};
+
+}  // namespace dssddi::net
+
+#endif  // DSSDDI_NET_REPLICA_CLIENT_H_

@@ -1,0 +1,238 @@
+#ifndef DSSDDI_NET_ROUTER_H_
+#define DSSDDI_NET_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/binary.h"
+#include "net/http_server.h"
+#include "net/replica_client.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "serve/thread_pool.h"
+
+namespace dssddi::net {
+
+// ---------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------
+
+struct RouterOptions {
+  /// Total tries per request (first attempt + retries).
+  int max_tries = 3;
+  /// Per-try budget; each try additionally never exceeds the remaining
+  /// request deadline.
+  int per_try_timeout_ms = 1000;
+  /// Capped exponential backoff between retries: base · 2^attempt,
+  /// clamped to max, with seeded full jitter (never sleeps past the
+  /// request deadline).
+  int backoff_base_ms = 5;
+  int backoff_max_ms = 100;
+  uint64_t backoff_seed = 0x5eedull;
+  /// Retry budget (token bucket): every request deposits `ratio`
+  /// tokens, every retry spends one — sustained retry volume is capped
+  /// at ratio · request rate so retries cannot amplify an outage.
+  double retry_budget_ratio = 0.5;
+  double retry_budget_burst = 32.0;
+  /// Deadline-aware hedging: once a try has been in flight longer than
+  /// the observed try-latency p90 (clamped to [min,max] below), launch
+  /// a duplicate on another replica; first answer wins, the loser is
+  /// cancelled. Refused while `hedge_inhibit` returns true (wired to
+  /// the SLO engine's degraded bit) so hedges never amplify overload.
+  bool hedging = true;
+  int hedge_min_delay_ms = 10;
+  int hedge_max_delay_ms = 1000;
+  /// Recompute the cached p90 every N recorded tries.
+  uint32_t hedge_refresh_every = 32;
+  std::function<bool()> hedge_inhibit;
+  /// Stale-serve cache entries (successful fresh bodies, keyed by
+  /// request hash; generation-keyed by the response's model version).
+  size_t stale_capacity = 512;
+  /// Workers running tries (each blocking up to per-try budget). Bounds
+  /// concurrent tries, not concurrent requests.
+  int worker_threads = 8;
+};
+
+/// What the router answered with, however it got there.
+struct RouterResult {
+  int status = 0;
+  std::string body;
+  std::string content_type;
+  /// True when the answer came from the stale cache because no replica
+  /// could serve fresh — surfaces as X-Dssddi-Stale: true.
+  bool stale = false;
+  bool hedged = false;
+  int tries = 0;
+  /// Replica index that produced the winning answer; -1 for stale /
+  /// synthesized answers.
+  int replica = -1;
+};
+
+/// Fault-tolerant routing client over N replica endpoints: round-robin
+/// across closed breakers, per-try timeouts carved from the request
+/// deadline, budget-bounded retries with capped exponential backoff +
+/// seeded jitter, p90-triggered hedging with loser cancellation, and a
+/// generation-keyed stale cache as the last line of defense when every
+/// breaker is open.
+///
+/// Only used for idempotent work (suggest is a pure function of the
+/// request + model version), which is what makes retries and hedges
+/// safe to fire.
+class Router {
+ public:
+  Router(const std::vector<ReplicaClientOptions>& replicas,
+         const RouterOptions& options,
+         std::shared_ptr<obs::Registry> registry,
+         std::shared_ptr<obs::FlightRecorder> recorder);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Routes one exchange. `deadline_ms` (0 = none) bounds the whole
+  /// effort — tries, backoffs and hedges included. Returns Ok whenever
+  /// there is an answer to report, including synthesized 503s; `*out`
+  /// is always filled.
+  io::Status Exchange(const std::string& target, const std::string& body,
+                      const std::string& content_type, int deadline_ms,
+                      RouterResult* out);
+
+  size_t num_replicas() const { return replicas_.size(); }
+  ReplicaClient& replica(size_t index) { return *replicas_[index]; }
+  /// Replicas whose breaker is not open ("able to serve fresh").
+  int AvailableReplicas() const;
+
+  const RouterOptions& options() const { return options_; }
+  obs::Registry* registry() { return registry_.get(); }
+  obs::FlightRecorder* recorder() { return recorder_.get(); }
+
+  /// Backoff before retry `attempt` (1-based): base · 2^(attempt-1)
+  /// clamped to `max_ms`, scaled by seeded full jitter in [0.5, 1.0].
+  /// Pure — chaos tests assert the schedule replays by seed.
+  static int BackoffMs(int attempt, int base_ms, int max_ms, uint64_t seed,
+                       uint64_t nonce);
+
+ private:
+  struct Race;
+  class StaleCache;
+
+  /// Round-robin pick of a breaker-admitted replica, skipping indices
+  /// in `exclude` (bitmask). -1 when none admits.
+  int PickReplica(uint64_t exclude);
+  void LaunchTry(const std::shared_ptr<Race>& race, int slot, int replica,
+                 const std::string& target, const std::string& body,
+                 const std::string& content_type, int budget_ms);
+  int HedgeDelayMs();
+  void RecordTryLatency(double ms);
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<ReplicaClient>> replicas_;
+  std::shared_ptr<obs::Registry> registry_;
+  std::shared_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<serve::ThreadPool> pool_;
+  std::unique_ptr<StaleCache> stale_;
+
+  std::atomic<uint64_t> rr_{0};
+  std::atomic<uint64_t> request_counter_{0};
+  std::mutex budget_mutex_;
+  double retry_tokens_;
+
+  obs::Counter* requests_ok_;
+  obs::Counter* requests_stale_;
+  obs::Counter* requests_error_;
+  obs::Counter* retries_total_;
+  obs::Counter* hedges_won_;
+  obs::Counter* hedges_lost_;
+  obs::Histogram* try_latency_;
+  std::vector<obs::Gauge*> replica_state_;
+
+  /// Cached hedge trigger: try-latency p90, refreshed every
+  /// hedge_refresh_every records (same pattern as LatencyTracker).
+  std::atomic<double> hedge_delay_cache_{0.0};
+  std::atomic<uint32_t> try_records_{0};
+};
+
+// ---------------------------------------------------------------------
+// RouterFrontend
+// ---------------------------------------------------------------------
+
+struct RouterFrontendOptions {
+  /// Deadline applied to /v1/suggest exchanges arriving without an
+  /// X-Deadline-Ms header.
+  int default_deadline_ms = 1000;
+  /// Ceiling clamped onto client-supplied deadlines; 0 = none.
+  int max_deadline_ms = 10000;
+  /// Workers running (blocking) router exchanges off the loop threads.
+  int worker_threads = 8;
+};
+
+/// HTTP face of the Router — what `examples/replica_cluster` serves.
+/// Routes:
+///
+///   POST /v1/suggest   proxied through the Router (JSON or binary;
+///                      codec passthrough). Stale answers carry
+///                      X-Dssddi-Stale: true.
+///   GET  /healthz      liveness: 200 while the process runs
+///   GET  /readyz       readiness: 200 only when not draining and at
+///                      least one replica breaker is not open; body
+///                      lists per-replica breaker states
+///   GET  /statsz       router counters + per-replica breaker states
+///   GET  /metricsz     the router registry's Prometheus exposition
+///                      (?format=openmetrics supported)
+///   GET  /logz         the router flight recorder as NDJSON
+///   GET  /admin/fault  fault-injector states (launcher-provided hook)
+///   POST /admin/fault  {"replica":0,"spec":"reset=0.05"} installs a
+///                      spec on one replica's injector ("" clears)
+///   POST /admin/replica {"index":1,"action":"stop"|"start"} delegates
+///                      to the launcher (kill / restart one replica)
+class RouterFrontend {
+ public:
+  RouterFrontend(Router* router, const RouterFrontendOptions& options = {});
+  ~RouterFrontend();
+
+  void AttachServer(const HttpServer* server) { http_ = server; }
+
+  /// Launcher hooks; absent hooks 404 their admin routes.
+  using ReplicaAdminHook = std::function<bool(size_t index, bool up)>;
+  using FaultInstallHook =
+      std::function<io::Status(int replica, const std::string& spec)>;
+  using FaultDescribeHook = std::function<std::string()>;
+  void set_replica_admin(ReplicaAdminHook hook);
+  void set_fault_admin(FaultInstallHook install, FaultDescribeHook describe);
+
+  void Handle(const HttpRequest& request, ResponseWriter writer);
+  HttpServer::Handler AsHandler() {
+    return [this](const HttpRequest& request, ResponseWriter writer) {
+      Handle(request, writer);
+    };
+  }
+
+ private:
+  void HandleSuggest(const HttpRequest& request, ResponseWriter writer);
+  int HandleReadyz(ResponseWriter writer);
+  int HandleAdminFault(const HttpRequest& request, ResponseWriter writer);
+  int HandleAdminReplica(const HttpRequest& request, ResponseWriter writer);
+
+  Router* router_;
+  RouterFrontendOptions options_;
+  const HttpServer* http_ = nullptr;
+  std::unique_ptr<serve::ThreadPool> workers_;
+  ReplicaAdminHook replica_admin_;
+  FaultInstallHook fault_install_;
+  FaultDescribeHook fault_describe_;
+
+  obs::Counter* suggest_requests_;
+  obs::Counter* suggest_2xx_;
+  obs::Counter* suggest_4xx_;
+  obs::Counter* suggest_5xx_;
+  obs::Counter* suggest_stale_;
+  obs::Histogram* suggest_latency_;
+};
+
+}  // namespace dssddi::net
+
+#endif  // DSSDDI_NET_ROUTER_H_

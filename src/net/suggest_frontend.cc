@@ -238,7 +238,11 @@ SuggestFrontend::SuggestFrontend(serve::SuggestionService* service,
       sloz_metrics_(
           std::make_shared<RouteMetrics>(service->registry(), "/sloz")),
       reload_metrics_(std::make_shared<RouteMetrics>(service->registry(),
-                                                     "/admin/reload")) {
+                                                     "/admin/reload")),
+      readyz_metrics_(
+          std::make_shared<RouteMetrics>(service->registry(), "/readyz")),
+      fault_metrics_(std::make_shared<RouteMetrics>(service->registry(),
+                                                    "/admin/fault")) {
   suggest_sampler_ = service_->trace_collector()->SamplerForRoute("/v1/suggest");
   suggest_sampler_->set_every(options_.trace_sample_every);
   // Build/runtime identity as an info-style gauge: the value is always 1,
@@ -294,6 +298,24 @@ void SuggestFrontend::Handle(const HttpRequest& request,
     healthz_metrics_->requests->Increment();
     healthz_metrics_->CountResponse(200);
     healthz_metrics_->latency.Record(MillisSince(start));
+    return;
+  }
+  if (path == "/readyz") {
+    if (request.method != "GET") {
+      writer.Send(JsonError(405, "use GET for /readyz"));
+      return;
+    }
+    const int status = HandleReadyz(writer);
+    readyz_metrics_->requests->Increment();
+    readyz_metrics_->CountResponse(status);
+    readyz_metrics_->latency.Record(MillisSince(start));
+    return;
+  }
+  if (path == "/admin/fault") {
+    const int status = HandleAdminFault(request, writer);
+    fault_metrics_->requests->Increment();
+    fault_metrics_->CountResponse(status);
+    fault_metrics_->latency.Record(MillisSince(start));
     return;
   }
   if (path == "/statsz") {
@@ -647,6 +669,74 @@ void SuggestFrontend::HandleHealth(ResponseWriter writer) const {
       .EndObject();
   response.body = json.str();
   writer.Send(std::move(response));
+}
+
+int SuggestFrontend::HandleReadyz(ResponseWriter writer) const {
+  // Liveness (healthz) and readiness diverge during graceful shutdown:
+  // a draining server still answers in-flight work but must drop out of
+  // load-balancer rotation.
+  const bool draining = http_ != nullptr && http_->draining();
+  const serve::ServiceStats stats = service_->Stats();
+  HttpResponse response;
+  response.status = draining ? 503 : 200;
+  JsonWriter json;
+  json.BeginObject()
+      .Key("ready").Bool(!draining)
+      .Key("draining").Bool(draining)
+      .Key("model_version").UInt(stats.model_version)
+      .EndObject();
+  response.body = json.str();
+  const int status = response.status;
+  writer.Send(std::move(response));
+  return status;
+}
+
+int SuggestFrontend::HandleAdminFault(const HttpRequest& request,
+                                      ResponseWriter writer) {
+  fault::FaultInjector* injector = options_.fault_injector.get();
+  if (injector == nullptr) {
+    writer.Send(JsonError(404, "no fault injector attached"));
+    return 404;
+  }
+  if (request.method == "GET") {
+    HttpResponse response;
+    response.body = injector->DescribeJson();
+    writer.Send(std::move(response));
+    return 200;
+  }
+  if (request.method != "POST") {
+    writer.Send(JsonError(405, "use GET or POST for /admin/fault"));
+    return 405;
+  }
+  JsonValue body;
+  std::string error;
+  const JsonValue* spec = nullptr;
+  if (!ParseJson(request.body, &body, &error) ||
+      (spec = body.Find("spec")) == nullptr || !spec->is_string()) {
+    RecordRejection(*fault_metrics_, "bad /admin/fault body (want {\"spec\"})");
+    writer.Send(JsonError(400, "body wants {\"spec\":\"seed=1;reset=0.05\"}"));
+    return 400;
+  }
+  if (spec->AsString().empty()) {
+    injector->Clear();
+    HttpResponse response;
+    response.body = "{\"installed\":false,\"active\":false}";
+    writer.Send(std::move(response));
+    return 200;
+  }
+  const io::Status installed = injector->Install(spec->AsString());
+  if (!installed.ok) {
+    RecordRejection(*fault_metrics_, "unparseable fault spec");
+    writer.Send(JsonError(400, installed.message));
+    return 400;
+  }
+  recorder_->Record(obs::LogSeverity::kWarning, obs::LogReason::kReplicaState,
+                    "/admin/fault", 200, 0, 0.0, nullptr,
+                    "fault spec installed");
+  HttpResponse response;
+  response.body = "{\"installed\":true,\"active\":true}";
+  writer.Send(std::move(response));
+  return 200;
 }
 
 void SuggestFrontend::HandleStats(ResponseWriter writer) const {

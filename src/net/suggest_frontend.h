@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/http_server.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -41,6 +42,11 @@ struct SuggestFrontendOptions {
   /// Attach a Server-Timing header (stage breakdown in milliseconds) to
   /// /v1/suggest responses whose request was trace-sampled.
   bool server_timing = true;
+  /// Optional fault injector (chaos testing): when set, GET/POST
+  /// /admin/fault reads/installs its spec, and the same injector should
+  /// be handed to HttpServerOptions::fault so installed specs take
+  /// effect on this replica's socket ops. Absent -> /admin/fault 404s.
+  std::shared_ptr<fault::FaultInjector> fault_injector;
 
   int DefaultBudgetMs(const std::string& route) const {
     for (const RouteBudget& entry : route_budgets) {
@@ -162,6 +168,10 @@ class SuggestFrontend {
   void HandleSuggest(const HttpRequest& request, ResponseWriter writer,
                      std::chrono::steady_clock::time_point start);
   void HandleHealth(ResponseWriter writer) const;
+  /// 200 only when the server (if attached) is not draining: liveness
+  /// and readiness diverge during graceful shutdown.
+  int HandleReadyz(ResponseWriter writer) const;
+  int HandleAdminFault(const HttpRequest& request, ResponseWriter writer);
   void HandleStats(ResponseWriter writer) const;
   void HandleMetrics(ResponseWriter writer, bool openmetrics) const;
   void HandleTracez(ResponseWriter writer) const;
@@ -193,6 +203,8 @@ class SuggestFrontend {
   std::shared_ptr<RouteMetrics> logz_metrics_;
   std::shared_ptr<RouteMetrics> sloz_metrics_;
   std::shared_ptr<RouteMetrics> reload_metrics_;
+  std::shared_ptr<RouteMetrics> readyz_metrics_;
+  std::shared_ptr<RouteMetrics> fault_metrics_;
 };
 
 }  // namespace dssddi::net

@@ -52,6 +52,8 @@ const char* LogReasonName(LogReason reason) {
     case LogReason::kReloadError: return "reload_error";
     case LogReason::kSloTransition: return "slo_transition";
     case LogReason::kReload: return "reload";
+    case LogReason::kReplicaState: return "replica_state";
+    case LogReason::kStaleServe: return "stale_serve";
   }
   return "unknown";
 }

@@ -53,6 +53,8 @@ enum class LogReason : int {
   kReloadError,    // /admin/reload failed
   kSloTransition,  // SLO engine entered/exited degraded mode
   kReload,         // model snapshot swapped successfully
+  kReplicaState,   // router circuit breaker changed state
+  kStaleServe,     // router answered from the stale cache (all replicas open)
 };
 
 const char* LogReasonName(LogReason reason);
