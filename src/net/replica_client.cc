@@ -38,6 +38,7 @@ void CircuitBreaker::TransitionLocked(BreakerState to) {
   if (state_ == to) return;
   const BreakerState from = state_;
   state_ = to;
+  ++epoch_;  // invalidate tokens admitted under the previous state
   if (to == BreakerState::kOpen) {
     opened_at_ = std::chrono::steady_clock::now();
     probes_in_flight_ = 0;
@@ -62,31 +63,35 @@ void CircuitBreaker::PushOutcomeLocked(bool failure) {
   if (outcome_count_ < outcomes_.size()) ++outcome_count_;
 }
 
-bool CircuitBreaker::AllowRequest() {
+uint64_t CircuitBreaker::Admit() {
   std::lock_guard<std::mutex> lock(mutex_);
   switch (state_) {
     case BreakerState::kClosed:
-      return true;
+      return epoch_;
     case BreakerState::kOpen: {
       const auto now = std::chrono::steady_clock::now();
       if (now - opened_at_ <
           std::chrono::milliseconds(options_.open_cooldown_ms)) {
-        return false;
+        return 0;
       }
       TransitionLocked(BreakerState::kHalfOpen);
       ++probes_in_flight_;
-      return true;
+      return epoch_;
     }
     case BreakerState::kHalfOpen:
-      if (probes_in_flight_ > 0) return false;
+      if (probes_in_flight_ > 0) return 0;
       ++probes_in_flight_;
-      return true;
+      return epoch_;
   }
-  return false;
+  return 0;
 }
 
-void CircuitBreaker::RecordSuccess() {
+void CircuitBreaker::RecordSuccess(uint64_t token) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // A stale token is a straggler from before a state transition (e.g. a
+  // closed-era try completing after open → half-open): its outcome must
+  // not drive the current probe, so it is ignored.
+  if (token != epoch_) return;
   if (state_ == BreakerState::kHalfOpen) {
     if (probes_in_flight_ > 0) --probes_in_flight_;
     if (++probe_successes_ >= options_.half_open_successes) {
@@ -95,11 +100,11 @@ void CircuitBreaker::RecordSuccess() {
     return;
   }
   if (state_ == BreakerState::kClosed) PushOutcomeLocked(false);
-  // kOpen: a straggler finishing after the trip; ignore.
 }
 
-void CircuitBreaker::RecordFailure() {
+void CircuitBreaker::RecordFailure(uint64_t token) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (token != epoch_) return;  // straggler from an earlier era
   if (state_ == BreakerState::kHalfOpen) {
     if (probes_in_flight_ > 0) --probes_in_flight_;
     TransitionLocked(BreakerState::kOpen);
@@ -111,6 +116,14 @@ void CircuitBreaker::RecordFailure() {
       static_cast<double>(failures_) >=
           options_.failure_threshold * static_cast<double>(outcome_count_)) {
     TransitionLocked(BreakerState::kOpen);
+  }
+}
+
+void CircuitBreaker::Abandon(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (token != epoch_) return;
+  if (state_ == BreakerState::kHalfOpen && probes_in_flight_ > 0) {
+    --probes_in_flight_;
   }
 }
 
@@ -166,12 +179,12 @@ io::Status ReplicaClient::Exchange(const std::string& method,
                                    const std::string& target,
                                    const std::string& body,
                                    const ClientRequestOptions& options,
-                                   ClientResponse* out) {
+                                   ClientResponse* out, uint64_t admission) {
   io::Status status;
   bool from_pool = false;
   std::unique_ptr<HttpClient> client = Acquire(&status, &from_pool);
   if (client == nullptr) {
-    breaker_.RecordFailure();
+    breaker_.RecordFailure(admission);
     return io::Status::Error("connect " + name_ + ": " + status.message);
   }
   status = client->Request(method, target, body, options, out);
@@ -191,15 +204,23 @@ io::Status ReplicaClient::Exchange(const std::string& method,
     }
   }
   if (!status.ok) {
-    breaker_.RecordFailure();
+    if (status.message.find("cancelled") != std::string::npos) {
+      // The caller aborted the try (hedge loser, request deadline) —
+      // the replica did nothing wrong, so the outcome is neutral. A
+      // burst of tight-deadline cancellations must never open breakers
+      // on a healthy cluster.
+      breaker_.Abandon(admission);
+    } else {
+      breaker_.RecordFailure(admission);
+    }
     return io::Status::Error(name_ + ": " + status.message);
   }
   // Any parsed response means the replica is alive; only 5xx counts
   // against it (429/504 are policy answers, not replica faults).
   if (out->status >= 500) {
-    breaker_.RecordFailure();
+    breaker_.RecordFailure(admission);
   } else {
-    breaker_.RecordSuccess();
+    breaker_.RecordSuccess(admission);
   }
   Release(std::move(client), out->keep_alive);
   return io::Status::Ok();

@@ -46,6 +46,15 @@ struct CircuitBreakerOptions {
 /// Per-replica circuit breaker. Thread-safe; every transition invokes
 /// the hook (under the lock — keep hooks cheap: gauge set, counter
 /// bump, flight-recorder record).
+///
+/// Admission protocol: `Admit()` returns a nonzero token when a try may
+/// be sent now, and every token MUST be settled by exactly one of
+/// `RecordSuccess` / `RecordFailure` / `Abandon` — a half-open
+/// admission holds the single probe slot until settled, so a dropped
+/// token would wedge the breaker in half-open forever. Tokens are
+/// epoch-tagged: an outcome reported after the breaker has since
+/// changed state (a straggler from an earlier era) is ignored rather
+/// than misattributed to the current probe.
 class CircuitBreaker {
  public:
   using TransitionHook =
@@ -55,13 +64,19 @@ class CircuitBreaker {
 
   void set_transition_hook(TransitionHook hook);
 
-  /// True when a try may be sent now. An open breaker past its cooldown
-  /// transitions to half-open and admits the caller as the probe; a
-  /// half-open breaker admits only while a probe slot is free.
-  bool AllowRequest();
-  /// Report the outcome of an admitted try.
-  void RecordSuccess();
-  void RecordFailure();
+  /// Nonzero admission token when a try may be sent now; 0 when the
+  /// breaker refuses. An open breaker past its cooldown transitions to
+  /// half-open and admits the caller as the probe; a half-open breaker
+  /// admits only while the probe slot is free.
+  uint64_t Admit();
+  /// Report the outcome of an admitted try. Stale tokens (the breaker
+  /// transitioned since admission) are ignored.
+  void RecordSuccess(uint64_t token);
+  void RecordFailure(uint64_t token);
+  /// Release an admission whose try never produced a verdict on the
+  /// replica (never launched, or cancelled mid-flight): frees a
+  /// half-open probe slot without counting an outcome either way.
+  void Abandon(uint64_t token);
 
   BreakerState state() const;
 
@@ -77,6 +92,9 @@ class CircuitBreaker {
   size_t outcome_pos_ = 0;
   size_t outcome_count_ = 0;
   size_t failures_ = 0;
+  /// Bumped on every state transition; admission tokens carry the epoch
+  /// they were issued under so stragglers are recognizable.
+  uint64_t epoch_ = 1;
   std::chrono::steady_clock::time_point opened_at_{};
   int probes_in_flight_ = 0;
   int probe_successes_ = 0;
@@ -101,11 +119,13 @@ struct ReplicaClientOptions {
 /// each check a connection out of the pool (or dial a fresh one), so a
 /// hedged duplicate never shares a socket with its primary.
 ///
-/// Outcome accounting: transport errors and 5xx responses count as
-/// breaker failures; any parseable response below 500 (including 429
-/// shed — the replica is alive and answering) counts as success.
-/// Callers gate on breaker().AllowRequest() *before* Exchange; Exchange
-/// itself always records the outcome of the try it ran.
+/// Outcome accounting: transport errors, timeouts, and 5xx responses
+/// count as breaker failures; any parseable response below 500
+/// (including 429 shed — the replica is alive and answering) counts as
+/// success; cancelled tries (hedge losers, request-deadline aborts) are
+/// neutral — the replica did nothing wrong, so the admission is
+/// abandoned rather than charged. Callers gate on breaker().Admit()
+/// *before* Exchange and hand the token in; Exchange always settles it.
 class ReplicaClient {
  public:
   explicit ReplicaClient(const ReplicaClientOptions& options);
@@ -113,10 +133,12 @@ class ReplicaClient {
   /// "host:port" — the `replica` label on every metric.
   const std::string& name() const { return name_; }
 
+  /// `admission` is the token breaker().Admit() issued for this try;
+  /// Exchange settles it (success / failure / abandon) in every path.
   io::Status Exchange(const std::string& method, const std::string& target,
                       const std::string& body,
                       const ClientRequestOptions& options,
-                      ClientResponse* out);
+                      ClientResponse* out, uint64_t admission);
 
   CircuitBreaker& breaker() { return breaker_; }
   const CircuitBreaker& breaker() const { return breaker_; }

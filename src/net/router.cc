@@ -97,8 +97,12 @@ class Router::StaleCache {
     if (capacity_ == 0) return;
     std::lock_guard<std::mutex> lock(mutex_);
     // A newer model generation invalidates every older entry: stale
-    // answers may lag in time, never across an observed reload.
+    // answers may lag in time, never across an observed reload. Entries
+    // below the current generation (including unparseable versions once
+    // one is known) could never be served — don't let them occupy
+    // capacity and evict servable ones.
     if (model_version > generation_) generation_ = model_version;
+    if (model_version < generation_) return;
     auto it = map_.find(key);
     if (it != map_.end()) {
       lru_.erase(it->second.lru);
@@ -268,16 +272,19 @@ int Router::BackoffMs(int attempt, int base_ms, int max_ms, uint64_t seed,
   return static_cast<int>(delay * (0.5 + 0.5 * unit));
 }
 
-int Router::PickReplica(uint64_t exclude) {
+int Router::PickReplica(uint64_t exclude, uint64_t* admission) {
   const size_t n = replicas_.size();
   const uint64_t begin = rr_.fetch_add(1, std::memory_order_relaxed);
   for (size_t i = 0; i < n; ++i) {
     const size_t index = (begin + i) % n;
     if (exclude & (1ull << index)) continue;
-    if (replicas_[index]->breaker().AllowRequest()) {
+    const uint64_t token = replicas_[index]->breaker().Admit();
+    if (token != 0) {
+      *admission = token;
       return static_cast<int>(index);
     }
   }
+  *admission = 0;
   return -1;
 }
 
@@ -300,11 +307,12 @@ void Router::RecordTryLatency(double ms) {
 }
 
 void Router::LaunchTry(const std::shared_ptr<Race>& race, int slot,
-                       int replica, const std::string& target,
-                       const std::string& body,
+                       int replica, uint64_t admission,
+                       const std::string& target, const std::string& body,
                        const std::string& content_type, int budget_ms) {
-  const bool submitted = pool_->Submit([this, race, slot, replica, target,
-                                        body, content_type, budget_ms] {
+  const bool submitted = pool_->Submit([this, race, slot, replica, admission,
+                                        target, body, content_type,
+                                        budget_ms] {
     ClientRequestOptions options;
     options.content_type = content_type;
     options.deadline_ms = budget_ms;
@@ -315,13 +323,16 @@ void Router::LaunchTry(const std::shared_ptr<Race>& race, int slot,
     const Clock::time_point start = Clock::now();
     outcome.status =
         replicas_[static_cast<size_t>(replica)]->Exchange(
-            "POST", target, body, options, &outcome.response);
+            "POST", target, body, options, &outcome.response, admission);
     if (outcome.status.ok) RecordTryLatency(ElapsedMs(start));
     std::lock_guard<std::mutex> lock(race->mutex);
     race->outcomes.push_back(std::move(outcome));
     race->cv.notify_all();
   });
   if (!submitted) {
+    // The try never ran, so Exchange will never settle the admission —
+    // release it here or a half-open probe slot leaks forever.
+    replicas_[static_cast<size_t>(replica)]->breaker().Abandon(admission);
     Race::Outcome outcome;
     outcome.slot = slot;
     outcome.replica = replica;
@@ -368,7 +379,8 @@ io::Status Router::Exchange(const std::string& target,
         break;
       }
     }
-    const int primary = PickReplica(0);
+    uint64_t primary_admission = 0;
+    const int primary = PickReplica(0, &primary_admission);
     if (primary < 0) {
       all_open = true;
       break;
@@ -380,8 +392,8 @@ io::Status Router::Exchange(const std::string& target,
       std::lock_guard<std::mutex> lock(race->mutex);
       race->launched = 1;
     }
-    LaunchTry(race, /*slot=*/0, primary, target, body, content_type,
-              budget_ms);
+    LaunchTry(race, /*slot=*/0, primary, primary_admission, target, body,
+              content_type, budget_ms);
     ++out->tries;
 
     const bool can_hedge =
@@ -418,19 +430,23 @@ io::Status Router::Exchange(const std::string& target,
       if (!hedge_launched && hedge_at_ms >= 0 &&
           ElapsedMs(try_start) >= static_cast<double>(hedge_at_ms)) {
         lock.unlock();
-        const int secondary = PickReplica(1ull << primary);
-        if (secondary >= 0) {
-          int hedge_budget_ms = options_.per_try_timeout_ms;
-          if (has_deadline) {
-            hedge_budget_ms = std::min(hedge_budget_ms, RemainingMs(deadline));
-          }
-          if (hedge_budget_ms > 0) {
+        // Budget first, admission second: an admitted half-open probe
+        // that is never launched would hold the probe slot forever.
+        int hedge_budget_ms = options_.per_try_timeout_ms;
+        if (has_deadline) {
+          hedge_budget_ms = std::min(hedge_budget_ms, RemainingMs(deadline));
+        }
+        if (hedge_budget_ms > 0) {
+          uint64_t hedge_admission = 0;
+          const int secondary =
+              PickReplica(1ull << primary, &hedge_admission);
+          if (secondary >= 0) {
             {
               std::lock_guard<std::mutex> relock(race->mutex);
               race->launched = 2;
             }
-            LaunchTry(race, /*slot=*/1, secondary, target, body, content_type,
-                      hedge_budget_ms);
+            LaunchTry(race, /*slot=*/1, secondary, hedge_admission, target,
+                      body, content_type, hedge_budget_ms);
             ++out->tries;
             out->hedged = true;
             hedge_launched = true;
@@ -488,7 +504,9 @@ io::Status Router::Exchange(const std::string& target,
     }
   }
 
-  if (!all_open && PickReplica(0) < 0) all_open = true;
+  // State-only availability check for diagnostics — PickReplica would
+  // consume a half-open probe slot that no try settles.
+  if (!all_open && AvailableReplicas() == 0) all_open = true;
 
   // No fresh answer. Degrade: stale cache first, then the best
   // replica-authored error, then a synthesized status.

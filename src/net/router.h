@@ -121,11 +121,13 @@ class Router {
   class StaleCache;
 
   /// Round-robin pick of a breaker-admitted replica, skipping indices
-  /// in `exclude` (bitmask). -1 when none admits.
-  int PickReplica(uint64_t exclude);
+  /// in `exclude` (bitmask). -1 when none admits; on success
+  /// `*admission` holds the breaker token the eventual try must settle.
+  int PickReplica(uint64_t exclude, uint64_t* admission);
   void LaunchTry(const std::shared_ptr<Race>& race, int slot, int replica,
-                 const std::string& target, const std::string& body,
-                 const std::string& content_type, int budget_ms);
+                 uint64_t admission, const std::string& target,
+                 const std::string& body, const std::string& content_type,
+                 int budget_ms);
   int HedgeDelayMs();
   void RecordTryLatency(double ms);
 

@@ -182,38 +182,39 @@ TEST(CircuitBreakerTest, WalksTheStateMachine) {
   });
 
   // Below min_volume nothing trips, however bad the rate.
-  ASSERT_TRUE(breaker.AllowRequest());
-  breaker.RecordFailure();
-  ASSERT_TRUE(breaker.AllowRequest());
-  breaker.RecordFailure();
-  ASSERT_TRUE(breaker.AllowRequest());
-  breaker.RecordFailure();
+  uint64_t token = 0;
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
   EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
 
   // Fourth failure: volume reached, rate 4/4 >= 0.5 -> open.
-  ASSERT_TRUE(breaker.AllowRequest());
-  breaker.RecordFailure();
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
   EXPECT_EQ(breaker.state(), net::BreakerState::kOpen);
-  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.Admit(), 0u);
 
   // Cooldown elapses: one probe is admitted (half-open), a second is not.
   std::this_thread::sleep_for(std::chrono::milliseconds(40));
-  EXPECT_TRUE(breaker.AllowRequest());
+  ASSERT_NE(token = breaker.Admit(), 0u);
   EXPECT_EQ(breaker.state(), net::BreakerState::kHalfOpen);
-  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.Admit(), 0u);
 
   // Probe fails -> straight back to open.
-  breaker.RecordFailure();
+  breaker.RecordFailure(token);
   EXPECT_EQ(breaker.state(), net::BreakerState::kOpen);
 
   // Next probe succeeds -> closed, with history forgiven: a single new
   // failure must not re-trip.
   std::this_thread::sleep_for(std::chrono::milliseconds(40));
-  EXPECT_TRUE(breaker.AllowRequest());
-  breaker.RecordSuccess();
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordSuccess(token);
   EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
-  ASSERT_TRUE(breaker.AllowRequest());
-  breaker.RecordFailure();
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
   EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
 
   ASSERT_EQ(transitions.size(), 5u);
@@ -222,6 +223,84 @@ TEST(CircuitBreakerTest, WalksTheStateMachine) {
   EXPECT_EQ(transitions[2].second, net::BreakerState::kOpen);
   EXPECT_EQ(transitions[3].second, net::BreakerState::kHalfOpen);
   EXPECT_EQ(transitions[4].second, net::BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, AbandonFreesTheProbeSlot) {
+  net::CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_volume = 2;
+  options.failure_threshold = 0.5;
+  options.open_cooldown_ms = 10;
+  net::CircuitBreaker breaker(options);
+
+  uint64_t token = 0;
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
+  ASSERT_EQ(breaker.state(), net::BreakerState::kOpen);
+
+  // A probe admitted but never executed (e.g. hedge budget exhausted,
+  // pool rejecting at shutdown, try cancelled) must not wedge the
+  // breaker: abandoning it frees the slot for the next probe.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const uint64_t probe = breaker.Admit();
+  ASSERT_NE(probe, 0u);
+  ASSERT_EQ(breaker.state(), net::BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.Admit(), 0u);
+  breaker.Abandon(probe);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kHalfOpen);
+
+  const uint64_t next = breaker.Admit();
+  ASSERT_NE(next, 0u);
+  breaker.RecordSuccess(next);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
+
+  // Abandoning in the closed state is outcome-free noise: no window
+  // entry, no state change.
+  const uint64_t closed_token = breaker.Admit();
+  ASSERT_NE(closed_token, 0u);
+  breaker.Abandon(closed_token);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, StragglersFromAnEarlierEraAreIgnored) {
+  net::CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_volume = 2;
+  options.failure_threshold = 0.5;
+  options.open_cooldown_ms = 10;
+  net::CircuitBreaker breaker(options);
+
+  // A try admitted while closed, still in flight...
+  const uint64_t straggler = breaker.Admit();
+  ASSERT_NE(straggler, 0u);
+
+  // ...while other tries trip the breaker and the cooldown elapses.
+  uint64_t token = 0;
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
+  ASSERT_NE(token = breaker.Admit(), 0u);
+  breaker.RecordFailure(token);
+  ASSERT_EQ(breaker.state(), net::BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const uint64_t probe = breaker.Admit();
+  ASSERT_NE(probe, 0u);
+  ASSERT_EQ(breaker.state(), net::BreakerState::kHalfOpen);
+
+  // The closed-era straggler now fails: it must not masquerade as the
+  // probe (flip half-open back to open and strand the real probe).
+  breaker.RecordFailure(straggler);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kHalfOpen);
+
+  // The real probe's success still closes the breaker.
+  breaker.RecordSuccess(probe);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
+
+  // A stale success is equally inert: it must not seed the fresh
+  // window nor double-settle anything.
+  breaker.RecordSuccess(straggler);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
 }
 
 // ---------------------------------------------------------------------
