@@ -17,14 +17,25 @@
 // is busy, and added connections buy queueing, not throughput, on a
 // single-core host.
 
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -36,6 +47,7 @@
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/json.h"
+#include "net/pipelined_client.h"
 #include "net/router.h"
 #include "net/suggest_frontend.h"
 #include "net/wire.h"
@@ -48,6 +60,7 @@
 namespace {
 
 using namespace dssddi;
+namespace wire = dssddi::net::wire;
 
 struct LoadResult {
   double qps = 0.0;
@@ -80,6 +93,7 @@ LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
   std::atomic<uint64_t> shed{0};
   std::atomic<uint64_t> timed_out{0};
   std::atomic<uint64_t> errors{0};
+  std::atomic<bool> diagnosed{false};  // first transport error per cell
   std::vector<std::vector<double>> latencies(connections);
 
   util::Stopwatch clock;
@@ -88,7 +102,11 @@ LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
   for (int c = 0; c < connections; ++c) {
     clients.emplace_back([&, c] {
       net::HttpClient client;
-      if (!client.Connect("127.0.0.1", port).ok) {
+      if (const io::Status status = client.Connect("127.0.0.1", port);
+          !status.ok) {
+        if (!diagnosed.exchange(true)) {
+          std::printf("  (connect failed: %s)\n", status.message.c_str());
+        }
         errors.fetch_add(1);
         return;
       }
@@ -107,6 +125,9 @@ LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
             client.Request("POST", "/v1/suggest", bodies[i % bodies.size()],
                            request_options, &response);
         if (!status.ok) {
+          if (!diagnosed.exchange(true)) {
+            std::printf("  (request failed: %s)\n", status.message.c_str());
+          }
           errors.fetch_add(1);
           continue;
         }
@@ -141,6 +162,212 @@ LoadResult RunLoad(int port, const std::vector<std::string>& bodies,
   result.p90_ms = Percentile(merged, 0.90);
   result.p99_ms = Percentile(merged, 0.99);
   return result;
+}
+
+/// Multiplexed pipelined load on the raw frame protocol: one thread
+/// per connection keeps up to `depth` requests in flight on one
+/// socket — frames are stamped with per-connection request_ids, sent
+/// in window-refill bursts, and completions are correlated back by id
+/// in whatever order the server finishes them. depth=1 degenerates to
+/// a serial closed loop on frame transport. This is a windowed driver,
+/// not depth*connections blocked threads: the point of pipelining is
+/// amortizing syscalls and wakeups, so the driver must not spend more
+/// scheduler time than the protocol saves.
+LoadResult RunPipelinedLoad(int port, const std::vector<std::string>& frames,
+                            int connections, int depth, int total_requests,
+                            const net::ClientRequestOptions& request_options) {
+  (void)request_options;
+  std::atomic<int> next{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> timed_out{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(connections));
+
+  util::Stopwatch clock;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      using Clock = std::chrono::steady_clock;
+      auto& lane = latencies[static_cast<size_t>(c)];
+      lane.reserve(static_cast<size_t>(total_requests / connections + 1));
+
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        errors.fetch_add(1);
+        return;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      struct sockaddr_in addr {};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<uint16_t>(port));
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        errors.fetch_add(1);
+        ::close(fd);
+        return;
+      }
+
+      std::unordered_map<uint64_t, Clock::time_point> in_flight;
+      uint64_t next_id = 1;
+      std::string inbuf;
+      std::string burst;
+      bool exhausted = false;
+      bool dead = false;
+      while (!dead) {
+        // Refill the window: claim tickets and stamp fresh ids.
+        burst.clear();
+        while (!exhausted && in_flight.size() < static_cast<size_t>(depth)) {
+          const int i = next.fetch_add(1);
+          if (i >= total_requests) {
+            exhausted = true;
+            break;
+          }
+          std::string frame = frames[i % frames.size()];
+          wire::PatchRequestId(&frame, next_id);
+          in_flight.emplace(next_id, Clock::now());
+          ++next_id;
+          burst += frame;
+        }
+        if (!burst.empty()) {
+          size_t sent = 0;
+          while (sent < burst.size()) {
+            const ssize_t n = ::send(fd, burst.data() + sent,
+                                     burst.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0) {
+              dead = true;
+              break;
+            }
+            sent += static_cast<size_t>(n);
+          }
+        }
+        if (in_flight.empty()) break;  // exhausted and all answered
+
+        // Drain whatever completions have arrived (at least one).
+        char chunk[16384];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          dead = true;
+          break;
+        }
+        inbuf.append(chunk, static_cast<size_t>(n));
+        for (;;) {
+          wire::FrameView view;
+          std::string error;
+          const wire::ExtractResult result = wire::ExtractFrame(
+              inbuf.data(), inbuf.size(), 1 << 20, &view, &error);
+          if (result == wire::ExtractResult::kNeedMore) break;
+          if (result == wire::ExtractResult::kError) {
+            dead = true;
+            break;
+          }
+          const auto it = in_flight.find(view.request_id);
+          if (it != in_flight.end()) {
+            lane.push_back(std::chrono::duration<double, std::milli>(
+                               Clock::now() - it->second)
+                               .count());
+            in_flight.erase(it);
+            if (view.type == wire::FrameType::kSuggestResponse) {
+              ok.fetch_add(1);
+            } else {
+              wire::ErrorFrame reject;
+              std::string decode_error;
+              const std::string frame = inbuf.substr(0, view.frame_bytes);
+              const uint32_t status =
+                  wire::DecodeError(frame, &reject, &decode_error)
+                      ? reject.status
+                      : 500;
+              if (status == 429) {
+                shed.fetch_add(1);
+              } else if (status == 504) {
+                timed_out.fetch_add(1);
+              } else {
+                errors.fetch_add(1);
+              }
+            }
+          }
+          inbuf.erase(0, view.frame_bytes);
+        }
+      }
+      // A dead transport fails whatever was still outstanding.
+      errors.fetch_add(in_flight.size());
+      ::close(fd);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed = clock.ElapsedSeconds();
+
+  std::vector<double> merged;
+  for (auto& lane : latencies) {
+    merged.insert(merged.end(), lane.begin(), lane.end());
+  }
+  LoadResult result;
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.timed_out = timed_out.load();
+  result.errors = errors.load();
+  const uint64_t answered = result.ok + result.shed + result.timed_out;
+  result.qps = elapsed > 0 ? static_cast<double>(answered) / elapsed : 0.0;
+  result.p50_ms = Percentile(merged, 0.50);
+  result.p90_ms = Percentile(merged, 0.90);
+  result.p99_ms = Percentile(merged, 0.99);
+  return result;
+}
+
+/// Forks + execs examples/shard_cluster and parses its banner for the
+/// shared data port. Returns the child pid, or -1 on failure.
+pid_t SpawnShardCluster(const std::string& binary, const std::string& model,
+                        int shards, int* data_port) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return -1;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    const std::string shards_arg = std::to_string(shards);
+    ::execl(binary.c_str(), binary.c_str(), "--model", model.c_str(), "--port",
+            "0", "--admin-port", "0", "--shards", shards_arg.c_str(),
+            "--threads", "1", "--duration", "300", nullptr);
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  // Scan the banner for "shard cluster on http://HOST:PORT". The model
+  // is pre-trained, so the cluster is up within seconds.
+  std::string buffered;
+  char chunk[512];
+  *data_port = 0;
+  for (int spins = 0; spins < 300 && *data_port == 0; ++spins) {
+    struct pollfd pfd {pipe_fds[0], POLLIN, 0};
+    if (::poll(&pfd, 1, 100) <= 0) continue;
+    const ssize_t n = ::read(pipe_fds[0], chunk, sizeof(chunk) - 1);
+    if (n <= 0) break;
+    buffered.append(chunk, static_cast<size_t>(n));
+    const size_t at = buffered.find("shard cluster on http://");
+    if (at == std::string::npos) continue;
+    const size_t colon = buffered.find(':', at + 24);
+    if (colon == std::string::npos ||
+        buffered.find('\n', at) == std::string::npos) {
+      continue;
+    }
+    *data_port = std::atoi(buffered.c_str() + colon + 1);
+  }
+  ::close(pipe_fds[0]);
+  if (*data_port == 0) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return -1;
+  }
+  return pid;
 }
 
 void PrintRow(const char* codec, int connections, const LoadResult& result) {
@@ -300,7 +527,7 @@ int main(int argc, char** argv) {
   double p50_ratio_product = 1.0;
   int grid_cells = 0;
   uint64_t grid_errors = 0;
-  LoadResult single_conn_json, single_conn_binary;
+  LoadResult single_conn_json, single_conn_binary, serial_binary_8conn;
   for (const int connections : {1, 8, 32}) {
     // JSON first, binary second, same cell size; the warm cache carries
     // over, which favors neither codec (same keys, same hits).
@@ -318,6 +545,7 @@ int main(int argc, char** argv) {
       single_conn_json = json_result;
       single_conn_binary = frame_result;
     }
+    if (connections == 8) serial_binary_8conn = frame_result;
     grid_errors += json_result.errors + frame_result.errors;
     if (json_result.qps > 0 && frame_result.qps > 0) {
       qps_ratio_product *= frame_result.qps / json_result.qps;
@@ -340,7 +568,149 @@ int main(int argc, char** argv) {
               100.0 * open_stats.cache_hit_rate, open_stats.mean_batch_size,
               open_stats.p50_latency_ms, open_stats.p90_latency_ms,
               open_stats.p99_latency_ms, open_stats.max_latency_ms);
+
+  // ------------------------------------------------------------------
+  // Grid 1b: pipelined multiplexed wire protocol against the SAME
+  // server. Each cell keeps 8 connections but multiplexes `depth`
+  // concurrent requests per connection (request_id correlation,
+  // out-of-order completion, writev-coalesced responses). depth=1 is
+  // the serial control on the pipelined transport; the headline is
+  // depth=16 vs the one-request-per-connection binary cell above.
+  // ------------------------------------------------------------------
+  const auto record_pipelined = [&json](int connections, int depth,
+                                        const LoadResult& result) {
+    json.BeginObject()
+        .Key("grid").String("pipelined")
+        .Key("codec").String("binary")
+        .Key("connections").Int(connections)
+        .Key("depth").Int(depth)
+        .Key("qps").Double(result.qps)
+        .Key("p50_ms").Double(result.p50_ms)
+        .Key("p90_ms").Double(result.p90_ms)
+        .Key("p99_ms").Double(result.p99_ms)
+        .Key("ok").UInt(result.ok)
+        .Key("shed").UInt(result.shed)
+        .Key("timed_out").UInt(result.timed_out)
+        .Key("errors").UInt(result.errors)
+        .EndObject();
+  };
+  std::printf("\npipelined multiplexed wire (8 connections, depth = requests"
+              " in flight per connection):\n");
+  PrintHeaderRow();
+  LoadResult pipelined_depth16;
+  net::ClientRequestOptions pipelined_options = frame_options;
+  pipelined_options.deadline_ms = 30000;
+  for (const int depth : {1, 16}) {
+    const LoadResult result = RunPipelinedLoad(
+        server.port(), frame_bodies, 8, depth, num_requests,
+        pipelined_options);
+    PrintRow(depth == 1 ? "pipe:1" : "pipe:16", 8, result);
+    record_pipelined(8, depth, result);
+    grid_errors += result.errors;
+    if (depth == 16) pipelined_depth16 = result;
+  }
+  const double pipelined_speedup =
+      serial_binary_8conn.qps > 0.0
+          ? pipelined_depth16.qps / serial_binary_8conn.qps
+          : 0.0;
+  std::printf("\npipelined depth 16 vs serial binary at 8 conns: %.0f ->"
+              " %.0f qps (%.2fx)\n",
+              serial_binary_8conn.qps, pipelined_depth16.qps,
+              pipelined_speedup);
   server.Stop();
+
+  // ------------------------------------------------------------------
+  // Grid 1c: SO_REUSEPORT multi-process sharding. Forks the real
+  // examples/shard_cluster binary (model pre-exported to a temp file so
+  // the shards boot in seconds) and drives the shared data port with
+  // the binary codec at 8 connections per shard count. The kernel
+  // round-robins connections across shard processes. The scaling gate
+  // is advisory by default — 1-core CI cannot scale — and enforced via
+  // BENCH_SHARDS_MIN_SCALING on multi-core hardware.
+  // ------------------------------------------------------------------
+  double shard_scaling = 0.0;
+  uint64_t shard_errors = 0;
+  bool shard_gate_ok = true;
+  {
+    const char* bin_env = std::getenv("DSSDDI_SHARD_BIN");
+    std::string shard_bin =
+        (bin_env != nullptr && *bin_env != '\0') ? bin_env
+                                                 : "examples/shard_cluster";
+    if (::access(shard_bin.c_str(), X_OK) != 0) {
+      shard_bin = "./shard_cluster";
+    }
+    if (::access(shard_bin.c_str(), X_OK) != 0) {
+      std::printf("\nshards grid: shard_cluster binary not found (set"
+                  " DSSDDI_SHARD_BIN) — skipped\n");
+    } else {
+      const std::string shard_model =
+          "/tmp/dssddi_bench_net_model_" +
+          std::to_string(static_cast<int>(::getpid())) + ".dssb";
+      if (const io::Status saved = io::SaveInferenceBundle(shard_model, bundle);
+          !saved.ok) {
+        std::printf("\nshards grid: could not export model: %s — skipped\n",
+                    saved.message.c_str());
+      } else {
+        std::printf("\nmulti-process SO_REUSEPORT shards (binary codec, 8"
+                    " conns per cell):\n");
+        PrintHeaderRow();
+        const int shard_requests = std::min(num_requests, 2000);
+        double shard_qps[3] = {0.0, 0.0, 0.0};
+        int cell = 0;
+        for (const int shards : {1, 2, 4}) {
+          int data_port = 0;
+          const pid_t pid =
+              SpawnShardCluster(shard_bin, shard_model, shards, &data_port);
+          if (pid < 0) {
+            std::printf("shards=%d: spawn failed — cell skipped\n", shards);
+            ++cell;
+            continue;
+          }
+          const LoadResult result = RunLoad(data_port, frame_bodies, 8,
+                                            shard_requests, frame_options);
+          char label[16];
+          std::snprintf(label, sizeof(label), "shrd:%d", shards);
+          PrintRow(label, 8, result);
+          json.BeginObject()
+              .Key("grid").String("shards")
+              .Key("codec").String("binary")
+              .Key("connections").Int(8)
+              .Key("shards").Int(shards)
+              .Key("qps").Double(result.qps)
+              .Key("p50_ms").Double(result.p50_ms)
+              .Key("p90_ms").Double(result.p90_ms)
+              .Key("p99_ms").Double(result.p99_ms)
+              .Key("ok").UInt(result.ok)
+              .Key("shed").UInt(result.shed)
+              .Key("timed_out").UInt(result.timed_out)
+              .Key("errors").UInt(result.errors)
+              .EndObject();
+          shard_errors += result.errors;
+          shard_qps[cell++] = result.qps;
+          ::kill(pid, SIGTERM);
+          ::waitpid(pid, nullptr, 0);
+        }
+        ::unlink(shard_model.c_str());
+        if (shard_qps[0] > 0.0 && shard_qps[2] > 0.0) {
+          shard_scaling = shard_qps[2] / shard_qps[0];
+          const char* scaling_env = std::getenv("BENCH_SHARDS_MIN_SCALING");
+          const double min_scaling =
+              (scaling_env != nullptr && *scaling_env != '\0')
+                  ? atof(scaling_env) : 0.0;
+          std::printf("\nshard scaling 1 -> 4 processes: %.0f -> %.0f qps"
+                      " (%.2fx)%s\n",
+                      shard_qps[0], shard_qps[2], shard_scaling,
+                      min_scaling > 0.0 ? "" : " — advisory (single-core CI"
+                                               " cannot scale)");
+          if (min_scaling > 0.0 && shard_scaling < min_scaling) {
+            std::printf("shards grid: scaling %.2fx below enforced floor"
+                        " %.2fx\n", shard_scaling, min_scaling);
+            shard_gate_ok = false;
+          }
+        }
+      }
+    }
+  }
 
   // ------------------------------------------------------------------
   // Grid 2: tight admission — the gate sheds instead of queueing.
@@ -560,7 +930,18 @@ int main(int argc, char** argv) {
   deadline_server.Stop();
 
   bool ok = grid_errors == 0 && tight_result.errors == 0 &&
-            doomed.errors == 0 && qps_speedup > 1.0;
+            doomed.errors == 0 && qps_speedup > 1.0 && shard_errors == 0 &&
+            shard_gate_ok;
+  // Pipelining must at least double the one-request-per-connection
+  // binary throughput at depth 16 on the 8-connection cell. Short cells
+  // are warm-up noise, so the gate arms at the full request count.
+  const bool pipelined_gated = num_requests >= 2000;
+  if (pipelined_speedup < 2.0) {
+    std::printf("pipelined gate: %.2fx below 2.0x floor%s\n",
+                pipelined_speedup,
+                pipelined_gated ? "" : " (advisory at this cell size)");
+    if (pipelined_gated) ok = false;
+  }
   if (chaos) {
     ok = ok && chaos_errors == 0 && chaos_p99_ratio > 0.0 &&
          chaos_p99_ratio <= 0.7;
@@ -645,6 +1026,10 @@ int main(int argc, char** argv) {
   }
   json.EndArray();
   json.Key("traced_qps").Double(traced_result.qps);
+  json.Key("pipelined_vs_serial_qps_speedup").Double(pipelined_speedup);
+  if (shard_scaling > 0.0) {
+    json.Key("shard_scaling_1_to_4").Double(shard_scaling);
+  }
   json.Key("binary_vs_json_qps_speedup").Double(qps_speedup);
   json.Key("binary_vs_json_p50_speedup").Double(p50_speedup);
   json.Key("deadline_expired").UInt(deadline_stats.expired);

@@ -176,15 +176,30 @@ int main(int argc, char** argv) {
 
   auto registry = std::make_shared<obs::Registry>();
   auto recorder = std::make_shared<obs::FlightRecorder>();
+
+  // Router-level SLO burn-rate engine over the router's own request
+  // metrics. Its degraded bit is the hedge kill-switch: when the error
+  // budget is burning fast, hedged duplicates would amplify the
+  // overload that is burning it.
+  obs::SloEngineOptions slo_options;
+  slo_options.objectives =
+      obs::DefaultSuggestObjectives(static_cast<double>(per_try_ms));
+  auto slo = std::make_unique<obs::SloEngine>(registry, slo_options, nullptr,
+                                              recorder);
+
   net::RouterOptions router_options;
   router_options.max_tries = max_tries;
   router_options.per_try_timeout_ms = per_try_ms;
   router_options.hedging = hedging;
+  router_options.hedge_inhibit = [slo_engine = slo.get()] {
+    return slo_engine->degraded();
+  };
   net::Router router(endpoints, router_options, registry, recorder);
 
   net::RouterFrontendOptions frontend_options;
   frontend_options.default_deadline_ms = deadline_ms;
   net::RouterFrontend frontend(&router, frontend_options);
+  frontend.set_slo_engine(slo.get());
   frontend.set_replica_admin([&cluster](size_t index, bool up) {
     Replica* replica = cluster[index].get();
     if (up) {

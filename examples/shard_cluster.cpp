@@ -1,0 +1,536 @@
+// SO_REUSEPORT multi-process sharding: N forked worker processes each
+// run a full SuggestionService + SuggestFrontend + HttpServer bound to
+// the SAME data port with SO_REUSEPORT, so the kernel load-balances
+// accepted connections across shards with no proxy hop on the data
+// path. All shards serve the same bundle file — convert it to the v4
+// mmap format (examples/bundle_convert) and the model pages are shared
+// copy-on-write across every shard.
+//
+// The parent process supervises: it spawns workers (fork + exec of this
+// same binary with a hidden --worker flag), learns each shard's private
+// admin port over a pipe, and serves an aggregator endpoint:
+//
+//   GET  /healthz      parent liveness + alive shard count
+//   GET  /readyz       200 while at least one shard answers its readyz
+//   GET  /statsz       per-shard /statsz, wrapped in {"shards":[...]}
+//   GET  /metricsz     per-shard expositions concatenated with a
+//                      shard="N" label injected into every sample
+//   GET  /shardz       supervisor view: pid / ports / alive per shard
+//   POST /admin/shard  {"index":N,"action":"stop"|"start"} — graceful
+//                      SIGTERM drain of one shard, or restart it
+//
+//   ./examples/shard_cluster [options]
+//     --model PATH    bundle path (default /tmp/dssddi_model.dssb)
+//     --host H        bind address (default 127.0.0.1)
+//     --port P        shared data port, 0 = ephemeral (default 8095)
+//     --admin-port P  aggregator port, 0 = ephemeral (default 0)
+//     --shards N      worker process count (default 2)
+//     --threads T     scoring threads per shard (default 2)
+//     --duration S    seconds to serve; 0 = until SIGINT (default 0)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "example_bundle.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/suggest_frontend.h"
+#include "serve/service.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+// ---------------------------------------------------------------------
+// Worker process: one shard
+// ---------------------------------------------------------------------
+
+int RunShard(const std::string& model_path, const std::string& host,
+             int port, int index, int threads, int notify_fd) {
+  using namespace dssddi;
+
+  serve::ServiceOptions service_options;
+  service_options.num_threads = threads;
+  auto service = std::make_unique<serve::SuggestionService>(
+      examples::LoadOrTrainBundle(model_path), service_options);
+
+  auto injector = std::make_shared<net::fault::FaultInjector>();
+  net::SuggestFrontendOptions frontend_options;
+  frontend_options.fault_injector = injector;
+  net::SuggestFrontend frontend(service.get(), frontend_options);
+
+  // The data server joins the shared port: SO_REUSEPORT makes the
+  // kernel spread incoming connections across every shard bound to it.
+  net::HttpServerOptions data_options;
+  data_options.host = host;
+  data_options.port = port;
+  data_options.num_loops = 1;
+  data_options.reuseport = true;
+  data_options.recorder = service->flight_recorder();
+  data_options.fault = injector;
+  net::HttpServer data_server(data_options, frontend.AsHandler());
+  if (const io::Status status = data_server.Start(); !status.ok) {
+    std::printf("shard %d: data server: %s\n", index, status.message.c_str());
+    return 1;
+  }
+  frontend.AttachServer(&data_server);
+
+  // A private admin server on an ephemeral port lets the parent address
+  // THIS shard (the shared port lands on whichever shard the kernel
+  // picks).
+  net::HttpServerOptions admin_options;
+  admin_options.host = host;
+  admin_options.port = 0;
+  admin_options.num_loops = 1;
+  admin_options.recorder = service->flight_recorder();
+  net::HttpServer admin_server(admin_options, frontend.AsHandler());
+  if (const io::Status status = admin_server.Start(); !status.ok) {
+    std::printf("shard %d: admin server: %s\n", index, status.message.c_str());
+    return 1;
+  }
+
+  if (notify_fd >= 0) {
+    char line[64];
+    const int n = std::snprintf(line, sizeof(line), "%d %d\n",
+                                admin_server.port(), data_server.port());
+    if (::write(notify_fd, line, static_cast<size_t>(n)) != n) {
+      std::printf("shard %d: notify pipe write failed\n", index);
+    }
+    ::close(notify_fd);
+  }
+  std::printf("shard %d serving on http://%s:%d (admin :%d, pid %d)\n", index,
+              host.c_str(), data_server.port(), admin_server.port(),
+              static_cast<int>(::getpid()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  // Graceful drain: Stop() closes the listener (SO_REUSEPORT siblings
+  // keep absorbing new connections immediately) and flushes in-flight
+  // responses before returning.
+  data_server.Stop();
+  admin_server.Stop();
+  std::printf("shard %d drained\n", index);
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Parent process: supervisor + aggregator
+// ---------------------------------------------------------------------
+
+struct Shard {
+  int index = 0;
+  pid_t pid = -1;
+  int admin_port = 0;
+  int data_port = 0;
+  bool alive = false;
+};
+
+struct Supervisor {
+  std::string argv0;
+  std::string model_path;
+  std::string host;
+  int data_port = 0;
+  int threads = 2;
+  std::mutex mutex;
+  std::vector<Shard> shards;
+
+  bool Spawn(int index) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) return false;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: exec ourselves in worker mode. exec (rather than running
+      // the shard inline) matters for restarts — the parent has threads
+      // by then, and a fresh image is the only safe post-fork state.
+      ::close(pipe_fds[0]);
+      std::string port_arg = std::to_string(data_port);
+      std::string index_arg = std::to_string(index);
+      std::string threads_arg = std::to_string(threads);
+      std::string notify_arg = std::to_string(pipe_fds[1]);
+      const char* args[] = {argv0.c_str(),       "--worker",
+                            index_arg.c_str(),   "--model",
+                            model_path.c_str(),  "--host",
+                            host.c_str(),        "--port",
+                            port_arg.c_str(),    "--threads",
+                            threads_arg.c_str(), "--notify-fd",
+                            notify_arg.c_str(),  nullptr};
+      ::execv(argv0.c_str(), const_cast<char**>(args));
+      std::perror("execv");
+      ::_exit(127);
+    }
+    ::close(pipe_fds[1]);
+    // First line from the worker is "admin_port data_port".
+    std::string line;
+    char ch;
+    while (::read(pipe_fds[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+    ::close(pipe_fds[0]);
+    int admin_port = 0, bound_port = 0;
+    if (std::sscanf(line.c_str(), "%d %d", &admin_port, &bound_port) != 2) {
+      std::printf("shard %d: bad notify line '%s'\n", index, line.c_str());
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    Shard& shard = shards[static_cast<size_t>(index)];
+    shard.index = index;
+    shard.pid = pid;
+    shard.admin_port = admin_port;
+    shard.data_port = bound_port;
+    shard.alive = true;
+    if (data_port == 0) data_port = bound_port;  // first shard pins it
+    return true;
+  }
+
+  bool StopShard(int index) {
+    pid_t pid = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      Shard& shard = shards[static_cast<size_t>(index)];
+      if (!shard.alive) return true;
+      pid = shard.pid;
+    }
+    ::kill(pid, SIGTERM);
+    ::waitpid(pid, nullptr, 0);
+    std::lock_guard<std::mutex> lock(mutex);
+    shards[static_cast<size_t>(index)].alive = false;
+    return true;
+  }
+
+  /// Reap shards that died on their own (crash, OOM kill).
+  void ReapDead() {
+    for (;;) {
+      const pid_t pid = ::waitpid(-1, nullptr, WNOHANG);
+      if (pid <= 0) return;
+      std::lock_guard<std::mutex> lock(mutex);
+      for (Shard& shard : shards) {
+        if (shard.pid == pid) shard.alive = false;
+      }
+    }
+  }
+};
+
+/// One short admin exchange against a shard. Empty string on failure.
+std::string FetchFromShard(const std::string& host, int port,
+                           const std::string& target, int* status_out) {
+  using namespace dssddi;
+  net::HttpClient client;
+  if (!client.Connect(host, port, 500).ok) return "";
+  net::ClientRequestOptions options;
+  options.deadline_ms = 1000;
+  net::ClientResponse response;
+  if (!client.Request("GET", target, "", options, &response).ok) return "";
+  if (status_out != nullptr) *status_out = response.status;
+  return response.body;
+}
+
+/// Injects shard="N" into every sample line of a Prometheus exposition
+/// so the aggregate keeps per-shard series distinct.
+std::string InjectShardLabel(const std::string& text, int shard) {
+  std::string label = "shard=\"" + std::to_string(shard) + "\"";
+  std::string out;
+  out.reserve(text.size() + 256);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') {
+      out += line;
+      out.push_back('\n');
+      continue;
+    }
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    if (brace != std::string::npos &&
+        (space == std::string::npos || brace < space)) {
+      out += line.substr(0, brace + 1) + label + "," + line.substr(brace + 1);
+    } else if (space != std::string::npos) {
+      out += line.substr(0, space) + "{" + label + "}" + line.substr(space);
+    } else {
+      out += line;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dssddi;
+
+  // A supervisor parsing our banner may close its end of the stdout
+  // pipe once it has the ports; a serving process must not die of
+  // SIGPIPE because its log consumer went away (socket writes already
+  // use MSG_NOSIGNAL).
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::string model_path = "/tmp/dssddi_model.dssb";
+  std::string host = "127.0.0.1";
+  int port = 8095;
+  int admin_port = 0;
+  int num_shards = 2;
+  int threads = 2;
+  int duration = 0;
+  int worker_index = -1;
+  int notify_fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--model") && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+      host = argv[++i];
+    } else if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--admin-port") && i + 1 < argc) {
+      admin_port = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--shards") && i + 1 < argc) {
+      num_shards = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--duration") && i + 1 < argc) {
+      duration = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--worker") && i + 1 < argc) {
+      worker_index = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--notify-fd") && i + 1 < argc) {
+      notify_fd = std::atoi(argv[++i]);
+    } else {
+      std::printf(
+          "usage: %s [--model PATH] [--host H] [--port P] [--admin-port P]"
+          " [--shards N] [--threads T] [--duration S]\n",
+          argv[0]);
+      return 1;
+    }
+  }
+  if (worker_index >= 0) {
+    return RunShard(model_path, host, port, worker_index, threads, notify_fd);
+  }
+  if (num_shards < 1) num_shards = 1;
+
+  // Materialize the bundle before forking so every shard loads (and,
+  // for v4, mmap-shares) the same file instead of racing to train it.
+  { auto bundle = examples::LoadOrTrainBundle(model_path); }
+
+  // Pin the shared data port up front when asked for an ephemeral one,
+  // so every shard binds the same number.
+  if (port == 0) {
+    const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int one = 1;
+    ::setsockopt(probe, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    if (::bind(probe, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) == 0) {
+      socklen_t len = sizeof(addr);
+      ::getsockname(probe, reinterpret_cast<struct sockaddr*>(&addr), &len);
+      port = static_cast<int>(ntohs(addr.sin_port));
+    }
+    ::close(probe);
+    if (port == 0) {
+      std::printf("error: could not pick an ephemeral data port\n");
+      return 1;
+    }
+  }
+
+  Supervisor supervisor;
+  supervisor.argv0 = argv[0];
+  supervisor.model_path = model_path;
+  supervisor.host = host;
+  supervisor.data_port = port;
+  supervisor.threads = threads;
+  supervisor.shards.resize(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    if (!supervisor.Spawn(i)) {
+      std::printf("error: could not spawn shard %d\n", i);
+      return 1;
+    }
+  }
+
+  // Aggregator: fans admin reads out to every live shard's private
+  // admin server. Exchanges are short (1s deadline) and admin traffic
+  // is light, so blocking the single loop thread here is fine.
+  auto recorder = std::make_shared<obs::FlightRecorder>();
+  auto handler = [&supervisor](const net::HttpRequest& request,
+                               net::ResponseWriter writer) {
+    std::string path = request.target;
+    if (const size_t q = path.find('?'); q != std::string::npos) {
+      path.resize(q);
+    }
+    supervisor.ReapDead();
+    std::vector<Shard> shards;
+    {
+      std::lock_guard<std::mutex> lock(supervisor.mutex);
+      shards = supervisor.shards;
+    }
+    net::HttpResponse response;
+    if (path == "/healthz" || path == "/shardz") {
+      int alive = 0;
+      for (const Shard& shard : shards) alive += shard.alive ? 1 : 0;
+      net::JsonWriter w;
+      w.BeginObject()
+          .Key("status").String("ok")
+          .Key("shards").Int(static_cast<int64_t>(shards.size()))
+          .Key("alive").Int(alive)
+          .Key("data_port").Int(supervisor.data_port)
+          .Key("members").BeginArray();
+      for (const Shard& shard : shards) {
+        w.BeginObject()
+            .Key("index").Int(shard.index)
+            .Key("pid").Int(shard.pid)
+            .Key("admin_port").Int(shard.admin_port)
+            .Key("alive").Bool(shard.alive)
+            .EndObject();
+      }
+      w.EndArray().EndObject();
+      response.body = w.str();
+    } else if (path == "/readyz") {
+      bool ready = false;
+      for (const Shard& shard : shards) {
+        if (!shard.alive) continue;
+        int status = 0;
+        FetchFromShard(supervisor.host, shard.admin_port, "/readyz", &status);
+        if (status == 200) {
+          ready = true;
+          break;
+        }
+      }
+      response.status = ready ? 200 : 503;
+      response.body = ready ? "{\"ready\":true}" : "{\"ready\":false}";
+    } else if (path == "/statsz" || path == "/sloz") {
+      std::string out = "{\"shards\":[";
+      bool first = true;
+      for (const Shard& shard : shards) {
+        if (!first) out.push_back(',');
+        first = false;
+        std::string body =
+            shard.alive ? FetchFromShard(supervisor.host, shard.admin_port,
+                                         path, nullptr)
+                        : "";
+        out += body.empty() ? "{\"error\":\"shard unreachable\"}" : body;
+      }
+      out += "]}";
+      response.body = std::move(out);
+    } else if (path == "/metricsz") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      for (const Shard& shard : shards) {
+        if (!shard.alive) continue;
+        const std::string body = FetchFromShard(
+            supervisor.host, shard.admin_port, "/metricsz", nullptr);
+        response.body += InjectShardLabel(body, shard.index);
+      }
+    } else if (path == "/admin/shard" && request.method == "POST") {
+      net::JsonValue body;
+      std::string error;
+      const net::JsonValue* action = nullptr;
+      const net::JsonValue* index = nullptr;
+      if (!net::ParseJson(request.body, &body, &error) ||
+          (action = body.Find("action")) == nullptr || !action->is_string() ||
+          (index = body.Find("index")) == nullptr) {
+        response.status = 400;
+        response.body = "{\"error\":\"body wants {\\\"index\\\":N,"
+                        "\\\"action\\\":\\\"stop\\\"|\\\"start\\\"}\"}";
+      } else {
+        const int i = static_cast<int>(index->AsInt(-1));
+        if (i < 0 || i >= static_cast<int>(shards.size())) {
+          response.status = 400;
+          response.body = "{\"error\":\"shard index out of range\"}";
+        } else if (action->AsString() == "stop") {
+          supervisor.StopShard(i);
+          response.body = "{\"ok\":true,\"action\":\"stop\"}";
+        } else if (action->AsString() == "start") {
+          bool already = false;
+          {
+            std::lock_guard<std::mutex> lock(supervisor.mutex);
+            already = supervisor.shards[static_cast<size_t>(i)].alive;
+          }
+          if (already || supervisor.Spawn(i)) {
+            response.body = "{\"ok\":true,\"action\":\"start\"}";
+          } else {
+            response.status = 500;
+            response.body = "{\"error\":\"spawn failed\"}";
+          }
+        } else {
+          response.status = 400;
+          response.body = "{\"error\":\"action wants stop|start\"}";
+        }
+      }
+    } else {
+      response.status = 404;
+      response.body = "{\"error\":\"no such route\"}";
+    }
+    writer.Send(std::move(response));
+  };
+
+  net::HttpServerOptions aggregator_options;
+  aggregator_options.host = host;
+  aggregator_options.port = admin_port;
+  aggregator_options.num_loops = 1;
+  aggregator_options.recorder = recorder;
+  net::HttpServer aggregator(aggregator_options, handler);
+  if (const io::Status status = aggregator.Start(); !status.ok) {
+    std::printf("error: aggregator: %s\n", status.message.c_str());
+    return 1;
+  }
+
+  std::printf("shard cluster on http://%s:%d (%d shards, SO_REUSEPORT)\n",
+              host.c_str(), port, num_shards);
+  std::printf("aggregator on http://%s:%d\n", host.c_str(), aggregator.port());
+  std::printf("try:  curl http://%s:%d/shardz\n", host.c_str(),
+              aggregator.port());
+  std::printf("      curl -d '{\"index\":0,\"action\":\"stop\"}'"
+              " http://%s:%d/admin/shard\n",
+              host.c_str(), aggregator.port());
+  // Supervisors and smoke scripts tail this banner for bound ports.
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  util::Stopwatch clock;
+  while (!g_stop && (duration == 0 || clock.ElapsedSeconds() < duration)) {
+    supervisor.ReapDead();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  aggregator.Stop();
+  int alive = 0;
+  for (int i = 0; i < num_shards; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(supervisor.mutex);
+      if (!supervisor.shards[static_cast<size_t>(i)].alive) continue;
+      ++alive;
+    }
+    supervisor.StopShard(i);
+  }
+  std::printf("\nshard cluster stopped: %d of %d shards were alive\n", alive,
+              num_shards);
+  return 0;
+}

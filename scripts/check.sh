@@ -29,9 +29,11 @@
 # code this exists to check. CHECK_TSAN_ONLY=1 skips the plain pass.
 #
 # Opt-in chaos pass: set CHECK_CHAOS=1 and the chaos suite reruns under
-# three fixed fault seeds (DSSDDI_CHAOS_SEED), then the replica-cluster
-# smoke script boots a real 3-replica cluster, kills a replica mid-load,
-# and asserts /readyz flips and recovers with zero 5xx on /v1/suggest.
+# three fixed fault seeds (DSSDDI_CHAOS_SEED), then the cluster smoke
+# script boots a real 3-replica cluster, kills a replica mid-load, and
+# asserts /readyz flips and recovers with zero 5xx on /v1/suggest —
+# then does the same drill against a 2-process SO_REUSEPORT shard
+# cluster (kill a shard under load, zero non-200s, /shardz rejoin).
 # Set CHECK_CHAOS_SANITIZE to a -fsanitize list to run this leg (seed
 # matrix AND the process-level drill) against an instrumented build
 # without paying for the full CHECK_SANITIZE suite. CHECK_CHAOS_ONLY=1
@@ -108,14 +110,15 @@ if [[ -n "${CHECK_CHAOS:-}" ]]; then
   else
     cmake -B "$CHAOS_DIR" -S .
   fi
-  cmake --build "$CHAOS_DIR" -j "$(nproc)" --target chaos_test replica_cluster
+  cmake --build "$CHAOS_DIR" -j "$(nproc)" \
+        --target chaos_test replica_cluster shard_cluster
   # Fixed seeds, not random: a failure reproduces with the seed in hand.
   for seed in 11 23 47; do
     echo "== chaos suite (DSSDDI_CHAOS_SEED=${seed}) =="
     DSSDDI_CHAOS_SEED="$seed" \
       ctest --test-dir "$CHAOS_DIR" -R '^chaos_test$' --output-on-failure
   done
-  echo "== replica-cluster kill/recover drill =="
+  echo "== replica + shard cluster kill/recover drills =="
   scripts/cluster_smoke.sh "$CHAOS_DIR"
 fi
 
@@ -141,7 +144,7 @@ if [[ -n "${CHECK_TSAN:-}" ]]; then
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   # io_test rides along for the mmap lifecycle: concurrent suites swap
   # mapped bundles under load, so the map/unmap paths get TSan coverage.
-  TSAN_TESTS='^(serve_test|net_test|chaos_test|obs_metrics_test|obs_exposition_test|obs_log_test|obs_slo_test|quantize_serving_test|io_test)$'
+  TSAN_TESTS='^(serve_test|net_test|pipeline_test|chaos_test|obs_metrics_test|obs_exposition_test|obs_log_test|obs_slo_test|quantize_serving_test|io_test)$'
   for backend in $GEMM_BACKENDS; do
     for quantize in $QUANTIZE_MODES; do
       echo "== tsan ctest (${TSAN_DIR}, DSSDDI_GEMM_BACKEND=${backend}, DSSDDI_QUANTIZE=${quantize}) =="

@@ -12,23 +12,35 @@
 #      count) and recovers to all-available after the restart,
 #   3. the router's own metrics confirm zero 5xx on /v1/suggest.
 #
+# Then the shard drill: boots examples/shard_cluster (2 worker
+# processes sharing one SO_REUSEPORT data port, reusing the bundle the
+# replica drill trained), drives load on the shared port, stops one
+# shard through the aggregator's /admin/shard mid-load, and asserts
+# zero client-visible non-200s throughout plus /shardz rejoin after the
+# restart.
+#
 # The chaos_test suite proves the same properties in-process; this
-# script proves them against the real binary with real sockets and a
-# real process watching its banner — i.e. what an operator would do.
+# script proves them against the real binaries with real sockets and a
+# real process watching their banners — i.e. what an operator would do.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 CLUSTER_BIN="$BUILD_DIR/examples/replica_cluster"
+SHARD_BIN="$BUILD_DIR/examples/shard_cluster"
 [[ -x "$CLUSTER_BIN" ]] || { echo "error: $CLUSTER_BIN not built" >&2; exit 1; }
+[[ -x "$SHARD_BIN" ]] || { echo "error: $SHARD_BIN not built" >&2; exit 1; }
 
 WORK_DIR=$(mktemp -d)
 CLUSTER_PID=""
+SHARD_PID=""
 cleanup() {
-  if [[ -n "$CLUSTER_PID" ]] && kill -0 "$CLUSTER_PID" 2>/dev/null; then
-    kill "$CLUSTER_PID" 2>/dev/null || true
-    wait "$CLUSTER_PID" 2>/dev/null || true
-  fi
+  for pid in "$CLUSTER_PID" "$SHARD_PID"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$WORK_DIR"
 }
 trap cleanup EXIT
@@ -67,11 +79,11 @@ BODY="$WORK_DIR/body.json"
 } >"$BODY"
 
 FAILS=0
-drive() {  # drive N — N suggest requests; counts non-200s in FAILS
-  local n="$1" code
+drive() {  # drive N [base] — N suggest requests; counts non-200s in FAILS
+  local n="$1" base="${2:-$BASE}" code
   for ((r = 0; r < n; ++r)); do
     code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 \
-           -d @"$BODY" "$BASE/v1/suggest" || echo 000)
+           -d @"$BODY" "$base/v1/suggest" || echo 000)
     if [[ "$code" != 200 ]]; then
       FAILS=$((FAILS + 1))
       echo "  non-200 on /v1/suggest: $code" >&2
@@ -131,5 +143,91 @@ if [[ "$FIVEXX" != 0 || "$FAILS" != 0 ]]; then
   exit 1
 fi
 
-echo "cluster smoke: PASS (readyz flipped to $READY_DEGRADED and recovered," \
+echo "replica drill: PASS (readyz flipped to $READY_DEGRADED and recovered," \
      "0 of the drill's suggest requests failed, 5xx=0)"
+
+# Replica drill done; free its ports before the shard drill boots.
+kill "$CLUSTER_PID" 2>/dev/null || true
+wait "$CLUSTER_PID" 2>/dev/null || true
+CLUSTER_PID=""
+
+echo "== phase 5: boot shard cluster (2 processes, one SO_REUSEPORT port) =="
+SHARD_LOG="$WORK_DIR/shards.log"
+# Reuses the bundle the replica drill trained, so boot is load-only.
+setsid "$SHARD_BIN" --model "$WORK_DIR/model.dssb" --port 0 --admin-port 0 \
+  --shards 2 --threads 1 --duration 300 >"$SHARD_LOG" 2>&1 &
+SHARD_PID=$!
+
+DATA_PORT="" AGG_PORT=""
+for _ in $(seq 1 120); do
+  if grep -q '^aggregator on ' "$SHARD_LOG" 2>/dev/null; then
+    DATA_PORT=$(sed -nE \
+      's|^shard cluster on http://[^:]+:([0-9]+).*|\1|p' "$SHARD_LOG")
+    AGG_PORT=$(sed -nE \
+      's|^aggregator on http://[^:]+:([0-9]+).*|\1|p' "$SHARD_LOG")
+    break
+  fi
+  kill -0 "$SHARD_PID" 2>/dev/null || { cat "$SHARD_LOG" >&2; exit 1; }
+  sleep 1
+done
+[[ -n "$DATA_PORT" && -n "$AGG_PORT" ]] \
+  || { echo "error: no shard banner" >&2; cat "$SHARD_LOG" >&2; exit 1; }
+DATA_BASE="http://127.0.0.1:$DATA_PORT"
+AGG_BASE="http://127.0.0.1:$AGG_PORT"
+echo "shards up: data $DATA_BASE, aggregator $AGG_BASE (pid $SHARD_PID)"
+
+shards_alive() {  # parse "alive":N out of the aggregator's /shardz
+  curl -s --max-time 5 "$AGG_BASE/shardz" \
+    | sed -nE 's/.*"alive":([0-9]+).*/\1/p'
+}
+
+[[ "$(shards_alive)" == 2 ]] \
+  || { echo "error: expected 2 shards alive" >&2; exit 1; }
+drive 20 "$DATA_BASE"
+
+echo "== phase 6: stop shard 0 mid-load =="
+drive 5 "$DATA_BASE"
+curl -s --max-time 5 -d '{"index":0,"action":"stop"}' "$AGG_BASE/admin/shard" \
+  >/dev/null
+# The kernel stops routing fresh connections the moment the dead
+# shard's listener closes; every request here must still answer 200
+# off the surviving shard.
+drive 20 "$DATA_BASE"
+SHARDS_DEGRADED=$(shards_alive)
+echo "  /shardz alive=$SHARDS_DEGRADED after kill"
+[[ "$SHARDS_DEGRADED" == 1 ]] \
+  || { echo "error: /shardz never flipped (alive=$SHARDS_DEGRADED)" >&2; exit 1; }
+
+echo "== phase 7: restart shard 0, wait for rejoin =="
+curl -s --max-time 5 -d '{"index":0,"action":"start"}' "$AGG_BASE/admin/shard" \
+  >/dev/null
+REJOINED=""
+for _ in $(seq 1 60); do
+  if [[ "$(shards_alive)" == 2 ]]; then
+    REJOINED=1
+    break
+  fi
+  sleep 0.5
+done
+[[ -n "$REJOINED" ]] || { echo "error: shard 0 never rejoined" >&2; exit 1; }
+drive 10 "$DATA_BASE"
+echo "  /shardz rejoined to alive=2"
+
+echo "== phase 8: shard zero-5xx assertion =="
+SHARD_METRICS="$WORK_DIR/shard_metrics.txt"
+curl -s --max-time 5 "$AGG_BASE/metricsz" >"$SHARD_METRICS"
+# Per-shard exposition must carry the shard label; no 5xx family may be
+# nonzero on any shard (the restarted shard's counters restart at 0).
+grep -q 'shard="' "$SHARD_METRICS" \
+  || { echo "error: no shard labels in aggregated /metricsz" >&2; exit 1; }
+SHARD_5XX=$(sed -nE \
+  's/^dssddi_http_responses_total\{.*class="5xx".*\} ([0-9]+).*/\1/p' \
+  "$SHARD_METRICS" | awk '{sum += $1} END {print sum + 0}')
+if [[ "$SHARD_5XX" != 0 || "$FAILS" != 0 ]]; then
+  echo "error: shard 5xx=$SHARD_5XX client-side failures=$FAILS" >&2
+  exit 1
+fi
+
+echo "cluster smoke: PASS (replica drill: readyz flipped to" \
+     "$READY_DEGRADED and recovered; shard drill: alive flipped to" \
+     "$SHARDS_DEGRADED and rejoined; 0 failed requests, 5xx=0)"

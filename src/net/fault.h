@@ -110,7 +110,19 @@ class FaultInjector {
   /// {"spec":...,"active":...,"counters":{...}} for /admin/fault.
   std::string DescribeJson() const;
 
+  /// Op observation: Probe() counts every socket operation that passed
+  /// through it — armed or not — so tests can assert syscall-level
+  /// behavior (e.g. "N responses flushed in one writev") by attaching a
+  /// disarmed injector and reading the per-op totals.
+  uint64_t op_count(FaultOp op) const {
+    return op_observed_[static_cast<int>(op)].load(std::memory_order_relaxed);
+  }
+  void ObserveOp(FaultOp op) {
+    op_observed_[static_cast<int>(op)].fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
+  std::atomic<uint64_t> op_observed_[3] = {{0}, {0}, {0}};
   std::atomic<bool> active_{false};
   std::shared_ptr<const FaultSpec> spec_;  // guarded by atomic_load/store
   std::atomic<uint64_t> ticket_{0};
@@ -126,7 +138,9 @@ class FaultInjector {
 /// compare plus one relaxed load when an injector is attached, a single
 /// branch when none is.
 inline FaultAction Probe(FaultInjector* injector, FaultOp op) {
-  if (injector == nullptr || !injector->active()) return {};
+  if (injector == nullptr) return {};
+  injector->ObserveOp(op);
+  if (!injector->active()) return {};
   return injector->Decide(op);
 }
 

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,6 +15,7 @@
 #include <utility>
 
 #include "net/json.h"
+#include "net/wire.h"
 #include "util/logging.h"
 
 namespace dssddi::net {
@@ -27,6 +29,10 @@ constexpr char kOverloadResponse[] =
     "Connection: close\r\n"
     "\r\n"
     "{\"error\":\"connection limit reached\"}";
+
+/// iovec batch size per vectored write; far above what a flush
+/// typically holds, far below IOV_MAX.
+constexpr int kMaxIov = 64;
 
 io::Status MakeListenSocket(const std::string& host, int port, int backlog,
                             bool want_reuseport, bool* got_reuseport,
@@ -87,13 +93,16 @@ void ResponseWriter::Send(HttpResponse response) const {
   HttpServer* const server = target_->server;
   const size_t loop_index = target_->loop_index;
   const uint64_t conn_id = target_->conn_id;
+  const bool frame = target_->frame;
+  const uint64_t request_id = target_->request_id;
   // The posted task only runs while the loop is alive, and the loop only
   // dies inside HttpServer::Stop — which joins before the server's
   // connection tables are torn down. A Send after Stop returns false
   // here and the response is dropped (the socket is gone anyway).
-  target_->loop->Post([server, loop_index, conn_id,
+  target_->loop->Post([server, loop_index, conn_id, frame, request_id,
                        response = std::move(response)]() mutable {
-    server->CompleteRequest(loop_index, conn_id, std::move(response));
+    server->CompleteRequest(loop_index, conn_id, std::move(response), frame,
+                            request_id);
   });
 }
 
@@ -107,6 +116,10 @@ HttpServer::HttpServer(const HttpServerOptions& options, Handler handler)
   if (options_.num_loops < 1) options_.num_loops = 1;
   if (options_.backlog < 1) options_.backlog = 1;
   if (options_.max_connections < 1) options_.max_connections = 1;
+  if (options_.max_pipeline_depth < 1) options_.max_pipeline_depth = 1;
+  if (options_.max_pipeline_write_bytes < 4096) {
+    options_.max_pipeline_write_bytes = 4096;
+  }
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -118,7 +131,7 @@ io::Status HttpServer::Start() {
   // whether this kernel honors SO_REUSEPORT.
   int first_fd = -1;
   bool first_reuseport = false;
-  const bool want_reuseport = options_.num_loops > 1;
+  const bool want_reuseport = options_.num_loops > 1 || options_.reuseport;
   io::Status status =
       MakeListenSocket(options_.host, options_.port, options_.backlog,
                        want_reuseport, &first_reuseport, &first_fd, &port_);
@@ -305,12 +318,19 @@ void HttpServer::HandleIo(size_t loop_index, uint64_t conn_id, uint32_t events) 
     return;
   }
   if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) {
-    if (!ReadInput(loop_index, conn)) return;
-    if (!ProcessConnection(loop_index, conn)) return;
+    // Backpressured frame connections leave bytes in the kernel buffer;
+    // the completion path resumes reading explicitly, which re-arms the
+    // edge-triggered readiness we are ignoring here.
+    if (!conn->read_paused) {
+      if (!ReadInput(loop_index, conn)) return;
+      if (!ProcessConnection(loop_index, conn)) return;
+    }
   }
   if (events & EPOLLOUT) {
     if (!FlushOutput(loop_index, conn)) return;
-    if (!conn->awaiting_response && !conn->close_after_flush) {
+    if (conn->mode == Connection::Mode::kFrame) {
+      ResumeFrameProcessing(loop_index, conn);
+    } else if (!conn->awaiting_response && !conn->close_after_flush) {
       ProcessConnection(loop_index, conn);
     }
   }
@@ -358,6 +378,31 @@ bool HttpServer::ReadInput(size_t loop_index, Connection* conn) {
 }
 
 bool HttpServer::ProcessConnection(size_t loop_index, Connection* conn) {
+  if (conn->mode == Connection::Mode::kUnknown) {
+    // Sniff the protocol from the first bytes: the frame magic ("SD")
+    // collides with no HTTP method. One ambiguous buffered byte ('S')
+    // waits for its successor rather than feeding the HTTP parser bytes
+    // that may turn out to be a frame.
+    if (conn->in.size() >= 2) {
+      conn->mode = wire::LooksLikeFramePrefix(conn->in.data(), 2)
+                       ? Connection::Mode::kFrame
+                       : Connection::Mode::kHttp;
+    } else if (!conn->in.empty() &&
+               !wire::LooksLikeFramePrefix(conn->in.data(), conn->in.size())) {
+      conn->mode = Connection::Mode::kHttp;
+    } else if (conn->eof) {
+      conn->mode = Connection::Mode::kHttp;  // let the parser 400 it
+    } else {
+      return true;  // undecidable with 0-1 bytes; wait for more
+    }
+  }
+  if (conn->mode == Connection::Mode::kFrame) {
+    return ProcessFrames(loop_index, conn);
+  }
+  return ProcessHttp(loop_index, conn);
+}
+
+bool HttpServer::ProcessHttp(size_t loop_index, Connection* conn) {
   while (!conn->awaiting_response && !conn->close_after_flush &&
          !conn->in.empty()) {
     size_t consumed = 0;
@@ -379,7 +424,7 @@ bool HttpServer::ProcessConnection(size_t loop_index, Connection* conn) {
       // escape them or the error body itself is malformed JSON.
       error.body = "{\"error\":\"" + JsonEscape(conn->parser.error_reason()) + "\"}";
       error.close = true;
-      conn->out += SerializeResponse(error, /*keep_alive=*/false);
+      QueueOutput(conn, SerializeResponse(error, /*keep_alive=*/false));
       conn->close_after_flush = true;
       break;
     }
@@ -400,8 +445,102 @@ bool HttpServer::ProcessConnection(size_t loop_index, Connection* conn) {
     writer.target_->conn_id = conn->id;
     handler_(request, writer);
   }
-  if (conn->eof && !conn->awaiting_response && conn->out.empty() &&
-      conn->out_offset == 0) {
+  if (conn->eof && !conn->awaiting_response && conn->out_bytes == 0) {
+    CloseConnection(loop_index, conn->id);
+    return false;
+  }
+  return FlushOutput(loop_index, conn);
+}
+
+bool HttpServer::PipelineSaturated(const Connection* conn) const {
+  return conn->frame_pending.size() >=
+             static_cast<size_t>(options_.max_pipeline_depth) ||
+         conn->out_bytes > options_.max_pipeline_write_bytes;
+}
+
+bool HttpServer::ProcessFrames(size_t loop_index, Connection* conn) {
+  // A forged length prefix may not balloon the buffer: frames are capped
+  // at the same body limit the HTTP route enforces (plus its own
+  // envelope slack, which frames don't need).
+  const size_t max_payload = options_.limits.max_body_bytes;
+  while (!conn->close_after_flush && !conn->in.empty() &&
+         !PipelineSaturated(conn)) {
+    wire::FrameView view;
+    std::string error;
+    const wire::ExtractResult result = wire::ExtractFrame(
+        conn->in.data(), conn->in.size(), max_payload, &view, &error);
+    if (result == wire::ExtractResult::kNeedMore) break;
+    if (result == wire::ExtractResult::kError) {
+      // Stream-level violation (bad magic/version/type, hostile
+      // length): answer with a connection-level error frame
+      // (request_id 0) and hang up — the stream has no recoverable
+      // frame boundary to resume from.
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.recorder) {
+        options_.recorder->Record(
+            obs::LogSeverity::kError, obs::LogReason::kParseError, "wire",
+            400, 0, 0.0, nullptr, "frame parse failed; connection closing");
+      }
+      wire::ErrorFrame reject;
+      reject.status = 400;
+      reject.message = "frame error: " + error;
+      QueueOutput(conn, wire::EncodeError(reject));
+      conn->close_after_flush = true;
+      break;
+    }
+    std::string frame = conn->in.substr(0, view.frame_bytes);
+    conn->in.erase(0, view.frame_bytes);
+    if (view.type != wire::FrameType::kSuggestRequest) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      wire::ErrorFrame reject;
+      reject.status = 400;
+      reject.message = "only request frames are accepted on this connection";
+      reject.request_id = view.request_id;
+      QueueOutput(conn, wire::EncodeError(reject));
+      conn->close_after_flush = true;
+      break;
+    }
+    if (!conn->frame_pending.insert(view.request_id).second) {
+      // Duplicate in-flight id: the client broke the multiplexing
+      // contract for this one request; reject it with a structured
+      // error frame but keep the connection (and the original
+      // request) alive.
+      wire::ErrorFrame reject;
+      reject.status = 400;
+      reject.message = "duplicate in-flight request_id";
+      reject.request_id = view.request_id;
+      QueueOutput(conn, wire::EncodeError(reject));
+      ScheduleFlush(loop_index, conn);
+      continue;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+
+    // Synthesize the HTTP request the frontend already speaks: the
+    // frame rides as a binary POST /v1/suggest body, so admission,
+    // deadlines, tracing and metrics behave identically on both
+    // transports.
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/v1/suggest";
+    request.version_minor = 1;
+    request.headers.push_back({"content-type", wire::kContentType});
+    request.body = std::move(frame);
+    request.keep_alive = true;
+
+    ResponseWriter writer;
+    writer.target_ = std::make_shared<ResponseWriter::Target>();
+    writer.target_->loop = loops_[loop_index]->events;
+    writer.target_->server = this;
+    writer.target_->loop_index = loop_index;
+    writer.target_->conn_id = conn->id;
+    writer.target_->frame = true;
+    writer.target_->request_id = view.request_id;
+    handler_(request, writer);
+  }
+  conn->read_paused = PipelineSaturated(conn) && !conn->close_after_flush;
+  if (conn->eof && conn->frame_pending.empty() && conn->out_bytes == 0 &&
+      !conn->flush_scheduled) {
     CloseConnection(loop_index, conn->id);
     return false;
   }
@@ -409,7 +548,7 @@ bool HttpServer::ProcessConnection(size_t loop_index, Connection* conn) {
 }
 
 bool HttpServer::FlushOutput(size_t loop_index, Connection* conn) {
-  if (conn->out_offset < conn->out.size()) {
+  while (conn->out_bytes > 0) {
     const fault::FaultAction write_fault =
         fault::Probe(options_.fault.get(), fault::FaultOp::kWrite);
     switch (write_fault.kind) {
@@ -420,23 +559,34 @@ bool HttpServer::FlushOutput(size_t loop_index, Connection* conn) {
       case fault::FaultAction::Kind::kTruncate: {
         // Deliver a prefix of the pending bytes, then RST: the peer
         // sees a frame cut mid-payload.
-        const size_t remaining = conn->out.size() - conn->out_offset;
+        const std::string& front = conn->outq.front();
+        const size_t remaining = front.size() - conn->out_offset;
         const size_t part = remaining / 2;
         if (part > 0) {
           [[maybe_unused]] const ssize_t n =
-              ::send(conn->fd, conn->out.data() + conn->out_offset, part,
+              ::send(conn->fd, front.data() + conn->out_offset, part,
                      MSG_NOSIGNAL | MSG_DONTWAIT);
         }
         AbortConnection(loop_index, conn->id);
         return false;
       }
-      case fault::FaultAction::Kind::kCorrupt:
+      case fault::FaultAction::Kind::kCorrupt: {
         // Flip one bit mid-way through the unsent bytes — lands in the
         // response body for anything but tiny heads, so binary-frame
         // clients must detect it by strict decode.
-        conn->out[conn->out_offset +
-                  (conn->out.size() - conn->out_offset) / 2] ^= 0x20;
+        size_t target = conn->out_bytes / 2;
+        size_t skip = conn->out_offset;
+        for (auto& buf : conn->outq) {
+          const size_t avail = buf.size() - skip;
+          if (target < avail) {
+            buf[skip + target] ^= 0x20;
+            break;
+          }
+          target -= avail;
+          skip = 0;
+        }
         break;
+      }
       case fault::FaultAction::Kind::kStall:
         std::this_thread::sleep_for(
             std::chrono::milliseconds(write_fault.stall_ms));
@@ -444,13 +594,38 @@ bool HttpServer::FlushOutput(size_t loop_index, Connection* conn) {
       case fault::FaultAction::Kind::kNone:
         break;
     }
-  }
-  while (conn->out_offset < conn->out.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->out.data() + conn->out_offset,
-               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    // Coalesce the queued buffers into one vectored write: pipelined
+    // completions batch many response frames per syscall instead of
+    // paying one send() per frame.
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    size_t skip = conn->out_offset;
+    for (auto& buf : conn->outq) {
+      if (iovcnt == kMaxIov) break;
+      iov[iovcnt].iov_base = const_cast<char*>(buf.data()) + skip;
+      iov[iovcnt].iov_len = buf.size() - skip;
+      ++iovcnt;
+      skip = 0;
+    }
+    struct msghdr msg {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->out_offset += static_cast<size_t>(n);
+      size_t sent = static_cast<size_t>(n);
+      conn->out_bytes -= sent;
+      while (sent > 0) {
+        std::string& front = conn->outq.front();
+        const size_t avail = front.size() - conn->out_offset;
+        if (sent < avail) {
+          conn->out_offset += sent;
+          sent = 0;
+        } else {
+          sent -= avail;
+          conn->out_offset = 0;
+          conn->outq.pop_front();
+        }
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -466,31 +641,95 @@ bool HttpServer::FlushOutput(size_t loop_index, Connection* conn) {
     CloseConnection(loop_index, conn->id);
     return false;
   }
-  conn->out.clear();
-  conn->out_offset = 0;
   SyncPendingOut(conn);
   if (conn->want_write) {
     conn->want_write = false;
     loops_[loop_index]->events->Modify(conn->fd, EPOLLIN | EPOLLRDHUP);
   }
-  if (conn->close_after_flush || (conn->eof && !conn->awaiting_response)) {
+  const bool idle = conn->mode == Connection::Mode::kFrame
+                        ? conn->frame_pending.empty()
+                        : !conn->awaiting_response;
+  if (conn->close_after_flush || (conn->eof && idle)) {
     CloseConnection(loop_index, conn->id);
     return false;
   }
   return true;
 }
 
+bool HttpServer::ResumeFrameProcessing(size_t loop_index, Connection* conn) {
+  if (conn->mode != Connection::Mode::kFrame) return true;
+  if (conn->read_paused && !PipelineSaturated(conn)) {
+    conn->read_paused = false;
+    // Edge-triggered epoll reported readiness we ignored while paused;
+    // an explicit read is the only way to learn what arrived since.
+    if (!ReadInput(loop_index, conn)) return false;
+  }
+  return ProcessConnection(loop_index, conn);
+}
+
+void HttpServer::QueueOutput(Connection* conn, std::string bytes) {
+  if (bytes.empty()) return;
+  conn->out_bytes += bytes.size();
+  conn->outq.push_back(std::move(bytes));
+}
+
+void HttpServer::ScheduleFlush(size_t loop_index, Connection* conn) {
+  if (conn->flush_scheduled) return;
+  conn->flush_scheduled = true;
+  const uint64_t conn_id = conn->id;
+  // Runs after every completion already queued on the loop: all of
+  // their response frames land in one vectored write.
+  loops_[loop_index]->events->Post([this, loop_index, conn_id] {
+    Loop& loop = *loops_[loop_index];
+    auto it = loop.conns.find(conn_id);
+    if (it == loop.conns.end()) return;
+    Connection* conn = it->second.get();
+    conn->flush_scheduled = false;
+    if (!FlushOutput(loop_index, conn)) return;
+    ResumeFrameProcessing(loop_index, conn);
+  });
+}
+
 void HttpServer::CompleteRequest(size_t loop_index, uint64_t conn_id,
-                                 HttpResponse response) {
+                                 HttpResponse response, bool frame,
+                                 uint64_t request_id) {
   Loop& loop = *loops_[loop_index];
   auto it = loop.conns.find(conn_id);
   if (it == loop.conns.end()) return;  // connection died while scoring
   Connection* conn = it->second.get();
-  if (!conn->awaiting_response) return;
 
+  if (frame) {
+    if (conn->frame_pending.erase(request_id) == 0) return;
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    std::string body;
+    if (response.content_type == wire::kContentType) {
+      body = std::move(response.body);
+    } else {
+      // The handler answered outside the binary codec (it never does
+      // for synthesized suggest requests, but a handler swap must not
+      // corrupt the stream): wrap it as an error frame.
+      wire::ErrorFrame wrapped;
+      wrapped.status = static_cast<uint32_t>(response.status);
+      wrapped.message = response.body;
+      body = wire::EncodeError(wrapped);
+    }
+    // Transport-level echo enforcement: whatever the codec put in the
+    // header, the answer carries the id the request arrived under.
+    wire::PatchRequestId(&body, request_id);
+    QueueOutput(conn, std::move(body));
+    // Count the unflushed bytes before releasing in_flight_ so the
+    // drain loop never observes both gauges at zero with a response
+    // still buffered.
+    SyncPendingOut(conn);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    ScheduleFlush(loop_index, conn);
+    return;
+  }
+
+  if (!conn->awaiting_response) return;
   responses_.fetch_add(1, std::memory_order_relaxed);
   const bool keep = conn->keep_alive && !response.close;
-  conn->out += SerializeResponse(response, conn->keep_alive);
+  QueueOutput(conn, SerializeResponse(response, conn->keep_alive));
   // Count the unflushed bytes before releasing in_flight_ so the drain
   // loop never observes both gauges at zero with a response still
   // buffered.
@@ -509,10 +748,13 @@ void HttpServer::CloseConnection(size_t loop_index, uint64_t conn_id) {
   auto it = loop.conns.find(conn_id);
   if (it == loop.conns.end()) return;
   Connection* conn = it->second.get();
-  if (conn->awaiting_response) {
-    // The connection died while its request was scoring; the late
-    // ResponseWriter::Send will find the id gone and drop the response.
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  const uint64_t abandoned = conn->frame_pending.size() +
+                             (conn->awaiting_response ? 1 : 0);
+  if (abandoned > 0) {
+    // The connection died while requests were scoring; the late
+    // ResponseWriter::Sends will find the id gone and drop their
+    // responses.
+    in_flight_.fetch_sub(abandoned, std::memory_order_relaxed);
   }
   if (conn->counted_pending) {
     pending_out_.fetch_sub(1, std::memory_order_relaxed);
@@ -524,7 +766,7 @@ void HttpServer::CloseConnection(size_t loop_index, uint64_t conn_id) {
 }
 
 void HttpServer::SyncPendingOut(Connection* conn) {
-  const bool pending = conn->out_offset < conn->out.size();
+  const bool pending = conn->out_bytes > 0;
   if (pending == conn->counted_pending) return;
   conn->counted_pending = pending;
   if (pending) {

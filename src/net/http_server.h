@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "io/binary.h"
@@ -26,12 +28,25 @@ struct HttpServerOptions {
   /// listening socket and the kernel spreads accepts; without it, loop 0
   /// accepts and hands connections to the others round-robin.
   int num_loops = 1;
+  /// Force SO_REUSEPORT on the listeners even with num_loops == 1 — how
+  /// N shard *processes* share one port and let the kernel spread
+  /// connections across them (examples/shard_cluster).
+  bool reuseport = false;
   int backlog = 128;
   /// Concurrent connections across all loops; excess accepts are closed
   /// with a canned 503 (connection-level shedding, distinct from the
   /// admission controller's per-request 429).
   int max_connections = 1024;
   HttpParser::Limits limits;
+  /// Pipelined frame mode: requests concurrently in flight per
+  /// connection before the server stops reading from it (per-connection
+  /// admission; the global admission controller still applies per
+  /// request).
+  int max_pipeline_depth = 32;
+  /// Pipelined frame mode: unflushed response bytes queued on a
+  /// connection before the server stops reading from it (write-queue
+  /// backpressure — a peer that stops reading cannot balloon memory).
+  size_t max_pipeline_write_bytes = 1 << 20;
   /// Optional flight recorder: connection-level error paths (parse
   /// failures, overload closes) record wide events into it, so /logz
   /// sees faults that never reach the request handler. Null = off.
@@ -63,19 +78,40 @@ class ResponseWriter {
     HttpServer* server = nullptr;
     size_t loop_index = 0;
     uint64_t conn_id = 0;
+    /// Pipelined frame mode: the response body is a raw wire frame
+    /// (no HTTP envelope) correlated by request_id.
+    bool frame = false;
+    uint64_t request_id = 0;
     std::atomic<bool> used{false};
   };
   std::shared_ptr<Target> target_;
 };
 
 /// Dependency-free epoll HTTP/1.1 server: N edge-triggered event loops,
-/// keep-alive with pipelining (one request dispatched at a time per
-/// connection), fixed-length bodies only, hard parse limits. The handler
-/// runs on the loop thread and must not block on request-rate work — it
-/// forwards scoring (e.g. SuggestionService::TrySubmitAsync) and answers
-/// later through the ResponseWriter. Rare admin operations (bundle
-/// reload) may run inline at the cost of stalling that one loop; with
-/// num_loops > 1 the other loops keep serving.
+/// keep-alive with pipelining, fixed-length bodies only, hard parse
+/// limits. The handler runs on the loop thread and must not block on
+/// request-rate work — it forwards scoring (e.g.
+/// SuggestionService::TrySubmitAsync) and answers later through the
+/// ResponseWriter. Rare admin operations (bundle reload) may run inline
+/// at the cost of stalling that one loop; with num_loops > 1 the other
+/// loops keep serving.
+///
+/// Two protocols share every port, told apart by the first bytes of a
+/// fresh connection:
+///
+///   HTTP mode   one request dispatched at a time per connection;
+///               responses go back in arrival order (HTTP/1.1
+///               pipelining semantics).
+///   Frame mode  the connection's first bytes are the wire-frame magic:
+///               both directions carry raw frames, up to
+///               max_pipeline_depth requests are dispatched
+///               concurrently, and responses complete out of order
+///               correlated by the frames' request_id. Reading pauses
+///               while the in-flight set is full or the write queue is
+///               over max_pipeline_write_bytes, and resumes as
+///               completions drain them. Queued response frames are
+///               coalesced into single vectored writes (one syscall per
+///               flush, not per frame).
 class HttpServer {
  public:
   using Handler = std::function<void(const HttpRequest&, ResponseWriter)>;
@@ -117,18 +153,32 @@ class HttpServer {
 
  private:
   struct Connection {
+    /// Decided from the first bytes: kUnknown until enough arrived.
+    enum class Mode { kUnknown, kHttp, kFrame };
+
     int fd = -1;
     uint64_t id = 0;
-    std::string in;          // received, not yet parsed
-    std::string out;         // serialized, not yet sent
+    Mode mode = Mode::kUnknown;
+    std::string in;  // received, not yet parsed
+    /// Serialized, not yet sent: a queue of buffers flushed as one
+    /// vectored write; out_offset is the sent prefix of the front
+    /// buffer, out_bytes the queued total.
+    std::deque<std::string> outq;
     size_t out_offset = 0;
+    size_t out_bytes = 0;
     HttpParser parser;
-    bool awaiting_response = false;
+    bool awaiting_response = false;  // HTTP mode: one at a time
     bool keep_alive = true;
     bool close_after_flush = false;
     bool want_write = false;  // EPOLLOUT armed
     bool eof = false;         // peer closed its write side
     bool counted_pending = false;  // contributes to pending_out_
+    /// Frame mode: request_ids dispatched and not yet answered.
+    std::unordered_set<uint64_t> frame_pending;
+    /// Frame mode: reads suspended by depth/write-queue backpressure.
+    bool read_paused = false;
+    /// A coalescing flush task is queued on the loop.
+    bool flush_scheduled = false;
 
     explicit Connection(const HttpParser::Limits& limits) : parser(limits) {}
   };
@@ -144,13 +194,25 @@ class HttpServer {
   void HandleAccept(size_t loop_index);
   void RegisterConnection(size_t loop_index, int fd);
   void HandleIo(size_t loop_index, uint64_t conn_id, uint32_t events);
-  /// All three return false when they closed the connection.
+  /// All of these return false when they closed the connection.
   bool ReadInput(size_t loop_index, Connection* conn);
   bool ProcessConnection(size_t loop_index, Connection* conn);
+  bool ProcessHttp(size_t loop_index, Connection* conn);
+  bool ProcessFrames(size_t loop_index, Connection* conn);
   bool FlushOutput(size_t loop_index, Connection* conn);
+  /// Frame mode: un-pause reading when backpressure has drained, then
+  /// dispatch whatever is buffered.
+  bool ResumeFrameProcessing(size_t loop_index, Connection* conn);
   void CompleteRequest(size_t loop_index, uint64_t conn_id,
-                       HttpResponse response);
+                       HttpResponse response, bool frame, uint64_t request_id);
   void CloseConnection(size_t loop_index, uint64_t conn_id);
+  /// Appends one serialized buffer to the connection's write queue.
+  void QueueOutput(Connection* conn, std::string bytes);
+  /// Queues a single coalescing flush task on the loop (frame-mode
+  /// completions batch their frames into one writev this way).
+  void ScheduleFlush(size_t loop_index, Connection* conn);
+  /// True while the pipeline admission says "stop reading".
+  bool PipelineSaturated(const Connection* conn) const;
   /// Keeps pending_out_ equal to the number of connections holding
   /// unflushed bytes (the drain loop's second condition).
   void SyncPendingOut(Connection* conn);

@@ -1,0 +1,337 @@
+#include "net/pipelined_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace dssddi::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                            Clock::now());
+  return static_cast<int>(left.count());
+}
+
+/// Blocking connect with SO_SNDTIMEO as the connect (and send) bound.
+/// No SO_RCVTIMEO: the reader thread parks in recv indefinitely and is
+/// woken by shutdown(), not by timeouts.
+int Dial(const PipelinedClientOptions& options, io::Status* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *status = io::Status::Error(std::string("socket: ") + std::strerror(errno));
+    return -1;
+  }
+  struct timeval timeout {};
+  timeout.tv_sec = options.connect_timeout_ms / 1000;
+  timeout.tv_usec = (options.connect_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *status = io::Status::Error("unparseable address '" + options.host + "'");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *status = io::Status::Error("connect " + options.host + ":" +
+                                std::to_string(options.port) + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  *status = io::Status::Ok();
+  return fd;
+}
+
+}  // namespace
+
+PipelinedClient::PipelinedClient(const PipelinedClientOptions& options)
+    : options_(options) {}
+
+PipelinedClient::~PipelinedClient() { Close(); }
+
+bool PipelinedClient::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fd_ >= 0 && !reader_done_;
+}
+
+size_t PipelinedClient::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+uint64_t PipelinedClient::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+void PipelinedClient::FailAllLocked(const std::string& reason) {
+  for (auto& [id, pending] : pending_) {
+    if (!pending->done) {
+      pending->done = true;
+      pending->status = io::Status::Error(reason);
+    }
+  }
+  pending_.clear();
+  abandoned_.clear();
+  cv_.notify_all();
+}
+
+void PipelinedClient::ReaderLoop(int fd, uint64_t generation) {
+  std::string buffer;
+  std::string failure;
+  char chunk[16384];
+  for (;;) {
+    const fault::FaultAction read_fault =
+        fault::Probe(fault_, fault::FaultOp::kRead);
+    if (read_fault.kind == fault::FaultAction::Kind::kReset ||
+        read_fault.kind == fault::FaultAction::Kind::kBlackout) {
+      failure = "injected fault: connection reset during read";
+      break;
+    }
+    if (read_fault.kind == fault::FaultAction::Kind::kStall) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(read_fault.stall_ms));
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      failure = "connection closed by server";
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failure = std::string("recv: ") + std::strerror(errno);
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    bool fatal = false;
+    while (!fatal) {
+      wire::FrameView view;
+      std::string error;
+      const wire::ExtractResult result =
+          wire::ExtractFrame(buffer.data(), buffer.size(),
+                             options_.max_frame_payload, &view, &error);
+      if (result == wire::ExtractResult::kNeedMore) break;
+      if (result == wire::ExtractResult::kError) {
+        failure = "response stream corrupt: " + error;
+        fatal = true;
+        break;
+      }
+      std::string frame = buffer.substr(0, view.frame_bytes);
+      buffer.erase(0, view.frame_bytes);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (generation != generation_) return;  // superseded connection
+      auto it = pending_.find(view.request_id);
+      if (it != pending_.end()) {
+        it->second->done = true;
+        it->second->frame = std::move(frame);
+        pending_.erase(it);
+        cv_.notify_all();
+        continue;
+      }
+      if (abandoned_.erase(view.request_id) > 0) {
+        continue;  // late answer to a deadline/cancel loser: drop it
+      }
+      // An id this client never sent (or already answered): the stream
+      // cannot be trusted to be in frame sync anymore.
+      failure = "unexpected request_id " + std::to_string(view.request_id) +
+                " from server";
+      fatal = true;
+    }
+    if (fatal) break;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (generation != generation_) return;
+  reader_done_ = true;
+  FailAllLocked(failure);
+}
+
+io::Status PipelinedClient::Exchange(const std::string& frame,
+                                     const ClientRequestOptions& options,
+                                     ClientResponse* out) {
+  const bool has_deadline = options.deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options.deadline_ms);
+
+  uint64_t original_id = 0;
+  if (!wire::PeekRequestId(frame, &original_id)) {
+    return io::Status::Error("frame too short to carry a request_id");
+  }
+
+  std::shared_ptr<Pending> pending;
+  uint64_t id = 0;
+  int fd = -1;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // (Re)connect under a guard flag: the join + dial drop the lock, and
+    // concurrent exchanges must neither double-connect nor race the
+    // teardown of the previous reader.
+    for (;;) {
+      if (fd_ >= 0 && !reader_done_) break;
+      if (connecting_) {
+        cv_.wait(lock);
+        continue;
+      }
+      connecting_ = true;
+      std::thread old_reader = std::move(reader_);
+      const int old_fd = fd_;
+      fd_ = -1;
+      if (old_fd >= 0) ::shutdown(old_fd, SHUT_RDWR);
+      lock.unlock();
+      if (old_reader.joinable()) old_reader.join();
+      if (old_fd >= 0) ::close(old_fd);
+      io::Status dial_status;
+      const int fresh = Dial(options_, &dial_status);
+      lock.lock();
+      connecting_ = false;
+      if (fresh < 0) {
+        cv_.notify_all();
+        return dial_status;
+      }
+      fd_ = fresh;
+      reader_done_ = false;
+      ++generation_;
+      reader_ = std::thread([this, fresh, generation = generation_] {
+        ReaderLoop(fresh, generation);
+      });
+      cv_.notify_all();
+      break;
+    }
+    fd = fd_;
+    id = next_id_++;
+    pending = std::make_shared<Pending>();
+    pending_.emplace(id, pending);
+  }
+
+  // Stamp the hop-local id and send the whole frame under the write
+  // lock so concurrent exchanges never interleave bytes mid-frame.
+  std::string stamped = frame;
+  wire::PatchRequestId(&stamped, id);
+  {
+    std::lock_guard<std::mutex> write_lock(write_mutex_);
+    const fault::FaultAction send_fault =
+        fault::Probe(fault_, fault::FaultOp::kWrite);
+    bool send_failed =
+        send_fault.kind == fault::FaultAction::Kind::kReset ||
+        send_fault.kind == fault::FaultAction::Kind::kBlackout;
+    std::string send_error =
+        send_failed ? "injected fault: connection reset during send" : "";
+    if (send_fault.kind == fault::FaultAction::Kind::kStall) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(send_fault.stall_ms));
+    }
+    size_t sent = 0;
+    while (!send_failed && sent < stamped.size()) {
+      const ssize_t n = ::send(fd, stamped.data() + sent,
+                               stamped.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      send_failed = true;
+      send_error = std::string("send: ") + std::strerror(errno);
+    }
+    if (send_failed) {
+      // The socket may now hold a torn frame; nothing multiplexed on it
+      // can be trusted. Wake the reader (it fails the other pendings)
+      // and fail this exchange directly.
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.erase(id);
+      if (fd_ == fd) ::shutdown(fd_, SHUT_RDWR);
+      return io::Status::Error(send_error);
+    }
+  }
+
+  // Await the correlated completion in cancellation-granularity slices.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!pending->done) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      pending_.erase(id);
+      abandoned_.insert(id);
+      return io::Status::Error("request cancelled");
+    }
+    int wait_ms = 20;  // cancellation granularity
+    if (has_deadline) {
+      const int remaining = RemainingMs(deadline);
+      if (remaining <= 0) {
+        pending_.erase(id);
+        abandoned_.insert(id);
+        return io::Status::Error(
+            "request deadline exceeded awaiting response");
+      }
+      wait_ms = options.cancel != nullptr ? std::min(remaining, 20) : remaining;
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(wait_ms));
+  }
+  if (!pending->status.ok) return pending->status;
+  lock.unlock();
+
+  std::string body = std::move(pending->frame);
+  wire::FrameType type;
+  std::string peek_error;
+  if (!wire::PeekFrameType(body, &type, &peek_error)) {
+    return io::Status::Error("unreadable response frame: " + peek_error);
+  }
+  *out = ClientResponse{};
+  if (type == wire::FrameType::kSuggestResponse) {
+    out->status = 200;
+  } else if (type == wire::FrameType::kError) {
+    wire::ErrorFrame error_frame;
+    std::string decode_error;
+    if (!wire::DecodeError(body, &error_frame, &decode_error)) {
+      return io::Status::Error("undecodable error frame: " + decode_error);
+    }
+    out->status = static_cast<int>(error_frame.status);
+  } else {
+    return io::Status::Error("server sent a request frame");
+  }
+  // Restore the caller's correlator: the hop-local id must not leak
+  // through codec-passthrough relays above this client.
+  wire::PatchRequestId(&body, original_id);
+  out->body = std::move(body);
+  out->keep_alive = true;
+  out->headers.emplace_back("Content-Type", wire::kContentType);
+  return io::Status::Ok();
+}
+
+void PipelinedClient::Close() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (connecting_) cv_.wait(lock);
+  if (fd_ < 0 && !reader_.joinable()) return;
+  connecting_ = true;
+  std::thread old_reader = std::move(reader_);
+  const int old_fd = fd_;
+  fd_ = -1;
+  if (old_fd >= 0) ::shutdown(old_fd, SHUT_RDWR);
+  lock.unlock();
+  if (old_reader.joinable()) old_reader.join();
+  if (old_fd >= 0) ::close(old_fd);
+  lock.lock();
+  connecting_ = false;
+  reader_done_ = false;
+  FailAllLocked("connection closed");
+}
+
+}  // namespace dssddi::net

@@ -1,0 +1,123 @@
+#ifndef DSSDDI_NET_PIPELINED_CLIENT_H_
+#define DSSDDI_NET_PIPELINED_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "io/binary.h"
+#include "net/fault.h"
+#include "net/http_client.h"
+
+namespace dssddi::net {
+
+struct PipelinedClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Socket connect timeout.
+  int connect_timeout_ms = 2000;
+  /// Reader-side cap on a response frame's declared payload: a corrupt
+  /// or hostile length prefix fails the stream instead of ballooning
+  /// the receive buffer.
+  size_t max_frame_payload = 1 << 20;
+};
+
+/// Multiplexed pipelined client for the raw wire-frame protocol: one
+/// connection, many concurrent callers. Each Exchange stamps a
+/// hop-local request_id onto the caller's encoded frame, sends it, and
+/// blocks until the reader thread correlates the response frame back by
+/// id — so N in-flight requests share one socket and complete out of
+/// order, replacing N one-exchange-at-a-time pooled HTTP connections.
+///
+/// Contract mirrors HttpClient::Request where it matters to the
+/// retry/hedge/breaker machinery above: per-request deadlines fail with
+/// a "deadline" message, cooperative cancellation (hedge losers) with
+/// "cancelled" — both leave the connection healthy, because abandoning
+/// one multiplexed request must not kill its neighbors; the late
+/// response is recognized and discarded by id. Transport errors fail
+/// every in-flight exchange and disconnect; the next Exchange
+/// reconnects automatically.
+///
+/// The returned ClientResponse carries the raw response (or error)
+/// frame as its body with the caller's original request_id restored —
+/// codec passthrough above (the router) relays bodies verbatim, so the
+/// hop-local ids this client assigns must never leak out of it.
+class PipelinedClient {
+ public:
+  explicit PipelinedClient(const PipelinedClientOptions& options);
+  ~PipelinedClient();
+
+  PipelinedClient(const PipelinedClient&) = delete;
+  PipelinedClient& operator=(const PipelinedClient&) = delete;
+
+  /// One multiplexed exchange of an encoded kSuggestRequest frame.
+  /// Thread-safe. Connects lazily; `options.deadline_ms` bounds the
+  /// whole exchange (connect included) and `options.cancel` aborts it.
+  /// On success `out->status` is 200 for a response frame or the error
+  /// frame's embedded status, and `out->body` is the raw frame.
+  io::Status Exchange(const std::string& frame,
+                      const ClientRequestOptions& options,
+                      ClientResponse* out);
+
+  bool connected() const;
+  /// Fails every in-flight exchange and closes the socket. Idempotent;
+  /// the next Exchange reconnects.
+  void Close();
+
+  /// Requests currently awaiting their response frame (tests).
+  size_t in_flight() const;
+  /// Bumped on every successful (re)connect — how callers distinguish
+  /// "failed on a stale connection" from "failed on a fresh one".
+  uint64_t generation() const;
+
+  /// Optional fault injector consulted on sends/receives (chaos
+  /// testing). Must outlive the client.
+  void set_fault(fault::FaultInjector* injector) { fault_ = injector; }
+
+ private:
+  struct Pending {
+    bool done = false;
+    io::Status status = io::Status::Ok();
+    std::string frame;  // raw response/error frame as received
+  };
+
+  /// Fails every in-flight exchange. Caller holds mutex_; `reason`
+  /// lands in each pending exchange's status.
+  void FailAllLocked(const std::string& reason);
+  void ReaderLoop(int fd, uint64_t generation);
+
+  PipelinedClientOptions options_;
+  fault::FaultInjector* fault_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int fd_ = -1;
+  uint64_t generation_ = 0;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
+  /// Ids whose caller gave up (deadline/cancel): the late response is
+  /// dropped silently instead of being treated as a protocol error.
+  std::unordered_set<uint64_t> abandoned_;
+  std::thread reader_;
+  /// Set by the reader when it exits (connection dead, pendings
+  /// failed); the next Exchange reaps it and reconnects.
+  bool reader_done_ = false;
+  /// Guards the join + dial window where mutex_ is dropped, so
+  /// concurrent exchanges neither double-connect nor race teardown.
+  bool connecting_ = false;
+
+  /// Serializes frame writes so concurrent exchanges never interleave
+  /// bytes mid-frame. Separate from mutex_: a blocked send must not
+  /// stop the reader from completing other exchanges.
+  std::mutex write_mutex_;
+};
+
+}  // namespace dssddi::net
+
+#endif  // DSSDDI_NET_PIPELINED_CLIENT_H_

@@ -11,6 +11,7 @@
 
 #include "io/binary.h"
 #include "net/http_client.h"
+#include "net/pipelined_client.h"
 
 namespace dssddi::net {
 
@@ -111,6 +112,11 @@ struct ReplicaClientOptions {
   int connect_timeout_ms = 2000;
   /// Idle keep-alive connections retained for reuse.
   size_t max_pool = 4;
+  /// Route binary /v1/suggest exchanges through one shared multiplexed
+  /// PipelinedClient connection instead of the per-try HTTP pool. Off
+  /// reverts to one-exchange-per-connection (comparison benchmarks,
+  /// serial-oracle tests).
+  bool pipelined = true;
   CircuitBreakerOptions breaker;
 };
 
@@ -146,13 +152,21 @@ class ReplicaClient {
   /// Idle pooled connections (tests).
   size_t pooled() const;
 
+  /// The shared multiplexed connection binary suggest traffic rides on;
+  /// nullptr when `options.pipelined` is off (tests, benchmarks).
+  PipelinedClient* pipelined_client() { return pipelined_.get(); }
+
  private:
   std::unique_ptr<HttpClient> Acquire(io::Status* status, bool* from_pool);
   void Release(std::unique_ptr<HttpClient> client, bool reusable);
+  io::Status ExchangePipelined(const std::string& frame,
+                               const ClientRequestOptions& options,
+                               ClientResponse* out, uint64_t admission);
 
   ReplicaClientOptions options_;
   std::string name_;
   CircuitBreaker breaker_;
+  std::unique_ptr<PipelinedClient> pipelined_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<HttpClient>> pool_;
 };

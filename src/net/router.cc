@@ -664,6 +664,13 @@ void RouterFrontend::Handle(const HttpRequest& request,
     response.body = openmetrics
                         ? router_->registry()->RenderOpenMetricsText()
                         : router_->registry()->RenderPrometheusText();
+  } else if (path == "/sloz") {
+    if (slo_ == nullptr) {
+      response.status = 404;
+      response.body = "{\"error\":\"no slo engine attached\"}";
+    } else {
+      response.body = slo_->RenderSlozJson();
+    }
   } else if (path == "/logz") {
     if (router_->recorder() == nullptr) {
       response.status = 404;

@@ -13,6 +13,7 @@
 #include "net/replica_client.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "serve/thread_pool.h"
 
 namespace dssddi::net {
@@ -185,6 +186,9 @@ struct RouterFrontendOptions {
 ///   GET  /statsz       router counters + per-replica breaker states
 ///   GET  /metricsz     the router registry's Prometheus exposition
 ///                      (?format=openmetrics supported)
+///   GET  /sloz         router-level SLO engine state (when attached):
+///                      fast/slow burns plus the degraded bit that
+///                      inhibits hedging
 ///   GET  /logz         the router flight recorder as NDJSON
 ///   GET  /admin/fault  fault-injector states (launcher-provided hook)
 ///   POST /admin/fault  {"replica":0,"spec":"reset=0.05"} installs a
@@ -205,6 +209,11 @@ class RouterFrontend {
   using FaultDescribeHook = std::function<std::string()>;
   void set_replica_admin(ReplicaAdminHook hook);
   void set_fault_admin(FaultInstallHook install, FaultDescribeHook describe);
+  /// Router-level SLO engine behind GET /sloz — the same engine whose
+  /// degraded bit the launcher wires into RouterOptions::hedge_inhibit,
+  /// so operators can see why hedging switched off. Must outlive the
+  /// frontend; absent → /sloz 404s.
+  void set_slo_engine(const obs::SloEngine* slo) { slo_ = slo; }
 
   void Handle(const HttpRequest& request, ResponseWriter writer);
   HttpServer::Handler AsHandler() {
@@ -226,6 +235,7 @@ class RouterFrontend {
   ReplicaAdminHook replica_admin_;
   FaultInstallHook fault_install_;
   FaultDescribeHook fault_describe_;
+  const obs::SloEngine* slo_ = nullptr;
 
   obs::Counter* suggest_requests_;
   obs::Counter* suggest_2xx_;

@@ -42,15 +42,16 @@ HttpResponse JsonError(int status, const std::string& message) {
 /// Error in the codec the client spoke: binary requests get binary
 /// error frames (same HTTP status), JSON requests get JSON bodies.
 /// `trace_id` rides in the binary frame (0 = request failed before a
-/// trace id existed) so rejections stay correlatable with /tracez.
+/// trace id existed) so rejections stay correlatable with /tracez;
+/// `request_id` echoes the failed request's multiplexing correlator.
 HttpResponse CodecError(bool binary, int status, const std::string& message,
-                        uint64_t trace_id = 0) {
+                        uint64_t trace_id = 0, uint64_t request_id = 0) {
   if (!binary) return JsonError(status, message);
   HttpResponse response;
   response.status = status;
   response.content_type = wire::kContentType;
-  response.body =
-      wire::EncodeError({static_cast<uint32_t>(status), message, trace_id});
+  response.body = wire::EncodeError(
+      {static_cast<uint32_t>(status), message, trace_id, request_id});
   return response;
 }
 
@@ -130,10 +131,11 @@ std::string SuggestionToJson(const core::Suggestion& suggestion,
 
 std::string SuggestionToFrame(const core::Suggestion& suggestion,
                               const serve::ModelSnapshot& snapshot,
-                              uint64_t trace_id) {
+                              uint64_t trace_id, uint64_t request_id) {
   wire::SuggestResponseFrame frame;
   frame.model_version = snapshot.version;
   frame.trace_id = trace_id;
+  frame.request_id = request_id;
   frame.drugs.assign(suggestion.drugs.begin(), suggestion.drugs.end());
   frame.scores = suggestion.scores;
   return wire::EncodeSuggestResponse(frame);
@@ -407,14 +409,18 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
   serve::Request suggest;
   int64_t budget_ms = 0;  // 0 = fall through to the route default
   uint64_t trace_id = 0;
+  uint64_t request_id = 0;  // multiplexing correlator, echoed verbatim
   serve::RequestPriority priority = serve::RequestPriority::kInteractive;
 
   if (binary) {
     wire::SuggestRequestFrame frame;
     std::string frame_error;
     if (!wire::DecodeSuggestRequest(request.body, &frame, &frame_error)) {
+      uint64_t bad_id = 0;
+      wire::PeekRequestId(request.body, &bad_id);
       RecordRejection(*suggest_metrics_, "binary frame decode failed");
-      writer.Send(CodecError(binary, 400, "bad frame: " + frame_error));
+      writer.Send(
+          CodecError(binary, 400, "bad frame: " + frame_error, 0, bad_id));
       return;
     }
     suggest.patient_id = frame.patient_id;
@@ -423,6 +429,7 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     suggest.explain = frame.explain;
     budget_ms = frame.deadline_ms;
     trace_id = frame.trace_id;
+    request_id = frame.request_id;
     if (frame.batch_priority) priority = serve::RequestPriority::kBatch;
   } else {
     JsonValue document;
@@ -473,7 +480,8 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
         parsed > INT32_MAX) {
       RecordRejection(*suggest_metrics_, "malformed X-Deadline-Ms header");
       writer.Send(CodecError(binary, 400,
-                             "X-Deadline-Ms must be a positive integer"));
+                             "X-Deadline-Ms must be a positive integer", 0,
+                             request_id));
       return;
     }
     if (budget_ms == 0) budget_ms = static_cast<int64_t>(parsed);
@@ -482,7 +490,8 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     uint64_t parsed = 0;
     if (!ParseUintHeader(*header, &parsed)) {
       RecordRejection(*suggest_metrics_, "malformed X-Trace-Id header");
-      writer.Send(CodecError(binary, 400, "X-Trace-Id must be an integer"));
+      writer.Send(CodecError(binary, 400, "X-Trace-Id must be an integer", 0,
+                             request_id));
       return;
     }
     if (trace_id == 0) trace_id = parsed;
@@ -493,7 +502,8 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
     } else if (!AsciiEqualsIgnoreCase(*header, "interactive")) {
       RecordRejection(*suggest_metrics_, "unknown X-Priority header value");
       writer.Send(CodecError(binary, 400,
-                             "X-Priority must be interactive or batch"));
+                             "X-Priority must be interactive or batch", 0,
+                             request_id));
       return;
     }
   }
@@ -543,8 +553,8 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
   const serve::AdmissionController::Decision decision =
       service_->TrySubmitAsync(
           std::move(suggest),
-          [writer, service, patient_id, explain, binary, trace_id, metrics,
-           recorder, start, trace, server_timing](
+          [writer, service, patient_id, explain, binary, trace_id, request_id,
+           metrics, recorder, start, trace, server_timing](
               core::Suggestion suggestion,
               std::shared_ptr<const serve::ModelSnapshot> snapshot,
               std::exception_ptr error) {
@@ -579,7 +589,7 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
                   "/v1/suggest", status, trace_id, total_ms, trace.get());
               obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
               HttpResponse response =
-                  CodecError(binary, status, message, trace_id);
+                  CodecError(binary, status, message, trace_id, request_id);
               response.extra_headers.emplace_back("X-Trace-Id",
                                                   std::to_string(trace_id));
               writer.Send(std::move(response));
@@ -598,7 +608,8 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
             HttpResponse response;
             if (binary) {
               response.content_type = wire::kContentType;
-              response.body = SuggestionToFrame(suggestion, *snapshot, trace_id);
+              response.body =
+                  SuggestionToFrame(suggestion, *snapshot, trace_id, request_id);
             } else {
               response.body = SuggestionToJson(suggestion, *snapshot,
                                                patient_id, explain, trace_id);
@@ -629,8 +640,8 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
                         trace.get());
       if (trace) trace->SetStatus(429);
       obs::TraceSpan serialize_span(trace, obs::Stage::kSerialize);
-      HttpResponse shed =
-          CodecError(binary, 429, "overloaded, retry later", trace_id);
+      HttpResponse shed = CodecError(binary, 429, "overloaded, retry later",
+                                     trace_id, request_id);
       shed.extra_headers.emplace_back("Retry-After", "1");
       shed.extra_headers.emplace_back("X-Trace-Id", std::to_string(trace_id));
       writer.Send(std::move(shed));
@@ -650,7 +661,7 @@ void SuggestFrontend::HandleSuggest(const HttpRequest& request,
       HttpResponse shed = CodecError(
           binary, 504,
           "deadline infeasible: remaining budget below observed service time",
-          trace_id);
+          trace_id, request_id);
       shed.extra_headers.emplace_back("X-Trace-Id", std::to_string(trace_id));
       writer.Send(std::move(shed));
       break;

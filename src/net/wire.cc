@@ -35,6 +35,14 @@ void PutF32(std::string& out, float v) {
   PutU32(out, bits);
 }
 
+uint64_t LoadU64(const char* data) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[i])) << (8 * i);
+  }
+  return v;
+}
+
 /// Bounded little-endian reader over one frame's bytes.
 class Reader {
  public:
@@ -90,11 +98,13 @@ class Reader {
   size_t pos_ = 0;
 };
 
-void PutHeader(std::string& out, FrameType type, size_t payload_bytes) {
+void PutHeader(std::string& out, FrameType type, size_t payload_bytes,
+               uint64_t request_id) {
   PutU16(out, kMagic);
   out.push_back(static_cast<char>(kVersion));
   out.push_back(static_cast<char>(type));
   PutU32(out, static_cast<uint32_t>(payload_bytes));
+  PutU64(out, request_id);
 }
 
 bool Fail(std::string* error, const std::string& message) {
@@ -102,36 +112,15 @@ bool Fail(std::string* error, const std::string& message) {
   return false;
 }
 
-/// Validates the header against the buffer and the expected type;
-/// returns a Reader positioned at the payload.
-bool OpenFrame(const std::string& buffer, FrameType want, Reader* payload,
-               std::string* error) {
-  FrameType type;
-  if (!PeekFrameType(buffer, &type, error)) return false;
-  if (type != want) {
-    return Fail(error, "unexpected frame type " +
-                           std::to_string(static_cast<int>(type)) + " (want " +
-                           std::to_string(static_cast<int>(want)) + ")");
-  }
-  *payload = Reader(buffer.data() + kHeaderBytes, buffer.size() - kHeaderBytes);
-  return true;
-}
-
-}  // namespace
-
-bool PeekFrameType(const std::string& buffer, FrameType* out,
-                   std::string* error) {
-  Reader reader(buffer.data(), buffer.size());
-  uint16_t magic;
-  uint8_t version;
-  uint8_t type;
-  uint32_t length;
-  if (!reader.U16(&magic) || !reader.U8(&version) || !reader.U8(&type) ||
-      !reader.U32(&length)) {
-    return Fail(error, "truncated frame header (" +
-                           std::to_string(buffer.size()) + " bytes, want >= " +
-                           std::to_string(kHeaderBytes) + ")");
-  }
+/// Validates the first 4 header bytes (magic, version, known type).
+/// Shared by the strict whole-buffer peek and the incremental stream
+/// extractor; `have` must be >= 4.
+bool CheckHeaderPrefix(const char* data, std::string* error) {
+  const uint16_t magic = static_cast<uint16_t>(
+      static_cast<uint8_t>(data[0]) |
+      (static_cast<uint16_t>(static_cast<uint8_t>(data[1])) << 8));
+  const uint8_t version = static_cast<uint8_t>(data[2]);
+  const uint8_t type = static_cast<uint8_t>(data[3]);
   if (magic != kMagic) return Fail(error, "bad magic");
   if (version != kVersion) {
     return Fail(error,
@@ -142,6 +131,39 @@ bool PeekFrameType(const std::string& buffer, FrameType* out,
       type != static_cast<uint8_t>(FrameType::kError)) {
     return Fail(error, "unknown frame type " + std::to_string(type));
   }
+  return true;
+}
+
+/// Validates the header against the buffer and the expected type;
+/// returns a Reader positioned at the payload and fills `*request_id`
+/// from the header.
+bool OpenFrame(const std::string& buffer, FrameType want, Reader* payload,
+               uint64_t* request_id, std::string* error) {
+  FrameType type;
+  if (!PeekFrameType(buffer, &type, error)) return false;
+  if (type != want) {
+    return Fail(error, "unexpected frame type " +
+                           std::to_string(static_cast<int>(type)) + " (want " +
+                           std::to_string(static_cast<int>(want)) + ")");
+  }
+  *request_id = LoadU64(buffer.data() + kRequestIdOffset);
+  *payload = Reader(buffer.data() + kHeaderBytes, buffer.size() - kHeaderBytes);
+  return true;
+}
+
+}  // namespace
+
+bool PeekFrameType(const std::string& buffer, FrameType* out,
+                   std::string* error) {
+  if (buffer.size() < kHeaderBytes) {
+    return Fail(error, "truncated frame header (" +
+                           std::to_string(buffer.size()) + " bytes, want >= " +
+                           std::to_string(kHeaderBytes) + ")");
+  }
+  if (!CheckHeaderPrefix(buffer.data(), error)) return false;
+  Reader reader(buffer.data() + 4, buffer.size() - 4);
+  uint32_t length = 0;
+  reader.U32(&length);
   if (buffer.size() < kHeaderBytes + length) {
     return Fail(error, "truncated frame: declares " + std::to_string(length) +
                            " payload bytes, " +
@@ -153,7 +175,64 @@ bool PeekFrameType(const std::string& buffer, FrameType* out,
                            std::to_string(buffer.size() - kHeaderBytes - length) +
                            " trailing bytes after declared payload");
   }
-  *out = static_cast<FrameType>(type);
+  *out = static_cast<FrameType>(static_cast<uint8_t>(buffer[3]));
+  return true;
+}
+
+ExtractResult ExtractFrame(const char* data, size_t size,
+                           size_t max_payload_bytes, FrameView* out,
+                           std::string* error) {
+  if (size >= 2) {
+    // Fail fast on the cheap checks before the full header arrives —
+    // garbage must never sit in the buffer waiting for 16 bytes.
+    if (!LooksLikeFramePrefix(data, size)) {
+      Fail(error, "bad magic");
+      return ExtractResult::kError;
+    }
+  }
+  if (size >= 4 && !CheckHeaderPrefix(data, error)) {
+    return ExtractResult::kError;
+  }
+  if (size < kHeaderBytes) return ExtractResult::kNeedMore;
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(data[4 + i]))
+              << (8 * i);
+  }
+  if (static_cast<size_t>(length) > max_payload_bytes) {
+    Fail(error, "frame payload " + std::to_string(length) +
+                    " bytes exceeds cap " + std::to_string(max_payload_bytes));
+    return ExtractResult::kError;
+  }
+  if (size < kHeaderBytes + length) return ExtractResult::kNeedMore;
+  out->type = static_cast<FrameType>(static_cast<uint8_t>(data[3]));
+  out->request_id = LoadU64(data + kRequestIdOffset);
+  out->frame_bytes = kHeaderBytes + static_cast<size_t>(length);
+  return ExtractResult::kFrame;
+}
+
+bool LooksLikeFramePrefix(const char* data, size_t size) {
+  if (size >= 1 && static_cast<uint8_t>(data[0]) != (kMagic & 0xff)) {
+    return false;
+  }
+  if (size >= 2 && static_cast<uint8_t>(data[1]) != ((kMagic >> 8) & 0xff)) {
+    return false;
+  }
+  return true;
+}
+
+bool PeekRequestId(const std::string& buffer, uint64_t* out) {
+  if (buffer.size() < kRequestIdOffset + 8) return false;
+  *out = LoadU64(buffer.data() + kRequestIdOffset);
+  return true;
+}
+
+bool PatchRequestId(std::string* frame, uint64_t request_id) {
+  if (frame->size() < kRequestIdOffset + 8) return false;
+  for (int i = 0; i < 8; ++i) {
+    (*frame)[kRequestIdOffset + static_cast<size_t>(i)] =
+        static_cast<char>((request_id >> (8 * i)) & 0xff);
+  }
   return true;
 }
 
@@ -161,7 +240,7 @@ std::string EncodeSuggestRequest(const SuggestRequestFrame& frame) {
   const size_t payload = 8 + 4 + 2 + 1 + 1 + 8 + 4 + 4 * frame.features.size();
   std::string out;
   out.reserve(kHeaderBytes + payload);
-  PutHeader(out, FrameType::kSuggestRequest, payload);
+  PutHeader(out, FrameType::kSuggestRequest, payload, frame.request_id);
   PutU64(out, static_cast<uint64_t>(frame.patient_id));
   PutU32(out, frame.deadline_ms);
   PutU16(out, static_cast<uint16_t>(frame.k));
@@ -178,7 +257,8 @@ std::string EncodeSuggestRequest(const SuggestRequestFrame& frame) {
 bool DecodeSuggestRequest(const std::string& buffer, SuggestRequestFrame* out,
                           std::string* error) {
   Reader reader(nullptr, 0);
-  if (!OpenFrame(buffer, FrameType::kSuggestRequest, &reader, error)) {
+  if (!OpenFrame(buffer, FrameType::kSuggestRequest, &reader,
+                 &out->request_id, error)) {
     return false;
   }
   uint64_t patient_id;
@@ -219,7 +299,7 @@ std::string EncodeSuggestResponse(const SuggestResponseFrame& frame) {
   const size_t payload = 8 + 8 + 4 + 8 * count;
   std::string out;
   out.reserve(kHeaderBytes + payload);
-  PutHeader(out, FrameType::kSuggestResponse, payload);
+  PutHeader(out, FrameType::kSuggestResponse, payload, frame.request_id);
   PutU64(out, frame.model_version);
   PutU64(out, frame.trace_id);
   PutU32(out, static_cast<uint32_t>(count));
@@ -233,7 +313,8 @@ std::string EncodeSuggestResponse(const SuggestResponseFrame& frame) {
 bool DecodeSuggestResponse(const std::string& buffer, SuggestResponseFrame* out,
                            std::string* error) {
   Reader reader(nullptr, 0);
-  if (!OpenFrame(buffer, FrameType::kSuggestResponse, &reader, error)) {
+  if (!OpenFrame(buffer, FrameType::kSuggestResponse, &reader,
+                 &out->request_id, error)) {
     return false;
   }
   uint32_t count;
@@ -266,7 +347,7 @@ std::string EncodeError(const ErrorFrame& frame) {
   const size_t payload = 4 + 8 + 4 + frame.message.size();
   std::string out;
   out.reserve(kHeaderBytes + payload);
-  PutHeader(out, FrameType::kError, payload);
+  PutHeader(out, FrameType::kError, payload, frame.request_id);
   PutU32(out, frame.status);
   PutU64(out, frame.trace_id);
   PutU32(out, static_cast<uint32_t>(frame.message.size()));
@@ -277,7 +358,10 @@ std::string EncodeError(const ErrorFrame& frame) {
 bool DecodeError(const std::string& buffer, ErrorFrame* out,
                  std::string* error) {
   Reader reader(nullptr, 0);
-  if (!OpenFrame(buffer, FrameType::kError, &reader, error)) return false;
+  if (!OpenFrame(buffer, FrameType::kError, &reader, &out->request_id,
+                 error)) {
+    return false;
+  }
   uint32_t msg_len;
   if (!reader.U32(&out->status) || !reader.U64(&out->trace_id) ||
       !reader.U32(&msg_len)) {

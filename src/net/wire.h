@@ -1,6 +1,7 @@
 #ifndef DSSDDI_NET_WIRE_H_
 #define DSSDDI_NET_WIRE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,14 +17,29 @@ namespace dssddi::net::wire {
 /// binary32 bytes, so scores are bit-exact by construction (no decimal
 /// round-trip to reason about) and encode/decode is a memcpy.
 ///
+/// The same frames also run raw on the socket (no HTTP envelope) as the
+/// pipelined protocol: a connection whose first bytes are the frame
+/// magic speaks frames both ways, many requests may be in flight at
+/// once, and responses complete out of order correlated by
+/// `request_id`. See `ExtractFrame` for the stream parser.
+///
 /// Frame layout (all integers little-endian, floats as binary32 bit
 /// patterns, no padding):
 ///
-///   magic   u16 = 0x4453 ("DS")
-///   version u8  = 1
-///   type    u8    (FrameType)
-///   length  u32   payload byte count (the length prefix; the frame is
-///                 exactly 8 + length bytes, trailing bytes are rejected)
+///   magic      u16 = 0x4453 ("DS")
+///   version    u8  = 2
+///   type       u8    (FrameType)
+///   length     u32   payload byte count (the length prefix; the frame
+///                    is exactly 16 + length bytes; whole-buffer
+///                    decoders reject trailing bytes)
+///   request_id u64   per-connection multiplexing correlator, echoed
+///                    verbatim in the response or error frame answering
+///                    this request. 0 is legal for serial traffic (the
+///                    HTTP-enveloped route); pipelined clients must use
+///                    ids unique among their in-flight requests —
+///                    a duplicate in-flight id is rejected with an
+///                    error frame. Transport-layer only: it never
+///                    reaches the suggestion service.
 ///   payload
 ///
 /// kSuggestRequest payload:
@@ -69,8 +85,12 @@ namespace dssddi::net::wire {
 /// all fail with a diagnostic instead of reading garbage.
 inline constexpr char kContentType[] = "application/x-dssddi";
 inline constexpr uint16_t kMagic = 0x4453;
-inline constexpr uint8_t kVersion = 1;
-inline constexpr size_t kHeaderBytes = 8;
+inline constexpr uint8_t kVersion = 2;
+inline constexpr size_t kHeaderBytes = 16;
+/// Byte offset of the request_id field within the header — the one
+/// field the transport may rewrite in place (`PatchRequestId`) without
+/// re-encoding the frame.
+inline constexpr size_t kRequestIdOffset = 8;
 
 enum class FrameType : uint8_t {
   kSuggestRequest = 1,
@@ -89,6 +109,9 @@ struct SuggestRequestFrame {
   bool batch_priority = false;
   uint64_t trace_id = 0;
   std::vector<float> features;
+  /// Header field, not payload: the multiplexing correlator the server
+  /// echoes into the answering frame.
+  uint64_t request_id = 0;
 };
 
 struct SuggestResponseFrame {
@@ -96,12 +119,14 @@ struct SuggestResponseFrame {
   uint64_t trace_id = 0;
   std::vector<int32_t> drugs;
   std::vector<float> scores;  // bit-exact binary32
+  uint64_t request_id = 0;    // header field: echoed request correlator
 };
 
 struct ErrorFrame {
   uint32_t status = 500;
   std::string message;
   uint64_t trace_id = 0;
+  uint64_t request_id = 0;  // header field: echoed request correlator
 };
 
 std::string EncodeSuggestRequest(const SuggestRequestFrame& frame);
@@ -118,11 +143,60 @@ bool DecodeSuggestResponse(const std::string& buffer, SuggestResponseFrame* out,
 bool DecodeError(const std::string& buffer, ErrorFrame* out,
                  std::string* error);
 
-/// Validates the 8-byte header only (magic, version, known type, length
+/// Validates the 16-byte header only (magic, version, known type, length
 /// prefix consistent with buffer size) and reports the frame type — how
 /// a client tells a response frame from an error frame before decoding.
 bool PeekFrameType(const std::string& buffer, FrameType* out,
                    std::string* error);
+
+// -------------------------------------------------------------------
+// Pipelined stream parsing
+// -------------------------------------------------------------------
+
+/// One complete frame located inside a byte stream.
+struct FrameView {
+  FrameType type = FrameType::kError;
+  uint64_t request_id = 0;
+  /// Total frame size (header + payload): how many bytes to consume
+  /// from the stream / slice out as a standalone frame buffer.
+  size_t frame_bytes = 0;
+};
+
+enum class ExtractResult {
+  kNeedMore,  // prefix of a valid frame; read more bytes
+  kFrame,     // *out describes one complete frame at the buffer start
+  kError,     // stream is not frame traffic (bad magic/version/type or
+              // declared payload over the cap); unrecoverable
+};
+
+/// Incremental frame extractor for pipelined streams, where — unlike
+/// the strict whole-buffer decoders above — trailing bytes are the next
+/// frame, not an error. Validates magic/version/type as soon as the
+/// first 4 bytes arrive (garbage fails fast, long before a forged
+/// length prefix could stall the connection) and bounds the declared
+/// payload by `max_payload_bytes` so a hostile length can never balloon
+/// the receive buffer.
+ExtractResult ExtractFrame(const char* data, size_t size,
+                           size_t max_payload_bytes, FrameView* out,
+                           std::string* error);
+
+/// True when the first bytes of a fresh connection are a frame-magic
+/// prefix — how the server tells raw pipelined frame traffic from HTTP
+/// on the same port. Needs at most 2 bytes (no HTTP method starts with
+/// "SD"); with fewer it answers true only while the prefix is still
+/// consistent with the magic.
+bool LooksLikeFramePrefix(const char* data, size_t size);
+
+/// Reads the request_id header field of an encoded frame (complete or
+/// not — only the first 16 bytes are touched). False when the buffer is
+/// too short to contain the field.
+bool PeekRequestId(const std::string& buffer, uint64_t* out);
+
+/// Rewrites the request_id header field of an encoded frame in place —
+/// how the transport stamps hop-local ids onto caller frames (and
+/// restores them) without re-encoding the payload. False when the
+/// buffer is too short.
+bool PatchRequestId(std::string* frame, uint64_t request_id);
 
 }  // namespace dssddi::net::wire
 

@@ -2,6 +2,17 @@
 
 namespace dssddi::obs::internal {
 
+namespace {
+/// Sink for the open window on this thread, or nullptr.
 thread_local uint64_t* kernel_ns_sink = nullptr;
+}  // namespace
+
+uint64_t* ExchangeKernelSink(uint64_t* sink) {
+  uint64_t* previous = kernel_ns_sink;
+  kernel_ns_sink = sink;
+  return previous;
+}
+
+uint64_t* CurrentKernelSink() { return kernel_ns_sink; }
 
 }  // namespace dssddi::obs::internal

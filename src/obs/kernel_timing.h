@@ -25,8 +25,15 @@ namespace dssddi::obs {
 /// reads, no atomics, no allocation.
 
 namespace internal {
-/// Sink for the open window on this thread, or nullptr.
-extern thread_local uint64_t* kernel_ns_sink;
+/// Out-of-line accessors for the thread's open-window sink. The
+/// thread_local itself lives in kernel_timing.cc: gcc's combined
+/// ASan+UBSan instrumentation emits spurious "store to null pointer"
+/// diagnostics for TLS stores inlined from headers into other TUs, and
+/// keeping the access out of line sidesteps that while making the TLS
+/// model a private detail of one TU. Both users are per-GEMM-call
+/// granularity, so the call costs nothing next to the kernel it times.
+uint64_t* ExchangeKernelSink(uint64_t* sink);  // returns the previous sink
+uint64_t* CurrentKernelSink();
 }  // namespace internal
 
 /// Opens an accumulation window on the current thread for its lifetime.
@@ -35,10 +42,8 @@ extern thread_local uint64_t* kernel_ns_sink;
 /// would want).
 class KernelTimingWindow {
  public:
-  KernelTimingWindow() : previous_(internal::kernel_ns_sink) {
-    internal::kernel_ns_sink = &ns_;
-  }
-  ~KernelTimingWindow() { internal::kernel_ns_sink = previous_; }
+  KernelTimingWindow() : previous_(internal::ExchangeKernelSink(&ns_)) {}
+  ~KernelTimingWindow() { internal::ExchangeKernelSink(previous_); }
   KernelTimingWindow(const KernelTimingWindow&) = delete;
   KernelTimingWindow& operator=(const KernelTimingWindow&) = delete;
 
@@ -52,7 +57,7 @@ class KernelTimingWindow {
 /// Times one kernel invocation into the open window, if any.
 class ScopedKernelTimer {
  public:
-  ScopedKernelTimer() : sink_(internal::kernel_ns_sink) {
+  ScopedKernelTimer() : sink_(internal::CurrentKernelSink()) {
     if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedKernelTimer() {

@@ -241,19 +241,19 @@ TEST(WireTest, CorruptFrameSweepRejectsEveryMutation) {
   EXPECT_FALSE(wire::DecodeSuggestRequest(
       mutate(4, static_cast<char>(good.size() - wire::kHeaderBytes + 1)),
       &out, &error));
-  // Unknown flag bits and a nonzero reserved byte (offsets: header 8 +
-  // patient 8 + deadline 4 + k 2 = flags at 22, reserved at 23).
+  // Unknown flag bits and a nonzero reserved byte (offsets: header 16 +
+  // patient 8 + deadline 4 + k 2 = flags at 30, reserved at 31).
   EXPECT_FALSE(
-      wire::DecodeSuggestRequest(mutate(22, '\x7f'), &out, &error));
-  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(23, 1), &out, &error));
+      wire::DecodeSuggestRequest(mutate(30, '\x7f'), &out, &error));
+  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(31, 1), &out, &error));
   // Feature count inconsistent with the bytes actually present
-  // (num_features little-endian at payload offset 24 -> absolute 32).
+  // (num_features little-endian at payload offset 24 -> absolute 40).
   EXPECT_FALSE(wire::DecodeSuggestRequest(
-      mutate(32, static_cast<char>(frame.features.size() + 1)), &out, &error));
+      mutate(40, static_cast<char>(frame.features.size() + 1)), &out, &error));
   EXPECT_FALSE(wire::DecodeSuggestRequest(
-      mutate(32, static_cast<char>(frame.features.size() - 1)), &out, &error));
+      mutate(40, static_cast<char>(frame.features.size() - 1)), &out, &error));
   // Declared feature count near 2^32 must not provoke a giant resize.
-  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(35, '\x7f'), &out, &error));
+  EXPECT_FALSE(wire::DecodeSuggestRequest(mutate(43, '\x7f'), &out, &error));
 
   // Response-side truncation sweep: same strictness on the client path.
   wire::SuggestResponseFrame response;
